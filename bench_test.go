@@ -1,0 +1,184 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section. Each benchmark prints its table once (on the
+// first iteration) and reports a meaningful scalar so `go test -bench`
+// output is comparable across runs:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig4 -benchtime=1x
+//
+// See EXPERIMENTS.md for the shape expectations and the
+// paper-vs-measured record.
+package norns_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/experiments"
+	"github.com/ngioproject/norns-go/internal/metrics"
+)
+
+// printOnce prints each experiment's table a single time even when the
+// benchmark harness reruns the function for calibration.
+var printOnce sync.Map
+
+func report(b *testing.B, t *metrics.Table) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(b.Name(), true); !done {
+		b.Log("\n" + t.String())
+	}
+}
+
+// BenchmarkFig1a regenerates the ARCHER interference figure.
+func BenchmarkFig1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig1a(10))
+	}
+}
+
+// BenchmarkFig1b regenerates the MareNostrum IV variability figure.
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig1b(15))
+	}
+}
+
+// BenchmarkFig4 regenerates the local request-rate figure against a
+// real urd daemon over real AF_UNIX sockets.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig4(b.TempDir(), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkFig5 regenerates the remote request-rate figure over the
+// real ofi+tcp fabric.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig5(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkFig6 regenerates the aggregated remote-read bandwidth sweep.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig6())
+	}
+}
+
+// BenchmarkFig7 regenerates the aggregated remote-write bandwidth
+// sweep.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig7())
+	}
+}
+
+// BenchmarkFig8 regenerates the Lustre-vs-DCPMM comparison.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig8())
+	}
+}
+
+// BenchmarkTable3 regenerates the synthetic producer/consumer workflow
+// comparison.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkTable4 regenerates the staging-impact benchmark.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkTable5 regenerates the OpenFOAM workflow comparison.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkAblationScheduler compares task-queue arbitration policies
+// on a real daemon.
+func BenchmarkAblationScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationScheduler(b.TempDir(), 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkAblationWorkers sweeps the urd worker-pool size.
+func BenchmarkAblationWorkers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationWorkers(b.TempDir(), 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkAblationBufSize sweeps the bulk-transfer chunk size on the
+// real fabric (the paper's 16 MiB saturation observation).
+func BenchmarkAblationBufSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationBufSize(32 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkAblationStagingTier compares intermediate-data tiers: PFS vs
+// shared burst buffer vs node-local NVM (the paper's future-work
+// burst-buffer plugin, modeled).
+func BenchmarkAblationStagingTier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationStagingTier()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
+// BenchmarkAblationDataAware compares data-aware vs first-free node
+// selection for a staged workflow.
+func BenchmarkAblationDataAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationDataAware()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}

@@ -1,0 +1,85 @@
+// norns-bench regenerates every table and figure of the paper's
+// evaluation section (see EXPERIMENTS.md for the mapping and the
+// expected shapes).
+//
+// Usage:
+//
+//	norns-bench -run all
+//	norns-bench -run fig1a,tab3 -reps 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/ngioproject/norns-go/internal/experiments"
+	"github.com/ngioproject/norns-go/internal/metrics"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiments: fig1a,fig1b,fig4,fig5,fig6,fig7,fig8,tab3,tab4,tab5,ablations")
+	reps := flag.Int("reps", 0, "repetitions for the variability figures (0 = experiment default)")
+	reqs := flag.Int("reqs", 0, "requests per client for the request-rate figures (0 = default; the paper used 50000)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	show := func(t *metrics.Table, err error) {
+		if err != nil {
+			log.Fatalf("experiment failed: %v", err)
+		}
+		fmt.Println(t)
+	}
+
+	tmp, err := os.MkdirTemp("", "norns-bench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	if selected("fig1a") {
+		show(experiments.Fig1a(*reps), nil)
+	}
+	if selected("fig1b") {
+		show(experiments.Fig1b(*reps), nil)
+	}
+	if selected("fig4") {
+		show(experiments.Fig4(tmp, *reqs))
+	}
+	if selected("fig5") {
+		show(experiments.Fig5(*reqs))
+	}
+	if selected("fig6") {
+		show(experiments.Fig6(), nil)
+	}
+	if selected("fig7") {
+		show(experiments.Fig7(), nil)
+	}
+	if selected("fig8") {
+		show(experiments.Fig8(), nil)
+	}
+	if selected("tab3") {
+		show(experiments.Table3())
+	}
+	if selected("tab4") {
+		show(experiments.Table4())
+	}
+	if selected("tab5") {
+		show(experiments.Table5())
+	}
+	if selected("ablations") {
+		show(experiments.AblationScheduler(tmp, 0))
+		show(experiments.AblationWorkers(tmp, 0))
+		show(experiments.AblationBufSize(0))
+		show(experiments.AblationDataAware())
+		show(experiments.AblationStagingTier())
+	}
+}

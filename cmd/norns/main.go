@@ -1,0 +1,125 @@
+// norns is the user command-line client: submit and monitor
+// asynchronous I/O tasks against the local urd daemon.
+//
+// Usage:
+//
+//	norns -socket /tmp/norns.sock dataspaces
+//	norns copy nvme0://results/out.dat lustre://archive/out.dat
+//	norns move nvme0://scratch/a lustre://keep/a
+//	norns remove nvme0://scratch/tmp
+//	norns wait 7
+//	norns status 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/norns"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+func parseRef(ref string) (task.Resource, error) {
+	i := strings.Index(ref, "://")
+	if i <= 0 {
+		return task.Resource{}, fmt.Errorf("malformed reference %q (want dataspace://path)", ref)
+	}
+	ds, path := ref[:i+3], ref[i+3:]
+	// node@dataspace://path targets a remote node.
+	if at := strings.Index(ds, "@"); at > 0 {
+		return task.RemotePosixPath(ds[:at], ds[at+1:], path), nil
+	}
+	return task.PosixPath(ds, path), nil
+}
+
+func main() {
+	socket := flag.String("socket", "/tmp/norns.sock", "user socket path")
+	timeout := flag.Duration("timeout", 5*time.Minute, "wait timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: norns [-socket PATH] COMMAND [ARGS]")
+	}
+
+	c, err := norns.Dial(*socket)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", *socket, err)
+	}
+	defer c.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "dataspaces":
+		infos, err := c.GetDataspaceInfo()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ds := range infos {
+			fmt.Printf("%-12s backend=%d mount=%s used=%d capacity=%d\n",
+				ds.ID, ds.Backend, ds.Mount, ds.UsedBytes, ds.Capacity)
+		}
+	case "copy", "move":
+		if len(rest) < 2 {
+			log.Fatalf("usage: %s SRC DST", cmd)
+		}
+		src, err := parseRef(rest[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		dst, err := parseRef(rest[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := norns.Copy
+		if cmd == "move" {
+			kind = norns.Move
+		}
+		tk := norns.NewIOTask(kind, src, dst)
+		if err := c.Submit(&tk); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("task %d submitted\n", tk.ID)
+	case "remove":
+		if len(rest) < 1 {
+			log.Fatal("usage: remove REF")
+		}
+		src, err := parseRef(rest[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		tk := norns.NewIOTask(norns.Remove, src, task.Resource{})
+		if err := c.Submit(&tk); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("task %d submitted\n", tk.ID)
+	case "wait", "status":
+		if len(rest) < 1 {
+			log.Fatalf("usage: %s TASK_ID", cmd)
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			log.Fatalf("task ID %q: %v", rest[0], err)
+		}
+		tk := norns.IOTask{ID: id}
+		if cmd == "wait" {
+			if err := c.Wait(&tk, *timeout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		stats, err := c.Error(&tk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("task %d: %s moved=%d/%d", id, stats.Status, stats.MovedBytes, stats.TotalBytes)
+		if stats.Err != "" {
+			fmt.Printf(" error=%q", stats.Err)
+		}
+		fmt.Println()
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,133 @@
+// nornsctl is the administrative command-line client for a urd daemon:
+// what the Slurm extensions call programmatically, exposed for
+// operators.
+//
+// Usage:
+//
+//	nornsctl -socket /tmp/nornsctl.sock ping
+//	nornsctl status
+//	nornsctl register-dataspace nvme0:// nvm /mnt/pmem0
+//	nornsctl unregister-dataspace nvme0://
+//	nornsctl register-job 42 node001,node002 nvme0://,lustre://
+//	nornsctl unregister-job 42
+//	nornsctl track nvme0:// on|off
+//	nornsctl tracked-non-empty
+//	nornsctl shutdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+)
+
+var backendNames = map[string]uint32{
+	"posix-dir":    nornsctl.BackendPosixDir,
+	"nvm":          nornsctl.BackendNVM,
+	"parallel-fs":  nornsctl.BackendParallelFS,
+	"burst-buffer": nornsctl.BackendBurstBuffer,
+	"memory":       nornsctl.BackendMemory,
+}
+
+func main() {
+	socket := flag.String("socket", "/tmp/nornsctl.sock", "control socket path")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: nornsctl [-socket PATH] COMMAND [ARGS]")
+	}
+
+	c, err := nornsctl.Dial(*socket)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", *socket, err)
+	}
+	defer c.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ping":
+		if err := c.Ping(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("pong")
+	case "status":
+		s, err := c.Status()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	case "shutdown":
+		if err := c.Shutdown(); err != nil {
+			log.Fatal(err)
+		}
+	case "register-dataspace":
+		if len(rest) < 2 {
+			log.Fatal("usage: register-dataspace ID BACKEND [MOUNT]")
+		}
+		backend, ok := backendNames[rest[1]]
+		if !ok {
+			log.Fatalf("unknown backend %q (want posix-dir|nvm|parallel-fs|burst-buffer|memory)", rest[1])
+		}
+		def := nornsctl.DataspaceDef{ID: rest[0], Backend: backend}
+		if len(rest) >= 3 {
+			def.Mount = rest[2]
+		}
+		if err := c.RegisterDataspace(def); err != nil {
+			log.Fatal(err)
+		}
+	case "unregister-dataspace":
+		if len(rest) < 1 {
+			log.Fatal("usage: unregister-dataspace ID")
+		}
+		if err := c.UnregisterDataspace(rest[0]); err != nil {
+			log.Fatal(err)
+		}
+	case "register-job":
+		if len(rest) < 3 {
+			log.Fatal("usage: register-job ID HOST1,HOST2 DS1,DS2")
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			log.Fatalf("job ID %q: %v", rest[0], err)
+		}
+		def := nornsctl.JobDef{ID: id, Hosts: strings.Split(rest[1], ",")}
+		for _, ds := range strings.Split(rest[2], ",") {
+			def.Limits = append(def.Limits, nornsctl.JobLimit{Dataspace: ds})
+		}
+		if err := c.RegisterJob(def); err != nil {
+			log.Fatal(err)
+		}
+	case "unregister-job":
+		if len(rest) < 1 {
+			log.Fatal("usage: unregister-job ID")
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			log.Fatalf("job ID %q: %v", rest[0], err)
+		}
+		if err := c.UnregisterJob(id); err != nil {
+			log.Fatal(err)
+		}
+	case "track":
+		if len(rest) < 2 {
+			log.Fatal("usage: track ID on|off")
+		}
+		if err := c.TrackDataspace(rest[0], rest[1] == "on"); err != nil {
+			log.Fatal(err)
+		}
+	case "tracked-non-empty":
+		ids, err := c.TrackedNonEmpty()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,182 @@
+// slurm-sim runs data-driven workflows through the workflow-aware
+// scheduler on a simulated cluster, printing the scheduler event log
+// and per-job accounting. Batch scripts with #NORNS directives are read
+// from the command line; each script's compute phase is modeled as
+// compute seconds plus I/O volume given via flags on the script name:
+//
+//	slurm-sim -nodes 8 \
+//	    'producer.sh:compute=64,write=nvme0://inter:100e9' \
+//	    'consumer.sh:compute=30,read=nvme0://inter'
+//
+// Without arguments it runs the built-in Table III demonstration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simnet"
+	"github.com/ngioproject/norns-go/internal/simstore"
+	"github.com/ngioproject/norns-go/internal/slurm"
+	"github.com/ngioproject/norns-go/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster size")
+	dataAware := flag.Bool("data-aware", true, "prefer nodes already holding workflow data")
+	flag.Parse()
+
+	eng := sim.NewEngine()
+	env := slurm.NewSimEnv(eng)
+	env.AddTier("lustre://", simstore.NewPFS(eng, simstore.PFSConfig{
+		Name: "lustre", ReadBW: 2.27e9, WriteBW: 3.125e9, Stripes: 6, ClientCap: 0.35e9,
+	}))
+	env.AddTier("nvme0://", simstore.NewNodeLocal(eng, simstore.NodeLocalConfig{
+		Name: "dcpmm", ReadBW: 62e9, WriteBW: 50e9,
+	}))
+	env.Fabric = simnet.NewFabric(eng, 0.94e9, 0, 0.0009)
+
+	names := make([]string, *nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%02d", i+1)
+	}
+	ctl, err := slurm.NewController(env, slurm.Config{
+		Nodes: names, DataAware: *dataAware, PriorityBoost: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var jobIDs []slurm.JobID
+	if flag.NArg() == 0 {
+		jobIDs = builtinDemo(ctl)
+	} else {
+		var prev slurm.JobID
+		for i, arg := range flag.Args() {
+			spec, err := parseJobArg(arg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				spec.WorkflowStart = true
+			} else {
+				spec.Dependencies = []slurm.JobID{prev}
+			}
+			if i == flag.NArg()-1 {
+				spec.WorkflowEnd = true
+			}
+			id, err := ctl.Submit(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			prev = id
+			jobIDs = append(jobIDs, id)
+		}
+	}
+
+	eng.Run()
+
+	fmt.Println("=== scheduler event log ===")
+	for _, ev := range ctl.Events() {
+		fmt.Println(ev)
+	}
+	fmt.Println()
+	fmt.Println("=== job accounting ===")
+	for _, id := range jobIDs {
+		j, err := ctl.Job(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %d (%s): %s nodes=%v stage-in=%.1fs compute=%.1fs total-hold=%.1fs\n",
+			j.ID, j.Spec.Name, j.State, j.Nodes,
+			j.StartTime-j.StageInStart, j.EndTime-j.StartTime, j.ReleaseTime-j.StageInStart)
+		if j.FailReason != "" {
+			fmt.Printf("  reason: %s\n", j.FailReason)
+		}
+	}
+}
+
+// builtinDemo submits the Table III producer/consumer workflow on NVM.
+func builtinDemo(ctl *slurm.Controller) []slurm.JobID {
+	prod, err := ctl.Submit(&slurm.JobSpec{
+		Name: "producer", Nodes: 1, WorkflowStart: true,
+		Payload: workload.Seq{
+			workload.Compute{Seconds: 64},
+			workload.IO{Dataspace: "nvme0://", Ref: "inter", Bytes: 100e9, Write: true, Procs: 24},
+		},
+		Persists: []slurm.PersistDirective{{Op: slurm.PersistStore, Location: "nvme0://inter"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons, err := ctl.Submit(&slurm.JobSpec{
+		Name: "consumer", Nodes: 1, WorkflowEnd: true, Dependencies: []slurm.JobID{prod},
+		Payload: workload.Seq{
+			workload.IO{Dataspace: "nvme0://", Ref: "inter", Procs: 24},
+			workload.Compute{Seconds: 30},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return []slurm.JobID{prod, cons}
+}
+
+// parseJobArg parses "script.sh:compute=64,write=nvme0://x:100e9,read=..."
+// into a JobSpec: the script file supplies #SBATCH/#NORNS directives and
+// the suffix describes the modeled workload.
+func parseJobArg(arg string) (*slurm.JobSpec, error) {
+	path, desc, _ := strings.Cut(arg, ":")
+	script, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	spec, err := slurm.ParseScript(string(script))
+	if err != nil {
+		return nil, err
+	}
+	if spec.Name == "" {
+		spec.Name = path
+	}
+	var seq workload.Seq
+	for _, item := range strings.Split(desc, ",") {
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed workload item %q", item)
+		}
+		switch key {
+		case "compute":
+			sec, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("compute=%q: %w", val, err)
+			}
+			seq = append(seq, workload.Compute{Seconds: sec})
+		case "write", "read":
+			ref := val
+			var bytes float64
+			if i := strings.LastIndex(val, ":"); i > strings.Index(val, "://")+2 {
+				b, err := strconv.ParseFloat(val[i+1:], 64)
+				if err != nil {
+					return nil, fmt.Errorf("volume in %q: %w", val, err)
+				}
+				bytes = b
+				ref = val[:i]
+			}
+			ds, rel := slurm.SplitRef(ref)
+			io := workload.IO{Dataspace: ds, Ref: rel, Bytes: bytes, Write: key == "write", Procs: 24}
+			seq = append(seq, io)
+		default:
+			return nil, fmt.Errorf("unknown workload key %q", key)
+		}
+	}
+	spec.Payload = seq
+	return spec, nil
+}

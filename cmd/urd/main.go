@@ -1,0 +1,102 @@
+// urd is the NORNS resource-control daemon: one instance per compute
+// node, serving the user API on one AF_UNIX socket and the control API
+// on another, with an optional fabric listener for node-to-node
+// transfers.
+//
+// Usage:
+//
+//	urd -node node001 -user /tmp/norns.sock -control /tmp/nornsctl.sock \
+//	    -workers 4 -policy fcfs -fabric ofi+tcp -fabric-addr 0.0.0.0:4710
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/ngioproject/norns-go/internal/queue"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+func main() {
+	var (
+		node       = flag.String("node", hostnameOr("node001"), "cluster node name")
+		userSock   = flag.String("user", "/tmp/norns.sock", "user API socket path")
+		ctlSock    = flag.String("control", "/tmp/nornsctl.sock", "control API socket path")
+		workers    = flag.Int("workers", 4, "transfer worker threads")
+		policy     = flag.String("policy", "fcfs", "task queue policy: fcfs|sjf|priority|fair-share")
+		fabric     = flag.String("fabric", "", "mercury NA plugin for node-to-node transfers (e.g. ofi+tcp); empty disables")
+		fabricAddr = flag.String("fabric-addr", "", "fabric listen address")
+		peers      = flag.String("peers", "", "comma-separated node=addr fabric peers")
+	)
+	flag.Parse()
+
+	var pol queue.Policy
+	switch *policy {
+	case "fcfs":
+		pol = queue.NewFCFS()
+	case "sjf":
+		pol = queue.NewSJF(nil)
+	case "priority":
+		pol = queue.NewPriority()
+	case "fair-share":
+		pol = queue.NewFairShare()
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	cfg := urd.Config{
+		NodeName:      *node,
+		UserSocket:    *userSock,
+		ControlSocket: *ctlSock,
+		Workers:       *workers,
+		Policy:        pol,
+	}
+	if *fabric != "" {
+		resolver := urd.NewStaticResolver()
+		for _, pair := range strings.Split(*peers, ",") {
+			if pair == "" {
+				continue
+			}
+			name, addr, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("malformed peer %q (want node=addr)", pair)
+			}
+			resolver.Set(name, addr)
+		}
+		cfg.Fabric = *fabric
+		cfg.FabricAddr = *fabricAddr
+		cfg.Resolver = resolver
+	}
+
+	// Stale sockets from a previous run would fail the bind.
+	os.Remove(*userSock)
+	os.Remove(*ctlSock)
+
+	d, err := urd.New(cfg)
+	if err != nil {
+		log.Fatalf("urd: %v", err)
+	}
+	fmt.Printf("%s on %s: user=%s control=%s", urd.Version, *node, *userSock, *ctlSock)
+	if addr := d.FabricAddr(); addr != "" {
+		fmt.Printf(" fabric=%s", addr)
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	d.Close()
+}
+
+func hostnameOr(fallback string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fallback
+}

@@ -1,0 +1,15 @@
+// Package norns is a from-scratch Go reproduction of "NORNS: Extending
+// Slurm to Support Data-Driven Workflows through Asynchronous Data
+// Staging" (Miranda, Jackson, Tocci, Panourgias & Nou, IEEE CLUSTER
+// 2019).
+//
+// The implementation lives under internal/: the urd daemon and its
+// user/control APIs (internal/urd, internal/api), the transfer plugins
+// and Mercury-style fabric (internal/transfer, internal/mercury), the
+// Slurm workflow extensions (internal/slurm), and the discrete-event
+// substrate that stands in for the paper's testbed hardware
+// (internal/sim, internal/simstore, internal/simnet). See README.md for
+// the architecture overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The top-level
+// bench_test.go regenerates every table and figure of the evaluation.
+package norns

@@ -1,0 +1,108 @@
+// OpenFOAM-style staged workflow: the Table V scenario. A serial mesh
+// decomposition on one node, an inter-node redistribution staged by
+// NORNS over the fabric, and a 16-node solver — compared against the
+// same workflow running directly on the parallel file system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simnet"
+	"github.com/ngioproject/norns-go/internal/simstore"
+	"github.com/ngioproject/norns-go/internal/slurm"
+	"github.com/ngioproject/norns-go/internal/workload"
+)
+
+const (
+	meshBytes   = 30e9
+	outputBytes = 160e9
+	solverNodes = 16
+)
+
+func newCluster() (*sim.Engine, *slurm.SimEnv, *slurm.Controller) {
+	eng := sim.NewEngine()
+	env := slurm.NewSimEnv(eng)
+	env.AddTier("lustre://", simstore.NewPFS(eng, simstore.PFSConfig{
+		Name: "lustre", ReadBW: 2.27e9, WriteBW: 3.125e9, Stripes: 6, ClientCap: 0.35e9,
+	}))
+	env.AddTier("nvme0://", simstore.NewNodeLocal(eng, simstore.NodeLocalConfig{
+		Name: "dcpmm", ReadBW: 62e9, WriteBW: 50e9,
+	}))
+	env.Fabric = simnet.NewFabric(eng, 0.94e9, 0, 0.0009)
+	nodes := make([]string, solverNodes)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%02d", i+1)
+	}
+	ctl, err := slurm.NewController(env, slurm.Config{Nodes: nodes, DataAware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return eng, env, ctl
+}
+
+func runWorkflow(tier string, staged bool) (decomp, staging, solver float64) {
+	eng, _, ctl := newCluster()
+
+	decompSpec := &slurm.JobSpec{
+		Name: "decomposePar", Nodes: 1, WorkflowStart: true,
+		Payload: workload.Seq{
+			workload.Compute{Seconds: 1105},
+			// The decomposition is serial: one writer stream.
+			workload.IO{Dataspace: tier, Ref: "mesh", Bytes: meshBytes, Write: true, Procs: 1},
+		},
+	}
+	if staged {
+		decompSpec.Persists = []slurm.PersistDirective{{Op: slurm.PersistStore, Location: tier + "mesh"}}
+	}
+	dID, err := ctl.Submit(decompSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	solverSpec := &slurm.JobSpec{
+		Name: "picoFoam", Nodes: solverNodes, WorkflowEnd: true,
+		Dependencies: []slurm.JobID{dID},
+		Payload: workload.Seq{
+			workload.IO{Dataspace: tier, Ref: "mesh", Procs: 48},
+			workload.Compute{Seconds: 59}, // 20 timesteps, 768 ranks
+			workload.IO{Dataspace: tier, Ref: "solution", Bytes: outputBytes, Write: true, Procs: 48},
+		},
+	}
+	if staged {
+		solverSpec.StageIns = []slurm.StageDirective{{
+			Kind: slurm.StageIn, Origin: tier + "mesh", Destination: tier + "mesh",
+		}}
+	}
+	sID, err := ctl.Submit(solverSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Run()
+
+	dj, _ := ctl.Job(dID)
+	sj, _ := ctl.Job(sID)
+	if dj.State != slurm.JobCompleted || sj.State != slurm.JobCompleted {
+		log.Fatalf("workflow failed: decompose=%v (%s), solver=%v (%s)",
+			dj.State, dj.FailReason, sj.State, sj.FailReason)
+	}
+	return dj.EndTime - dj.StartTime, sj.StartTime - sj.StageInStart, sj.EndTime - sj.StartTime
+}
+
+func main() {
+	fmt.Println("OpenFOAM aircraft simulation, ~43M mesh points, 768 MPI ranks over 16 nodes")
+	fmt.Println()
+
+	ld, _, ls := runWorkflow("lustre://", false)
+	nd, nstage, ns := runWorkflow("nvme0://", true)
+
+	fmt.Printf("%-16s %12s %12s\n", "Workflow phase", "Lustre", "NVMs")
+	fmt.Printf("%-16s %11.0fs %11.0fs\n", "decomposition", ld, nd)
+	fmt.Printf("%-16s %12s %11.0fs\n", "data-staging", "-", nstage)
+	fmt.Printf("%-16s %11.0fs %11.0fs\n", "solver", ls, ns)
+	fmt.Println()
+	fmt.Printf("solver speedup on node-local NVM: %.1fx\n", ls/ns)
+	fmt.Printf("redistribution cost (%.0f GB over the fabric): %.0fs — amortized over a full\n", meshBytes/1e9, nstage)
+	fmt.Println("simulation of thousands of timesteps, it is negligible (Section V-D).")
+}

@@ -1,0 +1,111 @@
+// Workflow: a two-phase producer/consumer data-driven workflow driven
+// through the Slurm extensions, using batch scripts with #NORNS
+// directives, the workflow-aware scheduler, data-aware node selection,
+// and the simulated NEXTGenIO-style cluster. This is the Table III
+// scenario end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simstore"
+	"github.com/ngioproject/norns-go/internal/slurm"
+	"github.com/ngioproject/norns-go/internal/workload"
+)
+
+const producerScript = `#!/bin/bash
+#SBATCH --job-name=producer --nodes=1
+#SBATCH --workflow-start
+#NORNS stage_in lustre://input/params.dat nvme0://params.dat
+#NORNS persist store nvme0://inter
+srun ./producer
+`
+
+const consumerScript = `#!/bin/bash
+#SBATCH --job-name=consumer --nodes=1
+#SBATCH --workflow-end
+#NORNS stage_out nvme0://final lustre://results/final
+srun ./consumer
+`
+
+func main() {
+	// A 4-node cluster with a Lustre-like PFS and node-local NVM.
+	eng := sim.NewEngine()
+	env := slurm.NewSimEnv(eng)
+	env.AddTier("lustre://", simstore.NewPFS(eng, simstore.PFSConfig{
+		Name: "lustre", ReadBW: 2.27e9, WriteBW: 3.125e9, Stripes: 6, ClientCap: 0.35e9,
+	}))
+	env.AddTier("nvme0://", simstore.NewNodeLocal(eng, simstore.NodeLocalConfig{
+		Name: "dcpmm", ReadBW: 62e9, WriteBW: 50e9,
+	}))
+	ctl, err := slurm.NewController(env, slurm.Config{
+		Nodes:     []string{"n1", "n2", "n3", "n4"},
+		DataAware: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Input data waiting on the PFS.
+	env.PutData("", "lustre://input/params.dat", 1e9)
+
+	// Parse the batch scripts exactly as sbatch would.
+	prodSpec, err := slurm.ParseScript(producerScript)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prodSpec.Payload = workload.Seq{
+		workload.IO{Dataspace: "nvme0://", Ref: "params.dat"}, // read staged input
+		workload.Compute{Seconds: 64},
+		workload.IO{Dataspace: "nvme0://", Ref: "inter", Bytes: 100e9, Write: true, Procs: 24},
+	}
+	prodID, err := ctl.Submit(prodSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	consSpec, err := slurm.ParseScript(consumerScript)
+	if err != nil {
+		log.Fatal(err)
+	}
+	consSpec.Dependencies = []slurm.JobID{prodID}
+	consSpec.Payload = workload.Seq{
+		workload.IO{Dataspace: "nvme0://", Ref: "inter", Procs: 24}, // shared via node-local NVM
+		workload.Compute{Seconds: 30},
+		workload.IO{Dataspace: "nvme0://", Ref: "final", Bytes: 10e9, Write: true, Procs: 24},
+	}
+	consID, err := ctl.Submit(consSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the cluster to completion.
+	eng.Run()
+
+	prod, _ := ctl.Job(prodID)
+	cons, _ := ctl.Job(consID)
+	wfID := prod.Workflow
+	state, jobs, err := ctl.WorkflowStatus(wfID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workflow %d: %s\n", wfID, state)
+	for _, js := range jobs {
+		fmt.Printf("  job %d (%s): %s\n", js.ID, js.Name, js.State)
+	}
+	fmt.Printf("producer: nodes=%v staged-in %.1fs, compute %.1fs\n",
+		prod.Nodes, prod.StartTime-prod.StageInStart, prod.EndTime-prod.StartTime)
+	fmt.Printf("consumer: nodes=%v compute %.1fs (data shared on node-local NVM)\n",
+		cons.Nodes, cons.EndTime-cons.StartTime)
+	fmt.Printf("consumer stage-out finished at t=%.1fs\n", cons.ReleaseTime)
+	if b, ok := env.GetData("", "lustre://results/final"); ok {
+		fmt.Printf("results on the PFS: %.0f bytes\n", b)
+	}
+	fmt.Println("\nscheduler event log:")
+	for _, ev := range ctl.Events() {
+		fmt.Println(" ", ev)
+	}
+}

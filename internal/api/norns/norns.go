@@ -1,0 +1,214 @@
+// Package norns is the user-level NORNS API (the norns_* functions of
+// Table I): parallel applications running inside a batch job use it to
+// query the dataspaces configured for them and to define, submit,
+// monitor, and wait on asynchronous I/O tasks, as in the paper's
+// Listing 2.
+package norns
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
+)
+
+// Re-exported task kinds, mirroring NORNS_IOTASK_*.
+const (
+	Copy   = task.Copy
+	Move   = task.Move
+	Remove = task.Remove
+	NoOp   = task.NoOp
+)
+
+// MemoryRegion mirrors NORNS_MEMORY_REGION(buffer, size).
+func MemoryRegion(buf []byte) task.Resource { return task.MemoryRegion(buf) }
+
+// PosixPath mirrors NORNS_POSIX_PATH(nsid, path).
+func PosixPath(dataspace, path string) task.Resource {
+	return task.PosixPath(dataspace, path)
+}
+
+// RemotePosixPath mirrors NORNS_REMOTE_PATH(host, nsid, path).
+func RemotePosixPath(node, dataspace, path string) task.Resource {
+	return task.RemotePosixPath(node, dataspace, path)
+}
+
+// IOTask is a client-side task descriptor (norns_iotask_t).
+type IOTask struct {
+	ID     uint64
+	Kind   task.Kind
+	Input  task.Resource
+	Output task.Resource
+	// Priority is a hint to priority-based queue policies.
+	Priority int
+}
+
+// NewIOTask mirrors NORNS_IOTASK(op, input, output).
+func NewIOTask(kind task.Kind, input, output task.Resource) IOTask {
+	return IOTask{Kind: kind, Input: input, Output: output}
+}
+
+// Stats is the norns_stat_t completion report.
+type Stats struct {
+	Status     task.Status
+	Err        string
+	TotalBytes int64
+	MovedBytes int64
+}
+
+// DataspaceInfo describes one dataspace visible to the caller.
+type DataspaceInfo struct {
+	ID        string
+	Backend   uint32
+	Mount     string
+	Capacity  int64
+	UsedBytes int64
+}
+
+// Client speaks the user protocol to a urd daemon.
+type Client struct {
+	conn *transport.Conn
+	pid  uint64
+}
+
+// Dial connects to the daemon's user socket.
+func Dial(socket string) (*Client, error) {
+	return DialNetwork("unix", socket)
+}
+
+// DialNetwork connects over an explicit network ("unix" or "tcp").
+func DialNetwork(network, addr string) (*Client, error) {
+	conn, err := transport.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, pid: uint64(os.Getpid())}, nil
+}
+
+// SetPID overrides the credential sent with requests; tests use it to
+// simulate multiple client processes from one test binary.
+func (c *Client) SetPID(pid uint64) { c.pid = pid }
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// apiError converts a failed response into an error.
+func apiError(resp *proto.Response) error {
+	return fmt.Errorf("norns: %s: %s", resp.Status, resp.Error)
+}
+
+// Submit mirrors norns_submit: the task is queued asynchronously and its
+// ID is stored in t.
+func (c *Client) Submit(t *IOTask) error {
+	spec := &proto.TaskSpec{
+		Kind:     uint32(t.Kind),
+		Input:    proto.FromResource(t.Input),
+		Output:   proto.FromResource(t.Output),
+		Priority: int64(t.Priority),
+	}
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
+	if err != nil {
+		return err
+	}
+	if resp.Status != proto.Success {
+		return apiError(resp)
+	}
+	t.ID = resp.TaskID
+	return nil
+}
+
+// ErrTimeout is returned by Wait when the timeout elapses first.
+var ErrTimeout = errors.New("norns: wait timed out")
+
+// Wait mirrors norns_wait(task, timeout): it blocks until the task
+// reaches a terminal state. timeout <= 0 waits forever.
+func (c *Client) Wait(t *IOTask, timeout time.Duration) error {
+	req := &proto.Request{Op: proto.OpWait, PID: c.pid, TaskID: t.ID, TimeoutMS: timeout.Milliseconds()}
+	resp, err := c.conn.Call(req)
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case proto.Success:
+		return nil
+	case proto.ETimeout:
+		return ErrTimeout
+	default:
+		return apiError(resp)
+	}
+}
+
+// Error mirrors norns_error(task, stats): it fetches the task's current
+// statistics. A Failed task yields stats with Status == task.Failed and
+// a nil error — matching the C API, where the stats carry the failure.
+func (c *Client) Error(t *IOTask) (Stats, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpTaskStatus, PID: c.pid, TaskID: t.ID})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		if resp.Status != proto.Success {
+			return Stats{}, apiError(resp)
+		}
+		return Stats{}, errors.New("norns: response without stats")
+	}
+	return Stats{
+		Status:     task.Status(resp.Stats.Status),
+		Err:        resp.Stats.Err,
+		TotalBytes: resp.Stats.TotalBytes,
+		MovedBytes: resp.Stats.MovedBytes,
+	}, nil
+}
+
+// GetDataspaceInfo mirrors norns_get_dataspace_info.
+func (c *Client) GetDataspaceInfo() ([]DataspaceInfo, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpGetDataspaceInfo, PID: c.pid})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != proto.Success {
+		return nil, apiError(resp)
+	}
+	out := make([]DataspaceInfo, 0, len(resp.Dataspaces))
+	for _, ds := range resp.Dataspaces {
+		out = append(out, DataspaceInfo{
+			ID:        ds.ID,
+			Backend:   ds.Backend,
+			Mount:     ds.Mount,
+			Capacity:  ds.Capacity,
+			UsedBytes: ds.UsedBytes,
+		})
+	}
+	return out, nil
+}
+
+// SubmitAsync issues a submit without waiting for the daemon's reply;
+// the returned function resolves it. The figure-4 throughput benchmark
+// uses this to keep multiple requests in flight per client.
+func (c *Client) SubmitAsync(t *IOTask) (func() error, error) {
+	spec := &proto.TaskSpec{
+		Kind:     uint32(t.Kind),
+		Input:    proto.FromResource(t.Input),
+		Output:   proto.FromResource(t.Output),
+		Priority: int64(t.Priority),
+	}
+	ch, err := c.conn.Send(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		resp, err := c.conn.Receive(ch)
+		if err != nil {
+			return err
+		}
+		if resp.Status != proto.Success {
+			return apiError(resp)
+		}
+		t.ID = resp.TaskID
+		return nil
+	}, nil
+}

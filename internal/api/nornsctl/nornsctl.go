@@ -1,0 +1,308 @@
+// Package nornsctl is the administrative NORNS API (the nornsctl_*
+// functions of Table I): job schedulers use it to control the urd
+// daemon, define dataspaces and jobs, attach processes, and submit the
+// staging I/O tasks that run a scheduled job.
+package nornsctl
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
+)
+
+// Backend kinds for RegisterDataspace, mirroring
+// dataspace.BackendKind values.
+const (
+	BackendPosixDir    = 1
+	BackendNVM         = 2
+	BackendParallelFS  = 3
+	BackendBurstBuffer = 4
+	BackendMemory      = 5
+)
+
+// DataspaceDef describes a dataspace to register
+// (nornsctl_backend_init + register_dataspace).
+type DataspaceDef struct {
+	ID       string
+	Backend  uint32
+	Mount    string // host directory backing the tier; "" = in-memory
+	Capacity int64
+	Track    bool
+}
+
+// JobLimit is one dataspace allowance.
+type JobLimit struct {
+	Dataspace string
+	Quota     int64
+}
+
+// JobDef describes a job registration (nornsctl_job_init +
+// register_job).
+type JobDef struct {
+	ID     uint64
+	Hosts  []string
+	Limits []JobLimit
+}
+
+// ProcDef describes a process registration (nornsctl_proc_init).
+type ProcDef struct {
+	PID uint64
+	UID uint64
+	GID uint64
+}
+
+// Stats mirrors the user API's completion report.
+type Stats struct {
+	Status     task.Status
+	Err        string
+	TotalBytes int64
+	MovedBytes int64
+}
+
+// Client speaks the control protocol to a urd daemon.
+type Client struct {
+	conn *transport.Conn
+	pid  uint64
+}
+
+// Dial connects to the daemon's control socket.
+func Dial(socket string) (*Client, error) {
+	return DialNetwork("unix", socket)
+}
+
+// DialNetwork connects over an explicit network.
+func DialNetwork(network, addr string) (*Client, error) {
+	conn, err := transport.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, pid: uint64(os.Getpid())}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func apiError(resp *proto.Response) error {
+	return fmt.Errorf("nornsctl: %s: %s", resp.Status, resp.Error)
+}
+
+func (c *Client) simple(req *proto.Request) error {
+	req.PID = c.pid
+	resp, err := c.conn.Call(req)
+	if err != nil {
+		return err
+	}
+	if resp.Status != proto.Success {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Ping checks daemon liveness (nornsctl_send_command).
+func (c *Client) Ping() error {
+	return c.simple(&proto.Request{Op: proto.OpPing})
+}
+
+// Status returns the daemon's status line (nornsctl_status).
+func (c *Client) Status() (string, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpStatus, PID: c.pid})
+	if err != nil {
+		return "", err
+	}
+	if resp.Status != proto.Success {
+		return "", apiError(resp)
+	}
+	return resp.DaemonInfo, nil
+}
+
+// Shutdown asks the daemon to exit.
+func (c *Client) Shutdown() error {
+	return c.simple(&proto.Request{Op: proto.OpShutdown})
+}
+
+// TransferMetrics is the daemon's observed-performance report.
+type TransferMetrics struct {
+	BandwidthBps float64
+	Samples      uint64
+	Pending      uint64
+	Running      uint64
+	Finished     uint64
+	Failed       uint64
+	MovedBytes   int64
+}
+
+// TransferStats fetches observed transfer performance from the daemon,
+// letting the scheduler refine staging estimates over time.
+func (c *Client) TransferStats() (TransferMetrics, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpTransferStats, PID: c.pid})
+	if err != nil {
+		return TransferMetrics{}, err
+	}
+	if resp.Status != proto.Success || resp.Metrics == nil {
+		return TransferMetrics{}, apiError(resp)
+	}
+	m := resp.Metrics
+	return TransferMetrics{
+		BandwidthBps: m.BandwidthBps,
+		Samples:      m.Samples,
+		Pending:      m.Pending,
+		Running:      m.Running,
+		Finished:     m.Finished,
+		Failed:       m.Failed,
+		MovedBytes:   m.MovedBytes,
+	}, nil
+}
+
+// RegisterDataspace mirrors nornsctl_register_dataspace.
+func (c *Client) RegisterDataspace(def DataspaceDef) error {
+	return c.simple(&proto.Request{Op: proto.OpRegisterDataspace, Dataspace: specOf(def)})
+}
+
+// UpdateDataspace mirrors nornsctl_update_dataspace.
+func (c *Client) UpdateDataspace(def DataspaceDef) error {
+	return c.simple(&proto.Request{Op: proto.OpUpdateDataspace, Dataspace: specOf(def)})
+}
+
+// UnregisterDataspace mirrors nornsctl_unregister_dataspace.
+func (c *Client) UnregisterDataspace(id string) error {
+	return c.simple(&proto.Request{Op: proto.OpUnregisterDataspace, Dataspace: &proto.DataspaceSpec{ID: id}})
+}
+
+// TrackDataspace toggles release-time emptiness tracking.
+func (c *Client) TrackDataspace(id string, track bool) error {
+	return c.simple(&proto.Request{Op: proto.OpTrackDataspace, Dataspace: &proto.DataspaceSpec{ID: id}, Track: track})
+}
+
+// TrackedNonEmpty returns tracked dataspaces that still hold data — the
+// check Slurm runs before releasing a node.
+func (c *Client) TrackedNonEmpty() ([]string, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpTrackedNonEmpty, PID: c.pid})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != proto.Success {
+		return nil, apiError(resp)
+	}
+	return resp.NonEmpty, nil
+}
+
+func specOf(def DataspaceDef) *proto.DataspaceSpec {
+	return &proto.DataspaceSpec{
+		ID:       def.ID,
+		Backend:  def.Backend,
+		Mount:    def.Mount,
+		Capacity: def.Capacity,
+		Track:    def.Track,
+	}
+}
+
+func jobSpecOf(def JobDef) *proto.JobSpec {
+	js := &proto.JobSpec{ID: def.ID, Hosts: def.Hosts}
+	for _, l := range def.Limits {
+		js.Limits = append(js.Limits, proto.JobLimitSpec{Dataspace: l.Dataspace, Quota: l.Quota})
+	}
+	return js
+}
+
+// RegisterJob mirrors nornsctl_register_job.
+func (c *Client) RegisterJob(def JobDef) error {
+	return c.simple(&proto.Request{Op: proto.OpRegisterJob, Job: jobSpecOf(def)})
+}
+
+// UpdateJob mirrors nornsctl_update_job.
+func (c *Client) UpdateJob(def JobDef) error {
+	return c.simple(&proto.Request{Op: proto.OpUpdateJob, Job: jobSpecOf(def)})
+}
+
+// UnregisterJob mirrors nornsctl_unregister_job.
+func (c *Client) UnregisterJob(id uint64) error {
+	return c.simple(&proto.Request{Op: proto.OpUnregisterJob, Job: &proto.JobSpec{ID: id}})
+}
+
+// AddProcess mirrors nornsctl_add_process.
+func (c *Client) AddProcess(jobID uint64, p ProcDef) error {
+	return c.simple(&proto.Request{
+		Op:   proto.OpAddProcess,
+		Job:  &proto.JobSpec{ID: jobID},
+		Proc: &proto.ProcSpec{PID: p.PID, UID: p.UID, GID: p.GID},
+	})
+}
+
+// RemoveProcess mirrors nornsctl_remove_process.
+func (c *Client) RemoveProcess(jobID uint64, p ProcDef) error {
+	return c.simple(&proto.Request{
+		Op:   proto.OpRemoveProcess,
+		Job:  &proto.JobSpec{ID: jobID},
+		Proc: &proto.ProcSpec{PID: p.PID, UID: p.UID, GID: p.GID},
+	})
+}
+
+// Submit queues an administrative I/O task (staging), returning its ID.
+func (c *Client) Submit(kind task.Kind, input, output task.Resource, jobID uint64, priority int) (uint64, error) {
+	spec := &proto.TaskSpec{
+		Kind:     uint32(kind),
+		Input:    proto.FromResource(input),
+		Output:   proto.FromResource(output),
+		Priority: int64(priority),
+		JobID:    jobID,
+	}
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != proto.Success {
+		return 0, apiError(resp)
+	}
+	return resp.TaskID, nil
+}
+
+// ErrTimeout is returned by Wait when the timeout elapses first.
+var ErrTimeout = errors.New("nornsctl: wait timed out")
+
+// Wait blocks until the task terminates (timeout <= 0 waits forever)
+// and returns its stats.
+func (c *Client) Wait(taskID uint64, timeout time.Duration) (Stats, error) {
+	req := &proto.Request{Op: proto.OpWait, PID: c.pid, TaskID: taskID, TimeoutMS: timeout.Milliseconds()}
+	resp, err := c.conn.Call(req)
+	if err != nil {
+		return Stats{}, err
+	}
+	switch resp.Status {
+	case proto.Success:
+	case proto.ETimeout:
+		return Stats{}, ErrTimeout
+	default:
+		return Stats{}, apiError(resp)
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("nornsctl: response without stats")
+	}
+	return Stats{
+		Status:     task.Status(resp.Stats.Status),
+		Err:        resp.Stats.Err,
+		TotalBytes: resp.Stats.TotalBytes,
+		MovedBytes: resp.Stats.MovedBytes,
+	}, nil
+}
+
+// TaskStatus fetches a task's stats without blocking.
+func (c *Client) TaskStatus(taskID uint64) (Stats, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpTaskStatus, PID: c.pid, TaskID: taskID})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, apiError(resp)
+	}
+	return Stats{
+		Status:     task.Status(resp.Stats.Status),
+		Err:        resp.Stats.Err,
+		TotalBytes: resp.Stats.TotalBytes,
+		MovedBytes: resp.Stats.MovedBytes,
+	}, nil
+}

@@ -1,0 +1,217 @@
+package dataspace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Controller errors.
+var (
+	ErrJobExists    = errors.New("dataspace: job already registered")
+	ErrJobNotFound  = errors.New("dataspace: job not registered")
+	ErrProcExists   = errors.New("dataspace: process already registered")
+	ErrProcNotFound = errors.New("dataspace: process not registered")
+	ErrDenied       = errors.New("dataspace: access denied")
+)
+
+// JobLimits bounds a job's use of a dataspace (nornsctl_job_init limits).
+type JobLimits struct {
+	Dataspace string
+	// Quota is the job's byte allowance in the dataspace (0 = unlimited).
+	Quota int64
+}
+
+// Job is a batch job registered with the controller.
+type Job struct {
+	ID uint64
+	// Hosts are the nodes allocated to the job.
+	Hosts []string
+	// Limits lists the dataspaces the job may use, with quotas.
+	Limits []JobLimits
+}
+
+// allowed reports whether the job may use the given dataspace.
+func (j *Job) allowed(dataspaceID string) bool {
+	for _, l := range j.Limits {
+		if l.Dataspace == dataspaceID {
+			return true
+		}
+	}
+	return false
+}
+
+// Proc identifies a registered client process (nornsctl_proc_init).
+type Proc struct {
+	PID uint64
+	UID uint64
+	GID uint64
+}
+
+// Controller is the urd daemon's job & dataspace controller: it tracks
+// registered jobs, the processes belonging to them, and validates task
+// submissions against both (Section IV-B). It is safe for concurrent
+// use.
+type Controller struct {
+	Spaces *Registry
+
+	mu    sync.RWMutex
+	jobs  map[uint64]*Job
+	procs map[uint64]uint64 // PID -> JobID
+}
+
+// NewController returns a controller over a fresh dataspace registry.
+func NewController() *Controller {
+	return &Controller{
+		Spaces: NewRegistry(),
+		jobs:   make(map[uint64]*Job),
+		procs:  make(map[uint64]uint64),
+	}
+}
+
+// RegisterJob adds a job (nornsctl_register_job).
+func (c *Controller) RegisterJob(job Job) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[job.ID]; ok {
+		return fmt.Errorf("%w: %d", ErrJobExists, job.ID)
+	}
+	j := job
+	c.jobs[job.ID] = &j
+	return nil
+}
+
+// UpdateJob replaces a job's hosts and limits (nornsctl_update_job).
+func (c *Controller) UpdateJob(job Job) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[job.ID]; !ok {
+		return fmt.Errorf("%w: %d", ErrJobNotFound, job.ID)
+	}
+	j := job
+	c.jobs[job.ID] = &j
+	return nil
+}
+
+// UnregisterJob removes a job and its processes
+// (nornsctl_unregister_job).
+func (c *Controller) UnregisterJob(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrJobNotFound, id)
+	}
+	delete(c.jobs, id)
+	for pid, jid := range c.procs {
+		if jid == id {
+			delete(c.procs, pid)
+		}
+	}
+	return nil
+}
+
+// Job returns a copy of the registered job.
+func (c *Controller) Job(id uint64) (Job, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %d", ErrJobNotFound, id)
+	}
+	return *j, nil
+}
+
+// Jobs returns the registered job IDs in sorted order.
+func (c *Controller) Jobs() []uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]uint64, 0, len(c.jobs))
+	for id := range c.jobs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddProcess attaches a process to a job (nornsctl_add_process).
+func (c *Controller) AddProcess(jobID uint64, p Proc) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[jobID]; !ok {
+		return fmt.Errorf("%w: %d", ErrJobNotFound, jobID)
+	}
+	if _, ok := c.procs[p.PID]; ok {
+		return fmt.Errorf("%w: pid %d", ErrProcExists, p.PID)
+	}
+	c.procs[p.PID] = jobID
+	return nil
+}
+
+// RemoveProcess detaches a process (nornsctl_remove_process).
+func (c *Controller) RemoveProcess(jobID uint64, p Proc) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	jid, ok := c.procs[p.PID]
+	if !ok || jid != jobID {
+		return fmt.Errorf("%w: pid %d", ErrProcNotFound, p.PID)
+	}
+	delete(c.procs, p.PID)
+	return nil
+}
+
+// JobOf returns the job a process is registered under.
+func (c *Controller) JobOf(pid uint64) (uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	jid, ok := c.procs[pid]
+	if !ok {
+		return 0, fmt.Errorf("%w: pid %d", ErrProcNotFound, pid)
+	}
+	return jid, nil
+}
+
+// Authorize validates that the process may run a task touching the given
+// dataspaces: the process must belong to a registered job, and every
+// dataspace must be registered and listed in the job's limits. It
+// returns the job ID on success. This implements the three rejection
+// rules of Section IV-C.
+func (c *Controller) Authorize(pid uint64, dataspaceIDs ...string) (uint64, error) {
+	c.mu.RLock()
+	jid, ok := c.procs[pid]
+	var job *Job
+	if ok {
+		job = c.jobs[jid]
+	}
+	c.mu.RUnlock()
+	if job == nil {
+		return 0, fmt.Errorf("%w: process %d is not registered with any job", ErrDenied, pid)
+	}
+	for _, id := range dataspaceIDs {
+		if id == "" {
+			continue
+		}
+		if _, err := c.Spaces.Get(id); err != nil {
+			return 0, fmt.Errorf("%w: dataspace %s: %v", ErrDenied, id, err)
+		}
+		if !job.allowed(id) {
+			return 0, fmt.Errorf("%w: job %d may not access dataspace %s", ErrDenied, jid, id)
+		}
+	}
+	return jid, nil
+}
+
+// AuthorizeAdmin validates an administrative request touching the given
+// dataspaces: they must merely exist. The transport layer has already
+// verified the caller reached the control socket.
+func (c *Controller) AuthorizeAdmin(dataspaceIDs ...string) error {
+	for _, id := range dataspaceIDs {
+		if id == "" {
+			continue
+		}
+		if _, err := c.Spaces.Get(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

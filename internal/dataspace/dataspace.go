@@ -1,0 +1,220 @@
+// Package dataspace implements NORNS dataspaces — the named abstraction
+// that hides storage-tier details behind an ID like "lustre://" or
+// "nvme0://" — and the job & dataspace controller the urd daemon uses to
+// validate that a calling process may touch the dataspaces a task names.
+package dataspace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/storage"
+)
+
+// BackendKind classifies a dataspace's storage tier.
+type BackendKind uint8
+
+// Backend kinds, covering the tiers in the paper's architecture figure.
+const (
+	PosixDir    BackendKind = iota + 1 // node-local directory (SSD/NVMe mount)
+	NVM                                // node-local NVM (DCPMM-style, DAX mount)
+	ParallelFS                         // shared parallel file system (Lustre/GPFS)
+	BurstBuffer                        // shared burst-buffer appliance
+	MemoryTier                         // RAM-backed scratch
+)
+
+// String returns the lowercase backend name.
+func (k BackendKind) String() string {
+	switch k {
+	case PosixDir:
+		return "posix-dir"
+	case NVM:
+		return "nvm"
+	case ParallelFS:
+		return "parallel-fs"
+	case BurstBuffer:
+		return "burst-buffer"
+	case MemoryTier:
+		return "memory"
+	default:
+		return fmt.Sprintf("backend(%d)", uint8(k))
+	}
+}
+
+// Shared reports whether the tier is shared across nodes (so the
+// scheduler must treat its bandwidth as a cluster-wide resource).
+func (k BackendKind) Shared() bool {
+	return k == ParallelFS || k == BurstBuffer
+}
+
+// Backend couples a tier kind with the FS that stores its data and an
+// optional capacity limit in bytes.
+type Backend struct {
+	Kind     BackendKind
+	Mount    string // mount point or descriptive location
+	FS       storage.FS
+	Capacity int64 // 0 = unlimited
+}
+
+// Dataspace is one registered data namespace.
+type Dataspace struct {
+	ID      string // e.g. "nvme0://"
+	Backend Backend
+	// Track requests an emptiness check when the owning node is released
+	// (Section IV-A: Slurm can ask NORNS to "track" dataspaces).
+	Track bool
+}
+
+// Usage returns the bytes currently stored in the dataspace.
+func (d *Dataspace) Usage() (int64, error) { return d.Backend.FS.Usage() }
+
+// Empty reports whether the dataspace holds no files.
+func (d *Dataspace) Empty() (bool, error) {
+	files, err := d.Backend.FS.List("")
+	if err != nil {
+		return false, err
+	}
+	return len(files) == 0, nil
+}
+
+// Registry errors.
+var (
+	ErrExists     = errors.New("dataspace: already registered")
+	ErrNotFound   = errors.New("dataspace: not registered")
+	ErrBadID      = errors.New("dataspace: malformed ID")
+	ErrNilFS      = errors.New("dataspace: backend FS is nil")
+	ErrNotTracked = errors.New("dataspace: not tracked")
+)
+
+// ValidateID checks that an ID has the "name://" shape the paper uses.
+func ValidateID(id string) error {
+	if !strings.HasSuffix(id, "://") || len(id) <= len("://") {
+		return fmt.Errorf("%w: %q (want e.g. \"nvme0://\")", ErrBadID, id)
+	}
+	name := strings.TrimSuffix(id, "://")
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+			return fmt.Errorf("%w: %q contains %q", ErrBadID, id, r)
+		}
+	}
+	return nil
+}
+
+// Registry is the set of dataspaces registered on one node. It is safe
+// for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	spaces map[string]*Dataspace
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{spaces: make(map[string]*Dataspace)}
+}
+
+// Register adds a dataspace (nornsctl_register_dataspace).
+func (r *Registry) Register(id string, b Backend) (*Dataspace, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	if b.FS == nil {
+		return nil, ErrNilFS
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.spaces[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	ds := &Dataspace{ID: id, Backend: b}
+	r.spaces[id] = ds
+	return ds, nil
+}
+
+// Update replaces a dataspace's backend (nornsctl_update_dataspace).
+func (r *Registry) Update(id string, b Backend) error {
+	if b.FS == nil {
+		return ErrNilFS
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds, ok := r.spaces[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	ds.Backend = b
+	return nil
+}
+
+// Unregister removes a dataspace (nornsctl_unregister_dataspace).
+func (r *Registry) Unregister(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.spaces[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(r.spaces, id)
+	return nil
+}
+
+// Get returns the dataspace with the given ID.
+func (r *Registry) Get(id string) (*Dataspace, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.spaces[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return ds, nil
+}
+
+// SetTrack marks or clears dataspace tracking.
+func (r *Registry) SetTrack(id string, track bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds, ok := r.spaces[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	ds.Track = track
+	return nil
+}
+
+// List returns the registered dataspace IDs in sorted order.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.spaces))
+	for id := range r.spaces {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NonEmptyTracked returns the IDs of tracked dataspaces that still hold
+// data — the check Slurm performs before releasing a node.
+func (r *Registry) NonEmptyTracked() ([]string, error) {
+	r.mu.RLock()
+	tracked := make([]*Dataspace, 0, len(r.spaces))
+	for _, ds := range r.spaces {
+		if ds.Track {
+			tracked = append(tracked, ds)
+		}
+	}
+	r.mu.RUnlock()
+	var out []string
+	for _, ds := range tracked {
+		empty, err := ds.Empty()
+		if err != nil {
+			return nil, err
+		}
+		if !empty {
+			out = append(out, ds.ID)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,294 @@
+package dataspace
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/ngioproject/norns-go/internal/storage"
+)
+
+func memBackend() Backend {
+	return Backend{Kind: NVM, Mount: "/mnt/pmem0", FS: storage.NewMemFS()}
+}
+
+func TestValidateID(t *testing.T) {
+	for _, good := range []string{"lustre://", "nvme0://", "pmdk0://", "tmp-1://", "A_b3://"} {
+		if err := ValidateID(good); err != nil {
+			t.Errorf("ValidateID(%q) = %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "://", "lustre", "lustre:/", "lu stre://", "x/y://"} {
+		if err := ValidateID(bad); !errors.Is(err, ErrBadID) {
+			t.Errorf("ValidateID(%q) = %v, want ErrBadID", bad, err)
+		}
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("nvme0://", memBackend()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("nvme0://", memBackend()); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Register = %v", err)
+	}
+	if _, err := r.Register("bad", memBackend()); !errors.Is(err, ErrBadID) {
+		t.Fatalf("bad ID Register = %v", err)
+	}
+	if _, err := r.Register("x://", Backend{Kind: NVM}); !errors.Is(err, ErrNilFS) {
+		t.Fatalf("nil FS Register = %v", err)
+	}
+	ds, err := r.Get("nvme0://")
+	if err != nil || ds.ID != "nvme0://" {
+		t.Fatalf("Get = %v, %v", ds, err)
+	}
+	nb := memBackend()
+	nb.Mount = "/mnt/pmem1"
+	if err := r.Update("nvme0://", nb); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ = r.Get("nvme0://")
+	if ds.Backend.Mount != "/mnt/pmem1" {
+		t.Fatalf("Update did not apply: %+v", ds.Backend)
+	}
+	if err := r.Update("missing://", nb); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Update missing = %v", err)
+	}
+	if err := r.Unregister("nvme0://"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unregister("nvme0://"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Unregister = %v", err)
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := NewRegistry()
+	for _, id := range []string{"z://", "a://", "m://"} {
+		if _, err := r.Register(id, memBackend()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.List()
+	want := []string{"a://", "m://", "z://"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestTrackedDataspaces(t *testing.T) {
+	r := NewRegistry()
+	fs := storage.NewMemFS()
+	if _, err := r.Register("nvme0://", Backend{Kind: NVM, FS: fs}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("nvme1://", memBackend()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetTrack("nvme0://", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetTrack("nvme1://", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetTrack("missing://", true); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("SetTrack missing = %v", err)
+	}
+	// Both tracked, both empty.
+	ids, err := r.NonEmptyTracked()
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("NonEmptyTracked = %v, %v", ids, err)
+	}
+	// Leave data behind in one.
+	if err := fs.WriteFile("leftover.dat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ids, err = r.NonEmptyTracked()
+	if err != nil || len(ids) != 1 || ids[0] != "nvme0://" {
+		t.Fatalf("NonEmptyTracked = %v, %v", ids, err)
+	}
+}
+
+func TestBackendKindShared(t *testing.T) {
+	if !ParallelFS.Shared() || !BurstBuffer.Shared() {
+		t.Error("shared tiers misreported")
+	}
+	if PosixDir.Shared() || NVM.Shared() || MemoryTier.Shared() {
+		t.Error("local tiers misreported as shared")
+	}
+}
+
+func TestControllerJobLifecycle(t *testing.T) {
+	c := NewController()
+	job := Job{ID: 7, Hosts: []string{"n1", "n2"}, Limits: []JobLimits{{Dataspace: "nvme0://"}}}
+	if err := c.RegisterJob(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterJob(job); !errors.Is(err, ErrJobExists) {
+		t.Fatalf("duplicate RegisterJob = %v", err)
+	}
+	got, err := c.Job(7)
+	if err != nil || len(got.Hosts) != 2 {
+		t.Fatalf("Job = %+v, %v", got, err)
+	}
+	job.Hosts = []string{"n1"}
+	if err := c.UpdateJob(job); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Job(7)
+	if len(got.Hosts) != 1 {
+		t.Fatalf("UpdateJob did not apply: %+v", got)
+	}
+	if err := c.UpdateJob(Job{ID: 99}); !errors.Is(err, ErrJobNotFound) {
+		t.Fatalf("UpdateJob missing = %v", err)
+	}
+	if err := c.UnregisterJob(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnregisterJob(7); !errors.Is(err, ErrJobNotFound) {
+		t.Fatalf("double UnregisterJob = %v", err)
+	}
+}
+
+func TestControllerProcesses(t *testing.T) {
+	c := NewController()
+	if err := c.RegisterJob(Job{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := Proc{PID: 100, UID: 1000, GID: 1000}
+	if err := c.AddProcess(99, p); !errors.Is(err, ErrJobNotFound) {
+		t.Fatalf("AddProcess to missing job = %v", err)
+	}
+	if err := c.AddProcess(1, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddProcess(1, p); !errors.Is(err, ErrProcExists) {
+		t.Fatalf("duplicate AddProcess = %v", err)
+	}
+	jid, err := c.JobOf(100)
+	if err != nil || jid != 1 {
+		t.Fatalf("JobOf = %d, %v", jid, err)
+	}
+	if err := c.RemoveProcess(1, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.JobOf(100); !errors.Is(err, ErrProcNotFound) {
+		t.Fatalf("JobOf after remove = %v", err)
+	}
+}
+
+func TestUnregisterJobRemovesProcs(t *testing.T) {
+	c := NewController()
+	if err := c.RegisterJob(Job{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddProcess(1, Proc{PID: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnregisterJob(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.JobOf(100); !errors.Is(err, ErrProcNotFound) {
+		t.Fatalf("process survived job unregistration: %v", err)
+	}
+}
+
+func TestAuthorize(t *testing.T) {
+	c := NewController()
+	if _, err := c.Spaces.Register("nvme0://", memBackend()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Spaces.Register("lustre://", memBackend()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterJob(Job{ID: 1, Limits: []JobLimits{{Dataspace: "nvme0://"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddProcess(1, Proc{PID: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unregistered process: rejected (rule 2 of Section IV-C).
+	if _, err := c.Authorize(555, "nvme0://"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("unregistered process authorized: %v", err)
+	}
+	// Registered process, allowed dataspace.
+	jid, err := c.Authorize(100, "nvme0://")
+	if err != nil || jid != 1 {
+		t.Fatalf("Authorize = %d, %v", jid, err)
+	}
+	// Registered process, dataspace outside job limits (rule 3).
+	if _, err := c.Authorize(100, "lustre://"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("out-of-limits dataspace authorized: %v", err)
+	}
+	// Nonexistent dataspace.
+	if _, err := c.Authorize(100, "ghost://"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("ghost dataspace authorized: %v", err)
+	}
+	// Empty dataspace IDs (memory resources) are skipped.
+	if _, err := c.Authorize(100, "", "nvme0://"); err != nil {
+		t.Fatalf("empty ID not skipped: %v", err)
+	}
+}
+
+func TestAuthorizeAdmin(t *testing.T) {
+	c := NewController()
+	if _, err := c.Spaces.Register("nvme0://", memBackend()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AuthorizeAdmin("nvme0://", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AuthorizeAdmin("missing://"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("AuthorizeAdmin missing = %v", err)
+	}
+}
+
+// TestRegistryPropertyRegisterGet checks that any validly-shaped ID that
+// registers successfully can be fetched and listed exactly once.
+func TestRegistryPropertyRegisterGet(t *testing.T) {
+	f := func(n uint8) bool {
+		r := NewRegistry()
+		count := int(n%16) + 1
+		for i := 0; i < count; i++ {
+			id := fmt.Sprintf("tier%d://", i)
+			if _, err := r.Register(id, memBackend()); err != nil {
+				return false
+			}
+		}
+		if len(r.List()) != count {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			if _, err := r.Get(fmt.Sprintf("tier%d://", i)); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataspaceUsage(t *testing.T) {
+	r := NewRegistry()
+	fs := storage.NewMemFS()
+	ds, err := r.Register("nvme0://", Backend{Kind: NVM, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	u, err := ds.Usage()
+	if err != nil || u != 100 {
+		t.Fatalf("Usage = %d, %v", u, err)
+	}
+	empty, err := ds.Empty()
+	if err != nil || empty {
+		t.Fatalf("Empty = %v, %v", empty, err)
+	}
+}

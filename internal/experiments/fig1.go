@@ -1,0 +1,169 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section V), each regenerating the corresponding
+// rows/series. Absolute numbers depend on the calibrated substrate; the
+// shapes — who wins, by what factor, where saturation falls — are the
+// reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simnet"
+)
+
+// NodeCounts is the 1-32 sweep used across the paper's figures.
+var NodeCounts = []int{1, 2, 4, 8, 16, 32}
+
+const (
+	gib = float64(1 << 30)
+	mib = float64(1 << 20)
+	gb  = 1e9
+	mb  = 1e6
+)
+
+// fig1Run runs one PFS write/read experiment: nodes inject
+// perNodeBytes each (capped at nodeCap B/s per node) into a file system
+// of the given aggregate capacity, while heavy-tailed background bursts
+// compete. The noise *level* itself is drawn per run — the paper notes
+// the only difference between repetitions of the same configuration is
+// the other traffic on the machine at that moment. Returns the achieved
+// aggregate bandwidth in bytes/sec.
+func fig1Run(seed int64, nodes int, perNodeBytes, nodeCap, fsCapacity float64, maxLoad float64) float64 {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	res := simnet.NewCappedResource(eng, fsCapacity)
+
+	// This repetition's background level: anywhere from a quiet machine
+	// to near saturation.
+	noiseLoad := 0.02 + (maxLoad-0.02)*rng.Float64()
+	// Background interference: bursts arriving forever; offered load is
+	// noiseLoad (fraction of fsCapacity).
+	meanBurst := fsCapacity * 0.5 // half a second of capacity per burst
+	interarrival := meanBurst / (noiseLoad * fsCapacity)
+	// Each burst is a competing application running many ranks, so it
+	// outweighs one of our writer streams in the fair-share contention.
+	const burstWeight = 24
+	// The machine is already busy when the benchmark starts: seed a
+	// backlog proportional to the load level.
+	for i := 0; i < 1+int(noiseLoad*10); i++ {
+		res.StartWeighted(rng.Pareto(meanBurst/3, 1.5), 0, burstWeight, nil)
+	}
+	stopNoise := false
+	var scheduleNoise func()
+	scheduleNoise = func() {
+		if stopNoise {
+			return
+		}
+		eng.After(rng.Exp(1/interarrival), func() {
+			if stopNoise {
+				return
+			}
+			bytes := rng.Pareto(meanBurst/3, 1.5)
+			if bytes > fsCapacity*30 {
+				bytes = fsCapacity * 30 // bound pathological bursts
+			}
+			res.StartWeighted(bytes, 0, burstWeight, nil)
+			scheduleNoise()
+		})
+	}
+	scheduleNoise()
+
+	var finished int
+	var makespan float64
+	for i := 0; i < nodes; i++ {
+		res.Start(perNodeBytes, nodeCap, func() {
+			finished++
+			if finished == nodes {
+				makespan = eng.Now()
+				stopNoise = true
+			}
+		})
+	}
+	eng.RunUntil(1e7)
+	if makespan == 0 {
+		return 0
+	}
+	return perNodeBytes * float64(nodes) / makespan
+}
+
+// Fig1a reproduces the ARCHER experiment: repeated collective-write
+// benchmarks (100 MB per writer, 24 writers/node) under production
+// interference, with default (4 OSTs) vs full (48 OSTs) Lustre striping.
+// Reported: min and max achieved bandwidth over the repetitions.
+func Fig1a(reps int) *metrics.Table {
+	if reps <= 0 {
+		reps = 15
+	}
+	t := metrics.NewTable(
+		"Figure 1a — ARCHER: cross-application interference, collective MPI-IO writes",
+		"Nodes", "Striping", "Min MB/s", "Max MB/s")
+	const (
+		fsCapacity   = 20 * gb  // theoretical filesystem write rate
+		nodeCap      = 1.4 * gb // injection limit per compute node
+		perNode      = 24 * 100 * mb
+		totalStripes = 48.0
+	)
+	for _, stripe := range []struct {
+		name string
+		osts float64
+	}{{"default(4)", 4}, {"full(48)", 48}} {
+		for _, n := range NodeCounts {
+			sample := metrics.NewSample(reps)
+			for r := 0; r < reps; r++ {
+				seed := int64(r)*1000 + int64(n)*7 + int64(stripe.osts)
+				// Striping over k of S OSTs limits the reachable share
+				// of the file system.
+				cap := fsCapacity * stripe.osts / totalStripes
+				bw := fig1Run(seed, n, perNode, nodeCap, cap, 0.85)
+				sample.Add(bw / mb)
+			}
+			t.AddRow(n, stripe.name, sample.Min(), sample.Max())
+		}
+	}
+	return t
+}
+
+// Fig1b reproduces the MareNostrum IV experiment: IOR file-per-process
+// read/write (24 writers/node) repeated across a week of production
+// load; reported min/median/max bandwidth.
+func Fig1b(reps int) *metrics.Table {
+	if reps <= 0 {
+		reps = 25
+	}
+	t := metrics.NewTable(
+		"Figure 1b — MareNostrum IV: GPFS I/O variability, file-per-process IOR",
+		"Nodes", "Op", "Min MB/s", "Median MB/s", "Max MB/s")
+	const (
+		readCap  = 12 * gb
+		writeCap = 10 * gb
+		nodeCap  = 1.2 * gb
+		perNode  = 24 * 200 * mb
+	)
+	for _, op := range []struct {
+		name string
+		cap  float64
+		load float64
+	}{{"read", readCap, 0.95}, {"write", writeCap, 0.95}} {
+		for _, n := range NodeCounts {
+			sample := metrics.NewSample(reps)
+			for r := 0; r < reps; r++ {
+				seed := int64(r)*337 + int64(n)*11
+				if op.name == "write" {
+					seed += 50000
+				}
+				bw := fig1Run(seed, n, perNode, nodeCap, op.cap, op.load)
+				sample.Add(bw / mb)
+			}
+			t.AddRow(n, op.name, sample.Min(), sample.Median(), sample.Max())
+		}
+	}
+	return t
+}
+
+// Fig1Check verifies the reproduction's shape properties; the benchmark
+// harness prints the outcome alongside the tables.
+func Fig1Check(t *metrics.Table) string {
+	return fmt.Sprintf("%d rows; shape checks live in experiments tests", len(t.Rows))
+}

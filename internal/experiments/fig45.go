@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/norns"
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/mercury"
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// ClientCounts is the concurrency sweep of figures 4-7.
+var ClientCounts = []int{1, 2, 4, 8, 16, 32}
+
+// Fig4 measures the real urd daemon serving local requests over a real
+// AF_UNIX socket: up to 32 concurrent client processes each submit
+// reqsPerClient consecutive NoOp task submissions; reported are
+// aggregate throughput (requests/sec) and mean request latency — the
+// paper's figure-4 axes (≈700k req/s and ≈50 µs worst case there).
+func Fig4(socketDir string, reqsPerClient int) (*metrics.Table, error) {
+	if reqsPerClient <= 0 {
+		reqsPerClient = 5000
+	}
+	t := metrics.NewTable(
+		"Figure 4 — NORNS throughput and latency serving local requests",
+		"Procs", "Throughput req/s", "Mean latency µs")
+	for _, clients := range ClientCounts {
+		d, err := urd.New(urd.Config{
+			NodeName:      "bench",
+			UserSocket:    fmt.Sprintf("%s/fig4-%d.sock", socketDir, clients),
+			ControlSocket: fmt.Sprintf("%s/fig4-%d-ctl.sock", socketDir, clients),
+			Workers:       4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Register a job and this process so the submissions authorize,
+		// exactly as slurmd would have before the job's tasks started.
+		ctl, err := nornsctl.Dial(fmt.Sprintf("%s/fig4-%d-ctl.sock", socketDir, clients))
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		if err := ctl.RegisterJob(nornsctl.JobDef{ID: 1, Hosts: []string{"bench"}}); err != nil {
+			ctl.Close()
+			d.Close()
+			return nil, err
+		}
+		if err := ctl.AddProcess(1, nornsctl.ProcDef{PID: uint64(os.Getpid())}); err != nil {
+			ctl.Close()
+			d.Close()
+			return nil, err
+		}
+		ctl.Close()
+		conns := make([]*norns.Client, clients)
+		for i := range conns {
+			c, err := norns.Dial(fmt.Sprintf("%s/fig4-%d.sock", socketDir, clients))
+			if err != nil {
+				d.Close()
+				return nil, err
+			}
+			conns[i] = c
+		}
+		lat := metrics.NewSample(clients * reqsPerClient)
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for _, c := range conns {
+			wg.Add(1)
+			go func(c *norns.Client) {
+				defer wg.Done()
+				for i := 0; i < reqsPerClient; i++ {
+					tk := norns.NewIOTask(norns.NoOp, norns.MemoryRegion(nil), norns.MemoryRegion(nil))
+					t0 := time.Now()
+					if err := c.Submit(&tk); err != nil {
+						errs <- err
+						return
+					}
+					lat.Add(float64(time.Since(t0).Microseconds()))
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		for _, c := range conns {
+			c.Close()
+		}
+		d.Close()
+		for err := range errs {
+			return nil, err
+		}
+		rps := float64(clients*reqsPerClient) / elapsed.Seconds()
+		t.AddRow(clients, rps, lat.Mean())
+	}
+	return t, nil
+}
+
+// Fig5 measures remote request service over the real ofi+tcp fabric:
+// up to 32 remote clients forward RPCs to one mercury class (the urd
+// network manager's transport), sequentially and with 16 RPCs in
+// flight. Reported: throughput and mean latency per configuration
+// (paper: ≈45k req/s, ≤900 µs worst case).
+func Fig5(reqsPerClient int) (*metrics.Table, error) {
+	if reqsPerClient <= 0 {
+		reqsPerClient = 2000
+	}
+	t := metrics.NewTable(
+		"Figure 5 — NORNS throughput and latency serving remote requests (ofi+tcp)",
+		"Clients", "InFlight", "Throughput req/s", "Mean latency µs")
+	for _, clients := range ClientCounts {
+		for _, inflight := range []int{1, 16} {
+			srv, err := mercury.NewClass("ofi+tcp")
+			if err != nil {
+				return nil, err
+			}
+			srv.Register("norns.remote-request", func(p []byte) ([]byte, error) { return nil, nil })
+			addr, err := srv.Listen("")
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			lat := metrics.NewSample(clients * reqsPerClient)
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			start := time.Now()
+			classes := make([]*mercury.Class, clients)
+			for i := 0; i < clients; i++ {
+				cls, err := mercury.NewClass("ofi+tcp")
+				if err != nil {
+					srv.Close()
+					return nil, err
+				}
+				classes[i] = cls
+				wg.Add(1)
+				go func(cls *mercury.Class) {
+					defer wg.Done()
+					ep, err := cls.Lookup(addr)
+					if err != nil {
+						errs <- err
+						return
+					}
+					sem := make(chan struct{}, inflight)
+					var iwg sync.WaitGroup
+					for r := 0; r < reqsPerClient; r++ {
+						sem <- struct{}{}
+						iwg.Add(1)
+						go func() {
+							defer iwg.Done()
+							t0 := time.Now()
+							if _, err := ep.Forward("norns.remote-request", nil); err != nil {
+								select {
+								case errs <- err:
+								default:
+								}
+							}
+							lat.Add(float64(time.Since(t0).Microseconds()))
+							<-sem
+						}()
+					}
+					iwg.Wait()
+				}(cls)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			close(errs)
+			for err := range errs {
+				srv.Close()
+				return nil, err
+			}
+			for _, cls := range classes {
+				cls.Close()
+			}
+			srv.Close()
+			rps := float64(clients*reqsPerClient) / elapsed.Seconds()
+			t.AddRow(clients, inflight, rps, lat.Mean())
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simstore"
+)
+
+// fig8Config calibrates the NEXTGenIO storage comparison: a Lustre file
+// system (6 OSTs over a 56 Gbps InfiniBand link) against node-local
+// Intel DCPMM. IOR spawns 48 processes per node writing/reading
+// independent files with 512 KiB transfers.
+type fig8Config struct {
+	lustreReadBW  float64
+	lustreWriteBW float64
+	nvmReadBW     float64 // per node
+	nvmWriteBW    float64 // per node
+	perNodeBytes  float64
+	reps          int
+	noiseLoad     float64 // light (maintenance-window) interference
+}
+
+func defaultFig8Config() fig8Config {
+	return fig8Config{
+		lustreReadBW:  5.5 * gb,
+		lustreWriteBW: 4.5 * gb,
+		nvmReadBW:     3.0 * gb,
+		nvmWriteBW:    2.4 * gb,
+		perNodeBytes:  48 * 4.1 * gb, // >192 GiB per node to defeat the page cache
+		reps:          5,
+		noiseLoad:     0.10,
+	}
+}
+
+// fig8Lustre measures the median aggregate Lustre bandwidth for the
+// given node count under light background load.
+func fig8Lustre(cfg fig8Config, nodes int, write bool) float64 {
+	sample := metrics.NewSample(cfg.reps)
+	for r := 0; r < cfg.reps; r++ {
+		eng := sim.NewEngine()
+		pfs := simstore.NewPFS(eng, simstore.PFSConfig{
+			Name: "lustre", ReadBW: cfg.lustreReadBW, WriteBW: cfg.lustreWriteBW, Stripes: 6,
+		})
+		rng := sim.NewRNG(int64(r)*77 + int64(nodes))
+		cap := cfg.lustreWriteBW
+		if !write {
+			cap = cfg.lustreReadBW
+		}
+		noise := pfs.StartNoise(rng, simstore.NoiseConfig{
+			MeanInterarrival: 1,
+			MeanBytes:        cfg.noiseLoad * cap,
+			TailShape:        1.5,
+			WriteShare:       0.5,
+		})
+		remaining := nodes
+		var makespan float64
+		for i := 0; i < nodes; i++ {
+			done := func(float64) {
+				remaining--
+				if remaining == 0 {
+					makespan = eng.Now()
+					noise.Stop()
+				}
+			}
+			if write {
+				pfs.Write("n", cfg.perNodeBytes, done)
+			} else {
+				pfs.Read("n", cfg.perNodeBytes, done)
+			}
+		}
+		eng.RunUntil(1e7)
+		if makespan > 0 {
+			sample.Add(cfg.perNodeBytes * float64(nodes) / makespan)
+		}
+	}
+	return sample.Median()
+}
+
+// fig8NVM measures aggregate node-local DCPMM bandwidth: each node's
+// device is private, so this is deterministic.
+func fig8NVM(cfg fig8Config, nodes int, write bool) float64 {
+	eng := sim.NewEngine()
+	nvm := simstore.NewNodeLocal(eng, simstore.NodeLocalConfig{
+		Name: "dcpmm", ReadBW: cfg.nvmReadBW, WriteBW: cfg.nvmWriteBW,
+	})
+	remaining := nodes
+	var makespan float64
+	for i := 0; i < nodes; i++ {
+		node := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		done := func(float64) {
+			remaining--
+			if remaining == 0 {
+				makespan = eng.Now()
+			}
+		}
+		if write {
+			nvm.Write(node, cfg.perNodeBytes, done)
+		} else {
+			nvm.Read(node, cfg.perNodeBytes, done)
+		}
+	}
+	eng.Run()
+	return cfg.perNodeBytes * float64(nodes) / makespan
+}
+
+// Fig8 reproduces the Lustre-vs-node-local-DCPMM comparison: aggregate
+// read/write bandwidth for 1-32 nodes; the paper's shape is flat Lustre
+// medians vs linearly scaling NVM, an order of magnitude apart at high
+// node counts.
+func Fig8() *metrics.Table {
+	cfg := defaultFig8Config()
+	t := metrics.NewTable(
+		"Figure 8 — Lustre vs node-local Intel DCPMM on the NEXTGenIO prototype",
+		"Nodes", "Read Lustre MB/s (median)", "Read DCPMM MB/s", "Write Lustre MB/s (median)", "Write DCPMM MB/s")
+	nodeCounts := []int{1, 2, 4, 8, 16, 24, 32}
+	for _, n := range nodeCounts {
+		t.AddRow(n,
+			fig8Lustre(cfg, n, false)/mb,
+			fig8NVM(cfg, n, false)/mb,
+			fig8Lustre(cfg, n, true)/mb,
+			fig8NVM(cfg, n, true)/mb,
+		)
+	}
+	return t
+}

@@ -1,0 +1,395 @@
+package mercury
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+// DefaultBulkChunk is the frame size bulk transfers are split into.
+// 256 KiB keeps frames well under wire.MaxMessageSize while amortizing
+// framing cost.
+const DefaultBulkChunk = 256 << 10
+
+// RPCHandler serves one named RPC: it receives the request payload and
+// returns the response payload.
+type RPCHandler func(payload []byte) ([]byte, error)
+
+// BulkProvider is a memory region or file exposed for one-sided bulk
+// access.
+type BulkProvider interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the exposed region's length in bytes.
+	Size() int64
+}
+
+// MemRegion is a BulkProvider over a byte slice.
+type MemRegion struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// NewMemRegion returns a provider over buf (not copied).
+func NewMemRegion(buf []byte) *MemRegion { return &MemRegion{buf: buf} }
+
+// ReadAt implements io.ReaderAt.
+func (m *MemRegion) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if off < 0 || off > int64(len(m.buf)) {
+		return 0, fmt.Errorf("mercury: read offset %d out of range", off)
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt.
+func (m *MemRegion) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(m.buf)) {
+		return 0, fmt.Errorf("mercury: write [%d,%d) out of range", off, off+int64(len(p)))
+	}
+	return copy(m.buf[off:], p), nil
+}
+
+// Size implements BulkProvider.
+func (m *MemRegion) Size() int64 { return int64(len(m.buf)) }
+
+// Bytes returns the underlying buffer.
+func (m *MemRegion) Bytes() []byte { return m.buf }
+
+// BulkHandle names an exposed region so that a remote peer can pull from
+// or push to it. Handles are serializable and travel inside RPC
+// payloads, exactly like Mercury bulk descriptors.
+type BulkHandle struct {
+	Addr string // the exposing class's listen address
+	ID   uint64
+	Len  int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (h *BulkHandle) MarshalWire(e *wire.Encoder) {
+	e.String(1, h.Addr)
+	e.Uint64(2, h.ID)
+	e.Int64(3, h.Len)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (h *BulkHandle) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			h.Addr = d.String()
+		case 2:
+			h.ID = d.Uint64()
+		case 3:
+			h.Len = d.Int64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// Class is a mercury instance: it owns the NA plugin, the RPC registry,
+// the exposed bulk handles, and the listen address. One Class per urd
+// network manager.
+type Class struct {
+	plugin Plugin
+
+	mu       sync.RWMutex
+	handlers map[string]RPCHandler
+	bulk     map[uint64]BulkProvider
+	nextBulk uint64
+	addr     string
+	listener net.Listener
+	closed   bool
+
+	chunk int
+
+	connMu sync.Mutex
+	conns  map[string]*Endpoint
+
+	inMu    sync.Mutex
+	inbound map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+// NewClass returns a Class over the named NA plugin.
+func NewClass(pluginName string) (*Class, error) {
+	p, err := LookupPlugin(pluginName)
+	if err != nil {
+		return nil, err
+	}
+	return &Class{
+		plugin:   p,
+		handlers: make(map[string]RPCHandler),
+		bulk:     make(map[uint64]BulkProvider),
+		conns:    make(map[string]*Endpoint),
+		inbound:  make(map[net.Conn]struct{}),
+		chunk:    DefaultBulkChunk,
+	}, nil
+}
+
+// SetBulkChunk overrides the bulk chunk size (for the buffer-size
+// ablation benchmark).
+func (c *Class) SetBulkChunk(n int) {
+	if n > 0 && n <= wire.MaxMessageSize/2 {
+		c.chunk = n
+	}
+}
+
+// Register installs an RPC handler under name.
+func (c *Class) Register(name string, h RPCHandler) {
+	c.mu.Lock()
+	c.handlers[name] = h
+	c.mu.Unlock()
+}
+
+// Listen binds the class to an NA address and starts serving.
+// It returns the bound address to advertise to peers.
+func (c *Class) Listen(addr string) (string, error) {
+	ln, err := c.plugin.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.listener = ln
+	c.addr = ln.Addr().String()
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.inMu.Lock()
+			c.inbound[conn] = struct{}{}
+			c.inMu.Unlock()
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.serveConn(conn)
+				c.inMu.Lock()
+				delete(c.inbound, conn)
+				c.inMu.Unlock()
+			}()
+		}
+	}()
+	return c.addr, nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (c *Class) Addr() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.addr
+}
+
+// ExposeBulk registers provider and returns its handle.
+func (c *Class) ExposeBulk(p BulkProvider) BulkHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextBulk++
+	id := c.nextBulk
+	c.bulk[id] = p
+	return BulkHandle{Addr: c.addr, ID: id, Len: p.Size()}
+}
+
+// ReleaseBulk withdraws an exposed handle.
+func (c *Class) ReleaseBulk(h BulkHandle) {
+	c.mu.Lock()
+	delete(c.bulk, h.ID)
+	c.mu.Unlock()
+}
+
+func (c *Class) provider(id uint64) (BulkProvider, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.bulk[id]
+	if !ok {
+		return nil, fmt.Errorf("mercury: bulk handle %d not exposed", id)
+	}
+	return p, nil
+}
+
+// serveConn handles one inbound connection: RPC requests and bulk
+// pulls/pushes, potentially interleaved.
+func (c *Class) serveConn(conn net.Conn) {
+	defer conn.Close()
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
+	var wmu sync.Mutex
+	send := func(m *message) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return fw.WriteMessage(m)
+	}
+	// pushes tracks in-progress inbound bulk pushes by seq.
+	pushes := make(map[uint64]*pushState)
+	for {
+		var m message
+		if err := fr.ReadMessage(&m); err != nil {
+			return
+		}
+		switch m.Kind {
+		case kindRPCRequest:
+			c.mu.RLock()
+			h := c.handlers[m.Name]
+			c.mu.RUnlock()
+			req := m
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				resp := message{Seq: req.Seq, Kind: kindRPCResponse}
+				if h == nil {
+					resp.Err = fmt.Sprintf("mercury: no handler for %q", req.Name)
+				} else if out, err := h(req.Payload); err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Payload = out
+				}
+				if err := send(&resp); err != nil {
+					conn.Close()
+				}
+			}()
+		case kindBulkPull:
+			req := m
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				if err := c.serveBulkPull(&req, send); err != nil {
+					conn.Close()
+				}
+			}()
+		case kindBulkPush:
+			p, err := c.provider(m.Handle)
+			st := &pushState{provider: p}
+			if err != nil {
+				st.err = err.Error()
+			}
+			pushes[m.Seq] = st
+		case kindBulkData:
+			st, ok := pushes[m.Seq]
+			if !ok {
+				continue
+			}
+			if st.err == "" {
+				if _, err := st.provider.WriteAt(m.Payload, m.Offset); err != nil {
+					st.err = err.Error()
+				} else {
+					st.written += int64(len(m.Payload))
+				}
+			}
+		case kindBulkAck: // client finished a push stream
+			st, ok := pushes[m.Seq]
+			if !ok {
+				continue
+			}
+			delete(pushes, m.Seq)
+			resp := message{Seq: m.Seq, Kind: kindBulkAck, Count: st.written, Err: st.err}
+			if err := send(&resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+type pushState struct {
+	provider BulkProvider
+	written  int64
+	err      string
+}
+
+// serveBulkPull streams the requested range in chunks, then an ack.
+func (c *Class) serveBulkPull(req *message, send func(*message) error) error {
+	p, err := c.provider(req.Handle)
+	if err != nil {
+		return send(&message{Seq: req.Seq, Kind: kindBulkAck, Err: err.Error()})
+	}
+	off, count := req.Offset, req.Count
+	if count <= 0 {
+		count = p.Size() - off
+	}
+	buf := make([]byte, c.chunk)
+	var sent int64
+	for sent < count {
+		n := int64(len(buf))
+		if count-sent < n {
+			n = count - sent
+		}
+		read, rerr := p.ReadAt(buf[:n], off+sent)
+		if read > 0 {
+			if err := send(&message{Seq: req.Seq, Kind: kindBulkData, Offset: off + sent, Payload: buf[:read]}); err != nil {
+				return err
+			}
+			sent += int64(read)
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				break
+			}
+			return send(&message{Seq: req.Seq, Kind: kindBulkAck, Count: sent, Err: rerr.Error()})
+		}
+	}
+	return send(&message{Seq: req.Seq, Kind: kindBulkAck, Count: sent})
+}
+
+// Lookup returns a (cached) endpoint for the given address.
+func (c *Class) Lookup(addr string) (*Endpoint, error) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if ep, ok := c.conns[addr]; ok && !ep.broken() {
+		return ep, nil
+	}
+	conn, err := c.plugin.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	ep := newEndpoint(c, conn, addr)
+	c.conns[addr] = ep
+	return ep, nil
+}
+
+// Close shuts the class down: listener, inbound conns, outbound
+// endpoints.
+func (c *Class) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	ln := c.listener
+	c.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	c.inMu.Lock()
+	for conn := range c.inbound {
+		conn.Close()
+	}
+	c.inMu.Unlock()
+	c.connMu.Lock()
+	for _, ep := range c.conns {
+		ep.Close()
+	}
+	c.conns = make(map[string]*Endpoint)
+	c.connMu.Unlock()
+	c.wg.Wait()
+}
+
+// errEndpointClosed reports a torn-down endpoint.
+var errEndpointClosed = errors.New("mercury: endpoint closed")

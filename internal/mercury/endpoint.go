@@ -1,0 +1,218 @@
+package mercury
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+// Endpoint is an outbound connection to a remote Class. It supports
+// concurrent pipelined RPCs and bulk operations, matched by sequence
+// number.
+type Endpoint struct {
+	class *Class
+	conn  net.Conn
+	addr  string
+
+	wmu sync.Mutex
+	fw  *wire.FrameWriter
+
+	mu      sync.Mutex
+	pending map[uint64]chan *message
+	nextSeq uint64
+	err     error
+	closed  bool
+}
+
+func newEndpoint(c *Class, conn net.Conn, addr string) *Endpoint {
+	ep := &Endpoint{
+		class:   c,
+		conn:    conn,
+		addr:    addr,
+		fw:      wire.NewFrameWriter(conn),
+		pending: make(map[uint64]chan *message),
+	}
+	go ep.readLoop()
+	return ep
+}
+
+// Addr returns the remote address.
+func (ep *Endpoint) Addr() string { return ep.addr }
+
+func (ep *Endpoint) readLoop() {
+	fr := wire.NewFrameReader(ep.conn)
+	for {
+		var m message
+		if err := fr.ReadMessage(&m); err != nil {
+			ep.fail(errEndpointClosed)
+			return
+		}
+		ep.mu.Lock()
+		ch := ep.pending[m.Seq]
+		ep.mu.Unlock()
+		if ch != nil {
+			mm := m
+			ch <- &mm
+		}
+	}
+}
+
+func (ep *Endpoint) fail(err error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.err == nil {
+		ep.err = err
+	}
+	for seq, ch := range ep.pending {
+		delete(ep.pending, seq)
+		close(ch)
+	}
+}
+
+func (ep *Endpoint) broken() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.err != nil || ep.closed
+}
+
+// register allocates a sequence number with a response channel buffered
+// for streaming bulk data.
+func (ep *Endpoint) register(buffer int) (uint64, chan *message, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.err != nil {
+		return 0, nil, ep.err
+	}
+	if ep.closed {
+		return 0, nil, errEndpointClosed
+	}
+	ep.nextSeq++
+	ch := make(chan *message, buffer)
+	ep.pending[ep.nextSeq] = ch
+	return ep.nextSeq, ch, nil
+}
+
+func (ep *Endpoint) unregister(seq uint64) {
+	ep.mu.Lock()
+	delete(ep.pending, seq)
+	ep.mu.Unlock()
+}
+
+func (ep *Endpoint) send(m *message) error {
+	ep.wmu.Lock()
+	defer ep.wmu.Unlock()
+	return ep.fw.WriteMessage(m)
+}
+
+// Forward issues an RPC and waits for its response payload.
+func (ep *Endpoint) Forward(name string, payload []byte) ([]byte, error) {
+	seq, ch, err := ep.register(1)
+	if err != nil {
+		return nil, err
+	}
+	defer ep.unregister(seq)
+	if err := ep.send(&message{Seq: seq, Kind: kindRPCRequest, Name: name, Payload: payload}); err != nil {
+		ep.fail(err)
+		return nil, err
+	}
+	m, ok := <-ch
+	if !ok {
+		return nil, errEndpointClosed
+	}
+	if m.Err != "" {
+		return nil, fmt.Errorf("mercury: rpc %q: %s", name, m.Err)
+	}
+	return m.Payload, nil
+}
+
+// BulkPull fetches [offset, offset+count) of the remote handle into dst
+// starting at dst offset 0-relative positions (dst offsets mirror source
+// offsets minus offset). count <= 0 pulls to the end of the handle.
+// It returns the number of bytes pulled.
+func (ep *Endpoint) BulkPull(h BulkHandle, offset, count int64, dst BulkProvider) (int64, error) {
+	seq, ch, err := ep.register(64)
+	if err != nil {
+		return 0, err
+	}
+	defer ep.unregister(seq)
+	if err := ep.send(&message{Seq: seq, Kind: kindBulkPull, Handle: h.ID, Offset: offset, Count: count}); err != nil {
+		ep.fail(err)
+		return 0, err
+	}
+	var got int64
+	for m := range ch {
+		switch m.Kind {
+		case kindBulkData:
+			if _, err := dst.WriteAt(m.Payload, m.Offset-offset); err != nil {
+				return got, err
+			}
+			got += int64(len(m.Payload))
+		case kindBulkAck:
+			if m.Err != "" {
+				return got, fmt.Errorf("mercury: bulk pull: %s", m.Err)
+			}
+			return got, nil
+		}
+	}
+	return got, errEndpointClosed
+}
+
+// BulkPush streams src into the remote handle starting at remote offset
+// 0. It returns the number of bytes the remote acknowledged writing.
+func (ep *Endpoint) BulkPush(h BulkHandle, src BulkProvider) (int64, error) {
+	seq, ch, err := ep.register(1)
+	if err != nil {
+		return 0, err
+	}
+	defer ep.unregister(seq)
+	if err := ep.send(&message{Seq: seq, Kind: kindBulkPush, Handle: h.ID}); err != nil {
+		ep.fail(err)
+		return 0, err
+	}
+	size := src.Size()
+	buf := make([]byte, ep.class.chunk)
+	for off := int64(0); off < size; {
+		n := int64(len(buf))
+		if size-off < n {
+			n = size - off
+		}
+		read, rerr := src.ReadAt(buf[:n], off)
+		if read > 0 {
+			if err := ep.send(&message{Seq: seq, Kind: kindBulkData, Offset: off, Payload: buf[:read]}); err != nil {
+				ep.fail(err)
+				return 0, err
+			}
+			off += int64(read)
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	if err := ep.send(&message{Seq: seq, Kind: kindBulkAck}); err != nil {
+		ep.fail(err)
+		return 0, err
+	}
+	m, ok := <-ch
+	if !ok {
+		return 0, errEndpointClosed
+	}
+	if m.Err != "" {
+		return m.Count, fmt.Errorf("mercury: bulk push: %s", m.Err)
+	}
+	return m.Count, nil
+}
+
+// Close tears down the endpoint.
+func (ep *Endpoint) Close() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	ep.conn.Close()
+	ep.fail(errEndpointClosed)
+}

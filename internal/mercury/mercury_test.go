@@ -1,0 +1,319 @@
+package mercury
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newPair(t *testing.T, plugin string) (server, client *Class, addr string) {
+	t.Helper()
+	srv, err := NewClass(plugin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClass(plugin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return srv, cli, a
+}
+
+func TestPluginRegistry(t *testing.T) {
+	names := Plugins()
+	var haveSM, haveTCP bool
+	for _, n := range names {
+		if n == "sm" {
+			haveSM = true
+		}
+		if n == "ofi+tcp" {
+			haveTCP = true
+		}
+	}
+	if !haveSM || !haveTCP {
+		t.Fatalf("plugins = %v", names)
+	}
+	if _, err := LookupPlugin("verbs"); err == nil {
+		t.Fatal("unknown plugin lookup succeeded")
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	for _, plugin := range []string{"sm", "ofi+tcp"} {
+		t.Run(plugin, func(t *testing.T) {
+			srv, cli, addr := newPair(t, plugin)
+			srv.Register("echo", func(p []byte) ([]byte, error) {
+				return append([]byte("re:"), p...), nil
+			})
+			ep, err := cli.Lookup(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := ep.Forward("echo", []byte("hello"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(out) != "re:hello" {
+				t.Fatalf("out = %q", out)
+			}
+		})
+	}
+}
+
+func TestRPCErrors(t *testing.T) {
+	srv, cli, addr := newPair(t, "sm")
+	srv.Register("fails", func(p []byte) ([]byte, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Forward("fails", nil); err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ep.Forward("missing", nil); err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("missing handler err = %v", err)
+	}
+}
+
+func TestRPCPipelining(t *testing.T) {
+	srv, cli, addr := newPair(t, "ofi+tcp")
+	srv.Register("id", func(p []byte) ([]byte, error) { return p, nil })
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, calls = 8, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				msg := []byte(fmt.Sprintf("w%d-%d", w, i))
+				out, err := ep.Forward("id", msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(out, msg) {
+					errs <- fmt.Errorf("mismatch %q vs %q", out, msg)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkPull(t *testing.T) {
+	for _, plugin := range []string{"sm", "ofi+tcp"} {
+		t.Run(plugin, func(t *testing.T) {
+			srv, cli, addr := newPair(t, plugin)
+			data := bytes.Repeat([]byte("0123456789"), 100000) // ~1 MB
+			h := srv.ExposeBulk(NewMemRegion(data))
+			if h.Len != int64(len(data)) {
+				t.Fatalf("handle len = %d", h.Len)
+			}
+			ep, err := cli.Lookup(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := NewMemRegion(make([]byte, len(data)))
+			n, err := ep.BulkPull(h, 0, 0, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(len(data)) || !bytes.Equal(dst.Bytes(), data) {
+				t.Fatalf("pulled %d bytes, match=%v", n, bytes.Equal(dst.Bytes(), data))
+			}
+		})
+	}
+}
+
+func TestBulkPullRange(t *testing.T) {
+	srv, cli, addr := newPair(t, "sm")
+	data := []byte("abcdefghijklmnop")
+	h := srv.ExposeBulk(NewMemRegion(data))
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMemRegion(make([]byte, 4))
+	n, err := ep.BulkPull(h, 5, 4, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || string(dst.Bytes()) != "fghi" {
+		t.Fatalf("range pull = %d %q", n, dst.Bytes())
+	}
+}
+
+func TestBulkPush(t *testing.T) {
+	srv, cli, addr := newPair(t, "ofi+tcp")
+	dst := NewMemRegion(make([]byte, 1<<20))
+	h := srv.ExposeBulk(dst)
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.Repeat([]byte("x"), 1<<20)
+	n, err := ep.BulkPush(h, NewMemRegion(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1<<20 || !bytes.Equal(dst.Bytes(), src) {
+		t.Fatalf("pushed %d, match=%v", n, bytes.Equal(dst.Bytes(), src))
+	}
+}
+
+func TestBulkUnknownHandle(t *testing.T) {
+	_, cli, addr := newPair(t, "sm")
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := BulkHandle{Addr: addr, ID: 9999, Len: 10}
+	if _, err := ep.BulkPull(bogus, 0, 0, NewMemRegion(make([]byte, 10))); err == nil {
+		t.Fatal("pull from unknown handle succeeded")
+	}
+	if _, err := ep.BulkPush(bogus, NewMemRegion([]byte("x"))); err == nil {
+		t.Fatal("push to unknown handle succeeded")
+	}
+}
+
+func TestReleaseBulk(t *testing.T) {
+	srv, cli, addr := newPair(t, "sm")
+	h := srv.ExposeBulk(NewMemRegion([]byte("data")))
+	srv.ReleaseBulk(h)
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.BulkPull(h, 0, 0, NewMemRegion(make([]byte, 4))); err == nil {
+		t.Fatal("pull from released handle succeeded")
+	}
+}
+
+func TestLookupCachesEndpoints(t *testing.T) {
+	srv, cli, addr := newPair(t, "sm")
+	srv.Register("noop", func(p []byte) ([]byte, error) { return nil, nil })
+	ep1, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep1 != ep2 {
+		t.Fatal("Lookup did not cache the endpoint")
+	}
+}
+
+func TestChunkedTransferMatchesChunkSizes(t *testing.T) {
+	// Transfers of sizes around the chunk boundary survive intact.
+	srv, cli, addr := newPair(t, "sm")
+	srv.SetBulkChunk(1024)
+	cli.SetBulkChunk(1024)
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sz uint16) bool {
+		n := int(sz)%4096 + 1
+		data := bytes.Repeat([]byte{0xAB}, n)
+		h := srv.ExposeBulk(NewMemRegion(data))
+		defer srv.ReleaseBulk(h)
+		dst := NewMemRegion(make([]byte, n))
+		got, err := ep.BulkPull(h, 0, 0, dst)
+		return err == nil && got == int64(n) && bytes.Equal(dst.Bytes(), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemRegionBounds(t *testing.T) {
+	r := NewMemRegion(make([]byte, 8))
+	if _, err := r.WriteAt([]byte("123456789"), 0); err == nil {
+		t.Fatal("overflow write accepted")
+	}
+	if _, err := r.ReadAt(make([]byte, 1), 99); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	n, err := r.ReadAt(make([]byte, 16), 4)
+	if n != 4 || err == nil {
+		t.Fatalf("short read = %d, %v", n, err)
+	}
+}
+
+func TestSMAddressCollision(t *testing.T) {
+	p, err := LookupPlugin("sm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := p.Listen("fixed-addr-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1.Close()
+	if _, err := p.Listen("fixed-addr-test"); err == nil {
+		t.Fatal("duplicate sm bind succeeded")
+	}
+}
+
+func BenchmarkRPCSM(b *testing.B) {
+	srv, _ := NewClass("sm")
+	addr, _ := srv.Listen("")
+	defer srv.Close()
+	cli, _ := NewClass("sm")
+	defer cli.Close()
+	srv.Register("noop", func(p []byte) ([]byte, error) { return nil, nil })
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ep.Forward("noop", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkPullTCP(b *testing.B) {
+	srv, _ := NewClass("ofi+tcp")
+	addr, _ := srv.Listen("")
+	defer srv.Close()
+	cli, _ := NewClass("ofi+tcp")
+	defer cli.Close()
+	data := make([]byte, 16<<20)
+	h := srv.ExposeBulk(NewMemRegion(data))
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := NewMemRegion(make([]byte, len(data)))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ep.BulkPull(h, 0, 0, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

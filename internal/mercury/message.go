@@ -1,0 +1,76 @@
+package mercury
+
+import "github.com/ngioproject/norns-go/internal/wire"
+
+// message kinds on a mercury connection.
+const (
+	kindRPCRequest  = 1
+	kindRPCResponse = 2
+	kindBulkPull    = 3 // request a range of an exposed handle
+	kindBulkPush    = 4 // announce incoming data for an exposed handle
+	kindBulkData    = 5 // one chunk of bulk payload
+	kindBulkAck     = 6 // terminates a bulk stream, carries total bytes
+)
+
+// message is the single frame type exchanged on mercury connections.
+type message struct {
+	Seq     uint64
+	Kind    uint32
+	Name    string // RPC name for kindRPCRequest
+	Handle  uint64 // bulk handle ID
+	Offset  int64
+	Count   int64
+	Payload []byte
+	Err     string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (m *message) MarshalWire(e *wire.Encoder) {
+	e.Uint64(1, m.Seq)
+	e.Uint32(2, m.Kind)
+	if m.Name != "" {
+		e.String(3, m.Name)
+	}
+	if m.Handle != 0 {
+		e.Uint64(4, m.Handle)
+	}
+	if m.Offset != 0 {
+		e.Int64(5, m.Offset)
+	}
+	if m.Count != 0 {
+		e.Int64(6, m.Count)
+	}
+	if len(m.Payload) > 0 {
+		e.Bytes(7, m.Payload)
+	}
+	if m.Err != "" {
+		e.String(8, m.Err)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *message) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Seq = d.Uint64()
+		case 2:
+			m.Kind = d.Uint32()
+		case 3:
+			m.Name = d.String()
+		case 4:
+			m.Handle = d.Uint64()
+		case 5:
+			m.Offset = d.Int64()
+		case 6:
+			m.Count = d.Int64()
+		case 7:
+			m.Payload = append([]byte(nil), d.Bytes()...)
+		case 8:
+			m.Err = d.String()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,166 @@
+// Package mercury implements the RPC and bulk-transfer layer the urd
+// network manager is built on, modeled on ANL's Mercury library: RPCs
+// are registered by name and forwarded to remote endpoints, bulk data
+// moves through exposed bulk handles that remote peers pull from or push
+// to (the RDMA-style one-sided pattern in the paper's Table II), and a
+// Network Abstraction (NA) plugin layer selects the fabric at runtime.
+//
+// Two NA plugins ship: "sm" (shared-memory, in-process, used for tests
+// and single-node simulations) and "ofi+tcp" (real TCP sockets — the
+// plugin the paper benchmarks with, chosen there because every cluster
+// supports it).
+package mercury
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Plugin is one NA fabric implementation.
+type Plugin interface {
+	// Name returns the plugin identifier, e.g. "ofi+tcp".
+	Name() string
+	// Listen binds a transport address. For "ofi+tcp", addr is a TCP
+	// bind address ("127.0.0.1:0"); for "sm" it is any unique string.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to an address previously returned by Listen.
+	Dial(addr string) (net.Conn, error)
+}
+
+var (
+	pluginMu sync.RWMutex
+	plugins  = make(map[string]Plugin)
+)
+
+// RegisterPlugin installs an NA plugin; called from init() by each
+// implementation, mirroring Mercury's runtime plugin selection.
+func RegisterPlugin(p Plugin) {
+	pluginMu.Lock()
+	defer pluginMu.Unlock()
+	plugins[p.Name()] = p
+}
+
+// LookupPlugin returns the named plugin.
+func LookupPlugin(name string) (Plugin, error) {
+	pluginMu.RLock()
+	defer pluginMu.RUnlock()
+	p, ok := plugins[name]
+	if !ok {
+		return nil, fmt.Errorf("mercury: unknown NA plugin %q", name)
+	}
+	return p, nil
+}
+
+// Plugins returns the registered plugin names, sorted.
+func Plugins() []string {
+	pluginMu.RLock()
+	defer pluginMu.RUnlock()
+	out := make([]string, 0, len(plugins))
+	for name := range plugins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- ofi+tcp plugin ---
+
+type tcpPlugin struct{}
+
+func (tcpPlugin) Name() string { return "ofi+tcp" }
+
+func (tcpPlugin) Listen(addr string) (net.Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return net.Listen("tcp", addr)
+}
+
+func (tcpPlugin) Dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// --- sm plugin ---
+
+// smListener queues server-side pipe ends for Accept.
+type smListener struct {
+	plugin *smPlugin
+	addr   string
+	ch     chan net.Conn
+	once   sync.Once
+}
+
+type smAddr string
+
+func (a smAddr) Network() string { return "sm" }
+func (a smAddr) String() string  { return string(a) }
+
+func (l *smListener) Accept() (net.Conn, error) {
+	c, ok := <-l.ch
+	if !ok {
+		return nil, errors.New("mercury: sm listener closed")
+	}
+	return c, nil
+}
+
+func (l *smListener) Close() error {
+	l.once.Do(func() {
+		l.plugin.mu.Lock()
+		delete(l.plugin.listeners, l.addr)
+		l.plugin.mu.Unlock()
+		close(l.ch)
+	})
+	return nil
+}
+
+func (l *smListener) Addr() net.Addr { return smAddr(l.addr) }
+
+// smPlugin connects endpoints through in-process pipes.
+type smPlugin struct {
+	mu        sync.Mutex
+	listeners map[string]*smListener
+	next      int
+}
+
+func (*smPlugin) Name() string { return "sm" }
+
+func (p *smPlugin) Listen(addr string) (net.Listener, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if addr == "" {
+		p.next++
+		addr = fmt.Sprintf("sm-%d", p.next)
+	}
+	if _, ok := p.listeners[addr]; ok {
+		return nil, fmt.Errorf("mercury: sm address %q already bound", addr)
+	}
+	l := &smListener{plugin: p, addr: addr, ch: make(chan net.Conn, 16)}
+	p.listeners[addr] = l
+	return l, nil
+}
+
+func (p *smPlugin) Dial(addr string) (net.Conn, error) {
+	p.mu.Lock()
+	l, ok := p.listeners[addr]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mercury: no sm listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	default:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("mercury: sm listener %q accept queue full", addr)
+	}
+}
+
+func init() {
+	RegisterPlugin(tcpPlugin{})
+	RegisterPlugin(&smPlugin{listeners: make(map[string]*smListener)})
+}

@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleBasicStats(t *testing.T) {
+	s := NewSample(8)
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if got := s.N(); got != 4 {
+		t.Fatalf("N = %d, want 4", got)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := s.Max(); got != 8 {
+		t.Errorf("Max = %v, want 8", got)
+	}
+	if got := s.Median(); got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+	want := math.Sqrt(5) // population stddev of {4,2,8,6}
+	if got := s.Stddev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", got, want)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 50.5", got)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := NewSample(len(vals))
+		ok := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			cur := s.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleConcurrentAdd(t *testing.T) {
+	s := NewSample(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.N(); got != 8000 {
+		t.Fatalf("N = %d, want 8000", got)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	s := NewSample(1)
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); got != 1.5 {
+		t.Fatalf("Mean = %v, want 1.5", got)
+	}
+}
+
+func TestValuesIsCopy(t *testing.T) {
+	s := NewSample(2)
+	s.Add(1)
+	vals := s.Values()
+	vals[0] = 99
+	if s.Mean() != 1 {
+		t.Fatal("Values() must return a copy")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Inc(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 800 {
+		t.Fatalf("Counter = %d, want 800", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{512, "512.0 B"},
+		{1024, "1.0 KiB"},
+		{16 << 20, "16.0 MiB"},
+		{1.5 * (1 << 30), "1.5 GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := FormatRate(1 << 30); got != "1.0 GiB/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Synthetic workflow", "Component", "Target", "Runtime (s)")
+	tab.AddRow("Producer", "Lustre", 96.0)
+	tab.AddRow("Consumer", "NVM", 30.25)
+	out := tab.String()
+	for _, want := range []string{"Synthetic workflow", "Component", "Producer", "96", "30.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestPercentileMatchesSort(t *testing.T) {
+	s := NewSample(0)
+	vals := []float64{9, 1, 7, 3, 5}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	sort.Float64s(vals)
+	if got := s.Percentile(0); got != vals[0] {
+		t.Errorf("P0 = %v, want %v", got, vals[0])
+	}
+	if got := s.Percentile(100); got != vals[len(vals)-1] {
+		t.Errorf("P100 = %v, want %v", got, vals[len(vals)-1])
+	}
+}

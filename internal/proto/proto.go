@@ -1,0 +1,669 @@
+// Package proto defines the NORNS request/response protocol spoken
+// between the norns/nornsctl API libraries and the urd daemon, encoded
+// with the wire package (our Protocol Buffers substitute) and carried
+// over AF_UNIX or TCP framed connections.
+//
+// A single Request/Response envelope with optional sub-messages keeps
+// the protocol forward-compatible: unknown fields are skipped, exactly
+// as in protobuf.
+package proto
+
+import (
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+// Op identifies a request type.
+type Op uint32
+
+// Request opcodes. Control-plane ops (those the paper restricts to the
+// nornsctl socket) start at 64.
+const (
+	OpInvalid Op = iota
+	// User API (norns_*).
+	OpSubmit           // submit an I/O task
+	OpWait             // wait for task completion
+	OpTaskStatus       // norns_error: fetch task stats
+	OpGetDataspaceInfo // list dataspaces visible to the calling job
+
+	// Control API (nornsctl_*).
+	OpPing Op = 64 + iota
+	OpStatus
+	OpRegisterDataspace
+	OpUpdateDataspace
+	OpUnregisterDataspace
+	OpTrackDataspace
+	OpTrackedNonEmpty
+	OpRegisterJob
+	OpUpdateJob
+	OpUnregisterJob
+	OpAddProcess
+	OpRemoveProcess
+	OpShutdown
+	// OpTransferStats reports the daemon's observed transfer performance
+	// (the paper's future-work item: feeding I/O observations back to
+	// the scheduler for better-informed decisions).
+	OpTransferStats
+)
+
+// Control reports whether the op requires the control socket.
+func (o Op) Control() bool { return o >= OpPing }
+
+// String returns the op name.
+func (o Op) String() string {
+	switch o {
+	case OpSubmit:
+		return "submit"
+	case OpWait:
+		return "wait"
+	case OpTaskStatus:
+		return "task-status"
+	case OpGetDataspaceInfo:
+		return "get-dataspace-info"
+	case OpPing:
+		return "ping"
+	case OpStatus:
+		return "status"
+	case OpRegisterDataspace:
+		return "register-dataspace"
+	case OpUpdateDataspace:
+		return "update-dataspace"
+	case OpUnregisterDataspace:
+		return "unregister-dataspace"
+	case OpTrackDataspace:
+		return "track-dataspace"
+	case OpTrackedNonEmpty:
+		return "tracked-non-empty"
+	case OpRegisterJob:
+		return "register-job"
+	case OpUpdateJob:
+		return "update-job"
+	case OpUnregisterJob:
+		return "unregister-job"
+	case OpAddProcess:
+		return "add-process"
+	case OpRemoveProcess:
+		return "remove-process"
+	case OpShutdown:
+		return "shutdown"
+	case OpTransferStats:
+		return "transfer-stats"
+	default:
+		return fmt.Sprintf("op(%d)", uint32(o))
+	}
+}
+
+// StatusCode is the result of a request.
+type StatusCode uint32
+
+// Response status codes, mirroring the NORNS_* error space.
+const (
+	Success StatusCode = iota
+	EBadRequest
+	ENotFound
+	EExists
+	EPermission
+	ETaskError
+	ETimeout
+	EInternal
+)
+
+// String returns the code name.
+func (s StatusCode) String() string {
+	switch s {
+	case Success:
+		return "NORNS_SUCCESS"
+	case EBadRequest:
+		return "NORNS_EBADREQUEST"
+	case ENotFound:
+		return "NORNS_ENOTFOUND"
+	case EExists:
+		return "NORNS_EEXISTS"
+	case EPermission:
+		return "NORNS_EPERMISSION"
+	case ETaskError:
+		return "NORNS_ETASKERROR"
+	case ETimeout:
+		return "NORNS_ETIMEOUT"
+	case EInternal:
+		return "NORNS_EINTERNAL"
+	default:
+		return fmt.Sprintf("NORNS_E(%d)", uint32(s))
+	}
+}
+
+// ResourceSpec is the wire form of a task resource. For Memory
+// resources the buffer travels inline, standing in for the
+// process_vm_readv path of the C++ implementation.
+type ResourceSpec struct {
+	Kind      uint32
+	Dataspace string
+	Path      string
+	Node      string
+	Size      int64
+	Data      []byte
+}
+
+// FromResource converts a task.Resource.
+func FromResource(r task.Resource) ResourceSpec {
+	return ResourceSpec{
+		Kind:      uint32(r.Kind),
+		Dataspace: r.Dataspace,
+		Path:      r.Path,
+		Node:      r.Node,
+		Size:      r.Size,
+		Data:      r.Data,
+	}
+}
+
+// ToResource converts back to a task.Resource.
+func (rs ResourceSpec) ToResource() task.Resource {
+	return task.Resource{
+		Kind:      task.ResourceKind(rs.Kind),
+		Dataspace: rs.Dataspace,
+		Path:      rs.Path,
+		Node:      rs.Node,
+		Size:      rs.Size,
+		Data:      rs.Data,
+	}
+}
+
+// MarshalWire implements wire.Marshaler.
+func (rs *ResourceSpec) MarshalWire(e *wire.Encoder) {
+	e.Uint32(1, rs.Kind)
+	if rs.Dataspace != "" {
+		e.String(2, rs.Dataspace)
+	}
+	if rs.Path != "" {
+		e.String(3, rs.Path)
+	}
+	if rs.Node != "" {
+		e.String(4, rs.Node)
+	}
+	if rs.Size != 0 {
+		e.Int64(5, rs.Size)
+	}
+	if len(rs.Data) > 0 {
+		e.Bytes(6, rs.Data)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (rs *ResourceSpec) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			rs.Kind = d.Uint32()
+		case 2:
+			rs.Dataspace = d.String()
+		case 3:
+			rs.Path = d.String()
+		case 4:
+			rs.Node = d.String()
+		case 5:
+			rs.Size = d.Int64()
+		case 6:
+			rs.Data = append([]byte(nil), d.Bytes()...)
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// TaskSpec is the wire form of an I/O task submission.
+type TaskSpec struct {
+	Kind     uint32
+	Input    ResourceSpec
+	Output   ResourceSpec
+	Priority int64
+	JobID    uint64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (ts *TaskSpec) MarshalWire(e *wire.Encoder) {
+	e.Uint32(1, ts.Kind)
+	e.Message(2, &ts.Input)
+	e.Message(3, &ts.Output)
+	if ts.Priority != 0 {
+		e.Int64(4, ts.Priority)
+	}
+	if ts.JobID != 0 {
+		e.Uint64(5, ts.JobID)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (ts *TaskSpec) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			ts.Kind = d.Uint32()
+		case 2:
+			d.Message(&ts.Input)
+		case 3:
+			d.Message(&ts.Output)
+		case 4:
+			ts.Priority = d.Int64()
+		case 5:
+			ts.JobID = d.Uint64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// DataspaceSpec describes a dataspace to register or report.
+type DataspaceSpec struct {
+	ID       string
+	Backend  uint32 // dataspace.BackendKind
+	Mount    string // OSFS root; empty selects an in-memory FS
+	Capacity int64
+	Track    bool
+	// UsedBytes is filled in info responses.
+	UsedBytes int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (ds *DataspaceSpec) MarshalWire(e *wire.Encoder) {
+	e.String(1, ds.ID)
+	e.Uint32(2, ds.Backend)
+	if ds.Mount != "" {
+		e.String(3, ds.Mount)
+	}
+	if ds.Capacity != 0 {
+		e.Int64(4, ds.Capacity)
+	}
+	if ds.Track {
+		e.Bool(5, ds.Track)
+	}
+	if ds.UsedBytes != 0 {
+		e.Int64(6, ds.UsedBytes)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (ds *DataspaceSpec) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			ds.ID = d.String()
+		case 2:
+			ds.Backend = d.Uint32()
+		case 3:
+			ds.Mount = d.String()
+		case 4:
+			ds.Capacity = d.Int64()
+		case 5:
+			ds.Track = d.Bool()
+		case 6:
+			ds.UsedBytes = d.Int64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// JobLimitSpec is one dataspace allowance in a job registration.
+type JobLimitSpec struct {
+	Dataspace string
+	Quota     int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (jl *JobLimitSpec) MarshalWire(e *wire.Encoder) {
+	e.String(1, jl.Dataspace)
+	if jl.Quota != 0 {
+		e.Int64(2, jl.Quota)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (jl *JobLimitSpec) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			jl.Dataspace = d.String()
+		case 2:
+			jl.Quota = d.Int64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// JobSpec is the wire form of a job registration.
+type JobSpec struct {
+	ID     uint64
+	Hosts  []string
+	Limits []JobLimitSpec
+}
+
+// MarshalWire implements wire.Marshaler.
+func (js *JobSpec) MarshalWire(e *wire.Encoder) {
+	e.Uint64(1, js.ID)
+	e.StringSlice(2, js.Hosts)
+	for i := range js.Limits {
+		e.Message(3, &js.Limits[i])
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (js *JobSpec) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			js.ID = d.Uint64()
+		case 2:
+			js.Hosts = append(js.Hosts, d.String())
+		case 3:
+			var jl JobLimitSpec
+			d.Message(&jl)
+			js.Limits = append(js.Limits, jl)
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// ProcSpec is the wire form of a process registration.
+type ProcSpec struct {
+	PID uint64
+	UID uint64
+	GID uint64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (ps *ProcSpec) MarshalWire(e *wire.Encoder) {
+	e.Uint64(1, ps.PID)
+	e.Uint64(2, ps.UID)
+	e.Uint64(3, ps.GID)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (ps *ProcSpec) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			ps.PID = d.Uint64()
+		case 2:
+			ps.UID = d.Uint64()
+		case 3:
+			ps.GID = d.Uint64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// TaskStats is the wire form of task completion statistics.
+type TaskStats struct {
+	Status     uint32 // task.Status
+	Err        string
+	TotalBytes int64
+	MovedBytes int64
+}
+
+// FromStats converts task.Stats.
+func FromStats(s task.Stats) TaskStats {
+	return TaskStats{
+		Status:     uint32(s.Status),
+		Err:        s.Err,
+		TotalBytes: s.TotalBytes,
+		MovedBytes: s.MovedBytes,
+	}
+}
+
+// MarshalWire implements wire.Marshaler.
+func (st *TaskStats) MarshalWire(e *wire.Encoder) {
+	e.Uint32(1, st.Status)
+	if st.Err != "" {
+		e.String(2, st.Err)
+	}
+	if st.TotalBytes != 0 {
+		e.Int64(3, st.TotalBytes)
+	}
+	if st.MovedBytes != 0 {
+		e.Int64(4, st.MovedBytes)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (st *TaskStats) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			st.Status = d.Uint32()
+		case 2:
+			st.Err = d.String()
+		case 3:
+			st.TotalBytes = d.Int64()
+		case 4:
+			st.MovedBytes = d.Int64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// Request is the envelope for all client->daemon messages. Seq pairs
+// pipelined requests with their responses on one connection.
+type Request struct {
+	Seq uint64
+	Op  Op
+	// PID identifies the calling process for authorization. The API
+	// libraries fill it with os.Getpid(); a production deployment would
+	// use SO_PEERCRED, which Go exposes only through x/sys, so the
+	// credential travels in-band here.
+	PID uint64
+
+	Task      *TaskSpec
+	TaskID    uint64
+	TimeoutMS int64
+	Dataspace *DataspaceSpec
+	Job       *JobSpec
+	Proc      *ProcSpec
+	Track     bool
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *Request) MarshalWire(e *wire.Encoder) {
+	e.Uint64(1, r.Seq)
+	e.Uint32(2, uint32(r.Op))
+	if r.PID != 0 {
+		e.Uint64(3, r.PID)
+	}
+	if r.Task != nil {
+		e.Message(4, r.Task)
+	}
+	if r.TaskID != 0 {
+		e.Uint64(5, r.TaskID)
+	}
+	if r.TimeoutMS != 0 {
+		e.Int64(6, r.TimeoutMS)
+	}
+	if r.Dataspace != nil {
+		e.Message(7, r.Dataspace)
+	}
+	if r.Job != nil {
+		e.Message(8, r.Job)
+	}
+	if r.Proc != nil {
+		e.Message(9, r.Proc)
+	}
+	if r.Track {
+		e.Bool(10, r.Track)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *Request) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Seq = d.Uint64()
+		case 2:
+			r.Op = Op(d.Uint32())
+		case 3:
+			r.PID = d.Uint64()
+		case 4:
+			r.Task = new(TaskSpec)
+			d.Message(r.Task)
+		case 5:
+			r.TaskID = d.Uint64()
+		case 6:
+			r.TimeoutMS = d.Int64()
+		case 7:
+			r.Dataspace = new(DataspaceSpec)
+			d.Message(r.Dataspace)
+		case 8:
+			r.Job = new(JobSpec)
+			d.Message(r.Job)
+		case 9:
+			r.Proc = new(ProcSpec)
+			d.Message(r.Proc)
+		case 10:
+			r.Track = d.Bool()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// TransferMetrics is the daemon's observed transfer performance report.
+type TransferMetrics struct {
+	// BandwidthBps is the EWMA of observed transfer bandwidth.
+	BandwidthBps float64
+	// Samples is the number of completed transfers observed.
+	Samples uint64
+	// Pending is the task-queue depth.
+	Pending uint64
+	// Running/Finished/Failed count tasks by terminal state.
+	Running  uint64
+	Finished uint64
+	Failed   uint64
+	// MovedBytes is the total payload volume transferred.
+	MovedBytes int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (tm *TransferMetrics) MarshalWire(e *wire.Encoder) {
+	e.Float64(1, tm.BandwidthBps)
+	e.Uint64(2, tm.Samples)
+	e.Uint64(3, tm.Pending)
+	e.Uint64(4, tm.Running)
+	e.Uint64(5, tm.Finished)
+	e.Uint64(6, tm.Failed)
+	if tm.MovedBytes != 0 {
+		e.Int64(7, tm.MovedBytes)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (tm *TransferMetrics) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			tm.BandwidthBps = d.Float64()
+		case 2:
+			tm.Samples = d.Uint64()
+		case 3:
+			tm.Pending = d.Uint64()
+		case 4:
+			tm.Running = d.Uint64()
+		case 5:
+			tm.Finished = d.Uint64()
+		case 6:
+			tm.Failed = d.Uint64()
+		case 7:
+			tm.MovedBytes = d.Int64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// Response is the envelope for all daemon->client messages.
+type Response struct {
+	Seq    uint64
+	Status StatusCode
+	Error  string
+
+	TaskID     uint64
+	Stats      *TaskStats
+	Dataspaces []DataspaceSpec
+	// NonEmpty lists tracked dataspaces still holding data.
+	NonEmpty []string
+	// DaemonInfo carries status text for OpStatus.
+	DaemonInfo string
+	// Metrics carries the OpTransferStats report.
+	Metrics *TransferMetrics
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *Response) MarshalWire(e *wire.Encoder) {
+	e.Uint64(1, r.Seq)
+	e.Uint32(2, uint32(r.Status))
+	if r.Error != "" {
+		e.String(3, r.Error)
+	}
+	if r.TaskID != 0 {
+		e.Uint64(4, r.TaskID)
+	}
+	if r.Stats != nil {
+		e.Message(5, r.Stats)
+	}
+	for i := range r.Dataspaces {
+		e.Message(6, &r.Dataspaces[i])
+	}
+	e.StringSlice(7, r.NonEmpty)
+	if r.DaemonInfo != "" {
+		e.String(8, r.DaemonInfo)
+	}
+	if r.Metrics != nil {
+		e.Message(9, r.Metrics)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *Response) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Seq = d.Uint64()
+		case 2:
+			r.Status = StatusCode(d.Uint32())
+		case 3:
+			r.Error = d.String()
+		case 4:
+			r.TaskID = d.Uint64()
+		case 5:
+			r.Stats = new(TaskStats)
+			d.Message(r.Stats)
+		case 6:
+			var ds DataspaceSpec
+			d.Message(&ds)
+			r.Dataspaces = append(r.Dataspaces, ds)
+		case 7:
+			r.NonEmpty = append(r.NonEmpty, d.String())
+		case 8:
+			r.DaemonInfo = d.String()
+		case 9:
+			r.Metrics = new(TransferMetrics)
+			d.Message(r.Metrics)
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,201 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+func roundTripRequest(t *testing.T, in *Request) *Request {
+	t.Helper()
+	var out Request
+	if err := wire.Unmarshal(wire.Marshal(in), &out); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	return &out
+}
+
+func roundTripResponse(t *testing.T, in *Response) *Response {
+	t.Helper()
+	var out Response
+	if err := wire.Unmarshal(wire.Marshal(in), &out); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	return &out
+}
+
+func TestSubmitRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		Seq: 7,
+		Op:  OpSubmit,
+		PID: 1234,
+		Task: &TaskSpec{
+			Kind:     uint32(task.Copy),
+			Input:    FromResource(task.MemoryRegion([]byte("payload"))),
+			Output:   FromResource(task.PosixPath("nvme0://", "out/x")),
+			Priority: -3,
+			JobID:    42,
+		},
+	}
+	out := roundTripRequest(t, in)
+	if out.Seq != 7 || out.Op != OpSubmit || out.PID != 1234 {
+		t.Fatalf("envelope mismatch: %+v", out)
+	}
+	if out.Task == nil {
+		t.Fatal("Task dropped")
+	}
+	if out.Task.Kind != uint32(task.Copy) || out.Task.Priority != -3 || out.Task.JobID != 42 {
+		t.Fatalf("task mismatch: %+v", out.Task)
+	}
+	if !bytes.Equal(out.Task.Input.Data, []byte("payload")) {
+		t.Fatalf("input data mismatch: %q", out.Task.Input.Data)
+	}
+	if out.Task.Output.Dataspace != "nvme0://" || out.Task.Output.Path != "out/x" {
+		t.Fatalf("output mismatch: %+v", out.Task.Output)
+	}
+}
+
+func TestResourceSpecConversion(t *testing.T) {
+	orig := task.RemotePosixPath("node3", "pmdk0://", "a/b")
+	rs := FromResource(orig)
+	back := rs.ToResource()
+	if back.Kind != orig.Kind || back.Node != orig.Node ||
+		back.Dataspace != orig.Dataspace || back.Path != orig.Path || back.Size != orig.Size {
+		t.Fatalf("ToResource(FromResource(r)) = %+v, want %+v", back, orig)
+	}
+}
+
+func TestJobRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		Seq: 1,
+		Op:  OpRegisterJob,
+		Job: &JobSpec{
+			ID:    9,
+			Hosts: []string{"n1", "n2", "n3"},
+			Limits: []JobLimitSpec{
+				{Dataspace: "nvme0://", Quota: 1 << 30},
+				{Dataspace: "lustre://"},
+			},
+		},
+	}
+	out := roundTripRequest(t, in)
+	if out.Job == nil || out.Job.ID != 9 || len(out.Job.Hosts) != 3 || len(out.Job.Limits) != 2 {
+		t.Fatalf("job mismatch: %+v", out.Job)
+	}
+	if out.Job.Limits[0].Quota != 1<<30 || out.Job.Limits[1].Dataspace != "lustre://" {
+		t.Fatalf("limits mismatch: %+v", out.Job.Limits)
+	}
+}
+
+func TestDataspaceRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		Op: OpRegisterDataspace,
+		Dataspace: &DataspaceSpec{
+			ID: "nvme0://", Backend: 2, Mount: "/mnt/pmem0", Capacity: 3 << 40, Track: true,
+		},
+	}
+	out := roundTripRequest(t, in)
+	ds := out.Dataspace
+	if ds == nil || ds.ID != "nvme0://" || ds.Backend != 2 || ds.Mount != "/mnt/pmem0" ||
+		ds.Capacity != 3<<40 || !ds.Track {
+		t.Fatalf("dataspace mismatch: %+v", ds)
+	}
+}
+
+func TestProcRequestRoundTrip(t *testing.T) {
+	in := &Request{Op: OpAddProcess, Proc: &ProcSpec{PID: 100, UID: 1000, GID: 2000}, Job: &JobSpec{ID: 5}}
+	out := roundTripRequest(t, in)
+	if out.Proc == nil || out.Proc.PID != 100 || out.Proc.UID != 1000 || out.Proc.GID != 2000 {
+		t.Fatalf("proc mismatch: %+v", out.Proc)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := &Response{
+		Seq:    11,
+		Status: ETaskError,
+		Error:  "transfer failed",
+		TaskID: 77,
+		Stats: &TaskStats{
+			Status: uint32(task.Failed), Err: "io error", TotalBytes: 100, MovedBytes: 40,
+		},
+		Dataspaces: []DataspaceSpec{{ID: "a://", UsedBytes: 5}, {ID: "b://"}},
+		NonEmpty:   []string{"a://"},
+		DaemonInfo: "urd 1.0",
+	}
+	out := roundTripResponse(t, in)
+	if out.Seq != 11 || out.Status != ETaskError || out.Error != "transfer failed" || out.TaskID != 77 {
+		t.Fatalf("envelope mismatch: %+v", out)
+	}
+	if out.Stats == nil || out.Stats.MovedBytes != 40 || out.Stats.Err != "io error" {
+		t.Fatalf("stats mismatch: %+v", out.Stats)
+	}
+	if len(out.Dataspaces) != 2 || out.Dataspaces[0].UsedBytes != 5 {
+		t.Fatalf("dataspaces mismatch: %+v", out.Dataspaces)
+	}
+	if len(out.NonEmpty) != 1 || out.NonEmpty[0] != "a://" {
+		t.Fatalf("nonEmpty mismatch: %v", out.NonEmpty)
+	}
+	if out.DaemonInfo != "urd 1.0" {
+		t.Fatalf("daemonInfo mismatch: %q", out.DaemonInfo)
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	s := task.Stats{Status: task.Finished, TotalBytes: 10, MovedBytes: 10}
+	ts := FromStats(s)
+	if ts.Status != uint32(task.Finished) || ts.TotalBytes != 10 || ts.MovedBytes != 10 {
+		t.Fatalf("FromStats = %+v", ts)
+	}
+}
+
+func TestOpControl(t *testing.T) {
+	for _, o := range []Op{OpSubmit, OpWait, OpTaskStatus, OpGetDataspaceInfo} {
+		if o.Control() {
+			t.Errorf("%v misclassified as control", o)
+		}
+	}
+	for _, o := range []Op{OpPing, OpRegisterDataspace, OpRegisterJob, OpShutdown} {
+		if !o.Control() {
+			t.Errorf("%v misclassified as user", o)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpSubmit.String() != "submit" || OpPing.String() != "ping" || Op(9999).String() == "" {
+		t.Fatal("op strings wrong")
+	}
+	if Success.String() != "NORNS_SUCCESS" || ETimeout.String() != "NORNS_ETIMEOUT" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(seq, pid, taskID uint64, op uint32, timeout int64, track bool) bool {
+		in := &Request{Seq: seq, Op: Op(op), PID: pid, TaskID: taskID, TimeoutMS: timeout, Track: track}
+		var out Request
+		if err := wire.Unmarshal(wire.Marshal(in), &out); err != nil {
+			return false
+		}
+		return out.Seq == seq && out.Op == Op(op) && out.PID == pid &&
+			out.TaskID == taskID && out.TimeoutMS == timeout && out.Track == track
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyMessages(t *testing.T) {
+	out := roundTripRequest(t, &Request{})
+	if out.Op != OpInvalid || out.Task != nil || out.Job != nil {
+		t.Fatalf("empty request round trip: %+v", out)
+	}
+	resp := roundTripResponse(t, &Response{})
+	if resp.Status != Success || resp.Stats != nil {
+		t.Fatalf("empty response round trip: %+v", resp)
+	}
+}

@@ -1,0 +1,53 @@
+package queue_test
+
+import (
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/queue"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// ExampleSJF shows size-aware arbitration: the smallest transfer runs
+// first regardless of arrival order.
+func ExampleSJF() {
+	q := queue.New(queue.NewSJF(nil))
+	sizes := []int{300, 100, 200}
+	for i, n := range sizes {
+		t := task.New(uint64(i+1), task.Copy,
+			task.MemoryRegion(make([]byte, n)),
+			task.PosixPath("nvme0://", fmt.Sprintf("f%d", i)))
+		_ = q.Submit(t)
+	}
+	q.Close()
+	for t := q.Next(); t != nil; t = q.Next() {
+		fmt.Println(len(t.Input.Data))
+	}
+	// Output:
+	// 100
+	// 200
+	// 300
+}
+
+// ExampleFairShare shows per-job round-robin: job 2's task is not
+// starved behind job 1's backlog.
+func ExampleFairShare() {
+	q := queue.New(queue.NewFairShare())
+	mk := func(id, job uint64) *task.Task {
+		t := task.New(id, task.NoOp, task.Resource{}, task.Resource{})
+		t.JobID = job
+		return t
+	}
+	_ = q.Submit(mk(1, 1))
+	_ = q.Submit(mk(2, 1))
+	_ = q.Submit(mk(3, 1))
+	_ = q.Submit(mk(4, 2))
+	q.Close()
+	for t := q.Next(); t != nil; t = q.Next() {
+		fmt.Printf("task %d (job %d)\n", t.ID, t.JobID)
+	}
+	// Output:
+	// task 1 (job 1)
+	// task 4 (job 2)
+	// task 2 (job 1)
+	// task 3 (job 1)
+}

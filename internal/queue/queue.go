@@ -1,0 +1,331 @@
+// Package queue implements the urd daemon's pending-task queue and the
+// arbitration policies that order task execution. The paper ships FCFS
+// as the default policy and explicitly designs the component for other
+// strategies to be plugged in; this package provides FCFS plus the
+// shortest-job-first, priority, and per-job fair-share policies our
+// ablation benchmarks compare.
+package queue
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// Policy orders pending tasks. Implementations are not safe for
+// concurrent use; Queue serializes access.
+type Policy interface {
+	// Name identifies the policy ("fcfs", "sjf", ...).
+	Name() string
+	// Push adds a pending task.
+	Push(t *task.Task)
+	// Pop removes and returns the next task, or nil when empty.
+	Pop() *task.Task
+	// Len returns the number of pending tasks.
+	Len() int
+}
+
+// SizeFunc estimates a task's transfer size for size-aware policies.
+type SizeFunc func(*task.Task) int64
+
+// ResourceSize is the default SizeFunc: the declared size of memory
+// inputs, zero otherwise (path sizes are unknown until execution).
+func ResourceSize(t *task.Task) int64 {
+	in := t.Input
+	if in.Kind == task.Memory {
+		if in.Data != nil {
+			return int64(len(in.Data))
+		}
+		return in.Size
+	}
+	return 0
+}
+
+// --- FCFS ---
+
+// FCFS executes tasks in arrival order (the paper's default).
+type FCFS struct {
+	items []*task.Task
+}
+
+// NewFCFS returns a first-come-first-served policy.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Policy.
+func (f *FCFS) Name() string { return "fcfs" }
+
+// Push implements Policy.
+func (f *FCFS) Push(t *task.Task) { f.items = append(f.items, t) }
+
+// Pop implements Policy.
+func (f *FCFS) Pop() *task.Task {
+	if len(f.items) == 0 {
+		return nil
+	}
+	t := f.items[0]
+	f.items[0] = nil
+	f.items = f.items[1:]
+	return t
+}
+
+// Len implements Policy.
+func (f *FCFS) Len() int { return len(f.items) }
+
+// --- ordered heap shared by SJF and Priority ---
+
+type heapItem struct {
+	t   *task.Task
+	key int64
+	seq int64
+}
+
+type taskHeap struct {
+	items []heapItem
+	// less returns true when a should run before b.
+	less func(a, b heapItem) bool
+}
+
+func (h *taskHeap) Len() int           { return len(h.items) }
+func (h *taskHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+func (h *taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *taskHeap) Push(x any)         { h.items = append(h.items, x.(heapItem)) }
+func (h *taskHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = heapItem{}
+	h.items = old[:n-1]
+	return it
+}
+
+// --- SJF ---
+
+// SJF executes the smallest estimated transfer first, breaking ties by
+// arrival order. Favors request latency at the risk of starving large
+// staging tasks under sustained load.
+type SJF struct {
+	h    taskHeap
+	size SizeFunc
+	seq  int64
+}
+
+// NewSJF returns a shortest-job-first policy using size (nil selects
+// ResourceSize).
+func NewSJF(size SizeFunc) *SJF {
+	if size == nil {
+		size = ResourceSize
+	}
+	s := &SJF{size: size}
+	s.h.less = func(a, b heapItem) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.seq < b.seq
+	}
+	return s
+}
+
+// Name implements Policy.
+func (s *SJF) Name() string { return "sjf" }
+
+// Push implements Policy.
+func (s *SJF) Push(t *task.Task) {
+	s.seq++
+	heap.Push(&s.h, heapItem{t: t, key: s.size(t), seq: s.seq})
+}
+
+// Pop implements Policy.
+func (s *SJF) Pop() *task.Task {
+	if s.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&s.h).(heapItem).t
+}
+
+// Len implements Policy.
+func (s *SJF) Len() int { return s.h.Len() }
+
+// --- Priority ---
+
+// Priority executes the highest task.Priority first, FIFO within a
+// priority level. The Slurm extensions raise the priority of staging
+// tasks whose jobs are closest to their scheduled start.
+type Priority struct {
+	h   taskHeap
+	seq int64
+}
+
+// NewPriority returns a priority policy.
+func NewPriority() *Priority {
+	p := &Priority{}
+	p.h.less = func(a, b heapItem) bool {
+		if a.key != b.key {
+			return a.key > b.key // higher priority first
+		}
+		return a.seq < b.seq
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *Priority) Name() string { return "priority" }
+
+// Push implements Policy.
+func (p *Priority) Push(t *task.Task) {
+	p.seq++
+	heap.Push(&p.h, heapItem{t: t, key: int64(t.Priority), seq: p.seq})
+}
+
+// Pop implements Policy.
+func (p *Priority) Pop() *task.Task {
+	if p.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&p.h).(heapItem).t
+}
+
+// Len implements Policy.
+func (p *Priority) Len() int { return p.h.Len() }
+
+// --- FairShare ---
+
+// FairShare round-robins across job IDs so one chatty job cannot starve
+// the staging traffic of others, FIFO within a job.
+type FairShare struct {
+	order   []uint64 // round-robin ring of job IDs with pending work
+	pending map[uint64][]*task.Task
+	next    int
+	n       int
+}
+
+// NewFairShare returns a per-job fair-share policy.
+func NewFairShare() *FairShare {
+	return &FairShare{pending: make(map[uint64][]*task.Task)}
+}
+
+// Name implements Policy.
+func (f *FairShare) Name() string { return "fair-share" }
+
+// Push implements Policy.
+func (f *FairShare) Push(t *task.Task) {
+	q, ok := f.pending[t.JobID]
+	if !ok {
+		f.order = append(f.order, t.JobID)
+	}
+	f.pending[t.JobID] = append(q, t)
+	f.n++
+}
+
+// Pop implements Policy.
+func (f *FairShare) Pop() *task.Task {
+	if f.n == 0 {
+		return nil
+	}
+	for {
+		if f.next >= len(f.order) {
+			f.next = 0
+		}
+		jid := f.order[f.next]
+		q := f.pending[jid]
+		if len(q) == 0 {
+			// Job drained: drop it from the ring.
+			f.order = append(f.order[:f.next], f.order[f.next+1:]...)
+			delete(f.pending, jid)
+			continue
+		}
+		t := q[0]
+		q[0] = nil
+		f.pending[jid] = q[1:]
+		f.n--
+		f.next++
+		return t
+	}
+}
+
+// Len implements Policy.
+func (f *FairShare) Len() int { return f.n }
+
+// --- Queue ---
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is the concurrency-safe pending-task queue: the accept loop
+// submits, worker goroutines block on Next. Ordering is delegated to the
+// configured Policy.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	policy Policy
+	closed bool
+}
+
+// New returns a queue over the given policy (nil selects FCFS).
+func New(policy Policy) *Queue {
+	if policy == nil {
+		policy = NewFCFS()
+	}
+	q := &Queue{policy: policy}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// PolicyName returns the active policy's name.
+func (q *Queue) PolicyName() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.policy.Name()
+}
+
+// Submit enqueues a pending task.
+func (q *Queue) Submit(t *task.Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.policy.Push(t)
+	q.cond.Signal()
+	return nil
+}
+
+// Next blocks until a task is available or the queue closes, returning
+// nil in the latter case.
+func (q *Queue) Next() *task.Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if t := q.policy.Pop(); t != nil {
+			return t
+		}
+		if q.closed {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// TryNext returns the next task without blocking, or nil.
+func (q *Queue) TryNext() *task.Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.policy.Pop()
+}
+
+// Len returns the number of pending tasks.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.policy.Len()
+}
+
+// Close wakes all waiters; subsequent Submits fail and Next drains the
+// remaining tasks before returning nil.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

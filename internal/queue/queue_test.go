@@ -1,0 +1,318 @@
+package queue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+func memTask(id uint64, size int) *task.Task {
+	return task.New(id, task.Copy, task.MemoryRegion(make([]byte, size)), task.PosixPath("d://", "p"))
+}
+
+func TestFCFSOrder(t *testing.T) {
+	p := NewFCFS()
+	for i := uint64(1); i <= 5; i++ {
+		p.Push(memTask(i, int(i)))
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for i := uint64(1); i <= 5; i++ {
+		got := p.Pop()
+		if got == nil || got.ID != i {
+			t.Fatalf("Pop %d = %v", i, got)
+		}
+	}
+	if p.Pop() != nil {
+		t.Fatal("Pop on empty != nil")
+	}
+}
+
+func TestSJFOrder(t *testing.T) {
+	p := NewSJF(nil)
+	p.Push(memTask(1, 300))
+	p.Push(memTask(2, 100))
+	p.Push(memTask(3, 200))
+	want := []uint64{2, 3, 1}
+	for _, id := range want {
+		if got := p.Pop(); got.ID != id {
+			t.Fatalf("Pop = %d, want %d", got.ID, id)
+		}
+	}
+}
+
+func TestSJFTieBreaksFIFO(t *testing.T) {
+	p := NewSJF(nil)
+	p.Push(memTask(1, 100))
+	p.Push(memTask(2, 100))
+	p.Push(memTask(3, 100))
+	for _, id := range []uint64{1, 2, 3} {
+		if got := p.Pop(); got.ID != id {
+			t.Fatalf("tie order: got %d, want %d", got.ID, id)
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	p := NewPriority()
+	low := memTask(1, 1)
+	low.Priority = 1
+	hi := memTask(2, 1)
+	hi.Priority = 10
+	mid := memTask(3, 1)
+	mid.Priority = 5
+	p.Push(low)
+	p.Push(hi)
+	p.Push(mid)
+	for _, id := range []uint64{2, 3, 1} {
+		if got := p.Pop(); got.ID != id {
+			t.Fatalf("priority order: got %d, want %d", got.ID, id)
+		}
+	}
+}
+
+func TestPriorityFIFOWithinLevel(t *testing.T) {
+	p := NewPriority()
+	for i := uint64(1); i <= 3; i++ {
+		tk := memTask(i, 1)
+		tk.Priority = 7
+		p.Push(tk)
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		if got := p.Pop(); got.ID != id {
+			t.Fatalf("FIFO within level: got %d, want %d", got.ID, id)
+		}
+	}
+}
+
+func TestFairShareRoundRobin(t *testing.T) {
+	p := NewFairShare()
+	mk := func(id, job uint64) *task.Task {
+		tk := memTask(id, 1)
+		tk.JobID = job
+		return tk
+	}
+	// Job 1 floods first; job 2 submits later but must interleave.
+	p.Push(mk(1, 1))
+	p.Push(mk(2, 1))
+	p.Push(mk(3, 1))
+	p.Push(mk(4, 2))
+	p.Push(mk(5, 2))
+	var got []uint64
+	for tk := p.Pop(); tk != nil; tk = p.Pop() {
+		got = append(got, tk.ID)
+	}
+	want := []uint64{1, 4, 2, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFairShareSingleJobIsFIFO(t *testing.T) {
+	p := NewFairShare()
+	for i := uint64(1); i <= 4; i++ {
+		p.Push(memTask(i, 1))
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if got := p.Pop(); got.ID != i {
+			t.Fatalf("got %d, want %d", got.ID, i)
+		}
+	}
+}
+
+// TestPolicyConservation: every policy returns exactly the tasks pushed,
+// each once, regardless of interleaving.
+func TestPolicyConservation(t *testing.T) {
+	mk := map[string]func() Policy{
+		"fcfs":     func() Policy { return NewFCFS() },
+		"sjf":      func() Policy { return NewSJF(nil) },
+		"priority": func() Policy { return NewPriority() },
+		"fair":     func() Policy { return NewFairShare() },
+	}
+	for name, factory := range mk {
+		t.Run(name, func(t *testing.T) {
+			f := func(sizes []uint8, jobs []uint8) bool {
+				p := factory()
+				n := len(sizes)
+				if n > 50 {
+					n = 50
+				}
+				seen := make(map[uint64]bool)
+				for i := 0; i < n; i++ {
+					tk := memTask(uint64(i+1), int(sizes[i])+1)
+					if i < len(jobs) {
+						tk.JobID = uint64(jobs[i] % 4)
+					}
+					tk.Priority = int(sizes[i] % 5)
+					p.Push(tk)
+				}
+				count := 0
+				for tk := p.Pop(); tk != nil; tk = p.Pop() {
+					if seen[tk.ID] {
+						return false // duplicate
+					}
+					seen[tk.ID] = true
+					count++
+				}
+				return count == n && p.Len() == 0
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQueueBlockingNext(t *testing.T) {
+	q := New(nil)
+	got := make(chan *task.Task, 1)
+	go func() { got <- q.Next() }()
+	select {
+	case <-got:
+		t.Fatal("Next returned before Submit")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := q.Submit(memTask(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case tk := <-got:
+		if tk.ID != 1 {
+			t.Fatalf("got task %d", tk.ID)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Next never returned")
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	q := New(nil)
+	if err := q.Submit(memTask(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if err := q.Submit(memTask(2, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v", err)
+	}
+	// Drain remaining, then nil.
+	if tk := q.Next(); tk == nil || tk.ID != 1 {
+		t.Fatalf("Next after close = %v", tk)
+	}
+	if tk := q.Next(); tk != nil {
+		t.Fatalf("Next on drained closed queue = %v", tk)
+	}
+}
+
+func TestQueueCloseWakesWaiters(t *testing.T) {
+	q := New(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tk := q.Next(); tk != nil {
+				t.Errorf("waiter got task %v", tk.ID)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake waiters")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := New(NewFairShare())
+	const producers, perProducer = 4, 100
+	var consumed sync.Map
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tk := q.Next()
+				if tk == nil {
+					return
+				}
+				if _, dup := consumed.LoadOrStore(tk.ID, true); dup {
+					t.Errorf("task %d consumed twice", tk.ID)
+				}
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				tk := memTask(uint64(p*perProducer+i+1), 1)
+				tk.JobID = uint64(p)
+				if err := q.Submit(tk); err != nil {
+					t.Errorf("Submit: %v", err)
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	wg.Wait()
+	n := 0
+	consumed.Range(func(_, _ any) bool { n++; return true })
+	if n != producers*perProducer {
+		t.Fatalf("consumed %d tasks, want %d", n, producers*perProducer)
+	}
+}
+
+func TestQueueTryNext(t *testing.T) {
+	q := New(nil)
+	if tk := q.TryNext(); tk != nil {
+		t.Fatal("TryNext on empty queue != nil")
+	}
+	if err := q.Submit(memTask(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if tk := q.TryNext(); tk == nil || tk.ID != 1 {
+		t.Fatalf("TryNext = %v", tk)
+	}
+}
+
+func TestQueuePolicyName(t *testing.T) {
+	if New(nil).PolicyName() != "fcfs" {
+		t.Fatal("default policy is not fcfs")
+	}
+	if New(NewSJF(nil)).PolicyName() != "sjf" {
+		t.Fatal("sjf name")
+	}
+}
+
+func BenchmarkQueueSubmitNext(b *testing.B) {
+	q := New(nil)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := q.Submit(memTask(1, 1)); err != nil {
+				b.Fatal(err)
+			}
+			q.Next()
+		}
+	})
+}

@@ -1,0 +1,138 @@
+// Package sim implements the discrete-event simulation kernel used to
+// model the parts of the paper's testbed we cannot run directly: shared
+// parallel-file-system bandwidth under interference, node-local NVM
+// devices, and the cluster fabric. Virtual time is a float64 number of
+// seconds; events fire in (time, insertion) order so runs are fully
+// deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing.
+type Event struct {
+	at    float64
+	seq   int64
+	fn    func()
+	index int     // heap index, -1 when fired or cancelled
+	owner *Engine // scheduling engine, needed for Cancel
+}
+
+// Cancel removes the event from the schedule if it has not fired yet.
+func (ev *Event) Cancel() {
+	if ev != nil && ev.index >= 0 && ev.owner != nil {
+		heap.Remove(&ev.owner.events, ev.index)
+		ev.fn = nil
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// ready to use. Engines are not safe for concurrent use; a simulation is
+// single-threaded by design.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// NewEngine returns an Engine starting at virtual time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it always indicates a modeling bug.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, owner: e}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the next event, reporting false when the schedule is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the schedule is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to
+// t if it has not passed it already.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package sim
+
+import "math"
+
+// Flow is one in-progress transfer on a SharedResource.
+type Flow struct {
+	res       *SharedResource
+	remaining float64 // bytes left to move
+	weight    float64
+	done      func()
+	active    bool
+	started   float64
+}
+
+// Remaining returns the bytes this flow still has to transfer, as of the
+// last resource update.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Cancel removes an unfinished flow from the resource without invoking
+// its completion callback.
+func (f *Flow) Cancel() {
+	if f.active {
+		f.res.update()
+		f.active = false
+		delete(f.res.flows, f)
+		f.res.reschedule()
+	}
+}
+
+// SharedResource models a capacity shared fairly among concurrent flows
+// (processor sharing): with total capacity C bytes/s and total active
+// weight W, a flow of weight w progresses at C*w/W. This is the standard
+// model for a parallel file system or network link under contention, and
+// is what produces the paper's figure-1/figure-8 behaviour: aggregate
+// bandwidth is flat with node count while per-client bandwidth collapses
+// as competing flows appear.
+type SharedResource struct {
+	eng        *Engine
+	capacity   float64 // bytes/sec
+	flows      map[*Flow]struct{}
+	lastUpdate float64
+	next       *Event
+}
+
+// NewSharedResource returns a resource with the given capacity in
+// bytes/second.
+func NewSharedResource(eng *Engine, capacity float64) *SharedResource {
+	if capacity <= 0 {
+		panic("sim: SharedResource capacity must be positive")
+	}
+	return &SharedResource{eng: eng, capacity: capacity, flows: make(map[*Flow]struct{})}
+}
+
+// Capacity returns the configured capacity in bytes/second.
+func (r *SharedResource) Capacity() float64 { return r.capacity }
+
+// Active returns the number of in-progress flows.
+func (r *SharedResource) Active() int { return len(r.flows) }
+
+func (r *SharedResource) totalWeight() float64 {
+	var w float64
+	for f := range r.flows {
+		w += f.weight
+	}
+	return w
+}
+
+// update advances every active flow to the current virtual time.
+func (r *SharedResource) update() {
+	now := r.eng.Now()
+	elapsed := now - r.lastUpdate
+	r.lastUpdate = now
+	if elapsed <= 0 || len(r.flows) == 0 {
+		return
+	}
+	perWeight := r.capacity / r.totalWeight()
+	for f := range r.flows {
+		f.remaining -= elapsed * perWeight * f.weight
+		if f.remaining < 1e-9 {
+			f.remaining = 0
+		}
+	}
+}
+
+// reschedule plans the next completion event.
+func (r *SharedResource) reschedule() {
+	if r.next != nil {
+		r.next.Cancel()
+		r.next = nil
+	}
+	if len(r.flows) == 0 {
+		return
+	}
+	perWeight := r.capacity / r.totalWeight()
+	soonest := math.Inf(1)
+	for f := range r.flows {
+		t := f.remaining / (perWeight * f.weight)
+		if t < soonest {
+			soonest = t
+		}
+	}
+	r.next = r.eng.After(soonest, r.complete)
+}
+
+// complete fires the callbacks of every flow that has finished.
+func (r *SharedResource) complete() {
+	r.next = nil
+	r.update()
+	perWeight := r.capacity / r.totalWeight()
+	var finished []*Flow
+	for f := range r.flows {
+		// Residuals below a nanosecond of work are done: rescheduling
+		// them cannot advance float64 time.
+		if f.remaining == 0 || f.remaining <= perWeight*f.weight*1e-9 {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		f.active = false
+		delete(r.flows, f)
+	}
+	r.reschedule()
+	for _, f := range finished {
+		if f.done != nil {
+			f.done()
+		}
+	}
+}
+
+// Start begins transferring the given number of bytes. done runs when the
+// flow completes. Weight scales the flow's share of the capacity (1 is a
+// normal flow).
+func (r *SharedResource) Start(bytes float64, done func()) *Flow {
+	return r.StartWeighted(bytes, 1, done)
+}
+
+// StartWeighted begins a flow with the given fair-share weight.
+func (r *SharedResource) StartWeighted(bytes, weight float64, done func()) *Flow {
+	if bytes < 0 || weight <= 0 {
+		panic("sim: flow needs bytes >= 0 and weight > 0")
+	}
+	r.update()
+	f := &Flow{res: r, remaining: bytes, weight: weight, done: done, active: true, started: r.eng.Now()}
+	if bytes == 0 {
+		f.active = false
+		r.eng.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return f
+	}
+	r.flows[f] = struct{}{}
+	r.reschedule()
+	return f
+}
+
+// Transfer is a convenience that runs a flow to completion inside
+// Engine.Run and reports the elapsed virtual transfer time through done.
+func (r *SharedResource) Transfer(bytes float64, done func(elapsed float64)) {
+	start := r.eng.Now()
+	r.Start(bytes, func() {
+		if done != nil {
+			done(r.eng.Now() - start)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a deterministic pseudo-random source with the sampling
+// helpers the storage-interference models need. Every experiment seeds
+// its own RNG so results are reproducible run to run.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a Gaussian sample with the given mean and stddev.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// LogNormal returns a sample whose logarithm is Normal(mu, sigma).
+// Heavy-tailed load bursts on shared file systems are classically
+// modeled as log-normal; this drives the figure-1 interference noise.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// Exp returns an exponential sample with the given rate (1/mean).
+func (g *RNG) Exp(rate float64) float64 {
+	return g.r.ExpFloat64() / rate
+}
+
+// Pareto returns a bounded Pareto-like heavy-tailed sample with minimum
+// xm and shape alpha.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineTieBreakByInsertion(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(1, func() { order = append(order, "a") })
+	e.At(1, func() { order = append(order, "b") })
+	e.Run()
+	if order[0] != "a" || order[1] != "b" {
+		t.Fatalf("ties must fire in insertion order, got %v", order)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after Run", fired)
+	}
+}
+
+func TestSharedResourceSingleFlow(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, 100) // 100 B/s
+	var elapsed float64
+	r.Transfer(500, func(d float64) { elapsed = d })
+	e.Run()
+	if math.Abs(elapsed-5) > 1e-9 {
+		t.Fatalf("500 B at 100 B/s took %v s, want 5", elapsed)
+	}
+}
+
+func TestSharedResourceFairShare(t *testing.T) {
+	// Two equal flows each get half the capacity; both finish at 2x the
+	// solo time.
+	e := NewEngine()
+	r := NewSharedResource(e, 100)
+	var d1, d2 float64
+	r.Transfer(100, func(d float64) { d1 = d })
+	r.Transfer(100, func(d float64) { d2 = d })
+	e.Run()
+	if math.Abs(d1-2) > 1e-9 || math.Abs(d2-2) > 1e-9 {
+		t.Fatalf("d1=%v d2=%v, want 2 each", d1, d2)
+	}
+}
+
+func TestSharedResourceStaggered(t *testing.T) {
+	// Flow A (200 B) starts alone at t=0; flow B (100 B) joins at t=1.
+	// A runs 1 s alone (100 B done), then shares: both at 50 B/s.
+	// B finishes at t=3; A has 100-? remaining... A: remaining 100 at t=1,
+	// gets 50 B/s until t=3 (100 B) -> finishes exactly at t=3 too.
+	e := NewEngine()
+	r := NewSharedResource(e, 100)
+	var endA, endB float64
+	r.Start(200, func() { endA = e.Now() })
+	e.At(1, func() {
+		r.Start(100, func() { endB = e.Now() })
+	})
+	e.Run()
+	if math.Abs(endA-3) > 1e-9 {
+		t.Errorf("endA = %v, want 3", endA)
+	}
+	if math.Abs(endB-3) > 1e-9 {
+		t.Errorf("endB = %v, want 3", endB)
+	}
+}
+
+func TestSharedResourceWeighted(t *testing.T) {
+	// Weight-3 flow gets 75 B/s, weight-1 flow gets 25 B/s.
+	e := NewEngine()
+	r := NewSharedResource(e, 100)
+	var endHeavy, endLight float64
+	r.StartWeighted(150, 3, func() { endHeavy = e.Now() })
+	r.StartWeighted(150, 1, func() { endLight = e.Now() })
+	e.Run()
+	if math.Abs(endHeavy-2) > 1e-9 {
+		t.Errorf("heavy = %v, want 2", endHeavy)
+	}
+	// After heavy finishes at t=2, light has 150-50=100 left at full 100 B/s.
+	if math.Abs(endLight-3) > 1e-9 {
+		t.Errorf("light = %v, want 3", endLight)
+	}
+}
+
+func TestSharedResourceCancel(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, 100)
+	var cancelled, completed bool
+	f := r.Start(1000, func() { cancelled = true })
+	r.Start(100, func() { completed = true })
+	e.At(0.5, func() { f.Cancel() })
+	e.Run()
+	if cancelled {
+		t.Error("cancelled flow ran its callback")
+	}
+	if !completed {
+		t.Error("remaining flow did not complete")
+	}
+	if r.Active() != 0 {
+		t.Errorf("Active = %d", r.Active())
+	}
+}
+
+func TestSharedResourceZeroBytes(t *testing.T) {
+	e := NewEngine()
+	r := NewSharedResource(e, 100)
+	done := false
+	r.Start(0, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("zero-byte flow never completed")
+	}
+}
+
+// TestSharedResourceConservation checks the work-conservation invariant:
+// total bytes moved equals capacity * makespan when the resource is never
+// idle, regardless of flow sizes and arrival order.
+func TestSharedResourceConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		var total float64
+		e := NewEngine()
+		r := NewSharedResource(e, 50)
+		any := false
+		for _, s := range sizes {
+			b := float64(s%1000) + 1
+			total += b
+			r.Start(b, nil)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		e.Run()
+		makespan := e.Now()
+		return math.Abs(makespan-total/50) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical sequences")
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	g := NewRNG(42)
+	n := 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Normal(10, 2)
+	}
+	if mean := sum / float64(n); math.Abs(mean-10) > 0.1 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	var mn, mx float64 = math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		v := g.Uniform(3, 5)
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mn < 3 || mx >= 5 {
+		t.Errorf("Uniform out of range: [%v, %v]", mn, mx)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := g.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto sample %v below minimum", v)
+		}
+		if v := g.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal sample %v not positive", v)
+		}
+		if v := g.Exp(2); v < 0 {
+			t.Fatalf("Exp sample %v negative", v)
+		}
+	}
+	p := g.Perm(10)
+	sorted := append([]int(nil), p...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package simnet models the cluster interconnect for the discrete-event
+// experiments: point-to-point transfers whose throughput is limited both
+// by a per-flow cap (the client NIC / protocol limit the paper observes
+// at ~1.7-1.8 GiB/s per client over ofi+tcp) and by the fair-shared
+// capacity of the target's link. Rates are assigned by water-filling, so
+// aggregate bandwidth scales linearly with clients until the target link
+// saturates — the exact shape of the paper's figures 6 and 7.
+package simnet
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+)
+
+// cappedFlow is one transfer on a CappedResource.
+type cappedFlow struct {
+	remaining float64
+	cap       float64 // per-flow rate ceiling (bytes/sec)
+	weight    float64 // fair-share weight
+	rate      float64 // current assigned rate
+	done      func()
+}
+
+// CappedResource is a shared capacity whose flows each have an
+// individual rate cap and a fair-share weight. Weighted water-filling
+// assigns rates: flows below their cap split the leftover capacity in
+// proportion to their weights.
+type CappedResource struct {
+	eng        *sim.Engine
+	capacity   float64
+	flows      map[*cappedFlow]struct{}
+	lastUpdate float64
+	next       *sim.Event
+}
+
+// NewCappedResource returns a resource with the given total capacity in
+// bytes/second.
+func NewCappedResource(eng *sim.Engine, capacity float64) *CappedResource {
+	if capacity <= 0 {
+		panic("simnet: capacity must be positive")
+	}
+	return &CappedResource{eng: eng, capacity: capacity, flows: make(map[*cappedFlow]struct{})}
+}
+
+// Active returns the number of in-progress flows.
+func (r *CappedResource) Active() int { return len(r.flows) }
+
+// assignRates runs weighted water-filling over the active flows.
+func (r *CappedResource) assignRates() {
+	n := len(r.flows)
+	if n == 0 {
+		return
+	}
+	flows := make([]*cappedFlow, 0, n)
+	var totalWeight float64
+	for f := range r.flows {
+		flows = append(flows, f)
+		totalWeight += f.weight
+	}
+	// Most-constrained (lowest cap per unit weight) first, so capped
+	// flows release their unused share to the rest.
+	sort.Slice(flows, func(i, j int) bool {
+		return flows[i].cap/flows[i].weight < flows[j].cap/flows[j].weight
+	})
+	remainingCap := r.capacity
+	remainingWeight := totalWeight
+	for _, f := range flows {
+		fair := remainingCap * f.weight / remainingWeight
+		rate := math.Min(f.cap, fair)
+		f.rate = rate
+		remainingCap -= rate
+		remainingWeight -= f.weight
+	}
+}
+
+func (r *CappedResource) update() {
+	now := r.eng.Now()
+	elapsed := now - r.lastUpdate
+	r.lastUpdate = now
+	if elapsed <= 0 {
+		return
+	}
+	for f := range r.flows {
+		f.remaining -= elapsed * f.rate
+		if f.remaining < 1e-9 {
+			f.remaining = 0
+		}
+	}
+}
+
+func (r *CappedResource) reschedule() {
+	if r.next != nil {
+		r.next.Cancel()
+		r.next = nil
+	}
+	if len(r.flows) == 0 {
+		return
+	}
+	r.assignRates()
+	soonest := math.Inf(1)
+	for f := range r.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	r.next = r.eng.After(soonest, r.complete)
+}
+
+func (r *CappedResource) complete() {
+	r.next = nil
+	r.update()
+	var finished []*cappedFlow
+	for f := range r.flows {
+		// A flow with less than a nanosecond of work left is done:
+		// scheduling its residual would not advance float64 time
+		// (Zeno's paradox in the event loop).
+		if f.remaining == 0 || (f.rate > 0 && f.remaining <= f.rate*1e-9) {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		delete(r.flows, f)
+	}
+	r.reschedule()
+	for _, f := range finished {
+		if f.done != nil {
+			f.done()
+		}
+	}
+}
+
+// Start begins a transfer of the given bytes with a per-flow rate cap
+// (<= 0 means uncapped) and weight 1. done fires at completion.
+func (r *CappedResource) Start(bytes, flowCap float64, done func()) {
+	r.StartWeighted(bytes, flowCap, 1, done)
+}
+
+// StartWeighted begins a transfer with an explicit fair-share weight.
+func (r *CappedResource) StartWeighted(bytes, flowCap, weight float64, done func()) {
+	if flowCap <= 0 {
+		flowCap = math.Inf(1)
+	}
+	if weight <= 0 {
+		panic("simnet: flow weight must be positive")
+	}
+	r.update()
+	if bytes <= 0 {
+		r.eng.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	f := &cappedFlow{remaining: bytes, cap: flowCap, weight: weight, done: done}
+	r.flows[f] = struct{}{}
+	r.reschedule()
+}
+
+// Fabric is the cluster interconnect: one ingress CappedResource per
+// node (the NIC), with per-flow caps modeling the peer/protocol limit.
+type Fabric struct {
+	eng *sim.Engine
+	// LinkBW is each node's NIC capacity in bytes/sec.
+	LinkBW float64
+	// PerFlowCap bounds a single transfer's rate (protocol limit).
+	PerFlowCap float64
+	// RPCLatency is the per-RPC round-trip overhead in seconds; with d
+	// RPCs in flight the effective overhead per buffer is latency/d.
+	RPCLatency float64
+
+	ingress map[string]*CappedResource
+}
+
+// NewFabric returns a fabric over the engine.
+func NewFabric(eng *sim.Engine, linkBW, perFlowCap, rpcLatency float64) *Fabric {
+	return &Fabric{
+		eng:        eng,
+		LinkBW:     linkBW,
+		PerFlowCap: perFlowCap,
+		RPCLatency: rpcLatency,
+		ingress:    make(map[string]*CappedResource),
+	}
+}
+
+func (f *Fabric) node(name string) *CappedResource {
+	r, ok := f.ingress[name]
+	if !ok {
+		r = NewCappedResource(f.eng, f.LinkBW)
+		f.ingress[name] = r
+	}
+	return r
+}
+
+// Transfer moves bytes into dst. inflight is the number of RPCs the
+// client keeps in flight (>=1); it amortizes the per-RPC latency.
+// done fires with the elapsed virtual time.
+func (f *Fabric) Transfer(dst string, bytes float64, inflight int, done func(elapsed float64)) {
+	if inflight < 1 {
+		inflight = 1
+	}
+	start := f.eng.Now()
+	overhead := f.RPCLatency / float64(inflight)
+	f.eng.After(overhead, func() {
+		f.node(dst).Start(bytes, f.PerFlowCap, func() {
+			if done != nil {
+				done(f.eng.Now() - start)
+			}
+		})
+	})
+}

@@ -1,0 +1,115 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+)
+
+func TestCappedResourceUnderCap(t *testing.T) {
+	// One flow capped below the fair share runs at its cap.
+	e := sim.NewEngine()
+	r := NewCappedResource(e, 100)
+	var end float64
+	r.Start(50, 25, func() { end = e.Now() })
+	e.Run()
+	if math.Abs(end-2) > 1e-9 {
+		t.Fatalf("end = %v, want 2 (50 B at 25 B/s)", end)
+	}
+}
+
+func TestCappedResourceWaterFilling(t *testing.T) {
+	// Two flows, caps 10 and 1000, capacity 100: the small-cap flow gets
+	// 10, the other gets the remaining 90.
+	e := sim.NewEngine()
+	r := NewCappedResource(e, 100)
+	var endSmall, endBig float64
+	r.Start(10, 10, func() { endSmall = e.Now() }) // 10 B at 10 B/s = 1 s
+	r.Start(90, 1000, func() { endBig = e.Now() }) // 90 B at 90 B/s = 1 s
+	e.Run()
+	if math.Abs(endSmall-1) > 1e-9 || math.Abs(endBig-1) > 1e-9 {
+		t.Fatalf("endSmall=%v endBig=%v, want 1 each", endSmall, endBig)
+	}
+}
+
+func TestCappedResourceSaturation(t *testing.T) {
+	// 4 uncapped equal flows split capacity evenly.
+	e := sim.NewEngine()
+	r := NewCappedResource(e, 100)
+	ends := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		r.Start(100, 0, func() { ends[i] = e.Now() })
+	}
+	e.Run()
+	for i, end := range ends {
+		if math.Abs(end-4) > 1e-9 {
+			t.Fatalf("flow %d ended at %v, want 4", i, end)
+		}
+	}
+}
+
+func TestCappedResourceZeroBytes(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewCappedResource(e, 100)
+	done := false
+	r.Start(0, 10, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("zero-byte transfer never completed")
+	}
+}
+
+func TestFabricLinearScalingThenSaturation(t *testing.T) {
+	// Per-flow cap 2, link capacity 10: aggregate bandwidth should be
+	// 2*N up to N=5 clients, then flat at 10.
+	for _, clients := range []int{1, 2, 5, 8} {
+		e := sim.NewEngine()
+		f := NewFabric(e, 10, 2, 0)
+		const bytes = 100.0
+		var last float64
+		for c := 0; c < clients; c++ {
+			f.Transfer("target", bytes, 1, func(el float64) {
+				if e.Now() > last {
+					last = e.Now()
+				}
+			})
+		}
+		e.Run()
+		agg := bytes * float64(clients) / last
+		want := math.Min(2*float64(clients), 10)
+		if math.Abs(agg-want) > 1e-6 {
+			t.Fatalf("clients=%d: aggregate = %v, want %v", clients, agg, want)
+		}
+	}
+}
+
+func TestFabricRPCLatencyAmortized(t *testing.T) {
+	// More in-flight RPCs reduce the per-buffer overhead.
+	e := sim.NewEngine()
+	f := NewFabric(e, 1000, 1000, 0.8)
+	var el1, el16 float64
+	f.Transfer("a", 100, 1, func(el float64) { el1 = el })
+	f.Transfer("b", 100, 16, func(el float64) { el16 = el })
+	e.Run()
+	if el16 >= el1 {
+		t.Fatalf("16 RPCs (%v) not faster than 1 RPC (%v)", el16, el1)
+	}
+	if math.Abs(el1-(0.8+0.1)) > 1e-9 {
+		t.Fatalf("el1 = %v, want 0.9", el1)
+	}
+}
+
+func TestFabricSeparateTargets(t *testing.T) {
+	// Transfers to different targets do not contend.
+	e := sim.NewEngine()
+	f := NewFabric(e, 10, 0, 0)
+	var endA, endB float64
+	f.Transfer("a", 100, 1, func(float64) { endA = e.Now() })
+	f.Transfer("b", 100, 1, func(float64) { endB = e.Now() })
+	e.Run()
+	if math.Abs(endA-10) > 1e-9 || math.Abs(endB-10) > 1e-9 {
+		t.Fatalf("endA=%v endB=%v, want 10 each", endA, endB)
+	}
+}

@@ -1,0 +1,234 @@
+// Package simstore models the storage tiers of the paper's testbeds for
+// the discrete-event experiments: a shared parallel file system whose
+// bandwidth is fair-shared across all concurrent streams (and disturbed
+// by background cross-application interference), and node-local NVM
+// devices whose bandwidth is private to each node — so aggregate NVM
+// bandwidth grows linearly with node count while PFS bandwidth does not.
+// This is the mechanism behind figures 1 and 8 and tables III–V.
+package simstore
+
+import (
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simnet"
+)
+
+// Tier is a storage layer transfers can read from and write to.
+// node selects the device for node-local tiers and is ignored by shared
+// tiers.
+type Tier interface {
+	// Name identifies the tier ("lustre", "nvm", ...).
+	Name() string
+	// Shared reports whether bandwidth is shared across nodes.
+	Shared() bool
+	// Read starts reading the given bytes on behalf of node; done fires
+	// with the elapsed virtual seconds.
+	Read(node string, bytes float64, done func(elapsed float64))
+	// Write starts writing the given bytes on behalf of node.
+	Write(node string, bytes float64, done func(elapsed float64))
+}
+
+// PFSConfig parameterizes a shared parallel file system model.
+type PFSConfig struct {
+	Name string
+	// ReadBW and WriteBW are the file system's peak aggregate
+	// bandwidths in bytes/sec.
+	ReadBW  float64
+	WriteBW float64
+	// Stripes is the number of object storage targets; transfers declare
+	// how many they stripe over, which scales their fair share
+	// (figure 1a's default-vs-full striping gap).
+	Stripes int
+	// ClientCap bounds a single client stream's rate in bytes/sec
+	// (0 = uncapped): one serial writer cannot drive the whole file
+	// system, which is why the paper's serial OpenFOAM decomposition
+	// sees far less than peak Lustre bandwidth.
+	ClientCap float64
+}
+
+// PFS is the shared parallel file system model.
+type PFS struct {
+	cfg   PFSConfig
+	eng   *sim.Engine
+	read  *simnet.CappedResource
+	write *simnet.CappedResource
+	// stripeCount is the striping applied to subsequent transfers
+	// (default: full striping).
+	stripeCount int
+}
+
+// NewPFS returns a PFS model on the engine.
+func NewPFS(eng *sim.Engine, cfg PFSConfig) *PFS {
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 1
+	}
+	return &PFS{
+		cfg:         cfg,
+		eng:         eng,
+		read:        simnet.NewCappedResource(eng, cfg.ReadBW),
+		write:       simnet.NewCappedResource(eng, cfg.WriteBW),
+		stripeCount: cfg.Stripes,
+	}
+}
+
+// Name implements Tier.
+func (p *PFS) Name() string { return p.cfg.Name }
+
+// Shared implements Tier.
+func (p *PFS) Shared() bool { return true }
+
+// SetStripeCount sets the striping for subsequent transfers (clamped to
+// [1, Stripes]).
+func (p *PFS) SetStripeCount(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.cfg.Stripes {
+		n = p.cfg.Stripes
+	}
+	p.stripeCount = n
+}
+
+// weight converts the current stripe count into a fair-share weight: a
+// transfer striped over k of S OSTs competes with weight k/S of a fully
+// striped one.
+func (p *PFS) weight() float64 {
+	return float64(p.stripeCount) / float64(p.cfg.Stripes)
+}
+
+// Read implements Tier.
+func (p *PFS) Read(_ string, bytes float64, done func(float64)) {
+	start := p.eng.Now()
+	p.read.StartWeighted(bytes, p.cfg.ClientCap, p.weight(), func() {
+		if done != nil {
+			done(p.eng.Now() - start)
+		}
+	})
+}
+
+// Write implements Tier.
+func (p *PFS) Write(_ string, bytes float64, done func(float64)) {
+	start := p.eng.Now()
+	p.write.StartWeighted(bytes, p.cfg.ClientCap, p.weight(), func() {
+		if done != nil {
+			done(p.eng.Now() - start)
+		}
+	})
+}
+
+// NoiseConfig parameterizes background cross-application interference:
+// bursts of competing PFS traffic from the rest of the production
+// workload.
+type NoiseConfig struct {
+	// MeanInterarrival is the mean seconds between burst arrivals.
+	MeanInterarrival float64
+	// MeanBytes is the mean burst volume; bursts are heavy-tailed
+	// (Pareto with the given shape).
+	MeanBytes  float64
+	TailShape  float64 // Pareto alpha, > 1
+	WriteShare float64 // fraction of bursts that are writes
+}
+
+// Noise injects interference bursts into a PFS until stopped.
+type Noise struct {
+	stop bool
+}
+
+// Stop ends the noise process after the current burst.
+func (n *Noise) Stop() { n.stop = true }
+
+// StartNoise begins injecting background load driven by rng.
+func (p *PFS) StartNoise(rng *sim.RNG, cfg NoiseConfig) *Noise {
+	if cfg.TailShape <= 1 {
+		cfg.TailShape = 1.5
+	}
+	n := &Noise{}
+	// Pareto mean = xm * alpha/(alpha-1); solve xm for the target mean.
+	xm := cfg.MeanBytes * (cfg.TailShape - 1) / cfg.TailShape
+	var schedule func()
+	schedule = func() {
+		if n.stop {
+			return
+		}
+		wait := rng.Exp(1 / cfg.MeanInterarrival)
+		p.eng.After(wait, func() {
+			if n.stop {
+				return
+			}
+			bytes := rng.Pareto(xm, cfg.TailShape)
+			res := p.read
+			if rng.Float64() < cfg.WriteShare {
+				res = p.write
+			}
+			res.Start(bytes, 0, nil)
+			schedule()
+		})
+	}
+	schedule()
+	return n
+}
+
+// NodeLocalConfig parameterizes per-node storage devices.
+type NodeLocalConfig struct {
+	Name string
+	// ReadBW and WriteBW are per-device bandwidths in bytes/sec
+	// (DCPMM-style asymmetry: reads faster than writes).
+	ReadBW  float64
+	WriteBW float64
+}
+
+// NodeLocal models node-local NVM/SSD devices: each node owns private
+// read and write capacity, so aggregate bandwidth scales with node
+// count.
+type NodeLocal struct {
+	cfg NodeLocalConfig
+	eng *sim.Engine
+	dev map[string]*nodeDev
+}
+
+type nodeDev struct {
+	read  *sim.SharedResource
+	write *sim.SharedResource
+}
+
+// NewNodeLocal returns a node-local tier model.
+func NewNodeLocal(eng *sim.Engine, cfg NodeLocalConfig) *NodeLocal {
+	return &NodeLocal{cfg: cfg, eng: eng, dev: make(map[string]*nodeDev)}
+}
+
+// Name implements Tier.
+func (n *NodeLocal) Name() string { return n.cfg.Name }
+
+// Shared implements Tier.
+func (n *NodeLocal) Shared() bool { return false }
+
+func (n *NodeLocal) device(node string) *nodeDev {
+	d, ok := n.dev[node]
+	if !ok {
+		d = &nodeDev{
+			read:  sim.NewSharedResource(n.eng, n.cfg.ReadBW),
+			write: sim.NewSharedResource(n.eng, n.cfg.WriteBW),
+		}
+		n.dev[node] = d
+	}
+	return d
+}
+
+// Read implements Tier.
+func (n *NodeLocal) Read(node string, bytes float64, done func(float64)) {
+	start := n.eng.Now()
+	n.device(node).read.Start(bytes, func() {
+		if done != nil {
+			done(n.eng.Now() - start)
+		}
+	})
+}
+
+// Write implements Tier.
+func (n *NodeLocal) Write(node string, bytes float64, done func(float64)) {
+	start := n.eng.Now()
+	n.device(node).write.Start(bytes, func() {
+		if done != nil {
+			done(n.eng.Now() - start)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package simstore
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+)
+
+func TestPFSSharedBandwidth(t *testing.T) {
+	// Two nodes writing concurrently share the PFS: each sees half.
+	e := sim.NewEngine()
+	pfs := NewPFS(e, PFSConfig{Name: "lustre", ReadBW: 100, WriteBW: 100, Stripes: 4})
+	var el1, el2 float64
+	pfs.Write("n1", 100, func(el float64) { el1 = el })
+	pfs.Write("n2", 100, func(el float64) { el2 = el })
+	e.Run()
+	if math.Abs(el1-2) > 1e-9 || math.Abs(el2-2) > 1e-9 {
+		t.Fatalf("el1=%v el2=%v, want 2 each", el1, el2)
+	}
+}
+
+func TestPFSReadWriteIndependent(t *testing.T) {
+	e := sim.NewEngine()
+	pfs := NewPFS(e, PFSConfig{Name: "lustre", ReadBW: 100, WriteBW: 50, Stripes: 1})
+	var elR, elW float64
+	pfs.Read("n1", 100, func(el float64) { elR = el })
+	pfs.Write("n1", 100, func(el float64) { elW = el })
+	e.Run()
+	if math.Abs(elR-1) > 1e-9 {
+		t.Fatalf("read elapsed = %v, want 1", elR)
+	}
+	if math.Abs(elW-2) > 1e-9 {
+		t.Fatalf("write elapsed = %v, want 2", elW)
+	}
+}
+
+func TestPFSStripingWeight(t *testing.T) {
+	// A default-striped (1 of 4 OSTs) transfer competing with a fully
+	// striped one gets 1/5 of the bandwidth (weights 0.25 vs 1).
+	e := sim.NewEngine()
+	pfs := NewPFS(e, PFSConfig{Name: "lustre", ReadBW: 100, WriteBW: 100, Stripes: 4})
+	var elDefault float64
+	pfs.SetStripeCount(1)
+	pfs.Write("n1", 100, func(el float64) { elDefault = el })
+	pfs.SetStripeCount(4)
+	pfs.Write("n2", 400, func(el float64) {})
+	e.Run()
+	// Default stripe gets 20 B/s while sharing (100 B would take 5 s if
+	// the full-stripe transfer ran the whole time; it finishes at t=5 too).
+	if elDefault <= 1 {
+		t.Fatalf("striped-down transfer too fast: %v", elDefault)
+	}
+}
+
+func TestPFSNoiseDegradesAndVaries(t *testing.T) {
+	// With background interference, foreground transfers slow down and
+	// repeated runs vary.
+	var clean float64
+	{
+		e := sim.NewEngine()
+		pfs := NewPFS(e, PFSConfig{Name: "gpfs", ReadBW: 1000, WriteBW: 1000, Stripes: 1})
+		pfs.Write("n1", 5000, func(el float64) { clean = el })
+		e.Run()
+	}
+	var noisy []float64
+	for seed := int64(0); seed < 5; seed++ {
+		e := sim.NewEngine()
+		pfs := NewPFS(e, PFSConfig{Name: "gpfs", ReadBW: 1000, WriteBW: 1000, Stripes: 1})
+		rng := sim.NewRNG(seed)
+		// Offered noise load: 200 bytes every 0.5 s = 400 B/s, well under
+		// the 1000 B/s capacity, so the system stays stable.
+		noise := pfs.StartNoise(rng, NoiseConfig{
+			MeanInterarrival: 0.5, MeanBytes: 200, TailShape: 1.5, WriteShare: 1.0,
+		})
+		var el float64
+		pfs.Write("n1", 5000, func(elapsed float64) { el = elapsed; noise.Stop() })
+		e.RunUntil(1000)
+		if el == 0 {
+			t.Fatalf("seed %d: foreground write never completed", seed)
+		}
+		noisy = append(noisy, el)
+	}
+	varies := false
+	for _, el := range noisy {
+		if el <= clean {
+			t.Fatalf("noisy run (%v) not slower than clean (%v)", el, clean)
+		}
+		if math.Abs(el-noisy[0]) > 1e-9 {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("interference produced identical runtimes across seeds")
+	}
+}
+
+func TestNodeLocalPrivateBandwidth(t *testing.T) {
+	// Two nodes writing to their own NVM do not contend: both finish in
+	// the solo time, so aggregate bandwidth doubles.
+	e := sim.NewEngine()
+	nvm := NewNodeLocal(e, NodeLocalConfig{Name: "dcpmm", ReadBW: 200, WriteBW: 100})
+	var el1, el2 float64
+	nvm.Write("n1", 100, func(el float64) { el1 = el })
+	nvm.Write("n2", 100, func(el float64) { el2 = el })
+	e.Run()
+	if math.Abs(el1-1) > 1e-9 || math.Abs(el2-1) > 1e-9 {
+		t.Fatalf("el1=%v el2=%v, want 1 each (no contention)", el1, el2)
+	}
+}
+
+func TestNodeLocalSameNodeContends(t *testing.T) {
+	e := sim.NewEngine()
+	nvm := NewNodeLocal(e, NodeLocalConfig{Name: "dcpmm", ReadBW: 200, WriteBW: 100})
+	var el1, el2 float64
+	nvm.Write("n1", 100, func(el float64) { el1 = el })
+	nvm.Write("n1", 100, func(el float64) { el2 = el })
+	e.Run()
+	if math.Abs(el1-2) > 1e-9 || math.Abs(el2-2) > 1e-9 {
+		t.Fatalf("el1=%v el2=%v, want 2 each (device shared)", el1, el2)
+	}
+}
+
+func TestNodeLocalReadWriteAsymmetry(t *testing.T) {
+	e := sim.NewEngine()
+	nvm := NewNodeLocal(e, NodeLocalConfig{Name: "dcpmm", ReadBW: 200, WriteBW: 100})
+	var elR, elW float64
+	nvm.Read("n1", 200, func(el float64) { elR = el })
+	nvm.Write("n1", 200, func(el float64) { elW = el })
+	e.Run()
+	if math.Abs(elR-1) > 1e-9 || math.Abs(elW-2) > 1e-9 {
+		t.Fatalf("read=%v write=%v, want 1 and 2", elR, elW)
+	}
+}
+
+func TestTierInterfaces(t *testing.T) {
+	e := sim.NewEngine()
+	var tiers []Tier = []Tier{
+		NewPFS(e, PFSConfig{Name: "lustre", ReadBW: 1, WriteBW: 1, Stripes: 1}),
+		NewNodeLocal(e, NodeLocalConfig{Name: "nvm", ReadBW: 1, WriteBW: 1}),
+	}
+	if !tiers[0].Shared() || tiers[1].Shared() {
+		t.Fatal("Shared() misreported")
+	}
+	if tiers[0].Name() != "lustre" || tiers[1].Name() != "nvm" {
+		t.Fatal("names wrong")
+	}
+}
+
+// TestAggregateScalingShape is the figure-8 mechanism in miniature: PFS
+// aggregate bandwidth is flat with node count, NVM aggregate grows
+// linearly.
+func TestAggregateScalingShape(t *testing.T) {
+	aggPFS := func(nodes int) float64 {
+		e := sim.NewEngine()
+		pfs := NewPFS(e, PFSConfig{Name: "l", ReadBW: 100, WriteBW: 100, Stripes: 1})
+		var last float64
+		for i := 0; i < nodes; i++ {
+			pfs.Write("n", 100, func(float64) { last = e.Now() })
+		}
+		e.Run()
+		return 100 * float64(nodes) / last
+	}
+	aggNVM := func(nodes int) float64 {
+		e := sim.NewEngine()
+		nvm := NewNodeLocal(e, NodeLocalConfig{Name: "d", ReadBW: 100, WriteBW: 100})
+		var last float64
+		for i := 0; i < nodes; i++ {
+			node := rune('a' + i)
+			nvm.Write(string(node), 100, func(float64) { last = e.Now() })
+		}
+		e.Run()
+		return 100 * float64(nodes) / last
+	}
+	if p1, p8 := aggPFS(1), aggPFS(8); math.Abs(p8-p1) > 1e-6 {
+		t.Fatalf("PFS aggregate changed with nodes: %v vs %v", p1, p8)
+	}
+	if n1, n8 := aggNVM(1), aggNVM(8); math.Abs(n8-8*n1) > 1e-6 {
+		t.Fatalf("NVM aggregate not linear: %v vs %v", n1, n8)
+	}
+}

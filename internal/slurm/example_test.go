@@ -1,0 +1,69 @@
+package slurm_test
+
+import (
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simstore"
+	"github.com/ngioproject/norns-go/internal/slurm"
+	"github.com/ngioproject/norns-go/internal/workload"
+)
+
+// ExampleParseScript parses a batch script with the paper's workflow
+// and staging directives.
+func ExampleParseScript() {
+	spec, err := slurm.ParseScript(`#!/bin/bash
+#SBATCH --job-name=solver --nodes=16
+#SBATCH --workflow-prior-dependency=41
+#NORNS stage_in lustre://input/mesh.dat nvme0://mesh.dat socket0
+#NORNS persist store nvme0://inter
+srun ./solver`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s on %d nodes, depends on %v\n", spec.Name, spec.Nodes, spec.Dependencies)
+	fmt.Printf("stage_in %s -> %s\n", spec.StageIns[0].Origin, spec.StageIns[0].Destination)
+	fmt.Printf("persist %s %s\n", spec.Persists[0].Op, spec.Persists[0].Location)
+	// Output:
+	// solver on 16 nodes, depends on [41]
+	// stage_in lustre://input/mesh.dat -> nvme0://mesh.dat
+	// persist store nvme0://inter
+}
+
+// ExampleController runs a two-phase workflow on a simulated cluster.
+func ExampleController() {
+	eng := sim.NewEngine()
+	env := slurm.NewSimEnv(eng)
+	env.AddTier("nvme0://", simstore.NewNodeLocal(eng, simstore.NodeLocalConfig{
+		Name: "nvm", ReadBW: 1e9, WriteBW: 1e9,
+	}))
+	ctl, err := slurm.NewController(env, slurm.Config{Nodes: []string{"n1", "n2"}, DataAware: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ids, err := slurm.SubmitPipeline(ctl, []*slurm.JobSpec{
+		{
+			Name: "produce", Nodes: 1,
+			Payload:  workload.Producer(10, "nvme0://", "inter", 1e9),
+			Persists: []slurm.PersistDirective{{Op: slurm.PersistStore, Location: "nvme0://inter"}},
+		},
+		{
+			Name: "consume", Nodes: 1,
+			Payload: workload.Consumer(5, "nvme0://", "inter"),
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng.Run()
+	for _, id := range ids {
+		j, _ := ctl.Job(id)
+		fmt.Printf("%s: %s in %.0fs on %v\n", j.Spec.Name, j.State, j.EndTime-j.StartTime, j.Nodes)
+	}
+	// Output:
+	// produce: completed in 11s on [n1]
+	// consume: completed in 6s on [n1]
+}

@@ -1,0 +1,126 @@
+package slurm
+
+import "fmt"
+
+// JobState is a job's life-cycle state in the scheduler.
+type JobState uint8
+
+// Job states. Staging states are distinct from Running because the
+// paper's scheduler needs to account nodes that are "in use" by data
+// transfers before the job starts and after it completes.
+const (
+	JobPending JobState = iota + 1
+	JobStaging          // stage_in transfers in flight
+	JobRunning
+	JobStagingOut // stage_out transfers in flight
+	JobCompleted
+	JobFailed
+	JobCancelled
+)
+
+// String returns the lowercase state name.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobStaging:
+		return "staging"
+	case JobRunning:
+		return "running"
+	case JobStagingOut:
+		return "staging-out"
+	case JobCompleted:
+		return "completed"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobCompleted || s == JobFailed || s == JobCancelled
+}
+
+// Job is one submitted job tracked by slurmctld.
+type Job struct {
+	ID       JobID
+	Spec     *JobSpec
+	State    JobState
+	Workflow WorkflowID
+	// Priority is the effective scheduling priority; it starts at
+	// Spec.Priority and is raised as workflow phases progress.
+	Priority int
+	// Nodes is the allocation while staged/running.
+	Nodes []string
+	// Times (virtual seconds) for accounting.
+	SubmitTime   float64
+	StageInStart float64
+	StartTime    float64 // compute phase start
+	EndTime      float64 // compute phase end
+	ReleaseTime  float64 // nodes returned to the pool
+	// FailReason is set for failed/cancelled jobs.
+	FailReason string
+	// StageOutFailed records a stage-out failure that left data on
+	// node-local storage for later recovery (Section III).
+	StageOutFailed bool
+	// LeftoverData lists tracked dataspaces that still held data when
+	// the job's nodes were released (Section IV-A tracking).
+	LeftoverData []string
+
+	seq uint64 // submission order for FIFO tie-breaking
+}
+
+// WorkflowID identifies a workflow; 0 means "not part of a workflow".
+type WorkflowID uint64
+
+// WorkflowState summarizes a workflow's progress.
+type WorkflowState uint8
+
+// Workflow states.
+const (
+	WorkflowActive WorkflowState = iota + 1
+	WorkflowCompleted
+	WorkflowFailed
+)
+
+// String returns the lowercase state name.
+func (s WorkflowState) String() string {
+	switch s {
+	case WorkflowActive:
+		return "active"
+	case WorkflowCompleted:
+		return "completed"
+	case WorkflowFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("wfstate(%d)", uint8(s))
+	}
+}
+
+// Workflow groups the jobs of one data-driven workflow so scheduling
+// treats them as a unit (Section III).
+type Workflow struct {
+	ID    WorkflowID
+	State WorkflowState
+	Jobs  []JobID
+	// DataNodes records where the workflow's persisted/staged data
+	// lives, for data-aware node selection.
+	DataNodes map[string]bool
+	// Shares records persist share grants: user -> granted.
+	Shares map[string]bool
+	// Ended marks that a workflow-end job completed.
+	Ended bool
+}
+
+// JobStatus is the per-job view returned by workflow status queries
+// ("users can enquire about the overall status of a workflow and obtain
+// a list of all jobs and their status").
+type JobStatus struct {
+	ID    JobID
+	Name  string
+	State JobState
+}

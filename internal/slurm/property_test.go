@@ -1,0 +1,178 @@
+package slurm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simstore"
+	"github.com/ngioproject/norns-go/internal/workload"
+)
+
+// TestWorkflowDAGProperty generates random layered workflow DAGs and
+// checks the scheduler invariants on every one:
+//   - every job completes,
+//   - no job's compute starts before all of its dependencies' compute
+//     ended,
+//   - node allocations never exceed the cluster,
+//   - the workflow reaches WorkflowCompleted.
+func TestWorkflowDAGProperty(t *testing.T) {
+	clusterNodes := []string{"n1", "n2", "n3", "n4", "n5"}
+
+	run := func(seed int64) error {
+		rng := sim.NewRNG(seed)
+		eng := sim.NewEngine()
+		env := NewSimEnv(eng)
+		env.AddTier("nvme0://", simstore.NewNodeLocal(eng, simstore.NodeLocalConfig{
+			Name: "nvm", ReadBW: 1e9, WriteBW: 1e9,
+		}))
+		ctl, err := NewController(env, Config{Nodes: clusterNodes, PriorityBoost: 5})
+		if err != nil {
+			return err
+		}
+
+		layers := 2 + rng.Intn(3) // 2-4 layers
+		var prevLayer []JobID
+		var all []JobID
+		for l := 0; l < layers; l++ {
+			width := 1 + rng.Intn(3) // 1-3 jobs per layer
+			var cur []JobID
+			for w := 0; w < width; w++ {
+				spec := &JobSpec{
+					Name:     fmt.Sprintf("l%dw%d", l, w),
+					Nodes:    1 + rng.Intn(2),
+					Priority: rng.Intn(3),
+					Payload:  workload.Compute{Seconds: 1 + rng.Float64()*10},
+				}
+				if l == 0 && w == 0 {
+					spec.WorkflowStart = true
+				} else if l == 0 {
+					// Same workflow: depend on the first job of layer 0.
+					spec.Dependencies = []JobID{all[0]}
+				} else {
+					// Depend on a random non-empty subset of the previous
+					// layer.
+					for _, idx := range rng.Perm(len(prevLayer)) {
+						spec.Dependencies = append(spec.Dependencies, prevLayer[idx])
+						if rng.Float64() < 0.5 {
+							break
+						}
+					}
+				}
+				if l == layers-1 && w == width-1 {
+					spec.WorkflowEnd = true
+				}
+				id, err := ctl.Submit(spec)
+				if err != nil {
+					return fmt.Errorf("seed %d: submit %s: %w", seed, spec.Name, err)
+				}
+				cur = append(cur, id)
+				all = append(all, id)
+			}
+			prevLayer = cur
+		}
+
+		eng.Run()
+
+		for _, id := range all {
+			j, err := ctl.Job(id)
+			if err != nil {
+				return err
+			}
+			if j.State != JobCompleted {
+				return fmt.Errorf("seed %d: job %d (%s) = %v (%s)", seed, id, j.Spec.Name, j.State, j.FailReason)
+			}
+			if len(j.Nodes) != j.Spec.Nodes {
+				return fmt.Errorf("seed %d: job %d allocated %d nodes, wanted %d", seed, id, len(j.Nodes), j.Spec.Nodes)
+			}
+			for _, dep := range j.Spec.Dependencies {
+				dj, err := ctl.Job(dep)
+				if err != nil {
+					return err
+				}
+				if j.StartTime < dj.EndTime-1e-9 {
+					return fmt.Errorf("seed %d: job %d started at %v before dependency %d ended at %v",
+						seed, id, j.StartTime, dep, dj.EndTime)
+				}
+			}
+		}
+		if ctl.FreeNodes() != len(clusterNodes) {
+			return fmt.Errorf("seed %d: %d nodes leaked", seed, len(clusterNodes)-ctl.FreeNodes())
+		}
+		wfID, err := ctl.WorkflowOf(all[0])
+		if err != nil {
+			return err
+		}
+		state, jobs, err := ctl.WorkflowStatus(wfID)
+		if err != nil {
+			return err
+		}
+		if state != WorkflowCompleted {
+			return fmt.Errorf("seed %d: workflow = %v", seed, state)
+		}
+		if len(jobs) != len(all) {
+			return fmt.Errorf("seed %d: workflow lists %d jobs, want %d", seed, len(jobs), len(all))
+		}
+		return nil
+	}
+
+	f := func(seed int64) bool {
+		if err := run(seed); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeAccountingUnderChurnProperty stresses allocation bookkeeping:
+// many independent jobs with random sizes; free-node count must return
+// to the full cluster and never go negative (which would surface as an
+// allocation of duplicate nodes).
+func TestNodeAccountingUnderChurnProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		eng := sim.NewEngine()
+		env := NewSimEnv(eng)
+		ctl, err := NewController(env, Config{Nodes: []string{"a", "b", "c"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 5 + rng.Intn(15)
+		ids := make([]JobID, 0, n)
+		for i := 0; i < n; i++ {
+			id, err := ctl.Submit(&JobSpec{
+				Name:    fmt.Sprintf("j%d", i),
+				Nodes:   1 + rng.Intn(3),
+				Payload: workload.Compute{Seconds: rng.Float64() * 5},
+			})
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		eng.Run()
+		for _, id := range ids {
+			j, _ := ctl.Job(id)
+			if j.State != JobCompleted {
+				return false
+			}
+			// Allocation must not contain duplicates.
+			seen := map[string]bool{}
+			for _, node := range j.Nodes {
+				if seen[node] {
+					return false
+				}
+				seen[node] = true
+			}
+		}
+		return ctl.FreeNodes() == 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

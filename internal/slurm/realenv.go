@@ -1,0 +1,228 @@
+package slurm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// JobFunc is the compute payload of a job under RealEnv: it runs with
+// the job's node allocation once staging has completed.
+type JobFunc func(nodes []string) error
+
+// RealEnv is the wall-clock Environment: the scheduler's staging
+// directives become real nornsctl task submissions against the urd
+// daemons of the allocated nodes, and compute payloads are Go functions.
+// This is the deployment architecture of the paper (slurmctld driving
+// urd through the control API), at laptop scale.
+type RealEnv struct {
+	start time.Time
+
+	mu    sync.Mutex
+	nodes map[string]*nornsctl.Client
+}
+
+// NewRealEnv returns an environment with no nodes attached.
+func NewRealEnv() *RealEnv {
+	return &RealEnv{start: time.Now(), nodes: make(map[string]*nornsctl.Client)}
+}
+
+// AttachNode registers a node's control-API client (slurmd's channel to
+// the local urd).
+func (e *RealEnv) AttachNode(name string, ctl *nornsctl.Client) {
+	e.mu.Lock()
+	e.nodes[name] = ctl
+	e.mu.Unlock()
+}
+
+func (e *RealEnv) node(name string) (*nornsctl.Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("slurm: no urd attached for node %q", name)
+	}
+	return c, nil
+}
+
+// Now implements Environment (seconds since environment creation).
+func (e *RealEnv) Now() float64 { return time.Since(e.start).Seconds() }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Cancel() { rt.t.Stop() }
+
+// After implements Environment.
+func (e *RealEnv) After(delay float64, fn func()) Timer {
+	return realTimer{t: time.AfterFunc(time.Duration(delay*float64(time.Second)), fn)}
+}
+
+// EstimateStage implements Environment: it asks the first allocated
+// node's daemon for its observed bandwidth. Without knowing the dataset
+// size up front it reports 0 (no estimate), which the scheduler treats
+// as "stage immediately".
+func (e *RealEnv) EstimateStage(job *Job, d StageDirective, nodes []string) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	ctl, err := e.node(nodes[0])
+	if err != nil {
+		return 0
+	}
+	if _, err := ctl.TransferStats(); err != nil {
+		return 0
+	}
+	return 0
+}
+
+// Stage implements Environment: one Copy task per allocated node,
+// submitted through the node's control API and awaited concurrently.
+func (e *RealEnv) Stage(job *Job, d StageDirective, nodes []string, done func(error)) {
+	go func() {
+		srcDS, srcPath := SplitRef(d.Origin)
+		dstDS, dstPath := SplitRef(d.Destination)
+		var wg sync.WaitGroup
+		errs := make(chan error, len(nodes))
+		for _, node := range nodes {
+			node := node
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctl, err := e.node(node)
+				if err != nil {
+					errs <- err
+					return
+				}
+				jobID := uint64(0)
+				if job != nil {
+					jobID = uint64(job.ID)
+				}
+				id, err := ctl.Submit(task.Copy,
+					task.PosixPath(srcDS, srcPath),
+					task.PosixPath(dstDS, dstPath), jobID, 0)
+				if err != nil {
+					errs <- fmt.Errorf("node %s: %w", node, err)
+					return
+				}
+				st, err := ctl.Wait(id, 10*time.Minute)
+				if err != nil {
+					errs <- fmt.Errorf("node %s: %w", node, err)
+					return
+				}
+				if st.Status != task.Finished {
+					errs <- fmt.Errorf("node %s: stage task %d %s: %s", node, id, st.Status, st.Err)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			done(err)
+			return
+		}
+		done(nil)
+	}()
+}
+
+// Run implements Environment: the payload must be a JobFunc.
+func (e *RealEnv) Run(job *Job, nodes []string, done func(error)) {
+	fn, ok := job.Spec.Payload.(JobFunc)
+	go func() {
+		if !ok || fn == nil {
+			done(nil)
+			return
+		}
+		done(fn(nodes))
+	}()
+}
+
+// Cleanup implements Environment: remove every stage-in destination
+// from the nodes' dataspaces (failed/timed-out launches must not leave
+// partial data behind).
+func (e *RealEnv) Cleanup(job *Job, nodes []string) {
+	go func() {
+		for _, d := range job.Spec.StageIns {
+			dstDS, dstPath := SplitRef(d.Destination)
+			for _, node := range nodes {
+				ctl, err := e.node(node)
+				if err != nil {
+					continue
+				}
+				id, err := ctl.Submit(task.Remove, task.PosixPath(dstDS, dstPath), task.Resource{}, 0, 0)
+				if err != nil {
+					continue
+				}
+				_, _ = ctl.Wait(id, time.Minute)
+			}
+		}
+	}()
+}
+
+// Persist implements Environment: delete removes the location from the
+// nodes; store/share/unshare are bookkeeping handled by the controller.
+func (e *RealEnv) Persist(job *Job, d PersistDirective, nodes []string) error {
+	if d.Op != PersistDelete {
+		return nil
+	}
+	ds, path := SplitRef(d.Location)
+	for _, node := range nodes {
+		ctl, err := e.node(node)
+		if err != nil {
+			return err
+		}
+		id, err := ctl.Submit(task.Remove, task.PosixPath(ds, path), task.Resource{}, 0, 0)
+		if err != nil {
+			return err
+		}
+		if st, err := ctl.Wait(id, time.Minute); err != nil || st.Status != task.Finished {
+			return fmt.Errorf("slurm: persist delete on %s failed: %v %s", node, err, st.Err)
+		}
+	}
+	return nil
+}
+
+// NonEmptyTracked implements TrackedChecker over the node's control
+// API.
+func (e *RealEnv) NonEmptyTracked(node string) ([]string, error) {
+	ctl, err := e.node(node)
+	if err != nil {
+		return nil, err
+	}
+	return ctl.TrackedNonEmpty()
+}
+
+// SubmitPipeline submits specs as one linear workflow: the first job
+// starts it, each subsequent job depends on its predecessor, and the
+// last one ends it. This is the integration hook external workflow
+// engines can drive (the paper's future-work item). It returns the job
+// IDs in order.
+func SubmitPipeline(c *Controller, specs []*JobSpec) ([]JobID, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("slurm: empty pipeline")
+	}
+	ids := make([]JobID, 0, len(specs))
+	for i, spec := range specs {
+		if i == 0 {
+			spec.WorkflowStart = true
+		} else {
+			spec.Dependencies = append(spec.Dependencies, ids[i-1])
+		}
+		if i == len(specs)-1 {
+			spec.WorkflowEnd = true
+		}
+		id, err := c.Submit(spec)
+		if err != nil {
+			return ids, fmt.Errorf("slurm: pipeline stage %d (%s): %w", i, spec.Name, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+var (
+	_ Environment    = (*RealEnv)(nil)
+	_ TrackedChecker = (*RealEnv)(nil)
+)

@@ -1,0 +1,372 @@
+package slurm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// realCluster spins up real urd daemons, one per node, sharing a
+// "lustre" directory (the PFS mount visible from every node) and each
+// with a private "nvme0" directory.
+type realCluster struct {
+	env   *RealEnv
+	ctl   *Controller
+	dirs  map[string]string // node -> nvme dir
+	share string            // lustre dir
+}
+
+func startRealCluster(t *testing.T, nodeCount int, cfg Config) *realCluster {
+	t.Helper()
+	base := t.TempDir()
+	share := filepath.Join(base, "lustre")
+	env := NewRealEnv()
+	rc := &realCluster{env: env, dirs: make(map[string]string), share: share}
+	var nodes []string
+	for i := 0; i < nodeCount; i++ {
+		name := fmt.Sprintf("rn%d", i+1)
+		nodes = append(nodes, name)
+		sock := filepath.Join(base, name+"-ctl.sock")
+		d, err := urd.New(urd.Config{
+			NodeName:      name,
+			ControlSocket: sock,
+			Workers:       2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		ctl, err := nornsctl.Dial(sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ctl.Close() })
+		nvmeDir := filepath.Join(base, name+"-nvme")
+		rc.dirs[name] = nvmeDir
+		if err := ctl.RegisterDataspace(nornsctl.DataspaceDef{
+			ID: "nvme0://", Backend: nornsctl.BackendNVM, Mount: nvmeDir,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.RegisterDataspace(nornsctl.DataspaceDef{
+			ID: "lustre://", Backend: nornsctl.BackendParallelFS, Mount: share,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		env.AttachNode(name, ctl)
+	}
+	cfg.Nodes = nodes
+	ctl, err := NewController(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.ctl = ctl
+	return rc
+}
+
+func waitJob(t *testing.T, c *Controller, id JobID, timeout time.Duration) Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		j, err := c.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State.Terminal() {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	j, _ := c.Job(id)
+	t.Fatalf("job %d did not terminate: %v", id, j.State)
+	return Job{}
+}
+
+// TestRealWorkflowEndToEnd drives a producer->consumer workflow through
+// the scheduler against real urd daemons and real files: stage-in from
+// the shared dir, compute on node-local storage, stage-out back.
+func TestRealWorkflowEndToEnd(t *testing.T) {
+	rc := startRealCluster(t, 2, Config{DataAware: true})
+
+	// Input data on the shared "PFS".
+	if err := os.MkdirAll(filepath.Join(rc.share, "input"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	input := []byte(strings.Repeat("input-block ", 1000))
+	if err := os.WriteFile(filepath.Join(rc.share, "input", "data"), input, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Producer: stage input in, transform it on node-local storage.
+	var prodNode string
+	prodSpec := &JobSpec{
+		Name: "producer", Nodes: 1, WorkflowStart: true,
+		StageIns: []StageDirective{{Kind: StageIn, Origin: "lustre://input/data", Destination: "nvme0://in/data"}},
+		Persists: []PersistDirective{{Op: PersistStore, Location: "nvme0://inter"}},
+		Payload: JobFunc(func(nodes []string) error {
+			prodNode = nodes[0]
+			dir := rc.dirs[nodes[0]]
+			in, err := os.ReadFile(filepath.Join(dir, "in", "data"))
+			if err != nil {
+				return err
+			}
+			out := strings.ToUpper(string(in))
+			if err := os.MkdirAll(filepath.Join(dir, "inter"), 0o755); err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(dir, "inter", "data"), []byte(out), 0o644)
+		}),
+	}
+	prodID, err := rc.ctl.Submit(prodSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj := waitJob(t, rc.ctl, prodID, 20*time.Second)
+	if pj.State != JobCompleted {
+		t.Fatalf("producer = %v (%s)", pj.State, pj.FailReason)
+	}
+
+	// Consumer: data-aware placement lands it on the producer's node, so
+	// the intermediate data is read locally; results stage out.
+	consSpec := &JobSpec{
+		Name: "consumer", Nodes: 1, WorkflowEnd: true, Dependencies: []JobID{prodID},
+		StageOuts: []StageDirective{{Kind: StageOut, Origin: "nvme0://final/data", Destination: "lustre://results/data"}},
+		Payload: JobFunc(func(nodes []string) error {
+			dir := rc.dirs[nodes[0]]
+			in, err := os.ReadFile(filepath.Join(dir, "inter", "data"))
+			if err != nil {
+				return err
+			}
+			if err := os.MkdirAll(filepath.Join(dir, "final"), 0o755); err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(dir, "final", "data"), append([]byte("processed: "), in[:32]...), 0o644)
+		}),
+	}
+	consID, err := rc.ctl.Submit(consSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj := waitJob(t, rc.ctl, consID, 20*time.Second)
+	if cj.State != JobCompleted {
+		t.Fatalf("consumer = %v (%s)", cj.State, cj.FailReason)
+	}
+	if cj.Nodes[0] != prodNode {
+		t.Fatalf("data-aware placement failed: producer on %s, consumer on %v", prodNode, cj.Nodes)
+	}
+
+	// Stage-out result must be on the shared dir, with real content.
+	out, err := os.ReadFile(filepath.Join(rc.share, "results", "data"))
+	if err != nil {
+		t.Fatalf("stage-out result missing: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "processed: INPUT-BLOCK") {
+		t.Fatalf("result content = %q", out[:40])
+	}
+
+	state, jobs, err := rc.ctl.WorkflowStatus(pj.Workflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != WorkflowCompleted || len(jobs) != 2 {
+		t.Fatalf("workflow = %v %v", state, jobs)
+	}
+}
+
+// TestRealStageInFailure verifies a missing stage-in source fails the
+// job and cleans partial data up on real storage.
+func TestRealStageInFailure(t *testing.T) {
+	rc := startRealCluster(t, 1, Config{})
+	id, err := rc.ctl.Submit(&JobSpec{
+		Name: "doomed", Nodes: 1,
+		StageIns: []StageDirective{{Kind: StageIn, Origin: "lustre://missing/file", Destination: "nvme0://in/file"}},
+		Payload:  JobFunc(func(nodes []string) error { return nil }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitJob(t, rc.ctl, id, 20*time.Second)
+	if j.State != JobFailed || !strings.Contains(j.FailReason, "stage-in") {
+		t.Fatalf("job = %v (%q)", j.State, j.FailReason)
+	}
+}
+
+// TestRealComputeFailureCancelsDownstream verifies the cascade over the
+// real environment.
+func TestRealComputeFailureCancelsDownstream(t *testing.T) {
+	rc := startRealCluster(t, 1, Config{})
+	a, err := rc.ctl.Submit(&JobSpec{
+		Name: "a", Nodes: 1, WorkflowStart: true,
+		Payload: JobFunc(func(nodes []string) error { return fmt.Errorf("solver diverged") }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rc.ctl.Submit(&JobSpec{
+		Name: "b", Nodes: 1, WorkflowEnd: true, Dependencies: []JobID{a},
+		Payload: JobFunc(func(nodes []string) error { return nil }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj := waitJob(t, rc.ctl, a, 20*time.Second)
+	bj := waitJob(t, rc.ctl, b, 20*time.Second)
+	if aj.State != JobFailed || bj.State != JobCancelled {
+		t.Fatalf("a=%v b=%v", aj.State, bj.State)
+	}
+}
+
+// TestRealEnvTransferStats checks the observed-performance feedback
+// path after a real staging transfer.
+func TestRealEnvTransferStats(t *testing.T) {
+	rc := startRealCluster(t, 1, Config{})
+	if err := os.MkdirAll(filepath.Join(rc.share, "d"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(rc.share, "d", "f"), make([]byte, 1<<20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rc.ctl.Submit(&JobSpec{
+		Name: "stager", Nodes: 1,
+		StageIns: []StageDirective{{Kind: StageIn, Origin: "lustre://d/f", Destination: "nvme0://d/f"}},
+		Payload:  JobFunc(func(nodes []string) error { return nil }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitJob(t, rc.ctl, id, 20*time.Second)
+	if j.State != JobCompleted {
+		t.Fatalf("job = %v (%s)", j.State, j.FailReason)
+	}
+	ctl, err := rc.env.node(j.Nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ctl.TransferStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Samples < 1 || m.Finished < 1 || m.MovedBytes < 1<<20 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.BandwidthBps <= 0 {
+		t.Fatalf("bandwidth = %v", m.BandwidthBps)
+	}
+}
+
+// TestTrackedDataspaceFlaggedAtRelease verifies Section IV-A tracking:
+// a job that leaves data in a tracked dataspace is flagged when its
+// node is released.
+func TestTrackedDataspaceFlaggedAtRelease(t *testing.T) {
+	rc := startRealCluster(t, 1, Config{})
+	ctl, err := rc.env.node("rn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.TrackDataspace("nvme0://", true); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rc.ctl.Submit(&JobSpec{
+		Name: "litterbug", Nodes: 1,
+		Payload: JobFunc(func(nodes []string) error {
+			dir := rc.dirs[nodes[0]]
+			if err := os.MkdirAll(filepath.Join(dir, "left"), 0o755); err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(dir, "left", "over"), []byte("oops"), 0o644)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitJob(t, rc.ctl, id, 20*time.Second)
+	if j.State != JobCompleted {
+		t.Fatalf("job = %v (%s)", j.State, j.FailReason)
+	}
+	if len(j.LeftoverData) != 1 || j.LeftoverData[0] != "nvme0://" {
+		t.Fatalf("LeftoverData = %v", j.LeftoverData)
+	}
+	joined := strings.Join(rc.ctl.Events(), "\n")
+	if !strings.Contains(joined, "non-empty tracked dataspaces") {
+		t.Fatalf("event log missing tracking warning:\n%s", joined)
+	}
+}
+
+// TestCleanJobHasNoLeftoverFlag is the negative case for tracking.
+func TestCleanJobHasNoLeftoverFlag(t *testing.T) {
+	rc := startRealCluster(t, 1, Config{})
+	ctl, err := rc.env.node("rn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.TrackDataspace("nvme0://", true); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rc.ctl.Submit(&JobSpec{
+		Name: "tidy", Nodes: 1,
+		Payload: JobFunc(func(nodes []string) error { return nil }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitJob(t, rc.ctl, id, 20*time.Second)
+	if j.State != JobCompleted || len(j.LeftoverData) != 0 {
+		t.Fatalf("job = %v leftover=%v", j.State, j.LeftoverData)
+	}
+}
+
+// TestSubmitPipeline chains three stages and checks the workflow
+// bracketing and ordering.
+func TestSubmitPipeline(t *testing.T) {
+	rc := startRealCluster(t, 2, Config{})
+	var order []string
+	var mu sync.Mutex
+	stage := func(name string) *JobSpec {
+		return &JobSpec{
+			Name: name, Nodes: 1,
+			Payload: JobFunc(func(nodes []string) error {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+				return nil
+			}),
+		}
+	}
+	ids, err := SubmitPipeline(rc.ctl, []*JobSpec{stage("s1"), stage("s2"), stage("s3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	last := waitJob(t, rc.ctl, ids[2], 30*time.Second)
+	if last.State != JobCompleted {
+		t.Fatalf("final stage = %v (%s)", last.State, last.FailReason)
+	}
+	mu.Lock()
+	got := strings.Join(order, ",")
+	mu.Unlock()
+	if got != "s1,s2,s3" {
+		t.Fatalf("execution order = %s", got)
+	}
+	wfID, _ := rc.ctl.WorkflowOf(ids[0])
+	state, jobs, err := rc.ctl.WorkflowStatus(wfID)
+	if err != nil || state != WorkflowCompleted || len(jobs) != 3 {
+		t.Fatalf("workflow = %v %v %v", state, jobs, err)
+	}
+}
+
+// TestSubmitPipelineEmpty rejects empty pipelines.
+func TestSubmitPipelineEmpty(t *testing.T) {
+	rc := startRealCluster(t, 1, Config{})
+	if _, err := SubmitPipeline(rc.ctl, nil); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+}

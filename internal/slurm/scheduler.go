@@ -1,0 +1,607 @@
+package slurm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Timer is a cancellable scheduled callback (a sim event or a wall-clock
+// timer, depending on the environment).
+type Timer interface{ Cancel() }
+
+// Environment abstracts where jobs and staging actually execute, so the
+// same scheduler logic drives both the discrete-event experiments and
+// real urd daemons. Implementations must invoke callbacks
+// asynchronously (never from inside the triggering call), because the
+// scheduler holds its lock while calling into the environment.
+type Environment interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// After schedules fn after delay seconds.
+	After(delay float64, fn func()) Timer
+	// EstimateStage predicts the seconds the directive will take on the
+	// given allocation (from NORNS E.T.A. tracking).
+	EstimateStage(job *Job, d StageDirective, nodes []string) float64
+	// Stage executes one staging directive for the job.
+	Stage(job *Job, d StageDirective, nodes []string, done func(error))
+	// Run executes the job's compute phase.
+	Run(job *Job, nodes []string, done func(error))
+	// Cleanup removes data already staged to the nodes (after a failed
+	// or timed-out stage-in, Section III).
+	Cleanup(job *Job, nodes []string)
+	// Persist applies a persist directive on the job's nodes.
+	Persist(job *Job, d PersistDirective, nodes []string) error
+}
+
+// TrackedChecker is an optional Environment capability: before a node is
+// released, the scheduler asks whether tracked dataspaces on it still
+// hold data (Section IV-A: user transfers may leave data in local
+// dataspaces unbeknownst to Slurm). Non-empty dataspaces are recorded in
+// the job and the event log so the scheduler can "take appropriate
+// measures".
+type TrackedChecker interface {
+	NonEmptyTracked(node string) ([]string, error)
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// Nodes is the cluster's compute-node inventory.
+	Nodes []string
+	// StageInTimeout aborts a job whose stage-in exceeds it (seconds,
+	// 0 = no timeout) — the paper's pre-configured launch-gate timeout.
+	StageInTimeout float64
+	// DataAware prefers allocating nodes that already hold the
+	// workflow's data (move computation to the data).
+	DataAware bool
+	// PriorityBoost is added to the effective priority of a workflow's
+	// remaining jobs each time one of its phases completes, implementing
+	// "each intermediate job gets updated priorities as the different
+	// phases progress".
+	PriorityBoost int
+}
+
+// Controller is the slurmctld core with the workflow extensions.
+type Controller struct {
+	cfg Config
+	env Environment
+
+	mu        sync.Mutex
+	jobs      map[JobID]*Job
+	pending   []*Job
+	workflows map[WorkflowID]*Workflow
+	free      map[string]bool
+	nextJob   uint64
+	nextWF    uint64
+	stageWait map[JobID]*stageProgress
+	events    []string
+}
+
+type stageProgress struct {
+	remaining int
+	failed    bool
+	timer     Timer
+}
+
+// NewController returns a scheduler over the environment.
+func NewController(env Environment, cfg Config) (*Controller, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("slurm: no nodes configured")
+	}
+	free := make(map[string]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if free[n] {
+			return nil, fmt.Errorf("slurm: duplicate node %q", n)
+		}
+		free[n] = true
+	}
+	return &Controller{
+		cfg:       cfg,
+		env:       env,
+		jobs:      make(map[JobID]*Job),
+		workflows: make(map[WorkflowID]*Workflow),
+		free:      free,
+		stageWait: make(map[JobID]*stageProgress),
+	}, nil
+}
+
+func (c *Controller) log(format string, args ...any) {
+	c.events = append(c.events, fmt.Sprintf("[%8.2f] ", c.env.Now())+fmt.Sprintf(format, args...))
+}
+
+// Events returns the scheduler's event log.
+func (c *Controller) Events() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Submit registers a job and attempts to schedule.
+func (c *Controller) Submit(spec *JobSpec) (JobID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if spec.Nodes < 1 || spec.Nodes > len(c.cfg.Nodes) {
+		return 0, fmt.Errorf("slurm: job needs %d nodes, cluster has %d", spec.Nodes, len(c.cfg.Nodes))
+	}
+	c.nextJob++
+	job := &Job{
+		ID:         JobID(c.nextJob),
+		Spec:       spec,
+		State:      JobPending,
+		Priority:   spec.Priority,
+		SubmitTime: c.env.Now(),
+		seq:        c.nextJob,
+	}
+	// Workflow membership.
+	switch {
+	case spec.WorkflowStart:
+		c.nextWF++
+		wf := &Workflow{
+			ID:        WorkflowID(c.nextWF),
+			State:     WorkflowActive,
+			DataNodes: make(map[string]bool),
+			Shares:    make(map[string]bool),
+		}
+		c.workflows[wf.ID] = wf
+		job.Workflow = wf.ID
+	case len(spec.Dependencies) > 0:
+		var wfID WorkflowID
+		for _, dep := range spec.Dependencies {
+			dj, ok := c.jobs[dep]
+			if !ok {
+				return 0, fmt.Errorf("slurm: dependency %d does not exist", dep)
+			}
+			if wfID == 0 {
+				wfID = dj.Workflow
+			} else if dj.Workflow != wfID {
+				return 0, fmt.Errorf("slurm: dependencies span workflows %d and %d", wfID, dj.Workflow)
+			}
+		}
+		if wfID == 0 {
+			return 0, errors.New("slurm: dependency target is not part of a workflow")
+		}
+		if wf := c.workflows[wfID]; wf.State == WorkflowFailed {
+			return 0, fmt.Errorf("slurm: workflow %d already failed", wfID)
+		}
+		job.Workflow = wfID
+	}
+	if job.Workflow != 0 {
+		wf := c.workflows[job.Workflow]
+		wf.Jobs = append(wf.Jobs, job.ID)
+	}
+	c.jobs[job.ID] = job
+	c.pending = append(c.pending, job)
+	c.log("job %d (%s) submitted (wf=%d, nodes=%d)", job.ID, spec.Name, job.Workflow, spec.Nodes)
+	c.schedule()
+	return job.ID, nil
+}
+
+// Job returns a snapshot of a job.
+func (c *Controller) Job(id JobID) (Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("slurm: job %d not found", id)
+	}
+	cp := *j
+	cp.Nodes = append([]string(nil), j.Nodes...)
+	return cp, nil
+}
+
+// WorkflowOf returns a job's workflow ID.
+func (c *Controller) WorkflowOf(id JobID) (WorkflowID, error) {
+	j, err := c.Job(id)
+	if err != nil {
+		return 0, err
+	}
+	return j.Workflow, nil
+}
+
+// WorkflowStatus returns the state of a workflow and its jobs.
+func (c *Controller) WorkflowStatus(id WorkflowID) (WorkflowState, []JobStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wf, ok := c.workflows[id]
+	if !ok {
+		return 0, nil, fmt.Errorf("slurm: workflow %d not found", id)
+	}
+	var jobs []JobStatus
+	for _, jid := range wf.Jobs {
+		j := c.jobs[jid]
+		jobs = append(jobs, JobStatus{ID: jid, Name: j.Spec.Name, State: j.State})
+	}
+	return wf.State, jobs, nil
+}
+
+// FreeNodes returns the number of unallocated nodes.
+func (c *Controller) FreeNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ok := range c.free {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// depsSatisfied reports whether all dependencies completed; a failed or
+// cancelled dependency cancels the job.
+func (c *Controller) depsSatisfied(job *Job) bool {
+	for _, dep := range job.Spec.Dependencies {
+		dj := c.jobs[dep]
+		switch dj.State {
+		case JobCompleted:
+		case JobFailed, JobCancelled:
+			c.cancelLocked(job, fmt.Sprintf("dependency %d %s", dep, dj.State))
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// schedule runs one backfill pass over the pending queue: highest
+// effective priority first, FIFO within a level, skipping blocked jobs
+// so smaller ready jobs can start on the remaining nodes.
+// Caller must hold c.mu.
+func (c *Controller) schedule() {
+	sort.SliceStable(c.pending, func(i, j int) bool {
+		if c.pending[i].Priority != c.pending[j].Priority {
+			return c.pending[i].Priority > c.pending[j].Priority
+		}
+		return c.pending[i].seq < c.pending[j].seq
+	})
+	var still []*Job
+	for _, job := range c.pending {
+		if job.State != JobPending {
+			continue // cancelled while queued
+		}
+		if !c.depsSatisfied(job) {
+			if job.State == JobPending {
+				still = append(still, job)
+			}
+			continue
+		}
+		nodes := c.allocate(job)
+		if nodes == nil {
+			still = append(still, job)
+			continue
+		}
+		job.Nodes = nodes
+		c.beginStageIn(job)
+	}
+	c.pending = still
+}
+
+// allocate picks nodes for the job, preferring nodes that hold the
+// workflow's data when DataAware is set. Caller must hold c.mu.
+func (c *Controller) allocate(job *Job) []string {
+	var freeList []string
+	for _, n := range c.cfg.Nodes {
+		if c.free[n] {
+			freeList = append(freeList, n)
+		}
+	}
+	if len(freeList) < job.Spec.Nodes {
+		return nil
+	}
+	var chosen []string
+	if c.cfg.DataAware && job.Workflow != 0 {
+		wf := c.workflows[job.Workflow]
+		for _, n := range freeList {
+			if wf.DataNodes[n] && len(chosen) < job.Spec.Nodes {
+				chosen = append(chosen, n)
+			}
+		}
+	}
+	for _, n := range freeList {
+		if len(chosen) == job.Spec.Nodes {
+			break
+		}
+		dup := false
+		for _, ch := range chosen {
+			if ch == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			chosen = append(chosen, n)
+		}
+	}
+	for _, n := range chosen {
+		c.free[n] = false
+	}
+	return chosen
+}
+
+// beginStageIn triggers the job's stage_in transfers and gates the
+// compute launch on their completion. Caller must hold c.mu.
+func (c *Controller) beginStageIn(job *Job) {
+	job.State = JobStaging
+	job.StageInStart = c.env.Now()
+	if len(job.Spec.StageIns) == 0 {
+		c.startCompute(job)
+		return
+	}
+	var eta float64
+	for _, d := range job.Spec.StageIns {
+		if e := c.env.EstimateStage(job, d, job.Nodes); e > eta {
+			eta = e
+		}
+	}
+	c.log("job %d stage-in on %v (eta %.1fs)", job.ID, job.Nodes, eta)
+	sp := &stageProgress{remaining: len(job.Spec.StageIns)}
+	c.stageWait[job.ID] = sp
+	if c.cfg.StageInTimeout > 0 {
+		id := job.ID
+		sp.timer = c.env.After(c.cfg.StageInTimeout, func() {
+			c.stageInTimeout(id)
+		})
+	}
+	for _, d := range job.Spec.StageIns {
+		d := d
+		id := job.ID
+		c.env.Stage(job, d, job.Nodes, func(err error) {
+			c.stageInDone(id, err)
+		})
+	}
+}
+
+func (c *Controller) stageInTimeout(id JobID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job, ok := c.jobs[id]
+	if !ok || job.State != JobStaging {
+		return
+	}
+	c.log("job %d stage-in timed out", id)
+	c.failLocked(job, "stage-in timeout", true)
+	c.schedule()
+}
+
+func (c *Controller) stageInDone(id JobID, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job, ok := c.jobs[id]
+	if !ok {
+		return
+	}
+	sp := c.stageWait[id]
+	if sp == nil || job.State != JobStaging {
+		return // already failed or timed out
+	}
+	if err != nil {
+		if sp.timer != nil {
+			sp.timer.Cancel()
+		}
+		delete(c.stageWait, id)
+		c.log("job %d stage-in failed: %v", id, err)
+		c.failLocked(job, fmt.Sprintf("stage-in: %v", err), true)
+		c.schedule()
+		return
+	}
+	sp.remaining--
+	if sp.remaining > 0 {
+		return
+	}
+	if sp.timer != nil {
+		sp.timer.Cancel()
+	}
+	delete(c.stageWait, id)
+	c.startCompute(job)
+}
+
+// startCompute launches the job's compute phase. Caller must hold c.mu.
+func (c *Controller) startCompute(job *Job) {
+	job.State = JobRunning
+	job.StartTime = c.env.Now()
+	c.log("job %d started on %v", job.ID, job.Nodes)
+	id := job.ID
+	c.env.Run(job, job.Nodes, func(err error) {
+		c.runDone(id, err)
+	})
+}
+
+func (c *Controller) runDone(id JobID, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job, ok := c.jobs[id]
+	if !ok || job.State != JobRunning {
+		return
+	}
+	job.EndTime = c.env.Now()
+	if err != nil {
+		c.log("job %d failed: %v", id, err)
+		c.failLocked(job, err.Error(), false)
+		c.schedule()
+		return
+	}
+	c.log("job %d compute finished (%.1fs)", id, job.EndTime-job.StartTime)
+	// Apply persist directives before stage-out: stored locations must
+	// survive the node release.
+	for _, d := range job.Spec.Persists {
+		if perr := c.env.Persist(job, d, job.Nodes); perr != nil {
+			c.log("job %d persist %s %s failed: %v", id, d.Op, d.Location, perr)
+			continue
+		}
+		if job.Workflow != 0 {
+			wf := c.workflows[job.Workflow]
+			switch d.Op {
+			case PersistStore:
+				for _, n := range job.Nodes {
+					wf.DataNodes[n] = true
+				}
+			case PersistDelete:
+				for _, n := range job.Nodes {
+					delete(wf.DataNodes, n)
+				}
+			case PersistShare:
+				wf.Shares[d.User] = true
+			case PersistUnshare:
+				delete(wf.Shares, d.User)
+			}
+		}
+	}
+	c.beginStageOut(job)
+}
+
+// beginStageOut triggers stage_out transfers. Caller must hold c.mu.
+func (c *Controller) beginStageOut(job *Job) {
+	if len(job.Spec.StageOuts) == 0 {
+		c.finishLocked(job)
+		return
+	}
+	job.State = JobStagingOut
+	c.log("job %d stage-out from %v", job.ID, job.Nodes)
+	sp := &stageProgress{remaining: len(job.Spec.StageOuts)}
+	c.stageWait[job.ID] = sp
+	for _, d := range job.Spec.StageOuts {
+		d := d
+		id := job.ID
+		c.env.Stage(job, d, job.Nodes, func(err error) {
+			c.stageOutDone(id, err)
+		})
+	}
+}
+
+func (c *Controller) stageOutDone(id JobID, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job, ok := c.jobs[id]
+	if !ok || job.State != JobStagingOut {
+		return
+	}
+	sp := c.stageWait[id]
+	if err != nil {
+		// Leave the data on node-local storage for a future stage_out to
+		// recover (Section III); the job itself still completes.
+		job.StageOutFailed = true
+		c.log("job %d stage-out failed (data left in place): %v", id, err)
+	}
+	sp.remaining--
+	if sp.remaining > 0 {
+		return
+	}
+	delete(c.stageWait, id)
+	c.finishLocked(job)
+}
+
+// finishLocked completes a job and releases its nodes.
+func (c *Controller) finishLocked(job *Job) {
+	job.State = JobCompleted
+	job.ReleaseTime = c.env.Now()
+	if tc, ok := c.env.(TrackedChecker); ok {
+		for _, n := range job.Nodes {
+			ids, err := tc.NonEmptyTracked(n)
+			if err != nil {
+				c.log("job %d: tracked-dataspace check on %s failed: %v", job.ID, n, err)
+				continue
+			}
+			if len(ids) > 0 {
+				job.LeftoverData = append(job.LeftoverData, ids...)
+				c.log("job %d released %s with non-empty tracked dataspaces %v", job.ID, n, ids)
+			}
+		}
+	}
+	for _, n := range job.Nodes {
+		c.free[n] = true
+	}
+	c.log("job %d completed, released %v", job.ID, job.Nodes)
+	if job.Workflow != 0 {
+		wf := c.workflows[job.Workflow]
+		// Raise the priority of the workflow's remaining jobs: the
+		// workflow progressed, so its next phases outrank newly arrived
+		// unrelated work.
+		if c.cfg.PriorityBoost != 0 {
+			for _, jid := range wf.Jobs {
+				if j := c.jobs[jid]; !j.State.Terminal() && j.State == JobPending {
+					j.Priority += c.cfg.PriorityBoost
+				}
+			}
+		}
+		if job.Spec.WorkflowEnd {
+			wf.Ended = true
+		}
+		c.updateWorkflowState(wf)
+	}
+	c.schedule()
+}
+
+// failLocked fails a job: cleanup (optional), release nodes, cancel the
+// workflow's dependent jobs.
+func (c *Controller) failLocked(job *Job, reason string, cleanup bool) {
+	job.State = JobFailed
+	job.FailReason = reason
+	job.ReleaseTime = c.env.Now()
+	if cleanup && len(job.Nodes) > 0 {
+		c.env.Cleanup(job, job.Nodes)
+	}
+	for _, n := range job.Nodes {
+		c.free[n] = true
+	}
+	if job.Workflow != 0 {
+		wf := c.workflows[job.Workflow]
+		wf.State = WorkflowFailed
+		// Cancel every non-terminal job in the workflow that has not
+		// started computing ("if a workflow job fails, all subsequent
+		// jobs are cancelled").
+		for _, jid := range wf.Jobs {
+			j := c.jobs[jid]
+			if j.ID != job.ID && (j.State == JobPending || j.State == JobStaging) {
+				c.cancelLocked(j, fmt.Sprintf("workflow %d failed: job %d %s", wf.ID, job.ID, reason))
+			}
+		}
+	}
+}
+
+// cancelLocked cancels a queued or staging job.
+func (c *Controller) cancelLocked(job *Job, reason string) {
+	if job.State.Terminal() {
+		return
+	}
+	wasStaging := job.State == JobStaging
+	job.State = JobCancelled
+	job.FailReason = reason
+	job.ReleaseTime = c.env.Now()
+	if sp := c.stageWait[job.ID]; sp != nil {
+		if sp.timer != nil {
+			sp.timer.Cancel()
+		}
+		delete(c.stageWait, job.ID)
+	}
+	if wasStaging && len(job.Nodes) > 0 {
+		c.env.Cleanup(job, job.Nodes)
+	}
+	for _, n := range job.Nodes {
+		c.free[n] = true
+	}
+	c.log("job %d cancelled: %s", job.ID, reason)
+	if job.Workflow != 0 {
+		c.updateWorkflowState(c.workflows[job.Workflow])
+	}
+}
+
+// updateWorkflowState recomputes a workflow's terminal state.
+func (c *Controller) updateWorkflowState(wf *Workflow) {
+	if wf.State == WorkflowFailed {
+		return
+	}
+	allDone := true
+	for _, jid := range wf.Jobs {
+		if !c.jobs[jid].State.Terminal() {
+			allDone = false
+			break
+		}
+	}
+	if allDone && wf.Ended {
+		wf.State = WorkflowCompleted
+	}
+}

@@ -1,0 +1,270 @@
+// Package slurm implements the paper's Slurm extensions for data-driven
+// workflows: batch-script options declaring workflow membership
+// (workflow-start, workflow-end, workflow-prior-dependency), the #NORNS
+// stage_in / stage_out / persist directives of Listing 1, a
+// workflow-aware scheduler (slurmctld) that treats all jobs of a
+// workflow as a unit, and the staging orchestration that coordinates
+// with NORNS: E.T.A.-triggered stage-in ahead of launch, launch gating
+// with timeout and cleanup, stage-out at completion with
+// leave-for-retry on failure, and data-aware node selection.
+package slurm
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StageKind distinguishes stage_in from stage_out.
+type StageKind uint8
+
+// Stage directions.
+const (
+	StageIn StageKind = iota + 1
+	StageOut
+)
+
+// String returns the directive keyword.
+func (k StageKind) String() string {
+	if k == StageIn {
+		return "stage_in"
+	}
+	return "stage_out"
+}
+
+// StageDirective is one "#NORNS stage_in|stage_out origin destination
+// mapping" line.
+type StageDirective struct {
+	Kind StageKind
+	// Origin and Destination are dataspace references,
+	// "dataspace://path" (e.g. "lustre://input/mesh.dat").
+	Origin      string
+	Destination string
+	// Mapping describes how data maps onto node-local resources; empty
+	// for single-resource nodes (Section III).
+	Mapping string
+}
+
+// PersistOp is the operation of a persist directive.
+type PersistOp uint8
+
+// Persist operations (Section III).
+const (
+	PersistStore PersistOp = iota + 1
+	PersistDelete
+	PersistShare
+	PersistUnshare
+)
+
+// String returns the option keyword.
+func (op PersistOp) String() string {
+	switch op {
+	case PersistStore:
+		return "store"
+	case PersistDelete:
+		return "delete"
+	case PersistShare:
+		return "share"
+	case PersistUnshare:
+		return "unshare"
+	default:
+		return fmt.Sprintf("persist(%d)", uint8(op))
+	}
+}
+
+// PersistDirective is one "#NORNS persist operation location user" line.
+type PersistDirective struct {
+	Op       PersistOp
+	Location string // must name a node-local resource
+	User     string // for share/unshare
+}
+
+// JobID identifies a submitted job.
+type JobID uint64
+
+// JobSpec is a parsed job submission.
+type JobSpec struct {
+	Name  string
+	Nodes int
+	// Priority is the user-requested priority (higher runs sooner).
+	Priority int
+
+	// Workflow options.
+	WorkflowStart bool
+	WorkflowEnd   bool
+	// Dependencies lists workflow-prior-dependency job IDs.
+	Dependencies []JobID
+
+	StageIns  []StageDirective
+	StageOuts []StageDirective
+	Persists  []PersistDirective
+
+	// Payload carries the environment-specific execution description
+	// (a workload model in simulations, a command in real deployments).
+	Payload any
+}
+
+// ParseScript parses a batch script's #SBATCH and #NORNS directives.
+// Unknown #SBATCH options are ignored (as Slurm plugins must tolerate);
+// malformed #NORNS directives are errors, since silently dropping a
+// staging request would corrupt a workflow.
+func ParseScript(script string) (*JobSpec, error) {
+	spec := &JobSpec{Nodes: 1}
+	sc := bufio.NewScanner(strings.NewReader(script))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(text, "#SBATCH"):
+			if err := parseSbatch(spec, strings.TrimSpace(strings.TrimPrefix(text, "#SBATCH"))); err != nil {
+				return nil, fmt.Errorf("slurm: line %d: %w", line, err)
+			}
+		case strings.HasPrefix(text, "#NORNS"):
+			if err := parseNorns(spec, strings.TrimSpace(strings.TrimPrefix(text, "#NORNS"))); err != nil {
+				return nil, fmt.Errorf("slurm: line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func parseSbatch(spec *JobSpec, args string) error {
+	for _, tok := range strings.Fields(args) {
+		opt, val, hasVal := strings.Cut(tok, "=")
+		switch opt {
+		case "--job-name":
+			spec.Name = val
+		case "--nodes":
+			if !hasVal {
+				return fmt.Errorf("--nodes needs a value")
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return fmt.Errorf("--nodes=%q invalid", val)
+			}
+			spec.Nodes = n
+		case "--priority":
+			if !hasVal {
+				return fmt.Errorf("--priority needs a value")
+			}
+			p, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("--priority=%q invalid", val)
+			}
+			spec.Priority = p
+		case "--workflow-start":
+			spec.WorkflowStart = true
+		case "--workflow-end":
+			spec.WorkflowEnd = true
+		case "--workflow-prior-dependency":
+			if !hasVal {
+				return fmt.Errorf("--workflow-prior-dependency needs a job ID")
+			}
+			id, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("--workflow-prior-dependency=%q invalid", val)
+			}
+			spec.Dependencies = append(spec.Dependencies, JobID(id))
+		default:
+			// Standard Slurm options we do not model are ignored.
+		}
+	}
+	return nil
+}
+
+func parseNorns(spec *JobSpec, args string) error {
+	fields := strings.Fields(args)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty #NORNS directive")
+	}
+	switch fields[0] {
+	case "stage_in", "stage_out":
+		if len(fields) < 3 {
+			return fmt.Errorf("%s needs origin and destination", fields[0])
+		}
+		d := StageDirective{Origin: fields[1], Destination: fields[2]}
+		if len(fields) >= 4 {
+			d.Mapping = fields[3]
+		}
+		if err := validateRef(d.Origin); err != nil {
+			return err
+		}
+		if err := validateRef(d.Destination); err != nil {
+			return err
+		}
+		if fields[0] == "stage_in" {
+			d.Kind = StageIn
+			spec.StageIns = append(spec.StageIns, d)
+		} else {
+			d.Kind = StageOut
+			spec.StageOuts = append(spec.StageOuts, d)
+		}
+	case "persist":
+		if len(fields) < 3 {
+			return fmt.Errorf("persist needs operation and location")
+		}
+		var op PersistOp
+		switch fields[1] {
+		case "store":
+			op = PersistStore
+		case "delete":
+			op = PersistDelete
+		case "share":
+			op = PersistShare
+		case "unshare":
+			op = PersistUnshare
+		default:
+			return fmt.Errorf("unknown persist operation %q", fields[1])
+		}
+		d := PersistDirective{Op: op, Location: fields[2]}
+		if err := validateRef(d.Location); err != nil {
+			return err
+		}
+		if op == PersistShare || op == PersistUnshare {
+			if len(fields) < 4 {
+				return fmt.Errorf("persist %s needs a user", fields[1])
+			}
+			d.User = fields[3]
+		}
+		spec.Persists = append(spec.Persists, d)
+	case "workflow-start":
+		spec.WorkflowStart = true
+	case "workflow-end":
+		spec.WorkflowEnd = true
+	case "workflow-prior-dependency":
+		if len(fields) < 2 {
+			return fmt.Errorf("workflow-prior-dependency needs a job ID")
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("workflow-prior-dependency %q invalid", fields[1])
+		}
+		spec.Dependencies = append(spec.Dependencies, JobID(id))
+	default:
+		return fmt.Errorf("unknown #NORNS directive %q", fields[0])
+	}
+	return nil
+}
+
+// validateRef checks a "dataspace://path" reference.
+func validateRef(ref string) error {
+	i := strings.Index(ref, "://")
+	if i <= 0 {
+		return fmt.Errorf("malformed dataspace reference %q (want dataspace://path)", ref)
+	}
+	return nil
+}
+
+// SplitRef splits "lustre://input/x" into ("lustre://", "input/x").
+func SplitRef(ref string) (dataspace, path string) {
+	i := strings.Index(ref, "://")
+	if i < 0 {
+		return "", ref
+	}
+	return ref[:i+3], ref[i+3:]
+}

@@ -1,0 +1,130 @@
+package slurm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScriptFull(t *testing.T) {
+	script := `#!/bin/bash
+#SBATCH --job-name=producer --nodes=2 --priority=5
+#SBATCH --workflow-start
+#NORNS stage_in lustre://input/mesh.dat nvme0://mesh.dat socket0
+#NORNS stage_out nvme0://out/result.dat lustre://results/ socket0
+#NORNS persist store nvme0://out/result.dat
+#NORNS persist share nvme0://out/result.dat alice
+
+srun ./producer
+`
+	spec, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "producer" || spec.Nodes != 2 || spec.Priority != 5 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if !spec.WorkflowStart || spec.WorkflowEnd {
+		t.Fatalf("workflow flags: %+v", spec)
+	}
+	if len(spec.StageIns) != 1 || spec.StageIns[0].Origin != "lustre://input/mesh.dat" ||
+		spec.StageIns[0].Destination != "nvme0://mesh.dat" || spec.StageIns[0].Mapping != "socket0" {
+		t.Fatalf("stage_in = %+v", spec.StageIns)
+	}
+	if len(spec.StageOuts) != 1 || spec.StageOuts[0].Kind != StageOut {
+		t.Fatalf("stage_out = %+v", spec.StageOuts)
+	}
+	if len(spec.Persists) != 2 {
+		t.Fatalf("persists = %+v", spec.Persists)
+	}
+	if spec.Persists[0].Op != PersistStore || spec.Persists[1].Op != PersistShare || spec.Persists[1].User != "alice" {
+		t.Fatalf("persists = %+v", spec.Persists)
+	}
+}
+
+func TestParseWorkflowDependency(t *testing.T) {
+	spec, err := ParseScript(`#SBATCH --workflow-prior-dependency=3
+#NORNS workflow-prior-dependency 7
+#NORNS workflow-end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Dependencies) != 2 || spec.Dependencies[0] != 3 || spec.Dependencies[1] != 7 {
+		t.Fatalf("deps = %v", spec.Dependencies)
+	}
+	if !spec.WorkflowEnd {
+		t.Fatal("workflow-end not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"#NORNS stage_in lustre://x",               // missing destination
+		"#NORNS stage_in noscheme nvme0://x",       // malformed origin
+		"#NORNS persist explode nvme0://x",         // unknown op
+		"#NORNS persist share nvme0://x",           // share without user
+		"#NORNS frobnicate",                        // unknown directive
+		"#NORNS workflow-prior-dependency not-num", // bad ID
+		"#SBATCH --nodes=zero",                     // bad node count
+		"#SBATCH --priority=high",                  // bad priority
+	}
+	for _, script := range bad {
+		if _, err := ParseScript(script); err == nil {
+			t.Errorf("ParseScript(%q) accepted", script)
+		}
+	}
+}
+
+func TestParseIgnoresUnknownSbatch(t *testing.T) {
+	spec, err := ParseScript("#SBATCH --time=01:00:00 --partition=debug --nodes=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Nodes != 3 {
+		t.Fatalf("nodes = %d", spec.Nodes)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	spec, err := ParseScript("echo hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Nodes != 1 || spec.WorkflowStart || len(spec.StageIns) != 0 {
+		t.Fatalf("defaults = %+v", spec)
+	}
+}
+
+func TestSplitRef(t *testing.T) {
+	ds, path := SplitRef("lustre://input/x")
+	if ds != "lustre://" || path != "input/x" {
+		t.Fatalf("SplitRef = %q, %q", ds, path)
+	}
+	ds, path = SplitRef("nopath")
+	if ds != "" || path != "nopath" {
+		t.Fatalf("SplitRef(nopath) = %q, %q", ds, path)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[JobState]string{
+		JobPending: "pending", JobStaging: "staging", JobRunning: "running",
+		JobStagingOut: "staging-out", JobCompleted: "completed",
+		JobFailed: "failed", JobCancelled: "cancelled",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if !JobCompleted.Terminal() || JobRunning.Terminal() {
+		t.Error("Terminal() wrong")
+	}
+	if StageIn.String() != "stage_in" || StageOut.String() != "stage_out" {
+		t.Error("stage kind strings wrong")
+	}
+	if PersistStore.String() != "store" || PersistUnshare.String() != "unshare" {
+		t.Error("persist op strings wrong")
+	}
+	if !strings.Contains(WorkflowActive.String(), "active") {
+		t.Error("workflow state string wrong")
+	}
+}

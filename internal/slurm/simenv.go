@@ -1,0 +1,382 @@
+package slurm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simnet"
+	"github.com/ngioproject/norns-go/internal/simstore"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/workload"
+)
+
+// SimEnv is the discrete-event Environment: storage tiers are simstore
+// models, compute phases are workload models over per-node memory
+// resources, and staging transfers add memory-bandwidth drag to
+// co-located compute — the mechanism behind the paper's table-IV HPCG
+// interference measurements.
+type SimEnv struct {
+	Eng *sim.Engine
+	// StageDrag is the fair-share weight staging claims on a node's
+	// memory resource while active (0.15 reproduces the paper's ~15%
+	// HPCG slowdown).
+	StageDrag float64
+	// FallbackBW seeds stage-time estimates before any transfer
+	// completes (bytes/sec).
+	FallbackBW float64
+	// Fabric, when set, adds an interconnect leg to stages between two
+	// node-local tiers on different nodes (the OpenFOAM redistribution
+	// path of Table V). The source node's NIC is the bottleneck.
+	Fabric *simnet.Fabric
+	// StageStreams is the number of parallel streams a stage uses per
+	// node. NORNS staging is multi-stream, so per-client PFS limits do
+	// not bind it the way they bind a serial application writer.
+	StageStreams int
+
+	tiers map[string]simstore.Tier
+	mu    sync.Mutex
+	mem   map[string]*sim.SharedResource
+	// catalog maps "node|dataspace://ref" (node == "" for shared tiers)
+	// to dataset bytes.
+	catalog map[string]float64
+	eta     *task.ETAEstimator
+	// failStage forces the named destination refs to fail (failure
+	// injection for tests).
+	failStage map[string]error
+}
+
+// NewSimEnv returns an environment over the engine.
+func NewSimEnv(eng *sim.Engine) *SimEnv {
+	return &SimEnv{
+		Eng:          eng,
+		StageDrag:    0.15,
+		FallbackBW:   1 << 30,
+		StageStreams: 24,
+		tiers:        make(map[string]simstore.Tier),
+		mem:          make(map[string]*sim.SharedResource),
+		catalog:      make(map[string]float64),
+		failStage:    make(map[string]error),
+	}
+}
+
+// AddTier registers a storage tier under its dataspace ID.
+func (e *SimEnv) AddTier(dataspace string, t simstore.Tier) {
+	e.tiers[dataspace] = t
+}
+
+// Tier resolves a dataspace ID.
+func (e *SimEnv) Tier(dataspace string) (simstore.Tier, error) {
+	t, ok := e.tiers[dataspace]
+	if !ok {
+		return nil, fmt.Errorf("slurm: no tier registered for %s", dataspace)
+	}
+	return t, nil
+}
+
+// Mem returns the node's memory/CPU resource (capacity 1 unit/sec, so a
+// compute flow of N units takes N seconds when alone).
+func (e *SimEnv) Mem(node string) *sim.SharedResource {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.mem[node]
+	if !ok {
+		r = sim.NewSharedResource(e.Eng, 1)
+		e.mem[node] = r
+	}
+	return r
+}
+
+// FailStageTo forces stages whose destination is ref to fail.
+func (e *SimEnv) FailStageTo(ref string, err error) {
+	e.mu.Lock()
+	e.failStage[ref] = err
+	e.mu.Unlock()
+}
+
+func catalogKey(node, ref string) string { return node + "|" + ref }
+
+// PutData records a dataset in the catalog.
+func (e *SimEnv) PutData(node, ref string, bytes float64) {
+	e.mu.Lock()
+	e.catalog[catalogKey(node, ref)] += bytes
+	e.mu.Unlock()
+}
+
+// GetData looks a dataset up.
+func (e *SimEnv) GetData(node, ref string) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.catalog[catalogKey(node, ref)]
+	return b, ok
+}
+
+// DropData removes a dataset.
+func (e *SimEnv) DropData(node, ref string) {
+	e.mu.Lock()
+	delete(e.catalog, catalogKey(node, ref))
+	e.mu.Unlock()
+}
+
+// datasetBytes sums catalog entries for ref: the shared entry plus any
+// node-local entries on the given nodes (nil nodes = every node).
+func (e *SimEnv) datasetBytes(ref string, tier simstore.Tier, nodes []string) (float64, []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if tier.Shared() {
+		return e.catalog[catalogKey("", ref)], nil
+	}
+	var total float64
+	var holders []string
+	seen := make(map[string]bool)
+	match := func(node string) {
+		if seen[node] {
+			return
+		}
+		seen[node] = true
+		if b, ok := e.catalog[catalogKey(node, ref)]; ok {
+			total += b
+			holders = append(holders, node)
+		}
+	}
+	if nodes != nil {
+		for _, n := range nodes {
+			match(n)
+		}
+	}
+	if holders == nil {
+		// Data may live on nodes outside the allocation (inter-node
+		// staging): scan the catalog.
+		prefix := "|" + ref
+		for key, b := range e.catalog {
+			for i := range key {
+				if key[i] == '|' {
+					if key[i:] == prefix && key[:i] != "" {
+						total += b
+						holders = append(holders, key[:i])
+					}
+					break
+				}
+			}
+		}
+	}
+	return total, holders
+}
+
+// Now implements Environment.
+func (e *SimEnv) Now() float64 { return e.Eng.Now() }
+
+type simTimer struct{ ev *sim.Event }
+
+func (t simTimer) Cancel() { t.ev.Cancel() }
+
+// After implements Environment.
+func (e *SimEnv) After(delay float64, fn func()) Timer {
+	return simTimer{ev: e.Eng.After(delay, fn)}
+}
+
+// eta returns the stage-time estimator, creating it lazily.
+func (e *SimEnv) estimator() *task.ETAEstimator {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.eta == nil {
+		e.eta = task.NewETAEstimator(0.3, e.FallbackBW)
+	}
+	return e.eta
+}
+
+// EstimateStage implements Environment.
+func (e *SimEnv) EstimateStage(job *Job, d StageDirective, nodes []string) float64 {
+	srcDS, srcRef := SplitRef(d.Origin)
+	tier, err := e.Tier(srcDS)
+	if err != nil {
+		return 0
+	}
+	bytes, _ := e.datasetBytes(d.Origin, tier, nil)
+	_ = srcRef
+	if bytes == 0 {
+		return 0
+	}
+	est := e.estimator()
+	return est.Estimate(int64(bytes)).Seconds()
+}
+
+// Stage implements Environment: reads the dataset from the origin tier
+// (on the nodes that hold it) and writes it to the destination tier on
+// the allocation's nodes, with memory drag on every involved node while
+// the transfer is in flight.
+func (e *SimEnv) Stage(job *Job, d StageDirective, nodes []string, done func(error)) {
+	srcDS, _ := SplitRef(d.Origin)
+	dstDS, _ := SplitRef(d.Destination)
+
+	srcTier, err := e.Tier(srcDS)
+	if err != nil {
+		e.Eng.After(0, func() { done(err) })
+		return
+	}
+	dstTier, err := e.Tier(dstDS)
+	if err != nil {
+		e.Eng.After(0, func() { done(err) })
+		return
+	}
+	e.mu.Lock()
+	forced := e.failStage[d.Destination]
+	e.mu.Unlock()
+	if forced != nil {
+		e.Eng.After(0, func() { done(forced) })
+		return
+	}
+
+	bytes, holders := e.datasetBytes(d.Origin, srcTier, nodes)
+	if bytes == 0 {
+		ref := d.Origin
+		e.Eng.After(0, func() { done(fmt.Errorf("slurm: stage origin %s holds no data", ref)) })
+		return
+	}
+
+	// Memory drag on every node involved while staging runs.
+	dragNodes := make(map[string]bool)
+	for _, n := range nodes {
+		dragNodes[n] = true
+	}
+	for _, n := range holders {
+		dragNodes[n] = true
+	}
+	var drags []*sim.Flow
+	if e.StageDrag > 0 {
+		for n := range dragNodes {
+			drags = append(drags, e.Mem(n).StartWeighted(1e18, e.StageDrag, nil))
+		}
+	}
+
+	perNode := bytes / float64(len(nodes))
+	// Legs per destination node: tier read + tier write, plus a fabric
+	// transfer when moving between node-local tiers across nodes.
+	type leg struct {
+		readNode string
+		fabric   bool
+	}
+	streams := e.StageStreams
+	if streams < 1 {
+		streams = 1
+	}
+	legs := make([]leg, len(nodes))
+	remaining := 0
+	for i, n := range nodes {
+		readNode := n
+		if len(holders) > 0 {
+			readNode = holders[i%len(holders)]
+		}
+		useFabric := e.Fabric != nil && !srcTier.Shared() && !dstTier.Shared() && readNode != n
+		legs[i] = leg{readNode: readNode, fabric: useFabric}
+		remaining += 2 * streams
+		if useFabric {
+			remaining++
+		}
+	}
+	start := e.Eng.Now()
+	finish := func(float64) {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		for _, f := range drags {
+			f.Cancel()
+		}
+		elapsed := e.Eng.Now() - start
+		if elapsed > 0 {
+			e.estimator().Record(int64(bytes), secondsToDuration(elapsed))
+		}
+		for _, n := range nodes {
+			if dstTier.Shared() {
+				e.PutData("", d.Destination, perNode)
+			} else {
+				e.PutData(n, d.Destination, perNode)
+			}
+		}
+		done(nil)
+	}
+	perStream := perNode / float64(streams)
+	for i, n := range nodes {
+		for s := 0; s < streams; s++ {
+			srcTier.Read(legs[i].readNode, perStream, finish)
+			dstTier.Write(n, perStream, finish)
+		}
+		if legs[i].fabric {
+			// Keyed by the source node: every shard leaving it shares
+			// its NIC, which is the redistribution bottleneck.
+			e.Fabric.Transfer(legs[i].readNode, perNode, 1, finish)
+		}
+	}
+}
+
+// Run implements Environment: executes the job's workload model.
+func (e *SimEnv) Run(job *Job, nodes []string, done func(error)) {
+	model, ok := job.Spec.Payload.(workload.Model)
+	if !ok || model == nil {
+		e.Eng.After(0, func() { done(nil) }) // jobs without a model are pure sleep-0
+		return
+	}
+	ctx := &workload.Context{
+		Eng:   e.Eng,
+		Nodes: nodes,
+		Tier:  e.Tier,
+		Mem:   e.Mem,
+		PutData: func(node, ref string, bytes float64) {
+			t, err := e.Tier(refDataspace(ref))
+			if err == nil && t.Shared() {
+				node = ""
+			}
+			e.PutData(node, ref, bytes)
+		},
+		GetData: func(node, ref string) (float64, bool) {
+			t, err := e.Tier(refDataspace(ref))
+			if err == nil && t.Shared() {
+				node = ""
+			}
+			return e.GetData(node, ref)
+		},
+	}
+	model.Run(ctx, done)
+}
+
+func refDataspace(ref string) string {
+	ds, _ := SplitRef(ref)
+	return ds
+}
+
+// Cleanup implements Environment: drop every stage-in destination
+// dataset from the given nodes.
+func (e *SimEnv) Cleanup(job *Job, nodes []string) {
+	for _, d := range job.Spec.StageIns {
+		for _, n := range nodes {
+			e.DropData(n, d.Destination)
+		}
+		e.DropData("", d.Destination)
+	}
+}
+
+// Persist implements Environment.
+func (e *SimEnv) Persist(job *Job, d PersistDirective, nodes []string) error {
+	switch d.Op {
+	case PersistStore:
+		// Data already lives in the location; persisting pins it, which
+		// the catalog models by simply retaining the entry.
+		return nil
+	case PersistDelete:
+		for _, n := range nodes {
+			e.DropData(n, d.Location)
+		}
+		return nil
+	case PersistShare, PersistUnshare:
+		// ACLs are tracked by the controller's workflow bookkeeping.
+		return nil
+	default:
+		return fmt.Errorf("slurm: unknown persist op %d", d.Op)
+	}
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,291 @@
+// Package storage provides the file-system abstraction beneath NORNS
+// dataspaces. A dataspace backend (node-local NVM mount, parallel file
+// system mount, memory tier) exposes the same small FS interface, so
+// transfer plugins move data between tiers without knowing their
+// implementation — mirroring how the C++ NORNS hides tier details behind
+// backend plugins.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Common errors returned by FS implementations.
+var (
+	ErrNotExist = errors.New("storage: file does not exist")
+	ErrExist    = errors.New("storage: file already exists")
+	ErrIsDir    = errors.New("storage: is a directory")
+	ErrNotDir   = errors.New("storage: not a directory")
+	ErrBadPath  = errors.New("storage: invalid path")
+	ErrReadOnly = errors.New("storage: read-only file system")
+	ErrNoSpace  = errors.New("storage: no space left on device")
+)
+
+// FileInfo describes a stored file or directory.
+type FileInfo struct {
+	Path    string
+	Size    int64
+	Dir     bool
+	ModTime time.Time
+}
+
+// FS is the tier-neutral file-system interface transfer plugins operate
+// on. Paths are slash-separated and relative to the FS root; Clean
+// normalization is the implementation's responsibility.
+type FS interface {
+	// Create opens path for writing, truncating any existing file and
+	// creating parent directories as needed.
+	Create(path string) (io.WriteCloser, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Stat describes path.
+	Stat(path string) (FileInfo, error)
+	// Remove deletes a file or empty directory.
+	Remove(path string) error
+	// RemoveAll deletes path and all children; missing paths are not an
+	// error.
+	RemoveAll(path string) error
+	// List returns the files (not directories) under prefix, recursively,
+	// in lexical order.
+	List(prefix string) ([]FileInfo, error)
+	// Usage returns the total bytes stored.
+	Usage() (int64, error)
+}
+
+// CleanPath normalizes a slash-separated relative path, rejecting
+// attempts to escape the FS root.
+func CleanPath(p string) (string, error) {
+	p = strings.TrimPrefix(p, "/")
+	if p == "" {
+		return "", fmt.Errorf("%w: empty", ErrBadPath)
+	}
+	c := path.Clean(p)
+	if c == ".." || strings.HasPrefix(c, "../") || c == "." {
+		return "", fmt.Errorf("%w: %q escapes root", ErrBadPath, p)
+	}
+	return c, nil
+}
+
+// memFile is a file stored in a MemFS.
+type memFile struct {
+	data    []byte
+	modTime time.Time
+}
+
+// MemFS is an in-memory FS used for the memory dataspace tier and for
+// tests. It is safe for concurrent use.
+type MemFS struct {
+	mu       sync.RWMutex
+	files    map[string]*memFile
+	capacity int64 // 0 means unlimited
+	now      func() time.Time
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), now: time.Now}
+}
+
+// NewMemFSWithCapacity returns a MemFS that rejects writes once total
+// stored bytes would exceed capacity.
+func NewMemFSWithCapacity(capacity int64) *MemFS {
+	fs := NewMemFS()
+	fs.capacity = capacity
+	return fs
+}
+
+// memWriter buffers writes and commits the file on Close.
+type memWriter struct {
+	fs     *MemFS
+	path   string
+	buf    []byte
+	closed bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fs.ErrClosed
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *memWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.fs.capacity > 0 {
+		var used int64
+		for p, f := range w.fs.files {
+			if p != w.path {
+				used += int64(len(f.data))
+			}
+		}
+		if used+int64(len(w.buf)) > w.fs.capacity {
+			return ErrNoSpace
+		}
+	}
+	w.fs.files[w.path] = &memFile{data: w.buf, modTime: w.fs.now()}
+	return nil
+}
+
+type nopReadCloser struct{ *strings.Reader }
+
+func (nopReadCloser) Close() error { return nil }
+
+type bytesReadCloser struct{ r io.Reader }
+
+func (b bytesReadCloser) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (bytesReadCloser) Close() error                 { return nil }
+
+// Create implements FS.
+func (m *MemFS) Create(p string) (io.WriteCloser, error) {
+	c, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	return &memWriter{fs: m, path: c}, nil
+}
+
+// WriteFile stores data at path in one call.
+func (m *MemFS) WriteFile(p string, data []byte) error {
+	w, err := m.Create(p)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Open implements FS.
+func (m *MemFS) Open(p string) (io.ReadCloser, error) {
+	c, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f, ok := m.files[c]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, c)
+	}
+	data := make([]byte, len(f.data))
+	copy(data, f.data)
+	return bytesReadCloser{r: strings.NewReader(string(data))}, nil
+}
+
+// ReadFile returns the contents of path.
+func (m *MemFS) ReadFile(p string) ([]byte, error) {
+	r, err := m.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(p string) (FileInfo, error) {
+	c, err := CleanPath(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if f, ok := m.files[c]; ok {
+		return FileInfo{Path: c, Size: int64(len(f.data)), ModTime: f.modTime}, nil
+	}
+	// Implicit directory if any file lives under it.
+	dir := c + "/"
+	for name := range m.files {
+		if strings.HasPrefix(name, dir) {
+			return FileInfo{Path: c, Dir: true}, nil
+		}
+	}
+	return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, c)
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(p string) error {
+	c, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[c]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, c)
+	}
+	delete(m.files, c)
+	return nil
+}
+
+// RemoveAll implements FS.
+func (m *MemFS) RemoveAll(p string) error {
+	c, err := CleanPath(p)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir := c + "/"
+	for name := range m.files {
+		if name == c || strings.HasPrefix(name, dir) {
+			delete(m.files, name)
+		}
+	}
+	return nil
+}
+
+// List implements FS.
+func (m *MemFS) List(prefix string) ([]FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var pre string
+	if prefix != "" && prefix != "/" && prefix != "." {
+		c, err := CleanPath(prefix)
+		if err != nil {
+			return nil, err
+		}
+		pre = c
+	}
+	var out []FileInfo
+	for name, f := range m.files {
+		if pre == "" || name == pre || strings.HasPrefix(name, pre+"/") {
+			out = append(out, FileInfo{Path: name, Size: int64(len(f.data)), ModTime: f.modTime})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Usage implements FS.
+func (m *MemFS) Usage() (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, f := range m.files {
+		total += int64(len(f.data))
+	}
+	return total, nil
+}
+
+// Empty reports whether the FS holds no files.
+func (m *MemFS) Empty() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.files) == 0
+}

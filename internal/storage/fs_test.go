@@ -1,0 +1,296 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fsFactories lets every conformance test run against all FS
+// implementations.
+func fsFactories(t *testing.T) map[string]func() FS {
+	return map[string]func() FS{
+		"MemFS": func() FS { return NewMemFS() },
+		"OSFS": func() FS {
+			fs, err := NewOSFS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		},
+	}
+}
+
+func writeFile(t *testing.T, fs FS, path, content string) {
+	t.Helper()
+	w, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", path, err)
+	}
+	if _, err := io.WriteString(w, content); err != nil {
+		t.Fatalf("Write(%q): %v", path, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close(%q): %v", path, err)
+	}
+}
+
+func readFile(t *testing.T, fs FS, path string) string {
+	t.Helper()
+	r, err := fs.Open(path)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", path, err)
+	}
+	defer r.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll(%q): %v", path, err)
+	}
+	return string(b)
+}
+
+func TestFSConformance(t *testing.T) {
+	for name, mk := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			fs := mk()
+
+			t.Run("create and read", func(t *testing.T) {
+				writeFile(t, fs, "dir/a.dat", "hello")
+				if got := readFile(t, fs, "dir/a.dat"); got != "hello" {
+					t.Fatalf("content = %q", got)
+				}
+			})
+
+			t.Run("stat", func(t *testing.T) {
+				st, err := fs.Stat("dir/a.dat")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Size != 5 || st.Dir {
+					t.Fatalf("stat = %+v", st)
+				}
+				if _, err := fs.Stat("missing"); !errors.Is(err, ErrNotExist) {
+					t.Fatalf("Stat(missing) err = %v", err)
+				}
+				dst, err := fs.Stat("dir")
+				if err != nil {
+					t.Fatalf("Stat(dir): %v", err)
+				}
+				if !dst.Dir {
+					t.Fatal("dir not reported as directory")
+				}
+			})
+
+			t.Run("overwrite truncates", func(t *testing.T) {
+				writeFile(t, fs, "dir/a.dat", "xy")
+				if got := readFile(t, fs, "dir/a.dat"); got != "xy" {
+					t.Fatalf("content after overwrite = %q", got)
+				}
+			})
+
+			t.Run("list", func(t *testing.T) {
+				writeFile(t, fs, "dir/b.dat", "12345")
+				writeFile(t, fs, "other/c.dat", "1")
+				all, err := fs.List("")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(all) != 3 {
+					t.Fatalf("List() = %d files: %v", len(all), all)
+				}
+				under, err := fs.List("dir")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(under) != 2 || under[0].Path != "dir/a.dat" || under[1].Path != "dir/b.dat" {
+					t.Fatalf("List(dir) = %v", under)
+				}
+			})
+
+			t.Run("usage", func(t *testing.T) {
+				u, err := fs.Usage()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if u != 2+5+1 {
+					t.Fatalf("Usage = %d, want 8", u)
+				}
+			})
+
+			t.Run("remove", func(t *testing.T) {
+				if err := fs.Remove("other/c.dat"); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := fs.Open("other/c.dat"); !errors.Is(err, ErrNotExist) {
+					t.Fatalf("after Remove, Open err = %v", err)
+				}
+				if err := fs.Remove("other/c.dat"); !errors.Is(err, ErrNotExist) {
+					t.Fatalf("double Remove err = %v", err)
+				}
+			})
+
+			t.Run("remove all", func(t *testing.T) {
+				if err := fs.RemoveAll("dir"); err != nil {
+					t.Fatal(err)
+				}
+				left, err := fs.List("")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(left) != 0 {
+					t.Fatalf("files left after RemoveAll: %v", left)
+				}
+			})
+
+			t.Run("path escape rejected", func(t *testing.T) {
+				for _, bad := range []string{"../evil", "a/../../evil", "", "."} {
+					if _, err := fs.Create(bad); !errors.Is(err, ErrBadPath) {
+						t.Errorf("Create(%q) err = %v, want ErrBadPath", bad, err)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestCleanPathProperty(t *testing.T) {
+	f := func(segs []string) bool {
+		p := strings.Join(segs, "/")
+		c, err := CleanPath(p)
+		if err != nil {
+			return true // rejected is fine
+		}
+		// Accepted paths never escape the root.
+		return c != ".." && !strings.HasPrefix(c, "../") && c != "" && c != "."
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSCapacity(t *testing.T) {
+	fs := NewMemFSWithCapacity(10)
+	if err := fs.WriteFile("a", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-capacity Close err = %v, want ErrNoSpace", err)
+	}
+	// Overwriting an existing file only counts the delta.
+	if err := fs.WriteFile("a", make([]byte, 10)); err != nil {
+		t.Fatalf("overwrite within capacity: %v", err)
+	}
+}
+
+func TestMemFSEmpty(t *testing.T) {
+	fs := NewMemFS()
+	if !fs.Empty() {
+		t.Fatal("new MemFS not empty")
+	}
+	if err := fs.WriteFile("x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Empty() {
+		t.Fatal("MemFS with a file reports empty")
+	}
+}
+
+func TestOSFSEmpty(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := fs.Empty()
+	if err != nil || !empty {
+		t.Fatalf("Empty = %v, %v", empty, err)
+	}
+	writeFile(t, fs, "d/x", "1")
+	empty, err = fs.Empty()
+	if err != nil || empty {
+		t.Fatalf("Empty after write = %v, %v", empty, err)
+	}
+}
+
+func TestCopyFileAcrossFS(t *testing.T) {
+	src := NewMemFS()
+	if err := src.WriteFile("in/data.bin", []byte(strings.Repeat("z", 4096))); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CopyFile(dst, "out/data.bin", src, "in/data.bin", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4096 {
+		t.Fatalf("copied %d bytes, want 4096", n)
+	}
+	if got := readFile(t, dst, "out/data.bin"); len(got) != 4096 {
+		t.Fatalf("dst content %d bytes", len(got))
+	}
+}
+
+func TestCopyFileMissingSource(t *testing.T) {
+	src, dst := NewMemFS(), NewMemFS()
+	if _, err := CopyFile(dst, "out", src, "missing", 0); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMemFSRoundTripProperty(t *testing.T) {
+	fs := NewMemFS()
+	f := func(name string, data []byte) bool {
+		clean, err := CleanPath(name)
+		if err != nil {
+			return true
+		}
+		if err := fs.WriteFile(clean, data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(clean)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSFSListMissingPrefix(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := fs.List("nonexistent")
+	if err != nil {
+		t.Fatalf("List(missing) err = %v", err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("List(missing) = %v", files)
+	}
+}
+
+func BenchmarkMemFSWrite(b *testing.B) {
+	fs := NewMemFS()
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("f%d", i%256), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

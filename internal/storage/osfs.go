@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// OSFS is an FS rooted at a directory of the host file system. Node-local
+// dataspaces (nvme0://, pmdk0://) are OSFS instances over their mount
+// points; in tests and examples a temp directory stands in for the
+// device mount.
+type OSFS struct {
+	root string
+}
+
+// NewOSFS returns an FS rooted at dir, creating it if necessary.
+func NewOSFS(dir string) (*OSFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating root: %w", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &OSFS{root: abs}, nil
+}
+
+// Root returns the absolute root directory.
+func (o *OSFS) Root() string { return o.root }
+
+func (o *OSFS) resolve(p string) (string, error) {
+	c, err := CleanPath(p)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(o.root, filepath.FromSlash(c)), nil
+}
+
+// Create implements FS.
+func (o *OSFS) Create(p string) (io.WriteCloser, error) {
+	full, err := o.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(full)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	return f, nil
+}
+
+// Open implements FS.
+func (o *OSFS) Open(p string) (io.ReadCloser, error) {
+	full, err := o.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(full)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.IsDir() {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	return f, nil
+}
+
+// Stat implements FS.
+func (o *OSFS) Stat(p string) (FileInfo, error) {
+	full, err := o.resolve(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	st, err := os.Stat(full)
+	if err != nil {
+		return FileInfo{}, mapOSError(err)
+	}
+	c, _ := CleanPath(p)
+	return FileInfo{Path: c, Size: st.Size(), Dir: st.IsDir(), ModTime: st.ModTime()}, nil
+}
+
+// Remove implements FS.
+func (o *OSFS) Remove(p string) error {
+	full, err := o.resolve(p)
+	if err != nil {
+		return err
+	}
+	return mapOSError(os.Remove(full))
+}
+
+// RemoveAll implements FS.
+func (o *OSFS) RemoveAll(p string) error {
+	full, err := o.resolve(p)
+	if err != nil {
+		return err
+	}
+	return os.RemoveAll(full)
+}
+
+// List implements FS.
+func (o *OSFS) List(prefix string) ([]FileInfo, error) {
+	start := o.root
+	if prefix != "" && prefix != "/" && prefix != "." {
+		full, err := o.resolve(prefix)
+		if err != nil {
+			return nil, err
+		}
+		start = full
+	}
+	var out []FileInfo
+	err := filepath.WalkDir(start, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) && path == start {
+				return filepath.SkipAll
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(o.root, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, FileInfo{
+			Path:    filepath.ToSlash(rel),
+			Size:    info.Size(),
+			ModTime: info.ModTime(),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Usage implements FS.
+func (o *OSFS) Usage() (int64, error) {
+	files, err := o.List("")
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, f := range files {
+		total += f.Size
+	}
+	return total, nil
+}
+
+// Empty reports whether the FS holds no files.
+func (o *OSFS) Empty() (bool, error) {
+	files, err := o.List("")
+	if err != nil {
+		return false, err
+	}
+	return len(files) == 0, nil
+}
+
+func mapOSError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("%w (%v)", ErrNotExist, trimOSError(err))
+	case errors.Is(err, fs.ErrExist):
+		return fmt.Errorf("%w (%v)", ErrExist, trimOSError(err))
+	default:
+		return err
+	}
+}
+
+func trimOSError(err error) string {
+	s := err.Error()
+	if i := strings.LastIndex(s, ": "); i >= 0 {
+		return s
+	}
+	return s
+}
+
+// CopyFile streams src from one FS to dst on another, returning the
+// number of bytes copied. buf sizes the copy buffer (<=0 uses 1 MiB).
+func CopyFile(dst FS, dstPath string, src FS, srcPath string, buf int) (int64, error) {
+	r, err := src.Open(srcPath)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	w, err := dst.Create(dstPath)
+	if err != nil {
+		return 0, err
+	}
+	if buf <= 0 {
+		buf = 1 << 20
+	}
+	n, err := io.CopyBuffer(w, r, make([]byte, buf))
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}

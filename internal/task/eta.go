@@ -1,0 +1,86 @@
+package task
+
+import (
+	"sync"
+	"time"
+)
+
+// ETAEstimator tracks observed transfer bandwidth and predicts how long a
+// pending transfer of a given size will take. The urd daemon keeps one
+// estimator per transfer-plugin pair; slurmctld uses the estimates to
+// decide when to trigger stage-in ahead of a job launch and when a node
+// draining stage-out traffic will re-enter the free pool.
+//
+// The estimate is an exponentially weighted moving average of bytes/sec,
+// which adapts to changing interconnect or file-system load without
+// remembering unbounded history.
+type ETAEstimator struct {
+	mu sync.Mutex
+	// ewma of observed bandwidth in bytes/sec; 0 until first sample.
+	bw float64
+	// alpha is the smoothing factor for new samples.
+	alpha float64
+	// fallback is used before any samples arrive.
+	fallback float64
+	samples  int
+}
+
+// DefaultFallbackBandwidth is assumed before any transfer completes
+// (100 MiB/s, a conservative shared-PFS figure).
+const DefaultFallbackBandwidth = 100 << 20
+
+// NewETAEstimator returns an estimator with the given smoothing factor
+// (0 < alpha <= 1; 0 selects 0.3) and fallback bandwidth in bytes/sec
+// (<= 0 selects DefaultFallbackBandwidth).
+func NewETAEstimator(alpha, fallback float64) *ETAEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	if fallback <= 0 {
+		fallback = DefaultFallbackBandwidth
+	}
+	return &ETAEstimator{alpha: alpha, fallback: fallback}
+}
+
+// Record feeds one completed transfer into the moving average.
+// Zero-byte or zero-duration transfers are ignored.
+func (e *ETAEstimator) Record(bytes int64, elapsed time.Duration) {
+	if bytes <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := float64(bytes) / elapsed.Seconds()
+	e.mu.Lock()
+	if e.samples == 0 {
+		e.bw = sample
+	} else {
+		e.bw = e.alpha*sample + (1-e.alpha)*e.bw
+	}
+	e.samples++
+	e.mu.Unlock()
+}
+
+// Bandwidth returns the current bandwidth estimate in bytes/sec.
+func (e *ETAEstimator) Bandwidth() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.samples == 0 {
+		return e.fallback
+	}
+	return e.bw
+}
+
+// Samples returns how many transfers have been recorded.
+func (e *ETAEstimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.samples
+}
+
+// Estimate predicts the duration of a transfer of the given size.
+func (e *ETAEstimator) Estimate(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := e.Bandwidth()
+	return time.Duration(float64(bytes) / bw * float64(time.Second))
+}

@@ -1,0 +1,55 @@
+package task_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// ExampleTask shows the full life cycle of an asynchronous I/O task as
+// the urd daemon drives it.
+func ExampleTask() {
+	t := task.New(1, task.Copy,
+		task.MemoryRegion([]byte("checkpoint")),
+		task.PosixPath("nvme0://", "ckpt/0001"))
+	if err := t.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	fmt.Println("submitted:", t.Status())
+
+	_ = t.Start(10)
+	t.Progress(10)
+	_ = t.Finish()
+
+	st := t.Stats()
+	fmt.Printf("done: %s, %d/%d bytes\n", st.Status, st.MovedBytes, st.TotalBytes)
+	// Output:
+	// submitted: pending
+	// done: finished, 10/10 bytes
+}
+
+// ExampleETAEstimator shows how observed transfers refine staging-time
+// predictions.
+func ExampleETAEstimator() {
+	eta := task.NewETAEstimator(0.3, 0)
+	// Two observed transfers at 100 MiB/s.
+	eta.Record(100<<20, time.Second)
+	eta.Record(200<<20, 2*time.Second)
+	// How long will a 1 GiB stage-in take?
+	fmt.Printf("estimate: %.0fs\n", eta.Estimate(1<<30).Seconds())
+	// Output:
+	// estimate: 10s
+}
+
+// ExampleResource shows the three resource kinds of the NORNS API.
+func ExampleResource() {
+	fmt.Println(task.MemoryRegion(make([]byte, 4096)))
+	fmt.Println(task.PosixPath("lustre://", "input/mesh.dat"))
+	fmt.Println(task.RemotePosixPath("node007", "nvme0://", "shard.dat"))
+	// Output:
+	// mem[4096]
+	// lustre://input/mesh.dat
+	// node007@nvme0://shard.dat
+}

@@ -1,0 +1,337 @@
+// Package task defines the NORNS I/O task model: the resources a task
+// reads and writes (memory regions, local dataspace paths, remote
+// dataspace paths), task kinds (copy, move, remove), life-cycle states,
+// completion statistics, and the E.T.A. estimation the urd daemon feeds
+// back to the job scheduler so it can plan around in-flight staging.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind identifies what a task does with its resources.
+type Kind uint8
+
+// Task kinds, mirroring the norns_iotask_init types.
+const (
+	Copy   Kind = iota + 1 // duplicate input at output
+	Move                   // copy then delete input
+	Remove                 // delete input
+	NoOp                   // accepted and completed without I/O (benchmarking)
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Copy:
+		return "copy"
+	case Move:
+		return "move"
+	case Remove:
+		return "remove"
+	case NoOp:
+		return "noop"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ResourceKind identifies where a resource lives.
+type ResourceKind uint8
+
+// Resource kinds, mirroring NORNS_MEMORY_REGION / NORNS_POSIX_PATH and
+// their remote variants.
+const (
+	Memory     ResourceKind = iota + 1 // a caller buffer
+	LocalPath                          // path inside a dataspace on this node
+	RemotePath                         // path inside a dataspace on another node
+)
+
+// String returns the lowercase name of the resource kind.
+func (rk ResourceKind) String() string {
+	switch rk {
+	case Memory:
+		return "memory"
+	case LocalPath:
+		return "local-path"
+	case RemotePath:
+		return "remote-path"
+	default:
+		return fmt.Sprintf("resource(%d)", uint8(rk))
+	}
+}
+
+// Resource names one endpoint of an I/O task.
+type Resource struct {
+	Kind ResourceKind
+	// Dataspace is the registered dataspace ID, e.g. "lustre://" or
+	// "nvme0://". Unused for Memory resources.
+	Dataspace string
+	// Path is the dataspace-relative path. Unused for Memory resources.
+	Path string
+	// Node is the target host for RemotePath resources.
+	Node string
+	// Data is the buffer for Memory resources. Size alone may be set by
+	// clients that stream the buffer separately.
+	Data []byte
+	// Size is the buffer length for Memory resources when Data is nil.
+	Size int64
+}
+
+// MemoryRegion returns a Resource for a caller buffer.
+func MemoryRegion(data []byte) Resource {
+	return Resource{Kind: Memory, Data: data, Size: int64(len(data))}
+}
+
+// PosixPath returns a Resource for a path inside a local dataspace.
+func PosixPath(dataspace, path string) Resource {
+	return Resource{Kind: LocalPath, Dataspace: dataspace, Path: path}
+}
+
+// RemotePosixPath returns a Resource for a path inside a dataspace on
+// another node.
+func RemotePosixPath(node, dataspace, path string) Resource {
+	return Resource{Kind: RemotePath, Node: node, Dataspace: dataspace, Path: path}
+}
+
+// String renders the resource like "nvme0://checkpoints/c1" or
+// "mem[4096]".
+func (r Resource) String() string {
+	switch r.Kind {
+	case Memory:
+		n := r.Size
+		if r.Data != nil {
+			n = int64(len(r.Data))
+		}
+		return fmt.Sprintf("mem[%d]", n)
+	case RemotePath:
+		return fmt.Sprintf("%s@%s%s", r.Node, r.Dataspace, r.Path)
+	default:
+		return r.Dataspace + r.Path
+	}
+}
+
+// Validate checks structural consistency of the resource.
+func (r Resource) Validate() error {
+	switch r.Kind {
+	case Memory:
+		if r.Data == nil && r.Size <= 0 {
+			return errors.New("task: memory resource needs data or a size")
+		}
+		return nil
+	case LocalPath:
+		if r.Dataspace == "" || r.Path == "" {
+			return errors.New("task: local path resource needs dataspace and path")
+		}
+		return nil
+	case RemotePath:
+		if r.Node == "" || r.Dataspace == "" || r.Path == "" {
+			return errors.New("task: remote path resource needs node, dataspace and path")
+		}
+		return nil
+	default:
+		return fmt.Errorf("task: unknown resource kind %d", r.Kind)
+	}
+}
+
+// Status is a task's life-cycle state.
+type Status uint8
+
+// Task states. The legal transitions are
+// Pending -> Running -> (Finished | Failed), plus Pending -> Cancelled.
+const (
+	Pending Status = iota + 1
+	Running
+	Finished
+	Failed
+	Cancelled
+)
+
+// String returns the lowercase name of the status.
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Finished:
+		return "finished"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Terminal reports whether no further transitions are possible.
+func (s Status) Terminal() bool {
+	return s == Finished || s == Failed || s == Cancelled
+}
+
+// Stats is the completion report exposed through norns_error(), plus the
+// live progress the E.T.A. tracker uses.
+type Stats struct {
+	Status     Status
+	Err        string // non-empty when Status == Failed
+	TotalBytes int64
+	MovedBytes int64
+	Submitted  time.Time
+	Started    time.Time
+	Ended      time.Time
+}
+
+// Task is one asynchronous I/O request tracked by a urd daemon.
+// All mutators are safe for concurrent use.
+type Task struct {
+	ID     uint64
+	Kind   Kind
+	Input  Resource
+	Output Resource
+	// JobID ties the task to a registered batch job (0 = administrative).
+	JobID uint64
+	// Priority orders tasks under priority-based queue policies.
+	Priority int
+
+	mu    sync.Mutex
+	stats Stats
+	done  chan struct{}
+}
+
+// ErrBadTransition is returned on illegal task state changes.
+var ErrBadTransition = errors.New("task: illegal state transition")
+
+// New returns a Pending task. Validate the resources before queuing it.
+func New(id uint64, kind Kind, input, output Resource) *Task {
+	return &Task{
+		ID:     id,
+		Kind:   kind,
+		Input:  input,
+		Output: output,
+		stats:  Stats{Status: Pending, Submitted: time.Now()},
+		done:   make(chan struct{}),
+	}
+}
+
+// Validate checks the task's resources against its kind.
+func (t *Task) Validate() error {
+	switch t.Kind {
+	case Copy, Move:
+		if err := t.Input.Validate(); err != nil {
+			return err
+		}
+		if t.Output.Kind == Memory {
+			return errors.New("task: memory output regions are not supported")
+		}
+		return t.Output.Validate()
+	case Remove:
+		if t.Input.Kind == Memory {
+			return errors.New("task: cannot remove a memory region")
+		}
+		return t.Input.Validate()
+	case NoOp:
+		return nil
+	default:
+		return fmt.Errorf("task: unknown kind %d", t.Kind)
+	}
+}
+
+// Stats returns a snapshot of the task's statistics.
+func (t *Task) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Status returns the current life-cycle state.
+func (t *Task) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats.Status
+}
+
+// Start transitions Pending -> Running.
+func (t *Task) Start(total int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats.Status != Pending {
+		return fmt.Errorf("%w: %s -> running", ErrBadTransition, t.stats.Status)
+	}
+	t.stats.Status = Running
+	t.stats.Started = time.Now()
+	t.stats.TotalBytes = total
+	return nil
+}
+
+// Progress adds moved bytes while Running.
+func (t *Task) Progress(moved int64) {
+	t.mu.Lock()
+	if t.stats.Status == Running {
+		t.stats.MovedBytes += moved
+	}
+	t.mu.Unlock()
+}
+
+// Finish transitions Running -> Finished.
+func (t *Task) Finish() error {
+	return t.terminate(Finished, "")
+}
+
+// Fail transitions Pending|Running -> Failed with the given reason.
+func (t *Task) Fail(reason string) error {
+	return t.terminate(Failed, reason)
+}
+
+// Cancel transitions Pending -> Cancelled; running tasks cannot be
+// cancelled (the transfer plugins are not preemptible, as in the paper's
+// prototype).
+func (t *Task) Cancel() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats.Status != Pending {
+		return fmt.Errorf("%w: %s -> cancelled", ErrBadTransition, t.stats.Status)
+	}
+	t.stats.Status = Cancelled
+	t.stats.Ended = time.Now()
+	close(t.done)
+	return nil
+}
+
+func (t *Task) terminate(s Status, reason string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.stats.Status
+	if cur.Terminal() {
+		return fmt.Errorf("%w: %s -> %s", ErrBadTransition, cur, s)
+	}
+	if s == Finished && cur != Running {
+		return fmt.Errorf("%w: %s -> finished", ErrBadTransition, cur)
+	}
+	t.stats.Status = s
+	t.stats.Err = reason
+	t.stats.Ended = time.Now()
+	close(t.done)
+	return nil
+}
+
+// Done returns a channel closed when the task reaches a terminal state.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the task terminates or the timeout elapses
+// (timeout <= 0 waits forever). It reports whether the task terminated.
+func (t *Task) Wait(timeout time.Duration) bool {
+	if timeout <= 0 {
+		<-t.done
+		return true
+	}
+	select {
+	case <-t.done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

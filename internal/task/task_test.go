@@ -1,0 +1,253 @@
+package task
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResourceConstructors(t *testing.T) {
+	m := MemoryRegion(make([]byte, 16))
+	if m.Kind != Memory || m.Size != 16 {
+		t.Fatalf("MemoryRegion = %+v", m)
+	}
+	p := PosixPath("nvme0://", "out/file")
+	if p.Kind != LocalPath || p.Dataspace != "nvme0://" || p.Path != "out/file" {
+		t.Fatalf("PosixPath = %+v", p)
+	}
+	r := RemotePosixPath("node7", "pmdk0://", "x")
+	if r.Kind != RemotePath || r.Node != "node7" {
+		t.Fatalf("RemotePosixPath = %+v", r)
+	}
+}
+
+func TestResourceValidate(t *testing.T) {
+	cases := []struct {
+		r  Resource
+		ok bool
+	}{
+		{MemoryRegion(make([]byte, 1)), true},
+		{Resource{Kind: Memory}, false},
+		{Resource{Kind: Memory, Size: 128}, true},
+		{PosixPath("nvme0://", "a"), true},
+		{Resource{Kind: LocalPath, Path: "a"}, false},
+		{Resource{Kind: LocalPath, Dataspace: "d://"}, false},
+		{RemotePosixPath("n", "d://", "p"), true},
+		{Resource{Kind: RemotePath, Dataspace: "d://", Path: "p"}, false},
+		{Resource{Kind: 99}, false},
+	}
+	for i, c := range cases {
+		if err := c.r.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d (%v): err = %v, want ok=%v", i, c.r, err, c.ok)
+		}
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if s := MemoryRegion(make([]byte, 4)).String(); s != "mem[4]" {
+		t.Errorf("mem String = %q", s)
+	}
+	if s := PosixPath("lustre://", "a/b").String(); s != "lustre://a/b" {
+		t.Errorf("posix String = %q", s)
+	}
+	if s := RemotePosixPath("n1", "nvme0://", "c").String(); s != "n1@nvme0://c" {
+		t.Errorf("remote String = %q", s)
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	ok := New(1, Copy, MemoryRegion(make([]byte, 8)), PosixPath("d://", "p"))
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid copy rejected: %v", err)
+	}
+	memOut := New(2, Copy, PosixPath("d://", "p"), MemoryRegion(make([]byte, 8)))
+	if err := memOut.Validate(); err == nil {
+		t.Fatal("memory output accepted")
+	}
+	rmMem := New(3, Remove, MemoryRegion(make([]byte, 8)), Resource{})
+	if err := rmMem.Validate(); err == nil {
+		t.Fatal("remove of memory region accepted")
+	}
+	rm := New(4, Remove, PosixPath("d://", "p"), Resource{})
+	if err := rm.Validate(); err != nil {
+		t.Fatalf("valid remove rejected: %v", err)
+	}
+	noop := New(5, NoOp, Resource{}, Resource{})
+	if err := noop.Validate(); err != nil {
+		t.Fatalf("noop rejected: %v", err)
+	}
+}
+
+func TestTaskLifecycle(t *testing.T) {
+	tk := New(1, Copy, MemoryRegion(make([]byte, 8)), PosixPath("d://", "p"))
+	if got := tk.Status(); got != Pending {
+		t.Fatalf("initial status = %v", got)
+	}
+	if err := tk.Start(100); err != nil {
+		t.Fatal(err)
+	}
+	tk.Progress(60)
+	tk.Progress(40)
+	if err := tk.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st := tk.Stats()
+	if st.Status != Finished || st.MovedBytes != 100 || st.TotalBytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	select {
+	case <-tk.Done():
+	default:
+		t.Fatal("Done channel not closed after Finish")
+	}
+}
+
+func TestTaskIllegalTransitions(t *testing.T) {
+	tk := New(1, NoOp, Resource{}, Resource{})
+	if err := tk.Finish(); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("Finish before Start: %v", err)
+	}
+	if err := tk.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Start(0); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("double Start: %v", err)
+	}
+	if err := tk.Cancel(); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("Cancel while running: %v", err)
+	}
+	if err := tk.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Fail("late"); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("Fail after Finish: %v", err)
+	}
+}
+
+func TestTaskCancelPending(t *testing.T) {
+	tk := New(1, NoOp, Resource{}, Resource{})
+	if err := tk.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.Status(); got != Cancelled {
+		t.Fatalf("status = %v", got)
+	}
+}
+
+func TestTaskFailFromPending(t *testing.T) {
+	tk := New(1, NoOp, Resource{}, Resource{})
+	if err := tk.Fail("validation"); err != nil {
+		t.Fatal(err)
+	}
+	st := tk.Stats()
+	if st.Status != Failed || st.Err != "validation" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTaskWait(t *testing.T) {
+	tk := New(1, NoOp, Resource{}, Resource{})
+	if tk.Wait(5 * time.Millisecond) {
+		t.Fatal("Wait returned before terminal state")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := tk.Start(0); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tk.Finish(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !tk.Wait(time.Second) {
+		t.Fatal("Wait timed out")
+	}
+	wg.Wait()
+}
+
+func TestStatusTerminal(t *testing.T) {
+	for s, want := range map[Status]bool{
+		Pending: false, Running: false, Finished: true, Failed: true, Cancelled: true,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("%v.Terminal() = %v", s, !want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Copy.String() != "copy" || Move.String() != "move" || Remove.String() != "remove" || NoOp.String() != "noop" {
+		t.Fatal("kind strings wrong")
+	}
+	if Memory.String() != "memory" || LocalPath.String() != "local-path" || RemotePath.String() != "remote-path" {
+		t.Fatal("resource kind strings wrong")
+	}
+}
+
+func TestETAEstimatorFallback(t *testing.T) {
+	e := NewETAEstimator(0, 0)
+	if got := e.Bandwidth(); got != DefaultFallbackBandwidth {
+		t.Fatalf("fallback bandwidth = %v", got)
+	}
+	d := e.Estimate(DefaultFallbackBandwidth) // exactly 1 second of data
+	if math.Abs(d.Seconds()-1) > 1e-9 {
+		t.Fatalf("Estimate = %v, want 1s", d)
+	}
+	if e.Estimate(0) != 0 {
+		t.Fatal("Estimate(0) != 0")
+	}
+}
+
+func TestETAEstimatorConverges(t *testing.T) {
+	e := NewETAEstimator(0.5, 0)
+	for i := 0; i < 20; i++ {
+		e.Record(200<<20, time.Second) // 200 MiB/s
+	}
+	bw := e.Bandwidth()
+	if math.Abs(bw-200<<20) > 1<<20 {
+		t.Fatalf("bandwidth = %v, want ~200 MiB/s", bw)
+	}
+	if e.Samples() != 20 {
+		t.Fatalf("Samples = %d", e.Samples())
+	}
+}
+
+func TestETAEstimatorAdapts(t *testing.T) {
+	e := NewETAEstimator(0.5, 0)
+	e.Record(100, time.Second) // 100 B/s
+	e.Record(300, time.Second) // ewma: 0.5*300 + 0.5*100 = 200
+	if bw := e.Bandwidth(); math.Abs(bw-200) > 1e-9 {
+		t.Fatalf("bandwidth = %v, want 200", bw)
+	}
+}
+
+func TestETAEstimatorIgnoresBadSamples(t *testing.T) {
+	e := NewETAEstimator(0.5, 1000)
+	e.Record(0, time.Second)
+	e.Record(100, 0)
+	e.Record(-5, time.Second)
+	if e.Samples() != 0 {
+		t.Fatalf("bad samples recorded: %d", e.Samples())
+	}
+}
+
+func TestETAEstimatorProperty(t *testing.T) {
+	// Estimates scale linearly with size for a fixed bandwidth.
+	f := func(sz uint32) bool {
+		e := NewETAEstimator(0.3, 0)
+		e.Record(1<<20, time.Second) // 1 MiB/s
+		bytes := int64(sz%1000000) + 1
+		d := e.Estimate(bytes)
+		want := float64(bytes) / (1 << 20)
+		return math.Abs(d.Seconds()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package transfer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// Executor runs tasks through the plugin registry and records observed
+// bandwidth in the per-pair E.T.A. estimators (the monitoring the urd
+// worker threads perform so slurmctld can plan around transfers).
+type Executor struct {
+	Registry *Registry
+	Ctx      *Context
+	// ETA estimates transfer times from observed bandwidth; may be nil.
+	ETA *task.ETAEstimator
+}
+
+// NewExecutor returns an executor over the built-in plugins.
+func NewExecutor(ctx *Context) *Executor {
+	return &Executor{
+		Registry: NewRegistry(),
+		Ctx:      ctx,
+		ETA:      task.NewETAEstimator(0, 0),
+	}
+}
+
+// totalBytes determines the task's transfer volume up front, for
+// progress accounting and E.T.A. tracking.
+func (e *Executor) totalBytes(t *task.Task) int64 {
+	switch t.Input.Kind {
+	case task.Memory:
+		if t.Input.Data != nil {
+			return int64(len(t.Input.Data))
+		}
+		return t.Input.Size
+	case task.LocalPath:
+		fs, err := e.Ctx.fs(t.Input.Dataspace)
+		if err != nil {
+			return 0
+		}
+		st, err := fs.Stat(t.Input.Path)
+		if err != nil {
+			return 0
+		}
+		return st.Size
+	case task.RemotePath:
+		if e.Ctx.Net == nil {
+			return 0
+		}
+		size, err := e.Ctx.Net.StatFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
+		if err != nil {
+			return 0
+		}
+		return size
+	default:
+		return 0
+	}
+}
+
+// Execute drives one task through its full life cycle: plugin lookup,
+// Running transition, transfer, terminal transition. It never returns an
+// error — failures land in the task's stats, which is what clients poll.
+func (e *Executor) Execute(t *task.Task) {
+	if t.Kind == task.NoOp {
+		if err := t.Start(0); err != nil {
+			return
+		}
+		_ = t.Finish()
+		return
+	}
+	fn, err := e.Registry.Lookup(t)
+	if err != nil {
+		_ = t.Fail(err.Error())
+		return
+	}
+	if err := t.Start(e.totalBytes(t)); err != nil {
+		return // cancelled before a worker picked it up
+	}
+	start := time.Now()
+	moved, err := fn(e.Ctx, t, t.Progress)
+	if err != nil {
+		_ = t.Fail(fmt.Sprintf("%s: %v", t.Kind, err))
+		return
+	}
+	if e.ETA != nil && moved > 0 {
+		e.ETA.Record(moved, time.Since(start))
+	}
+	_ = t.Finish()
+}
+
+// Estimate predicts how long a transfer of the given size will take
+// based on the executor's observed bandwidth.
+func (e *Executor) Estimate(bytes int64) time.Duration {
+	if e.ETA == nil {
+		return 0
+	}
+	return e.ETA.Estimate(bytes)
+}

@@ -1,0 +1,273 @@
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/dataspace"
+	"github.com/ngioproject/norns-go/internal/mercury"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// Remote is the slice of the urd network manager the plugins need for
+// node-to-node transfers. It is an interface so the plugins are testable
+// without a live fabric.
+type Remote interface {
+	// SendFile streams src into dstPath of dstDataspace on node,
+	// returning the bytes the remote acknowledged.
+	SendFile(node, dstDataspace, dstPath string, src mercury.BulkProvider) (int64, error)
+	// FetchFile pulls srcPath of srcDataspace on node into dst,
+	// returning the bytes received.
+	FetchFile(node, srcDataspace, srcPath string, dst mercury.BulkProvider) (int64, error)
+	// StatFile returns the size of srcPath of srcDataspace on node
+	// (the query_target step of Table II).
+	StatFile(node, srcDataspace, srcPath string) (int64, error)
+}
+
+// Context carries the node-local state plugins operate on.
+type Context struct {
+	// Spaces resolves dataspace IDs to their backing FS.
+	Spaces *dataspace.Registry
+	// Net performs remote transfers; nil disables remote plugins.
+	Net Remote
+	// BufSize is the copy buffer size for local streaming (<=0: 1 MiB).
+	BufSize int
+}
+
+func (c *Context) fs(dataspaceID string) (storage.FS, error) {
+	ds, err := c.Spaces.Get(dataspaceID)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Backend.FS, nil
+}
+
+// Func is one transfer plugin: it moves the task's data, reporting
+// progress in bytes, and returns the total bytes moved.
+type Func func(ctx *Context, t *task.Task, progress func(int64)) (int64, error)
+
+// key selects a plugin.
+type key struct {
+	kind task.Kind
+	in   task.ResourceKind
+	out  task.ResourceKind
+}
+
+// Registry maps (task kind, input kind, output kind) to plugins.
+type Registry struct {
+	mu      sync.RWMutex
+	plugins map[key]Func
+}
+
+// ErrNoPlugin is returned when no plugin matches a task.
+var ErrNoPlugin = errors.New("transfer: no plugin for resource pair")
+
+// NewRegistry returns a registry preloaded with the built-in plugins
+// (the supported rows of the paper's Table II).
+func NewRegistry() *Registry {
+	r := &Registry{plugins: make(map[key]Func)}
+	// Process memory => local path.
+	r.Register(task.Copy, task.Memory, task.LocalPath, memToLocal)
+	// Memory buffer => remote path.
+	r.Register(task.Copy, task.Memory, task.RemotePath, memToRemote)
+	// Local path => local path (the sendfile(2) row).
+	r.Register(task.Copy, task.LocalPath, task.LocalPath, localToLocal)
+	// Local path => remote path.
+	r.Register(task.Copy, task.LocalPath, task.RemotePath, localToRemote)
+	// Local path <= remote path.
+	r.Register(task.Copy, task.RemotePath, task.LocalPath, remoteToLocal)
+	// Moves: copy + delete source.
+	r.Register(task.Move, task.LocalPath, task.LocalPath, moveWrap(localToLocal))
+	r.Register(task.Move, task.LocalPath, task.RemotePath, moveWrap(localToRemote))
+	// Removal of a local resource.
+	r.Register(task.Remove, task.LocalPath, 0, removeLocal)
+	return r
+}
+
+// Register installs a plugin; out == 0 matches tasks without an output
+// resource (removals).
+func (r *Registry) Register(kind task.Kind, in, out task.ResourceKind, fn Func) {
+	r.mu.Lock()
+	r.plugins[key{kind, in, out}] = fn
+	r.mu.Unlock()
+}
+
+// Lookup selects the plugin for a task.
+func (r *Registry) Lookup(t *task.Task) (Func, error) {
+	k := key{t.Kind, t.Input.Kind, t.Output.Kind}
+	if t.Kind == task.Remove {
+		k.out = 0
+	}
+	r.mu.RLock()
+	fn, ok := r.plugins[k]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s %s -> %s", ErrNoPlugin, t.Kind, t.Input.Kind, t.Output.Kind)
+	}
+	return fn, nil
+}
+
+// --- plugin implementations ---
+
+// memToLocal is "process memory => local path": the buffer arrived
+// inline with the submission (our stand-in for process_vm_readv) and is
+// written to the dataspace.
+func memToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
+	fs, err := ctx.fs(t.Output.Dataspace)
+	if err != nil {
+		return 0, err
+	}
+	w, err := fs.Create(t.Output.Path)
+	if err != nil {
+		return 0, err
+	}
+	n, werr := w.Write(t.Input.Data)
+	if n > 0 {
+		progress(int64(n))
+	}
+	if cerr := w.Close(); werr == nil {
+		werr = cerr
+	}
+	return int64(n), werr
+}
+
+// memToRemote is "memory buffer => remote path": the initiator exposes
+// the buffer and the target pulls it into its dataspace (RDMA_PULL at
+// target in Table II).
+func memToRemote(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
+	if ctx.Net == nil {
+		return 0, errors.New("transfer: no network manager configured")
+	}
+	src := mercury.NewMemRegion(t.Input.Data)
+	n, err := ctx.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, src)
+	if n > 0 {
+		progress(n)
+	}
+	return n, err
+}
+
+// localToLocal is "local path => local path", the sendfile(2) row:
+// a buffered stream copy between two dataspace FSes.
+func localToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
+	srcFS, err := ctx.fs(t.Input.Dataspace)
+	if err != nil {
+		return 0, err
+	}
+	dstFS, err := ctx.fs(t.Output.Dataspace)
+	if err != nil {
+		return 0, err
+	}
+	r, err := srcFS.Open(t.Input.Path)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	w, err := dstFS.Create(t.Output.Path)
+	if err != nil {
+		return 0, err
+	}
+	buf := ctx.BufSize
+	if buf <= 0 {
+		buf = 1 << 20
+	}
+	n, cerr := io.CopyBuffer(&progressWriter{w: w, progress: progress}, r, make([]byte, buf))
+	if err := w.Close(); cerr == nil {
+		cerr = err
+	}
+	return n, cerr
+}
+
+// localToRemote is "local path => remote path": expose the local file,
+// target pulls it (Table II's mmap + RDMA_PULL at target).
+func localToRemote(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
+	if ctx.Net == nil {
+		return 0, errors.New("transfer: no network manager configured")
+	}
+	srcFS, err := ctx.fs(t.Input.Dataspace)
+	if err != nil {
+		return 0, err
+	}
+	src, err := NewFSReadProvider(srcFS, t.Input.Path)
+	if err != nil {
+		return 0, err
+	}
+	defer src.(io.Closer).Close()
+	n, err := ctx.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, src)
+	if n > 0 {
+		progress(n)
+	}
+	return n, err
+}
+
+// remoteToLocal is "local path <= remote path": query the target for the
+// source, then pull it into the local dataspace.
+func remoteToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
+	if ctx.Net == nil {
+		return 0, errors.New("transfer: no network manager configured")
+	}
+	dstFS, err := ctx.fs(t.Output.Dataspace)
+	if err != nil {
+		return 0, err
+	}
+	size, err := ctx.Net.StatFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := NewFSWriteProvider(dstFS, t.Output.Path, size, progress)
+	if err != nil {
+		return 0, err
+	}
+	n, ferr := ctx.Net.FetchFile(t.Input.Node, t.Input.Dataspace, t.Input.Path, dst)
+	if cerr := dst.Close(); ferr == nil {
+		ferr = cerr
+	}
+	return n, ferr
+}
+
+// removeLocal deletes a path (file or tree) from a local dataspace.
+func removeLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
+	fs, err := ctx.fs(t.Input.Dataspace)
+	if err != nil {
+		return 0, err
+	}
+	st, err := fs.Stat(t.Input.Path)
+	if err != nil {
+		return 0, err
+	}
+	if st.Dir {
+		return 0, fs.RemoveAll(t.Input.Path)
+	}
+	return 0, fs.Remove(t.Input.Path)
+}
+
+// moveWrap turns a copy plugin into a move: copy, then delete the
+// source. A failed copy leaves the source untouched.
+func moveWrap(copyFn Func) Func {
+	return func(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
+		n, err := copyFn(ctx, t, progress)
+		if err != nil {
+			return n, err
+		}
+		srcFS, err := ctx.fs(t.Input.Dataspace)
+		if err != nil {
+			return n, err
+		}
+		return n, srcFS.Remove(t.Input.Path)
+	}
+}
+
+type progressWriter struct {
+	w        io.Writer
+	progress func(int64)
+}
+
+func (pw *progressWriter) Write(p []byte) (int, error) {
+	n, err := pw.w.Write(p)
+	if n > 0 && pw.progress != nil {
+		pw.progress(int64(n))
+	}
+	return n, err
+}

@@ -1,0 +1,150 @@
+// Package transfer implements the NORNS transfer plugins (the paper's
+// Table II): data movement between process memory, local dataspace
+// paths, and remote dataspace paths. Plugins are registered per
+// (task kind, input kind, output kind) triple so new resource pairs can
+// be added without touching the executor, exactly like the C++
+// implementation's plugin table.
+package transfer
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/mercury"
+	"github.com/ngioproject/norns-go/internal/storage"
+)
+
+// fsReadProvider adapts an FS file to mercury.BulkProvider for the
+// ascending-offset reads bulk transfers perform. Random access is
+// supported by reopening, so the adapter stays correct (just slower) if
+// a peer reads out of order.
+type fsReadProvider struct {
+	fs   storage.FS
+	path string
+	size int64
+
+	mu  sync.Mutex
+	r   io.ReadCloser
+	off int64
+}
+
+// NewFSReadProvider opens path on fs for bulk reading.
+func NewFSReadProvider(fs storage.FS, path string) (mercury.BulkProvider, error) {
+	st, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.Dir {
+		return nil, fmt.Errorf("transfer: %s is a directory", path)
+	}
+	return &fsReadProvider{fs: fs, path: path, size: st.Size}, nil
+}
+
+// Size implements mercury.BulkProvider.
+func (p *fsReadProvider) Size() int64 { return p.size }
+
+// ReadAt implements io.ReaderAt.
+func (p *fsReadProvider) ReadAt(b []byte, off int64) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.r == nil || off != p.off {
+		if p.r != nil {
+			p.r.Close()
+		}
+		r, err := p.fs.Open(p.path)
+		if err != nil {
+			return 0, err
+		}
+		if off > 0 {
+			if _, err := io.CopyN(io.Discard, r, off); err != nil {
+				r.Close()
+				return 0, err
+			}
+		}
+		p.r, p.off = r, off
+	}
+	n, err := io.ReadFull(p.r, b)
+	p.off += int64(n)
+	if err == io.ErrUnexpectedEOF {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// WriteAt implements io.WriterAt (always fails: read-only provider).
+func (p *fsReadProvider) WriteAt(b []byte, off int64) (int, error) {
+	return 0, storage.ErrReadOnly
+}
+
+// Close releases the underlying reader.
+func (p *fsReadProvider) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.r != nil {
+		err := p.r.Close()
+		p.r = nil
+		return err
+	}
+	return nil
+}
+
+// fsWriteProvider adapts an FS file to mercury.BulkProvider for the
+// ascending-offset writes of an inbound bulk stream.
+type fsWriteProvider struct {
+	mu       sync.Mutex
+	w        io.WriteCloser
+	off      int64
+	expected int64
+	progress func(int64)
+}
+
+// NewFSWriteProvider creates path on fs for bulk writing. expected sizes
+// the provider (Size is reported to peers); progress, when non-nil, is
+// invoked with each chunk's byte count.
+func NewFSWriteProvider(fs storage.FS, path string, expected int64, progress func(int64)) (*fsWriteProvider, error) {
+	w, err := fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &fsWriteProvider{w: w, expected: expected, progress: progress}, nil
+}
+
+// Size implements mercury.BulkProvider.
+func (p *fsWriteProvider) Size() int64 { return p.expected }
+
+// ReadAt implements io.ReaderAt (always fails: write-only provider).
+func (p *fsWriteProvider) ReadAt(b []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("transfer: provider is write-only")
+}
+
+// WriteAt implements io.WriterAt. Writes must arrive in ascending
+// contiguous order, which bulk streams guarantee.
+func (p *fsWriteProvider) WriteAt(b []byte, off int64) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.w == nil {
+		return 0, fmt.Errorf("transfer: write after close")
+	}
+	if off != p.off {
+		return 0, fmt.Errorf("transfer: out-of-order bulk write at %d (want %d)", off, p.off)
+	}
+	n, err := p.w.Write(b)
+	p.off += int64(n)
+	if p.progress != nil && n > 0 {
+		p.progress(int64(n))
+	}
+	return n, err
+}
+
+// Close commits the file.
+func (p *fsWriteProvider) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.w == nil {
+		return nil
+	}
+	err := p.w.Close()
+	p.w = nil
+	return err
+}

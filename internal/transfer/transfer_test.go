@@ -1,0 +1,427 @@
+package transfer
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/dataspace"
+	"github.com/ngioproject/norns-go/internal/mercury"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// fakeRemote implements Remote against a second in-process dataspace
+// registry, standing in for a peer urd daemon.
+type fakeRemote struct {
+	nodes map[string]*dataspace.Registry
+	fail  error // when set, all operations fail
+}
+
+func (f *fakeRemote) space(node, ds string) (storage.FS, error) {
+	if f.fail != nil {
+		return nil, f.fail
+	}
+	reg, ok := f.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("no such node %q", node)
+	}
+	d, err := reg.Get(ds)
+	if err != nil {
+		return nil, err
+	}
+	return d.Backend.FS, nil
+}
+
+func (f *fakeRemote) SendFile(node, ds, path string, src mercury.BulkProvider) (int64, error) {
+	fs, err := f.space(node, ds)
+	if err != nil {
+		return 0, err
+	}
+	w, err := fs.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 32<<10)
+	var off, total int64
+	for off < src.Size() {
+		n, rerr := src.ReadAt(buf, off)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				w.Close()
+				return total, werr
+			}
+			off += int64(n)
+			total += int64(n)
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	return total, w.Close()
+}
+
+func (f *fakeRemote) FetchFile(node, ds, path string, dst mercury.BulkProvider) (int64, error) {
+	fs, err := f.space(node, ds)
+	if err != nil {
+		return 0, err
+	}
+	r, err := fs.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	buf := make([]byte, 32<<10)
+	var off int64
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if _, werr := dst.WriteAt(buf[:n], off); werr != nil {
+				return off, werr
+			}
+			off += int64(n)
+		}
+		if rerr == io.EOF {
+			return off, nil
+		}
+		if rerr != nil {
+			return off, rerr
+		}
+	}
+}
+
+func (f *fakeRemote) StatFile(node, ds, path string) (int64, error) {
+	fs, err := f.space(node, ds)
+	if err != nil {
+		return 0, err
+	}
+	st, err := fs.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size, nil
+}
+
+func newCtx(t *testing.T) (*Context, *fakeRemote) {
+	t.Helper()
+	local := dataspace.NewRegistry()
+	for _, id := range []string{"nvme0://", "lustre://"} {
+		if _, err := local.Register(id, dataspace.Backend{Kind: dataspace.NVM, FS: storage.NewMemFS()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	remoteReg := dataspace.NewRegistry()
+	if _, err := remoteReg.Register("nvme0://", dataspace.Backend{Kind: dataspace.NVM, FS: storage.NewMemFS()}); err != nil {
+		t.Fatal(err)
+	}
+	rem := &fakeRemote{nodes: map[string]*dataspace.Registry{"node2": remoteReg}}
+	return &Context{Spaces: local, Net: rem}, rem
+}
+
+func fsOf(t *testing.T, ctx *Context, ds string) storage.FS {
+	t.Helper()
+	d, err := ctx.Spaces.Get(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Backend.FS
+}
+
+func runTask(t *testing.T, ctx *Context, tk *task.Task) task.Stats {
+	t.Helper()
+	ex := NewExecutor(ctx)
+	ex.Execute(tk)
+	return tk.Stats()
+}
+
+func TestMemToLocal(t *testing.T) {
+	ctx, _ := newCtx(t)
+	data := []byte("checkpoint block")
+	tk := task.New(1, task.Copy, task.MemoryRegion(data), task.PosixPath("nvme0://", "ckpt/1"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MovedBytes != int64(len(data)) || st.TotalBytes != int64(len(data)) {
+		t.Fatalf("byte accounting = %+v", st)
+	}
+	got, err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).ReadFile("ckpt/1")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("file content = %q, %v", got, err)
+	}
+}
+
+func TestLocalToLocal(t *testing.T) {
+	ctx, _ := newCtx(t)
+	src := fsOf(t, ctx, "lustre://").(*storage.MemFS)
+	payload := bytes.Repeat([]byte("a"), 1<<20)
+	if err := src.WriteFile("input/big.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(2, task.Copy, task.PosixPath("lustre://", "input/big.dat"), task.PosixPath("nvme0://", "staged/big.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished || st.MovedBytes != 1<<20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	got, err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).ReadFile("staged/big.dat")
+	if err != nil || len(got) != 1<<20 {
+		t.Fatalf("staged file: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestMoveDeletesSource(t *testing.T) {
+	ctx, _ := newCtx(t)
+	src := fsOf(t, ctx, "nvme0://").(*storage.MemFS)
+	if err := src.WriteFile("out/result.dat", []byte("results")); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(3, task.Move, task.PosixPath("nvme0://", "out/result.dat"), task.PosixPath("lustre://", "archive/result.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := src.Stat("out/result.dat"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("source survived move: %v", err)
+	}
+	if _, err := fsOf(t, ctx, "lustre://").Stat("archive/result.dat"); err != nil {
+		t.Fatalf("destination missing: %v", err)
+	}
+}
+
+func TestMoveFailureKeepsSource(t *testing.T) {
+	ctx, rem := newCtx(t)
+	src := fsOf(t, ctx, "nvme0://").(*storage.MemFS)
+	if err := src.WriteFile("keep.dat", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	rem.fail = errors.New("fabric down")
+	tk := task.New(4, task.Move, task.PosixPath("nvme0://", "keep.dat"), task.RemotePosixPath("node2", "nvme0://", "gone.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Failed {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := src.Stat("keep.dat"); err != nil {
+		t.Fatalf("failed move deleted the source: %v", err)
+	}
+}
+
+func TestMemToRemote(t *testing.T) {
+	ctx, rem := newCtx(t)
+	data := []byte("remote payload")
+	tk := task.New(5, task.Copy, task.MemoryRegion(data), task.RemotePosixPath("node2", "nvme0://", "in/data"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(data)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	fs, err := rem.space("node2", "nvme0://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.(*storage.MemFS).ReadFile("in/data")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("remote content = %q, %v", got, err)
+	}
+}
+
+func TestLocalToRemote(t *testing.T) {
+	ctx, rem := newCtx(t)
+	payload := bytes.Repeat([]byte("z"), 300<<10)
+	if err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).WriteFile("out.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(6, task.Copy, task.PosixPath("nvme0://", "out.dat"), task.RemotePosixPath("node2", "nvme0://", "in.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	fs, _ := rem.space("node2", "nvme0://")
+	got, err := fs.(*storage.MemFS).ReadFile("in.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("remote file: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestRemoteToLocal(t *testing.T) {
+	ctx, rem := newCtx(t)
+	fs, _ := rem.space("node2", "nvme0://")
+	payload := bytes.Repeat([]byte("q"), 100<<10)
+	if err := fs.(*storage.MemFS).WriteFile("src.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(7, task.Copy, task.RemotePosixPath("node2", "nvme0://", "src.dat"), task.PosixPath("nvme0://", "pulled.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished || st.TotalBytes != int64(len(payload)) || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	got, err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).ReadFile("pulled.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("pulled file: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestRemoveFileAndTree(t *testing.T) {
+	ctx, _ := newCtx(t)
+	fs := fsOf(t, ctx, "nvme0://").(*storage.MemFS)
+	if err := fs.WriteFile("single.dat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("tree/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("tree/b/c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	st := runTask(t, ctx, task.New(8, task.Remove, task.PosixPath("nvme0://", "single.dat"), task.Resource{}))
+	if st.Status != task.Finished {
+		t.Fatalf("remove file: %+v", st)
+	}
+	st = runTask(t, ctx, task.New(9, task.Remove, task.PosixPath("nvme0://", "tree"), task.Resource{}))
+	if st.Status != task.Finished {
+		t.Fatalf("remove tree: %+v", st)
+	}
+	left, _ := fs.List("")
+	if len(left) != 0 {
+		t.Fatalf("files left: %v", left)
+	}
+}
+
+func TestRemoveMissingFails(t *testing.T) {
+	ctx, _ := newCtx(t)
+	st := runTask(t, ctx, task.New(10, task.Remove, task.PosixPath("nvme0://", "ghost"), task.Resource{}))
+	if st.Status != task.Failed {
+		t.Fatalf("remove missing: %+v", st)
+	}
+}
+
+func TestUnknownDataspaceFails(t *testing.T) {
+	ctx, _ := newCtx(t)
+	tk := task.New(11, task.Copy, task.MemoryRegion([]byte("x")), task.PosixPath("ghost://", "p"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Failed || !strings.Contains(st.Err, "not registered") {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNoPluginFails(t *testing.T) {
+	ctx, _ := newCtx(t)
+	// remote -> remote is not a supported pair.
+	tk := task.New(12, task.Copy, task.RemotePosixPath("n", "d://", "p"), task.RemotePosixPath("n2", "d://", "p"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Failed || !strings.Contains(st.Err, "no plugin") {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNoNetworkManagerFails(t *testing.T) {
+	ctx, _ := newCtx(t)
+	ctx.Net = nil
+	tk := task.New(13, task.Copy, task.MemoryRegion([]byte("x")), task.RemotePosixPath("node2", "nvme0://", "p"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Failed || !strings.Contains(st.Err, "network manager") {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNoOpTask(t *testing.T) {
+	ctx, _ := newCtx(t)
+	st := runTask(t, ctx, task.New(14, task.NoOp, task.Resource{}, task.Resource{}))
+	if st.Status != task.Finished {
+		t.Fatalf("noop stats = %+v", st)
+	}
+}
+
+func TestExecutorRecordsETA(t *testing.T) {
+	ctx, _ := newCtx(t)
+	ex := NewExecutor(ctx)
+	data := bytes.Repeat([]byte("e"), 1<<20)
+	tk := task.New(15, task.Copy, task.MemoryRegion(data), task.PosixPath("nvme0://", "eta.dat"))
+	ex.Execute(tk)
+	if tk.Status() != task.Finished {
+		t.Fatalf("task = %+v", tk.Stats())
+	}
+	if ex.ETA.Samples() != 1 {
+		t.Fatalf("ETA samples = %d", ex.ETA.Samples())
+	}
+	if ex.Estimate(1<<20) <= 0 {
+		t.Fatal("Estimate returned non-positive duration")
+	}
+}
+
+func TestCancelledTaskNotExecuted(t *testing.T) {
+	ctx, _ := newCtx(t)
+	ex := NewExecutor(ctx)
+	tk := task.New(16, task.Copy, task.MemoryRegion([]byte("x")), task.PosixPath("nvme0://", "c.dat"))
+	if err := tk.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	ex.Execute(tk)
+	if tk.Status() != task.Cancelled {
+		t.Fatalf("status = %v", tk.Status())
+	}
+	if _, err := fsOf(t, ctx, "nvme0://").Stat("c.dat"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatal("cancelled task still transferred data")
+	}
+}
+
+func TestFSReadProviderSequentialAndRandom(t *testing.T) {
+	fs := storage.NewMemFS()
+	data := []byte("0123456789abcdef")
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewFSReadProvider(fs, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	buf := make([]byte, 4)
+	if _, err := p.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "0123" {
+		t.Fatalf("seq read = %q", buf)
+	}
+	// Random (backwards) access must still work via reopen.
+	if _, err := p.ReadAt(buf, 2); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "2345" {
+		t.Fatalf("random read = %q", buf)
+	}
+	if _, err := p.WriteAt(buf, 0); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("WriteAt on read provider = %v", err)
+	}
+}
+
+func TestFSWriteProviderOrderEnforced(t *testing.T) {
+	fs := storage.NewMemFS()
+	var progressed int64
+	p, err := NewFSWriteProvider(fs, "out", 8, func(n int64) { progressed += n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.WriteAt([]byte("abcd"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.WriteAt([]byte("xy"), 99); err == nil {
+		t.Fatal("out-of-order write accepted")
+	}
+	if _, err := p.WriteAt([]byte("efgh"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if progressed != 8 {
+		t.Fatalf("progress = %d", progressed)
+	}
+	got, err := fs.ReadFile("out")
+	if err != nil || string(got) != "abcdefgh" {
+		t.Fatalf("content = %q, %v", got, err)
+	}
+}

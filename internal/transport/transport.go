@@ -1,0 +1,288 @@
+// Package transport carries NORNS protocol frames over AF_UNIX and TCP
+// connections. It provides the daemon-side Server (the urd "accept
+// thread": one reader goroutine per connection dispatching requests to
+// handlers) and the client-side Conn with request pipelining, which the
+// figure-4/figure-5 request-rate benchmarks drive with up to 16 RPCs in
+// flight per client, as in the paper.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+// PeerInfo describes the connection a request arrived on.
+type PeerInfo struct {
+	// Control is true when the request arrived on the control socket
+	// (the nornsctl permission domain).
+	Control bool
+	// Addr is the remote address (empty for unix sockets).
+	Addr string
+}
+
+// Handler processes one decoded request and returns the response.
+// Handlers run on their own goroutine, so they may block (e.g. OpWait).
+type Handler func(peer PeerInfo, req *proto.Request) *proto.Response
+
+// Server accepts framed protocol connections and dispatches requests.
+type Server struct {
+	handler Handler
+	control bool
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer returns a server dispatching to handler. control marks every
+// connection accepted by this server as privileged, which is how the
+// paper separates the control and user AF_UNIX sockets (distinct socket
+// files with different file-system permissions).
+func NewServer(handler Handler, control bool) *Server {
+	return &Server{handler: handler, control: control, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on the given network ("unix" or "tcp") and
+// address, returning the bound listener address.
+func (s *Server) Listen(network, addr string) (net.Addr, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s %s: %w", network, addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("transport: server closed")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	peer := PeerInfo{Control: s.control, Addr: conn.RemoteAddr().String()}
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
+	var wmu sync.Mutex // serializes concurrent handler responses
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
+	for {
+		var req proto.Request
+		if err := fr.ReadMessage(&req); err != nil {
+			return // EOF or broken frame: drop the connection
+		}
+		hwg.Add(1)
+		go func(req proto.Request) {
+			defer hwg.Done()
+			resp := s.handler(peer, &req)
+			if resp == nil {
+				resp = &proto.Response{Status: proto.EInternal, Error: "nil handler response"}
+			}
+			resp.Seq = req.Seq
+			wmu.Lock()
+			err := fw.WriteMessage(resp)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+// Close stops all listeners and connections and waits for in-flight
+// handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// ErrConnClosed is returned for requests on a closed client connection.
+var ErrConnClosed = errors.New("transport: connection closed")
+
+// Conn is a client connection supporting pipelined requests: many
+// goroutines may Call concurrently and responses are matched by
+// sequence number.
+type Conn struct {
+	nc net.Conn
+	fw *wire.FrameWriter
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan *proto.Response
+	nextSeq uint64
+	err     error
+	closed  bool
+}
+
+// Dial connects to a server ("unix" or "tcp").
+func Dial(network, addr string) (*Conn, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s %s: %w", network, addr, err)
+	}
+	c := &Conn{
+		nc:      nc,
+		fw:      wire.NewFrameWriter(nc),
+		pending: make(map[uint64]chan *proto.Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Conn) readLoop() {
+	fr := wire.NewFrameReader(c.nc)
+	for {
+		var resp proto.Response
+		if err := fr.ReadMessage(&resp); err != nil {
+			if err == io.EOF {
+				err = ErrConnClosed
+			}
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.Seq]
+		if ok {
+			delete(c.pending, resp.Seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			r := resp
+			ch <- &r
+		}
+	}
+}
+
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		close(ch)
+	}
+}
+
+// Call sends one request and blocks for its response.
+func (c *Conn) Call(req *proto.Request) (*proto.Response, error) {
+	ch, err := c.Send(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Receive(ch)
+}
+
+// Send issues a request without waiting; the returned channel yields the
+// response. Use for pipelining multiple RPCs on one connection.
+func (c *Conn) Send(req *proto.Request) (<-chan *proto.Response, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	c.nextSeq++
+	req.Seq = c.nextSeq
+	ch := make(chan *proto.Response, 1)
+	c.pending[req.Seq] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.fw.WriteMessage(req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.Seq)
+		c.mu.Unlock()
+		c.fail(err)
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Receive waits on a Send channel, translating closed channels into the
+// connection error.
+func (c *Conn) Receive(ch <-chan *proto.Response) (*proto.Response, error) {
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close tears the connection down; in-flight requests fail.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.nc.Close()
+	c.fail(ErrConnClosed)
+	return err
+}

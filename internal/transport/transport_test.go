@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+)
+
+// echoHandler responds with the request's TaskID and marks control
+// connections.
+func echoHandler(peer PeerInfo, req *proto.Request) *proto.Response {
+	resp := &proto.Response{Status: proto.Success, TaskID: req.TaskID}
+	if peer.Control {
+		resp.DaemonInfo = "control"
+	}
+	return resp
+}
+
+func startServer(t *testing.T, network string, control bool, h Handler) (srv *Server, addr string) {
+	t.Helper()
+	if h == nil {
+		h = echoHandler
+	}
+	srv = NewServer(h, control)
+	var bind string
+	if network == "unix" {
+		bind = filepath.Join(t.TempDir(), "urd.sock")
+	} else {
+		bind = "127.0.0.1:0"
+	}
+	a, err := srv.Listen(network, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, a.String()
+}
+
+func TestCallOverUnixAndTCP(t *testing.T) {
+	for _, network := range []string{"unix", "tcp"} {
+		t.Run(network, func(t *testing.T) {
+			_, addr := startServer(t, network, false, nil)
+			c, err := Dial(network, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			resp, err := c.Call(&proto.Request{Op: proto.OpPing, TaskID: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Status != proto.Success || resp.TaskID != 99 {
+				t.Fatalf("resp = %+v", resp)
+			}
+		})
+	}
+}
+
+func TestControlFlagPropagates(t *testing.T) {
+	_, userAddr := startServer(t, "unix", false, nil)
+	_, ctlAddr := startServer(t, "unix", true, nil)
+
+	uc, err := Dial("unix", userAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uc.Close()
+	cc, err := Dial("unix", ctlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	ur, err := uc.Call(&proto.Request{Op: proto.OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.DaemonInfo == "control" {
+		t.Fatal("user socket reported as control")
+	}
+	cr, err := cc.Call(&proto.Request{Op: proto.OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.DaemonInfo != "control" {
+		t.Fatal("control socket not reported as control")
+	}
+}
+
+func TestPipelining(t *testing.T) {
+	// A slow first request must not block later pipelined responses.
+	slow := func(peer PeerInfo, req *proto.Request) *proto.Response {
+		if req.TaskID == 1 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		return &proto.Response{Status: proto.Success, TaskID: req.TaskID}
+	}
+	_, addr := startServer(t, "unix", false, slow)
+	c, err := Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ch1, err := c.Send(&proto.Request{TaskID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := c.Send(&proto.Request{TaskID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	r2, err := c.Receive(ch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TaskID != 2 {
+		t.Fatalf("r2 = %+v", r2)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("fast response blocked behind slow one (%v)", d)
+	}
+	r1, err := c.Receive(ch1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TaskID != 1 {
+		t.Fatalf("r1 = %+v", r1)
+	}
+}
+
+func TestConcurrentCallers(t *testing.T) {
+	_, addr := startServer(t, "unix", false, nil)
+	c, err := Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const goroutines, calls = 16, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				id := uint64(g*calls + i + 1)
+				resp, err := c.Call(&proto.Request{TaskID: id})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.TaskID != id {
+					errs <- fmt.Errorf("response mismatch: got %d want %d", resp.TaskID, id)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseFailsInflight(t *testing.T) {
+	block := make(chan struct{})
+	h := func(peer PeerInfo, req *proto.Request) *proto.Response {
+		<-block
+		return &proto.Response{}
+	}
+	srv, addr := startServer(t, "unix", false, h)
+	c, err := Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ch, err := c.Send(&proto.Request{TaskID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(block)
+		srv.Close()
+	}()
+	// Either we get the response (handler finished first) or a closed-conn
+	// error; both are acceptable, hanging is not.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = c.Receive(ch)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Receive hung after server close")
+	}
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	h := func(peer PeerInfo, req *proto.Request) *proto.Response {
+		time.Sleep(time.Hour) // never responds in test lifetime
+		return &proto.Response{}
+	}
+	_, addr := startServer(t, "unix", false, h)
+	c, err := Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Send(&proto.Request{TaskID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Receive(ch); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("Receive after Close = %v, want ErrConnClosed", err)
+	}
+	if _, err := c.Call(&proto.Request{}); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("Call after Close = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("unix", filepath.Join(t.TempDir(), "absent.sock")); err == nil {
+		t.Fatal("Dial to missing socket succeeded")
+	}
+}
+
+func TestNilHandlerResponse(t *testing.T) {
+	h := func(peer PeerInfo, req *proto.Request) *proto.Response { return nil }
+	_, addr := startServer(t, "unix", false, h)
+	c, err := Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(&proto.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != proto.EInternal {
+		t.Fatalf("nil handler response mapped to %v", resp.Status)
+	}
+}
+
+func BenchmarkUnixCall(b *testing.B) {
+	srv := NewServer(func(peer PeerInfo, req *proto.Request) *proto.Response {
+		return &proto.Response{Status: proto.Success}
+	}, false)
+	addr, err := srv.Listen("unix", filepath.Join(b.TempDir(), "bench.sock"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial("unix", addr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := &proto.Request{Op: proto.OpPing}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package urd
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/queue"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+func TestFabricWithoutResolverRejected(t *testing.T) {
+	if _, err := New(Config{NodeName: "n", Fabric: "ofi+tcp"}); err == nil {
+		t.Fatal("fabric without resolver accepted")
+	}
+}
+
+func TestUnknownFabricPluginRejected(t *testing.T) {
+	if _, err := New(Config{NodeName: "n", Fabric: "verbs", Resolver: NewStaticResolver()}); err == nil {
+		t.Fatal("unknown fabric plugin accepted")
+	}
+}
+
+func TestPolicyNameSurfacesInStatus(t *testing.T) {
+	for _, tc := range []struct {
+		policy queue.Policy
+		want   string
+	}{
+		{nil, "policy=fcfs"},
+		{queue.NewSJF(nil), "policy=sjf"},
+		{queue.NewPriority(), "policy=priority"},
+		{queue.NewFairShare(), "policy=fair-share"},
+	} {
+		dir := t.TempDir()
+		d, err := New(Config{
+			NodeName:      "p",
+			ControlSocket: filepath.Join(dir, "c.sock"),
+			Workers:       1,
+			Policy:        tc.policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := nornsctl.Dial(filepath.Join(dir, "c.sock"))
+		if err != nil {
+			d.Close()
+			t.Fatal(err)
+		}
+		status, err := ctl.Status()
+		ctl.Close()
+		d.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(status, tc.want) {
+			t.Errorf("status %q missing %q", status, tc.want)
+		}
+	}
+}
+
+// TestSJFPolicyEndToEnd verifies the daemon honors a size-aware policy:
+// with a single worker and the queue held back by one large task, small
+// tasks submitted later complete before a second large one.
+func TestSJFPolicyEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(Config{
+		NodeName:      "sjf",
+		ControlSocket: filepath.Join(dir, "c.sock"),
+		Workers:       1,
+		Policy:        queue.NewSJF(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctl, err := nornsctl.Dial(filepath.Join(dir, "c.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if err := ctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "m://", Backend: nornsctl.BackendMemory}); err != nil {
+		t.Fatal(err)
+	}
+	// Head task occupies the worker while we enqueue the contest.
+	head, err := ctl.Submit(task.Copy, task.MemoryRegion(make([]byte, 8<<20)), task.PosixPath("m://", "head"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigID, err := ctl.Submit(task.Copy, task.MemoryRegion(make([]byte, 16<<20)), task.PosixPath("m://", "big"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smallIDs []uint64
+	for i := 0; i < 4; i++ {
+		id, err := ctl.Submit(task.Copy, task.MemoryRegion(make([]byte, 4<<10)), task.PosixPath("m://", fmt.Sprintf("s%d", i)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallIDs = append(smallIDs, id)
+	}
+	// All smalls must be done; their waits return quickly under SJF.
+	for _, id := range smallIDs {
+		if st, err := ctl.Wait(id, 30*time.Second); err != nil || st.Status != task.Finished {
+			t.Fatalf("small task %d: %+v, %v", id, st, err)
+		}
+	}
+	if st, err := ctl.Wait(bigID, 30*time.Second); err != nil || st.Status != task.Finished {
+		t.Fatalf("big task: %+v, %v", st, err)
+	}
+	if st, err := ctl.Wait(head, 30*time.Second); err != nil || st.Status != task.Finished {
+		t.Fatalf("head task: %+v, %v", st, err)
+	}
+}
+
+// TestDaemonCloseIdempotent ensures double Close is safe and waiters
+// drain.
+func TestDaemonCloseIdempotent(t *testing.T) {
+	d, err := New(Config{NodeName: "x", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Close()
+		}()
+	}
+	wg.Wait()
+	d.Close()
+}
+
+// TestPendingTasksGauge exercises the queue-depth reporting.
+func TestPendingTasksGauge(t *testing.T) {
+	d, err := New(Config{NodeName: "g", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := d.PendingTasks(); got != 0 {
+		t.Fatalf("fresh daemon pending = %d", got)
+	}
+}

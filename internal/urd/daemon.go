@@ -1,0 +1,536 @@
+package urd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/dataspace"
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/queue"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transfer"
+	"github.com/ngioproject/norns-go/internal/transport"
+)
+
+// Version is reported by OpStatus.
+const Version = "urd/1.0 (norns-go)"
+
+// Config parameterizes a daemon instance.
+type Config struct {
+	// NodeName is this compute node's cluster name.
+	NodeName string
+	// UserSocket and ControlSocket are the AF_UNIX paths for the two
+	// permission domains. Empty disables that listener (tests may drive
+	// the daemon in-process).
+	UserSocket    string
+	ControlSocket string
+	// Workers sizes the transfer worker pool (<=0 selects 4, matching
+	// the prototype's default).
+	Workers int
+	// Policy arbitrates the task queue (nil selects FCFS).
+	Policy queue.Policy
+	// Fabric selects the mercury NA plugin for node-to-node transfers
+	// ("" disables the network manager).
+	Fabric string
+	// FabricAddr is the listen address for the fabric ("" = ephemeral).
+	FabricAddr string
+	// Resolver maps node names to fabric addresses (required with
+	// Fabric).
+	Resolver NodeResolver
+	// BufSize is the local copy buffer size (<=0: 1 MiB).
+	BufSize int
+}
+
+// Daemon is one urd instance.
+type Daemon struct {
+	cfg        Config
+	Controller *dataspace.Controller
+	queue      *queue.Queue
+	executor   *transfer.Executor
+	net        *NetManager
+
+	userSrv *transport.Server
+	ctlSrv  *transport.Server
+
+	mu     sync.Mutex
+	tasks  map[uint64]*task.Task
+	nextID uint64
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New builds and starts a daemon: workers are spawned, sockets (if
+// configured) listen, and the fabric (if configured) is live.
+func New(cfg Config) (*Daemon, error) {
+	d := &Daemon{
+		cfg:        cfg,
+		Controller: dataspace.NewController(),
+		queue:      queue.New(cfg.Policy),
+		tasks:      make(map[uint64]*task.Task),
+	}
+	ctx := &transfer.Context{Spaces: d.Controller.Spaces, BufSize: cfg.BufSize}
+	if cfg.Fabric != "" {
+		if cfg.Resolver == nil {
+			return nil, errors.New("urd: fabric configured without a node resolver")
+		}
+		nm, err := NewNetManager(cfg.Fabric, cfg.FabricAddr, d.Controller.Spaces, cfg.Resolver)
+		if err != nil {
+			return nil, err
+		}
+		d.net = nm
+		ctx.Net = nm
+	}
+	d.executor = transfer.NewExecutor(ctx)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	for i := 0; i < workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+
+	if cfg.UserSocket != "" {
+		d.userSrv = transport.NewServer(d.Handle, false)
+		if _, err := d.userSrv.Listen("unix", cfg.UserSocket); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	if cfg.ControlSocket != "" {
+		d.ctlSrv = transport.NewServer(d.Handle, true)
+		if _, err := d.ctlSrv.Listen("unix", cfg.ControlSocket); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// NodeName returns the configured node name.
+func (d *Daemon) NodeName() string { return d.cfg.NodeName }
+
+// FabricAddr returns the network manager's address ("" without fabric).
+func (d *Daemon) FabricAddr() string {
+	if d.net == nil {
+		return ""
+	}
+	return d.net.Addr()
+}
+
+// Executor exposes the transfer executor (the slurm simulation reads its
+// E.T.A. estimates).
+func (d *Daemon) Executor() *transfer.Executor { return d.executor }
+
+// worker drains the task queue, mirroring the urd worker threads.
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for {
+		t := d.queue.Next()
+		if t == nil {
+			return
+		}
+		d.executor.Execute(t)
+	}
+}
+
+// Close drains listeners, workers and the fabric.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	if d.userSrv != nil {
+		d.userSrv.Close()
+	}
+	if d.ctlSrv != nil {
+		d.ctlSrv.Close()
+	}
+	d.queue.Close()
+	d.wg.Wait()
+	if d.net != nil {
+		d.net.Close()
+	}
+}
+
+// Submit validates, registers, and enqueues a task, returning its ID.
+// Control callers bypass process authorization (admin == true).
+func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, error) {
+	in := spec.Input.ToResource()
+	out := spec.Output.ToResource()
+	kind := task.Kind(spec.Kind)
+
+	d.mu.Lock()
+	d.nextID++
+	id := d.nextID
+	d.mu.Unlock()
+
+	t := task.New(id, kind, in, out)
+	t.Priority = int(spec.Priority)
+	t.JobID = spec.JobID
+	if err := t.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	// Authorization: local dataspaces the task touches must be allowed.
+	var local []string
+	if in.Kind == task.LocalPath {
+		local = append(local, in.Dataspace)
+	}
+	if out.Kind == task.LocalPath {
+		local = append(local, out.Dataspace)
+	}
+	if admin {
+		if err := d.Controller.AuthorizeAdmin(local...); err != nil {
+			return 0, fmt.Errorf("%w: %v", errNotFound, err)
+		}
+	} else {
+		jid, err := d.Controller.Authorize(pid, local...)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", errDenied, err)
+		}
+		t.JobID = jid
+	}
+
+	d.mu.Lock()
+	d.tasks[id] = t
+	d.mu.Unlock()
+	if err := d.queue.Submit(t); err != nil {
+		d.mu.Lock()
+		delete(d.tasks, id)
+		d.mu.Unlock()
+		return 0, err
+	}
+	return id, nil
+}
+
+// Task returns a registered task.
+func (d *Daemon) Task(id uint64) (*task.Task, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: task %d", errNotFound, id)
+	}
+	return t, nil
+}
+
+// PendingTasks returns the queue depth.
+func (d *Daemon) PendingTasks() int { return d.queue.Len() }
+
+// sentinel errors mapped to protocol status codes.
+var (
+	errBadRequest = errors.New("bad request")
+	errNotFound   = errors.New("not found")
+	errExists     = errors.New("already exists")
+	errDenied     = errors.New("permission denied")
+)
+
+func statusOf(err error) proto.StatusCode {
+	switch {
+	case err == nil:
+		return proto.Success
+	case errors.Is(err, errBadRequest):
+		return proto.EBadRequest
+	case errors.Is(err, errNotFound), errors.Is(err, dataspace.ErrNotFound),
+		errors.Is(err, dataspace.ErrJobNotFound), errors.Is(err, dataspace.ErrProcNotFound):
+		return proto.ENotFound
+	case errors.Is(err, errExists), errors.Is(err, dataspace.ErrExists),
+		errors.Is(err, dataspace.ErrJobExists), errors.Is(err, dataspace.ErrProcExists):
+		return proto.EExists
+	case errors.Is(err, errDenied), errors.Is(err, dataspace.ErrDenied):
+		return proto.EPermission
+	case errors.Is(err, dataspace.ErrBadID), errors.Is(err, dataspace.ErrNilFS):
+		return proto.EBadRequest
+	default:
+		return proto.EInternal
+	}
+}
+
+func errResp(err error) *proto.Response {
+	return &proto.Response{Status: statusOf(err), Error: err.Error()}
+}
+
+// Handle is the transport dispatch: it implements every protocol op.
+// It is exported so tests and single-process simulations can drive the
+// daemon without sockets.
+func (d *Daemon) Handle(peer transport.PeerInfo, req *proto.Request) *proto.Response {
+	if req.Op.Control() && !peer.Control {
+		return &proto.Response{
+			Status: proto.EPermission,
+			Error:  fmt.Sprintf("op %s requires the control socket", req.Op),
+		}
+	}
+	switch req.Op {
+	case proto.OpPing:
+		return &proto.Response{Status: proto.Success}
+	case proto.OpStatus:
+		return d.handleStatus()
+	case proto.OpSubmit:
+		return d.handleSubmit(peer, req)
+	case proto.OpWait:
+		return d.handleWait(req)
+	case proto.OpTaskStatus:
+		return d.handleTaskStatus(req)
+	case proto.OpGetDataspaceInfo:
+		return d.handleDataspaceInfo()
+	case proto.OpRegisterDataspace:
+		return d.handleRegisterDataspace(req)
+	case proto.OpUpdateDataspace:
+		return d.handleUpdateDataspace(req)
+	case proto.OpUnregisterDataspace:
+		return d.handleUnregisterDataspace(req)
+	case proto.OpTrackDataspace:
+		return d.handleTrackDataspace(req)
+	case proto.OpTrackedNonEmpty:
+		return d.handleTrackedNonEmpty()
+	case proto.OpRegisterJob, proto.OpUpdateJob:
+		return d.handleRegisterJob(req)
+	case proto.OpUnregisterJob:
+		return d.handleUnregisterJob(req)
+	case proto.OpAddProcess:
+		return d.handleAddProcess(req)
+	case proto.OpRemoveProcess:
+		return d.handleRemoveProcess(req)
+	case proto.OpTransferStats:
+		return d.handleTransferStats()
+	case proto.OpShutdown:
+		go d.Close()
+		return &proto.Response{Status: proto.Success}
+	default:
+		return &proto.Response{Status: proto.EBadRequest, Error: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+}
+
+func (d *Daemon) handleStatus() *proto.Response {
+	d.mu.Lock()
+	nTasks := len(d.tasks)
+	d.mu.Unlock()
+	info := fmt.Sprintf("%s node=%s policy=%s pending=%d tasks=%d",
+		Version, d.cfg.NodeName, d.queue.PolicyName(), d.queue.Len(), nTasks)
+	return &proto.Response{Status: proto.Success, DaemonInfo: info}
+}
+
+// handleTransferStats reports observed transfer performance so the
+// scheduler can refine its staging estimates — the feedback loop the
+// paper's conclusions call for.
+func (d *Daemon) handleTransferStats() *proto.Response {
+	m := &proto.TransferMetrics{
+		BandwidthBps: d.executor.ETA.Bandwidth(),
+		Samples:      uint64(d.executor.ETA.Samples()),
+		Pending:      uint64(d.queue.Len()),
+	}
+	d.mu.Lock()
+	for _, t := range d.tasks {
+		st := t.Stats()
+		switch st.Status {
+		case task.Running:
+			m.Running++
+		case task.Finished:
+			m.Finished++
+			m.MovedBytes += st.MovedBytes
+		case task.Failed:
+			m.Failed++
+			m.MovedBytes += st.MovedBytes
+		}
+	}
+	d.mu.Unlock()
+	return &proto.Response{Status: proto.Success, Metrics: m}
+}
+
+func (d *Daemon) handleSubmit(peer transport.PeerInfo, req *proto.Request) *proto.Response {
+	if req.Task == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "submit without task"}
+	}
+	id, err := d.Submit(req.Task, req.PID, peer.Control)
+	if err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success, TaskID: id}
+}
+
+func (d *Daemon) handleWait(req *proto.Request) *proto.Response {
+	t, err := d.Task(req.TaskID)
+	if err != nil {
+		return errResp(err)
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if !t.Wait(timeout) {
+		return &proto.Response{Status: proto.ETimeout, TaskID: t.ID}
+	}
+	st := proto.FromStats(t.Stats())
+	return &proto.Response{Status: proto.Success, TaskID: t.ID, Stats: &st}
+}
+
+func (d *Daemon) handleTaskStatus(req *proto.Request) *proto.Response {
+	t, err := d.Task(req.TaskID)
+	if err != nil {
+		return errResp(err)
+	}
+	st := proto.FromStats(t.Stats())
+	code := proto.Success
+	if task.Status(st.Status) == task.Failed {
+		code = proto.ETaskError
+	}
+	return &proto.Response{Status: code, TaskID: t.ID, Stats: &st}
+}
+
+func (d *Daemon) handleDataspaceInfo() *proto.Response {
+	resp := &proto.Response{Status: proto.Success}
+	for _, id := range d.Controller.Spaces.List() {
+		ds, err := d.Controller.Spaces.Get(id)
+		if err != nil {
+			continue
+		}
+		used, _ := ds.Usage()
+		resp.Dataspaces = append(resp.Dataspaces, proto.DataspaceSpec{
+			ID:        ds.ID,
+			Backend:   uint32(ds.Backend.Kind),
+			Mount:     ds.Backend.Mount,
+			Capacity:  ds.Backend.Capacity,
+			Track:     ds.Track,
+			UsedBytes: used,
+		})
+	}
+	return resp
+}
+
+// backendFromSpec builds a dataspace backend: a Mount selects a rooted
+// OSFS (the real mount point of the tier); no Mount selects an
+// in-memory FS (used by tests and the memory tier).
+func backendFromSpec(spec *proto.DataspaceSpec) (dataspace.Backend, error) {
+	b := dataspace.Backend{
+		Kind:     dataspace.BackendKind(spec.Backend),
+		Mount:    spec.Mount,
+		Capacity: spec.Capacity,
+	}
+	if spec.Mount != "" {
+		fs, err := storage.NewOSFS(spec.Mount)
+		if err != nil {
+			return b, err
+		}
+		b.FS = fs
+	} else if spec.Capacity > 0 {
+		b.FS = storage.NewMemFSWithCapacity(spec.Capacity)
+	} else {
+		b.FS = storage.NewMemFS()
+	}
+	return b, nil
+}
+
+func (d *Daemon) handleRegisterDataspace(req *proto.Request) *proto.Response {
+	if req.Dataspace == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "register without dataspace"}
+	}
+	b, err := backendFromSpec(req.Dataspace)
+	if err != nil {
+		return errResp(err)
+	}
+	ds, err := d.Controller.Spaces.Register(req.Dataspace.ID, b)
+	if err != nil {
+		return errResp(err)
+	}
+	ds.Track = req.Dataspace.Track
+	return &proto.Response{Status: proto.Success}
+}
+
+func (d *Daemon) handleUpdateDataspace(req *proto.Request) *proto.Response {
+	if req.Dataspace == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "update without dataspace"}
+	}
+	b, err := backendFromSpec(req.Dataspace)
+	if err != nil {
+		return errResp(err)
+	}
+	if err := d.Controller.Spaces.Update(req.Dataspace.ID, b); err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success}
+}
+
+func (d *Daemon) handleUnregisterDataspace(req *proto.Request) *proto.Response {
+	if req.Dataspace == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "unregister without dataspace"}
+	}
+	if err := d.Controller.Spaces.Unregister(req.Dataspace.ID); err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success}
+}
+
+func (d *Daemon) handleTrackDataspace(req *proto.Request) *proto.Response {
+	if req.Dataspace == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "track without dataspace"}
+	}
+	if err := d.Controller.Spaces.SetTrack(req.Dataspace.ID, req.Track); err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success}
+}
+
+func (d *Daemon) handleTrackedNonEmpty() *proto.Response {
+	ids, err := d.Controller.Spaces.NonEmptyTracked()
+	if err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success, NonEmpty: ids}
+}
+
+func (d *Daemon) handleRegisterJob(req *proto.Request) *proto.Response {
+	if req.Job == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "register without job"}
+	}
+	job := dataspace.Job{ID: req.Job.ID, Hosts: req.Job.Hosts}
+	for _, l := range req.Job.Limits {
+		job.Limits = append(job.Limits, dataspace.JobLimits{Dataspace: l.Dataspace, Quota: l.Quota})
+	}
+	var err error
+	if req.Op == proto.OpRegisterJob {
+		err = d.Controller.RegisterJob(job)
+	} else {
+		err = d.Controller.UpdateJob(job)
+	}
+	if err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success}
+}
+
+func (d *Daemon) handleUnregisterJob(req *proto.Request) *proto.Response {
+	if req.Job == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "unregister without job"}
+	}
+	if err := d.Controller.UnregisterJob(req.Job.ID); err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success}
+}
+
+func (d *Daemon) handleAddProcess(req *proto.Request) *proto.Response {
+	if req.Proc == nil || req.Job == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "add-process needs job and proc"}
+	}
+	p := dataspace.Proc{PID: req.Proc.PID, UID: req.Proc.UID, GID: req.Proc.GID}
+	if err := d.Controller.AddProcess(req.Job.ID, p); err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success}
+}
+
+func (d *Daemon) handleRemoveProcess(req *proto.Request) *proto.Response {
+	if req.Proc == nil || req.Job == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "remove-process needs job and proc"}
+	}
+	p := dataspace.Proc{PID: req.Proc.PID, UID: req.Proc.UID, GID: req.Proc.GID}
+	if err := d.Controller.RemoveProcess(req.Job.ID, p); err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success}
+}

@@ -1,0 +1,344 @@
+// Package urd implements the NORNS resource-control daemon that runs on
+// every compute node: the accept loop on the control and user sockets,
+// the pending-task queue and its scheduler, the worker pool, the job &
+// dataspace controller, the completion registry, and the network manager
+// that executes node-to-node transfers over Mercury RPCs and bulk
+// (RDMA-style) pulls.
+package urd
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/dataspace"
+	"github.com/ngioproject/norns-go/internal/mercury"
+	"github.com/ngioproject/norns-go/internal/transfer"
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+// RPC names exchanged between urd network managers.
+const (
+	rpcStat    = "norns.stat"    // query_target: size of a remote file
+	rpcExpose  = "norns.expose"  // expose a file for bulk pull, returns handle
+	rpcRelease = "norns.release" // release an exposed handle
+	rpcPull    = "norns.pull"    // ask the peer to pull a handle into its dataspace
+)
+
+// fileRef names a file inside a dataspace on the wire.
+type fileRef struct {
+	Dataspace string
+	Path      string
+}
+
+func (f *fileRef) MarshalWire(e *wire.Encoder) {
+	e.String(1, f.Dataspace)
+	e.String(2, f.Path)
+}
+
+func (f *fileRef) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			f.Dataspace = d.String()
+		case 2:
+			f.Path = d.String()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+type sizeResp struct {
+	Size int64
+}
+
+func (s *sizeResp) MarshalWire(e *wire.Encoder) { e.Int64(1, s.Size) }
+func (s *sizeResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			s.Size = d.Int64()
+		} else {
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+type handleResp struct {
+	Handle mercury.BulkHandle
+}
+
+func (h *handleResp) MarshalWire(e *wire.Encoder) { e.Message(1, &h.Handle) }
+func (h *handleResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			d.Message(&h.Handle)
+		} else {
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+type pullReq struct {
+	Handle mercury.BulkHandle
+	Dst    fileRef
+}
+
+func (p *pullReq) MarshalWire(e *wire.Encoder) {
+	e.Message(1, &p.Handle)
+	e.Message(2, &p.Dst)
+}
+
+func (p *pullReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			d.Message(&p.Handle)
+		case 2:
+			d.Message(&p.Dst)
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// NodeResolver maps cluster node names to mercury addresses. slurmctld
+// populates it as nodes register.
+type NodeResolver interface {
+	Resolve(node string) (string, error)
+}
+
+// StaticResolver is a map-backed NodeResolver.
+type StaticResolver struct {
+	mu    sync.RWMutex
+	addrs map[string]string
+}
+
+// NewStaticResolver returns an empty resolver.
+func NewStaticResolver() *StaticResolver {
+	return &StaticResolver{addrs: make(map[string]string)}
+}
+
+// Set maps node to a mercury address.
+func (r *StaticResolver) Set(node, addr string) {
+	r.mu.Lock()
+	r.addrs[node] = addr
+	r.mu.Unlock()
+}
+
+// Resolve implements NodeResolver.
+func (r *StaticResolver) Resolve(node string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	addr, ok := r.addrs[node]
+	if !ok {
+		return "", fmt.Errorf("urd: unknown node %q", node)
+	}
+	return addr, nil
+}
+
+// NetManager is the urd network manager: it serves peer RPCs against the
+// local dataspaces and implements transfer.Remote for outbound
+// node-to-node transfers.
+type NetManager struct {
+	class    *mercury.Class
+	spaces   *dataspace.Registry
+	resolver NodeResolver
+
+	mu      sync.Mutex
+	exposed map[uint64]io.Closer
+}
+
+// NewNetManager builds a network manager over the given mercury plugin,
+// listening on listenAddr ("" picks an ephemeral address).
+func NewNetManager(plugin, listenAddr string, spaces *dataspace.Registry, resolver NodeResolver) (*NetManager, error) {
+	class, err := mercury.NewClass(plugin)
+	if err != nil {
+		return nil, err
+	}
+	nm := &NetManager{class: class, spaces: spaces, resolver: resolver, exposed: make(map[uint64]io.Closer)}
+	nm.registerRPCs()
+	if _, err := class.Listen(listenAddr); err != nil {
+		return nil, err
+	}
+	return nm, nil
+}
+
+// Addr returns the manager's mercury listen address.
+func (nm *NetManager) Addr() string { return nm.class.Addr() }
+
+// SetBulkChunk adjusts the bulk chunk size (ablation benchmarks).
+func (nm *NetManager) SetBulkChunk(n int) { nm.class.SetBulkChunk(n) }
+
+// Close shuts the fabric down.
+func (nm *NetManager) Close() {
+	nm.mu.Lock()
+	for id, c := range nm.exposed {
+		c.Close()
+		delete(nm.exposed, id)
+	}
+	nm.mu.Unlock()
+	nm.class.Close()
+}
+
+func (nm *NetManager) registerRPCs() {
+	nm.class.Register(rpcStat, nm.handleStat)
+	nm.class.Register(rpcExpose, nm.handleExpose)
+	nm.class.Register(rpcRelease, nm.handleRelease)
+	nm.class.Register(rpcPull, nm.handlePull)
+}
+
+func (nm *NetManager) handleStat(payload []byte) ([]byte, error) {
+	var ref fileRef
+	if err := wire.Unmarshal(payload, &ref); err != nil {
+		return nil, err
+	}
+	ds, err := nm.spaces.Get(ref.Dataspace)
+	if err != nil {
+		return nil, err
+	}
+	st, err := ds.Backend.FS.Stat(ref.Path)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Marshal(&sizeResp{Size: st.Size}), nil
+}
+
+func (nm *NetManager) handleExpose(payload []byte) ([]byte, error) {
+	var ref fileRef
+	if err := wire.Unmarshal(payload, &ref); err != nil {
+		return nil, err
+	}
+	ds, err := nm.spaces.Get(ref.Dataspace)
+	if err != nil {
+		return nil, err
+	}
+	prov, err := transfer.NewFSReadProvider(ds.Backend.FS, ref.Path)
+	if err != nil {
+		return nil, err
+	}
+	h := nm.class.ExposeBulk(prov)
+	nm.mu.Lock()
+	nm.exposed[h.ID] = prov.(io.Closer)
+	nm.mu.Unlock()
+	return wire.Marshal(&handleResp{Handle: h}), nil
+}
+
+func (nm *NetManager) handleRelease(payload []byte) ([]byte, error) {
+	var h handleResp
+	if err := wire.Unmarshal(payload, &h); err != nil {
+		return nil, err
+	}
+	nm.class.ReleaseBulk(h.Handle)
+	nm.mu.Lock()
+	if c, ok := nm.exposed[h.Handle.ID]; ok {
+		c.Close()
+		delete(nm.exposed, h.Handle.ID)
+	}
+	nm.mu.Unlock()
+	return nil, nil
+}
+
+// handlePull serves the initiator side of "send": the peer announced a
+// bulk handle; we pull it into the named local dataspace path.
+func (nm *NetManager) handlePull(payload []byte) ([]byte, error) {
+	var req pullReq
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	ds, err := nm.spaces.Get(req.Dst.Dataspace)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := transfer.NewFSWriteProvider(ds.Backend.FS, req.Dst.Path, req.Handle.Len, nil)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := nm.class.Lookup(req.Handle.Addr)
+	if err != nil {
+		dst.Close()
+		return nil, err
+	}
+	n, err := ep.BulkPull(req.Handle, 0, req.Handle.Len, dst)
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wire.Marshal(&sizeResp{Size: n}), nil
+}
+
+func (nm *NetManager) endpoint(node string) (*mercury.Endpoint, error) {
+	addr, err := nm.resolver.Resolve(node)
+	if err != nil {
+		return nil, err
+	}
+	return nm.class.Lookup(addr)
+}
+
+// StatFile implements transfer.Remote.
+func (nm *NetManager) StatFile(node, srcDataspace, srcPath string) (int64, error) {
+	ep, err := nm.endpoint(node)
+	if err != nil {
+		return 0, err
+	}
+	out, err := ep.Forward(rpcStat, wire.Marshal(&fileRef{Dataspace: srcDataspace, Path: srcPath}))
+	if err != nil {
+		return 0, err
+	}
+	var resp sizeResp
+	if err := wire.Unmarshal(out, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Size, nil
+}
+
+// SendFile implements transfer.Remote: expose src locally, then ask the
+// target to pull it into its dataspace (Table II: send_to_target +
+// RDMA_PULL at target).
+func (nm *NetManager) SendFile(node, dstDataspace, dstPath string, src mercury.BulkProvider) (int64, error) {
+	ep, err := nm.endpoint(node)
+	if err != nil {
+		return 0, err
+	}
+	h := nm.class.ExposeBulk(src)
+	defer nm.class.ReleaseBulk(h)
+	req := pullReq{Handle: h, Dst: fileRef{Dataspace: dstDataspace, Path: dstPath}}
+	out, err := ep.Forward(rpcPull, wire.Marshal(&req))
+	if err != nil {
+		return 0, err
+	}
+	var resp sizeResp
+	if err := wire.Unmarshal(out, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Size, nil
+}
+
+// FetchFile implements transfer.Remote: ask the target to expose the
+// source (query_target), bulk-pull it, release the handle.
+func (nm *NetManager) FetchFile(node, srcDataspace, srcPath string, dst mercury.BulkProvider) (int64, error) {
+	ep, err := nm.endpoint(node)
+	if err != nil {
+		return 0, err
+	}
+	out, err := ep.Forward(rpcExpose, wire.Marshal(&fileRef{Dataspace: srcDataspace, Path: srcPath}))
+	if err != nil {
+		return 0, err
+	}
+	var h handleResp
+	if err := wire.Unmarshal(out, &h); err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = ep.Forward(rpcRelease, wire.Marshal(&h))
+	}()
+	return ep.BulkPull(h.Handle, 0, h.Handle.Len, dst)
+}
+
+var _ transfer.Remote = (*NetManager)(nil)

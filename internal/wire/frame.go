@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frames carry one encoded message each: a uvarint length prefix followed
+// by the message bytes, mirroring protobuf's delimited stream format.
+
+// FrameWriter writes length-prefixed messages to an underlying writer.
+// It is not safe for concurrent use.
+type FrameWriter struct {
+	w       *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewFrameWriter returns a FrameWriter over w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: bufio.NewWriter(w)}
+}
+
+// WriteFrame writes one length-prefixed message and flushes it.
+func (fw *FrameWriter) WriteFrame(msg []byte) error {
+	if len(msg) > MaxMessageSize {
+		return ErrTooLarge
+	}
+	n := binary.PutUvarint(fw.scratch[:], uint64(len(msg)))
+	if _, err := fw.w.Write(fw.scratch[:n]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(msg); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// WriteMessage marshals m and writes it as a single frame.
+func (fw *FrameWriter) WriteMessage(m Marshaler) error {
+	var e Encoder
+	m.MarshalWire(&e)
+	return fw.WriteFrame(e.Buffer())
+}
+
+// FrameReader reads length-prefixed messages from an underlying reader.
+// It is not safe for concurrent use.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// ReadFrame reads one message. The returned slice is reused by the next
+// call; callers that retain it must copy.
+func (fr *FrameReader) ReadFrame() ([]byte, error) {
+	n, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("%w (frame of %d bytes)", ErrTooLarge, n)
+	}
+	if uint64(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return fr.buf, nil
+}
+
+// ReadMessage reads one frame and unmarshals it into m.
+func (fr *FrameReader) ReadMessage(m Unmarshaler) error {
+	b, err := fr.ReadFrame()
+	if err != nil {
+		return err
+	}
+	return Unmarshal(b, m)
+}

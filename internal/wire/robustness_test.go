@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+// decodeEverything walks a buffer as a generic message, consuming every
+// field with its matching accessor. It must never panic on any input.
+func decodeEverything(buf []byte) error {
+	d := NewDecoder(buf)
+	for d.Next() {
+		switch d.wireType {
+		case TypeVarint:
+			d.Uint64()
+		case TypeFixed64:
+			d.Float64()
+		case TypeBytes:
+			d.Bytes()
+		}
+	}
+	return d.Err()
+}
+
+// TestDecoderNeverPanicsOnGarbage feeds random byte soup to the decoder.
+func TestDecoderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(buf []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decoder panicked on %x: %v", buf, r)
+			}
+		}()
+		_ = decodeEverything(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecoderNeverPanicsOnMutatedValidMessages flips bits in valid
+// encodings — closer to realistic corruption than pure noise.
+func TestDecoderNeverPanicsOnMutatedValidMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var e Encoder
+	e.Uint64(1, 123456)
+	e.String(2, "lustre://scratch/output.dat")
+	e.Float64(3, 3.14159)
+	e.Bytes(4, bytes.Repeat([]byte{0xAA}, 64))
+	var inner Encoder
+	inner.String(1, "nested")
+	e.Bytes(5, inner.Buffer())
+	valid := append([]byte(nil), e.Buffer()...)
+
+	for i := 0; i < 5000; i++ {
+		mutated := append([]byte(nil), valid...)
+		flips := 1 + rng.Intn(4)
+		for f := 0; f < flips; f++ {
+			pos := rng.Intn(len(mutated))
+			mutated[pos] ^= 1 << rng.Intn(8)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decoder panicked on mutation %x: %v", mutated, r)
+				}
+			}()
+			_ = decodeEverything(mutated)
+		}()
+	}
+}
+
+// TestFrameReaderNeverPanicsOnGarbage streams noise through the frame
+// reader.
+func TestFrameReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(buf []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("frame reader panicked on %x: %v", buf, r)
+			}
+		}()
+		fr := NewFrameReader(bytes.NewReader(buf))
+		for {
+			if _, err := fr.ReadFrame(); err != nil {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncationAlwaysDetected verifies that truncating any valid
+// encoding is either still decodable (truncation fell on a field
+// boundary) or reports an error — never silently yields corrupt data
+// with a nil error and leftover bytes.
+func TestTruncationAlwaysDetected(t *testing.T) {
+	var e Encoder
+	e.Uint64(1, 1<<40)
+	e.String(2, "a moderately long string payload")
+	e.Float64(3, 2.5)
+	full := e.Buffer()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		fields := 0
+		for d.Next() {
+			switch d.wireType {
+			case TypeVarint:
+				d.Uint64()
+			case TypeFixed64:
+				d.Float64()
+			case TypeBytes:
+				d.Bytes()
+			}
+			if d.Err() == nil {
+				fields++
+			}
+		}
+		// Either clean prefix decode or an error; both fine. What is
+		// not fine is decoding all three fields from a shorter buffer.
+		if d.Err() == nil && fields == 3 && cut < len(full) {
+			t.Fatalf("cut at %d decoded the full message", cut)
+		}
+	}
+}

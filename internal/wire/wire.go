@@ -1,0 +1,334 @@
+// Package wire implements the binary serialization used by the NORNS
+// protocol. It is a stdlib-only substitute for the Protocol Buffers
+// encoding used by the original C++ implementation: tagged fields with
+// varint, fixed64, and length-delimited wire types, so that messages can
+// evolve (unknown fields are skipped) exactly like protobuf messages.
+//
+// Encoding layout per field: key = (tag << 3) | wireType, followed by the
+// payload. Supported wire types mirror the protobuf subset NORNS needs:
+//
+//	0 varint  (uint64, bool, enums)
+//	1 fixed64 (float64, sfixed64)
+//	2 bytes   (strings, nested messages, repeated payloads)
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire types, matching the protobuf wire format subset we implement.
+const (
+	TypeVarint  = 0
+	TypeFixed64 = 1
+	TypeBytes   = 2
+)
+
+// MaxMessageSize bounds a single decoded message. Requests larger than
+// this are rejected before allocation to stop a malformed length prefix
+// from exhausting memory.
+const MaxMessageSize = 64 << 20 // 64 MiB
+
+// Common decoding errors.
+var (
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrOverflow    = errors.New("wire: varint overflows 64 bits")
+	ErrTooLarge    = fmt.Errorf("wire: message exceeds %d bytes", MaxMessageSize)
+	ErrBadWireType = errors.New("wire: unknown wire type")
+)
+
+// Marshaler is implemented by protocol messages that can serialize
+// themselves onto an Encoder.
+type Marshaler interface {
+	MarshalWire(e *Encoder)
+}
+
+// Unmarshaler is implemented by protocol messages that can deserialize
+// themselves from a Decoder.
+type Unmarshaler interface {
+	UnmarshalWire(d *Decoder) error
+}
+
+// Encoder appends tagged fields to an internal buffer. The zero value is
+// ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder whose buffer has the given capacity hint.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Buffer returns the encoded message. The slice aliases the encoder's
+// internal buffer and is valid until the next mutating call.
+func (e *Encoder) Buffer() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoded contents, retaining the buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) key(tag, wireType int) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(tag)<<3|uint64(wireType))
+}
+
+// Uint64 encodes v as a varint field.
+func (e *Encoder) Uint64(tag int, v uint64) {
+	e.key(tag, TypeVarint)
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Int64 encodes v with zig-zag encoding so negative numbers stay small.
+func (e *Encoder) Int64(tag int, v int64) {
+	e.Uint64(tag, uint64((v<<1)^(v>>63)))
+}
+
+// Uint32 encodes v as a varint field.
+func (e *Encoder) Uint32(tag int, v uint32) { e.Uint64(tag, uint64(v)) }
+
+// Int encodes v as a zig-zag varint field.
+func (e *Encoder) Int(tag int, v int) { e.Int64(tag, int64(v)) }
+
+// Bool encodes v as a 0/1 varint field.
+func (e *Encoder) Bool(tag int, v bool) {
+	var u uint64
+	if v {
+		u = 1
+	}
+	e.Uint64(tag, u)
+}
+
+// Float64 encodes v as a fixed64 field.
+func (e *Encoder) Float64(tag int, v float64) {
+	e.key(tag, TypeFixed64)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Bytes encodes b as a length-delimited field.
+func (e *Encoder) Bytes(tag int, b []byte) {
+	e.key(tag, TypeBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String encodes s as a length-delimited field.
+func (e *Encoder) String(tag int, s string) {
+	e.key(tag, TypeBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Message encodes a nested message as a length-delimited field.
+func (e *Encoder) Message(tag int, m Marshaler) {
+	var nested Encoder
+	m.MarshalWire(&nested)
+	e.Bytes(tag, nested.buf)
+}
+
+// StringSlice encodes each element as a repeated length-delimited field.
+func (e *Encoder) StringSlice(tag int, ss []string) {
+	for _, s := range ss {
+		e.String(tag, s)
+	}
+}
+
+// Uint64Slice encodes each element as a repeated varint field.
+func (e *Encoder) Uint64Slice(tag int, vs []uint64) {
+	for _, v := range vs {
+		e.Uint64(tag, v)
+	}
+}
+
+// Marshal serializes m into a fresh byte slice.
+func Marshal(m Marshaler) []byte {
+	var e Encoder
+	m.MarshalWire(&e)
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out
+}
+
+// Decoder walks the tagged fields of an encoded message.
+type Decoder struct {
+	buf []byte
+	pos int
+
+	tag      int
+	wireType int
+	err      error
+}
+
+// NewDecoder returns a Decoder reading from buf. The decoder does not
+// copy buf; the caller must not mutate it during decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first error encountered while decoding.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Next advances to the next field, reporting false at end of message or on
+// error. After Next returns true, Tag reports the field tag and one of the
+// value accessors must be called to consume the payload.
+func (d *Decoder) Next() bool {
+	if d.err != nil || d.pos >= len(d.buf) {
+		return false
+	}
+	key, err := d.uvarint()
+	if err != nil {
+		d.fail(err)
+		return false
+	}
+	d.tag = int(key >> 3)
+	d.wireType = int(key & 7)
+	switch d.wireType {
+	case TypeVarint, TypeFixed64, TypeBytes:
+		return true
+	default:
+		d.fail(ErrBadWireType)
+		return false
+	}
+}
+
+// Tag returns the tag of the current field.
+func (d *Decoder) Tag() int { return d.tag }
+
+func (d *Decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return 0, ErrOverflow
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Uint64 consumes the current varint field.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.wireType != TypeVarint {
+		d.fail(fmt.Errorf("wire: tag %d: want varint, got wire type %d", d.tag, d.wireType))
+		return 0
+	}
+	v, err := d.uvarint()
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	return v
+}
+
+// Int64 consumes the current zig-zag varint field.
+func (d *Decoder) Int64() int64 {
+	u := d.Uint64()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Uint32 consumes the current varint field as a uint32.
+func (d *Decoder) Uint32() uint32 { return uint32(d.Uint64()) }
+
+// Int consumes the current zig-zag varint field as an int.
+func (d *Decoder) Int() int { return int(d.Int64()) }
+
+// Bool consumes the current varint field as a bool.
+func (d *Decoder) Bool() bool { return d.Uint64() != 0 }
+
+// Float64 consumes the current fixed64 field.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.wireType != TypeFixed64 {
+		d.fail(fmt.Errorf("wire: tag %d: want fixed64, got wire type %d", d.tag, d.wireType))
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+// Bytes consumes the current length-delimited field. The returned slice
+// aliases the decoder's buffer.
+func (d *Decoder) Bytes() []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.wireType != TypeBytes {
+		d.fail(fmt.Errorf("wire: tag %d: want bytes, got wire type %d", d.tag, d.wireType))
+		return nil
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		d.fail(err)
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b
+}
+
+// String consumes the current length-delimited field as a string.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// Message consumes the current length-delimited field as a nested message.
+func (d *Decoder) Message(m Unmarshaler) {
+	b := d.Bytes()
+	if d.err != nil {
+		return
+	}
+	if err := m.UnmarshalWire(NewDecoder(b)); err != nil {
+		d.fail(err)
+	}
+}
+
+// Skip consumes the current field without interpreting it, enabling
+// forward compatibility with unknown tags.
+func (d *Decoder) Skip() {
+	if d.err != nil {
+		return
+	}
+	switch d.wireType {
+	case TypeVarint:
+		if _, err := d.uvarint(); err != nil {
+			d.fail(err)
+		}
+	case TypeFixed64:
+		if d.pos+8 > len(d.buf) {
+			d.fail(ErrTruncated)
+			return
+		}
+		d.pos += 8
+	case TypeBytes:
+		d.Bytes()
+	default:
+		d.fail(ErrBadWireType)
+	}
+}
+
+// Unmarshal deserializes buf into m.
+func Unmarshal(buf []byte, m Unmarshaler) error {
+	if len(buf) > MaxMessageSize {
+		return ErrTooLarge
+	}
+	return m.UnmarshalWire(NewDecoder(buf))
+}

@@ -1,0 +1,246 @@
+// Package workload provides the application models the evaluation
+// workloads are built from: compute kernels that consume a node's
+// memory/CPU capacity (the HPCG surrogate), I/O kernels that read/write
+// storage tiers (the IOR surrogate), and compositions (sequence,
+// parallel) that assemble them into the producer/consumer and
+// OpenFOAM-style workflows of tables III-V.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simstore"
+)
+
+// Context gives models access to the simulated node resources.
+type Context struct {
+	Eng *sim.Engine
+	// Nodes is the job's allocation.
+	Nodes []string
+	// Tier resolves a dataspace ID ("lustre://") to its storage model.
+	Tier func(dataspace string) (simstore.Tier, error)
+	// Mem returns the node's memory/CPU bandwidth resource: compute
+	// kernels are flows on it, and staging traffic adds drag — which is
+	// how the table-IV HPCG interference arises.
+	Mem func(node string) *sim.SharedResource
+	// PutData/GetData maintain the dataset catalog (sizes by reference),
+	// shared with the staging environment.
+	PutData func(node, ref string, bytes float64)
+	GetData func(node, ref string) (float64, bool)
+}
+
+// Model is one runnable workload. Run must complete asynchronously:
+// done fires through the engine, never synchronously.
+type Model interface {
+	Run(ctx *Context, done func(error))
+}
+
+// Compute burns CPU/memory bandwidth for the given number of seconds on
+// every node of the allocation (when alone on the node).
+type Compute struct {
+	// Seconds is the single-node duration at full memory bandwidth.
+	Seconds float64
+}
+
+// Run implements Model.
+func (c Compute) Run(ctx *Context, done func(error)) {
+	if c.Seconds <= 0 {
+		ctx.Eng.After(0, func() { done(nil) })
+		return
+	}
+	remaining := len(ctx.Nodes)
+	for _, node := range ctx.Nodes {
+		ctx.Mem(node).Start(c.Seconds, func() {
+			remaining--
+			if remaining == 0 {
+				done(nil)
+			}
+		})
+	}
+}
+
+// IO reads or writes a dataset on a storage tier, split evenly across
+// the allocation's nodes (file-per-process style).
+type IO struct {
+	// Dataspace is the tier reference, e.g. "lustre://".
+	Dataspace string
+	// Ref names the dataset within the tier (catalog key).
+	Ref string
+	// Bytes is the total volume across all nodes. For reads, 0 means
+	// "whatever the catalog holds for Ref".
+	Bytes float64
+	// Write selects direction.
+	Write bool
+	// Procs is the number of parallel streams per node (file-per-process
+	// ranks); <= 0 means 1. Shared tiers with per-client caps need
+	// multiple streams to reach aggregate bandwidth, exactly as IOR
+	// does.
+	Procs int
+}
+
+// Run implements Model.
+func (io IO) Run(ctx *Context, done func(error)) {
+	tier, err := ctx.Tier(io.Dataspace)
+	if err != nil {
+		ctx.Eng.After(0, func() { done(err) })
+		return
+	}
+	bytes := io.Bytes
+	if !io.Write && bytes == 0 {
+		var total float64
+		found := false
+		if tier.Shared() {
+			// One catalog entry serves every node; do not double count.
+			if b, ok := ctx.GetData(ctx.Nodes[0], io.Dataspace+io.Ref); ok {
+				total, found = b, true
+			}
+		} else {
+			for _, node := range ctx.Nodes {
+				if b, ok := ctx.GetData(node, io.Dataspace+io.Ref); ok {
+					total += b
+					found = true
+				}
+			}
+		}
+		if !found {
+			ref := io.Dataspace + io.Ref
+			ctx.Eng.After(0, func() { done(fmt.Errorf("workload: dataset %s not found", ref)) })
+			return
+		}
+		bytes = total
+	}
+	procs := io.Procs
+	if procs <= 0 {
+		procs = 1
+	}
+	perNode := bytes / float64(len(ctx.Nodes))
+	perStream := perNode / float64(procs)
+	remaining := len(ctx.Nodes) * procs
+	var failed error
+	for _, node := range ctx.Nodes {
+		node := node
+		finish := func(float64) {
+			remaining--
+			if remaining == 0 {
+				done(failed)
+			}
+		}
+		for s := 0; s < procs; s++ {
+			if io.Write {
+				tier.Write(node, perStream, func(el float64) {
+					ctx.PutData(node, io.Dataspace+io.Ref, perStream)
+					finish(el)
+				})
+			} else {
+				tier.Read(node, perStream, finish)
+			}
+		}
+	}
+}
+
+// Seq runs models one after another, stopping at the first error.
+type Seq []Model
+
+// Run implements Model.
+func (s Seq) Run(ctx *Context, done func(error)) {
+	if len(s) == 0 {
+		ctx.Eng.After(0, func() { done(nil) })
+		return
+	}
+	var step func(i int)
+	step = func(i int) {
+		s[i].Run(ctx, func(err error) {
+			if err != nil || i+1 == len(s) {
+				done(err)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// Par runs models concurrently; done fires when all finish, with the
+// first error observed.
+type Par []Model
+
+// Run implements Model.
+func (p Par) Run(ctx *Context, done func(error)) {
+	if len(p) == 0 {
+		ctx.Eng.After(0, func() { done(nil) })
+		return
+	}
+	remaining := len(p)
+	var firstErr error
+	for _, m := range p {
+		m.Run(ctx, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				done(firstErr)
+			}
+		})
+	}
+}
+
+// Fail is a model that fails immediately (failure-injection tests).
+type Fail struct{ Reason string }
+
+// Run implements Model.
+func (f Fail) Run(ctx *Context, done func(error)) {
+	ctx.Eng.After(0, func() { done(errors.New(f.Reason)) })
+}
+
+// Producer is the synthetic-workflow producer: compute, then write the
+// dataset to the target tier (Table III).
+func Producer(computeSeconds float64, dataspace, ref string, bytes float64) Model {
+	return Seq{
+		Compute{Seconds: computeSeconds},
+		IO{Dataspace: dataspace, Ref: ref, Bytes: bytes, Write: true},
+	}
+}
+
+// Consumer is the synthetic-workflow consumer: read the dataset, then
+// compute (Table III).
+func Consumer(computeSeconds float64, dataspace, ref string) Model {
+	return Seq{
+		IO{Dataspace: dataspace, Ref: ref},
+		Compute{Seconds: computeSeconds},
+	}
+}
+
+// HPCG is the memory-bound conjugate-gradients surrogate: pure compute
+// whose runtime stretches under co-located staging drag (Table IV).
+func HPCG(baseSeconds float64) Model {
+	return Compute{Seconds: baseSeconds}
+}
+
+// FPPWrite models an IOR file-per-process write phase: total volume
+// procsPerNode*fileSize per node.
+func FPPWrite(dataspace string, procsPerNode int, fileBytes float64, nodes int) Model {
+	total := float64(procsPerNode) * fileBytes * float64(nodes)
+	return IO{Dataspace: dataspace, Ref: "ior-fpp", Bytes: total, Write: true}
+}
+
+// OpenFOAMDecompose is the serial mesh-decomposition phase: heavy
+// compute plus writing the decomposed mesh (Table V).
+func OpenFOAMDecompose(computeSeconds float64, dataspace string, meshBytes float64) Model {
+	return Seq{
+		Compute{Seconds: computeSeconds},
+		IO{Dataspace: dataspace, Ref: "mesh", Bytes: meshBytes, Write: true},
+	}
+}
+
+// OpenFOAMSolver is the parallel solver phase: read the decomposed
+// mesh, compute the timesteps, write per-process results (Table V).
+func OpenFOAMSolver(computeSeconds float64, dataspace string, meshBytes, outputBytes float64) Model {
+	return Seq{
+		IO{Dataspace: dataspace, Ref: "mesh", Bytes: meshBytes},
+		Compute{Seconds: computeSeconds},
+		IO{Dataspace: dataspace, Ref: "solution", Bytes: outputBytes, Write: true},
+	}
+}

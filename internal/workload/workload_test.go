@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simstore"
+)
+
+// testCtx builds a context over fresh tiers and per-node memory.
+func testCtx(nodes ...string) (*Context, *sim.Engine) {
+	eng := sim.NewEngine()
+	pfs := simstore.NewPFS(eng, simstore.PFSConfig{Name: "lustre", ReadBW: 100, WriteBW: 100, Stripes: 1})
+	nvm := simstore.NewNodeLocal(eng, simstore.NodeLocalConfig{Name: "nvm", ReadBW: 1000, WriteBW: 1000})
+	tiers := map[string]simstore.Tier{"lustre://": pfs, "nvme0://": nvm}
+	mem := make(map[string]*sim.SharedResource)
+	catalog := make(map[string]float64)
+	ctx := &Context{
+		Eng:   eng,
+		Nodes: nodes,
+		Tier: func(ds string) (simstore.Tier, error) {
+			t, ok := tiers[ds]
+			if !ok {
+				return nil, fmt.Errorf("no tier %s", ds)
+			}
+			return t, nil
+		},
+		Mem: func(node string) *sim.SharedResource {
+			r, ok := mem[node]
+			if !ok {
+				r = sim.NewSharedResource(eng, 1)
+				mem[node] = r
+			}
+			return r
+		},
+		PutData: func(node, ref string, b float64) { catalog[node+"|"+ref] += b },
+		GetData: func(node, ref string) (float64, bool) {
+			b, ok := catalog[node+"|"+ref]
+			return b, ok
+		},
+	}
+	return ctx, eng
+}
+
+func run(t *testing.T, ctx *Context, eng *sim.Engine, m Model) (elapsed float64, err error) {
+	t.Helper()
+	start := eng.Now()
+	doneAt := math.NaN()
+	m.Run(ctx, func(e error) {
+		err = e
+		doneAt = eng.Now()
+	})
+	eng.Run()
+	if math.IsNaN(doneAt) {
+		t.Fatal("model never completed")
+	}
+	return doneAt - start, err
+}
+
+func TestComputeDuration(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	el, err := run(t, ctx, eng, Compute{Seconds: 42})
+	if err != nil || math.Abs(el-42) > 1e-9 {
+		t.Fatalf("elapsed = %v, %v", el, err)
+	}
+}
+
+func TestComputeMultiNodeParallel(t *testing.T) {
+	ctx, eng := testCtx("n1", "n2", "n3")
+	el, err := run(t, ctx, eng, Compute{Seconds: 10})
+	if err != nil || math.Abs(el-10) > 1e-9 {
+		t.Fatalf("3-node compute elapsed = %v, %v (nodes are independent)", el, err)
+	}
+}
+
+func TestComputeZero(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	el, err := run(t, ctx, eng, Compute{Seconds: 0})
+	if err != nil || el != 0 {
+		t.Fatalf("zero compute = %v, %v", el, err)
+	}
+}
+
+func TestIOWriteAndReadBack(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	el, err := run(t, ctx, eng, IO{Dataspace: "lustre://", Ref: "f", Bytes: 1000, Write: true})
+	if err != nil || math.Abs(el-10) > 1e-9 {
+		t.Fatalf("write elapsed = %v, %v (1000 B at 100 B/s)", el, err)
+	}
+	el, err = run(t, ctx, eng, IO{Dataspace: "lustre://", Ref: "f"})
+	if err != nil || math.Abs(el-10) > 1e-9 {
+		t.Fatalf("read elapsed = %v, %v", el, err)
+	}
+}
+
+func TestIOReadMissingDataset(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	_, err := run(t, ctx, eng, IO{Dataspace: "lustre://", Ref: "ghost"})
+	if err == nil {
+		t.Fatal("read of missing dataset succeeded")
+	}
+}
+
+func TestIOUnknownTier(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	_, err := run(t, ctx, eng, IO{Dataspace: "tape://", Ref: "x", Bytes: 1, Write: true})
+	if err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+}
+
+func TestIOSplitsAcrossNodes(t *testing.T) {
+	// Node-local tier: 1000 B split over 2 nodes = 500 B each at
+	// 1000 B/s = 0.5 s (vs 1 s on one node).
+	ctx, eng := testCtx("n1", "n2")
+	el, err := run(t, ctx, eng, IO{Dataspace: "nvme0://", Ref: "d", Bytes: 1000, Write: true})
+	if err != nil || math.Abs(el-0.5) > 1e-9 {
+		t.Fatalf("2-node NVM write = %v, %v", el, err)
+	}
+}
+
+func TestSeqOrdering(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	el, err := run(t, ctx, eng, Seq{Compute{Seconds: 3}, Compute{Seconds: 4}})
+	if err != nil || math.Abs(el-7) > 1e-9 {
+		t.Fatalf("seq elapsed = %v, %v", el, err)
+	}
+}
+
+func TestSeqStopsOnError(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	el, err := run(t, ctx, eng, Seq{Fail{Reason: "boom"}, Compute{Seconds: 100}})
+	if err == nil || el > 1 {
+		t.Fatalf("seq error handling: %v, %v", el, err)
+	}
+}
+
+func TestParConcurrent(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	// Two compute flows on one node share its memory resource: each
+	// 5-second kernel takes 10 s concurrently, total 10 not 5.
+	el, err := run(t, ctx, eng, Par{Compute{Seconds: 5}, Compute{Seconds: 5}})
+	if err != nil || math.Abs(el-10) > 1e-9 {
+		t.Fatalf("par elapsed = %v, %v (memory contention expected)", el, err)
+	}
+}
+
+func TestParPropagatesError(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	_, err := run(t, ctx, eng, Par{Compute{Seconds: 1}, Fail{Reason: "bad"}})
+	if err == nil {
+		t.Fatal("par swallowed the error")
+	}
+}
+
+func TestEmptyCompositions(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	if el, err := run(t, ctx, eng, Seq{}); err != nil || el != 0 {
+		t.Fatalf("empty seq = %v, %v", el, err)
+	}
+	if el, err := run(t, ctx, eng, Par{}); err != nil || el != 0 {
+		t.Fatalf("empty par = %v, %v", el, err)
+	}
+}
+
+func TestProducerConsumerShape(t *testing.T) {
+	// The table-III mechanism: producer = compute + write; on the slow
+	// shared tier the write dominates, on fast node-local it vanishes.
+	ctx, eng := testCtx("n1")
+	elLustre, err := run(t, ctx, eng, Producer(10, "lustre://", "d1", 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elNVM, err := run(t, ctx, eng, Producer(10, "nvme0://", "d2", 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(elLustre-30) > 1e-9 { // 10 compute + 2000/100
+		t.Fatalf("lustre producer = %v, want 30", elLustre)
+	}
+	if math.Abs(elNVM-12) > 1e-9 { // 10 compute + 2000/1000
+		t.Fatalf("nvm producer = %v, want 12", elNVM)
+	}
+}
+
+func TestHPCGSlowsUnderDrag(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	// Staging drag: claim 0.15 weight on the node's memory while HPCG runs.
+	drag := ctx.Mem("n1").StartWeighted(1e18, 0.15, nil)
+	var el float64
+	HPCG(100).Run(ctx, func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		el = eng.Now()
+	})
+	eng.RunUntil(200)
+	drag.Cancel()
+	if math.Abs(el-115) > 1e-6 {
+		t.Fatalf("HPCG under drag = %v, want 115 (15%% slowdown)", el)
+	}
+}
+
+func TestOpenFOAMPhases(t *testing.T) {
+	ctx, eng := testCtx("n1")
+	el, err := run(t, ctx, eng, OpenFOAMDecompose(50, "lustre://", 1000))
+	if err != nil || math.Abs(el-60) > 1e-9 {
+		t.Fatalf("decompose = %v, %v", el, err)
+	}
+	// Solver: read mesh (1000 B at 100 B/s = 10), compute 20, write
+	// 2000 B at 100 B/s = 20 => 50.
+	el, err = run(t, ctx, eng, OpenFOAMSolver(20, "lustre://", 1000, 2000))
+	if err != nil || math.Abs(el-50) > 1e-9 {
+		t.Fatalf("solver = %v, %v", el, err)
+	}
+}
+
+func TestFPPWrite(t *testing.T) {
+	ctx, eng := testCtx("n1", "n2")
+	// 4 procs/node * 100 B * 2 nodes = 800 B on node-local: 400 B per
+	// node at 1000 B/s = 0.4 s.
+	el, err := run(t, ctx, eng, FPPWrite("nvme0://", 4, 100, 2))
+	if err != nil || math.Abs(el-0.4) > 1e-9 {
+		t.Fatalf("fpp write = %v, %v", el, err)
+	}
+}
