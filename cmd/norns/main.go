@@ -9,6 +9,7 @@
 //	norns remove nvme0://scratch/tmp
 //	norns wait 7
 //	norns status 7
+//	norns cancel 7
 package main
 
 import (
@@ -96,6 +97,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("task %d submitted\n", tk.ID)
+	case "cancel":
+		if len(rest) < 1 {
+			log.Fatal("usage: cancel TASK_ID")
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			log.Fatalf("task ID %q: %v", rest[0], err)
+		}
+		tk := norns.IOTask{ID: id}
+		stats, err := c.Cancel(&tk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("task %d: %s moved=%d/%d\n", id, stats.Status, stats.MovedBytes, stats.TotalBytes)
 	case "wait", "status":
 		if len(rest) < 1 {
 			log.Fatalf("usage: %s TASK_ID", cmd)

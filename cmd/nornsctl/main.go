@@ -12,6 +12,8 @@
 //	nornsctl unregister-job 42
 //	nornsctl track nvme0:// on|off
 //	nornsctl tracked-non-empty
+//	nornsctl cancel 17
+//	nornsctl task-status 17
 //	nornsctl shutdown
 package main
 
@@ -127,6 +129,36 @@ func main() {
 		for _, id := range ids {
 			fmt.Println(id)
 		}
+	case "cancel":
+		if len(rest) < 1 {
+			log.Fatal("usage: cancel TASK-ID")
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			log.Fatalf("task ID %q: %v", rest[0], err)
+		}
+		st, err := c.Cancel(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("task %d: %s (%d/%d bytes)\n", id, st.Status, st.MovedBytes, st.TotalBytes)
+	case "task-status":
+		if len(rest) < 1 {
+			log.Fatal("usage: task-status TASK-ID")
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			log.Fatalf("task ID %q: %v", rest[0], err)
+		}
+		st, err := c.TaskStatus(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("task %d: %s (%d/%d bytes)", id, st.Status, st.MovedBytes, st.TotalBytes)
+		if st.Err != "" {
+			fmt.Printf(" err=%q", st.Err)
+		}
+		fmt.Println()
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}

@@ -27,24 +27,26 @@ func main() {
 		node       = flag.String("node", hostnameOr("node001"), "cluster node name")
 		userSock   = flag.String("user", "/tmp/norns.sock", "user API socket path")
 		ctlSock    = flag.String("control", "/tmp/nornsctl.sock", "control API socket path")
-		workers    = flag.Int("workers", 4, "transfer worker threads")
+		workers    = flag.Int("workers", 4, "transfer worker threads per shard")
 		policy     = flag.String("policy", "fcfs", "task queue policy: fcfs|sjf|priority|fair-share")
+		shardQueue = flag.Int("shard-queue", 0, "max pending tasks per shard (0 = unbounded)")
+		maxTasks   = flag.Int("max-in-flight", 0, "global cap on queued+running tasks (0 = unbounded)")
 		fabric     = flag.String("fabric", "", "mercury NA plugin for node-to-node transfers (e.g. ofi+tcp); empty disables")
 		fabricAddr = flag.String("fabric-addr", "", "fabric listen address")
 		peers      = flag.String("peers", "", "comma-separated node=addr fabric peers")
 	)
 	flag.Parse()
 
-	var pol queue.Policy
+	var factory func() queue.Policy
 	switch *policy {
 	case "fcfs":
-		pol = queue.NewFCFS()
+		factory = func() queue.Policy { return queue.NewFCFS() }
 	case "sjf":
-		pol = queue.NewSJF(nil)
+		factory = func() queue.Policy { return queue.NewSJF(nil) }
 	case "priority":
-		pol = queue.NewPriority()
+		factory = func() queue.Policy { return queue.NewPriority() }
 	case "fair-share":
-		pol = queue.NewFairShare()
+		factory = func() queue.Policy { return queue.NewFairShare() }
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
@@ -54,7 +56,9 @@ func main() {
 		UserSocket:    *userSock,
 		ControlSocket: *ctlSock,
 		Workers:       *workers,
-		Policy:        pol,
+		PolicyFactory: factory,
+		MaxShardQueue: *shardQueue,
+		MaxInFlight:   *maxTasks,
 	}
 	if *fabric != "" {
 		resolver := urd.NewStaticResolver()

@@ -9,7 +9,7 @@
 // Slurm workflow extensions (internal/slurm), and the discrete-event
 // substrate that stands in for the paper's testbed hardware
 // (internal/sim, internal/simstore, internal/simnet). See README.md for
-// the architecture overview, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-versus-measured record. The top-level
-// bench_test.go regenerates every table and figure of the evaluation.
+// the architecture overview and DESIGN.md for the system inventory. The
+// top-level bench_test.go regenerates every table and figure of the
+// evaluation.
 package norns

@@ -1,6 +1,6 @@
 // Quickstart: start a urd daemon in-process, register a dataspace and a
-// job through the nornsctl (control) API, then submit, wait on, and
-// check an asynchronous I/O task through the norns (user) API — the
+// job through the nornsctl (control) API, then submit, wait on, check,
+// and cancel asynchronous I/O tasks through the norns (user) API — the
 // complete life cycle of Section IV.
 package main
 
@@ -110,4 +110,27 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("verified %d bytes on the node-local tier\n", len(data))
+
+	// 4. Cancellation (norns_cancel): abort a task the application no
+	//    longer needs. Pending tasks free their queue slot immediately;
+	//    running ones are interrupted at the next chunk boundary.
+	doomed := norns.NewIOTask(norns.Copy,
+		norns.MemoryRegion(payload),
+		norns.PosixPath("nvme0://", "results/abandoned"))
+	doomed.Deadline = 30 * time.Second // belt-and-braces bound on execution
+	if err := app.Submit(&doomed); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := app.Cancel(&doomed); err != nil {
+		fmt.Printf("cancel raced with completion: %v\n", err)
+	}
+	if err := app.Wait(&doomed, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	stats, err = app.Error(&doomed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task %d ended as %s after %d/%d bytes\n",
+		doomed.ID, stats.Status, stats.MovedBytes, stats.TotalBytes)
 }

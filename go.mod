@@ -1,0 +1,3 @@
+module github.com/ngioproject/norns-go
+
+go 1.24

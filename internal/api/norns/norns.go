@@ -45,6 +45,10 @@ type IOTask struct {
 	Output task.Resource
 	// Priority is a hint to priority-based queue policies.
 	Priority int
+	// Deadline, when positive, bounds the task's execution to this long
+	// after the daemon accepts it; past it the task fails with a
+	// deadline-exceeded error instead of running indefinitely.
+	Deadline time.Duration
 }
 
 // NewIOTask mirrors NORNS_IOTASK(op, input, output).
@@ -58,6 +62,9 @@ type Stats struct {
 	Err        string
 	TotalBytes int64
 	MovedBytes int64
+	// SizeErr reports a failed up-front size probe; TotalBytes is then an
+	// explicit 0 fallback rather than a measured value.
+	SizeErr string
 }
 
 // DataspaceInfo describes one dataspace visible to the caller.
@@ -101,16 +108,20 @@ func apiError(resp *proto.Response) error {
 	return fmt.Errorf("norns: %s: %s", resp.Status, resp.Error)
 }
 
+func specOf(t *IOTask) *proto.TaskSpec {
+	return &proto.TaskSpec{
+		Kind:       uint32(t.Kind),
+		Input:      proto.FromResource(t.Input),
+		Output:     proto.FromResource(t.Output),
+		Priority:   int64(t.Priority),
+		DeadlineMS: t.Deadline.Milliseconds(),
+	}
+}
+
 // Submit mirrors norns_submit: the task is queued asynchronously and its
 // ID is stored in t.
 func (c *Client) Submit(t *IOTask) error {
-	spec := &proto.TaskSpec{
-		Kind:     uint32(t.Kind),
-		Input:    proto.FromResource(t.Input),
-		Output:   proto.FromResource(t.Output),
-		Priority: int64(t.Priority),
-	}
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: specOf(t)})
 	if err != nil {
 		return err
 	}
@@ -156,12 +167,37 @@ func (c *Client) Error(t *IOTask) (Stats, error) {
 		}
 		return Stats{}, errors.New("norns: response without stats")
 	}
+	return statsOf(resp.Stats), nil
+}
+
+func statsOf(st *proto.TaskStats) Stats {
 	return Stats{
-		Status:     task.Status(resp.Stats.Status),
-		Err:        resp.Stats.Err,
-		TotalBytes: resp.Stats.TotalBytes,
-		MovedBytes: resp.Stats.MovedBytes,
-	}, nil
+		Status:     task.Status(st.Status),
+		Err:        st.Err,
+		TotalBytes: st.TotalBytes,
+		MovedBytes: st.MovedBytes,
+		SizeErr:    st.SizeErr,
+	}
+}
+
+// Cancel mirrors norns_cancel: it requests the task's abortion. A
+// pending task is cancelled immediately; a running task is interrupted
+// at its next chunk boundary (poll with Error or block with Wait to
+// observe the terminal state). Cancelling an already-terminal task
+// fails with NORNS_EBADREQUEST. The returned stats are the snapshot
+// taken right after the request was applied.
+func (c *Client) Cancel(t *IOTask) (Stats, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpCancel, PID: c.pid, TaskID: t.ID})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Status != proto.Success {
+		return Stats{}, apiError(resp)
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("norns: response without stats")
+	}
+	return statsOf(resp.Stats), nil
 }
 
 // GetDataspaceInfo mirrors norns_get_dataspace_info.
@@ -190,13 +226,7 @@ func (c *Client) GetDataspaceInfo() ([]DataspaceInfo, error) {
 // the returned function resolves it. The figure-4 throughput benchmark
 // uses this to keep multiple requests in flight per client.
 func (c *Client) SubmitAsync(t *IOTask) (func() error, error) {
-	spec := &proto.TaskSpec{
-		Kind:     uint32(t.Kind),
-		Input:    proto.FromResource(t.Input),
-		Output:   proto.FromResource(t.Output),
-		Priority: int64(t.Priority),
-	}
-	ch, err := c.conn.Send(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
+	ch, err := c.conn.Send(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: specOf(t)})
 	if err != nil {
 		return nil, err
 	}

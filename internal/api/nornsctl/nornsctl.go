@@ -62,6 +62,19 @@ type Stats struct {
 	Err        string
 	TotalBytes int64
 	MovedBytes int64
+	// SizeErr reports a failed up-front size probe; TotalBytes is then an
+	// explicit 0 fallback rather than a measured value.
+	SizeErr string
+}
+
+func statsOf(st *proto.TaskStats) Stats {
+	return Stats{
+		Status:     task.Status(st.Status),
+		Err:        st.Err,
+		TotalBytes: st.TotalBytes,
+		MovedBytes: st.MovedBytes,
+		SizeErr:    st.SizeErr,
+	}
 }
 
 // Client speaks the control protocol to a urd daemon.
@@ -133,6 +146,7 @@ type TransferMetrics struct {
 	Running      uint64
 	Finished     uint64
 	Failed       uint64
+	Cancelled    uint64
 	MovedBytes   int64
 }
 
@@ -154,6 +168,7 @@ func (c *Client) TransferStats() (TransferMetrics, error) {
 		Running:      m.Running,
 		Finished:     m.Finished,
 		Failed:       m.Failed,
+		Cancelled:    m.Cancelled,
 		MovedBytes:   m.MovedBytes,
 	}, nil
 }
@@ -282,12 +297,7 @@ func (c *Client) Wait(taskID uint64, timeout time.Duration) (Stats, error) {
 	if resp.Stats == nil {
 		return Stats{}, errors.New("nornsctl: response without stats")
 	}
-	return Stats{
-		Status:     task.Status(resp.Stats.Status),
-		Err:        resp.Stats.Err,
-		TotalBytes: resp.Stats.TotalBytes,
-		MovedBytes: resp.Stats.MovedBytes,
-	}, nil
+	return statsOf(resp.Stats), nil
 }
 
 // TaskStatus fetches a task's stats without blocking.
@@ -299,10 +309,24 @@ func (c *Client) TaskStatus(taskID uint64) (Stats, error) {
 	if resp.Stats == nil {
 		return Stats{}, apiError(resp)
 	}
-	return Stats{
-		Status:     task.Status(resp.Stats.Status),
-		Err:        resp.Stats.Err,
-		TotalBytes: resp.Stats.TotalBytes,
-		MovedBytes: resp.Stats.MovedBytes,
-	}, nil
+	return statsOf(resp.Stats), nil
+}
+
+// Cancel aborts a task (the nornsctl_cancel admin control): pending
+// tasks are cancelled immediately and their queue slot freed; running
+// tasks are interrupted cooperatively at the next chunk boundary.
+// The returned stats are the snapshot right after the request; use Wait
+// to observe the terminal state of a running task.
+func (c *Client) Cancel(taskID uint64) (Stats, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpCancel, PID: c.pid, TaskID: taskID})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Status != proto.Success {
+		return Stats{}, apiError(resp)
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("nornsctl: response without stats")
+	}
+	return statsOf(resp.Stats), nil
 }

@@ -27,9 +27,13 @@ const (
 	OpWait             // wait for task completion
 	OpTaskStatus       // norns_error: fetch task stats
 	OpGetDataspaceInfo // list dataspaces visible to the calling job
+	OpCancel           // norns_cancel: abort a pending or running task
+)
 
-	// Control API (nornsctl_*).
-	OpPing Op = 64 + iota
+// Control API (nornsctl_*). Anchored at 64 in their own block so adding
+// user ops above never renumbers them on the wire.
+const (
+	OpPing Op = iota + 64
 	OpStatus
 	OpRegisterDataspace
 	OpUpdateDataspace
@@ -62,6 +66,8 @@ func (o Op) String() string {
 		return "task-status"
 	case OpGetDataspaceInfo:
 		return "get-dataspace-info"
+	case OpCancel:
+		return "cancel"
 	case OpPing:
 		return "ping"
 	case OpStatus:
@@ -108,6 +114,10 @@ const (
 	ETaskError
 	ETimeout
 	EInternal
+	// EAgain is the backpressure signal: the daemon's task pipeline is at
+	// its global in-flight limit (or a shard queue is full) and the client
+	// should retry after backing off.
+	EAgain
 )
 
 // String returns the code name.
@@ -129,6 +139,8 @@ func (s StatusCode) String() string {
 		return "NORNS_ETIMEOUT"
 	case EInternal:
 		return "NORNS_EINTERNAL"
+	case EAgain:
+		return "NORNS_EAGAIN"
 	default:
 		return fmt.Sprintf("NORNS_E(%d)", uint32(s))
 	}
@@ -220,6 +232,10 @@ type TaskSpec struct {
 	Output   ResourceSpec
 	Priority int64
 	JobID    uint64
+	// DeadlineMS, when positive, bounds the task's execution to this many
+	// milliseconds after the daemon accepts it; an expired deadline fails
+	// the task as if cancelled by the system.
+	DeadlineMS int64
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -232,6 +248,9 @@ func (ts *TaskSpec) MarshalWire(e *wire.Encoder) {
 	}
 	if ts.JobID != 0 {
 		e.Uint64(5, ts.JobID)
+	}
+	if ts.DeadlineMS != 0 {
+		e.Int64(6, ts.DeadlineMS)
 	}
 }
 
@@ -249,6 +268,8 @@ func (ts *TaskSpec) UnmarshalWire(d *wire.Decoder) error {
 			ts.Priority = d.Int64()
 		case 5:
 			ts.JobID = d.Uint64()
+		case 6:
+			ts.DeadlineMS = d.Int64()
 		default:
 			d.Skip()
 		}
@@ -409,6 +430,9 @@ type TaskStats struct {
 	Err        string
 	TotalBytes int64
 	MovedBytes int64
+	// SizeErr reports a failed up-front size probe (TotalBytes is then an
+	// explicit 0 fallback, not a measurement).
+	SizeErr string
 }
 
 // FromStats converts task.Stats.
@@ -418,6 +442,7 @@ func FromStats(s task.Stats) TaskStats {
 		Err:        s.Err,
 		TotalBytes: s.TotalBytes,
 		MovedBytes: s.MovedBytes,
+		SizeErr:    s.SizeErr,
 	}
 }
 
@@ -433,6 +458,9 @@ func (st *TaskStats) MarshalWire(e *wire.Encoder) {
 	if st.MovedBytes != 0 {
 		e.Int64(4, st.MovedBytes)
 	}
+	if st.SizeErr != "" {
+		e.String(5, st.SizeErr)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -447,6 +475,8 @@ func (st *TaskStats) UnmarshalWire(d *wire.Decoder) error {
 			st.TotalBytes = d.Int64()
 		case 4:
 			st.MovedBytes = d.Int64()
+		case 5:
+			st.SizeErr = d.String()
 		default:
 			d.Skip()
 		}
@@ -547,11 +577,13 @@ type TransferMetrics struct {
 	Samples uint64
 	// Pending is the task-queue depth.
 	Pending uint64
-	// Running/Finished/Failed count tasks by terminal state.
-	Running  uint64
-	Finished uint64
-	Failed   uint64
-	// MovedBytes is the total payload volume transferred.
+	// Running/Finished/Failed/Cancelled count tasks by state.
+	Running   uint64
+	Finished  uint64
+	Failed    uint64
+	Cancelled uint64
+	// MovedBytes is the total payload volume transferred, including the
+	// partial progress of failed and cancelled tasks.
 	MovedBytes int64
 }
 
@@ -565,6 +597,9 @@ func (tm *TransferMetrics) MarshalWire(e *wire.Encoder) {
 	e.Uint64(6, tm.Failed)
 	if tm.MovedBytes != 0 {
 		e.Int64(7, tm.MovedBytes)
+	}
+	if tm.Cancelled != 0 {
+		e.Uint64(8, tm.Cancelled)
 	}
 }
 
@@ -586,6 +621,8 @@ func (tm *TransferMetrics) UnmarshalWire(d *wire.Decoder) error {
 			tm.Failed = d.Uint64()
 		case 7:
 			tm.MovedBytes = d.Int64()
+		case 8:
+			tm.Cancelled = d.Uint64()
 		default:
 			d.Skip()
 		}

@@ -199,3 +199,49 @@ func TestEmptyMessages(t *testing.T) {
 		t.Fatalf("empty response round trip: %+v", resp)
 	}
 }
+
+func TestCancelRequestRoundTrip(t *testing.T) {
+	in := &Request{Seq: 3, Op: OpCancel, PID: 77, TaskID: 12}
+	out := roundTripRequest(t, in)
+	if out.Op != OpCancel || out.TaskID != 12 {
+		t.Fatalf("cancel request mismatch: %+v", out)
+	}
+	if OpCancel.Control() {
+		t.Fatal("OpCancel misclassified as control-only")
+	}
+	if OpCancel.String() != "cancel" {
+		t.Fatalf("OpCancel.String() = %q", OpCancel.String())
+	}
+}
+
+func TestDeadlineAndSizeErrRoundTrip(t *testing.T) {
+	in := &Request{
+		Op: OpSubmit,
+		Task: &TaskSpec{
+			Kind:       uint32(task.Copy),
+			Input:      FromResource(task.PosixPath("a://", "p")),
+			Output:     FromResource(task.PosixPath("b://", "q")),
+			DeadlineMS: 1500,
+		},
+	}
+	out := roundTripRequest(t, in)
+	if out.Task == nil || out.Task.DeadlineMS != 1500 {
+		t.Fatalf("deadline mismatch: %+v", out.Task)
+	}
+	resp := roundTripResponse(t, &Response{
+		Status: Success,
+		Stats: &TaskStats{
+			Status: uint32(task.Cancelled), MovedBytes: 7, SizeErr: "stat: missing",
+		},
+		Metrics: &TransferMetrics{Cancelled: 4, MovedBytes: 99},
+	})
+	if resp.Stats == nil || resp.Stats.SizeErr != "stat: missing" {
+		t.Fatalf("SizeErr mismatch: %+v", resp.Stats)
+	}
+	if resp.Metrics == nil || resp.Metrics.Cancelled != 4 {
+		t.Fatalf("metrics mismatch: %+v", resp.Metrics)
+	}
+	if EAgain.String() != "NORNS_EAGAIN" {
+		t.Fatalf("EAgain.String() = %q", EAgain.String())
+	}
+}

@@ -23,6 +23,9 @@ type Policy interface {
 	Push(t *task.Task)
 	// Pop removes and returns the next task, or nil when empty.
 	Pop() *task.Task
+	// Remove extracts the task with the given ID without executing it
+	// (cancellation of a pending task), returning nil when absent.
+	Remove(id uint64) *task.Task
 	// Len returns the number of pending tasks.
 	Len() int
 }
@@ -70,6 +73,17 @@ func (f *FCFS) Pop() *task.Task {
 	return t
 }
 
+// Remove implements Policy.
+func (f *FCFS) Remove(id uint64) *task.Task {
+	for i, t := range f.items {
+		if t.ID == id {
+			f.items = append(f.items[:i], f.items[i+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
 // Len implements Policy.
 func (f *FCFS) Len() int { return len(f.items) }
 
@@ -98,6 +112,16 @@ func (h *taskHeap) Pop() any {
 	old[n-1] = heapItem{}
 	h.items = old[:n-1]
 	return it
+}
+
+// remove extracts the item holding task id, restoring heap order.
+func (h *taskHeap) remove(id uint64) *task.Task {
+	for i := range h.items {
+		if h.items[i].t.ID == id {
+			return heap.Remove(h, i).(heapItem).t
+		}
+	}
+	return nil
 }
 
 // --- SJF ---
@@ -144,6 +168,9 @@ func (s *SJF) Pop() *task.Task {
 	return heap.Pop(&s.h).(heapItem).t
 }
 
+// Remove implements Policy.
+func (s *SJF) Remove(id uint64) *task.Task { return s.h.remove(id) }
+
 // Len implements Policy.
 func (s *SJF) Len() int { return s.h.Len() }
 
@@ -185,6 +212,9 @@ func (p *Priority) Pop() *task.Task {
 	}
 	return heap.Pop(&p.h).(heapItem).t
 }
+
+// Remove implements Policy.
+func (p *Priority) Remove(id uint64) *task.Task { return p.h.remove(id) }
 
 // Len implements Policy.
 func (p *Priority) Len() int { return p.h.Len() }
@@ -244,6 +274,22 @@ func (f *FairShare) Pop() *task.Task {
 	}
 }
 
+// Remove implements Policy.
+func (f *FairShare) Remove(id uint64) *task.Task {
+	for jid, q := range f.pending {
+		for i, t := range q {
+			if t.ID == id {
+				f.pending[jid] = append(q[:i:i], q[i+1:]...)
+				f.n--
+				// An emptied per-job list is reaped lazily by Pop, which
+				// also drops the job from the round-robin ring.
+				return t
+			}
+		}
+	}
+	return nil
+}
+
 // Len implements Policy.
 func (f *FairShare) Len() int { return f.n }
 
@@ -252,6 +298,10 @@ func (f *FairShare) Len() int { return f.n }
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("queue: closed")
 
+// ErrFull is returned by Submit when a bounded queue is at capacity —
+// the backpressure signal the daemon's shards surface to clients.
+var ErrFull = errors.New("queue: full")
+
 // Queue is the concurrency-safe pending-task queue: the accept loop
 // submits, worker goroutines block on Next. Ordering is delegated to the
 // configured Policy.
@@ -259,15 +309,25 @@ type Queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	policy Policy
+	// cap bounds the number of pending tasks (0 = unbounded).
+	cap    int
 	closed bool
 }
 
-// New returns a queue over the given policy (nil selects FCFS).
-func New(policy Policy) *Queue {
+// New returns an unbounded queue over the given policy (nil selects
+// FCFS).
+func New(policy Policy) *Queue { return NewBounded(policy, 0) }
+
+// NewBounded returns a queue holding at most capacity pending tasks
+// (capacity <= 0 means unbounded); Submit returns ErrFull beyond it.
+func NewBounded(policy Policy, capacity int) *Queue {
 	if policy == nil {
 		policy = NewFCFS()
 	}
-	q := &Queue{policy: policy}
+	if capacity < 0 {
+		capacity = 0
+	}
+	q := &Queue{policy: policy, cap: capacity}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -286,9 +346,20 @@ func (q *Queue) Submit(t *task.Task) error {
 	if q.closed {
 		return ErrClosed
 	}
+	if q.cap > 0 && q.policy.Len() >= q.cap {
+		return ErrFull
+	}
 	q.policy.Push(t)
 	q.cond.Signal()
 	return nil
+}
+
+// Remove extracts a pending task by ID without executing it, returning
+// nil if the task is not queued (already popped, or never submitted).
+func (q *Queue) Remove(id uint64) *task.Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.policy.Remove(id)
 }
 
 // Next blocks until a task is available or the queue closes, returning

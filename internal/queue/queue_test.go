@@ -316,3 +316,91 @@ func BenchmarkQueueSubmitNext(b *testing.B) {
 		}
 	})
 }
+
+func TestPolicyRemove(t *testing.T) {
+	policies := map[string]func() Policy{
+		"fcfs":       func() Policy { return NewFCFS() },
+		"sjf":        func() Policy { return NewSJF(nil) },
+		"priority":   func() Policy { return NewPriority() },
+		"fair-share": func() Policy { return NewFairShare() },
+	}
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			p := mk()
+			for i := uint64(1); i <= 5; i++ {
+				tk := memTask(i, int(i)*100)
+				tk.JobID = i % 2 // exercise fair-share's per-job lists
+				tk.Priority = int(i)
+				p.Push(tk)
+			}
+			got := p.Remove(3)
+			if got == nil || got.ID != 3 {
+				t.Fatalf("Remove(3) = %v", got)
+			}
+			if p.Remove(3) != nil {
+				t.Fatal("second Remove(3) found the task again")
+			}
+			if p.Remove(99) != nil {
+				t.Fatal("Remove of unknown ID != nil")
+			}
+			if p.Len() != 4 {
+				t.Fatalf("Len after Remove = %d", p.Len())
+			}
+			seen := map[uint64]bool{}
+			for tk := p.Pop(); tk != nil; tk = p.Pop() {
+				seen[tk.ID] = true
+			}
+			for _, id := range []uint64{1, 2, 4, 5} {
+				if !seen[id] {
+					t.Fatalf("task %d lost after Remove (saw %v)", id, seen)
+				}
+			}
+			if seen[3] {
+				t.Fatal("removed task still popped")
+			}
+		})
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := New(nil)
+	for i := uint64(1); i <= 3; i++ {
+		if err := q.Submit(memTask(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tk := q.Remove(2); tk == nil || tk.ID != 2 {
+		t.Fatalf("Remove(2) = %v", tk)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if tk := q.Remove(2); tk != nil {
+		t.Fatalf("double Remove = %v", tk)
+	}
+}
+
+func TestBoundedQueueBackpressure(t *testing.T) {
+	q := NewBounded(NewFCFS(), 2)
+	for i := uint64(1); i <= 2; i++ {
+		if err := q.Submit(memTask(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Submit(memTask(3, 1)); !errors.Is(err, ErrFull) {
+		t.Fatalf("Submit over capacity: %v", err)
+	}
+	// Both draining and cancellation-removal free capacity.
+	if q.TryNext() == nil {
+		t.Fatal("TryNext on full queue = nil")
+	}
+	if err := q.Submit(memTask(3, 1)); err != nil {
+		t.Fatalf("Submit after drain: %v", err)
+	}
+	if q.Remove(2) == nil {
+		t.Fatal("Remove(2) = nil")
+	}
+	if err := q.Submit(memTask(4, 1)); err != nil {
+		t.Fatalf("Submit after Remove: %v", err)
+	}
+}

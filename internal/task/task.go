@@ -141,13 +141,21 @@ func (r Resource) Validate() error {
 type Status uint8
 
 // Task states. The legal transitions are
-// Pending -> Running -> (Finished | Failed), plus Pending -> Cancelled.
+//
+//	Pending -> Running -> (Finished | Failed)
+//	Pending -> (Cancelled | Failed)
+//	Running -> Cancelling -> (Cancelled | Finished | Failed)
+//
+// Cancelling is the cooperative-interrupt window: the transfer worker
+// observes the cancellation at its next chunk boundary and confirms it,
+// or — if the transfer happened to complete first — finishes normally.
 const (
 	Pending Status = iota + 1
 	Running
 	Finished
 	Failed
 	Cancelled
+	Cancelling
 )
 
 // String returns the lowercase name of the status.
@@ -163,6 +171,8 @@ func (s Status) String() string {
 		return "failed"
 	case Cancelled:
 		return "cancelled"
+	case Cancelling:
+		return "cancelling"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -180,9 +190,14 @@ type Stats struct {
 	Err        string // non-empty when Status == Failed
 	TotalBytes int64
 	MovedBytes int64
-	Submitted  time.Time
-	Started    time.Time
-	Ended      time.Time
+	// SizeErr records a failed up-front size probe (Stat on the input).
+	// TotalBytes is then an explicit 0 fallback rather than a silent one,
+	// so SJF ordering and E.T.A. consumers can tell "empty" from
+	// "unknown".
+	SizeErr   string
+	Submitted time.Time
+	Started   time.Time
+	Ended     time.Time
 }
 
 // Task is one asynchronous I/O request tracked by a urd daemon.
@@ -196,10 +211,15 @@ type Task struct {
 	JobID uint64
 	// Priority orders tasks under priority-based queue policies.
 	Priority int
+	// Deadline, when non-zero, bounds the task's execution: the worker
+	// derives a context.WithDeadline from it, and an expired deadline
+	// fails the task. Set it before submitting; it is not re-read after.
+	Deadline time.Time
 
-	mu    sync.Mutex
-	stats Stats
-	done  chan struct{}
+	mu     sync.Mutex
+	stats  Stats
+	done   chan struct{}
+	cancel chan struct{}
 }
 
 // ErrBadTransition is returned on illegal task state changes.
@@ -214,6 +234,7 @@ func New(id uint64, kind Kind, input, output Resource) *Task {
 		Output: output,
 		stats:  Stats{Status: Pending, Submitted: time.Now()},
 		done:   make(chan struct{}),
+		cancel: make(chan struct{}),
 	}
 }
 
@@ -267,32 +288,72 @@ func (t *Task) Start(total int64) error {
 	return nil
 }
 
-// Progress adds moved bytes while Running.
+// Progress adds moved bytes while Running or Cancelling.
 func (t *Task) Progress(moved int64) {
 	t.mu.Lock()
-	if t.stats.Status == Running {
+	if t.stats.Status == Running || t.stats.Status == Cancelling {
 		t.stats.MovedBytes += moved
 	}
 	t.mu.Unlock()
 }
 
-// Finish transitions Running -> Finished.
+// RecordSizeError notes that the up-front transfer-size probe failed, so
+// TotalBytes is an explicit fallback rather than a measured value.
+func (t *Task) RecordSizeError(msg string) {
+	t.mu.Lock()
+	t.stats.SizeErr = msg
+	t.mu.Unlock()
+}
+
+// Finish transitions Running|Cancelling -> Finished. A Cancelling task
+// may still Finish: the transfer completed before the worker observed
+// the cancellation, and the moved data is whole.
 func (t *Task) Finish() error {
 	return t.terminate(Finished, "")
 }
 
-// Fail transitions Pending|Running -> Failed with the given reason.
+// Fail transitions Pending|Running|Cancelling -> Failed with the given
+// reason.
 func (t *Task) Fail(reason string) error {
 	return t.terminate(Failed, reason)
 }
 
-// Cancel transitions Pending -> Cancelled; running tasks cannot be
-// cancelled (the transfer plugins are not preemptible, as in the paper's
-// prototype).
+// Cancel requests the task's abortion, mirroring norns_cancel:
+//
+//   - Pending tasks transition directly to Cancelled (the caller is
+//     responsible for freeing the task's queue slot).
+//   - Running tasks transition to Cancelling and the cancel channel is
+//     closed; the executing worker observes it at the next chunk
+//     boundary and confirms via FinishCancel.
+//   - A second Cancel while Cancelling is an idempotent no-op.
+//   - Terminal tasks reject with ErrBadTransition.
 func (t *Task) Cancel() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.stats.Status != Pending {
+	switch t.stats.Status {
+	case Pending:
+		t.stats.Status = Cancelled
+		t.stats.Ended = time.Now()
+		close(t.cancel)
+		close(t.done)
+		return nil
+	case Running:
+		t.stats.Status = Cancelling
+		close(t.cancel)
+		return nil
+	case Cancelling:
+		return nil
+	default:
+		return fmt.Errorf("%w: %s -> cancelled", ErrBadTransition, t.stats.Status)
+	}
+}
+
+// FinishCancel confirms a cooperative interrupt: Cancelling -> Cancelled.
+// Partial progress (MovedBytes) is preserved in the final stats.
+func (t *Task) FinishCancel() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats.Status != Cancelling {
 		return fmt.Errorf("%w: %s -> cancelled", ErrBadTransition, t.stats.Status)
 	}
 	t.stats.Status = Cancelled
@@ -301,6 +362,10 @@ func (t *Task) Cancel() error {
 	return nil
 }
 
+// CancelRequested returns a channel closed once cancellation has been
+// requested (in any state). Workers bridge it into their context.
+func (t *Task) CancelRequested() <-chan struct{} { return t.cancel }
+
 func (t *Task) terminate(s Status, reason string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -308,7 +373,7 @@ func (t *Task) terminate(s Status, reason string) error {
 	if cur.Terminal() {
 		return fmt.Errorf("%w: %s -> %s", ErrBadTransition, cur, s)
 	}
-	if s == Finished && cur != Running {
+	if s == Finished && cur != Running && cur != Cancelling {
 		return fmt.Errorf("%w: %s -> finished", ErrBadTransition, cur)
 	}
 	t.stats.Status = s

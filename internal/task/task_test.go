@@ -116,14 +116,70 @@ func TestTaskIllegalTransitions(t *testing.T) {
 	if err := tk.Start(0); !errors.Is(err, ErrBadTransition) {
 		t.Fatalf("double Start: %v", err)
 	}
-	if err := tk.Cancel(); !errors.Is(err, ErrBadTransition) {
-		t.Fatalf("Cancel while running: %v", err)
-	}
 	if err := tk.Finish(); err != nil {
 		t.Fatal(err)
 	}
 	if err := tk.Fail("late"); !errors.Is(err, ErrBadTransition) {
 		t.Fatalf("Fail after Finish: %v", err)
+	}
+	if err := tk.Cancel(); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("Cancel after Finish: %v", err)
+	}
+}
+
+func TestTaskCancelWhileRunning(t *testing.T) {
+	tk := New(1, NoOp, Resource{}, Resource{})
+	if err := tk.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	// Running -> Cancelling: the cancel request is asynchronous...
+	if err := tk.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.Status(); got != Cancelling {
+		t.Fatalf("status after cancel = %v", got)
+	}
+	select {
+	case <-tk.CancelRequested():
+	default:
+		t.Fatal("CancelRequested not signalled")
+	}
+	select {
+	case <-tk.Done():
+		t.Fatal("Done closed before the worker confirmed")
+	default:
+	}
+	// ...double-cancel while Cancelling is an idempotent no-op...
+	if err := tk.Cancel(); err != nil {
+		t.Fatalf("double cancel: %v", err)
+	}
+	// ...and the worker confirms at its next chunk boundary.
+	if err := tk.FinishCancel(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.Status(); got != Cancelled {
+		t.Fatalf("status after confirm = %v", got)
+	}
+	if err := tk.Cancel(); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("cancel after terminal: %v", err)
+	}
+}
+
+func TestTaskCancellingMayStillFinish(t *testing.T) {
+	// The transfer completed before the worker observed the cancel: the
+	// data is whole, so Finished wins.
+	tk := New(1, NoOp, Resource{}, Resource{})
+	if err := tk.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.Status(); got != Finished {
+		t.Fatalf("status = %v", got)
 	}
 }
 
@@ -173,7 +229,8 @@ func TestTaskWait(t *testing.T) {
 
 func TestStatusTerminal(t *testing.T) {
 	for s, want := range map[Status]bool{
-		Pending: false, Running: false, Finished: true, Failed: true, Cancelled: true,
+		Pending: false, Running: false, Cancelling: false,
+		Finished: true, Failed: true, Cancelled: true,
 	} {
 		if s.Terminal() != want {
 			t.Errorf("%v.Terminal() = %v", s, !want)

@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,61 +9,65 @@ import (
 )
 
 // Executor runs tasks through the plugin registry and records observed
-// bandwidth in the per-pair E.T.A. estimators (the monitoring the urd
-// worker threads perform so slurmctld can plan around transfers).
+// bandwidth in the E.T.A. estimators (the monitoring the urd worker
+// threads perform so slurmctld can plan around transfers).
 type Executor struct {
 	Registry *Registry
-	Ctx      *Context
+	Env      *Env
 	// ETA estimates transfer times from observed bandwidth; may be nil.
 	ETA *task.ETAEstimator
 }
 
 // NewExecutor returns an executor over the built-in plugins.
-func NewExecutor(ctx *Context) *Executor {
+func NewExecutor(env *Env) *Executor {
 	return &Executor{
 		Registry: NewRegistry(),
-		Ctx:      ctx,
+		Env:      env,
 		ETA:      task.NewETAEstimator(0, 0),
 	}
 }
 
 // totalBytes determines the task's transfer volume up front, for
-// progress accounting and E.T.A. tracking.
-func (e *Executor) totalBytes(t *task.Task) int64 {
+// progress accounting and E.T.A. tracking. A probe failure is returned
+// to the caller rather than silently reported as 0, since 0 corrupts
+// SJF ordering and bandwidth estimates.
+func (e *Executor) totalBytes(t *task.Task) (int64, error) {
 	switch t.Input.Kind {
 	case task.Memory:
 		if t.Input.Data != nil {
-			return int64(len(t.Input.Data))
+			return int64(len(t.Input.Data)), nil
 		}
-		return t.Input.Size
+		return t.Input.Size, nil
 	case task.LocalPath:
-		fs, err := e.Ctx.fs(t.Input.Dataspace)
+		fs, err := e.Env.fs(t.Input.Dataspace)
 		if err != nil {
-			return 0
+			return 0, err
 		}
 		st, err := fs.Stat(t.Input.Path)
 		if err != nil {
-			return 0
+			return 0, err
 		}
-		return st.Size
+		return st.Size, nil
 	case task.RemotePath:
-		if e.Ctx.Net == nil {
-			return 0
+		if e.Env.Net == nil {
+			return 0, nil // no fabric: the plugin will fail with a clearer error
 		}
-		size, err := e.Ctx.Net.StatFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
-		if err != nil {
-			return 0
-		}
-		return size
+		return e.Env.Net.StatFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
 	default:
-		return 0
+		return 0, nil
 	}
 }
 
 // Execute drives one task through its full life cycle: plugin lookup,
-// Running transition, transfer, terminal transition. It never returns an
-// error — failures land in the task's stats, which is what clients poll.
-func (e *Executor) Execute(t *task.Task) {
+// Running transition, chunked transfer under ctx, terminal transition.
+// It never returns an error — failures land in the task's stats, which
+// is what clients poll.
+//
+// ctx is the worker's context (daemon shutdown); the task's own cancel
+// request and deadline are layered onto it, so a norns_cancel issued
+// mid-flight interrupts the transfer at its next chunk boundary and the
+// task terminates as Cancelled with its partial progress preserved.
+func (e *Executor) Execute(ctx context.Context, t *task.Task) {
 	if t.Kind == task.NoOp {
 		if err := t.Start(0); err != nil {
 			return
@@ -75,19 +80,65 @@ func (e *Executor) Execute(t *task.Task) {
 		_ = t.Fail(err.Error())
 		return
 	}
-	if err := t.Start(e.totalBytes(t)); err != nil {
+
+	if !t.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, t.Deadline)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Bridge the task's cancel request into the context. The goroutine
+	// exits via cancel() (deferred above) once Execute returns.
+	go func() {
+		select {
+		case <-t.CancelRequested():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	total, sizeErr := e.totalBytes(t)
+	if sizeErr != nil {
+		// Explicit fallback: record the probe failure and carry on with
+		// total == 0; the transfer itself will surface a hard error.
+		t.RecordSizeError(sizeErr.Error())
+		total = 0
+	}
+	if err := ctx.Err(); err != nil {
+		// Deadline expired (or daemon shut down) before the task started.
+		_ = t.Fail(fmt.Sprintf("%s: not started: %v", t.Kind, err))
+		return
+	}
+	if err := t.Start(total); err != nil {
 		return // cancelled before a worker picked it up
 	}
 	start := time.Now()
-	moved, err := fn(e.Ctx, t, t.Progress)
-	if err != nil {
-		_ = t.Fail(fmt.Sprintf("%s: %v", t.Kind, err))
-		return
-	}
+	moved, err := fn(ctx, e.Env, t, t.Progress)
 	if e.ETA != nil && moved > 0 {
+		// Partial progress still carries bandwidth signal.
 		e.ETA.Record(moved, time.Since(start))
 	}
+	if err != nil {
+		e.terminate(ctx, t, err)
+		return
+	}
 	_ = t.Finish()
+}
+
+// terminate maps a plugin error to the task's terminal state: a
+// cooperative interrupt confirms the cancellation, a deadline expiry or
+// plugin failure fails the task.
+func (e *Executor) terminate(ctx context.Context, t *task.Task, err error) {
+	if t.Status() == task.Cancelling {
+		_ = t.FinishCancel()
+		return
+	}
+	if ctx.Err() == context.DeadlineExceeded {
+		_ = t.Fail(fmt.Sprintf("%s: deadline exceeded", t.Kind))
+		return
+	}
+	_ = t.Fail(fmt.Sprintf("%s: %v", t.Kind, err))
 }
 
 // Estimate predicts how long a transfer of the given size will take

@@ -1,6 +1,8 @@
 package transfer
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -27,17 +29,19 @@ type Remote interface {
 	StatFile(node, srcDataspace, srcPath string) (int64, error)
 }
 
-// Context carries the node-local state plugins operate on.
-type Context struct {
+// Env carries the node-local state plugins operate on.
+type Env struct {
 	// Spaces resolves dataspace IDs to their backing FS.
 	Spaces *dataspace.Registry
 	// Net performs remote transfers; nil disables remote plugins.
 	Net Remote
-	// BufSize is the copy buffer size for local streaming (<=0: 1 MiB).
+	// BufSize is the copy buffer / chunk size for streaming (<=0: 1 MiB).
+	// Cancellation is observed between chunks, so it also bounds how much
+	// data moves after a cancel lands.
 	BufSize int
 }
 
-func (c *Context) fs(dataspaceID string) (storage.FS, error) {
+func (c *Env) fs(dataspaceID string) (storage.FS, error) {
 	ds, err := c.Spaces.Get(dataspaceID)
 	if err != nil {
 		return nil, err
@@ -45,9 +49,18 @@ func (c *Context) fs(dataspaceID string) (storage.FS, error) {
 	return ds.Backend.FS, nil
 }
 
+func (c *Env) bufSize() int {
+	if c.BufSize <= 0 {
+		return 1 << 20
+	}
+	return c.BufSize
+}
+
 // Func is one transfer plugin: it moves the task's data, reporting
-// progress in bytes, and returns the total bytes moved.
-type Func func(ctx *Context, t *task.Task, progress func(int64)) (int64, error)
+// progress in bytes, and returns the total bytes moved. Plugins observe
+// ctx cooperatively — at chunk boundaries for streamed copies — and
+// return ctx.Err() when interrupted, leaving partial output behind.
+type Func func(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error)
 
 // key selects a plugin.
 type key struct {
@@ -112,11 +125,46 @@ func (r *Registry) Lookup(t *task.Task) (Func, error) {
 
 // --- plugin implementations ---
 
+// chunkCopy streams src into dst in env-sized chunks, checking ctx
+// between chunks so a cancelled transfer stops within one chunk of the
+// request. It returns the bytes written.
+func chunkCopy(ctx context.Context, dst io.Writer, src io.Reader, bufSize int, progress func(int64)) (int64, error) {
+	buf := make([]byte, bufSize)
+	var total int64
+	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			wn, werr := dst.Write(buf[:n])
+			if wn > 0 {
+				total += int64(wn)
+				if progress != nil {
+					progress(int64(wn))
+				}
+			}
+			if werr != nil {
+				return total, werr
+			}
+			if wn < n {
+				return total, io.ErrShortWrite
+			}
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+}
+
 // memToLocal is "process memory => local path": the buffer arrived
 // inline with the submission (our stand-in for process_vm_readv) and is
-// written to the dataspace.
-func memToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
-	fs, err := ctx.fs(t.Output.Dataspace)
+// written to the dataspace in chunks.
+func memToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
+	fs, err := env.fs(t.Output.Dataspace)
 	if err != nil {
 		return 0, err
 	}
@@ -124,25 +172,23 @@ func memToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error)
 	if err != nil {
 		return 0, err
 	}
-	n, werr := w.Write(t.Input.Data)
-	if n > 0 {
-		progress(int64(n))
-	}
+	n, werr := chunkCopy(ctx, w, bytes.NewReader(t.Input.Data), env.bufSize(), progress)
 	if cerr := w.Close(); werr == nil {
 		werr = cerr
 	}
-	return int64(n), werr
+	return n, werr
 }
 
 // memToRemote is "memory buffer => remote path": the initiator exposes
 // the buffer and the target pulls it into its dataspace (RDMA_PULL at
-// target in Table II).
-func memToRemote(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
-	if ctx.Net == nil {
+// target in Table II). Cancellation is observed per bulk chunk via the
+// provider wrapper.
+func memToRemote(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
+	if env.Net == nil {
 		return 0, errors.New("transfer: no network manager configured")
 	}
-	src := mercury.NewMemRegion(t.Input.Data)
-	n, err := ctx.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, src)
+	src := withContext(ctx, mercury.NewMemRegion(t.Input.Data))
+	n, err := env.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, src)
 	if n > 0 {
 		progress(n)
 	}
@@ -150,13 +196,13 @@ func memToRemote(ctx *Context, t *task.Task, progress func(int64)) (int64, error
 }
 
 // localToLocal is "local path => local path", the sendfile(2) row:
-// a buffered stream copy between two dataspace FSes.
-func localToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
-	srcFS, err := ctx.fs(t.Input.Dataspace)
+// a chunked stream copy between two dataspace FSes.
+func localToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
+	srcFS, err := env.fs(t.Input.Dataspace)
 	if err != nil {
 		return 0, err
 	}
-	dstFS, err := ctx.fs(t.Output.Dataspace)
+	dstFS, err := env.fs(t.Output.Dataspace)
 	if err != nil {
 		return 0, err
 	}
@@ -169,11 +215,7 @@ func localToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, erro
 	if err != nil {
 		return 0, err
 	}
-	buf := ctx.BufSize
-	if buf <= 0 {
-		buf = 1 << 20
-	}
-	n, cerr := io.CopyBuffer(&progressWriter{w: w, progress: progress}, r, make([]byte, buf))
+	n, cerr := chunkCopy(ctx, w, r, env.bufSize(), progress)
 	if err := w.Close(); cerr == nil {
 		cerr = err
 	}
@@ -182,11 +224,11 @@ func localToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, erro
 
 // localToRemote is "local path => remote path": expose the local file,
 // target pulls it (Table II's mmap + RDMA_PULL at target).
-func localToRemote(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
-	if ctx.Net == nil {
+func localToRemote(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
+	if env.Net == nil {
 		return 0, errors.New("transfer: no network manager configured")
 	}
-	srcFS, err := ctx.fs(t.Input.Dataspace)
+	srcFS, err := env.fs(t.Input.Dataspace)
 	if err != nil {
 		return 0, err
 	}
@@ -195,7 +237,7 @@ func localToRemote(ctx *Context, t *task.Task, progress func(int64)) (int64, err
 		return 0, err
 	}
 	defer src.(io.Closer).Close()
-	n, err := ctx.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, src)
+	n, err := env.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, withContext(ctx, src))
 	if n > 0 {
 		progress(n)
 	}
@@ -204,15 +246,15 @@ func localToRemote(ctx *Context, t *task.Task, progress func(int64)) (int64, err
 
 // remoteToLocal is "local path <= remote path": query the target for the
 // source, then pull it into the local dataspace.
-func remoteToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
-	if ctx.Net == nil {
+func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
+	if env.Net == nil {
 		return 0, errors.New("transfer: no network manager configured")
 	}
-	dstFS, err := ctx.fs(t.Output.Dataspace)
+	dstFS, err := env.fs(t.Output.Dataspace)
 	if err != nil {
 		return 0, err
 	}
-	size, err := ctx.Net.StatFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
+	size, err := env.Net.StatFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
 	if err != nil {
 		return 0, err
 	}
@@ -220,7 +262,7 @@ func remoteToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, err
 	if err != nil {
 		return 0, err
 	}
-	n, ferr := ctx.Net.FetchFile(t.Input.Node, t.Input.Dataspace, t.Input.Path, dst)
+	n, ferr := env.Net.FetchFile(t.Input.Node, t.Input.Dataspace, t.Input.Path, withContext(ctx, dst))
 	if cerr := dst.Close(); ferr == nil {
 		ferr = cerr
 	}
@@ -228,8 +270,11 @@ func remoteToLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, err
 }
 
 // removeLocal deletes a path (file or tree) from a local dataspace.
-func removeLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
-	fs, err := ctx.fs(t.Input.Dataspace)
+func removeLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	fs, err := env.fs(t.Input.Dataspace)
 	if err != nil {
 		return 0, err
 	}
@@ -244,14 +289,16 @@ func removeLocal(ctx *Context, t *task.Task, progress func(int64)) (int64, error
 }
 
 // moveWrap turns a copy plugin into a move: copy, then delete the
-// source. A failed copy leaves the source untouched.
+// source. A failed or cancelled copy leaves the source untouched; once
+// the copy has fully landed the delete always runs, so a move never
+// strands data half-transferred with the source already gone.
 func moveWrap(copyFn Func) Func {
-	return func(ctx *Context, t *task.Task, progress func(int64)) (int64, error) {
-		n, err := copyFn(ctx, t, progress)
+	return func(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
+		n, err := copyFn(ctx, env, t, progress)
 		if err != nil {
 			return n, err
 		}
-		srcFS, err := ctx.fs(t.Input.Dataspace)
+		srcFS, err := env.fs(t.Input.Dataspace)
 		if err != nil {
 			return n, err
 		}
@@ -259,15 +306,34 @@ func moveWrap(copyFn Func) Func {
 	}
 }
 
-type progressWriter struct {
-	w        io.Writer
-	progress func(int64)
+// ctxProvider gates every bulk chunk of a wrapped provider on ctx, so
+// remote transfers observe cancellation at the same chunk granularity as
+// local ones.
+type ctxProvider struct {
+	ctx context.Context
+	p   mercury.BulkProvider
 }
 
-func (pw *progressWriter) Write(p []byte) (int, error) {
-	n, err := pw.w.Write(p)
-	if n > 0 && pw.progress != nil {
-		pw.progress(int64(n))
+// withContext wraps p so each ReadAt/WriteAt first checks ctx.
+func withContext(ctx context.Context, p mercury.BulkProvider) mercury.BulkProvider {
+	return &ctxProvider{ctx: ctx, p: p}
+}
+
+// Size implements mercury.BulkProvider.
+func (c *ctxProvider) Size() int64 { return c.p.Size() }
+
+// ReadAt implements io.ReaderAt.
+func (c *ctxProvider) ReadAt(b []byte, off int64) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
 	}
-	return n, err
+	return c.p.ReadAt(b, off)
+}
+
+// WriteAt implements io.WriterAt.
+func (c *ctxProvider) WriteAt(b []byte, off int64) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.p.WriteAt(b, off)
 }

@@ -2,11 +2,13 @@ package transfer
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/dataspace"
 	"github.com/ngioproject/norns-go/internal/mercury"
@@ -105,7 +107,7 @@ func (f *fakeRemote) StatFile(node, ds, path string) (int64, error) {
 	return st.Size, nil
 }
 
-func newCtx(t *testing.T) (*Context, *fakeRemote) {
+func newCtx(t *testing.T) (*Env, *fakeRemote) {
 	t.Helper()
 	local := dataspace.NewRegistry()
 	for _, id := range []string{"nvme0://", "lustre://"} {
@@ -118,10 +120,10 @@ func newCtx(t *testing.T) (*Context, *fakeRemote) {
 		t.Fatal(err)
 	}
 	rem := &fakeRemote{nodes: map[string]*dataspace.Registry{"node2": remoteReg}}
-	return &Context{Spaces: local, Net: rem}, rem
+	return &Env{Spaces: local, Net: rem}, rem
 }
 
-func fsOf(t *testing.T, ctx *Context, ds string) storage.FS {
+func fsOf(t *testing.T, ctx *Env, ds string) storage.FS {
 	t.Helper()
 	d, err := ctx.Spaces.Get(ds)
 	if err != nil {
@@ -130,10 +132,10 @@ func fsOf(t *testing.T, ctx *Context, ds string) storage.FS {
 	return d.Backend.FS
 }
 
-func runTask(t *testing.T, ctx *Context, tk *task.Task) task.Stats {
+func runTask(t *testing.T, ctx *Env, tk *task.Task) task.Stats {
 	t.Helper()
 	ex := NewExecutor(ctx)
-	ex.Execute(tk)
+	ex.Execute(context.Background(), tk)
 	return tk.Stats()
 }
 
@@ -338,7 +340,7 @@ func TestExecutorRecordsETA(t *testing.T) {
 	ex := NewExecutor(ctx)
 	data := bytes.Repeat([]byte("e"), 1<<20)
 	tk := task.New(15, task.Copy, task.MemoryRegion(data), task.PosixPath("nvme0://", "eta.dat"))
-	ex.Execute(tk)
+	ex.Execute(context.Background(), tk)
 	if tk.Status() != task.Finished {
 		t.Fatalf("task = %+v", tk.Stats())
 	}
@@ -357,7 +359,7 @@ func TestCancelledTaskNotExecuted(t *testing.T) {
 	if err := tk.Cancel(); err != nil {
 		t.Fatal(err)
 	}
-	ex.Execute(tk)
+	ex.Execute(context.Background(), tk)
 	if tk.Status() != task.Cancelled {
 		t.Fatalf("status = %v", tk.Status())
 	}
@@ -423,5 +425,127 @@ func TestFSWriteProviderOrderEnforced(t *testing.T) {
 	got, err := fs.ReadFile("out")
 	if err != nil || string(got) != "abcdefgh" {
 		t.Fatalf("content = %q, %v", got, err)
+	}
+}
+
+// slowFS serves an endless, slowly-dripping file so a transfer is
+// reliably mid-flight when the test cancels it. Reads yield one chunk
+// per call with a small delay; the file never ends on its own.
+type slowFS struct {
+	storage.FS
+	size int64
+}
+
+func (s *slowFS) Stat(path string) (storage.FileInfo, error) {
+	return storage.FileInfo{Path: path, Size: s.size}, nil
+}
+
+func (s *slowFS) Open(path string) (io.ReadCloser, error) {
+	return &slowReader{}, nil
+}
+
+type slowReader struct{}
+
+func (r *slowReader) Read(p []byte) (int, error) {
+	time.Sleep(500 * time.Microsecond)
+	for i := range p {
+		p[i] = 'z'
+	}
+	return len(p), nil
+}
+
+func (r *slowReader) Close() error { return nil }
+
+// TestCancelRunningStopsAtChunkBoundary drives the real localToLocal
+// plugin against an endless source: without the cooperative ctx check
+// between chunks the copy would never return. Cancellation must land
+// within one chunk boundary and preserve partial progress.
+func TestCancelRunningStopsAtChunkBoundary(t *testing.T) {
+	env, _ := newCtx(t)
+	env.BufSize = 1 << 10
+	slow, err := env.Spaces.Get("lustre://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.Backend.FS = &slowFS{FS: slow.Backend.FS, size: 1 << 40}
+
+	ex := NewExecutor(env)
+	tk := task.New(20, task.Copy, task.PosixPath("lustre://", "endless"), task.PosixPath("nvme0://", "partial"))
+	done := make(chan struct{})
+	go func() {
+		ex.Execute(context.Background(), tk)
+		close(done)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for tk.Stats().MovedBytes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("transfer never started moving bytes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := tk.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled transfer did not stop")
+	}
+	st := tk.Stats()
+	if st.Status != task.Cancelled {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MovedBytes == 0 || st.MovedBytes >= st.TotalBytes {
+		t.Fatalf("partial progress not preserved: %+v", st)
+	}
+}
+
+// TestDeadlineExpiresRunningTask: a task whose deadline passes
+// mid-transfer fails with a deadline error instead of running forever.
+func TestDeadlineExpiresRunningTask(t *testing.T) {
+	env, _ := newCtx(t)
+	env.BufSize = 1 << 10
+	slow, err := env.Spaces.Get("lustre://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.Backend.FS = &slowFS{FS: slow.Backend.FS, size: 1 << 40}
+
+	ex := NewExecutor(env)
+	tk := task.New(21, task.Copy, task.PosixPath("lustre://", "endless"), task.PosixPath("nvme0://", "late"))
+	tk.Deadline = time.Now().Add(50 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		ex.Execute(context.Background(), tk)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline did not interrupt the transfer")
+	}
+	st := tk.Stats()
+	if st.Status != task.Failed || !strings.Contains(st.Err, "deadline") {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSizeProbeFailureRecorded: a failed up-front Stat must be recorded
+// in the stats rather than silently reported as TotalBytes == 0.
+func TestSizeProbeFailureRecorded(t *testing.T) {
+	env, _ := newCtx(t)
+	ex := NewExecutor(env)
+	tk := task.New(22, task.Copy, task.PosixPath("lustre://", "missing"), task.PosixPath("nvme0://", "never"))
+	ex.Execute(context.Background(), tk)
+	st := tk.Stats()
+	if st.Status != task.Failed {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SizeErr == "" {
+		t.Fatalf("size probe failure not recorded: %+v", st)
+	}
+	if st.TotalBytes != 0 {
+		t.Fatalf("TotalBytes = %d, want explicit 0 fallback", st.TotalBytes)
 	}
 }

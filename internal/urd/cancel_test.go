@@ -1,0 +1,388 @@
+package urd
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/norns"
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/queue"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transfer"
+)
+
+// policyFactories enumerates the built-in arbitration policies the
+// cancellation races run under.
+var policyFactories = map[string]func() queue.Policy{
+	"fcfs":       func() queue.Policy { return queue.NewFCFS() },
+	"sjf":        func() queue.Policy { return queue.NewSJF(nil) },
+	"priority":   func() queue.Policy { return queue.NewPriority() },
+	"fair-share": func() queue.Policy { return queue.NewFairShare() },
+}
+
+// cancelNode is a daemon with a gated mem->local plugin: every task
+// parks in the plugin until the gate closes (or its context fires), so
+// tests can pin tasks in the Running state deterministically.
+type cancelNode struct {
+	*testNode
+	gate    chan struct{}
+	started chan uint64
+}
+
+func startCancelNode(t *testing.T, pf func() queue.Policy, cfgEdit func(*Config)) *cancelNode {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := Config{
+		NodeName:      "node1",
+		UserSocket:    dir + "/user.sock",
+		ControlSocket: dir + "/ctl.sock",
+		Workers:       1,
+		PolicyFactory: pf,
+	}
+	if cfgEdit != nil {
+		cfgEdit(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	n := &cancelNode{
+		testNode: &testNode{d: d},
+		gate:     make(chan struct{}),
+		started:  make(chan uint64, 64),
+	}
+	d.Executor().Registry.Register(task.Copy, task.Memory, task.LocalPath,
+		func(ctx context.Context, env *transfer.Env, tk *task.Task, progress func(int64)) (int64, error) {
+			n.started <- tk.ID
+			select {
+			case <-n.gate:
+				nb := int64(len(tk.Input.Data))
+				progress(nb)
+				return nb, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		})
+	user, err := norns.Dial(cfg.UserSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { user.Close() })
+	ctl, err := nornsctl.Dial(cfg.ControlSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctl.Close() })
+	n.user, n.ctl = user, ctl
+	if err := ctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "tmp0://", Backend: nornsctl.BackendMemory}); err != nil {
+		t.Fatal(err)
+	}
+	setupJob(t, n.testNode, 1, 4242, "tmp0://")
+	user.SetPID(4242)
+	return n
+}
+
+func (n *cancelNode) submit(t *testing.T) *norns.IOTask {
+	t.Helper()
+	tk := norns.NewIOTask(norns.Copy, norns.MemoryRegion([]byte("cancel payload")), norns.PosixPath("tmp0://", "out"))
+	if err := n.user.Submit(&tk); err != nil {
+		t.Fatal(err)
+	}
+	return &tk
+}
+
+func (n *cancelNode) awaitRunning(t *testing.T, id uint64) {
+	t.Helper()
+	select {
+	case got := <-n.started:
+		if got != id {
+			t.Fatalf("worker started task %d, want %d", got, id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("task %d never started", id)
+	}
+}
+
+func pollStatus(t *testing.T, n *cancelNode, tk *norns.IOTask, want task.Status) norns.Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := n.user.Error(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task %d stuck at %v, want %v", tk.ID, st.Status, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelPendingFreesQueueSlot: a task submitted through the user
+// API and cancelled through the control API while still queued must
+// vanish from its shard's queue immediately — under every policy.
+func TestCancelPendingFreesQueueSlot(t *testing.T) {
+	for name, pf := range policyFactories {
+		t.Run(name, func(t *testing.T) {
+			n := startCancelNode(t, pf, nil)
+			running := n.submit(t) // occupies the shard's only worker
+			n.awaitRunning(t, running.ID)
+			pending := n.submit(t)
+			if got := n.d.PendingTasks(); got != 1 {
+				t.Fatalf("PendingTasks = %d, want 1", got)
+			}
+
+			st, err := n.ctl.Cancel(pending.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Status != task.Cancelled {
+				t.Fatalf("cancel stats = %+v", st)
+			}
+			if got := n.d.PendingTasks(); got != 0 {
+				t.Fatalf("queue slot not freed: PendingTasks = %d", got)
+			}
+			pollStatus(t, n, pending, task.Cancelled)
+
+			// Double-cancel of the now-terminal task rejects.
+			if _, err := n.ctl.Cancel(pending.ID); err == nil || !strings.Contains(err.Error(), "EBADREQUEST") {
+				t.Fatalf("double cancel: %v", err)
+			}
+
+			// The freed slot is usable: a later task still executes.
+			third := n.submit(t)
+			close(n.gate)
+			n.awaitRunning(t, third.ID)
+			pollStatus(t, n, running, task.Finished)
+			pollStatus(t, n, third, task.Finished)
+		})
+	}
+}
+
+// TestCancelRunningInterruptsCooperatively: cancelling a task that is
+// mid-transfer interrupts it at the next cancellation point and
+// preserves the Cancelled terminal state, observable via polling.
+func TestCancelRunningInterruptsCooperatively(t *testing.T) {
+	for name, pf := range policyFactories {
+		t.Run(name, func(t *testing.T) {
+			n := startCancelNode(t, pf, nil)
+			tk := n.submit(t)
+			n.awaitRunning(t, tk.ID)
+
+			st, err := n.ctl.Cancel(tk.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Status != task.Cancelling && st.Status != task.Cancelled {
+				t.Fatalf("cancel snapshot = %+v", st)
+			}
+			final := pollStatus(t, n, tk, task.Cancelled)
+			if final.Err != "" {
+				t.Fatalf("cancelled task carries error: %+v", final)
+			}
+
+			// Cancel of the terminal task now rejects; Wait returns too.
+			if _, err := n.ctl.Cancel(tk.ID); err == nil || !strings.Contains(err.Error(), "EBADREQUEST") {
+				t.Fatalf("cancel after terminal: %v", err)
+			}
+			if err := n.user.Wait(tk, 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+
+			m, err := n.ctl.TransferStats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Cancelled != 1 {
+				t.Fatalf("TransferStats.Cancelled = %d", m.Cancelled)
+			}
+		})
+	}
+}
+
+// TestCancelUnknownTaskRejected covers the remaining control-plane
+// corner: cancelling a task the daemon never saw.
+func TestCancelUnknownTaskRejected(t *testing.T) {
+	n := startCancelNode(t, nil, nil)
+	if _, err := n.ctl.Cancel(4242); err == nil || !strings.Contains(err.Error(), "ENOTFOUND") {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+	close(n.gate)
+}
+
+// TestCancelRequiresOwnership: user-socket cancellation is authorized —
+// a process from another job (or no job) cannot abort someone else's
+// task, while the owning process and the control socket can.
+func TestCancelRequiresOwnership(t *testing.T) {
+	n := startCancelNode(t, nil, nil)
+	tk := n.submit(t)
+	n.awaitRunning(t, tk.ID)
+
+	intruder, err := norns.Dial(n.d.cfg.UserSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer intruder.Close()
+	// Unregistered process: denied.
+	intruder.SetPID(6666)
+	if _, err := intruder.Cancel(tk); err == nil || !strings.Contains(err.Error(), "EPERMISSION") {
+		t.Fatalf("cancel by unregistered process: %v", err)
+	}
+	// Process registered to a different job: denied.
+	setupJob(t, n.testNode, 2, 7777, "tmp0://")
+	intruder.SetPID(7777)
+	if _, err := intruder.Cancel(tk); err == nil || !strings.Contains(err.Error(), "EPERMISSION") {
+		t.Fatalf("cancel by foreign job: %v", err)
+	}
+	if got := pollStatusOnce(t, n, tk); got != task.Running && got != task.Cancelling {
+		t.Fatalf("task state changed by denied cancels: %v", got)
+	}
+	// The owner cancels fine.
+	if _, err := n.user.Cancel(tk); err != nil {
+		t.Fatal(err)
+	}
+	pollStatus(t, n, tk, task.Cancelled)
+	close(n.gate)
+}
+
+func pollStatusOnce(t *testing.T, n *cancelNode, tk *norns.IOTask) task.Status {
+	t.Helper()
+	st, err := n.user.Error(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Status
+}
+
+// TestShardsIsolateDataspacePairs: a transfer stuck on one dataspace
+// pair must not head-of-line-block a transfer on another pair, because
+// each pair owns its own queue and workers.
+func TestShardsIsolateDataspacePairs(t *testing.T) {
+	n := startCancelNode(t, nil, nil)
+	if err := n.ctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "fast0://", Backend: nornsctl.BackendMemory}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the mem->tmp0:// shard's only worker.
+	stuck := n.submit(t)
+	n.awaitRunning(t, stuck.ID)
+
+	// An admin task on the mem->fast0:// route goes through the same
+	// gated plugin and parks too — what proves shard isolation is that
+	// it REACHES its own worker while tmp0://'s worker is stuck:
+	id, err := n.ctl.Submit(task.Copy, task.MemoryRegion([]byte("seed")), task.PosixPath("fast0://", "seed"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-n.started:
+		if got != id {
+			t.Fatalf("fast0 shard started task %d, want %d", got, id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast0:// transfer head-of-line-blocked behind tmp0://")
+	}
+
+	shards := n.d.Shards()
+	if len(shards) != 2 {
+		t.Fatalf("Shards = %v, want 2 lanes", shards)
+	}
+	close(n.gate)
+	pollStatus(t, n, stuck, task.Finished)
+	if st, err := n.ctl.Wait(id, 5*time.Second); err != nil || st.Status != task.Finished {
+		t.Fatalf("fast0 task: %+v, %v", st, err)
+	}
+}
+
+// TestBackpressureLimits: the global in-flight cap and the per-shard
+// queue bound both surface NORNS_EAGAIN instead of queueing unboundedly.
+func TestBackpressureLimits(t *testing.T) {
+	t.Run("global", func(t *testing.T) {
+		n := startCancelNode(t, nil, func(cfg *Config) { cfg.MaxInFlight = 2 })
+		running := n.submit(t)
+		n.awaitRunning(t, running.ID)
+		pending := n.submit(t)
+		tk := norns.NewIOTask(norns.Copy, norns.MemoryRegion([]byte("x")), norns.PosixPath("tmp0://", "over"))
+		if err := n.user.Submit(&tk); err == nil || !strings.Contains(err.Error(), "EAGAIN") {
+			t.Fatalf("submit over MaxInFlight: %v", err)
+		}
+		// Cancelling the queued task frees an in-flight slot.
+		if _, err := n.ctl.Cancel(pending.ID); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.user.Submit(&tk); err != nil {
+			t.Fatalf("submit after cancel freed a slot: %v", err)
+		}
+		close(n.gate)
+		pollStatus(t, n, &tk, task.Finished)
+	})
+	t.Run("shard-queue", func(t *testing.T) {
+		n := startCancelNode(t, nil, func(cfg *Config) { cfg.MaxShardQueue = 1 })
+		running := n.submit(t)
+		n.awaitRunning(t, running.ID)
+		n.submit(t) // fills the shard's single queue slot
+		tk := norns.NewIOTask(norns.Copy, norns.MemoryRegion([]byte("x")), norns.PosixPath("tmp0://", "over"))
+		if err := n.user.Submit(&tk); err == nil || !strings.Contains(err.Error(), "EAGAIN") {
+			t.Fatalf("submit over MaxShardQueue: %v", err)
+		}
+		close(n.gate)
+	})
+}
+
+// TestDeadlineThroughUserAPI: a submit-time deadline bounds execution
+// end to end — the parked transfer fails once it expires.
+func TestDeadlineThroughUserAPI(t *testing.T) {
+	n := startCancelNode(t, nil, nil)
+	tk := norns.NewIOTask(norns.Copy, norns.MemoryRegion([]byte("late")), norns.PosixPath("tmp0://", "late"))
+	tk.Deadline = 50 * time.Millisecond
+	if err := n.user.Submit(&tk); err != nil {
+		t.Fatal(err)
+	}
+	st := pollStatus(t, n, &tk, task.Failed)
+	if !strings.Contains(st.Err, "deadline") {
+		t.Fatalf("stats = %+v", st)
+	}
+	close(n.gate)
+}
+
+// TestDeadlineExpiresWhilePending: a deadline that passes while the
+// task waits behind a busy shard is enforced lazily at the status/wait
+// surface — the task fails and frees its queue slot without ever
+// reaching a worker.
+func TestDeadlineExpiresWhilePending(t *testing.T) {
+	n := startCancelNode(t, nil, nil)
+	blocker := n.submit(t) // pins the shard's only worker
+	n.awaitRunning(t, blocker.ID)
+
+	tk := norns.NewIOTask(norns.Copy, norns.MemoryRegion([]byte("stale")), norns.PosixPath("tmp0://", "stale"))
+	tk.Deadline = 30 * time.Millisecond
+	if err := n.user.Submit(&tk); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.d.PendingTasks(); got != 1 {
+		t.Fatalf("PendingTasks = %d, want 1", got)
+	}
+	// Wait must not stay blocked past the deadline even though the
+	// worker never picks the task up.
+	if err := n.user.Wait(&tk, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.user.Error(&tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != task.Failed || !strings.Contains(st.Err, "deadline") {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := n.d.PendingTasks(); got != 0 {
+		t.Fatalf("expired task still queued: PendingTasks = %d", got)
+	}
+	close(n.gate)
+	pollStatus(t, n, blocker, task.Finished)
+}

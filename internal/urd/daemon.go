@@ -1,6 +1,7 @@
 package urd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -16,7 +17,7 @@ import (
 )
 
 // Version is reported by OpStatus.
-const Version = "urd/1.0 (norns-go)"
+const Version = "urd/2.0 (norns-go)"
 
 // Config parameterizes a daemon instance.
 type Config struct {
@@ -27,11 +28,28 @@ type Config struct {
 	// the daemon in-process).
 	UserSocket    string
 	ControlSocket string
-	// Workers sizes the transfer worker pool (<=0 selects 4, matching
-	// the prototype's default).
+	// Workers sizes each shard's worker pool (<=0 selects 4, matching
+	// the prototype's default). Shards are created per dataspace pair,
+	// so total worker concurrency scales with the number of distinct
+	// transfer routes in flight.
 	Workers int
-	// Policy arbitrates the task queue (nil selects FCFS).
+	// Policy arbitrates each shard's task queue (nil selects FCFS). The
+	// built-in policies are recognized by name and re-instantiated per
+	// shard; an unrecognized custom policy serves the first shard only,
+	// with later shards falling back to FCFS — supply PolicyFactory for
+	// custom policies.
 	Policy queue.Policy
+	// PolicyFactory, when set, builds one queue policy per shard and
+	// takes precedence over Policy. It is invoked under the daemon lock
+	// (plus once during New to learn its name), so it must not block.
+	PolicyFactory func() queue.Policy
+	// MaxShardQueue bounds each shard's pending queue (<=0: unbounded);
+	// submissions beyond it fail with NORNS_EAGAIN.
+	MaxShardQueue int
+	// MaxInFlight is the global backpressure limit on tasks that are
+	// queued or running across all shards (<=0: unbounded); submissions
+	// beyond it fail with NORNS_EAGAIN.
+	MaxInFlight int
 	// Fabric selects the mercury NA plugin for node-to-node transfers
 	// ("" disables the network manager).
 	Fabric string
@@ -40,60 +58,123 @@ type Config struct {
 	// Resolver maps node names to fabric addresses (required with
 	// Fabric).
 	Resolver NodeResolver
-	// BufSize is the local copy buffer size (<=0: 1 MiB).
+	// BufSize is the copy chunk size (<=0: 1 MiB). Cancellation is
+	// observed between chunks, so it also bounds cancel latency.
 	BufSize int
+}
+
+// shard is one lane of the dispatcher: all tasks moving data between
+// the same (input, output) dataspace pair share a queue and worker set,
+// so independent routes never head-of-line-block each other.
+type shard struct {
+	key string
+	q   *queue.Queue
 }
 
 // Daemon is one urd instance.
 type Daemon struct {
 	cfg        Config
 	Controller *dataspace.Controller
-	queue      *queue.Queue
 	executor   *transfer.Executor
 	net        *NetManager
+	newPolicy  func() queue.Policy
+	policyName string
+	workers    int
 
 	userSrv *transport.Server
 	ctlSrv  *transport.Server
 
-	mu     sync.Mutex
-	tasks  map[uint64]*task.Task
-	nextID uint64
-	closed bool
+	// ctx is the root context every worker executes under. Close drains
+	// gracefully — in-flight and queued tasks run to completion — and
+	// cancels ctx only after the workers exit, as a final release for
+	// any bridging goroutines; it is not an abort path. Use Cancel (or
+	// task deadlines) to bound individual transfers.
+	ctx  context.Context
+	stop context.CancelFunc
+
+	mu       sync.Mutex
+	shards   map[string]*shard
+	tasks    map[uint64]*task.Task
+	inFlight int // tasks queued or running, for global backpressure
+	nextID   uint64
+	closed   bool
 
 	wg sync.WaitGroup
 }
 
-// New builds and starts a daemon: workers are spawned, sockets (if
-// configured) listen, and the fabric (if configured) is live.
+// policyFactory resolves the per-shard policy constructor from cfg.
+func policyFactory(cfg Config) func() queue.Policy {
+	if cfg.PolicyFactory != nil {
+		return cfg.PolicyFactory
+	}
+	if cfg.Policy == nil {
+		return func() queue.Policy { return queue.NewFCFS() }
+	}
+	name := cfg.Policy.Name()
+	used := false // guarded by the daemon lock (factory runs under it)
+	return func() queue.Policy {
+		switch name {
+		case "fcfs":
+			return queue.NewFCFS()
+		case "sjf":
+			return queue.NewSJF(nil)
+		case "priority":
+			return queue.NewPriority()
+		case "fair-share":
+			return queue.NewFairShare()
+		}
+		// Policies are stateful and not shareable across shard queues:
+		// the provided instance serves the first shard only.
+		if !used {
+			used = true
+			return cfg.Policy
+		}
+		return queue.NewFCFS()
+	}
+}
+
+// New builds and starts a daemon: sockets (if configured) listen and the
+// fabric (if configured) is live. Shards — and their workers — are
+// created lazily as the first task for each dataspace pair arrives.
 func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:        cfg,
 		Controller: dataspace.NewController(),
-		queue:      queue.New(cfg.Policy),
+		newPolicy:  policyFactory(cfg),
+		shards:     make(map[string]*shard),
 		tasks:      make(map[uint64]*task.Task),
 	}
-	ctx := &transfer.Context{Spaces: d.Controller.Spaces, BufSize: cfg.BufSize}
+	d.ctx, d.stop = context.WithCancel(context.Background())
+	d.workers = cfg.Workers
+	if d.workers <= 0 {
+		d.workers = 4
+	}
+	// Name resolution mirrors policyFactory's precedence: PolicyFactory
+	// wins over Policy. The probe instance is safe here — the daemon has
+	// no concurrency yet — and is discarded.
+	switch {
+	case cfg.PolicyFactory != nil:
+		d.policyName = cfg.PolicyFactory().Name()
+	case cfg.Policy != nil:
+		d.policyName = cfg.Policy.Name()
+	default:
+		d.policyName = "fcfs"
+	}
+	env := &transfer.Env{Spaces: d.Controller.Spaces, BufSize: cfg.BufSize}
 	if cfg.Fabric != "" {
 		if cfg.Resolver == nil {
+			d.stop()
 			return nil, errors.New("urd: fabric configured without a node resolver")
 		}
 		nm, err := NewNetManager(cfg.Fabric, cfg.FabricAddr, d.Controller.Spaces, cfg.Resolver)
 		if err != nil {
+			d.stop()
 			return nil, err
 		}
 		d.net = nm
-		ctx.Net = nm
+		env.Net = nm
 	}
-	d.executor = transfer.NewExecutor(ctx)
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	for i := 0; i < workers; i++ {
-		d.wg.Add(1)
-		go d.worker()
-	}
+	d.executor = transfer.NewExecutor(env)
 
 	if cfg.UserSocket != "" {
 		d.userSrv = transport.NewServer(d.Handle, false)
@@ -127,19 +208,99 @@ func (d *Daemon) FabricAddr() string {
 // E.T.A. estimates).
 func (d *Daemon) Executor() *transfer.Executor { return d.executor }
 
-// worker drains the task queue, mirroring the urd worker threads.
-func (d *Daemon) worker() {
-	defer d.wg.Done()
-	for {
-		t := d.queue.Next()
-		if t == nil {
-			return
-		}
-		d.executor.Execute(t)
+// shardKey routes a task to its dispatcher lane by dataspace pair.
+func shardKey(t *task.Task) string {
+	return resourceKey(t.Input) + "->" + resourceKey(t.Output)
+}
+
+func resourceKey(r task.Resource) string {
+	switch r.Kind {
+	case task.Memory:
+		return "mem"
+	case task.LocalPath:
+		return r.Dataspace
+	case task.RemotePath:
+		return r.Node + "@" + r.Dataspace
+	default:
+		return "-"
 	}
 }
 
-// Close drains listeners, workers and the fabric.
+// shardLocked returns (creating if needed) the shard for key. The
+// caller holds d.mu and has verified the daemon is not closed.
+func (d *Daemon) shardLocked(key string) *shard {
+	if sh, ok := d.shards[key]; ok {
+		return sh
+	}
+	sh := &shard{key: key, q: queue.NewBounded(d.newPolicy(), d.cfg.MaxShardQueue)}
+	d.shards[key] = sh
+	for i := 0; i < d.workers; i++ {
+		d.wg.Add(1)
+		go d.worker(sh)
+	}
+	return sh
+}
+
+// worker drains one shard's queue, mirroring the urd worker threads.
+func (d *Daemon) worker(sh *shard) {
+	defer d.wg.Done()
+	for {
+		t := sh.q.Next()
+		if t == nil {
+			return
+		}
+		d.executor.Execute(d.ctx, t)
+		d.taskDone()
+	}
+}
+
+// taskDone releases a task's in-flight slot once it can no longer run
+// (executed to a terminal state, or removed from its queue).
+func (d *Daemon) taskDone() {
+	d.mu.Lock()
+	d.inFlight--
+	d.mu.Unlock()
+}
+
+// shardOf returns the shard a task routes to, or nil before any task
+// for that route has been submitted.
+func (d *Daemon) shardOf(t *task.Task) *shard {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.shards[shardKey(t)]
+}
+
+// dequeue removes a task from its shard queue if it is still pending
+// there, releasing its in-flight slot. A racing worker that already
+// popped the task releases the slot itself after Execute, so exactly
+// one side accounts for it.
+func (d *Daemon) dequeue(t *task.Task) {
+	if sh := d.shardOf(t); sh != nil {
+		if removed := sh.q.Remove(t.ID); removed != nil {
+			d.taskDone()
+		}
+	}
+}
+
+// expireIfPast fails a still-pending task whose deadline has passed and
+// frees its queue slot — the lazy enforcement point for deadlines that
+// expire while the task waits behind a busy shard. Running tasks are
+// handled by the executor's own deadline context.
+func (d *Daemon) expireIfPast(t *task.Task) {
+	if t.Deadline.IsZero() || time.Now().Before(t.Deadline) {
+		return
+	}
+	if t.Status() != task.Pending {
+		return
+	}
+	if err := t.Fail("deadline exceeded before start"); err == nil {
+		d.dequeue(t)
+	}
+}
+
+// Close drains listeners, shards, workers and the fabric. In-flight
+// transfers complete (or observe their own cancellation); queued tasks
+// still execute, as before the shutdown — only new submissions fail.
 func (d *Daemon) Close() {
 	d.mu.Lock()
 	if d.closed {
@@ -147,6 +308,10 @@ func (d *Daemon) Close() {
 		return
 	}
 	d.closed = true
+	shards := make([]*shard, 0, len(d.shards))
+	for _, sh := range d.shards {
+		shards = append(shards, sh)
+	}
 	d.mu.Unlock()
 	if d.userSrv != nil {
 		d.userSrv.Close()
@@ -154,8 +319,11 @@ func (d *Daemon) Close() {
 	if d.ctlSrv != nil {
 		d.ctlSrv.Close()
 	}
-	d.queue.Close()
+	for _, sh := range shards {
+		sh.q.Close()
+	}
 	d.wg.Wait()
+	d.stop()
 	if d.net != nil {
 		d.net.Close()
 	}
@@ -176,6 +344,9 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 	t := task.New(id, kind, in, out)
 	t.Priority = int(spec.Priority)
 	t.JobID = spec.JobID
+	if spec.DeadlineMS > 0 {
+		t.Deadline = time.Now().Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	}
 	if err := t.Validate(); err != nil {
 		return 0, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
@@ -200,15 +371,50 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 	}
 
 	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, queue.ErrClosed
+	}
+	if d.cfg.MaxInFlight > 0 && d.inFlight >= d.cfg.MaxInFlight {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d tasks in flight", errBusy, d.cfg.MaxInFlight)
+	}
+	sh := d.shardLocked(shardKey(t))
 	d.tasks[id] = t
+	d.inFlight++
 	d.mu.Unlock()
-	if err := d.queue.Submit(t); err != nil {
+	if err := sh.q.Submit(t); err != nil {
 		d.mu.Lock()
 		delete(d.tasks, id)
+		d.inFlight--
 		d.mu.Unlock()
+		if errors.Is(err, queue.ErrFull) {
+			return 0, fmt.Errorf("%w: shard %s at capacity", errBusy, sh.key)
+		}
 		return 0, err
 	}
 	return id, nil
+}
+
+// Cancel aborts a task, mirroring norns_cancel: a pending task is
+// removed from its shard queue and terminates immediately; a running
+// task is interrupted cooperatively at its next chunk boundary; a
+// terminal task rejects. The returned stats are a snapshot taken right
+// after the request (a running task may still be Cancelling in it).
+func (d *Daemon) Cancel(id uint64) (task.Stats, error) {
+	d.mu.Lock()
+	t, ok := d.tasks[id]
+	d.mu.Unlock()
+	if !ok {
+		return task.Stats{}, fmt.Errorf("%w: task %d", errNotFound, id)
+	}
+	if err := t.Cancel(); err != nil {
+		return t.Stats(), fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	// Free the queue slot if the task was still pending; a racing worker
+	// that already popped it sees Start fail and releases the slot.
+	d.dequeue(t)
+	return t.Stats(), nil
 }
 
 // Task returns a registered task.
@@ -222,8 +428,32 @@ func (d *Daemon) Task(id uint64) (*task.Task, error) {
 	return t, nil
 }
 
-// PendingTasks returns the queue depth.
-func (d *Daemon) PendingTasks() int { return d.queue.Len() }
+// PendingTasks returns the queue depth across all shards.
+func (d *Daemon) PendingTasks() int {
+	d.mu.Lock()
+	shards := make([]*shard, 0, len(d.shards))
+	for _, sh := range d.shards {
+		shards = append(shards, sh)
+	}
+	d.mu.Unlock()
+	n := 0
+	for _, sh := range shards {
+		n += sh.q.Len()
+	}
+	return n
+}
+
+// Shards returns the active dispatcher lanes and their queue depths,
+// sorted by key (diagnostics and tests).
+func (d *Daemon) Shards() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.shards))
+	for key, sh := range d.shards {
+		out[key] = sh.q.Len()
+	}
+	return out
+}
 
 // sentinel errors mapped to protocol status codes.
 var (
@@ -231,13 +461,14 @@ var (
 	errNotFound   = errors.New("not found")
 	errExists     = errors.New("already exists")
 	errDenied     = errors.New("permission denied")
+	errBusy       = errors.New("resource busy")
 )
 
 func statusOf(err error) proto.StatusCode {
 	switch {
 	case err == nil:
 		return proto.Success
-	case errors.Is(err, errBadRequest):
+	case errors.Is(err, errBadRequest), errors.Is(err, task.ErrBadTransition):
 		return proto.EBadRequest
 	case errors.Is(err, errNotFound), errors.Is(err, dataspace.ErrNotFound),
 		errors.Is(err, dataspace.ErrJobNotFound), errors.Is(err, dataspace.ErrProcNotFound):
@@ -247,6 +478,8 @@ func statusOf(err error) proto.StatusCode {
 		return proto.EExists
 	case errors.Is(err, errDenied), errors.Is(err, dataspace.ErrDenied):
 		return proto.EPermission
+	case errors.Is(err, errBusy), errors.Is(err, queue.ErrFull):
+		return proto.EAgain
 	case errors.Is(err, dataspace.ErrBadID), errors.Is(err, dataspace.ErrNilFS):
 		return proto.EBadRequest
 	default:
@@ -279,6 +512,8 @@ func (d *Daemon) Handle(peer transport.PeerInfo, req *proto.Request) *proto.Resp
 		return d.handleWait(req)
 	case proto.OpTaskStatus:
 		return d.handleTaskStatus(req)
+	case proto.OpCancel:
+		return d.handleCancel(peer, req)
 	case proto.OpGetDataspaceInfo:
 		return d.handleDataspaceInfo()
 	case proto.OpRegisterDataspace:
@@ -312,9 +547,10 @@ func (d *Daemon) Handle(peer transport.PeerInfo, req *proto.Request) *proto.Resp
 func (d *Daemon) handleStatus() *proto.Response {
 	d.mu.Lock()
 	nTasks := len(d.tasks)
+	nShards := len(d.shards)
 	d.mu.Unlock()
-	info := fmt.Sprintf("%s node=%s policy=%s pending=%d tasks=%d",
-		Version, d.cfg.NodeName, d.queue.PolicyName(), d.queue.Len(), nTasks)
+	info := fmt.Sprintf("%s node=%s policy=%s shards=%d pending=%d tasks=%d",
+		Version, d.cfg.NodeName, d.policyName, nShards, d.PendingTasks(), nTasks)
 	return &proto.Response{Status: proto.Success, DaemonInfo: info}
 }
 
@@ -325,19 +561,22 @@ func (d *Daemon) handleTransferStats() *proto.Response {
 	m := &proto.TransferMetrics{
 		BandwidthBps: d.executor.ETA.Bandwidth(),
 		Samples:      uint64(d.executor.ETA.Samples()),
-		Pending:      uint64(d.queue.Len()),
+		Pending:      uint64(d.PendingTasks()),
 	}
 	d.mu.Lock()
 	for _, t := range d.tasks {
 		st := t.Stats()
 		switch st.Status {
-		case task.Running:
+		case task.Running, task.Cancelling:
 			m.Running++
 		case task.Finished:
 			m.Finished++
 			m.MovedBytes += st.MovedBytes
 		case task.Failed:
 			m.Failed++
+			m.MovedBytes += st.MovedBytes
+		case task.Cancelled:
+			m.Cancelled++
 			m.MovedBytes += st.MovedBytes
 		}
 	}
@@ -362,6 +601,22 @@ func (d *Daemon) handleWait(req *proto.Request) *proto.Response {
 		return errResp(err)
 	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	// A deadlined task must not keep its waiters blocked past the
+	// deadline while it sits behind a busy shard: wait only until the
+	// deadline, expire it if it is still pending, then resume waiting
+	// for whatever terminal state results.
+	if !t.Deadline.IsZero() && t.Status() == task.Pending {
+		until := time.Until(t.Deadline)
+		if until > 0 && (timeout <= 0 || until < timeout) {
+			if !t.Wait(until) && timeout > 0 {
+				timeout -= until
+				if timeout <= 0 {
+					return &proto.Response{Status: proto.ETimeout, TaskID: t.ID}
+				}
+			}
+		}
+		d.expireIfPast(t)
+	}
 	if !t.Wait(timeout) {
 		return &proto.Response{Status: proto.ETimeout, TaskID: t.ID}
 	}
@@ -374,12 +629,38 @@ func (d *Daemon) handleTaskStatus(req *proto.Request) *proto.Response {
 	if err != nil {
 		return errResp(err)
 	}
+	d.expireIfPast(t)
 	st := proto.FromStats(t.Stats())
 	code := proto.Success
 	if task.Status(st.Status) == task.Failed {
 		code = proto.ETaskError
 	}
 	return &proto.Response{Status: code, TaskID: t.ID, Stats: &st}
+}
+
+func (d *Daemon) handleCancel(peer transport.PeerInfo, req *proto.Request) *proto.Response {
+	// Cancellation is destructive, so unlike Wait/TaskStatus it is
+	// authorized: user-socket callers may only cancel tasks belonging to
+	// their own job. Control-socket callers cancel anything.
+	if !peer.Control {
+		t, err := d.Task(req.TaskID)
+		if err != nil {
+			return errResp(err)
+		}
+		jid, err := d.Controller.Authorize(req.PID)
+		if err != nil {
+			return errResp(fmt.Errorf("%w: %v", errDenied, err))
+		}
+		if jid != t.JobID {
+			return errResp(fmt.Errorf("%w: task %d belongs to another job", errDenied, req.TaskID))
+		}
+	}
+	stats, err := d.Cancel(req.TaskID)
+	if err != nil {
+		return errResp(err)
+	}
+	st := proto.FromStats(stats)
+	return &proto.Response{Status: proto.Success, TaskID: req.TaskID, Stats: &st}
 }
 
 func (d *Daemon) handleDataspaceInfo() *proto.Response {

@@ -67,7 +67,7 @@ func TestPingAndStatus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(status, "urd/1.0") || !strings.Contains(status, "node1") {
+	if !strings.Contains(status, "urd/2.0") || !strings.Contains(status, "node1") {
 		t.Fatalf("status = %q", status)
 	}
 }
