@@ -57,11 +57,23 @@ func main() {
 		}
 		fmt.Println("pong")
 	case "status":
-		s, err := c.Status()
+		// One round trip serves both the text line and the structured
+		// report; older daemons without the latter fall back to Status.
+		st, err := c.StatusInfo()
 		if err != nil {
-			log.Fatal(err)
+			s, ferr := c.Status()
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			fmt.Println(s)
+			break
 		}
-		fmt.Println(s)
+		fmt.Println(st.Info)
+		if st.Journal {
+			fmt.Printf("journal: enabled; recovered requeued=%d (pending=%d running=%d) cancelled=%d terminal=%d\n",
+				st.RecoveredPending+st.RecoveredRunning, st.RecoveredPending, st.RecoveredRunning,
+				st.RecoveredCancelled, st.RecoveredTerminal)
+		}
 	case "shutdown":
 		if err := c.Shutdown(); err != nil {
 			log.Fatal(err)

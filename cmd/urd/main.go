@@ -6,7 +6,8 @@
 // Usage:
 //
 //	urd -node node001 -user /tmp/norns.sock -control /tmp/nornsctl.sock \
-//	    -workers 4 -policy fcfs -fabric ofi+tcp -fabric-addr 0.0.0.0:4710
+//	    -workers 4 -policy fcfs -state-dir /var/lib/urd \
+//	    -fabric ofi+tcp -fabric-addr 0.0.0.0:4710
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"syscall"
 
+	"github.com/ngioproject/norns-go/internal/journal"
 	"github.com/ngioproject/norns-go/internal/queue"
 	"github.com/ngioproject/norns-go/internal/urd"
 )
@@ -31,6 +33,8 @@ func main() {
 		policy     = flag.String("policy", "fcfs", "task queue policy: fcfs|sjf|priority|fair-share")
 		shardQueue = flag.Int("shard-queue", 0, "max pending tasks per shard (0 = unbounded)")
 		maxTasks   = flag.Int("max-in-flight", 0, "global cap on queued+running tasks (0 = unbounded)")
+		stateDir   = flag.String("state-dir", "", "directory for the durable task journal; on restart, pending and running tasks are re-queued from it (empty = in-memory only)")
+		stateSync  = flag.Bool("state-sync", false, "fsync the journal after every record (durability over submit latency)")
 		fabric     = flag.String("fabric", "", "mercury NA plugin for node-to-node transfers (e.g. ofi+tcp); empty disables")
 		fabricAddr = flag.String("fabric-addr", "", "fabric listen address")
 		peers      = flag.String("peers", "", "comma-separated node=addr fabric peers")
@@ -52,13 +56,15 @@ func main() {
 	}
 
 	cfg := urd.Config{
-		NodeName:      *node,
-		UserSocket:    *userSock,
-		ControlSocket: *ctlSock,
-		Workers:       *workers,
-		PolicyFactory: factory,
-		MaxShardQueue: *shardQueue,
-		MaxInFlight:   *maxTasks,
+		NodeName:       *node,
+		UserSocket:     *userSock,
+		ControlSocket:  *ctlSock,
+		Workers:        *workers,
+		PolicyFactory:  factory,
+		MaxShardQueue:  *shardQueue,
+		MaxInFlight:    *maxTasks,
+		StateDir:       *stateDir,
+		JournalOptions: journal.Options{Sync: *stateSync},
 	}
 	if *fabric != "" {
 		resolver := urd.NewStaticResolver()
@@ -89,13 +95,23 @@ func main() {
 	if addr := d.FabricAddr(); addr != "" {
 		fmt.Printf(" fabric=%s", addr)
 	}
+	if *stateDir != "" {
+		rec := d.Recovered()
+		fmt.Printf(" journal=%s recovered=%d", *stateDir, rec.Requeued())
+	}
 	fmt.Println()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
-	d.Close()
+	select {
+	case <-sig:
+		fmt.Println("shutting down")
+		d.Close()
+	case <-d.Done():
+		// `nornsctl shutdown` closed the daemon over the control API;
+		// without this arm the process would linger on the signal wait.
+		fmt.Println("shut down via control API")
+	}
 }
 
 func hostnameOr(fallback string) string {

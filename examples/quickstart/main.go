@@ -1,7 +1,8 @@
 // Quickstart: start a urd daemon in-process, register a dataspace and a
 // job through the nornsctl (control) API, then submit, wait on, check,
 // and cancel asynchronous I/O tasks through the norns (user) API — the
-// complete life cycle of Section IV.
+// complete life cycle of Section IV — and finally restart the daemon to
+// show the durable task journal (urd -state-dir) replaying its state.
 package main
 
 import (
@@ -24,12 +25,16 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	// 1. Start the urd daemon, as slurmd would on node boot.
+	// 1. Start the urd daemon, as slurmd would on node boot. StateDir
+	//    enables the write-ahead task journal: submissions and state
+	//    transitions are durable, so a daemon restart does not lose the
+	//    staging work a batch job is counting on.
 	daemon, err := urd.New(urd.Config{
 		NodeName:      "node001",
 		UserSocket:    filepath.Join(dir, "norns.sock"),
 		ControlSocket: filepath.Join(dir, "nornsctl.sock"),
 		Workers:       4,
+		StateDir:      filepath.Join(dir, "state"),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -133,4 +138,43 @@ func main() {
 	}
 	fmt.Printf("task %d ended as %s after %d/%d bytes\n",
 		doomed.ID, stats.Status, stats.MovedBytes, stats.TotalBytes)
+
+	// 5. Durability: restart the daemon on the same state directory and
+	//    watch the journal replay. Dataspaces come back without
+	//    re-registration, finished tasks keep answering status queries
+	//    (they are never re-run), and — after a crash — anything still
+	//    pending or running is re-queued and driven to completion.
+	app.Close()
+	ctl.Close()
+	daemon.Close() // graceful here; a SIGKILL would recover the same way
+	daemon2, err := urd.New(urd.Config{
+		NodeName:      "node001",
+		ControlSocket: filepath.Join(dir, "nornsctl2.sock"),
+		Workers:       4,
+		StateDir:      filepath.Join(dir, "state"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer daemon2.Close()
+	rec := daemon2.Recovered()
+	fmt.Printf("daemon restarted: %d terminal task(s) resurrected, %d re-queued\n",
+		rec.Terminal, rec.Requeued())
+
+	ctl2, err := nornsctl.Dial(filepath.Join(dir, "nornsctl2.sock"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl2.Close()
+	recovered, err := ctl2.TaskStatus(tk.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task %d after restart: %s (%d/%d bytes) — served from the journal\n",
+		tk.ID, recovered.Status, recovered.MovedBytes, recovered.TotalBytes)
+	info, err := ctl2.StatusInfo()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status: journal=%v tasks=%d policy=%s\n", info.Journal, info.Tasks, info.Policy)
 }

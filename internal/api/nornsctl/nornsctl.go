@@ -133,6 +133,56 @@ func (c *Client) Status() (string, error) {
 	return resp.DaemonInfo, nil
 }
 
+// DaemonStatus is the structured nornsctl_status report, including what
+// the daemon's last journal replay recovered (all-zero when the daemon
+// runs without a state directory).
+type DaemonStatus struct {
+	// Info is the daemon's human-readable status line (what Status
+	// returns), carried along so one round trip serves both forms.
+	Info    string
+	Version string
+	Node    string
+	Policy  string
+	Shards  uint64
+	Pending uint64
+	Tasks   uint64
+	// Journal reports whether the daemon persists a durable task journal.
+	Journal bool
+	// RecoveredPending/RecoveredRunning tasks were re-queued by the last
+	// restart; RecoveredCancelled were mid-cancellation and confirmed;
+	// RecoveredTerminal were resurrected for status queries only.
+	RecoveredPending   uint64
+	RecoveredRunning   uint64
+	RecoveredCancelled uint64
+	RecoveredTerminal  uint64
+}
+
+// StatusInfo returns the daemon's structured status report.
+func (c *Client) StatusInfo() (DaemonStatus, error) {
+	resp, err := c.conn.Call(&proto.Request{Op: proto.OpStatus, PID: c.pid})
+	if err != nil {
+		return DaemonStatus{}, err
+	}
+	if resp.Status != proto.Success || resp.StatusInfo == nil {
+		return DaemonStatus{}, apiError(resp)
+	}
+	s := resp.StatusInfo
+	return DaemonStatus{
+		Info:               resp.DaemonInfo,
+		Version:            s.Version,
+		Node:               s.Node,
+		Policy:             s.Policy,
+		Shards:             s.Shards,
+		Pending:            s.Pending,
+		Tasks:              s.Tasks,
+		Journal:            s.Journal,
+		RecoveredPending:   s.RecoveredPending,
+		RecoveredRunning:   s.RecoveredRunning,
+		RecoveredCancelled: s.RecoveredCancelled,
+		RecoveredTerminal:  s.RecoveredTerminal,
+	}, nil
+}
+
 // Shutdown asks the daemon to exit.
 func (c *Client) Shutdown() error {
 	return c.simple(&proto.Request{Op: proto.OpShutdown})

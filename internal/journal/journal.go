@@ -1,0 +1,593 @@
+// Package journal implements the urd daemon's durable task journal: an
+// append-only write-ahead log of task submissions and state transitions,
+// periodically compacted into a snapshot so the log stays bounded.
+//
+// The paper's premise is that asynchronous staging decouples data
+// movement from job lifetime — which only holds if the staging work
+// survives the daemon itself. The journal records enough to rebuild the
+// task table after a crash: replaying it re-queues tasks that were
+// pending or running when the daemon died (re-running a copy is
+// idempotent, the paper-consistent recovery model) and never resurrects
+// tasks that already reached a terminal state.
+//
+// On-disk layout (inside the state directory):
+//
+//	wal       — append-only stream of length-prefixed wire records
+//	snapshot  — compacted state, written atomically via rename
+//
+// Both files reuse the internal/wire framing (uvarint length prefix +
+// tagged-field payload), so the format is forward-compatible: unknown
+// record kinds and fields are skipped. A partial final WAL record from
+// an interrupted write is detected and discarded on open.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+// Record kinds. Values are on-disk stable; add new kinds, never renumber.
+const (
+	recSubmit    = 1 // a task submission (spec; snapshot records carry state too)
+	recState     = 2 // a task state transition
+	recDataspace = 3 // a dataspace registration, update, or removal
+	recHeader    = 4 // snapshot header (ID high-water mark)
+)
+
+// record is the single on-disk message. One struct with optional fields
+// keeps the decoder trivial and the format evolvable.
+type record struct {
+	Kind    uint32
+	TaskID  uint64
+	Spec    *task.Spec
+	Status  uint32
+	Err     string
+	DS      *proto.DataspaceSpec
+	DSDel   bool
+	NextID  uint64
+	DSDelID string
+	Total   int64
+	Moved   int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (r *record) MarshalWire(e *wire.Encoder) {
+	e.Uint32(1, r.Kind)
+	if r.TaskID != 0 {
+		e.Uint64(2, r.TaskID)
+	}
+	if r.Spec != nil {
+		e.Message(3, r.Spec)
+	}
+	if r.Status != 0 {
+		e.Uint32(4, r.Status)
+	}
+	if r.Err != "" {
+		e.String(5, r.Err)
+	}
+	if r.DS != nil {
+		e.Message(6, r.DS)
+	}
+	if r.DSDel {
+		e.Bool(7, r.DSDel)
+	}
+	if r.NextID != 0 {
+		e.Uint64(8, r.NextID)
+	}
+	if r.DSDelID != "" {
+		e.String(9, r.DSDelID)
+	}
+	if r.Total != 0 {
+		e.Int64(10, r.Total)
+	}
+	if r.Moved != 0 {
+		e.Int64(11, r.Moved)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *record) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Kind = d.Uint32()
+		case 2:
+			r.TaskID = d.Uint64()
+		case 3:
+			r.Spec = new(task.Spec)
+			d.Message(r.Spec)
+		case 4:
+			r.Status = d.Uint32()
+		case 5:
+			r.Err = d.String()
+		case 6:
+			r.DS = new(proto.DataspaceSpec)
+			d.Message(r.DS)
+		case 7:
+			r.DSDel = d.Bool()
+		case 8:
+			r.NextID = d.Uint64()
+		case 9:
+			r.DSDelID = d.String()
+		case 10:
+			r.Total = d.Int64()
+		case 11:
+			r.Moved = d.Int64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// TaskRecord is one task's journaled state: its durable spec plus the
+// last recorded life-cycle transition (with final byte counters for
+// terminal records, so a resurrected task reports real progress).
+type TaskRecord struct {
+	ID         uint64
+	Spec       task.Spec
+	Status     task.Status
+	Err        string
+	TotalBytes int64
+	MovedBytes int64
+}
+
+// Options tunes a journal. The zero value selects the defaults.
+type Options struct {
+	// CompactEvery is the number of WAL records appended before an
+	// automatic compaction (<=0 selects 4096).
+	CompactEvery int
+	// RetainTerminal is how many of the most recent terminal tasks a
+	// snapshot keeps, so completed-task IDs keep answering status
+	// queries across a restart before being garbage-collected
+	// (<=0 selects 1024; older terminal tasks are dropped at compaction).
+	RetainTerminal int
+	// Sync fsyncs the WAL after every record. Off by default: the urd
+	// recovery model tolerates losing the last few transitions (a
+	// re-run copy is idempotent), so per-record fsync latency is not
+	// worth paying on the submit path.
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 4096
+	}
+	if o.RetainTerminal <= 0 {
+		o.RetainTerminal = 1024
+	}
+	return o
+}
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("journal: closed")
+
+// Journal is a durable task journal. All methods are safe for
+// concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	f    *os.File
+	w    *wire.FrameWriter
+	lock *os.File
+
+	tasks      map[uint64]*TaskRecord
+	dataspaces map[string]proto.DataspaceSpec
+	nextID     uint64
+	walRecords int
+	frozen     bool
+	closed     bool
+}
+
+// walPath and snapPath locate the journal's two files.
+func walPath(dir string) string  { return filepath.Join(dir, "wal") }
+func snapPath(dir string) string { return filepath.Join(dir, "snapshot") }
+
+// Open loads (creating if needed) the journal in dir: the snapshot is
+// applied first, then the WAL on top of it. A truncated or corrupt WAL
+// tail — the signature of a crash mid-append — is discarded; everything
+// before it replays.
+func Open(dir string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		dir:        dir,
+		opts:       opts.withDefaults(),
+		tasks:      make(map[uint64]*TaskRecord),
+		dataspaces: make(map[string]proto.DataspaceSpec),
+	}
+
+	// Two daemons appending to one WAL would interleave frames and each
+	// compaction would truncate the other's records, so the directory is
+	// exclusively flock-ed. The kernel drops the lock when the holder
+	// dies, so a crashed daemon never wedges its own restart.
+	lock, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("journal: state dir %s is locked by another process: %w", dir, err)
+	}
+	j.lock = lock
+	opened := false
+	defer func() {
+		if !opened {
+			lock.Close() // releases the flock
+		}
+	}()
+
+	if buf, err := os.ReadFile(snapPath(dir)); err == nil {
+		// Snapshots are written to a temp file and renamed, so a partial
+		// snapshot means external corruption, not a crash: fail loudly.
+		if _, err := j.applyAll(buf, false); err != nil {
+			return nil, fmt.Errorf("journal: corrupt snapshot: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.walRecords = 0 // snapshot replay does not count against the WAL bound
+
+	if buf, err := os.ReadFile(walPath(dir)); err == nil {
+		good, err := j.applyAll(buf, true)
+		if err != nil {
+			return nil, fmt.Errorf("journal: corrupt wal: %w", err)
+		}
+		if good < len(buf) {
+			// Drop the partial final record so appends resume cleanly.
+			if err := os.Truncate(walPath(dir), int64(good)); err != nil {
+				return nil, fmt.Errorf("journal: %w", err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+
+	f, err := os.OpenFile(walPath(dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.w = wire.NewFrameWriter(f)
+	for id := range j.tasks {
+		if id > j.nextID {
+			j.nextID = id
+		}
+	}
+	opened = true
+	return j, nil
+}
+
+// applyAll replays a stream of framed records, returning the offset of
+// the last cleanly parsed frame. With tolerateTail set, a truncated
+// final frame is not an error (the caller truncates the file there);
+// mid-stream decode failures always are.
+func (j *Journal) applyAll(buf []byte, tolerateTail bool) (int, error) {
+	rest := buf
+	for len(rest) > 0 {
+		msg, next, err := wire.ParseFrame(rest)
+		if err != nil {
+			if tolerateTail && errors.Is(err, wire.ErrTruncated) {
+				return len(buf) - len(rest), nil
+			}
+			return len(buf) - len(rest), err
+		}
+		var rec record
+		if err := wire.Unmarshal(msg, &rec); err != nil {
+			if tolerateTail {
+				// A torn write can also corrupt the payload of the last
+				// frame; treat an undecodable tail record like truncation.
+				return len(buf) - len(rest), nil
+			}
+			return len(buf) - len(rest), err
+		}
+		j.apply(&rec)
+		rest = next
+		j.walRecords++
+	}
+	return len(buf), nil
+}
+
+// apply folds one record into the in-memory state. Terminal task states
+// are sticky: a stale non-terminal record can never resurrect a task
+// that already completed.
+func (j *Journal) apply(rec *record) {
+	switch rec.Kind {
+	case recSubmit:
+		tr, ok := j.tasks[rec.TaskID]
+		if !ok {
+			tr = &TaskRecord{ID: rec.TaskID, Status: task.Pending}
+			j.tasks[rec.TaskID] = tr
+		}
+		if rec.Spec != nil {
+			tr.Spec = *rec.Spec
+		}
+		if s := task.Status(rec.Status); s != 0 && !tr.Status.Terminal() {
+			tr.Status = s
+			tr.Err = rec.Err
+			tr.TotalBytes = rec.Total
+			tr.MovedBytes = rec.Moved
+		}
+	case recState:
+		tr, ok := j.tasks[rec.TaskID]
+		if !ok {
+			// State for an unknown task (its submit record was lost):
+			// keep it so a terminal state still blocks resurrection.
+			tr = &TaskRecord{ID: rec.TaskID}
+			j.tasks[rec.TaskID] = tr
+		}
+		if tr.Status.Terminal() {
+			return
+		}
+		tr.Status = task.Status(rec.Status)
+		tr.Err = rec.Err
+		tr.TotalBytes = rec.Total
+		tr.MovedBytes = rec.Moved
+	case recDataspace:
+		if rec.DSDel {
+			delete(j.dataspaces, rec.DSDelID)
+		} else if rec.DS != nil {
+			j.dataspaces[rec.DS.ID] = *rec.DS
+		}
+	case recHeader:
+		if rec.NextID > j.nextID {
+			j.nextID = rec.NextID
+		}
+	default:
+		// Unknown record kind from a newer build: skip.
+	}
+}
+
+// append writes one record to the WAL and folds it into memory,
+// compacting when the WAL has grown past the configured bound. A frozen
+// journal drops everything silently (see Freeze).
+func (j *Journal) append(rec *record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.w.WriteMessage(rec); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if j.opts.Sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	j.apply(rec)
+	j.walRecords++
+	if j.walRecords >= j.opts.CompactEvery {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// RecordSubmit journals a task submission. Call it before the task
+// becomes runnable so a crash cannot lose an accepted task.
+func (j *Journal) RecordSubmit(id uint64, spec task.Spec) error {
+	j.mu.Lock()
+	if id > j.nextID {
+		j.nextID = id
+	}
+	j.mu.Unlock()
+	return j.append(&record{Kind: recSubmit, TaskID: id, Spec: &spec})
+}
+
+// RecordState journals a task state transition.
+func (j *Journal) RecordState(id uint64, s task.Status, errMsg string) error {
+	return j.append(&record{Kind: recState, TaskID: id, Status: uint32(s), Err: errMsg})
+}
+
+// RecordStats journals a state transition with its byte counters, so a
+// restart can resurrect the progress/completion report intact.
+func (j *Journal) RecordStats(id uint64, st task.Stats) error {
+	return j.append(&record{
+		Kind:   recState,
+		TaskID: id,
+		Status: uint32(st.Status),
+		Err:    st.Err,
+		Total:  st.TotalBytes,
+		Moved:  st.MovedBytes,
+	})
+}
+
+// RecordDataspace journals a dataspace registration or update, so
+// recovered tasks find their tiers after a restart.
+func (j *Journal) RecordDataspace(spec proto.DataspaceSpec) error {
+	spec.UsedBytes = 0 // live usage, not configuration
+	return j.append(&record{Kind: recDataspace, DS: &spec})
+}
+
+// RecordDataspaceRemoved journals a dataspace unregistration.
+func (j *Journal) RecordDataspaceRemoved(id string) error {
+	return j.append(&record{Kind: recDataspace, DSDel: true, DSDelID: id})
+}
+
+// Tasks returns the journaled tasks sorted by ID.
+func (j *Journal) Tasks() []TaskRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]TaskRecord, 0, len(j.tasks))
+	for _, tr := range j.tasks {
+		out = append(out, *tr)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Dataspaces returns the journaled dataspace configurations sorted by ID.
+func (j *Journal) Dataspaces() []proto.DataspaceSpec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]proto.DataspaceSpec, 0, len(j.dataspaces))
+	for _, ds := range j.dataspaces {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// NextID returns the highest task ID the journal has seen; a restarted
+// daemon continues the ID space from here so recovered and new tasks
+// never collide.
+func (j *Journal) NextID() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextID
+}
+
+// WALRecords reports how many records the current WAL holds (resets to
+// zero at compaction) — a bound the compaction tests assert on.
+func (j *Journal) WALRecords() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.walRecords
+}
+
+// Compact writes the live state as a fresh snapshot and truncates the
+// WAL. Terminal tasks beyond the RetainTerminal newest are dropped.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	if j.closed {
+		return ErrClosed
+	}
+	return j.compactLocked()
+}
+
+// compactLocked implements Compact; the caller holds j.mu.
+func (j *Journal) compactLocked() error {
+	// Garbage-collect old terminal tasks before the state is written out.
+	var terminal []uint64
+	for id, tr := range j.tasks {
+		if tr.Status.Terminal() {
+			terminal = append(terminal, id)
+		}
+	}
+	if len(terminal) > j.opts.RetainTerminal {
+		sort.Slice(terminal, func(a, b int) bool { return terminal[a] > terminal[b] })
+		for _, id := range terminal[j.opts.RetainTerminal:] {
+			delete(j.tasks, id)
+		}
+	}
+
+	tmpPath := snapPath(j.dir) + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w := wire.NewFrameWriter(tmp)
+	werr := w.WriteMessage(&record{Kind: recHeader, NextID: j.nextID})
+	for _, ds := range j.dataspaces {
+		if werr != nil {
+			break
+		}
+		spec := ds
+		werr = w.WriteMessage(&record{Kind: recDataspace, DS: &spec})
+	}
+	for _, tr := range j.tasks {
+		if werr != nil {
+			break
+		}
+		spec := tr.Spec
+		werr = w.WriteMessage(&record{
+			Kind:   recSubmit,
+			TaskID: tr.ID,
+			Spec:   &spec,
+			Status: uint32(tr.Status),
+			Err:    tr.Err,
+			Total:  tr.TotalBytes,
+			Moved:  tr.MovedBytes,
+		})
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: snapshot: %w", werr)
+	}
+	if err := os.Rename(tmpPath, snapPath(j.dir)); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: %w", err)
+	}
+	// The rename must be durable before the WAL is truncated: if the
+	// directory entry were lost to a crash after the truncate, the next
+	// Open would see a stale snapshot and an empty WAL — losing the
+	// whole task table, not just a tail.
+	if err := syncDir(j.dir); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.walRecords = 0
+	return nil
+}
+
+// syncDir fsyncs a directory, making its entries (renames) durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Freeze silently drops every subsequent append and compaction,
+// simulating the daemon process dying at this instant: later state
+// changes never reach disk. It is the crash-injection hook the recovery
+// tests use; a frozen journal never thaws.
+func (j *Journal) Freeze() {
+	j.mu.Lock()
+	j.frozen = true
+	j.mu.Unlock()
+}
+
+// Close compacts the journal (bounding the next open's replay) and
+// releases the WAL file. Further appends fail with ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var err error
+	if !j.frozen {
+		err = j.compactLocked()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := j.lock.Close(); err == nil { // releases the flock
+		err = cerr
+	}
+	return err
+}

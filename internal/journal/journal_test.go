@@ -1,0 +1,316 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+func specFor(payload string, path string) task.Spec {
+	return task.Spec{
+		Kind:   task.Copy,
+		Input:  task.MemoryRegion([]byte(payload)),
+		Output: task.PosixPath("nvme0://", path),
+		JobID:  7,
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func taskByID(t *testing.T, j *Journal, id uint64) TaskRecord {
+	t.Helper()
+	for _, tr := range j.Tasks() {
+		if tr.ID == id {
+			return tr
+		}
+	}
+	t.Fatalf("task %d not in journal", id)
+	return TaskRecord{}
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.RecordDataspace(proto.DataspaceSpec{ID: "nvme0://", Backend: 2, Capacity: 1 << 30, Track: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordSubmit(1, specFor("abc", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordState(1, task.Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordSubmit(2, specFor("def", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordStats(1, task.Stats{Status: task.Finished, TotalBytes: 3, MovedBytes: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if got := j2.NextID(); got != 2 {
+		t.Fatalf("NextID = %d, want 2", got)
+	}
+	dss := j2.Dataspaces()
+	if len(dss) != 1 || dss[0].ID != "nvme0://" || !dss[0].Track || dss[0].Capacity != 1<<30 {
+		t.Fatalf("dataspaces = %+v", dss)
+	}
+	if tr := taskByID(t, j2, 1); tr.Status != task.Finished || tr.MovedBytes != 3 || tr.TotalBytes != 3 {
+		t.Fatalf("task 1 = %+v, want finished with 3/3 bytes", tr)
+	}
+	tr := taskByID(t, j2, 2)
+	if tr.Status != task.Pending || string(tr.Spec.Input.Data) != "def" || tr.Spec.JobID != 7 {
+		t.Fatalf("task 2 = %+v", tr)
+	}
+}
+
+// TestCrashBetweenRecordPoints freezes the journal at every record
+// boundary of a submit→running→finished sequence and checks what a
+// replay would re-queue: everything recorded before the crash, nothing
+// after, and a terminal record is never resurrected.
+func TestCrashBetweenRecordPoints(t *testing.T) {
+	type step struct {
+		name string
+		do   func(j *Journal)
+	}
+	steps := []step{
+		{"submit", func(j *Journal) { _ = j.RecordSubmit(1, specFor("xyz", "x")) }},
+		{"running", func(j *Journal) { _ = j.RecordState(1, task.Running, "") }},
+		{"finished", func(j *Journal) { _ = j.RecordState(1, task.Finished, "") }},
+	}
+	// crashAfter = number of record points that made it to disk.
+	for crashAfter := 0; crashAfter <= len(steps); crashAfter++ {
+		dir := t.TempDir()
+		j := mustOpen(t, dir, Options{})
+		for i, s := range steps {
+			if i == crashAfter {
+				j.Freeze()
+			}
+			s.do(j)
+		}
+		if crashAfter == len(steps) {
+			j.Freeze() // crash after everything landed
+		}
+		_ = j.Close() // frozen: writes nothing, like the process dying
+
+		j2 := mustOpen(t, dir, Options{})
+		recs := j2.Tasks()
+		switch crashAfter {
+		case 0:
+			if len(recs) != 0 {
+				t.Errorf("crash before submit: recovered %+v, want none", recs)
+			}
+		case 1:
+			if len(recs) != 1 || recs[0].Status != task.Pending {
+				t.Errorf("crash after submit: recovered %+v, want 1 pending", recs)
+			}
+		case 2:
+			if len(recs) != 1 || recs[0].Status != task.Running {
+				t.Errorf("crash after running: recovered %+v, want 1 running", recs)
+			}
+		case 3:
+			if len(recs) != 1 || recs[0].Status != task.Finished {
+				t.Errorf("crash after finished: recovered %+v, want 1 finished", recs)
+			}
+		}
+		// A late stale record must never resurrect a terminal task.
+		if crashAfter == 3 {
+			if err := j2.RecordState(1, task.Running, ""); err != nil {
+				t.Fatal(err)
+			}
+			if tr := taskByID(t, j2, 1); tr.Status != task.Finished {
+				t.Errorf("terminal task resurrected to %v", tr.Status)
+			}
+		}
+		j2.Close()
+	}
+}
+
+// TestTornTailDiscarded simulates a crash mid-append: a partial final
+// frame must be discarded on open and appends must resume cleanly.
+func TestTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.RecordSubmit(1, specFor("abc", "a")); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash" the journal — frozen Close writes nothing and compacts
+	// nothing, it only releases the file handles — then tear the WAL
+	// tail as an interrupted append would.
+	j.Freeze()
+	_ = j.Close()
+	wal := filepath.Join(dir, "wal")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame claiming 200 payload bytes, with only 3 present.
+	if _, err := f.Write([]byte{200, 1, 'x', 'y', 'z'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := mustOpen(t, dir, Options{})
+	if len(j2.Tasks()) != 1 {
+		t.Fatalf("recovered %+v, want the one whole record", j2.Tasks())
+	}
+	if err := j2.RecordSubmit(2, specFor("def", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3 := mustOpen(t, dir, Options{})
+	defer j3.Close()
+	if len(j3.Tasks()) != 2 {
+		t.Fatalf("after torn-tail repair: %+v, want 2 tasks", j3.Tasks())
+	}
+}
+
+// TestCompactionBoundsWAL drives many transitions through a journal with
+// a tiny compaction threshold and checks the WAL never grows past it.
+func TestCompactionBoundsWAL(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{CompactEvery: 8, RetainTerminal: 4})
+	for id := uint64(1); id <= 50; id++ {
+		if err := j.RecordSubmit(id, specFor("p", "x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.RecordState(id, task.Running, ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.RecordState(id, task.Finished, ""); err != nil {
+			t.Fatal(err)
+		}
+		if n := j.WALRecords(); n >= 8 {
+			t.Fatalf("WAL grew to %d records despite CompactEvery=8", n)
+		}
+	}
+	// Terminal retention: only the newest 4 terminal tasks survive.
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	recs := j.Tasks()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d terminal tasks, want 4", len(recs))
+	}
+	for _, tr := range recs {
+		if tr.ID <= 46 {
+			t.Errorf("old terminal task %d retained", tr.ID)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if got := j2.NextID(); got != 50 {
+		t.Fatalf("NextID across GC = %d, want 50 (header high-water mark)", got)
+	}
+}
+
+func TestDataspaceRemovalJournaled(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.RecordDataspace(proto.DataspaceSpec{ID: "a://"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordDataspace(proto.DataspaceSpec{ID: "b://"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordDataspaceRemoved("a://"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	dss := j2.Dataspaces()
+	if len(dss) != 1 || dss[0].ID != "b://" {
+		t.Fatalf("dataspaces = %+v, want only b://", dss)
+	}
+}
+
+// TestStateDirLockedExclusively: two journals on one directory would
+// interleave WAL frames and truncate each other's records at
+// compaction, so the second Open must fail while the first holds the
+// lock — and succeed once it is released.
+func TestStateDirLockedExclusively(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open on a locked state dir succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	j2.Close()
+}
+
+func TestClosedJournalRejectsAppends(t *testing.T) {
+	j := mustOpen(t, t.TempDir(), Options{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordState(1, task.Running, ""); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestConcurrentAppends exercises the journal under parallel writers
+// (run with -race) and verifies nothing is lost or duplicated.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{CompactEvery: 32})
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i + 1)
+				if err := j.RecordSubmit(id, specFor("p", "x")); err != nil {
+					t.Errorf("submit %d: %v", id, err)
+				}
+				if err := j.RecordState(id, task.Finished, ""); err != nil {
+					t.Errorf("state %d: %v", id, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if got := j2.NextID(); got != writers*perWriter {
+		t.Fatalf("NextID = %d, want %d", got, writers*perWriter)
+	}
+	for _, tr := range j2.Tasks() {
+		if tr.Status != task.Finished {
+			t.Fatalf("task %d = %v, want finished", tr.ID, tr.Status)
+		}
+	}
+}

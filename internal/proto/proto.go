@@ -630,6 +630,87 @@ func (tm *TransferMetrics) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
+// DaemonStatus is the structured OpStatus report: daemon identity, the
+// pipeline's live gauges, and — when the daemon runs with a durable
+// state directory — what the last journal replay recovered.
+type DaemonStatus struct {
+	Version string
+	Node    string
+	Policy  string
+	Shards  uint64
+	Pending uint64
+	Tasks   uint64
+	// Journal reports whether the daemon persists a task journal.
+	Journal bool
+	// RecoveredPending/RecoveredRunning count tasks the last restart
+	// re-queued from the journal (pending, respectively running, at the
+	// crash). RecoveredCancelled were mid-cancellation and recovered
+	// straight to cancelled; RecoveredTerminal were already terminal and
+	// were resurrected for status queries without re-running.
+	RecoveredPending   uint64
+	RecoveredRunning   uint64
+	RecoveredCancelled uint64
+	RecoveredTerminal  uint64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (ds *DaemonStatus) MarshalWire(e *wire.Encoder) {
+	e.String(1, ds.Version)
+	e.String(2, ds.Node)
+	e.String(3, ds.Policy)
+	e.Uint64(4, ds.Shards)
+	e.Uint64(5, ds.Pending)
+	e.Uint64(6, ds.Tasks)
+	if ds.Journal {
+		e.Bool(7, ds.Journal)
+	}
+	if ds.RecoveredPending != 0 {
+		e.Uint64(8, ds.RecoveredPending)
+	}
+	if ds.RecoveredRunning != 0 {
+		e.Uint64(9, ds.RecoveredRunning)
+	}
+	if ds.RecoveredCancelled != 0 {
+		e.Uint64(10, ds.RecoveredCancelled)
+	}
+	if ds.RecoveredTerminal != 0 {
+		e.Uint64(11, ds.RecoveredTerminal)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (ds *DaemonStatus) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			ds.Version = d.String()
+		case 2:
+			ds.Node = d.String()
+		case 3:
+			ds.Policy = d.String()
+		case 4:
+			ds.Shards = d.Uint64()
+		case 5:
+			ds.Pending = d.Uint64()
+		case 6:
+			ds.Tasks = d.Uint64()
+		case 7:
+			ds.Journal = d.Bool()
+		case 8:
+			ds.RecoveredPending = d.Uint64()
+		case 9:
+			ds.RecoveredRunning = d.Uint64()
+		case 10:
+			ds.RecoveredCancelled = d.Uint64()
+		case 11:
+			ds.RecoveredTerminal = d.Uint64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
 // Response is the envelope for all daemon->client messages.
 type Response struct {
 	Seq    uint64
@@ -645,6 +726,9 @@ type Response struct {
 	DaemonInfo string
 	// Metrics carries the OpTransferStats report.
 	Metrics *TransferMetrics
+	// StatusInfo carries the structured OpStatus report (the DaemonInfo
+	// text remains for older clients).
+	StatusInfo *DaemonStatus
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -669,6 +753,9 @@ func (r *Response) MarshalWire(e *wire.Encoder) {
 	}
 	if r.Metrics != nil {
 		e.Message(9, r.Metrics)
+	}
+	if r.StatusInfo != nil {
+		e.Message(10, r.StatusInfo)
 	}
 }
 
@@ -698,6 +785,9 @@ func (r *Response) UnmarshalWire(d *wire.Decoder) error {
 		case 9:
 			r.Metrics = new(TransferMetrics)
 			d.Message(r.Metrics)
+		case 10:
+			r.StatusInfo = new(DaemonStatus)
+			d.Message(r.StatusInfo)
 		default:
 			d.Skip()
 		}

@@ -245,3 +245,36 @@ func TestDeadlineAndSizeErrRoundTrip(t *testing.T) {
 		t.Fatalf("EAgain.String() = %q", EAgain.String())
 	}
 }
+
+func TestDaemonStatusRoundTrip(t *testing.T) {
+	in := &Response{
+		Status:     Success,
+		DaemonInfo: "urd/2.0 node=n1",
+		StatusInfo: &DaemonStatus{
+			Version:            "urd/2.0",
+			Node:               "n1",
+			Policy:             "sjf",
+			Shards:             3,
+			Pending:            12,
+			Tasks:              40,
+			Journal:            true,
+			RecoveredPending:   2,
+			RecoveredRunning:   1,
+			RecoveredCancelled: 4,
+			RecoveredTerminal:  9,
+		},
+	}
+	out := roundTripResponse(t, in)
+	if out.StatusInfo == nil {
+		t.Fatal("StatusInfo dropped")
+	}
+	if *out.StatusInfo != *in.StatusInfo {
+		t.Fatalf("status info mismatch:\n got %+v\nwant %+v", *out.StatusInfo, *in.StatusInfo)
+	}
+	// Without a journal the recovery fields stay zero and the message
+	// still round-trips.
+	lean := roundTripResponse(t, &Response{StatusInfo: &DaemonStatus{Version: "urd/2.0", Node: "n2", Policy: "fcfs"}})
+	if lean.StatusInfo == nil || lean.StatusInfo.Journal || lean.StatusInfo.RecoveredPending != 0 {
+		t.Fatalf("lean status info mismatch: %+v", lean.StatusInfo)
+	}
+}

@@ -354,6 +354,21 @@ func (q *Queue) Submit(t *task.Task) error {
 	return nil
 }
 
+// Requeue enqueues a task ignoring the capacity bound. It exists for
+// journal recovery: re-queued tasks are pre-crash obligations that were
+// already admitted once, so they must not be dropped because the bound
+// happens to be lower than what the dead daemon had accepted.
+func (q *Queue) Requeue(t *task.Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.policy.Push(t)
+	q.cond.Signal()
+	return nil
+}
+
 // Remove extracts a pending task by ID without executing it, returning
 // nil if the task is not queued (already popped, or never submitted).
 func (q *Queue) Remove(id uint64) *task.Task {

@@ -404,3 +404,26 @@ func TestBoundedQueueBackpressure(t *testing.T) {
 		t.Fatalf("Submit after Remove: %v", err)
 	}
 }
+
+// TestRequeueBypassesBound: Requeue is the journal-recovery path — it
+// must admit tasks past the capacity bound (the dead daemon already
+// accepted them) while Submit keeps rejecting new load.
+func TestRequeueBypassesBound(t *testing.T) {
+	q := NewBounded(NewFCFS(), 1)
+	if err := q.Submit(task.New(1, task.NoOp, task.Resource{}, task.Resource{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(task.New(2, task.NoOp, task.Resource{}, task.Resource{})); err != ErrFull {
+		t.Fatalf("second Submit = %v, want ErrFull", err)
+	}
+	if err := q.Requeue(task.New(3, task.NoOp, task.Resource{}, task.Resource{})); err != nil {
+		t.Fatalf("Requeue past bound = %v, want nil", err)
+	}
+	if got := q.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	q.Close()
+	if err := q.Requeue(task.New(4, task.NoOp, task.Resource{}, task.Resource{})); err != ErrClosed {
+		t.Fatalf("Requeue after close = %v, want ErrClosed", err)
+	}
+}

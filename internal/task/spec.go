@@ -1,0 +1,133 @@
+package task
+
+import (
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+// Spec is the durable, wire-stable form of a task: everything needed to
+// reconstruct and re-execute it after a daemon restart. The urd journal
+// records a Spec per submission; replaying it through Task (plus the
+// recorded state transitions) rebuilds the daemon's task table.
+//
+// Stability contract: the field tags below and the numeric values of
+// Kind, ResourceKind, and Status are part of the on-disk format and
+// must never be renumbered — journals written by one build must replay
+// under the next. New fields get new tags; unknown tags are skipped.
+type Spec struct {
+	Kind     Kind
+	Input    Resource
+	Output   Resource
+	Priority int
+	JobID    uint64
+	// Deadline is the absolute execution bound (zero = none). It is
+	// preserved across restarts: a recovered task whose deadline passed
+	// while the daemon was down expires instead of re-running.
+	Deadline time.Time
+}
+
+// SpecOf captures a task's durable form. The JobID is the effective
+// (post-authorization) job, so recovery does not re-authorize.
+func SpecOf(t *Task) Spec {
+	return Spec{
+		Kind:     t.Kind,
+		Input:    t.Input,
+		Output:   t.Output,
+		Priority: t.Priority,
+		JobID:    t.JobID,
+		Deadline: t.Deadline,
+	}
+}
+
+// Task reconstructs a Pending task with the given ID from the spec.
+func (s Spec) Task(id uint64) *Task {
+	t := New(id, s.Kind, s.Input, s.Output)
+	t.Priority = s.Priority
+	t.JobID = s.JobID
+	t.Deadline = s.Deadline
+	return t
+}
+
+// MarshalWire implements wire.Marshaler.
+func (s *Spec) MarshalWire(e *wire.Encoder) {
+	e.Uint32(1, uint32(s.Kind))
+	e.Message(2, &s.Input)
+	e.Message(3, &s.Output)
+	if s.Priority != 0 {
+		e.Int(4, s.Priority)
+	}
+	if s.JobID != 0 {
+		e.Uint64(5, s.JobID)
+	}
+	if !s.Deadline.IsZero() {
+		e.Int64(6, s.Deadline.UnixNano())
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (s *Spec) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			s.Kind = Kind(d.Uint32())
+		case 2:
+			d.Message(&s.Input)
+		case 3:
+			d.Message(&s.Output)
+		case 4:
+			s.Priority = d.Int()
+		case 5:
+			s.JobID = d.Uint64()
+		case 6:
+			s.Deadline = time.Unix(0, d.Int64())
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Marshaler. Memory-region payloads travel
+// inline so a recovered task can re-run its copy from the journal alone.
+func (r *Resource) MarshalWire(e *wire.Encoder) {
+	e.Uint32(1, uint32(r.Kind))
+	if r.Dataspace != "" {
+		e.String(2, r.Dataspace)
+	}
+	if r.Path != "" {
+		e.String(3, r.Path)
+	}
+	if r.Node != "" {
+		e.String(4, r.Node)
+	}
+	if r.Size != 0 {
+		e.Int64(5, r.Size)
+	}
+	if len(r.Data) > 0 {
+		e.Bytes(6, r.Data)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *Resource) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Kind = ResourceKind(d.Uint32())
+		case 2:
+			r.Dataspace = d.String()
+		case 3:
+			r.Path = d.String()
+		case 4:
+			r.Node = d.String()
+		case 5:
+			r.Size = d.Int64()
+		case 6:
+			r.Data = append([]byte(nil), d.Bytes()...)
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,147 @@
+package task
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	deadline := time.Unix(0, 1_700_000_000_000_000_042)
+	in := Spec{
+		Kind:     Move,
+		Input:    MemoryRegion([]byte("payload")),
+		Output:   RemotePosixPath("node002", "lustre://", "/out/x"),
+		Priority: -5,
+		JobID:    42,
+		Deadline: deadline,
+	}
+	var out Spec
+	if err := wire.Unmarshal(wire.Marshal(&in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != Move || out.Priority != -5 || out.JobID != 42 {
+		t.Fatalf("spec mismatch: %+v", out)
+	}
+	if string(out.Input.Data) != "payload" || out.Input.Kind != Memory {
+		t.Fatalf("input mismatch: %+v", out.Input)
+	}
+	if out.Output.Node != "node002" || out.Output.Dataspace != "lustre://" || out.Output.Path != "/out/x" {
+		t.Fatalf("output mismatch: %+v", out.Output)
+	}
+	if !out.Deadline.Equal(deadline) {
+		t.Fatalf("deadline = %v, want %v", out.Deadline, deadline)
+	}
+}
+
+func TestSpecOfTaskRoundTrip(t *testing.T) {
+	orig := New(9, Copy, MemoryRegion([]byte("abc")), PosixPath("nvme0://", "f"))
+	orig.Priority = 3
+	orig.JobID = 11
+	orig.Deadline = time.Now().Add(time.Hour).Truncate(time.Nanosecond)
+
+	var spec Spec
+	if err := wire.Unmarshal(wire.Marshal(specPtr(SpecOf(orig))), &spec); err != nil {
+		t.Fatal(err)
+	}
+	re := spec.Task(9)
+	if re.ID != 9 || re.Kind != Copy || re.Priority != 3 || re.JobID != 11 {
+		t.Fatalf("rebuilt task mismatch: %+v", re)
+	}
+	if !re.Deadline.Equal(orig.Deadline) {
+		t.Fatalf("deadline = %v, want %v", re.Deadline, orig.Deadline)
+	}
+	if re.Status() != Pending {
+		t.Fatalf("rebuilt task status = %v, want pending", re.Status())
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatalf("rebuilt task invalid: %v", err)
+	}
+}
+
+func specPtr(s Spec) *Spec { return &s }
+
+// TestStatusCodesAreJournalStable locks the numeric status values: they
+// are persisted in the urd write-ahead log, so renumbering them would
+// silently corrupt recovery of existing journals.
+func TestStatusCodesAreJournalStable(t *testing.T) {
+	want := map[Status]uint8{
+		Pending:    1,
+		Running:    2,
+		Finished:   3,
+		Failed:     4,
+		Cancelled:  5,
+		Cancelling: 6,
+	}
+	for s, code := range want {
+		if uint8(s) != code {
+			t.Errorf("Status %s = %d, journal format requires %d", s, uint8(s), code)
+		}
+	}
+	kinds := map[Kind]uint8{Copy: 1, Move: 2, Remove: 3, NoOp: 4}
+	for k, code := range kinds {
+		if uint8(k) != code {
+			t.Errorf("Kind %s = %d, journal format requires %d", k, uint8(k), code)
+		}
+	}
+	resources := map[ResourceKind]uint8{Memory: 1, LocalPath: 2, RemotePath: 3}
+	for rk, code := range resources {
+		if uint8(rk) != code {
+			t.Errorf("ResourceKind %s = %d, journal format requires %d", rk, uint8(rk), code)
+		}
+	}
+}
+
+func TestRestore(t *testing.T) {
+	// Restore places a fresh task directly in a terminal state, byte
+	// counters included.
+	tk := New(1, Copy, MemoryRegion([]byte("x")), PosixPath("d://", "p"))
+	if err := tk.Restore(Stats{Status: Failed, Err: "boom", TotalBytes: 10, MovedBytes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	st := tk.Stats()
+	if st.Status != Failed || st.Err != "boom" || st.TotalBytes != 10 || st.MovedBytes != 4 {
+		t.Fatalf("restored stats = %+v", st)
+	}
+	if st.Ended.IsZero() {
+		t.Fatal("restored task has no end time")
+	}
+	if !tk.Wait(0) {
+		t.Fatal("restored task not done")
+	}
+	// Terminal tasks reject further transitions, including re-restore.
+	if err := tk.Restore(Stats{Status: Finished}); err == nil {
+		t.Fatal("double restore accepted")
+	}
+	if err := tk.Start(0); err == nil {
+		t.Fatal("start after restore accepted")
+	}
+	if err := tk.Cancel(); err == nil {
+		t.Fatal("cancel after restore accepted")
+	}
+
+	// Restore to a non-terminal state is illegal.
+	tk2 := New(2, Copy, MemoryRegion([]byte("x")), PosixPath("d://", "p"))
+	if err := tk2.Restore(Stats{Status: Running}); err == nil {
+		t.Fatal("restore to running accepted")
+	}
+	// Restore of a started task is illegal.
+	if err := tk2.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk2.Restore(Stats{Status: Finished}); err == nil {
+		t.Fatal("restore of a running task accepted")
+	}
+	// Restore to Cancelled closes the cancel channel too, mirroring the
+	// normal cancellation path.
+	tk3 := New(3, Copy, MemoryRegion([]byte("x")), PosixPath("d://", "p"))
+	if err := tk3.Restore(Stats{Status: Cancelled}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tk3.CancelRequested():
+	default:
+		t.Fatal("cancel channel open after Restore(Cancelled)")
+	}
+}

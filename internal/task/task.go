@@ -149,6 +149,9 @@ type Status uint8
 // Cancelling is the cooperative-interrupt window: the transfer worker
 // observes the cancellation at its next chunk boundary and confirms it,
 // or — if the transfer happened to complete first — finishes normally.
+//
+// The numeric values are wire- and journal-stable (see Spec): they are
+// persisted in the urd write-ahead log and must never be renumbered.
 const (
 	Pending Status = iota + 1
 	Running
@@ -379,6 +382,38 @@ func (t *Task) terminate(s Status, reason string) error {
 	t.stats.Status = s
 	t.stats.Err = reason
 	t.stats.Ended = time.Now()
+	close(t.done)
+	return nil
+}
+
+// Restore places a freshly reconstructed (Pending) task directly into
+// the terminal state carried by st, bypassing the normal transition
+// rules. It exists for journal recovery: a restarted daemon resurrects
+// tasks that completed before the crash — final status, error, and byte
+// counters included — so their IDs keep answering status queries
+// without being re-run. Restoring a non-Pending task or to a
+// non-terminal state is an ErrBadTransition.
+func (t *Task) Restore(st Stats) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats.Status != Pending {
+		return fmt.Errorf("%w: restore from %s", ErrBadTransition, t.stats.Status)
+	}
+	if !st.Status.Terminal() {
+		return fmt.Errorf("%w: restore to %s", ErrBadTransition, st.Status)
+	}
+	t.stats.Status = st.Status
+	t.stats.Err = st.Err
+	t.stats.TotalBytes = st.TotalBytes
+	t.stats.MovedBytes = st.MovedBytes
+	t.stats.SizeErr = st.SizeErr
+	t.stats.Ended = st.Ended
+	if t.stats.Ended.IsZero() {
+		t.stats.Ended = time.Now()
+	}
+	if st.Status == Cancelled {
+		close(t.cancel)
+	}
 	close(t.done)
 	return nil
 }

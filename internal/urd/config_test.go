@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/queue"
 	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
 )
 
 func TestFabricWithoutResolverRejected(t *testing.T) {
@@ -60,6 +62,36 @@ func TestPolicyNameSurfacesInStatus(t *testing.T) {
 			t.Errorf("status %q missing %q", status, tc.want)
 		}
 	}
+}
+
+// customPolicy is a non-built-in policy used to exercise the
+// PolicyFactory requirement.
+type customPolicy struct{ queue.Policy }
+
+func (customPolicy) Name() string { return "my-policy" }
+
+// TestCustomPolicyWithoutFactoryRejected: policies are stateful and
+// per-shard, so a custom instance without a factory cannot serve a
+// sharded daemon — construction must fail loudly instead of silently
+// degrading later shards to FCFS.
+func TestCustomPolicyWithoutFactoryRejected(t *testing.T) {
+	_, err := New(Config{NodeName: "n", Policy: customPolicy{queue.NewFCFS()}})
+	if err == nil {
+		t.Fatal("custom policy without PolicyFactory accepted")
+	}
+	if !strings.Contains(err.Error(), "PolicyFactory") {
+		t.Fatalf("error %q does not point at PolicyFactory", err)
+	}
+
+	// The same policy with a factory is fine.
+	d, err := New(Config{
+		NodeName:      "n",
+		PolicyFactory: func() queue.Policy { return customPolicy{queue.NewFCFS()} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
 }
 
 // TestSJFPolicyEndToEnd verifies the daemon honors a size-aware policy:
@@ -133,6 +165,25 @@ func TestDaemonCloseIdempotent(t *testing.T) {
 	}
 	wg.Wait()
 	d.Close()
+}
+
+// TestShutdownOpReleasesDone: a shutdown over the control API must run
+// Close to completion and release Done, so cmd/urd can exit instead of
+// lingering on its signal wait.
+func TestShutdownOpReleasesDone(t *testing.T) {
+	d, err := New(Config{NodeName: "sd", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := d.Handle(transport.PeerInfo{Control: true}, &proto.Request{Op: proto.OpShutdown})
+	if resp.Status != proto.Success {
+		t.Fatalf("shutdown: %+v", resp)
+	}
+	select {
+	case <-d.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("Done not released after OpShutdown")
+	}
 }
 
 // TestPendingTasksGauge exercises the queue-depth reporting.

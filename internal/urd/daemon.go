@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
 	"github.com/ngioproject/norns-go/internal/dataspace"
+	"github.com/ngioproject/norns-go/internal/journal"
 	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/queue"
 	"github.com/ngioproject/norns-go/internal/storage"
@@ -35,9 +37,9 @@ type Config struct {
 	Workers int
 	// Policy arbitrates each shard's task queue (nil selects FCFS). The
 	// built-in policies are recognized by name and re-instantiated per
-	// shard; an unrecognized custom policy serves the first shard only,
-	// with later shards falling back to FCFS — supply PolicyFactory for
-	// custom policies.
+	// shard. Custom policies are stateful and cannot be shared across
+	// shard queues, so New rejects a custom Policy without a
+	// PolicyFactory instead of silently serving only the first shard.
 	Policy queue.Policy
 	// PolicyFactory, when set, builds one queue policy per shard and
 	// takes precedence over Policy. It is invoked under the daemon lock
@@ -61,6 +63,18 @@ type Config struct {
 	// BufSize is the copy chunk size (<=0: 1 MiB). Cancellation is
 	// observed between chunks, so it also bounds cancel latency.
 	BufSize int
+	// StateDir, when set, enables the durable task journal: every
+	// submission and state transition is appended to a write-ahead log
+	// under this directory, and on startup the journal is replayed —
+	// dataspaces are restored, tasks that were pending or running at
+	// the crash are re-queued (re-running a copy is idempotent), and
+	// terminal tasks are resurrected for status queries without being
+	// re-run. Empty disables persistence (tasks live in memory only).
+	StateDir string
+	// JournalOptions tunes the journal (compaction cadence, terminal
+	// retention, per-record fsync). The zero value selects the journal
+	// package defaults. Ignored without StateDir.
+	JournalOptions journal.Options
 }
 
 // shard is one lane of the dispatcher: all tasks moving data between
@@ -71,6 +85,24 @@ type shard struct {
 	q   *queue.Queue
 }
 
+// Recovered counts what a journal replay restored at startup.
+type Recovered struct {
+	// Pending and Running tasks were re-queued (the latter were
+	// mid-transfer at the crash and restart from scratch).
+	Pending int
+	Running int
+	// Cancelled tasks were mid-cancellation and recovered straight to
+	// their terminal state — the user asked for the abort; a restart
+	// does not un-ask it.
+	Cancelled int
+	// Terminal tasks were already complete and were resurrected so
+	// their IDs keep answering status queries. They are never re-run.
+	Terminal int
+}
+
+// Requeued is the number of tasks the replay put back into the pipeline.
+func (r Recovered) Requeued() int { return r.Pending + r.Running }
+
 // Daemon is one urd instance.
 type Daemon struct {
 	cfg        Config
@@ -80,6 +112,11 @@ type Daemon struct {
 	newPolicy  func() queue.Policy
 	policyName string
 	workers    int
+
+	// journal is the durable task log (nil without Config.StateDir);
+	// recovered is immutable after New.
+	journal   *journal.Journal
+	recovered Recovered
 
 	userSrv *transport.Server
 	ctlSrv  *transport.Server
@@ -99,10 +136,16 @@ type Daemon struct {
 	nextID   uint64
 	closed   bool
 
+	// done is closed when Close finishes, so a host process can wait
+	// for a shutdown requested over the control API (OpShutdown).
+	done chan struct{}
+
 	wg sync.WaitGroup
 }
 
 // policyFactory resolves the per-shard policy constructor from cfg.
+// New has already validated that a factory-less Policy is one of the
+// built-ins, so re-instantiating by name is always possible here.
 func policyFactory(cfg Config) func() queue.Policy {
 	if cfg.PolicyFactory != nil {
 		return cfg.PolicyFactory
@@ -111,25 +154,17 @@ func policyFactory(cfg Config) func() queue.Policy {
 		return func() queue.Policy { return queue.NewFCFS() }
 	}
 	name := cfg.Policy.Name()
-	used := false // guarded by the daemon lock (factory runs under it)
 	return func() queue.Policy {
 		switch name {
-		case "fcfs":
-			return queue.NewFCFS()
 		case "sjf":
 			return queue.NewSJF(nil)
 		case "priority":
 			return queue.NewPriority()
 		case "fair-share":
 			return queue.NewFairShare()
+		default: // "fcfs"
+			return queue.NewFCFS()
 		}
-		// Policies are stateful and not shareable across shard queues:
-		// the provided instance serves the first shard only.
-		if !used {
-			used = true
-			return cfg.Policy
-		}
-		return queue.NewFCFS()
 	}
 }
 
@@ -137,12 +172,25 @@ func policyFactory(cfg Config) func() queue.Policy {
 // fabric (if configured) is live. Shards — and their workers — are
 // created lazily as the first task for each dataspace pair arrives.
 func New(cfg Config) (*Daemon, error) {
+	// Policies are stateful and per-shard: a custom policy instance
+	// cannot serve every shard, so it must come with a factory. (The
+	// built-ins are re-instantiated by name.)
+	if cfg.PolicyFactory == nil && cfg.Policy != nil {
+		switch cfg.Policy.Name() {
+		case "fcfs", "sjf", "priority", "fair-share":
+		default:
+			return nil, fmt.Errorf(
+				"urd: custom policy %q requires Config.PolicyFactory (each shard needs its own policy instance)",
+				cfg.Policy.Name())
+		}
+	}
 	d := &Daemon{
 		cfg:        cfg,
 		Controller: dataspace.NewController(),
 		newPolicy:  policyFactory(cfg),
 		shards:     make(map[string]*shard),
 		tasks:      make(map[uint64]*task.Task),
+		done:       make(chan struct{}),
 	}
 	d.ctx, d.stop = context.WithCancel(context.Background())
 	d.workers = cfg.Workers
@@ -176,6 +224,23 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	d.executor = transfer.NewExecutor(env)
 
+	// Replay the durable journal before the sockets open: dataspaces are
+	// restored first so re-queued tasks find their tiers, and clients
+	// connecting after New observe the recovered state, never a window
+	// of it.
+	if cfg.StateDir != "" {
+		j, err := journal.Open(cfg.StateDir, cfg.JournalOptions)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.journal = j
+		if err := d.replayJournal(); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+
 	if cfg.UserSocket != "" {
 		d.userSrv = transport.NewServer(d.Handle, false)
 		if _, err := d.userSrv.Listen("unix", cfg.UserSocket); err != nil {
@@ -191,6 +256,146 @@ func New(cfg Config) (*Daemon, error) {
 		}
 	}
 	return d, nil
+}
+
+// replayJournal rebuilds the daemon's state from the journal: restore
+// dataspaces, resurrect terminal tasks, confirm interrupted
+// cancellations, and re-queue everything that was pending or running
+// when the previous daemon died. Each non-terminal task is re-queued
+// exactly once; the replay ends with a compaction so a second restart
+// sees the re-queued tasks as plain pending work.
+func (d *Daemon) replayJournal() error {
+	j := d.journal
+	d.nextID = j.NextID()
+
+	for _, spec := range j.Dataspaces() {
+		b, err := backendFromSpec(&spec)
+		if err != nil {
+			return fmt.Errorf("urd: recovering dataspace %s: %w", spec.ID, err)
+		}
+		ds, err := d.Controller.Spaces.Register(spec.ID, b)
+		if err != nil {
+			return fmt.Errorf("urd: recovering dataspace %s: %w", spec.ID, err)
+		}
+		ds.Track = spec.Track
+	}
+
+	for _, tr := range j.Tasks() {
+		t := tr.Spec.Task(tr.ID)
+		register := func() {
+			d.mu.Lock()
+			d.tasks[tr.ID] = t
+			d.mu.Unlock()
+		}
+		switch {
+		case tr.Status.Terminal():
+			// Already complete: never re-run, but keep the ID answering
+			// status queries — final byte counters included — until
+			// compaction retires it.
+			st := task.Stats{
+				Status: tr.Status, Err: tr.Err,
+				TotalBytes: tr.TotalBytes, MovedBytes: tr.MovedBytes,
+			}
+			if err := t.Restore(st); err == nil {
+				register()
+				d.recovered.Terminal++
+			}
+		case tr.Status == task.Cancelling:
+			// The abort was requested before the crash; a restart does
+			// not un-ask it, so confirm instead of re-running.
+			st := task.Stats{
+				Status:     task.Cancelled,
+				TotalBytes: tr.TotalBytes, MovedBytes: tr.MovedBytes,
+			}
+			if err := t.Restore(st); err == nil {
+				register()
+				// Journal the confirmation with the preserved counters —
+				// the terminal record is sticky, so zeros here would
+				// permanently shadow the partial progress.
+				d.recordStats(tr.ID, st)
+				d.recovered.Cancelled++
+			}
+		default: // Pending or Running: re-queue from scratch.
+			if err := t.Validate(); err != nil {
+				// A spec that cannot be re-executed (e.g. written by a
+				// newer build) must not wedge the replay.
+				msg := "unreplayable journal spec: " + err.Error()
+				if t.Restore(task.Stats{Status: task.Failed, Err: msg}) == nil {
+					register()
+					d.record(tr.ID, task.Failed, msg)
+				}
+				continue
+			}
+			d.mu.Lock()
+			sh := d.shardLocked(shardKey(t))
+			d.tasks[tr.ID] = t
+			d.inFlight++
+			d.mu.Unlock()
+			// Record the re-queue before the workers can race ahead of
+			// it, then enqueue. Recovery deliberately bypasses both the
+			// MaxInFlight gate and the per-shard queue bound: these are
+			// pre-crash obligations the dead daemon had already
+			// admitted, not new load to shed.
+			d.record(tr.ID, task.Pending, "")
+			if err := sh.q.Requeue(t); err != nil {
+				d.mu.Lock()
+				d.inFlight--
+				d.mu.Unlock()
+				msg := "recovery: " + err.Error()
+				if t.Fail(msg) == nil {
+					d.record(tr.ID, task.Failed, msg)
+				}
+				continue
+			}
+			if tr.Status == task.Running {
+				d.recovered.Running++
+			} else {
+				d.recovered.Pending++
+			}
+		}
+	}
+	return j.Compact()
+}
+
+// Recovered reports what the startup journal replay restored (zero
+// without Config.StateDir). It is fixed once New returns.
+func (d *Daemon) Recovered() Recovered { return d.recovered }
+
+// Journal exposes the daemon's durable journal (nil without
+// Config.StateDir) for diagnostics and crash-injection tests.
+func (d *Daemon) Journal() *journal.Journal { return d.journal }
+
+// record journals a task state transition. Journaling is best-effort at
+// this layer: an append failure costs restart fidelity, not correctness
+// of the in-memory pipeline, so it is logged rather than propagated.
+func (d *Daemon) record(id uint64, s task.Status, errMsg string) {
+	if d.journal == nil {
+		return
+	}
+	if err := d.journal.RecordState(id, s, errMsg); err != nil {
+		log.Printf("urd: journal: task %d -> %s: %v", id, s, err)
+	}
+}
+
+// recordStats journals a state transition with its byte counters.
+func (d *Daemon) recordStats(id uint64, st task.Stats) {
+	if d.journal == nil {
+		return
+	}
+	if err := d.journal.RecordStats(id, st); err != nil {
+		log.Printf("urd: journal: task %d -> %s: %v", id, st.Status, err)
+	}
+}
+
+// recordSubmit journals a task submission (spec included, so the task
+// can be rebuilt and re-run from the journal alone).
+func (d *Daemon) recordSubmit(t *task.Task) {
+	if d.journal == nil {
+		return
+	}
+	if err := d.journal.RecordSubmit(t.ID, task.SpecOf(t)); err != nil {
+		log.Printf("urd: journal: submit %d: %v", t.ID, err)
+	}
 }
 
 // NodeName returns the configured node name.
@@ -242,6 +447,9 @@ func (d *Daemon) shardLocked(key string) *shard {
 }
 
 // worker drains one shard's queue, mirroring the urd worker threads.
+// Dispatch and completion are journaled around the transfer: a crash
+// after the Running record but before the terminal one re-queues the
+// task on restart (re-running the copy is idempotent).
 func (d *Daemon) worker(sh *shard) {
 	defer d.wg.Done()
 	for {
@@ -249,7 +457,11 @@ func (d *Daemon) worker(sh *shard) {
 		if t == nil {
 			return
 		}
+		d.record(t.ID, task.Running, "")
 		d.executor.Execute(d.ctx, t)
+		if st := t.Stats(); st.Status.Terminal() {
+			d.recordStats(t.ID, st)
+		}
 		d.taskDone()
 	}
 }
@@ -294,6 +506,7 @@ func (d *Daemon) expireIfPast(t *task.Task) {
 		return
 	}
 	if err := t.Fail("deadline exceeded before start"); err == nil {
+		d.record(t.ID, task.Failed, "deadline exceeded before start")
 		d.dequeue(t)
 	}
 }
@@ -327,7 +540,20 @@ func (d *Daemon) Close() {
 	if d.net != nil {
 		d.net.Close()
 	}
+	// Last, after the drained workers have journaled their terminal
+	// transitions: compact and release the journal.
+	if d.journal != nil {
+		if err := d.journal.Close(); err != nil {
+			log.Printf("urd: journal: close: %v", err)
+		}
+	}
+	close(d.done)
 }
+
+// Done returns a channel closed once Close has fully completed — the
+// hook cmd/urd uses to exit when shutdown arrives over the control API
+// instead of a signal.
+func (d *Daemon) Done() <-chan struct{} { return d.done }
 
 // Submit validates, registers, and enqueues a task, returning its ID.
 // Control callers bypass process authorization (admin == true).
@@ -383,11 +609,17 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 	d.tasks[id] = t
 	d.inFlight++
 	d.mu.Unlock()
+	// WAL ordering: the submission is journaled before the task becomes
+	// runnable, so a worker's Running record can never precede it.
+	d.recordSubmit(t)
 	if err := sh.q.Submit(t); err != nil {
 		d.mu.Lock()
 		delete(d.tasks, id)
 		d.inFlight--
 		d.mu.Unlock()
+		// The client got an error; the journaled submission must not be
+		// resurrected on restart.
+		d.record(id, task.Failed, "never enqueued: "+err.Error())
 		if errors.Is(err, queue.ErrFull) {
 			return 0, fmt.Errorf("%w: shard %s at capacity", errBusy, sh.key)
 		}
@@ -411,6 +643,13 @@ func (d *Daemon) Cancel(id uint64) (task.Stats, error) {
 	if err := t.Cancel(); err != nil {
 		return t.Stats(), fmt.Errorf("%w: %v", errBadRequest, err)
 	}
+	// Journal the observed post-cancel state: Cancelled for a pending
+	// task, Cancelling for a running one (its worker journals the
+	// terminal state when the interrupt is confirmed). The full stats
+	// snapshot is recorded because a racing worker may already have
+	// finalized the task — a terminal record is sticky in the journal,
+	// so it must carry the real byte counters, not zeros.
+	d.recordStats(id, t.Stats())
 	// Free the queue slot if the task was still pending; a racing worker
 	// that already popped it sees Start fail and releases the slot.
 	d.dequeue(t)
@@ -549,9 +788,30 @@ func (d *Daemon) handleStatus() *proto.Response {
 	nTasks := len(d.tasks)
 	nShards := len(d.shards)
 	d.mu.Unlock()
+	pending := d.PendingTasks()
 	info := fmt.Sprintf("%s node=%s policy=%s shards=%d pending=%d tasks=%d",
-		Version, d.cfg.NodeName, d.policyName, nShards, d.PendingTasks(), nTasks)
-	return &proto.Response{Status: proto.Success, DaemonInfo: info}
+		Version, d.cfg.NodeName, d.policyName, nShards, pending, nTasks)
+	rec := d.recovered
+	if d.journal != nil {
+		info += fmt.Sprintf(" recovered=%d", rec.Requeued())
+	}
+	return &proto.Response{
+		Status:     proto.Success,
+		DaemonInfo: info,
+		StatusInfo: &proto.DaemonStatus{
+			Version:            Version,
+			Node:               d.cfg.NodeName,
+			Policy:             d.policyName,
+			Shards:             uint64(nShards),
+			Pending:            uint64(pending),
+			Tasks:              uint64(nTasks),
+			Journal:            d.journal != nil,
+			RecoveredPending:   uint64(rec.Pending),
+			RecoveredRunning:   uint64(rec.Running),
+			RecoveredCancelled: uint64(rec.Cancelled),
+			RecoveredTerminal:  uint64(rec.Terminal),
+		},
+	}
 }
 
 // handleTransferStats reports observed transfer performance so the
@@ -719,7 +979,19 @@ func (d *Daemon) handleRegisterDataspace(req *proto.Request) *proto.Response {
 		return errResp(err)
 	}
 	ds.Track = req.Dataspace.Track
+	d.recordDataspace(req.Dataspace)
 	return &proto.Response{Status: proto.Success}
+}
+
+// recordDataspace journals a dataspace configuration so recovered tasks
+// find their tiers after a restart. Best-effort, like record.
+func (d *Daemon) recordDataspace(spec *proto.DataspaceSpec) {
+	if d.journal == nil {
+		return
+	}
+	if err := d.journal.RecordDataspace(*spec); err != nil {
+		log.Printf("urd: journal: dataspace %s: %v", spec.ID, err)
+	}
 }
 
 func (d *Daemon) handleUpdateDataspace(req *proto.Request) *proto.Response {
@@ -733,6 +1005,7 @@ func (d *Daemon) handleUpdateDataspace(req *proto.Request) *proto.Response {
 	if err := d.Controller.Spaces.Update(req.Dataspace.ID, b); err != nil {
 		return errResp(err)
 	}
+	d.recordDataspace(req.Dataspace)
 	return &proto.Response{Status: proto.Success}
 }
 
@@ -742,6 +1015,11 @@ func (d *Daemon) handleUnregisterDataspace(req *proto.Request) *proto.Response {
 	}
 	if err := d.Controller.Spaces.Unregister(req.Dataspace.ID); err != nil {
 		return errResp(err)
+	}
+	if d.journal != nil {
+		if err := d.journal.RecordDataspaceRemoved(req.Dataspace.ID); err != nil {
+			log.Printf("urd: journal: dataspace %s: %v", req.Dataspace.ID, err)
+		}
 	}
 	return &proto.Response{Status: proto.Success}
 }

@@ -1,0 +1,382 @@
+package urd
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/queue"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
+)
+
+// gatedPolicy holds queued tasks back until opened, letting recovery
+// tests pin tasks in the Pending state deterministically. Closing the
+// daemon with the gate shut leaves the tasks queued — exactly the state
+// a crash leaves behind in the journal.
+type gatedPolicy struct {
+	mu    sync.Mutex
+	open  bool
+	inner *queue.FCFS
+}
+
+func (g *gatedPolicy) Name() string { return "gated" }
+func (g *gatedPolicy) Push(t *task.Task) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inner.Push(t)
+}
+func (g *gatedPolicy) Pop() *task.Task {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.open {
+		return nil
+	}
+	return g.inner.Pop()
+}
+func (g *gatedPolicy) Remove(id uint64) *task.Task {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.Remove(id)
+}
+func (g *gatedPolicy) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inner.Len()
+}
+
+func adminSubmit(t *testing.T, d *Daemon, payload, path string) uint64 {
+	t.Helper()
+	spec := &proto.TaskSpec{
+		Kind:   uint32(task.Copy),
+		Input:  proto.FromResource(task.MemoryRegion([]byte(payload))),
+		Output: proto.FromResource(task.PosixPath("nvme0://", path)),
+	}
+	id, err := d.Submit(spec, 0, true)
+	if err != nil {
+		t.Fatalf("submit %s: %v", path, err)
+	}
+	return id
+}
+
+func registerMounted(t *testing.T, d *Daemon, mount string) {
+	t.Helper()
+	resp := d.Handle(transport.PeerInfo{Control: true}, &proto.Request{
+		Op:        proto.OpRegisterDataspace,
+		Dataspace: &proto.DataspaceSpec{ID: "nvme0://", Backend: 1, Mount: mount},
+	})
+	if resp.Status != proto.Success {
+		t.Fatalf("register dataspace: %+v", resp)
+	}
+}
+
+func waitFinished(t *testing.T, d *Daemon, id uint64) {
+	t.Helper()
+	tk, err := d.Task(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tk.Wait(30 * time.Second) {
+		t.Fatalf("task %d did not terminate", id)
+	}
+	if st := tk.Stats(); st.Status != task.Finished {
+		t.Fatalf("task %d = %+v, want finished", id, st)
+	}
+}
+
+// TestKillAndRestartRecovery is the end-to-end crash-recovery scenario:
+// a daemon dies with one task finished, one mid-cancellation, one
+// recorded as running, and two still pending. The restarted daemon must
+// restore the dataspace from the journal, re-queue the pending and
+// running tasks exactly once and drive them to completion, confirm the
+// interrupted cancellation, and never re-run the finished task.
+func TestKillAndRestartRecovery(t *testing.T) {
+	base := t.TempDir()
+	state := filepath.Join(base, "state")
+	mount := filepath.Join(base, "nvme0")
+	if err := os.MkdirAll(mount, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := &gatedPolicy{inner: queue.NewFCFS(), open: true}
+	d1, err := New(Config{
+		NodeName:      "crash1",
+		Workers:       1,
+		StateDir:      state,
+		PolicyFactory: func() queue.Policy { return gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerMounted(t, d1, mount)
+
+	// Task A runs to completion while the gate is open; its terminal
+	// state is journaled.
+	idA := adminSubmit(t, d1, "alpha", "out/a")
+	waitFinished(t, d1, idA)
+
+	// Shut the gate: everything below stays Pending in d1 forever.
+	gate.mu.Lock()
+	gate.open = false
+	gate.mu.Unlock()
+
+	idB := adminSubmit(t, d1, "bravo", "out/b")
+	idC := adminSubmit(t, d1, "charlie", "out/c")
+	idD := adminSubmit(t, d1, "delta", "out/d")
+	idE := adminSubmit(t, d1, "echo", "out/e")
+
+	// Simulate the dispatch record of a worker that died mid-transfer
+	// (B) and a cancellation that was requested but never confirmed (E).
+	if err := d1.Journal().RecordState(idB, task.Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Journal().RecordState(idE, task.Cancelling, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: nothing after this instant reaches disk. Close() then
+	// behaves like the process dying — the gated queue never drains and
+	// the frozen journal neither records nor compacts.
+	d1.Journal().Freeze()
+	d1.Close()
+
+	// A's output vanished between the runs; if recovery wrongly re-ran
+	// the finished task, the file would reappear.
+	if err := os.Remove(filepath.Join(mount, "out", "a")); err != nil {
+		t.Fatal(err)
+	}
+
+	sock := filepath.Join(base, "ctl.sock")
+	d2, err := New(Config{NodeName: "crash2", Workers: 2, StateDir: state, ControlSocket: sock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+
+	rec := d2.Recovered()
+	if rec.Running != 1 || rec.Pending != 2 || rec.Cancelled != 1 || rec.Terminal != 1 {
+		t.Fatalf("recovered = %+v, want running=1 pending=2 cancelled=1 terminal=1", rec)
+	}
+
+	// The re-queued tasks complete without any re-registration: the
+	// dataspace came back from the journal.
+	for id, want := range map[uint64]string{idB: "bravo", idC: "charlie", idD: "delta"} {
+		waitFinished(t, d2, id)
+		got, err := os.ReadFile(filepath.Join(mount, "out", string(want[0])))
+		if err != nil {
+			t.Fatalf("recovered task %d output: %v", id, err)
+		}
+		if string(got) != want {
+			t.Fatalf("recovered task %d wrote %q, want %q", id, got, want)
+		}
+	}
+
+	// The finished task was resurrected, not re-run.
+	tkA, err := d2.Task(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tkA.Stats(); st.Status != task.Finished || st.MovedBytes != int64(len("alpha")) {
+		t.Fatalf("task A = %+v, want finished with %d bytes moved", st, len("alpha"))
+	}
+	if _, err := os.Stat(filepath.Join(mount, "out", "a")); !os.IsNotExist(err) {
+		t.Fatal("finished task was re-run after restart")
+	}
+
+	// The interrupted cancellation was confirmed, not restarted.
+	tkE, err := d2.Task(idE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tkE.Stats(); st.Status != task.Cancelled {
+		t.Fatalf("task E = %+v, want cancelled", st)
+	}
+	if _, err := os.Stat(filepath.Join(mount, "out", "e")); !os.IsNotExist(err) {
+		t.Fatal("cancelled task was re-run after restart")
+	}
+
+	// The ID space continues past everything the journal saw.
+	idF := adminSubmit(t, d2, "foxtrot", "out/f")
+	if idF <= idE {
+		t.Fatalf("post-recovery ID %d not above recovered IDs (max %d)", idF, idE)
+	}
+	waitFinished(t, d2, idF)
+
+	// The recovery counters surface through nornsctl status.
+	ctl, err := nornsctl.Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	st, err := ctl.StatusInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Journal || st.RecoveredRunning != 1 || st.RecoveredPending != 2 ||
+		st.RecoveredCancelled != 1 || st.RecoveredTerminal != 1 {
+		t.Fatalf("status info = %+v", st)
+	}
+}
+
+// TestRestartAfterGracefulCloseRequeuesNothing: the second restart sees
+// only terminal tasks — recovery re-queues exactly once, never again.
+func TestRestartAfterGracefulCloseRequeuesNothing(t *testing.T) {
+	base := t.TempDir()
+	state := filepath.Join(base, "state")
+	mount := filepath.Join(base, "nvme0")
+	if err := os.MkdirAll(mount, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := &gatedPolicy{inner: queue.NewFCFS()}
+	d1, err := New(Config{
+		NodeName:      "g1",
+		Workers:       1,
+		StateDir:      state,
+		PolicyFactory: func() queue.Policy { return gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerMounted(t, d1, mount)
+	idA := adminSubmit(t, d1, "alpha", "out/a")
+	idB := adminSubmit(t, d1, "bravo", "out/b")
+	d1.Journal().Freeze()
+	d1.Close()
+
+	d2, err := New(Config{NodeName: "g2", Workers: 2, StateDir: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := d2.Recovered(); rec.Requeued() != 2 {
+		t.Fatalf("first restart recovered = %+v, want 2 requeued", rec)
+	}
+	waitFinished(t, d2, idA)
+	waitFinished(t, d2, idB)
+	d2.Close() // graceful: terminal states journaled and compacted
+
+	d3, err := New(Config{NodeName: "g3", Workers: 2, StateDir: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	rec := d3.Recovered()
+	if rec.Requeued() != 0 || rec.Terminal != 2 {
+		t.Fatalf("second restart recovered = %+v, want 0 requeued, 2 terminal", rec)
+	}
+	// Terminal resurrection keeps old IDs answering status queries.
+	tk, err := d3.Task(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Status() != task.Finished {
+		t.Fatalf("task A after two restarts = %v", tk.Status())
+	}
+}
+
+// TestRecoveryBypassesQueueBounds: re-queued tasks are pre-crash
+// obligations the dead daemon had already admitted, so a restart with a
+// tighter shard-queue bound (or MaxInFlight) must still recover all of
+// them instead of failing the overflow.
+func TestRecoveryBypassesQueueBounds(t *testing.T) {
+	base := t.TempDir()
+	state := filepath.Join(base, "state")
+	mount := filepath.Join(base, "nvme0")
+	if err := os.MkdirAll(mount, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := &gatedPolicy{inner: queue.NewFCFS()}
+	d1, err := New(Config{
+		NodeName:      "b1",
+		Workers:       1,
+		StateDir:      state,
+		PolicyFactory: func() queue.Policy { return gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerMounted(t, d1, mount)
+	ids := []uint64{
+		adminSubmit(t, d1, "alpha", "out/a"),
+		adminSubmit(t, d1, "bravo", "out/b"),
+		adminSubmit(t, d1, "charlie", "out/c"),
+	}
+	d1.Journal().Freeze()
+	d1.Close()
+
+	d2, err := New(Config{
+		NodeName: "b2", Workers: 1, StateDir: state,
+		MaxShardQueue: 1, MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rec := d2.Recovered(); rec.Requeued() != 3 {
+		t.Fatalf("recovered = %+v, want all 3 re-queued despite bounds", rec)
+	}
+	for _, id := range ids {
+		waitFinished(t, d2, id)
+	}
+}
+
+// TestRecoveryWithDeadlineExpired: a recovered task whose deadline
+// passed while the daemon was down must expire, not re-run.
+func TestRecoveryWithDeadlineExpired(t *testing.T) {
+	base := t.TempDir()
+	state := filepath.Join(base, "state")
+	mount := filepath.Join(base, "nvme0")
+	if err := os.MkdirAll(mount, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := &gatedPolicy{inner: queue.NewFCFS()}
+	d1, err := New(Config{
+		NodeName:      "dl1",
+		Workers:       1,
+		StateDir:      state,
+		PolicyFactory: func() queue.Policy { return gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerMounted(t, d1, mount)
+	spec := &proto.TaskSpec{
+		Kind:       uint32(task.Copy),
+		Input:      proto.FromResource(task.MemoryRegion([]byte("late"))),
+		Output:     proto.FromResource(task.PosixPath("nvme0://", "out/late")),
+		DeadlineMS: 50,
+	}
+	id, err := d1.Submit(spec, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Journal().Freeze()
+	d1.Close()
+
+	time.Sleep(100 * time.Millisecond) // the daemon is "down" past the deadline
+
+	d2, err := New(Config{NodeName: "dl2", Workers: 1, StateDir: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	tk, err := d2.Task(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tk.Wait(30 * time.Second) {
+		t.Fatal("deadlined task did not terminate")
+	}
+	if st := tk.Stats(); st.Status != task.Failed {
+		t.Fatalf("deadlined task = %+v, want failed", st)
+	}
+	if _, err := os.Stat(filepath.Join(mount, "out", "late")); !os.IsNotExist(err) {
+		t.Fatal("expired task still wrote its output")
+	}
+}

@@ -79,6 +79,29 @@ func (fr *FrameReader) ReadFrame() ([]byte, error) {
 	return fr.buf, nil
 }
 
+// ParseFrame splits one length-prefixed frame off the front of buf,
+// returning the message bytes and the remaining input. The message
+// aliases buf. A frame whose length prefix or payload extends past the
+// end of buf returns ErrTruncated — callers replaying an append-only
+// log use this to detect (and discard) a partial final record from an
+// interrupted write.
+func ParseFrame(buf []byte) (msg, rest []byte, err error) {
+	n, sz := binary.Uvarint(buf)
+	if sz == 0 {
+		return nil, buf, ErrTruncated
+	}
+	if sz < 0 {
+		return nil, buf, ErrOverflow
+	}
+	if n > MaxMessageSize {
+		return nil, buf, fmt.Errorf("%w (frame of %d bytes)", ErrTooLarge, n)
+	}
+	if n > uint64(len(buf)-sz) {
+		return nil, buf, ErrTruncated
+	}
+	return buf[sz : sz+int(n)], buf[sz+int(n):], nil
+}
+
 // ReadMessage reads one frame and unmarshals it into m.
 func (fr *FrameReader) ReadMessage(m Unmarshaler) error {
 	b, err := fr.ReadFrame()
