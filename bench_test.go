@@ -158,6 +158,20 @@ func BenchmarkAblationBufSize(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationStreams sweeps the segmented transfer engine's
+// parallel streams × segment size over a real ofi+tcp staging path —
+// the multi-stream bandwidth table behind the paper's figures 6-7
+// (streams=1 rows are the pre-segmentation sequential baseline).
+func BenchmarkAblationStreams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationStreams(b.TempDir(), 64<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+	}
+}
+
 // BenchmarkAblationStagingTier compares intermediate-data tiers: PFS vs
 // shared burst buffer vs node-local NVM (the paper's future-work
 // burst-buffer plugin, modeled).

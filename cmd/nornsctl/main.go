@@ -14,6 +14,7 @@
 //	nornsctl tracked-non-empty
 //	nornsctl cancel 17
 //	nornsctl task-status 17
+//	nornsctl watch 17
 //	nornsctl shutdown
 package main
 
@@ -23,8 +24,10 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/task"
 )
 
 var backendNames = map[string]uint32{
@@ -35,8 +38,24 @@ var backendNames = map[string]uint32{
 	"memory":       nornsctl.BackendMemory,
 }
 
+// mib renders a byte count in MiB with one decimal.
+func mib(n int64) string { return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20)) }
+
+// progressLine renders one watch snapshot.
+func progressLine(id uint64, st nornsctl.Stats) string {
+	line := fmt.Sprintf("task %d: %s %s/%s", id, st.Status, mib(st.MovedBytes), mib(st.TotalBytes))
+	if st.SegmentsTotal > 0 {
+		line += fmt.Sprintf(" segments %d/%d", st.SegmentsDone, st.SegmentsTotal)
+	}
+	if st.BandwidthBps > 0 {
+		line += fmt.Sprintf(" %.1f MiB/s", st.BandwidthBps/(1<<20))
+	}
+	return line
+}
+
 func main() {
 	socket := flag.String("socket", "/tmp/nornsctl.sock", "control socket path")
+	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval for the watch command")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -167,10 +186,34 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("task %d: %s (%d/%d bytes)", id, st.Status, st.MovedBytes, st.TotalBytes)
+		if st.SegmentsTotal > 0 {
+			fmt.Printf(" segments %d/%d", st.SegmentsDone, st.SegmentsTotal)
+		}
 		if st.Err != "" {
 			fmt.Printf(" err=%q", st.Err)
 		}
 		fmt.Println()
+	case "watch":
+		// Live progress: poll the extended task status and redraw one
+		// line until the task terminates.
+		if len(rest) < 1 {
+			log.Fatal("usage: watch TASK-ID")
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			log.Fatalf("task ID %q: %v", rest[0], err)
+		}
+		st, err := c.Watch(id, *interval, func(st nornsctl.Stats) {
+			fmt.Printf("\r\x1b[K%s", progressLine(id, st))
+		})
+		if err != nil {
+			fmt.Println()
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if st.Status == task.Failed {
+			log.Fatalf("task %d failed: %s", id, st.Err)
+		}
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}

@@ -7,6 +7,7 @@
 //
 //	urd -node node001 -user /tmp/norns.sock -control /tmp/nornsctl.sock \
 //	    -workers 4 -policy fcfs -state-dir /var/lib/urd \
+//	    -transfer-streams 4 -segment-size 8M -max-bandwidth 500M \
 //	    -fabric ofi+tcp -fabric-addr 0.0.0.0:4710
 package main
 
@@ -16,13 +17,37 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/journal"
 	"github.com/ngioproject/norns-go/internal/queue"
 	"github.com/ngioproject/norns-go/internal/urd"
 )
+
+// parseSize parses a byte count with an optional K/M/G suffix (powers
+// of 1024), e.g. "8M" or "262144".
+func parseSize(s string) (int64, error) {
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
 
 func main() {
 	var (
@@ -38,8 +63,26 @@ func main() {
 		fabric     = flag.String("fabric", "", "mercury NA plugin for node-to-node transfers (e.g. ofi+tcp); empty disables")
 		fabricAddr = flag.String("fabric-addr", "", "fabric listen address")
 		peers      = flag.String("peers", "", "comma-separated node=addr fabric peers")
+		streams    = flag.Int("transfer-streams", 0, "concurrent segment streams per transfer (0 = default 4)")
+		segSize    = flag.String("segment-size", "", "transfer segment size, e.g. 8M (empty = default 8M); segments parallelize and checkpoint individually")
+		maxBW      = flag.String("max-bandwidth", "", "aggregate transfer bandwidth cap in bytes/s, e.g. 500M (empty = unlimited)")
+		bufSize    = flag.String("buf-size", "", "copy/throttle chunk size, e.g. 256K (empty = default 256K); bounds cancel latency")
+		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "deadline per peer RPC / bulk-stream idle gap (0 = none)")
 	)
 	flag.Parse()
+
+	segBytes, err := parseSize(*segSize)
+	if err != nil {
+		log.Fatalf("bad -segment-size %q: %v", *segSize, err)
+	}
+	bwBytes, err := parseSize(*maxBW)
+	if err != nil {
+		log.Fatalf("bad -max-bandwidth %q: %v", *maxBW, err)
+	}
+	bufBytes, err := parseSize(*bufSize)
+	if err != nil {
+		log.Fatalf("bad -buf-size %q: %v", *bufSize, err)
+	}
 
 	var factory func() queue.Policy
 	switch *policy {
@@ -56,15 +99,20 @@ func main() {
 	}
 
 	cfg := urd.Config{
-		NodeName:       *node,
-		UserSocket:     *userSock,
-		ControlSocket:  *ctlSock,
-		Workers:        *workers,
-		PolicyFactory:  factory,
-		MaxShardQueue:  *shardQueue,
-		MaxInFlight:    *maxTasks,
-		StateDir:       *stateDir,
-		JournalOptions: journal.Options{Sync: *stateSync},
+		NodeName:        *node,
+		UserSocket:      *userSock,
+		ControlSocket:   *ctlSock,
+		Workers:         *workers,
+		PolicyFactory:   factory,
+		MaxShardQueue:   *shardQueue,
+		MaxInFlight:     *maxTasks,
+		StateDir:        *stateDir,
+		JournalOptions:  journal.Options{Sync: *stateSync},
+		BufSize:         int(bufBytes),
+		SegmentSize:     segBytes,
+		TransferStreams: *streams,
+		MaxBandwidthBps: bwBytes,
+		RPCTimeout:      *rpcTimeout,
 	}
 	if *fabric != "" {
 		resolver := urd.NewStaticResolver()

@@ -56,7 +56,9 @@ func NewIOTask(kind task.Kind, input, output task.Resource) IOTask {
 	return IOTask{Kind: kind, Input: input, Output: output}
 }
 
-// Stats is the norns_stat_t completion report.
+// Stats is the norns_stat_t completion report, extended with the
+// segmented transfer engine's live progress fields: polling a running
+// task reports bytes moved, segments done, and the observed rate.
 type Stats struct {
 	Status     task.Status
 	Err        string
@@ -65,6 +67,12 @@ type Stats struct {
 	// SizeErr reports a failed up-front size probe; TotalBytes is then an
 	// explicit 0 fallback rather than a measured value.
 	SizeErr string
+	// SegmentsTotal/SegmentsDone report the transfer plan's completion
+	// (0 total = unsegmented path).
+	SegmentsTotal uint64
+	SegmentsDone  uint64
+	// BandwidthBps is the task's observed transfer rate at poll time.
+	BandwidthBps float64
 }
 
 // DataspaceInfo describes one dataspace visible to the caller.
@@ -172,11 +180,14 @@ func (c *Client) Error(t *IOTask) (Stats, error) {
 
 func statsOf(st *proto.TaskStats) Stats {
 	return Stats{
-		Status:     task.Status(st.Status),
-		Err:        st.Err,
-		TotalBytes: st.TotalBytes,
-		MovedBytes: st.MovedBytes,
-		SizeErr:    st.SizeErr,
+		Status:        task.Status(st.Status),
+		Err:           st.Err,
+		TotalBytes:    st.TotalBytes,
+		MovedBytes:    st.MovedBytes,
+		SizeErr:       st.SizeErr,
+		SegmentsTotal: st.SegmentsTotal,
+		SegmentsDone:  st.SegmentsDone,
+		BandwidthBps:  st.BandwidthBps,
 	}
 }
 

@@ -56,7 +56,9 @@ type ProcDef struct {
 	GID uint64
 }
 
-// Stats mirrors the user API's completion report.
+// Stats mirrors the user API's completion report, extended with the
+// segmented transfer engine's live progress: polling a running task
+// reports bytes moved, segments done, and the observed rate.
 type Stats struct {
 	Status     task.Status
 	Err        string
@@ -65,15 +67,24 @@ type Stats struct {
 	// SizeErr reports a failed up-front size probe; TotalBytes is then an
 	// explicit 0 fallback rather than a measured value.
 	SizeErr string
+	// SegmentsTotal/SegmentsDone report the transfer plan's completion
+	// (0 total = unsegmented path).
+	SegmentsTotal uint64
+	SegmentsDone  uint64
+	// BandwidthBps is the task's observed transfer rate at poll time.
+	BandwidthBps float64
 }
 
 func statsOf(st *proto.TaskStats) Stats {
 	return Stats{
-		Status:     task.Status(st.Status),
-		Err:        st.Err,
-		TotalBytes: st.TotalBytes,
-		MovedBytes: st.MovedBytes,
-		SizeErr:    st.SizeErr,
+		Status:        task.Status(st.Status),
+		Err:           st.Err,
+		TotalBytes:    st.TotalBytes,
+		MovedBytes:    st.MovedBytes,
+		SizeErr:       st.SizeErr,
+		SegmentsTotal: st.SegmentsTotal,
+		SegmentsDone:  st.SegmentsDone,
+		BandwidthBps:  st.BandwidthBps,
 	}
 }
 
@@ -307,14 +318,32 @@ func (c *Client) RemoveProcess(jobID uint64, p ProcDef) error {
 	})
 }
 
+// SubmitOptions carries the optional knobs of a staging submission.
+type SubmitOptions struct {
+	JobID    uint64
+	Priority int
+	// DeadlineMS bounds the task's execution (0 = none).
+	DeadlineMS int64
+	// MaxBps caps the task's transfer bandwidth in bytes per second
+	// (0 = none), layered under the daemon-wide governor.
+	MaxBps int64
+}
+
 // Submit queues an administrative I/O task (staging), returning its ID.
 func (c *Client) Submit(kind task.Kind, input, output task.Resource, jobID uint64, priority int) (uint64, error) {
+	return c.SubmitTask(kind, input, output, SubmitOptions{JobID: jobID, Priority: priority})
+}
+
+// SubmitTask queues a staging task with the full option set.
+func (c *Client) SubmitTask(kind task.Kind, input, output task.Resource, opts SubmitOptions) (uint64, error) {
 	spec := &proto.TaskSpec{
-		Kind:     uint32(kind),
-		Input:    proto.FromResource(input),
-		Output:   proto.FromResource(output),
-		Priority: int64(priority),
-		JobID:    jobID,
+		Kind:       uint32(kind),
+		Input:      proto.FromResource(input),
+		Output:     proto.FromResource(output),
+		Priority:   int64(opts.Priority),
+		JobID:      opts.JobID,
+		DeadlineMS: opts.DeadlineMS,
+		MaxBps:     opts.MaxBps,
 	}
 	resp, err := c.conn.Call(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
 	if err != nil {
@@ -324,6 +353,29 @@ func (c *Client) Submit(kind task.Kind, input, output task.Resource, jobID uint6
 		return 0, apiError(resp)
 	}
 	return resp.TaskID, nil
+}
+
+// Watch polls a task's stats every interval, invoking fn with each
+// snapshot (the last call is the terminal one), until the task reaches
+// a terminal state. It returns the terminal stats — what
+// `nornsctl watch` renders as a live progress line.
+func (c *Client) Watch(taskID uint64, interval time.Duration, fn func(Stats)) (Stats, error) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.TaskStatus(taskID)
+		if err != nil {
+			return Stats{}, err
+		}
+		if fn != nil {
+			fn(st)
+		}
+		if st.Status.Terminal() {
+			return st, nil
+		}
+		time.Sleep(interval)
+	}
 }
 
 // ErrTimeout is returned by Wait when the timeout elapses first.

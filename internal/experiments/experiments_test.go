@@ -319,6 +319,29 @@ func TestAblationBufSize(t *testing.T) {
 	}
 }
 
+// TestAblationStreams verifies the streams × segment-size sweep runs
+// the full staging path and reports positive bandwidth in every cell.
+// The actual scaling claim is the benchmark's job — on small CI boxes
+// single-core saturation can flatten the curve, so the test asserts
+// shape, not speedup.
+func TestAblationStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket benchmark")
+	}
+	tab, err := AblationStreams(t.TempDir(), 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	for i, row := range tab.Rows {
+		if bw := cell(t, row[2]); bw <= 0 {
+			t.Errorf("row %d: bandwidth %v", i, bw)
+		}
+	}
+}
+
 // TestAblationStagingTier verifies the tier ordering: node-local NVM
 // beats the shared burst buffer, which beats the PFS.
 func TestAblationStagingTier(t *testing.T) {

@@ -41,6 +41,7 @@ const (
 	recState     = 2 // a task state transition
 	recDataspace = 3 // a dataspace registration, update, or removal
 	recHeader    = 4 // snapshot header (ID high-water mark)
+	recProgress  = 5 // a segment-bitmap checkpoint of a running transfer
 )
 
 // record is the single on-disk message. One struct with optional fields
@@ -57,6 +58,13 @@ type record struct {
 	DSDelID string
 	Total   int64
 	Moved   int64
+	SegSize int64
+	SegBits []byte
+	SegPlan int64
+	// SegsTotal/SegsDone are the final segment counters of a terminal
+	// record, so a resurrected task keeps reporting its segment plan.
+	SegsTotal uint32
+	SegsDone  uint32
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -92,6 +100,21 @@ func (r *record) MarshalWire(e *wire.Encoder) {
 	if r.Moved != 0 {
 		e.Int64(11, r.Moved)
 	}
+	if r.SegSize != 0 {
+		e.Int64(12, r.SegSize)
+	}
+	if len(r.SegBits) > 0 {
+		e.Bytes(13, r.SegBits)
+	}
+	if r.SegPlan != 0 {
+		e.Int64(14, r.SegPlan)
+	}
+	if r.SegsTotal != 0 {
+		e.Uint32(15, r.SegsTotal)
+	}
+	if r.SegsDone != 0 {
+		e.Uint32(16, r.SegsDone)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -122,6 +145,16 @@ func (r *record) UnmarshalWire(d *wire.Decoder) error {
 			r.Total = d.Int64()
 		case 11:
 			r.Moved = d.Int64()
+		case 12:
+			r.SegSize = d.Int64()
+		case 13:
+			r.SegBits = append([]byte(nil), d.Bytes()...)
+		case 14:
+			r.SegPlan = d.Int64()
+		case 15:
+			r.SegsTotal = d.Uint32()
+		case 16:
+			r.SegsDone = d.Uint32()
 		default:
 			d.Skip()
 		}
@@ -139,6 +172,19 @@ type TaskRecord struct {
 	Err        string
 	TotalBytes int64
 	MovedBytes int64
+	// SegSize/SegPlan/SegBits are the last progress checkpoint of a
+	// running transfer: the segment size, the planned total bytes (the
+	// checkpoint's identity — a resized source invalidates it), and the
+	// completion bitmap. A recovered task with a matching checkpoint
+	// re-copies only the segments missing from the bitmap instead of
+	// the whole file. Cleared once the task is terminal.
+	SegSize int64
+	SegPlan int64
+	SegBits []byte
+	// SegsTotal/SegsDone are the final segment counters of a terminal
+	// task (resurrection fidelity; zero while running).
+	SegsTotal int
+	SegsDone  int
 }
 
 // Options tunes a journal. The zero value selects the defaults.
@@ -319,6 +365,13 @@ func (j *Journal) apply(rec *record) {
 			tr.Err = rec.Err
 			tr.TotalBytes = rec.Total
 			tr.MovedBytes = rec.Moved
+			tr.SegsTotal = int(rec.SegsTotal)
+			tr.SegsDone = int(rec.SegsDone)
+		}
+		if rec.SegSize != 0 {
+			tr.SegSize = rec.SegSize
+			tr.SegPlan = rec.SegPlan
+			tr.SegBits = rec.SegBits
 		}
 	case recState:
 		tr, ok := j.tasks[rec.TaskID]
@@ -334,6 +387,23 @@ func (j *Journal) apply(rec *record) {
 		tr.Status = task.Status(rec.Status)
 		tr.Err = rec.Err
 		tr.TotalBytes = rec.Total
+		tr.MovedBytes = rec.Moved
+		if tr.Status.Terminal() {
+			// A terminal task never resumes; keeping its checkpoint would
+			// only bloat every later snapshot. The scalar segment counters
+			// stay for status resurrection.
+			tr.SegSize, tr.SegPlan, tr.SegBits = 0, 0, nil
+			tr.SegsTotal = int(rec.SegsTotal)
+			tr.SegsDone = int(rec.SegsDone)
+		}
+	case recProgress:
+		tr, ok := j.tasks[rec.TaskID]
+		if !ok || tr.Status.Terminal() {
+			return
+		}
+		tr.SegSize = rec.SegSize
+		tr.SegPlan = rec.SegPlan
+		tr.SegBits = rec.SegBits
 		tr.MovedBytes = rec.Moved
 	case recDataspace:
 		if rec.DSDel {
@@ -398,12 +468,32 @@ func (j *Journal) RecordState(id uint64, s task.Status, errMsg string) error {
 // restart can resurrect the progress/completion report intact.
 func (j *Journal) RecordStats(id uint64, st task.Stats) error {
 	return j.append(&record{
-		Kind:   recState,
-		TaskID: id,
-		Status: uint32(st.Status),
-		Err:    st.Err,
-		Total:  st.TotalBytes,
-		Moved:  st.MovedBytes,
+		Kind:      recState,
+		TaskID:    id,
+		Status:    uint32(st.Status),
+		Err:       st.Err,
+		Total:     st.TotalBytes,
+		Moved:     st.MovedBytes,
+		SegsTotal: uint32(st.SegmentsTotal),
+		SegsDone:  uint32(st.SegmentsDone),
+	})
+}
+
+// RecordProgress checkpoints a running transfer's segment bitmap so a
+// crash-restart resumes from the completed segments instead of
+// re-copying the whole file. planBytes is the planned transfer size —
+// the checkpoint's identity alongside segSize; moved is the task's
+// MovedBytes at the checkpoint, kept for journal observability (the
+// resumed task counts only its own newly moved bytes; resume
+// correctness comes from the bitmap and plan alone).
+func (j *Journal) RecordProgress(id uint64, segSize, planBytes int64, bits []byte, moved int64) error {
+	return j.append(&record{
+		Kind:    recProgress,
+		TaskID:  id,
+		SegSize: segSize,
+		SegPlan: planBytes,
+		SegBits: bits,
+		Moved:   moved,
 	})
 }
 
@@ -510,13 +600,18 @@ func (j *Journal) compactLocked() error {
 		}
 		spec := tr.Spec
 		werr = w.WriteMessage(&record{
-			Kind:   recSubmit,
-			TaskID: tr.ID,
-			Spec:   &spec,
-			Status: uint32(tr.Status),
-			Err:    tr.Err,
-			Total:  tr.TotalBytes,
-			Moved:  tr.MovedBytes,
+			Kind:      recSubmit,
+			TaskID:    tr.ID,
+			Spec:      &spec,
+			Status:    uint32(tr.Status),
+			Err:       tr.Err,
+			Total:     tr.TotalBytes,
+			Moved:     tr.MovedBytes,
+			SegSize:   tr.SegSize,
+			SegPlan:   tr.SegPlan,
+			SegBits:   tr.SegBits,
+			SegsTotal: uint32(tr.SegsTotal),
+			SegsDone:  uint32(tr.SegsDone),
 		})
 	}
 	if werr == nil {

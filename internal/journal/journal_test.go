@@ -314,3 +314,60 @@ func TestConcurrentAppends(t *testing.T) {
 		}
 	}
 }
+
+// TestProgressCheckpointAndClear: segment checkpoints accumulate on a
+// task record, an all-zero progress record clears them (the engine's
+// journal-side discard when a destination vanished), and both states
+// survive compaction and reopen.
+func TestProgressCheckpointAndClear(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.RecordSubmit(1, specFor("x", "f")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordState(1, task.Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordProgress(1, 256, 1024, []byte{0x03}, 512); err != nil {
+		t.Fatal(err)
+	}
+	tr := taskByID(t, j, 1)
+	if tr.SegSize != 256 || tr.SegPlan != 1024 || len(tr.SegBits) != 1 || tr.SegBits[0] != 0x03 {
+		t.Fatalf("checkpoint = %+v", tr)
+	}
+	// Survives compaction + reopen.
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j = mustOpen(t, dir, Options{})
+	tr = taskByID(t, j, 1)
+	if tr.SegSize != 256 || tr.SegPlan != 1024 || len(tr.SegBits) != 1 {
+		t.Fatalf("checkpoint lost across reopen: %+v", tr)
+	}
+	// The clear record wipes it.
+	if err := j.RecordProgress(1, 0, 0, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr = taskByID(t, j, 1)
+	if tr.SegSize != 0 || tr.SegPlan != 0 || len(tr.SegBits) != 0 {
+		t.Fatalf("clear record did not wipe checkpoint: %+v", tr)
+	}
+	// Terminal transitions retain the scalar counters but never the
+	// bitmap.
+	if err := j.RecordStats(1, task.Stats{
+		Status: task.Finished, TotalBytes: 1024, MovedBytes: 1024,
+		SegmentsTotal: 4, SegmentsDone: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr = taskByID(t, j, 1)
+	if len(tr.SegBits) != 0 || tr.SegsTotal != 4 || tr.SegsDone != 4 {
+		t.Fatalf("terminal record = %+v", tr)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

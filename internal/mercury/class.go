@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/wire"
 )
@@ -14,6 +15,13 @@ import (
 // 256 KiB keeps frames well under wire.MaxMessageSize while amortizing
 // framing cost.
 const DefaultBulkChunk = 256 << 10
+
+// DefaultBulkKeepalive is how often a pull stream emits keepalive
+// frames while its provider read is blocked (e.g. waiting on a
+// bandwidth governor), so the pulling peer's idle deadline measures
+// real silence rather than throttling. Must stay comfortably below any
+// sane RPC timeout.
+const DefaultBulkKeepalive = 500 * time.Millisecond
 
 // RPCHandler serves one named RPC: it receives the request payload and
 // returns the response payload.
@@ -26,6 +34,15 @@ type BulkProvider interface {
 	io.WriterAt
 	// Size returns the exposed region's length in bytes.
 	Size() int64
+}
+
+// ConcurrentReaderAt is an optional BulkProvider capability: providers
+// whose ReadAt serves concurrent random offsets efficiently report
+// true, and senders advertise multi-stream pulls only for them. A
+// provider without the method (or reporting false) is assumed to be a
+// sequential adapter that interleaved segment reads would thrash.
+type ConcurrentReaderAt interface {
+	ConcurrentReadAt() bool
 }
 
 // MemRegion is a BulkProvider over a byte slice.
@@ -63,6 +80,9 @@ func (m *MemRegion) WriteAt(p []byte, off int64) (int, error) {
 
 // Size implements BulkProvider.
 func (m *MemRegion) Size() int64 { return int64(len(m.buf)) }
+
+// ConcurrentReadAt implements ConcurrentReaderAt.
+func (m *MemRegion) ConcurrentReadAt() bool { return true }
 
 // Bytes returns the underlying buffer.
 func (m *MemRegion) Bytes() []byte { return m.buf }
@@ -114,7 +134,9 @@ type Class struct {
 	listener net.Listener
 	closed   bool
 
-	chunk int
+	chunk      int
+	rpcTimeout time.Duration
+	keepalive  time.Duration
 
 	connMu sync.Mutex
 	conns  map[string]*Endpoint
@@ -132,13 +154,22 @@ func NewClass(pluginName string) (*Class, error) {
 		return nil, err
 	}
 	return &Class{
-		plugin:   p,
-		handlers: make(map[string]RPCHandler),
-		bulk:     make(map[uint64]BulkProvider),
-		conns:    make(map[string]*Endpoint),
-		inbound:  make(map[net.Conn]struct{}),
-		chunk:    DefaultBulkChunk,
+		plugin:    p,
+		handlers:  make(map[string]RPCHandler),
+		bulk:      make(map[uint64]BulkProvider),
+		conns:     make(map[string]*Endpoint),
+		inbound:   make(map[net.Conn]struct{}),
+		chunk:     DefaultBulkChunk,
+		keepalive: DefaultBulkKeepalive,
 	}, nil
+}
+
+// SetBulkKeepalive overrides the pull-stream keepalive interval
+// (tests; <=0 is ignored). Set before serving traffic.
+func (c *Class) SetBulkKeepalive(d time.Duration) {
+	if d > 0 {
+		c.keepalive = d
+	}
 }
 
 // SetBulkChunk overrides the bulk chunk size (for the buffer-size
@@ -146,6 +177,17 @@ func NewClass(pluginName string) (*Class, error) {
 func (c *Class) SetBulkChunk(n int) {
 	if n > 0 && n <= wire.MaxMessageSize/2 {
 		c.chunk = n
+	}
+}
+
+// SetRPCTimeout bounds every outbound RPC wait and bulk-stream idle gap
+// on this class's endpoints (0 disables, the default). A hung peer then
+// surfaces as ErrRPCTimeout on the blocked call — and fails the endpoint
+// so later calls redial — instead of wedging a transfer worker forever.
+// Set it before issuing RPCs; it is read without synchronization.
+func (c *Class) SetRPCTimeout(d time.Duration) {
+	if d >= 0 {
+		c.rpcTimeout = d
 	}
 }
 
@@ -314,6 +356,9 @@ type pushState struct {
 }
 
 // serveBulkPull streams the requested range in chunks, then an ack.
+// While a provider read is slow — typically blocked on a bandwidth
+// governor — keepalive frames go out so the pulling peer's idle
+// deadline measures silence, not throttling.
 func (c *Class) serveBulkPull(req *message, send func(*message) error) error {
 	p, err := c.provider(req.Handle)
 	if err != nil {
@@ -323,6 +368,37 @@ func (c *Class) serveBulkPull(req *message, send func(*message) error) error {
 	if count <= 0 {
 		count = p.Size() - off
 	}
+	// One ticker and result channel serve the whole pull (a spurious
+	// keepalive between chunks is harmless); only the blocking-read
+	// goroutine is per chunk, since a blocked ReadAt cannot otherwise be
+	// waited on alongside the ticker.
+	type readResult struct {
+		n   int
+		err error
+	}
+	rc := make(chan readResult, 1)
+	tick := time.NewTicker(c.keepalive)
+	defer tick.Stop()
+	readKeepalive := func(b []byte, at int64) (int, error) {
+		go func() {
+			n, err := p.ReadAt(b, at)
+			rc <- readResult{n, err}
+		}()
+		for {
+			select {
+			case r := <-rc:
+				return r.n, r.err
+			case <-tick.C:
+				if err := send(&message{Seq: req.Seq, Kind: kindBulkKeepalive}); err != nil {
+					// Connection gone; the in-flight read drains into the
+					// buffered channel and is collected. The caller
+					// returns immediately, so the channel is never reused
+					// after an abandoned read.
+					return 0, err
+				}
+			}
+		}
+	}
 	buf := make([]byte, c.chunk)
 	var sent int64
 	for sent < count {
@@ -330,7 +406,7 @@ func (c *Class) serveBulkPull(req *message, send func(*message) error) error {
 		if count-sent < n {
 			n = count - sent
 		}
-		read, rerr := p.ReadAt(buf[:n], off+sent)
+		read, rerr := readKeepalive(buf[:n], off+sent)
 		if read > 0 {
 			if err := send(&message{Seq: req.Seq, Kind: kindBulkData, Offset: off + sent, Payload: buf[:read]}); err != nil {
 				return err
@@ -349,9 +425,23 @@ func (c *Class) serveBulkPull(req *message, send func(*message) error) error {
 
 // Lookup returns a (cached) endpoint for the given address.
 func (c *Class) Lookup(addr string) (*Endpoint, error) {
+	return c.LookupSlot(addr, 0)
+}
+
+// LookupSlot returns a (cached) endpoint for addr in the given
+// connection slot. Distinct slots are distinct physical connections:
+// parallel transfer streams use one slot each so segment pulls do not
+// serialize behind a single connection's framing — the multi-stream
+// staging model of the paper's bandwidth experiments. Slot 0 is the
+// default connection Lookup uses.
+func (c *Class) LookupSlot(addr string, slot int) (*Endpoint, error) {
+	key := addr
+	if slot != 0 {
+		key = fmt.Sprintf("%s#%d", addr, slot)
+	}
 	c.connMu.Lock()
 	defer c.connMu.Unlock()
-	if ep, ok := c.conns[addr]; ok && !ep.broken() {
+	if ep, ok := c.conns[key]; ok && !ep.broken() {
 		return ep, nil
 	}
 	conn, err := c.plugin.Dial(addr)
@@ -359,7 +449,7 @@ func (c *Class) Lookup(addr string) (*Endpoint, error) {
 		return nil, err
 	}
 	ep := newEndpoint(c, conn, addr)
-	c.conns[addr] = ep
+	c.conns[key] = ep
 	return ep, nil
 }
 

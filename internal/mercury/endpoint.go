@@ -1,12 +1,21 @@
 package mercury
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/wire"
 )
+
+// ErrRPCTimeout reports an RPC or bulk stream that exceeded the class's
+// configured deadline (SetRPCTimeout) waiting on the peer. The endpoint
+// is failed as a side effect: a peer that stopped responding mid-stream
+// cannot be trusted with the connection's framing, so later lookups
+// redial.
+var ErrRPCTimeout = errors.New("mercury: rpc deadline exceeded")
 
 // Endpoint is an outbound connection to a remote Class. It supports
 // concurrent pipelined RPCs and bulk operations, matched by sequence
@@ -24,6 +33,12 @@ type Endpoint struct {
 	nextSeq uint64
 	err     error
 	closed  bool
+
+	// failed is closed (once) when the endpoint fails; waiters select on
+	// it instead of on closed pending channels, so the readLoop can keep
+	// blocking-sends (the bulk flow-control mechanism) without ever
+	// racing a channel close.
+	failed chan struct{}
 }
 
 func newEndpoint(c *Class, conn net.Conn, addr string) *Endpoint {
@@ -33,6 +48,7 @@ func newEndpoint(c *Class, conn net.Conn, addr string) *Endpoint {
 		addr:    addr,
 		fw:      wire.NewFrameWriter(conn),
 		pending: make(map[uint64]chan *message),
+		failed:  make(chan struct{}),
 	}
 	go ep.readLoop()
 	return ep
@@ -54,7 +70,14 @@ func (ep *Endpoint) readLoop() {
 		ep.mu.Unlock()
 		if ch != nil {
 			mm := m
-			ch <- &mm
+			// Blocking send is the bulk flow control (TCP backpressure
+			// when the consumer is slower); the failed arm releases the
+			// loop if the endpoint is torn down while the consumer is
+			// gone — channels are never closed, so this cannot panic.
+			select {
+			case ch <- &mm:
+			case <-ep.failed:
+			}
 		}
 	}
 }
@@ -64,10 +87,7 @@ func (ep *Endpoint) fail(err error) {
 	defer ep.mu.Unlock()
 	if ep.err == nil {
 		ep.err = err
-	}
-	for seq, ch := range ep.pending {
-		delete(ep.pending, seq)
-		close(ch)
+		close(ep.failed)
 	}
 }
 
@@ -106,8 +126,100 @@ func (ep *Endpoint) send(m *message) error {
 	return ep.fw.WriteMessage(m)
 }
 
-// Forward issues an RPC and waits for its response payload.
+// recv waits for one message on ch, bounded by the class's RPC timeout
+// when one is configured. A timeout fails the endpoint and closes the
+// connection so the stuck readLoop exits and later lookups redial.
+// Messages already buffered are drained before the failure signal is
+// honored, so a response that won the race is never discarded.
+func (ep *Endpoint) recv(ch chan *message, timer *rpcTimer) (*message, error) {
+	select {
+	case m := <-ch:
+		return m, nil
+	default:
+	}
+	if timer == nil {
+		select {
+		case m := <-ch:
+			return m, nil
+		case <-ep.failed:
+			return nil, ep.waitErr()
+		}
+	}
+	select {
+	case m := <-ch:
+		return m, nil
+	case <-ep.failed:
+		return nil, ep.waitErr()
+	case <-timer.c():
+		ep.fail(ErrRPCTimeout)
+		ep.conn.Close()
+		return nil, ErrRPCTimeout
+	}
+}
+
+// waitErr reports why a pending channel closed: the recorded endpoint
+// failure (e.g. a concurrent RPC's timeout) or a plain teardown.
+func (ep *Endpoint) waitErr() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.err != nil {
+		return ep.err
+	}
+	return errEndpointClosed
+}
+
+// rpcTimer is a resettable deadline for one RPC exchange; nil when the
+// class has no timeout configured.
+type rpcTimer struct {
+	t *time.Timer
+	d time.Duration
+}
+
+func (ep *Endpoint) newTimer() *rpcTimer {
+	d := ep.class.rpcTimeout
+	if d <= 0 {
+		return nil
+	}
+	return &rpcTimer{t: time.NewTimer(d), d: d}
+}
+
+func (t *rpcTimer) c() <-chan time.Time { return t.t.C }
+
+// reset re-arms the deadline — bulk streams reset per chunk so the bound
+// is on peer silence, not total stream duration.
+func (t *rpcTimer) reset() {
+	if !t.t.Stop() {
+		select {
+		case <-t.t.C:
+		default:
+		}
+	}
+	t.t.Reset(t.d)
+}
+
+func (t *rpcTimer) stop() {
+	if t != nil {
+		t.t.Stop()
+	}
+}
+
+// Forward issues an RPC and waits for its response payload, bounded by
+// the class's RPC timeout when one is configured.
 func (ep *Endpoint) Forward(name string, payload []byte) ([]byte, error) {
+	return ep.forward(name, payload, ep.class.rpcTimeout)
+}
+
+// ForwardNoDeadline issues an RPC with the class's RPC timeout
+// suppressed. It exists for RPCs whose response legitimately takes as
+// long as a bulk transfer (the pull request of a send, which only
+// answers once the peer has pulled everything); callers are expected
+// to provide their own liveness signal — the urd network manager
+// watches bulk activity on the exposed handle.
+func (ep *Endpoint) ForwardNoDeadline(name string, payload []byte) ([]byte, error) {
+	return ep.forward(name, payload, 0)
+}
+
+func (ep *Endpoint) forward(name string, payload []byte, timeout time.Duration) ([]byte, error) {
 	seq, ch, err := ep.register(1)
 	if err != nil {
 		return nil, err
@@ -117,9 +229,14 @@ func (ep *Endpoint) Forward(name string, payload []byte) ([]byte, error) {
 		ep.fail(err)
 		return nil, err
 	}
-	m, ok := <-ch
-	if !ok {
-		return nil, errEndpointClosed
+	var timer *rpcTimer
+	if timeout > 0 {
+		timer = &rpcTimer{t: time.NewTimer(timeout), d: timeout}
+	}
+	defer timer.stop()
+	m, err := ep.recv(ch, timer)
+	if err != nil {
+		return nil, fmt.Errorf("mercury: rpc %q: %w", name, err)
 	}
 	if m.Err != "" {
 		return nil, fmt.Errorf("mercury: rpc %q: %s", name, m.Err)
@@ -141,14 +258,29 @@ func (ep *Endpoint) BulkPull(h BulkHandle, offset, count int64, dst BulkProvider
 		ep.fail(err)
 		return 0, err
 	}
+	timer := ep.newTimer()
+	defer timer.stop()
 	var got int64
-	for m := range ch {
+	for {
+		m, rerr := ep.recv(ch, timer)
+		if rerr != nil {
+			return got, fmt.Errorf("mercury: bulk pull: %w", rerr)
+		}
 		switch m.Kind {
 		case kindBulkData:
 			if _, err := dst.WriteAt(m.Payload, m.Offset-offset); err != nil {
 				return got, err
 			}
 			got += int64(len(m.Payload))
+			if timer != nil {
+				timer.reset()
+			}
+		case kindBulkKeepalive:
+			// The server's provider is slow (e.g. bandwidth-throttled) but
+			// alive; only real silence should expire the stream.
+			if timer != nil {
+				timer.reset()
+			}
 		case kindBulkAck:
 			if m.Err != "" {
 				return got, fmt.Errorf("mercury: bulk pull: %s", m.Err)
@@ -156,7 +288,6 @@ func (ep *Endpoint) BulkPull(h BulkHandle, offset, count int64, dst BulkProvider
 			return got, nil
 		}
 	}
-	return got, errEndpointClosed
 }
 
 // BulkPush streams src into the remote handle starting at remote offset
@@ -194,9 +325,11 @@ func (ep *Endpoint) BulkPush(h BulkHandle, src BulkProvider) (int64, error) {
 		ep.fail(err)
 		return 0, err
 	}
-	m, ok := <-ch
-	if !ok {
-		return 0, errEndpointClosed
+	timer := ep.newTimer()
+	defer timer.stop()
+	m, err := ep.recv(ch, timer)
+	if err != nil {
+		return 0, fmt.Errorf("mercury: bulk push: %w", err)
 	}
 	if m.Err != "" {
 		return m.Count, fmt.Errorf("mercury: bulk push: %s", m.Err)

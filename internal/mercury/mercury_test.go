@@ -2,11 +2,14 @@ package mercury
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func newPair(t *testing.T, plugin string) (server, client *Class, addr string) {
@@ -315,5 +318,167 @@ func BenchmarkBulkPullTCP(b *testing.B) {
 		if _, err := ep.BulkPull(h, 0, 0, dst); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestForwardTimeoutOnHungPeer: a peer that accepts the RPC but never
+// responds must not block Forward forever once an RPC timeout is set.
+// The endpoint is failed so the next lookup redials instead of reusing
+// the wedged connection.
+func TestForwardTimeoutOnHungPeer(t *testing.T) {
+	srv, cli, addr := newPair(t, "sm")
+	release := make(chan struct{})
+	srv.Register("hang", func(p []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	cli.SetRPCTimeout(50 * time.Millisecond)
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = ep.Forward("hang", nil)
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("Forward on hung peer = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout took far longer than configured")
+	}
+	if !ep.broken() {
+		t.Fatal("timed-out endpoint not failed")
+	}
+	// A concurrent RPC sharing the endpoint observes the failure too,
+	// and a fresh lookup redials.
+	ep2, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep2 == ep {
+		t.Fatal("lookup reused the failed endpoint")
+	}
+}
+
+// TestBulkPullTimeoutOnSilentPeer: a pull whose peer stops sending
+// chunks mid-stream surfaces the idle timeout instead of hanging.
+func TestBulkPullTimeoutOnSilentPeer(t *testing.T) {
+	srv, cli, addr := newPair(t, "sm")
+	// A provider that serves one chunk and then blocks forever.
+	release := make(chan struct{})
+	h := srv.ExposeBulk(&stallProvider{release: release, size: 1 << 20})
+	defer close(release)
+	cli.SetRPCTimeout(50 * time.Millisecond)
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMemRegion(make([]byte, 1<<20))
+	_, err = ep.BulkPull(h, 0, 0, dst)
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("BulkPull on stalled peer = %v", err)
+	}
+}
+
+// TestLookupSlotDistinctConnections: slots are distinct physical
+// connections so parallel streams do not share framing.
+func TestLookupSlotDistinctConnections(t *testing.T) {
+	_, cli, addr := newPair(t, "sm")
+	ep0, err := cli.LookupSlot(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := cli.LookupSlot(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep0 == ep1 {
+		t.Fatal("slots shared one endpoint")
+	}
+	again, err := cli.LookupSlot(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ep1 {
+		t.Fatal("slot lookup not cached")
+	}
+}
+
+// stallProvider serves the first ReadAt and blocks on every later one
+// until released.
+type stallProvider struct {
+	mu      sync.Mutex
+	calls   int
+	release chan struct{}
+	size    int64
+}
+
+func (s *stallProvider) Size() int64 { return s.size }
+
+func (s *stallProvider) ReadAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	call := s.calls
+	s.calls++
+	s.mu.Unlock()
+	if call > 0 {
+		<-s.release
+		return 0, io.EOF
+	}
+	for i := range p {
+		p[i] = 'x'
+	}
+	return len(p), nil
+}
+
+func (s *stallProvider) WriteAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("read-only")
+}
+
+// slowProvider delays every ReadAt — a bandwidth-throttled source.
+type slowProvider struct {
+	delay time.Duration
+	size  int64
+}
+
+func (s *slowProvider) Size() int64 { return s.size }
+
+func (s *slowProvider) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(s.delay)
+	n := int64(len(p))
+	if s.size-off < n {
+		n = s.size - off
+	}
+	for i := int64(0); i < n; i++ {
+		p[i] = 'k'
+	}
+	if n < int64(len(p)) {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+func (s *slowProvider) WriteAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("read-only")
+}
+
+// TestBulkPullKeepaliveSurvivesSlowProvider: a provider slower than the
+// puller's idle deadline (a heavily throttled sender) must not trip the
+// deadline — the server's keepalive frames mark the stream alive.
+func TestBulkPullKeepaliveSurvivesSlowProvider(t *testing.T) {
+	srv, cli, addr := newPair(t, "sm")
+	srv.SetBulkKeepalive(20 * time.Millisecond)
+	h := srv.ExposeBulk(&slowProvider{delay: 300 * time.Millisecond, size: 64 << 10})
+	cli.SetRPCTimeout(100 * time.Millisecond)
+	ep, err := cli.Lookup(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMemRegion(make([]byte, 64<<10))
+	n, err := ep.BulkPull(h, 0, 0, dst)
+	if err != nil {
+		t.Fatalf("throttled pull failed: %v", err)
+	}
+	if n != 64<<10 {
+		t.Fatalf("pulled %d bytes", n)
 	}
 }

@@ -10,6 +10,11 @@ const (
 	kindBulkPush    = 4 // announce incoming data for an exposed handle
 	kindBulkData    = 5 // one chunk of bulk payload
 	kindBulkAck     = 6 // terminates a bulk stream, carries total bytes
+	// kindBulkKeepalive marks a pull stream alive while the serving
+	// provider is slow (bandwidth-throttled reads): the peer resets its
+	// idle deadline and otherwise ignores it. Old peers skip unknown
+	// kinds, so the frame is wire-compatible.
+	kindBulkKeepalive = 7
 )
 
 // message is the single frame type exchanged on mercury connections.

@@ -236,6 +236,10 @@ type TaskSpec struct {
 	// milliseconds after the daemon accepts it; an expired deadline fails
 	// the task as if cancelled by the system.
 	DeadlineMS int64
+	// MaxBps, when positive, caps this task's transfer bandwidth in
+	// bytes per second, layered under the daemon-wide governor — the
+	// per-task throttle of the paper's interference experiments.
+	MaxBps int64
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -251,6 +255,9 @@ func (ts *TaskSpec) MarshalWire(e *wire.Encoder) {
 	}
 	if ts.DeadlineMS != 0 {
 		e.Int64(6, ts.DeadlineMS)
+	}
+	if ts.MaxBps != 0 {
+		e.Int64(7, ts.MaxBps)
 	}
 }
 
@@ -270,6 +277,8 @@ func (ts *TaskSpec) UnmarshalWire(d *wire.Decoder) error {
 			ts.JobID = d.Uint64()
 		case 6:
 			ts.DeadlineMS = d.Int64()
+		case 7:
+			ts.MaxBps = d.Int64()
 		default:
 			d.Skip()
 		}
@@ -424,7 +433,11 @@ func (ps *ProcSpec) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
-// TaskStats is the wire form of task completion statistics.
+// TaskStats is the wire form of task statistics. Since the segmented
+// transfer engine it doubles as the live progress report: a status poll
+// on a running task carries the bytes moved so far, the segment
+// completion counts, and the observed transfer rate — what
+// `nornsctl watch` renders.
 type TaskStats struct {
 	Status     uint32 // task.Status
 	Err        string
@@ -433,16 +446,25 @@ type TaskStats struct {
 	// SizeErr reports a failed up-front size probe (TotalBytes is then an
 	// explicit 0 fallback, not a measurement).
 	SizeErr string
+	// SegmentsTotal/SegmentsDone report the transfer plan's segment
+	// completion (0 total = unsegmented path).
+	SegmentsTotal uint64
+	SegmentsDone  uint64
+	// BandwidthBps is the task's observed transfer rate at poll time.
+	BandwidthBps float64
 }
 
 // FromStats converts task.Stats.
 func FromStats(s task.Stats) TaskStats {
 	return TaskStats{
-		Status:     uint32(s.Status),
-		Err:        s.Err,
-		TotalBytes: s.TotalBytes,
-		MovedBytes: s.MovedBytes,
-		SizeErr:    s.SizeErr,
+		Status:        uint32(s.Status),
+		Err:           s.Err,
+		TotalBytes:    s.TotalBytes,
+		MovedBytes:    s.MovedBytes,
+		SizeErr:       s.SizeErr,
+		SegmentsTotal: uint64(s.SegmentsTotal),
+		SegmentsDone:  uint64(s.SegmentsDone),
+		BandwidthBps:  s.BandwidthBps,
 	}
 }
 
@@ -461,6 +483,15 @@ func (st *TaskStats) MarshalWire(e *wire.Encoder) {
 	if st.SizeErr != "" {
 		e.String(5, st.SizeErr)
 	}
+	if st.SegmentsTotal != 0 {
+		e.Uint64(6, st.SegmentsTotal)
+	}
+	if st.SegmentsDone != 0 {
+		e.Uint64(7, st.SegmentsDone)
+	}
+	if st.BandwidthBps != 0 {
+		e.Float64(8, st.BandwidthBps)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -477,6 +508,12 @@ func (st *TaskStats) UnmarshalWire(d *wire.Decoder) error {
 			st.MovedBytes = d.Int64()
 		case 5:
 			st.SizeErr = d.String()
+		case 6:
+			st.SegmentsTotal = d.Uint64()
+		case 7:
+			st.SegmentsDone = d.Uint64()
+		case 8:
+			st.BandwidthBps = d.Float64()
 		default:
 			d.Skip()
 		}

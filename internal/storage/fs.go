@@ -60,6 +60,40 @@ type FS interface {
 	Usage() (int64, error)
 }
 
+// ReaderAtCloser is a random-access read handle on a stored file. ReadAt
+// must be safe for concurrent use so parallel transfer segments can read
+// disjoint ranges through one handle.
+type ReaderAtCloser interface {
+	io.ReaderAt
+	io.Closer
+	// Size returns the file's length in bytes at open time.
+	Size() int64
+}
+
+// WriterAtCloser is a random-access write handle. WriteAt must be safe
+// for concurrent use on disjoint ranges; Close commits the file.
+type WriterAtCloser interface {
+	io.WriterAt
+	io.Closer
+}
+
+// RandomReadFS is the optional capability transfer plugins probe for to
+// read file segments in parallel. FSes that cannot serve concurrent
+// positional reads simply omit it and transfers fall back to a single
+// sequential stream.
+type RandomReadFS interface {
+	OpenReaderAt(path string) (ReaderAtCloser, error)
+}
+
+// RandomWriteFS is the optional capability for parallel segment writes.
+// OpenWriterAt opens path sized to size bytes WITHOUT discarding existing
+// content (existing bytes beyond size are trimmed): a transfer resuming
+// from a checkpoint keeps the segments that already landed and rewrites
+// only the missing ones.
+type RandomWriteFS interface {
+	OpenWriterAt(path string, size int64) (WriterAtCloser, error)
+}
+
 // CleanPath normalizes a slash-separated relative path, rejecting
 // attempts to escape the FS root.
 func CleanPath(p string) (string, error) {
@@ -270,6 +304,129 @@ func (m *MemFS) List(prefix string) ([]FileInfo, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// memReaderAt serves concurrent positional reads over a snapshot of the
+// file taken at open time.
+type memReaderAt struct {
+	data []byte
+}
+
+func (r *memReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(r.data)) {
+		return 0, fmt.Errorf("%w: read offset %d", ErrBadPath, off)
+	}
+	n := copy(p, r.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (r *memReaderAt) Size() int64 { return int64(len(r.data)) }
+func (r *memReaderAt) Close() error {
+	r.data = nil
+	return nil
+}
+
+// OpenReaderAt implements RandomReadFS.
+func (m *MemFS) OpenReaderAt(p string) (ReaderAtCloser, error) {
+	c, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f, ok := m.files[c]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, c)
+	}
+	data := make([]byte, len(f.data))
+	copy(data, f.data)
+	return &memReaderAt{data: data}, nil
+}
+
+// memWriterAt buffers positional writes, growing lazily as bytes
+// actually arrive — never pre-allocating the declared size, so a
+// remote peer's (or caller's) length claim cannot allocate memory by
+// itself. The planned size is only an upper bound on writes; the file
+// commits at the highest written offset on Close. Concurrent WriteAt
+// on disjoint ranges is safe (serialized internally).
+type memWriterAt struct {
+	fs   *MemFS
+	path string
+	size int64 // planned size: writes beyond it are rejected
+
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+}
+
+func (w *memWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > w.size {
+		return 0, fmt.Errorf("%w: write [%d,%d) beyond planned size %d",
+			ErrBadPath, off, off+int64(len(p)), w.size)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(w.buf)) {
+		w.buf = append(w.buf, make([]byte, end-int64(len(w.buf)))...)
+	}
+	return copy(w.buf[off:], p), nil
+}
+
+func (w *memWriterAt) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.fs.capacity > 0 {
+		var used int64
+		for p, f := range w.fs.files {
+			if p != w.path {
+				used += int64(len(f.data))
+			}
+		}
+		if used+int64(len(w.buf)) > w.fs.capacity {
+			return ErrNoSpace
+		}
+	}
+	w.fs.files[w.path] = &memFile{data: w.buf, modTime: w.fs.now()}
+	return nil
+}
+
+// OpenWriterAt implements RandomWriteFS. Existing content is carried
+// over (resumed transfers keep already-landed segments); storage grows
+// only as writes arrive, bounded above by size.
+func (m *MemFS) OpenWriterAt(p string, size int64) (WriterAtCloser, error) {
+	c, err := CleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("%w: negative size %d", ErrBadPath, size)
+	}
+	// Capacity-bounded tiers reject oversized plans up front; unbounded
+	// tiers are still safe because nothing is allocated until bytes
+	// actually arrive.
+	if m.capacity > 0 && size > m.capacity {
+		return nil, ErrNoSpace
+	}
+	w := &memWriterAt{fs: m, path: c, size: size}
+	m.mu.RLock()
+	if f, ok := m.files[c]; ok {
+		n := int64(len(f.data))
+		if n > size {
+			n = size
+		}
+		w.buf = append(w.buf, f.data[:n]...)
+	}
+	m.mu.RUnlock()
+	return w, nil
 }
 
 // Usage implements FS.

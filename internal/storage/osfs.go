@@ -80,6 +80,61 @@ func (o *OSFS) Open(p string) (io.ReadCloser, error) {
 	return f, nil
 }
 
+// osReaderAt wraps an os.File with the size snapshot ReaderAtCloser
+// requires. os.File.ReadAt is already safe for concurrent use.
+type osReaderAt struct {
+	f    *os.File
+	size int64
+}
+
+func (r *osReaderAt) ReadAt(p []byte, off int64) (int, error) { return r.f.ReadAt(p, off) }
+func (r *osReaderAt) Size() int64                             { return r.size }
+func (r *osReaderAt) Close() error                            { return r.f.Close() }
+
+// OpenReaderAt implements RandomReadFS.
+func (o *OSFS) OpenReaderAt(p string) (ReaderAtCloser, error) {
+	full, err := o.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(full)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.IsDir() {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	return &osReaderAt{f: f, size: st.Size()}, nil
+}
+
+// OpenWriterAt implements RandomWriteFS: the file is opened without
+// truncating existing content (so resumed transfers keep completed
+// segments) and sized to size. os.File.WriteAt is concurrency-safe.
+func (o *OSFS) OpenWriterAt(p string, size int64) (WriterAtCloser, error) {
+	full, err := o.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(full, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
 // Stat implements FS.
 func (o *OSFS) Stat(p string) (FileInfo, error) {
 	full, err := o.resolve(p)

@@ -25,6 +25,9 @@ type Spec struct {
 	// preserved across restarts: a recovered task whose deadline passed
 	// while the daemon was down expires instead of re-running.
 	Deadline time.Time
+	// MaxBps is the task's bandwidth cap in bytes per second (0 = none),
+	// preserved so a recovered task resumes under the same throttle.
+	MaxBps int64
 }
 
 // SpecOf captures a task's durable form. The JobID is the effective
@@ -37,6 +40,7 @@ func SpecOf(t *Task) Spec {
 		Priority: t.Priority,
 		JobID:    t.JobID,
 		Deadline: t.Deadline,
+		MaxBps:   t.MaxBps,
 	}
 }
 
@@ -46,6 +50,7 @@ func (s Spec) Task(id uint64) *Task {
 	t.Priority = s.Priority
 	t.JobID = s.JobID
 	t.Deadline = s.Deadline
+	t.MaxBps = s.MaxBps
 	return t
 }
 
@@ -62,6 +67,9 @@ func (s *Spec) MarshalWire(e *wire.Encoder) {
 	}
 	if !s.Deadline.IsZero() {
 		e.Int64(6, s.Deadline.UnixNano())
+	}
+	if s.MaxBps != 0 {
+		e.Int64(7, s.MaxBps)
 	}
 }
 
@@ -81,6 +89,8 @@ func (s *Spec) UnmarshalWire(d *wire.Decoder) error {
 			s.JobID = d.Uint64()
 		case 6:
 			s.Deadline = time.Unix(0, d.Int64())
+		case 7:
+			s.MaxBps = d.Int64()
 		default:
 			d.Skip()
 		}

@@ -201,6 +201,16 @@ type Stats struct {
 	Submitted time.Time
 	Started   time.Time
 	Ended     time.Time
+	// SegmentsTotal/SegmentsDone track the segmented transfer engine's
+	// progress: the planner splits a transfer into fixed-size segments
+	// and completes them on parallel streams. Zero totals mean the task
+	// ran on a path that does not segment (removals, no-ops, fallbacks
+	// report one logical segment).
+	SegmentsTotal int
+	SegmentsDone  int
+	// BandwidthBps is the task's observed transfer rate, computed at
+	// snapshot time from MovedBytes over the elapsed running time.
+	BandwidthBps float64
 }
 
 // Task is one asynchronous I/O request tracked by a urd daemon.
@@ -218,11 +228,28 @@ type Task struct {
 	// derives a context.WithDeadline from it, and an expired deadline
 	// fails the task. Set it before submitting; it is not re-read after.
 	Deadline time.Time
+	// MaxBps, when positive, caps this task's transfer rate in bytes per
+	// second, layered under the daemon-wide bandwidth governor. Set it
+	// before submitting.
+	MaxBps int64
 
 	mu     sync.Mutex
 	stats  Stats
 	done   chan struct{}
 	cancel chan struct{}
+
+	// Segment state for the parallel transfer engine. segDone marks
+	// completed segments; restored* carry a journal checkpoint into the
+	// next execution so recovery re-copies only the missing segments.
+	// segPlan is the planned transfer size — part of the checkpoint's
+	// identity, so a source that changed size while the daemon was down
+	// discards the checkpoint instead of resuming into corruption.
+	segSize         int64
+	segPlan         int64
+	segDone         []bool
+	restoredSegSize int64
+	restoredPlan    int64
+	restoredBits    []byte
 }
 
 // ErrBadTransition is returned on illegal task state changes.
@@ -264,11 +291,23 @@ func (t *Task) Validate() error {
 	}
 }
 
-// Stats returns a snapshot of the task's statistics.
+// Stats returns a snapshot of the task's statistics. BandwidthBps is
+// computed at snapshot time: bytes moved over the running interval so
+// far (or the whole run for terminal tasks).
 func (t *Task) Stats() Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.stats
+	st := t.stats
+	if !st.Started.IsZero() && st.MovedBytes > 0 {
+		end := st.Ended
+		if end.IsZero() {
+			end = time.Now()
+		}
+		if d := end.Sub(st.Started); d > 0 {
+			st.BandwidthBps = float64(st.MovedBytes) / d.Seconds()
+		}
+	}
+	return st
 }
 
 // Status returns the current life-cycle state.
@@ -291,12 +330,107 @@ func (t *Task) Start(total int64) error {
 	return nil
 }
 
-// Progress adds moved bytes while Running or Cancelling.
+// Progress adds moved bytes while Running or Cancelling. A negative
+// delta is the segment engine retracting a failed segment attempt's
+// partial bytes before retrying it, so MovedBytes never double-counts a
+// re-pulled segment.
 func (t *Task) Progress(moved int64) {
 	t.mu.Lock()
 	if t.stats.Status == Running || t.stats.Status == Cancelling {
 		t.stats.MovedBytes += moved
 	}
+	t.mu.Unlock()
+}
+
+// InitSegments installs the transfer plan: count segments of segSize
+// bytes covering planBytes in total (the last segment may be short).
+// If a restored checkpoint matches the plan exactly — same segment
+// size, same total size, bitmap covering count — the completed
+// segments are pre-marked and returned so the engine skips them;
+// any mismatch (resized source, retuned segment size) discards the
+// checkpoint and every segment is pending. planBytes <= 0 marks the
+// plan non-resumable (sequential fallbacks, sends) and never matches.
+// The returned slice is a copy.
+func (t *Task) InitSegments(segSize, planBytes int64, count int) []bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.segSize = segSize
+	t.segPlan = planBytes
+	t.segDone = make([]bool, count)
+	t.stats.SegmentsTotal = count
+	t.stats.SegmentsDone = 0
+	if planBytes > 0 && t.restoredSegSize == segSize && t.restoredPlan == planBytes &&
+		len(t.restoredBits)*8 >= count {
+		for i := 0; i < count; i++ {
+			if t.restoredBits[i/8]&(1<<(i%8)) != 0 {
+				t.segDone[i] = true
+				t.stats.SegmentsDone++
+			}
+		}
+	}
+	t.restoredSegSize, t.restoredPlan, t.restoredBits = 0, 0, nil
+	out := make([]bool, count)
+	copy(out, t.segDone)
+	return out
+}
+
+// CompleteSegment marks one segment done.
+func (t *Task) CompleteSegment(i int) {
+	t.mu.Lock()
+	if i >= 0 && i < len(t.segDone) && !t.segDone[i] {
+		t.segDone[i] = true
+		t.stats.SegmentsDone++
+	}
+	t.mu.Unlock()
+}
+
+// SegmentBitmap packs the completed-segment set for journaling: the
+// segment size, the planned total bytes (the checkpoint's identity),
+// and a little-endian bitmap (bit i = segment i done). A task without
+// a resumable segment plan returns (0, 0, nil).
+func (t *Task) SegmentBitmap() (segSize, planBytes int64, bits []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.segDone) == 0 || t.segPlan <= 0 {
+		return 0, 0, nil
+	}
+	bits = make([]byte, (len(t.segDone)+7)/8)
+	for i, done := range t.segDone {
+		if done {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return t.segSize, t.segPlan, bits
+}
+
+// RestoreSegments seeds a recovered (still Pending) task with a
+// journaled progress checkpoint. The next InitSegments with a matching
+// plan pre-marks those segments so only the missing ones re-copy.
+func (t *Task) RestoreSegments(segSize, planBytes int64, bits []byte) {
+	t.mu.Lock()
+	if t.stats.Status == Pending && segSize > 0 && planBytes > 0 && len(bits) > 0 {
+		t.restoredSegSize = segSize
+		t.restoredPlan = planBytes
+		t.restoredBits = append([]byte(nil), bits...)
+	}
+	t.mu.Unlock()
+}
+
+// HasRestoredSegments reports whether a journaled checkpoint is waiting
+// to be validated against the next transfer plan.
+func (t *Task) HasRestoredSegments() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.restoredBits) > 0
+}
+
+// DiscardRestoredSegments drops a restored checkpoint — the transfer
+// engine calls it when the destination no longer holds the landed
+// segments (volatile tier re-created, file deleted), so the re-run
+// copies everything instead of resuming into a corrupt file.
+func (t *Task) DiscardRestoredSegments() {
+	t.mu.Lock()
+	t.restoredSegSize, t.restoredPlan, t.restoredBits = 0, 0, nil
 	t.mu.Unlock()
 }
 
@@ -407,6 +541,8 @@ func (t *Task) Restore(st Stats) error {
 	t.stats.TotalBytes = st.TotalBytes
 	t.stats.MovedBytes = st.MovedBytes
 	t.stats.SizeErr = st.SizeErr
+	t.stats.SegmentsTotal = st.SegmentsTotal
+	t.stats.SegmentsDone = st.SegmentsDone
 	t.stats.Ended = st.Ended
 	if t.stats.Ended.IsZero() {
 		t.stats.Ended = time.Now()

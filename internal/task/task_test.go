@@ -308,3 +308,54 @@ func TestETAEstimatorProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSegmentCheckpointPlanIdentity: a restored checkpoint only
+// pre-marks segments when the new plan matches it exactly — same
+// segment size AND same planned byte total. A source that changed size
+// while the daemon was down must restart from scratch, not resume into
+// a corrupt destination.
+func TestSegmentCheckpointPlanIdentity(t *testing.T) {
+	mk := func() *Task {
+		tk := New(1, Copy, PosixPath("a://", "f"), PosixPath("b://", "f"))
+		tk.RestoreSegments(256, 2048, []byte{0x07}) // segments 0-2 done
+		return tk
+	}
+	// Exact match: the three checkpointed segments are skipped.
+	already := mk().InitSegments(256, 2048, 8)
+	done := 0
+	for _, d := range already {
+		if d {
+			done++
+		}
+	}
+	if done != 3 || !already[0] || !already[1] || !already[2] {
+		t.Fatalf("matching plan restored %v", already)
+	}
+	// Plan size changed (source resized): checkpoint discarded.
+	for _, d := range mk().InitSegments(256, 1024, 4) {
+		if d {
+			t.Fatal("resized plan resumed a stale checkpoint")
+		}
+	}
+	// Segment size changed: checkpoint discarded.
+	for _, d := range mk().InitSegments(512, 2048, 4) {
+		if d {
+			t.Fatal("retuned segment size resumed a stale checkpoint")
+		}
+	}
+	// Non-resumable plan (planBytes 0) never matches.
+	for _, d := range mk().InitSegments(256, 0, 1) {
+		if d {
+			t.Fatal("non-resumable plan resumed a checkpoint")
+		}
+	}
+	// A completed bitmap round-trips through SegmentBitmap with its
+	// plan identity.
+	tk := mk()
+	tk.InitSegments(256, 2048, 8)
+	tk.CompleteSegment(5)
+	segSize, plan, bits := tk.SegmentBitmap()
+	if segSize != 256 || plan != 2048 || len(bits) != 1 || bits[0] != 0x27 {
+		t.Fatalf("bitmap = (%d, %d, %x)", segSize, plan, bits)
+	}
+}

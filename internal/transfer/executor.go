@@ -59,9 +59,9 @@ func (e *Executor) totalBytes(t *task.Task) (int64, error) {
 }
 
 // Execute drives one task through its full life cycle: plugin lookup,
-// Running transition, chunked transfer under ctx, terminal transition.
-// It never returns an error — failures land in the task's stats, which
-// is what clients poll.
+// Running transition, segmented transfer under ctx, terminal
+// transition. It never returns an error — failures land in the task's
+// stats, which is what clients poll.
 //
 // ctx is the worker's context (daemon shutdown); the task's own cancel
 // request and deadline are layered onto it, so a norns_cancel issued

@@ -7,12 +7,47 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ngioproject/norns-go/internal/dataspace"
 	"github.com/ngioproject/norns-go/internal/mercury"
 	"github.com/ngioproject/norns-go/internal/storage"
 	"github.com/ngioproject/norns-go/internal/task"
 )
+
+// Engine defaults. BufSize used to do double duty as both the copy
+// chunk and the effective transfer unit; the knobs are now separate:
+// BufSize bounds cancel latency and throttle granularity, SegmentSize
+// bounds how much work a crash loses and how transfers parallelize.
+const (
+	// DefaultBufSize is the copy chunk / cancellation-check granularity.
+	DefaultBufSize = 256 << 10
+	// DefaultSegmentSize is the planner's segment unit.
+	DefaultSegmentSize = 8 << 20
+	// DefaultStreams is the per-task segment concurrency.
+	DefaultStreams = 4
+	// DefaultSegmentRetries is how many times a failed segment is
+	// re-pulled before the task fails.
+	DefaultSegmentRetries = 1
+)
+
+// RemoteFile is an open handle on a file exposed by a peer daemon:
+// Table II's query_target result, held across segment pulls so one
+// expose/release round trip serves the whole transfer.
+type RemoteFile interface {
+	// Size is the remote file's length in bytes.
+	Size() int64
+	// Concurrent reports whether the peer's exposed provider serves
+	// concurrent random reads; when false the engine pulls segments on
+	// a single stream so a sequential adapter is not thrashed.
+	Concurrent() bool
+	// PullRange pulls [off, off+count) into dst (dst offsets are
+	// 0-relative to off). stream selects the fabric connection slot so
+	// concurrent segment pulls ride separate connections.
+	PullRange(stream int, off, count int64, dst mercury.BulkProvider) (int64, error)
+	// Close releases the remote handle.
+	Close() error
+}
 
 // Remote is the slice of the urd network manager the plugins need for
 // node-to-node transfers. It is an interface so the plugins are testable
@@ -21,9 +56,8 @@ type Remote interface {
 	// SendFile streams src into dstPath of dstDataspace on node,
 	// returning the bytes the remote acknowledged.
 	SendFile(node, dstDataspace, dstPath string, src mercury.BulkProvider) (int64, error)
-	// FetchFile pulls srcPath of srcDataspace on node into dst,
-	// returning the bytes received.
-	FetchFile(node, srcDataspace, srcPath string, dst mercury.BulkProvider) (int64, error)
+	// OpenFile exposes srcPath of srcDataspace on node for segment pulls.
+	OpenFile(node, srcDataspace, srcPath string) (RemoteFile, error)
 	// StatFile returns the size of srcPath of srcDataspace on node
 	// (the query_target step of Table II).
 	StatFile(node, srcDataspace, srcPath string) (int64, error)
@@ -35,10 +69,28 @@ type Env struct {
 	Spaces *dataspace.Registry
 	// Net performs remote transfers; nil disables remote plugins.
 	Net Remote
-	// BufSize is the copy buffer / chunk size for streaming (<=0: 1 MiB).
-	// Cancellation is observed between chunks, so it also bounds how much
-	// data moves after a cancel lands.
+	// BufSize is the copy/throttle chunk (<=0: 256 KiB). Cancellation
+	// and bandwidth limits are observed between chunks, so it bounds
+	// cancel latency and throttle granularity — and nothing else; the
+	// transfer unit is SegmentSize.
 	BufSize int
+	// SegmentSize is the planner's segment unit (<=0: 8 MiB). Segments
+	// are the units of parallelism and of crash-recovery checkpoints.
+	SegmentSize int64
+	// Streams is how many segments one task moves concurrently (<=0: 4).
+	// Backends without random-access support fall back to one sequential
+	// stream regardless.
+	Streams int
+	// SegmentRetries is the per-segment retry budget for remote pulls
+	// (<0: 0; 0 selects the default of 1).
+	SegmentRetries int
+	// Governor is the daemon-wide bandwidth cap shared by every transfer
+	// (nil: unlimited). Tasks with a MaxBps carry their own second cap.
+	Governor *Governor
+	// OnSegment, when set, is invoked after each completed segment — the
+	// daemon journals the task's segment bitmap there so a restart
+	// resumes from the last checkpoint.
+	OnSegment func(t *task.Task)
 }
 
 func (c *Env) fs(dataspaceID string) (storage.FS, error) {
@@ -51,9 +103,46 @@ func (c *Env) fs(dataspaceID string) (storage.FS, error) {
 
 func (c *Env) bufSize() int {
 	if c.BufSize <= 0 {
-		return 1 << 20
+		return DefaultBufSize
 	}
 	return c.BufSize
+}
+
+func (c *Env) segmentSize() int64 {
+	if c.SegmentSize <= 0 {
+		return DefaultSegmentSize
+	}
+	return c.SegmentSize
+}
+
+func (c *Env) streams() int {
+	if c.Streams <= 0 {
+		return DefaultStreams
+	}
+	return c.Streams
+}
+
+func (c *Env) segmentRetries() int {
+	if c.SegmentRetries < 0 {
+		return 0
+	}
+	if c.SegmentRetries == 0 {
+		return DefaultSegmentRetries
+	}
+	return c.SegmentRetries
+}
+
+// limiterFor layers the task's own bandwidth cap (fresh bucket per
+// execution) under the daemon-wide governor.
+func (c *Env) limiterFor(t *task.Task) limiter {
+	return limiter{global: c.Governor, task: NewGovernor(t.MaxBps)}
+}
+
+// checkpoint runs the daemon's segment-completion hook.
+func (c *Env) checkpoint(t *task.Task) {
+	if c.OnSegment != nil {
+		c.OnSegment(t)
+	}
 }
 
 // Func is one transfer plugin: it moves the task's data, reporting
@@ -125,10 +214,11 @@ func (r *Registry) Lookup(t *task.Task) (Func, error) {
 
 // --- plugin implementations ---
 
-// chunkCopy streams src into dst in env-sized chunks, checking ctx
-// between chunks so a cancelled transfer stops within one chunk of the
-// request. It returns the bytes written.
-func chunkCopy(ctx context.Context, dst io.Writer, src io.Reader, bufSize int, progress func(int64)) (int64, error) {
+// chunkCopy streams src into dst in env-sized chunks, checking ctx and
+// the bandwidth limiter between chunks so a cancelled transfer stops
+// within one chunk of the request. It returns the bytes written. This is
+// the sequential fallback for backends without random access.
+func chunkCopy(ctx context.Context, dst io.Writer, src io.Reader, bufSize int, lim limiter, progress func(int64)) (int64, error) {
 	buf := make([]byte, bufSize)
 	var total int64
 	for {
@@ -137,6 +227,9 @@ func chunkCopy(ctx context.Context, dst io.Writer, src io.Reader, bufSize int, p
 		}
 		n, rerr := src.Read(buf)
 		if n > 0 {
+			if err := lim.wait(ctx, n); err != nil {
+				return total, err
+			}
 			wn, werr := dst.Write(buf[:n])
 			if wn > 0 {
 				total += int64(wn)
@@ -160,43 +253,148 @@ func chunkCopy(ctx context.Context, dst io.Writer, src io.Reader, bufSize int, p
 	}
 }
 
+// counted wraps a progress callback with a running byte total so
+// plugins can report the moved volume they return.
+func counted(progress func(int64)) (func(int64), *int64) {
+	var total int64
+	return func(n int64) {
+		atomic.AddInt64(&total, n)
+		if progress != nil {
+			progress(n)
+		}
+	}, &total
+}
+
+// validateResume guards a restored checkpoint against the destination's
+// actual state: the bitmap only attests that segments were written to
+// the file as it existed before the crash. If the destination is gone
+// or no longer the planned size — a volatile tier re-created empty, a
+// file deleted between crash and restart — the checkpoint is discarded
+// and the transfer restarts from scratch. (A same-size file with
+// replaced content is indistinguishable without checksums; see
+// DESIGN.md.) Call before OpenWriterAt, which re-creates the file and
+// would destroy the evidence.
+func (c *Env) validateResume(t *task.Task, dstFS storage.FS, dstPath string, planBytes int64) {
+	if !t.HasRestoredSegments() {
+		return
+	}
+	st, err := dstFS.Stat(dstPath)
+	if err != nil || st.Dir || st.Size != planBytes {
+		t.DiscardRestoredSegments()
+		// Journal the discard BEFORE OpenWriterAt re-creates the file at
+		// the planned size: were the daemon to crash in between, the next
+		// restart would otherwise see the stale bitmap against a
+		// correctly-sized (but zero-filled) destination and resume into
+		// corruption. With no plan installed, the checkpoint hook records
+		// an empty bitmap — the journal-side clear.
+		c.checkpoint(t)
+	}
+}
+
+// planPending plans a transfer of size bytes, installs the plan on the
+// task (which validates any restored checkpoint against it), and
+// returns the segments still to move.
+func (c *Env) planPending(t *task.Task, size int64) []Segment {
+	segs := Plan(size, c.segmentSize())
+	already := t.InitSegments(c.segmentSize(), size, len(segs))
+	pending := segs[:0:0]
+	for _, sg := range segs {
+		if !already[sg.Index] {
+			pending = append(pending, sg)
+		}
+	}
+	return pending
+}
+
+// copySegmented is the engine core for local copies: plan segments over
+// size, skip the ones a restored checkpoint already landed, and move the
+// rest on parallel streams via random-access reads and writes. src must
+// serve concurrent ReadAt; w concurrent WriteAt on disjoint ranges.
+func copySegmented(ctx context.Context, env *Env, t *task.Task, src io.ReaderAt, w storage.WriterAtCloser, size int64, progress func(int64)) (int64, error) {
+	pending := env.planPending(t, size)
+	lim := env.limiterFor(t)
+	prog, moved := counted(progress)
+	err := RunSegments(ctx, pending, env.streams(), func(ctx context.Context, stream int, sg Segment) error {
+		if _, cerr := copyRange(ctx, w, src, sg.Off, sg.Len, env.bufSize(), lim, prog); cerr != nil {
+			return cerr
+		}
+		t.CompleteSegment(sg.Index)
+		env.checkpoint(t)
+		return nil
+	})
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return atomic.LoadInt64(moved), err
+}
+
+// copySequential is the fallback for backends without random access:
+// one ordered stream, still ctx-checked and throttled per chunk. It
+// reports a single logical segment so progress consumers see a uniform
+// shape.
+func copySequential(ctx context.Context, env *Env, t *task.Task, src io.Reader, dstFS storage.FS, dstPath string, progress func(int64)) (int64, error) {
+	t.InitSegments(env.segmentSize(), 0, 1) // plan 0: not resumable
+	w, err := dstFS.Create(dstPath)
+	if err != nil {
+		return 0, err
+	}
+	n, cerr := chunkCopy(ctx, w, src, env.bufSize(), env.limiterFor(t), progress)
+	if err := w.Close(); cerr == nil {
+		cerr = err
+	}
+	if cerr == nil {
+		t.CompleteSegment(0)
+		env.checkpoint(t)
+	}
+	return n, cerr
+}
+
 // memToLocal is "process memory => local path": the buffer arrived
 // inline with the submission (our stand-in for process_vm_readv) and is
-// written to the dataspace in chunks.
+// written to the dataspace in parallel segments.
 func memToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
 	fs, err := env.fs(t.Output.Dataspace)
 	if err != nil {
 		return 0, err
 	}
-	w, err := fs.Create(t.Output.Path)
-	if err != nil {
-		return 0, err
+	size := int64(len(t.Input.Data))
+	if wfs, ok := fs.(storage.RandomWriteFS); ok {
+		env.validateResume(t, fs, t.Output.Path, size)
+		w, err := wfs.OpenWriterAt(t.Output.Path, size)
+		if err != nil {
+			return 0, err
+		}
+		return copySegmented(ctx, env, t, bytes.NewReader(t.Input.Data), w, size, progress)
 	}
-	n, werr := chunkCopy(ctx, w, bytes.NewReader(t.Input.Data), env.bufSize(), progress)
-	if cerr := w.Close(); werr == nil {
-		werr = cerr
-	}
-	return n, werr
+	return copySequential(ctx, env, t, bytes.NewReader(t.Input.Data), fs, t.Output.Path, progress)
 }
 
 // memToRemote is "memory buffer => remote path": the initiator exposes
 // the buffer and the target pulls it into its dataspace (RDMA_PULL at
-// target in Table II). Cancellation is observed per bulk chunk via the
-// provider wrapper.
+// target in Table II). The pull side segments the transfer; cancellation
+// is observed per bulk chunk via the provider wrapper.
 func memToRemote(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
 	if env.Net == nil {
 		return 0, errors.New("transfer: no network manager configured")
 	}
-	src := withContext(ctx, mercury.NewMemRegion(t.Input.Data))
+	t.InitSegments(env.segmentSize(), 0, 1) // plan 0: sends do not resume
+	// The peer pulls our exposed buffer, so the bandwidth caps (global
+	// governor + per-task MaxBps) gate the served reads.
+	src := withLimiter(ctx, mercury.NewMemRegion(t.Input.Data), env.limiterFor(t))
 	n, err := env.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, src)
 	if n > 0 {
 		progress(n)
 	}
+	if err == nil {
+		t.CompleteSegment(0)
+		env.checkpoint(t)
+	}
 	return n, err
 }
 
-// localToLocal is "local path => local path", the sendfile(2) row:
-// a chunked stream copy between two dataspace FSes.
+// localToLocal is "local path => local path", the sendfile(2) row: a
+// segmented parallel copy between two dataspace FSes when both support
+// random access, a chunked stream copy otherwise.
 func localToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
 	srcFS, err := env.fs(t.Input.Dataspace)
 	if err != nil {
@@ -206,24 +404,31 @@ func localToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int
 	if err != nil {
 		return 0, err
 	}
+	rfs, rok := srcFS.(storage.RandomReadFS)
+	wfs, wok := dstFS.(storage.RandomWriteFS)
+	if rok && wok {
+		r, err := rfs.OpenReaderAt(t.Input.Path)
+		if err != nil {
+			return 0, err
+		}
+		defer r.Close()
+		env.validateResume(t, dstFS, t.Output.Path, r.Size())
+		w, err := wfs.OpenWriterAt(t.Output.Path, r.Size())
+		if err != nil {
+			return 0, err
+		}
+		return copySegmented(ctx, env, t, r, w, r.Size(), progress)
+	}
 	r, err := srcFS.Open(t.Input.Path)
 	if err != nil {
 		return 0, err
 	}
 	defer r.Close()
-	w, err := dstFS.Create(t.Output.Path)
-	if err != nil {
-		return 0, err
-	}
-	n, cerr := chunkCopy(ctx, w, r, env.bufSize(), progress)
-	if err := w.Close(); cerr == nil {
-		cerr = err
-	}
-	return n, cerr
+	return copySequential(ctx, env, t, r, dstFS, t.Output.Path, progress)
 }
 
 // localToRemote is "local path => remote path": expose the local file,
-// target pulls it (Table II's mmap + RDMA_PULL at target).
+// target pulls it in segments (Table II's mmap + RDMA_PULL at target).
 func localToRemote(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
 	if env.Net == nil {
 		return 0, errors.New("transfer: no network manager configured")
@@ -237,15 +442,26 @@ func localToRemote(ctx context.Context, env *Env, t *task.Task, progress func(in
 		return 0, err
 	}
 	defer src.(io.Closer).Close()
-	n, err := env.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, withContext(ctx, src))
+	t.InitSegments(env.segmentSize(), 0, 1) // plan 0: sends do not resume
+	// As with memToRemote, throttling applies where the data leaves the
+	// node: the bulk reads the pulling peer performs on our provider.
+	n, err := env.Net.SendFile(t.Output.Node, t.Output.Dataspace, t.Output.Path, withLimiter(ctx, src, env.limiterFor(t)))
 	if n > 0 {
 		progress(n)
+	}
+	if err == nil {
+		t.CompleteSegment(0)
+		env.checkpoint(t)
 	}
 	return n, err
 }
 
-// remoteToLocal is "local path <= remote path": query the target for the
-// source, then pull it into the local dataspace.
+// remoteToLocal is "local path <= remote path": open the remote handle
+// once (query_target + expose), then pull its segments over parallel
+// fabric streams into the local dataspace. A failed segment is retried
+// within the env's budget — its partial bytes are retracted from the
+// task's progress first, so MovedBytes never double-counts — before the
+// task fails with its partial progress preserved.
 func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
 	if env.Net == nil {
 		return 0, errors.New("transfer: no network manager configured")
@@ -254,19 +470,83 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 	if err != nil {
 		return 0, err
 	}
-	size, err := env.Net.StatFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
+	rf, err := env.Net.OpenFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
 	if err != nil {
 		return 0, err
 	}
-	dst, err := NewFSWriteProvider(dstFS, t.Output.Path, size, progress)
+	defer rf.Close()
+	size := rf.Size()
+
+	wfs, wok := dstFS.(storage.RandomWriteFS)
+	if !wok {
+		// Sequential fallback: one ordered pull into a streaming writer,
+		// still metered against the bandwidth caps.
+		t.InitSegments(env.segmentSize(), 0, 1) // plan 0: not resumable
+		prog, moved := counted(progress)
+		dst, err := NewFSWriteProvider(dstFS, t.Output.Path, size, prog)
+		if err != nil {
+			return 0, err
+		}
+		n, ferr := rf.PullRange(0, 0, size, withLimiter(ctx, dst, env.limiterFor(t)))
+		if cerr := dst.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr == nil && n != size {
+			ferr = fmt.Errorf("transfer: short pull: %d of %d bytes", n, size)
+		}
+		if ferr == nil {
+			t.CompleteSegment(0)
+			env.checkpoint(t)
+		}
+		return atomic.LoadInt64(moved), ferr
+	}
+
+	env.validateResume(t, dstFS, t.Output.Path, size)
+	w, err := wfs.OpenWriterAt(t.Output.Path, size)
 	if err != nil {
 		return 0, err
 	}
-	n, ferr := env.Net.FetchFile(t.Input.Node, t.Input.Dataspace, t.Input.Path, withContext(ctx, dst))
-	if cerr := dst.Close(); ferr == nil {
-		ferr = cerr
+	pending := env.planPending(t, size)
+	lim := env.limiterFor(t)
+	prog, moved := counted(progress)
+	retries := env.segmentRetries()
+	// Interleaved pulls against a peer whose exposed provider is a
+	// sequential adapter would thrash it (reopen-and-discard per out-of-
+	// order chunk); drop to one stream then — the plan stays segmented,
+	// so checkpoints and resume still work.
+	streams := env.streams()
+	if !rf.Concurrent() {
+		streams = 1
 	}
-	return n, ferr
+	err = RunSegments(ctx, pending, streams, func(ctx context.Context, stream int, sg Segment) error {
+		for attempt := 0; ; attempt++ {
+			sink := &segmentSink{ctx: ctx, w: w, base: sg.Off, size: sg.Len, lim: lim, progress: prog}
+			n, perr := rf.PullRange(stream, sg.Off, sg.Len, sink)
+			if perr == nil && n != sg.Len {
+				perr = fmt.Errorf("transfer: segment %d short pull: %d of %d bytes", sg.Index, n, sg.Len)
+			}
+			if perr == nil {
+				t.CompleteSegment(sg.Index)
+				env.checkpoint(t)
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if attempt >= retries {
+				return perr
+			}
+			// Retract the failed attempt's partial bytes before re-pulling
+			// the segment from its start.
+			if sink.written > 0 {
+				prog(-sink.written)
+			}
+		}
+	})
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	return atomic.LoadInt64(moved), err
 }
 
 // removeLocal deletes a path (file or tree) from a local dataspace.
@@ -306,25 +586,41 @@ func moveWrap(copyFn Func) Func {
 	}
 }
 
-// ctxProvider gates every bulk chunk of a wrapped provider on ctx, so
-// remote transfers observe cancellation at the same chunk granularity as
-// local ones.
+// ctxProvider gates every bulk chunk of a wrapped provider on ctx —
+// and, when a limiter is attached, on the bandwidth caps — so remote
+// transfers observe cancellation and throttling at the same chunk
+// granularity as local ones.
 type ctxProvider struct {
 	ctx context.Context
 	p   mercury.BulkProvider
+	lim limiter
 }
 
-// withContext wraps p so each ReadAt/WriteAt first checks ctx.
-func withContext(ctx context.Context, p mercury.BulkProvider) mercury.BulkProvider {
-	return &ctxProvider{ctx: ctx, p: p}
+// withLimiter wraps p so each ReadAt/WriteAt first checks ctx and
+// meters the chunk against lim — the throttle point for send-path
+// transfers, where the data leaves the node through the bulk reads a
+// pulling peer performs.
+func withLimiter(ctx context.Context, p mercury.BulkProvider, lim limiter) mercury.BulkProvider {
+	return &ctxProvider{ctx: ctx, p: p, lim: lim}
 }
 
 // Size implements mercury.BulkProvider.
 func (c *ctxProvider) Size() int64 { return c.p.Size() }
 
+// ConcurrentReadAt delegates the wrapped provider's capability.
+func (c *ctxProvider) ConcurrentReadAt() bool {
+	if cc, ok := c.p.(mercury.ConcurrentReaderAt); ok {
+		return cc.ConcurrentReadAt()
+	}
+	return false
+}
+
 // ReadAt implements io.ReaderAt.
 func (c *ctxProvider) ReadAt(b []byte, off int64) (int, error) {
 	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := c.lim.wait(c.ctx, len(b)); err != nil {
 		return 0, err
 	}
 	return c.p.ReadAt(b, off)
@@ -333,6 +629,9 @@ func (c *ctxProvider) ReadAt(b []byte, off int64) (int, error) {
 // WriteAt implements io.WriterAt.
 func (c *ctxProvider) WriteAt(b []byte, off int64) (int, error) {
 	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := c.lim.wait(c.ctx, len(b)); err != nil {
 		return 0, err
 	}
 	return c.p.WriteAt(b, off)

@@ -7,6 +7,7 @@
 package transfer
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -29,8 +30,18 @@ type fsReadProvider struct {
 	off int64
 }
 
-// NewFSReadProvider opens path on fs for bulk reading.
+// NewFSReadProvider opens path on fs for bulk reading. An FS with
+// random-access support serves concurrent positional reads natively —
+// what parallel segment pulls need; others get the reopen-based
+// sequential adapter below.
 func NewFSReadProvider(fs storage.FS, path string) (mercury.BulkProvider, error) {
+	if rfs, ok := fs.(storage.RandomReadFS); ok {
+		r, err := rfs.OpenReaderAt(path)
+		if err != nil {
+			return nil, err
+		}
+		return &randomReadProvider{r: r}, nil
+	}
 	st, err := fs.Stat(path)
 	if err != nil {
 		return nil, err
@@ -40,6 +51,30 @@ func NewFSReadProvider(fs storage.FS, path string) (mercury.BulkProvider, error)
 	}
 	return &fsReadProvider{fs: fs, path: path, size: st.Size}, nil
 }
+
+// randomReadProvider adapts a storage.ReaderAtCloser to BulkProvider:
+// lock-free concurrent ReadAt, so segment pulls on separate streams do
+// not serialize behind each other.
+type randomReadProvider struct {
+	r storage.ReaderAtCloser
+}
+
+// Size implements mercury.BulkProvider.
+func (p *randomReadProvider) Size() int64 { return p.r.Size() }
+
+// ConcurrentReadAt implements mercury.ConcurrentReaderAt.
+func (p *randomReadProvider) ConcurrentReadAt() bool { return true }
+
+// ReadAt implements io.ReaderAt.
+func (p *randomReadProvider) ReadAt(b []byte, off int64) (int, error) { return p.r.ReadAt(b, off) }
+
+// WriteAt implements io.WriterAt (always fails: read-only provider).
+func (p *randomReadProvider) WriteAt(b []byte, off int64) (int, error) {
+	return 0, storage.ErrReadOnly
+}
+
+// Close releases the underlying reader.
+func (p *randomReadProvider) Close() error { return p.r.Close() }
 
 // Size implements mercury.BulkProvider.
 func (p *fsReadProvider) Size() int64 { return p.size }
@@ -147,4 +182,56 @@ func (p *fsWriteProvider) Close() error {
 	err := p.w.Close()
 	p.w = nil
 	return err
+}
+
+// segmentSink is the receiving side of one segment pull: a BulkProvider
+// over a shared random-access writer that maps the pull's 0-relative
+// offsets to the segment's place in the file, gates every chunk on ctx
+// and the bandwidth limiter, and reports chunk progress. One sink
+// serves one segment; concurrent segments each get their own, writing
+// disjoint ranges of the same writer.
+type segmentSink struct {
+	ctx      context.Context
+	w        io.WriterAt
+	base     int64
+	size     int64
+	lim      limiter
+	progress func(int64)
+	written  int64
+}
+
+// NewSegmentSink adapts w for a segment pull of size bytes landing at
+// offset base, throttled by gov (nil = unlimited). urd's pull handler
+// uses it to receive push-initiated transfers in parallel segments.
+func NewSegmentSink(ctx context.Context, w io.WriterAt, base, size int64, gov *Governor, progress func(int64)) mercury.BulkProvider {
+	return &segmentSink{ctx: ctx, w: w, base: base, size: size, lim: limiter{global: gov}, progress: progress}
+}
+
+// Size implements mercury.BulkProvider.
+func (s *segmentSink) Size() int64 { return s.size }
+
+// ReadAt implements io.ReaderAt (always fails: write-only sink).
+func (s *segmentSink) ReadAt(b []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("transfer: segment sink is write-only")
+}
+
+// WriteAt implements io.WriterAt. off is relative to the segment start.
+func (s *segmentSink) WriteAt(b []byte, off int64) (int, error) {
+	if err := s.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if off < 0 || off+int64(len(b)) > s.size {
+		return 0, fmt.Errorf("transfer: segment write [%d,%d) outside [0,%d)", off, off+int64(len(b)), s.size)
+	}
+	if err := s.lim.wait(s.ctx, len(b)); err != nil {
+		return 0, err
+	}
+	n, err := s.w.WriteAt(b, s.base+off)
+	if n > 0 {
+		s.written += int64(n)
+		if s.progress != nil {
+			s.progress(int64(n))
+		}
+	}
+	return n, err
 }

@@ -1,0 +1,224 @@
+package transfer
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// This file implements the segmented transfer engine: a planner that
+// splits a file into fixed-size segments, a worker pool that moves K
+// segments concurrently, and the token-bucket bandwidth governor that
+// throttles the aggregate — the mechanics behind the paper's staging
+// bandwidth and interference experiments.
+
+// Segment is one planned slice of a transfer.
+type Segment struct {
+	// Index is the segment's position in the plan (bitmap bit).
+	Index int
+	// Off/Len locate the slice in the file.
+	Off, Len int64
+}
+
+// Plan splits total bytes into segSize-sized segments (the last may be
+// short). A zero-byte transfer still plans one empty segment so the
+// destination file is created and progress accounting stays uniform.
+func Plan(total, segSize int64) []Segment {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	if total <= 0 {
+		return []Segment{{Index: 0, Off: 0, Len: 0}}
+	}
+	n := int((total + segSize - 1) / segSize)
+	segs := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		off := int64(i) * segSize
+		l := segSize
+		if total-off < l {
+			l = total - off
+		}
+		segs = append(segs, Segment{Index: i, Off: off, Len: l})
+	}
+	return segs
+}
+
+// RunSegments executes segments on up to streams concurrent workers.
+// fn receives the worker's stream index (0..streams-1) — remote pulls
+// key their fabric connection slot off it — and the segment. The first
+// error cancels the remaining segments; if the parent ctx was cancelled
+// (task cancel, deadline), ctx.Err() is returned so the caller maps the
+// interrupt correctly instead of seeing a derived cancellation.
+func RunSegments(ctx context.Context, segs []Segment, streams int, fn func(ctx context.Context, stream int, sg Segment) error) error {
+	if streams <= 0 {
+		streams = DefaultStreams
+	}
+	if streams > len(segs) {
+		streams = len(segs)
+	}
+	if len(segs) == 0 {
+		return ctx.Err()
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	ch := make(chan Segment)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			for sg := range ch {
+				if gctx.Err() != nil {
+					continue // drain: another worker failed
+				}
+				if err := fn(gctx, stream, sg); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}
+		}(i)
+	}
+	for _, sg := range segs {
+		ch <- sg
+	}
+	close(ch)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// copyRange moves [off, off+length) from src to dst in bufSize chunks,
+// observing ctx and the bandwidth limiter between chunks. It returns
+// the bytes written and reports each chunk through progress.
+func copyRange(ctx context.Context, dst io.WriterAt, src io.ReaderAt, off, length int64, bufSize int, lim limiter, progress func(int64)) (int64, error) {
+	buf := make([]byte, bufSize)
+	var done int64
+	for done < length {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		n := int64(len(buf))
+		if length-done < n {
+			n = length - done
+		}
+		if err := lim.wait(ctx, int(n)); err != nil {
+			return done, err
+		}
+		rn, rerr := src.ReadAt(buf[:n], off+done)
+		if rn > 0 {
+			wn, werr := dst.WriteAt(buf[:rn], off+done)
+			if wn > 0 {
+				done += int64(wn)
+				if progress != nil {
+					progress(int64(wn))
+				}
+			}
+			if werr != nil {
+				return done, werr
+			}
+			if wn < rn {
+				return done, io.ErrShortWrite
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				if done < length {
+					// The source shrank under the plan.
+					return done, fmt.Errorf("transfer: short read at %d: %w", off+done, io.ErrUnexpectedEOF)
+				}
+				return done, nil
+			}
+			return done, rerr
+		}
+	}
+	return done, nil
+}
+
+// Governor is a token-bucket bandwidth limiter shared by every transfer
+// the daemon runs — the staging throttle of the paper's interference
+// experiments (urd -max-bandwidth). The bucket allows a burst of up to
+// a quarter-second of the configured rate, then admits bytes at rate.
+// Writers run into debt rather than fragmenting chunks: a chunk larger
+// than the remaining tokens is admitted immediately and the overdraft
+// is paid off by subsequent waits, which keeps the long-run rate at the
+// cap without requiring chunk <= burst.
+//
+// A nil *Governor is valid and unlimited, so callers never branch.
+type Governor struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewGovernor returns a governor admitting bytesPerSec bytes per second
+// (<=0 returns nil: unlimited).
+func NewGovernor(bytesPerSec int64) *Governor {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	rate := float64(bytesPerSec)
+	return &Governor{
+		rate:   rate,
+		burst:  rate / 4,
+		tokens: rate / 4,
+		last:   time.Now(),
+	}
+}
+
+// Wait blocks until n bytes may pass (or ctx is done). See Governor for
+// the debt-based admission model.
+func (g *Governor) Wait(ctx context.Context, n int) error {
+	if g == nil || n <= 0 {
+		return nil
+	}
+	g.mu.Lock()
+	now := time.Now()
+	g.tokens += now.Sub(g.last).Seconds() * g.rate
+	if g.tokens > g.burst {
+		g.tokens = g.burst
+	}
+	g.last = now
+	g.tokens -= float64(n)
+	debt := -g.tokens
+	g.mu.Unlock()
+	if debt <= 0 {
+		return nil
+	}
+	wait := time.Duration(debt / g.rate * float64(time.Second))
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// limiter chains the daemon-wide governor with a task's own cap.
+type limiter struct {
+	global *Governor
+	task   *Governor
+}
+
+func (l limiter) wait(ctx context.Context, n int) error {
+	if err := l.global.Wait(ctx, n); err != nil {
+		return err
+	}
+	return l.task.Wait(ctx, n)
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -21,6 +22,24 @@ import (
 type fakeRemote struct {
 	nodes map[string]*dataspace.Registry
 	fail  error // when set, all operations fail
+
+	mu        sync.Mutex
+	pullCalls int
+	// failPull, when set, is consulted with each PullRange call's index;
+	// a non-nil result makes that pull write half its range and then
+	// fail — a peer dying mid-stream.
+	failPull func(call int) error
+	// chunkDelay throttles each 32 KiB pull chunk (slow-peer simulation
+	// for cancellation tests).
+	chunkDelay time.Duration
+}
+
+func (f *fakeRemote) nextPull() (int, func(int) error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	call := f.pullCalls
+	f.pullCalls++
+	return call, f.failPull
 }
 
 func (f *fakeRemote) space(node, ds string) (storage.FS, error) {
@@ -66,33 +85,71 @@ func (f *fakeRemote) SendFile(node, ds, path string, src mercury.BulkProvider) (
 	return total, w.Close()
 }
 
-func (f *fakeRemote) FetchFile(node, ds, path string, dst mercury.BulkProvider) (int64, error) {
+// fakeRemoteFile serves segment pulls from the fake peer's registry.
+type fakeRemoteFile struct {
+	f    *fakeRemote
+	data []byte
+}
+
+func (rf *fakeRemoteFile) Size() int64      { return int64(len(rf.data)) }
+func (rf *fakeRemoteFile) Concurrent() bool { return true }
+
+func (rf *fakeRemoteFile) PullRange(stream int, off, count int64, dst mercury.BulkProvider) (int64, error) {
+	if rf.f.fail != nil {
+		return 0, rf.f.fail
+	}
+	if off < 0 || off > int64(len(rf.data)) {
+		return 0, fmt.Errorf("pull offset %d out of range", off)
+	}
+	if count <= 0 || off+count > int64(len(rf.data)) {
+		count = int64(len(rf.data)) - off
+	}
+	call, failPull := rf.f.nextPull()
+	var failAt int64 = -1
+	var failErr error
+	if failPull != nil {
+		if err := failPull(call); err != nil {
+			failAt, failErr = count/2, err
+		}
+	}
+	var done int64
+	for done < count {
+		n := int64(32 << 10)
+		if count-done < n {
+			n = count - done
+		}
+		if failAt >= 0 && done >= failAt {
+			return done, failErr
+		}
+		if rf.f.chunkDelay > 0 {
+			time.Sleep(rf.f.chunkDelay)
+		}
+		wn, err := dst.WriteAt(rf.data[off+done:off+done+n], done)
+		done += int64(wn)
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+func (rf *fakeRemoteFile) Close() error { return nil }
+
+func (f *fakeRemote) OpenFile(node, ds, path string) (RemoteFile, error) {
 	fs, err := f.space(node, ds)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	r, err := fs.Open(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer r.Close()
-	buf := make([]byte, 32<<10)
-	var off int64
-	for {
-		n, rerr := r.Read(buf)
-		if n > 0 {
-			if _, werr := dst.WriteAt(buf[:n], off); werr != nil {
-				return off, werr
-			}
-			off += int64(n)
-		}
-		if rerr == io.EOF {
-			return off, nil
-		}
-		if rerr != nil {
-			return off, rerr
-		}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
 	}
+	return &fakeRemoteFile{f: f, data: data}, nil
 }
 
 func (f *fakeRemote) StatFile(node, ds, path string) (int64, error) {
@@ -528,6 +585,312 @@ func TestDeadlineExpiresRunningTask(t *testing.T) {
 	st := tk.Stats()
 	if st.Status != task.Failed || !strings.Contains(st.Err, "deadline") {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// patterned fills a buffer with a position-dependent pattern so any
+// misplaced segment shows up as a content mismatch.
+func patterned(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i/251)
+	}
+	return b
+}
+
+// TestPlan checks the segment planner's math.
+func TestPlan(t *testing.T) {
+	segs := Plan(10, 4)
+	want := []Segment{{0, 0, 4}, {1, 4, 4}, {2, 8, 2}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %+v", segs)
+	}
+	for i, sg := range segs {
+		if sg != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, sg, want[i])
+		}
+	}
+	if segs := Plan(0, 4); len(segs) != 1 || segs[0].Len != 0 {
+		t.Fatalf("empty plan = %+v", segs)
+	}
+	if segs := Plan(8, 4); len(segs) != 2 {
+		t.Fatalf("exact plan = %+v", segs)
+	}
+}
+
+// TestParallelSegmentsLocalToLocal drives the segmented engine over a
+// multi-segment local copy: content must be intact, byte accounting
+// exact, and the segment counters must reflect the plan.
+func TestParallelSegmentsLocalToLocal(t *testing.T) {
+	ctx, _ := newCtx(t)
+	ctx.SegmentSize = 256 << 10
+	ctx.Streams = 4
+	payload := patterned(2 << 20)
+	if err := fsOf(t, ctx, "lustre://").(*storage.MemFS).WriteFile("in.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(30, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SegmentsTotal != 8 || st.SegmentsDone != 8 {
+		t.Fatalf("segments = %d/%d, want 8/8", st.SegmentsDone, st.SegmentsTotal)
+	}
+	got, err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).ReadFile("out.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("content mismatch (%d bytes, %v)", len(got), err)
+	}
+}
+
+// TestParallelSegmentsRemoteToLocal covers the segmented remote pull:
+// parallel PullRange calls land disjoint ranges correctly.
+func TestParallelSegmentsRemoteToLocal(t *testing.T) {
+	ctx, rem := newCtx(t)
+	ctx.SegmentSize = 128 << 10
+	ctx.Streams = 4
+	fs, _ := rem.space("node2", "nvme0://")
+	payload := patterned(1 << 20)
+	if err := fs.(*storage.MemFS).WriteFile("src.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(31, task.Copy, task.RemotePosixPath("node2", "nvme0://", "src.dat"), task.PosixPath("nvme0://", "dst.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SegmentsTotal != 8 || st.SegmentsDone != 8 {
+		t.Fatalf("segments = %d/%d, want 8/8", st.SegmentsDone, st.SegmentsTotal)
+	}
+	got, err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).ReadFile("dst.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("content mismatch (%d bytes, %v)", len(got), err)
+	}
+}
+
+// TestRemotePullFailsMidTransfer breaks the peer after two segment
+// pulls with retries disabled: the task must fail with the peer's
+// error, partial progress must stay below the total, and the segment
+// counters must show an incomplete plan.
+func TestRemotePullFailsMidTransfer(t *testing.T) {
+	ctx, rem := newCtx(t)
+	ctx.SegmentSize = 128 << 10
+	ctx.Streams = 2
+	ctx.SegmentRetries = -1 // no retries: first failure is final
+	broken := errors.New("peer died mid-pull")
+	rem.failPull = func(call int) error {
+		if call >= 2 {
+			return broken
+		}
+		return nil
+	}
+	fs, _ := rem.space("node2", "nvme0://")
+	payload := patterned(1 << 20)
+	if err := fs.(*storage.MemFS).WriteFile("src.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(32, task.Copy, task.RemotePosixPath("node2", "nvme0://", "src.dat"), task.PosixPath("nvme0://", "dst.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Failed || !strings.Contains(st.Err, "peer died") {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MovedBytes <= 0 || st.MovedBytes >= st.TotalBytes {
+		t.Fatalf("partial progress accounting: %+v", st)
+	}
+	if st.SegmentsDone == 0 || st.SegmentsDone >= st.SegmentsTotal {
+		t.Fatalf("segments = %d/%d", st.SegmentsDone, st.SegmentsTotal)
+	}
+}
+
+// TestSegmentRetryRecovers fails exactly one pull: the default retry
+// budget re-pulls that segment, the failed attempt's partial bytes are
+// retracted, and the transfer completes with exact byte accounting.
+func TestSegmentRetryRecovers(t *testing.T) {
+	ctx, rem := newCtx(t)
+	ctx.SegmentSize = 128 << 10
+	ctx.Streams = 2
+	transient := errors.New("transient fabric hiccup")
+	rem.failPull = func(call int) error {
+		if call == 1 {
+			return transient
+		}
+		return nil
+	}
+	fs, _ := rem.space("node2", "nvme0://")
+	payload := patterned(1 << 20)
+	if err := fs.(*storage.MemFS).WriteFile("src.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(33, task.Copy, task.RemotePosixPath("node2", "nvme0://", "src.dat"), task.PosixPath("nvme0://", "dst.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("retry double-counted bytes: moved %d of %d", st.MovedBytes, len(payload))
+	}
+	got, err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).ReadFile("dst.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("content mismatch (%d bytes, %v)", len(got), err)
+	}
+}
+
+// TestCancelDuringParallelSegments cancels a slow remote pull while
+// several segment streams are in flight: the interrupt must confirm as
+// Cancelled with partial progress, race-clean under -race.
+func TestCancelDuringParallelSegments(t *testing.T) {
+	ctx, rem := newCtx(t)
+	ctx.SegmentSize = 64 << 10
+	ctx.Streams = 4
+	rem.chunkDelay = 500 * time.Microsecond
+	fs, _ := rem.space("node2", "nvme0://")
+	payload := patterned(4 << 20)
+	if err := fs.(*storage.MemFS).WriteFile("src.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(ctx)
+	tk := task.New(34, task.Copy, task.RemotePosixPath("node2", "nvme0://", "src.dat"), task.PosixPath("nvme0://", "dst.dat"))
+	done := make(chan struct{})
+	go func() {
+		ex.Execute(context.Background(), tk)
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for tk.Stats().MovedBytes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("transfer never started moving bytes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := tk.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled parallel transfer did not stop")
+	}
+	st := tk.Stats()
+	if st.Status != task.Cancelled {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MovedBytes == 0 || st.MovedBytes >= st.TotalBytes {
+		t.Fatalf("partial progress not preserved: %+v", st)
+	}
+}
+
+// TestResumeDiscardedWhenDestinationGone: a checkpoint only attests to
+// segments written into the destination as it existed before a crash.
+// If the destination is missing (volatile tier re-created, file
+// deleted), the checkpoint must be discarded and the whole file copied
+// — never a zero-filled resume reported as Finished.
+func TestResumeDiscardedWhenDestinationGone(t *testing.T) {
+	ctx, _ := newCtx(t)
+	ctx.SegmentSize = 256 << 10
+	payload := patterned(1 << 20) // 4 segments
+	if err := fsOf(t, ctx, "lustre://").(*storage.MemFS).WriteFile("in.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(36, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	// A checkpoint that matches the plan perfectly — but the destination
+	// it attests to does not exist.
+	tk.RestoreSegments(256<<10, 1<<20, []byte{0x07})
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stale checkpoint honored: moved %d of %d", st.MovedBytes, len(payload))
+	}
+	got, err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).ReadFile("out.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("content mismatch (%d bytes, %v)", len(got), err)
+	}
+}
+
+// TestResumeSkipsLandedSegments is the positive counterpart: with the
+// destination intact at the planned size, a matching checkpoint skips
+// the landed segments and copies only the missing ones.
+func TestResumeSkipsLandedSegments(t *testing.T) {
+	ctx, _ := newCtx(t)
+	ctx.SegmentSize = 256 << 10
+	payload := patterned(1 << 20) // 4 segments
+	if err := fsOf(t, ctx, "lustre://").(*storage.MemFS).WriteFile("in.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Destination already holds the first three segments (the pre-crash
+	// partial file, sized to the plan by OpenWriterAt).
+	partial := make([]byte, len(payload))
+	copy(partial[:768<<10], payload[:768<<10])
+	if err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).WriteFile("out.dat", partial); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(37, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	tk.RestoreSegments(256<<10, 1<<20, []byte{0x07}) // segments 0-2 done
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MovedBytes != 256<<10 {
+		t.Fatalf("resume re-copied %d bytes, want one segment (%d)", st.MovedBytes, 256<<10)
+	}
+	if st.SegmentsDone != 4 || st.SegmentsTotal != 4 {
+		t.Fatalf("segments = %d/%d", st.SegmentsDone, st.SegmentsTotal)
+	}
+	got, err := fsOf(t, ctx, "nvme0://").(*storage.MemFS).ReadFile("out.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("content mismatch (%d bytes, %v)", len(got), err)
+	}
+}
+
+// TestGovernorThrottles checks the token bucket's admission rate: after
+// the burst allowance, waits must pace out at roughly the configured
+// bytes/sec.
+func TestGovernorThrottles(t *testing.T) {
+	g := NewGovernor(1 << 20) // 1 MiB/s, 256 KiB burst
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := g.Wait(ctx, 256<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Burst covers the first 256 KiB; the remaining 512 KiB must take
+	// ≈0.5s at 1 MiB/s. Assert half that to stay robust under load.
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("governor admitted 768 KiB in %v at 1 MiB/s", elapsed)
+	}
+	// A cancelled context interrupts the wait.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Wait(cctx, 10<<20); err == nil {
+		t.Fatal("Wait ignored cancelled context")
+	}
+	// Nil governor is unlimited.
+	var nilG *Governor
+	if err := nilG.Wait(ctx, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerTaskBandwidthCap: a task with MaxBps is throttled even without
+// a daemon-wide governor.
+func TestPerTaskBandwidthCap(t *testing.T) {
+	ctx, _ := newCtx(t)
+	ctx.BufSize = 64 << 10
+	payload := patterned(768 << 10)
+	if err := fsOf(t, ctx, "lustre://").(*storage.MemFS).WriteFile("in.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(35, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	tk.MaxBps = 1 << 20 // 1 MiB/s over 768 KiB: ≥0.5s after the burst
+	start := time.Now()
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("per-task cap not applied: 768 KiB in %v at 1 MiB/s", elapsed)
 	}
 }
 

@@ -60,9 +60,26 @@ type Config struct {
 	// Resolver maps node names to fabric addresses (required with
 	// Fabric).
 	Resolver NodeResolver
-	// BufSize is the copy chunk size (<=0: 1 MiB). Cancellation is
-	// observed between chunks, so it also bounds cancel latency.
+	// BufSize is the copy/throttle chunk size (<=0: 256 KiB).
+	// Cancellation and bandwidth limits are observed between chunks, so
+	// it bounds cancel latency — the transfer unit itself is SegmentSize.
 	BufSize int
+	// SegmentSize is the transfer planner's segment unit (<=0: 8 MiB):
+	// files are split into segments that move on parallel streams and
+	// checkpoint individually in the journal.
+	SegmentSize int64
+	// TransferStreams is how many segments one task moves concurrently
+	// (<=0: 4).
+	TransferStreams int
+	// MaxBandwidthBps caps the daemon's aggregate transfer bandwidth in
+	// bytes per second (<=0: unlimited) — the staging throttle of the
+	// paper's interference experiments. Inbound pulls served for peers
+	// count against the same budget.
+	MaxBandwidthBps int64
+	// RPCTimeout bounds each peer RPC and bulk-stream idle gap (<=0:
+	// none). A hung peer then fails the transfer instead of wedging a
+	// worker forever.
+	RPCTimeout time.Duration
 	// StateDir, when set, enables the durable task journal: every
 	// submission and state transition is appended to a write-ahead log
 	// under this directory, and on startup the journal is replayed —
@@ -208,7 +225,13 @@ func New(cfg Config) (*Daemon, error) {
 	default:
 		d.policyName = "fcfs"
 	}
-	env := &transfer.Env{Spaces: d.Controller.Spaces, BufSize: cfg.BufSize}
+	env := &transfer.Env{
+		Spaces:      d.Controller.Spaces,
+		BufSize:     cfg.BufSize,
+		SegmentSize: cfg.SegmentSize,
+		Streams:     cfg.TransferStreams,
+		Governor:    transfer.NewGovernor(cfg.MaxBandwidthBps),
+	}
 	if cfg.Fabric != "" {
 		if cfg.Resolver == nil {
 			d.stop()
@@ -219,6 +242,8 @@ func New(cfg Config) (*Daemon, error) {
 			d.stop()
 			return nil, err
 		}
+		nm.SetRPCTimeout(cfg.RPCTimeout)
+		nm.SetTransfer(cfg.TransferStreams, cfg.SegmentSize, env.Governor)
 		d.net = nm
 		env.Net = nm
 	}
@@ -235,6 +260,17 @@ func New(cfg Config) (*Daemon, error) {
 			return nil, err
 		}
 		d.journal = j
+		// Checkpoint each completed segment's bitmap so a crash resumes
+		// the transfer from the segments that already landed instead of
+		// re-copying whole files. A task without a resumable plan records
+		// all-zero fields — the journal-side clear the engine emits when
+		// it discards a stale checkpoint (see Env.validateResume).
+		env.OnSegment = func(t *task.Task) {
+			segSize, planBytes, bits := t.SegmentBitmap()
+			if err := j.RecordProgress(t.ID, segSize, planBytes, bits, t.Stats().MovedBytes); err != nil {
+				log.Printf("urd: journal: progress %d: %v", t.ID, err)
+			}
+		}
 		if err := d.replayJournal(); err != nil {
 			d.Close()
 			return nil, err
@@ -295,6 +331,7 @@ func (d *Daemon) replayJournal() error {
 			st := task.Stats{
 				Status: tr.Status, Err: tr.Err,
 				TotalBytes: tr.TotalBytes, MovedBytes: tr.MovedBytes,
+				SegmentsTotal: tr.SegsTotal, SegmentsDone: tr.SegsDone,
 			}
 			if err := t.Restore(st); err == nil {
 				register()
@@ -306,6 +343,7 @@ func (d *Daemon) replayJournal() error {
 			st := task.Stats{
 				Status:     task.Cancelled,
 				TotalBytes: tr.TotalBytes, MovedBytes: tr.MovedBytes,
+				SegmentsTotal: tr.SegsTotal, SegmentsDone: tr.SegsDone,
 			}
 			if err := t.Restore(st); err == nil {
 				register()
@@ -315,7 +353,15 @@ func (d *Daemon) replayJournal() error {
 				d.recordStats(tr.ID, st)
 				d.recovered.Cancelled++
 			}
-		default: // Pending or Running: re-queue from scratch.
+		default: // Pending or Running: re-queue, resuming from checkpoints.
+			if tr.SegSize > 0 && tr.SegPlan > 0 && len(tr.SegBits) > 0 {
+				// The transfer checkpointed segments before the crash; the
+				// re-run re-copies only the ones missing from the bitmap
+				// (the destination keeps landed segments: OpenWriterAt does
+				// not truncate). The plan size travels with the checkpoint
+				// so a source that changed size discards it instead.
+				t.RestoreSegments(tr.SegSize, tr.SegPlan, tr.SegBits)
+			}
 			if err := t.Validate(); err != nil {
 				// A spec that cannot be re-executed (e.g. written by a
 				// newer build) must not wedge the replay.
@@ -335,8 +381,14 @@ func (d *Daemon) replayJournal() error {
 			// it, then enqueue. Recovery deliberately bypasses both the
 			// MaxInFlight gate and the per-shard queue bound: these are
 			// pre-crash obligations the dead daemon had already
-			// admitted, not new load to shed.
-			d.record(tr.ID, task.Pending, "")
+			// admitted, not new load to shed. The pre-crash byte counters
+			// ride along so the journal does not forget the progress a
+			// checkpoint attests to.
+			d.recordStats(tr.ID, task.Stats{
+				Status:     task.Pending,
+				TotalBytes: tr.TotalBytes,
+				MovedBytes: tr.MovedBytes,
+			})
 			if err := sh.q.Requeue(t); err != nil {
 				d.mu.Lock()
 				d.inFlight--
@@ -572,6 +624,9 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 	t.JobID = spec.JobID
 	if spec.DeadlineMS > 0 {
 		t.Deadline = time.Now().Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	}
+	if spec.MaxBps > 0 {
+		t.MaxBps = spec.MaxBps
 	}
 	if err := t.Validate(); err != nil {
 		return 0, fmt.Errorf("%w: %v", errBadRequest, err)

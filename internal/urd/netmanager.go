@@ -7,12 +7,16 @@
 package urd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/dataspace"
 	"github.com/ngioproject/norns-go/internal/mercury"
+	"github.com/ngioproject/norns-go/internal/storage"
 	"github.com/ngioproject/norns-go/internal/transfer"
 	"github.com/ngioproject/norns-go/internal/wire"
 )
@@ -23,6 +27,19 @@ const (
 	rpcExpose  = "norns.expose"  // expose a file for bulk pull, returns handle
 	rpcRelease = "norns.release" // release an exposed handle
 	rpcPull    = "norns.pull"    // ask the peer to pull a handle into its dataspace
+)
+
+// Bounds on peer-supplied pull parameters (handlePull): a pullReq sizes
+// this daemon's goroutine pool, connection fan-out, and segment plan,
+// so the remote end's wishes are clamped to sane local limits.
+const (
+	maxPullStreams  = 16
+	minPullSegSize  = 256 << 10
+	maxPullSegments = 1 << 20
+	// maxPullBytes bounds any single peer-declared transfer length (16
+	// TiB): destination sizing and plan allocation scale with it, so an
+	// absurd length is rejected outright instead of OOMing the daemon.
+	maxPullBytes = 1 << 44
 )
 
 // fileRef names a file inside a dataspace on the wire.
@@ -68,14 +85,27 @@ func (s *sizeResp) UnmarshalWire(d *wire.Decoder) error {
 
 type handleResp struct {
 	Handle mercury.BulkHandle
+	// Concurrent reports whether the exposed provider serves concurrent
+	// random reads; pullers drop to one stream when it is false so a
+	// sequential adapter is not thrashed by interleaved offsets.
+	Concurrent bool
 }
 
-func (h *handleResp) MarshalWire(e *wire.Encoder) { e.Message(1, &h.Handle) }
+func (h *handleResp) MarshalWire(e *wire.Encoder) {
+	e.Message(1, &h.Handle)
+	if h.Concurrent {
+		e.Bool(2, h.Concurrent)
+	}
+}
+
 func (h *handleResp) UnmarshalWire(d *wire.Decoder) error {
 	for d.Next() {
-		if d.Tag() == 1 {
+		switch d.Tag() {
+		case 1:
 			d.Message(&h.Handle)
-		} else {
+		case 2:
+			h.Concurrent = d.Bool()
+		default:
 			d.Skip()
 		}
 	}
@@ -85,11 +115,24 @@ func (h *handleResp) UnmarshalWire(d *wire.Decoder) error {
 type pullReq struct {
 	Handle mercury.BulkHandle
 	Dst    fileRef
+	// Streams/SegSize ask the pulling side to fetch the handle in
+	// SegSize segments over Streams fabric connections — the initiator
+	// propagates its transfer engine's knobs so a send parallelizes the
+	// same way a fetch does. Zero values select a single ordered pull
+	// (and keep old peers compatible: unknown fields are skipped).
+	Streams uint32
+	SegSize int64
 }
 
 func (p *pullReq) MarshalWire(e *wire.Encoder) {
 	e.Message(1, &p.Handle)
 	e.Message(2, &p.Dst)
+	if p.Streams != 0 {
+		e.Uint32(3, p.Streams)
+	}
+	if p.SegSize != 0 {
+		e.Int64(4, p.SegSize)
+	}
 }
 
 func (p *pullReq) UnmarshalWire(d *wire.Decoder) error {
@@ -99,6 +142,10 @@ func (p *pullReq) UnmarshalWire(d *wire.Decoder) error {
 			d.Message(&p.Handle)
 		case 2:
 			d.Message(&p.Dst)
+		case 3:
+			p.Streams = d.Uint32()
+		case 4:
+			p.SegSize = d.Int64()
 		default:
 			d.Skip()
 		}
@@ -149,6 +196,15 @@ type NetManager struct {
 	spaces   *dataspace.Registry
 	resolver NodeResolver
 
+	// streams/segSize parameterize segmented pulls this manager serves
+	// or requests; governor throttles inbound pull bandwidth; rpcTimeout
+	// mirrors the class's RPC deadline for the send watchdog. Set once
+	// at daemon construction, before traffic.
+	streams    int
+	segSize    int64
+	governor   *transfer.Governor
+	rpcTimeout time.Duration
+
 	mu      sync.Mutex
 	exposed map[uint64]io.Closer
 }
@@ -173,6 +229,34 @@ func (nm *NetManager) Addr() string { return nm.class.Addr() }
 
 // SetBulkChunk adjusts the bulk chunk size (ablation benchmarks).
 func (nm *NetManager) SetBulkChunk(n int) { nm.class.SetBulkChunk(n) }
+
+// SetRPCTimeout bounds every peer RPC and bulk-stream idle gap so a
+// hung peer surfaces as a transfer error instead of a stuck worker.
+func (nm *NetManager) SetRPCTimeout(d time.Duration) {
+	nm.class.SetRPCTimeout(d)
+	if d > 0 {
+		nm.rpcTimeout = d
+	}
+}
+
+// SetTransfer installs the segmented-transfer parameters: streams
+// concurrent segment pulls of segSize bytes, throttled by gov (which is
+// the daemon's shared governor, so inbound staging traffic counts
+// against the same budget as outbound). Non-positive values select the
+// transfer package defaults, mirroring Env, so the parameters this
+// manager advertises in pull requests match what the engine runs with.
+// Call before serving traffic.
+func (nm *NetManager) SetTransfer(streams int, segSize int64, gov *transfer.Governor) {
+	if streams <= 0 {
+		streams = transfer.DefaultStreams
+	}
+	if segSize <= 0 {
+		segSize = transfer.DefaultSegmentSize
+	}
+	nm.streams = streams
+	nm.segSize = segSize
+	nm.governor = gov
+}
 
 // Close shuts the fabric down.
 func (nm *NetManager) Close() {
@@ -225,7 +309,11 @@ func (nm *NetManager) handleExpose(payload []byte) ([]byte, error) {
 	nm.mu.Lock()
 	nm.exposed[h.ID] = prov.(io.Closer)
 	nm.mu.Unlock()
-	return wire.Marshal(&handleResp{Handle: h}), nil
+	resp := handleResp{Handle: h}
+	if c, ok := prov.(mercury.ConcurrentReaderAt); ok {
+		resp.Concurrent = c.ConcurrentReadAt()
+	}
+	return wire.Marshal(&resp), nil
 }
 
 func (nm *NetManager) handleRelease(payload []byte) ([]byte, error) {
@@ -244,7 +332,10 @@ func (nm *NetManager) handleRelease(payload []byte) ([]byte, error) {
 }
 
 // handlePull serves the initiator side of "send": the peer announced a
-// bulk handle; we pull it into the named local dataspace path.
+// bulk handle; we pull it into the named local dataspace path — in
+// parallel segments when the request asks for them and the destination
+// supports random-access writes, as a single ordered stream otherwise.
+// Inbound bandwidth is charged to this daemon's governor either way.
 func (nm *NetManager) handlePull(payload []byte) ([]byte, error) {
 	var req pullReq
 	if err := wire.Unmarshal(payload, &req); err != nil {
@@ -253,6 +344,62 @@ func (nm *NetManager) handlePull(payload []byte) ([]byte, error) {
 	ds, err := nm.spaces.Get(req.Dst.Dataspace)
 	if err != nil {
 		return nil, err
+	}
+	// Clamp peer-supplied parameters: Streams sizes a goroutine pool and
+	// one fabric connection per slot, SegSize and Handle.Len size the
+	// plan — none may be dictated unboundedly by the remote end.
+	if req.Handle.Len < 0 || req.Handle.Len > maxPullBytes {
+		return nil, fmt.Errorf("urd: pull length %d out of range", req.Handle.Len)
+	}
+	streams := req.Streams
+	if streams > maxPullStreams {
+		streams = maxPullStreams
+	}
+	// Resolve the segment size BEFORE the clamps so a peer omitting it
+	// cannot slip the default past the segment-count bound.
+	segSize := req.SegSize
+	if segSize <= 0 {
+		segSize = transfer.DefaultSegmentSize
+	}
+	if segSize < minPullSegSize {
+		segSize = minPullSegSize
+	}
+	if req.Handle.Len/segSize >= maxPullSegments {
+		// Bound the plan's segment count whatever length the peer
+		// claims; the segment size grows instead. (Division first:
+		// rounding-up arithmetic would overflow near MaxInt64.)
+		segSize = req.Handle.Len/maxPullSegments + 1
+	}
+	wfs, wok := ds.Backend.FS.(storage.RandomWriteFS)
+	if streams > 1 && wok {
+		w, err := wfs.OpenWriterAt(req.Dst.Path, req.Handle.Len)
+		if err != nil {
+			return nil, err
+		}
+		segs := transfer.Plan(req.Handle.Len, segSize)
+		ctx := context.Background()
+		var got int64
+		err = transfer.RunSegments(ctx, segs, int(streams), func(ctx context.Context, stream int, sg transfer.Segment) error {
+			ep, err := nm.class.LookupSlot(req.Handle.Addr, stream)
+			if err != nil {
+				return err
+			}
+			sink := transfer.NewSegmentSink(ctx, w, sg.Off, sg.Len, nm.governor, func(n int64) {
+				atomic.AddInt64(&got, n)
+			})
+			n, err := ep.BulkPull(req.Handle, sg.Off, sg.Len, sink)
+			if err == nil && n != sg.Len {
+				err = fmt.Errorf("urd: segment %d short pull: %d of %d bytes", sg.Index, n, sg.Len)
+			}
+			return err
+		})
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		return wire.Marshal(&sizeResp{Size: atomic.LoadInt64(&got)}), nil
 	}
 	dst, err := transfer.NewFSWriteProvider(ds.Backend.FS, req.Dst.Path, req.Handle.Len, nil)
 	if err != nil {
@@ -263,7 +410,8 @@ func (nm *NetManager) handlePull(payload []byte) ([]byte, error) {
 		dst.Close()
 		return nil, err
 	}
-	n, err := ep.BulkPull(req.Handle, 0, req.Handle.Len, dst)
+	sink := transfer.NewSegmentSink(context.Background(), seqWriter{dst}, 0, req.Handle.Len, nm.governor, nil)
+	n, err := ep.BulkPull(req.Handle, 0, req.Handle.Len, sink)
 	if cerr := dst.Close(); err == nil {
 		err = cerr
 	}
@@ -272,6 +420,12 @@ func (nm *NetManager) handlePull(payload []byte) ([]byte, error) {
 	}
 	return wire.Marshal(&sizeResp{Size: n}), nil
 }
+
+// seqWriter adapts the ordered fsWriteProvider to the io.WriterAt the
+// segment sink wraps (offsets still arrive in order on this path).
+type seqWriter struct{ p mercury.BulkProvider }
+
+func (s seqWriter) WriteAt(b []byte, off int64) (int, error) { return s.p.WriteAt(b, off) }
 
 func (nm *NetManager) endpoint(node string) (*mercury.Endpoint, error) {
 	addr, err := nm.resolver.Resolve(node)
@@ -298,47 +452,193 @@ func (nm *NetManager) StatFile(node, srcDataspace, srcPath string) (int64, error
 	return resp.Size, nil
 }
 
+// activityProvider wraps an exposed provider so the send watchdog can
+// tell an actively-pulling peer from a hung one: every bulk call is
+// timestamped, and calls currently blocked inside the provider — e.g.
+// waiting on the bandwidth governor — count as activity too, so a
+// heavily throttled transfer is never mistaken for a dead peer.
+type activityProvider struct {
+	p        mercury.BulkProvider
+	last     atomic.Int64 // unix nanos of the most recent bulk call edge
+	inFlight atomic.Int64
+}
+
+func newActivityProvider(p mercury.BulkProvider) *activityProvider {
+	a := &activityProvider{p: p}
+	a.touch()
+	return a
+}
+
+func (a *activityProvider) touch() { a.last.Store(time.Now().UnixNano()) }
+
+// stalled reports whether the peer has gone silent for longer than d:
+// no bulk call in flight and none completed recently.
+func (a *activityProvider) stalled(d time.Duration) bool {
+	if a.inFlight.Load() > 0 {
+		return false
+	}
+	return time.Since(time.Unix(0, a.last.Load())) > d
+}
+
+func (a *activityProvider) Size() int64 { return a.p.Size() }
+
+// ConcurrentReadAt delegates the wrapped provider's capability.
+func (a *activityProvider) ConcurrentReadAt() bool {
+	if cc, ok := a.p.(mercury.ConcurrentReaderAt); ok {
+		return cc.ConcurrentReadAt()
+	}
+	return false
+}
+
+func (a *activityProvider) ReadAt(b []byte, off int64) (int, error) {
+	a.touch()
+	a.inFlight.Add(1)
+	defer func() {
+		a.touch()
+		a.inFlight.Add(-1)
+	}()
+	return a.p.ReadAt(b, off)
+}
+
+func (a *activityProvider) WriteAt(b []byte, off int64) (int, error) {
+	a.touch()
+	a.inFlight.Add(1)
+	defer func() {
+		a.touch()
+		a.inFlight.Add(-1)
+	}()
+	return a.p.WriteAt(b, off)
+}
+
 // SendFile implements transfer.Remote: expose src locally, then ask the
 // target to pull it into its dataspace (Table II: send_to_target +
-// RDMA_PULL at target).
+// RDMA_PULL at target). The request carries this daemon's stream and
+// segment parameters so the target pulls in parallel when it can.
+//
+// The pull RPC only answers once the peer has pulled everything, so it
+// cannot ride the ordinary one-shot RPC deadline — a transfer merely
+// longer than the deadline would spuriously fail. Instead the RPC runs
+// without a deadline and a watchdog bounds peer *silence*: if the peer
+// stops pulling the exposed handle for a full RPC-timeout interval, the
+// endpoint is torn down and the send fails.
 func (nm *NetManager) SendFile(node, dstDataspace, dstPath string, src mercury.BulkProvider) (int64, error) {
 	ep, err := nm.endpoint(node)
 	if err != nil {
 		return 0, err
 	}
-	h := nm.class.ExposeBulk(src)
+	act := newActivityProvider(src)
+	h := nm.class.ExposeBulk(act)
 	defer nm.class.ReleaseBulk(h)
-	req := pullReq{Handle: h, Dst: fileRef{Dataspace: dstDataspace, Path: dstPath}}
-	out, err := ep.Forward(rpcPull, wire.Marshal(&req))
-	if err != nil {
-		return 0, err
+	// Multi-stream pulls are only advertised when the source serves
+	// concurrent random reads; a sequential adapter would be thrashed by
+	// interleaved segment offsets (reopen-and-discard per chunk).
+	streams := uint32(nm.streams)
+	if !act.ConcurrentReadAt() {
+		streams = 1
+	}
+	req := pullReq{
+		Handle:  h,
+		Dst:     fileRef{Dataspace: dstDataspace, Path: dstPath},
+		Streams: streams,
+		SegSize: nm.segSize,
+	}
+	type result struct {
+		out []byte
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := ep.ForwardNoDeadline(rpcPull, wire.Marshal(&req))
+		ch <- result{out, err}
+	}()
+	var r result
+	if nm.rpcTimeout <= 0 {
+		r = <-ch
+	} else {
+		tick := time.NewTicker(nm.rpcTimeout / 4)
+		defer tick.Stop()
+	waitLoop:
+		for {
+			select {
+			case r = <-ch:
+				break waitLoop
+			case <-tick.C:
+				if act.stalled(nm.rpcTimeout) {
+					// The peer went silent mid-send: tear the endpoint
+					// down (unblocking the Forward goroutine) and fail.
+					ep.Close()
+					<-ch
+					return 0, fmt.Errorf("urd: send to %s: %w", node, mercury.ErrRPCTimeout)
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return 0, r.err
 	}
 	var resp sizeResp
-	if err := wire.Unmarshal(out, &resp); err != nil {
+	if err := wire.Unmarshal(r.out, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Size, nil
 }
 
-// FetchFile implements transfer.Remote: ask the target to expose the
-// source (query_target), bulk-pull it, release the handle.
-func (nm *NetManager) FetchFile(node, srcDataspace, srcPath string, dst mercury.BulkProvider) (int64, error) {
-	ep, err := nm.endpoint(node)
+// remoteFile is an open handle on a peer's exposed file: the expose
+// round trip happens once, segment pulls share it, Close releases it.
+type remoteFile struct {
+	nm *NetManager
+	ep *mercury.Endpoint // control endpoint, for release
+	h  handleResp
+}
+
+// Size implements transfer.RemoteFile.
+func (f *remoteFile) Size() int64 { return f.h.Handle.Len }
+
+// Concurrent implements transfer.RemoteFile. Peers predating the
+// capability bit report false and are pulled on a single stream — the
+// conservative reading of an absent field.
+func (f *remoteFile) Concurrent() bool { return f.h.Concurrent }
+
+// PullRange implements transfer.RemoteFile. Each stream slot rides its
+// own fabric connection, so concurrent segment pulls do not serialize
+// behind one connection's framing.
+func (f *remoteFile) PullRange(stream int, off, count int64, dst mercury.BulkProvider) (int64, error) {
+	ep, err := f.nm.class.LookupSlot(f.h.Handle.Addr, stream)
 	if err != nil {
 		return 0, err
+	}
+	return ep.BulkPull(f.h.Handle, off, count, dst)
+}
+
+// Close implements transfer.RemoteFile.
+func (f *remoteFile) Close() error {
+	_, err := f.ep.Forward(rpcRelease, wire.Marshal(&f.h))
+	return err
+}
+
+// OpenFile implements transfer.Remote: ask the target to expose the
+// source (query_target) and hold the handle for segment pulls.
+func (nm *NetManager) OpenFile(node, srcDataspace, srcPath string) (transfer.RemoteFile, error) {
+	ep, err := nm.endpoint(node)
+	if err != nil {
+		return nil, err
 	}
 	out, err := ep.Forward(rpcExpose, wire.Marshal(&fileRef{Dataspace: srcDataspace, Path: srcPath}))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var h handleResp
 	if err := wire.Unmarshal(out, &h); err != nil {
-		return 0, err
+		return nil, err
 	}
-	defer func() {
+	if h.Handle.Len < 0 || h.Handle.Len > maxPullBytes {
+		// The declared size drives destination allocation and the
+		// segment plan on our side; an absurd value is a broken or
+		// hostile peer, not a file to fetch.
 		_, _ = ep.Forward(rpcRelease, wire.Marshal(&h))
-	}()
-	return ep.BulkPull(h.Handle, 0, h.Handle.Len, dst)
+		return nil, fmt.Errorf("urd: %s declares file length %d out of range", node, h.Handle.Len)
+	}
+	return &remoteFile{nm: nm, ep: ep, h: h}, nil
 }
 
 var _ transfer.Remote = (*NetManager)(nil)

@@ -36,6 +36,9 @@ func startNode(t *testing.T, name string, resolver *StaticResolver) *testNode {
 	if resolver != nil {
 		cfg.Fabric = "ofi+tcp"
 		cfg.Resolver = resolver
+		// Exercise the hung-peer protection paths (per-RPC deadlines and
+		// the send watchdog) on every fabric test.
+		cfg.RPCTimeout = 30 * time.Second
 	}
 	d, err := New(cfg)
 	if err != nil {

@@ -23,6 +23,12 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte("\x07\x08\x2a\x12\x03abc"))                            // a real tagged message
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge length prefix
 	f.Add(bytes.Repeat([]byte{0x80}, 11))                               // overlong varint prefix
+	// Frames of the segmented-transfer wire messages: a progress-bearing
+	// task-status response, a submit with a per-task bandwidth cap, and
+	// a journal segment-bitmap checkpoint record.
+	f.Add([]byte("!\b\a\x10\x00 **\x19\b\x02\x18\x80\x80\x80@ \x80\x80\x80\x180\b8\x03A\x00\x00\x00\x00\x00\x00\xc0A"))
+	f.Add([]byte("3\b\x03\x10\x01\"-\b\x01\x12\x11\b\x02\x12\tlustre://\x1a\x02in\x1a\x11\b\x02\x12\bnvme0://\x1a\x03out8\x80\x80\x80\x01"))
+	f.Add([]byte("\x0f\b\x05\x10\tX\x80\x80``\x80\x80 j\x01\x17"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Split the input into frames; must terminate (every successful
