@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig1a,fig1b,fig4,fig5,fig6,fig7,fig8,tab3,tab4,tab5,streams,ablations")
+	run := flag.String("run", "all", "comma-separated experiments: fig1a,fig1b,fig4,fig5,fig6,fig7,fig8,tab3,tab4,tab5,streams,batch,ablations")
 	reps := flag.Int("reps", 0, "repetitions for the variability figures (0 = experiment default)")
 	reqs := flag.Int("reqs", 0, "requests per client for the request-rate figures (0 = default; the paper used 50000)")
 	flag.Parse()
@@ -77,6 +77,9 @@ func main() {
 	}
 	if selected("streams") {
 		show(experiments.AblationStreams(tmp, 0))
+	}
+	if selected("batch") {
+		show(experiments.BatchSubmit(tmp, *reqs))
 	}
 	if selected("ablations") {
 		show(experiments.AblationScheduler(tmp, 0))

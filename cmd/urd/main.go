@@ -68,6 +68,8 @@ func main() {
 		maxBW      = flag.String("max-bandwidth", "", "aggregate transfer bandwidth cap in bytes/s, e.g. 500M (empty = unlimited)")
 		bufSize    = flag.String("buf-size", "", "copy/throttle chunk size, e.g. 256K (empty = default 256K); bounds cancel latency")
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "deadline per peer RPC / bulk-stream idle gap (0 = none)")
+		eventQueue = flag.Int("event-queue", 0, "max queued push events per subscriber before coalescing into a gap event (0 = default 256)")
+		progressIv = flag.Duration("progress-interval", 0, "floor between per-task progress-tick events pushed to subscribers (0 = default 100ms)")
 	)
 	flag.Parse()
 
@@ -99,20 +101,22 @@ func main() {
 	}
 
 	cfg := urd.Config{
-		NodeName:        *node,
-		UserSocket:      *userSock,
-		ControlSocket:   *ctlSock,
-		Workers:         *workers,
-		PolicyFactory:   factory,
-		MaxShardQueue:   *shardQueue,
-		MaxInFlight:     *maxTasks,
-		StateDir:        *stateDir,
-		JournalOptions:  journal.Options{Sync: *stateSync},
-		BufSize:         int(bufBytes),
-		SegmentSize:     segBytes,
-		TransferStreams: *streams,
-		MaxBandwidthBps: bwBytes,
-		RPCTimeout:      *rpcTimeout,
+		NodeName:         *node,
+		UserSocket:       *userSock,
+		ControlSocket:    *ctlSock,
+		Workers:          *workers,
+		PolicyFactory:    factory,
+		MaxShardQueue:    *shardQueue,
+		MaxInFlight:      *maxTasks,
+		StateDir:         *stateDir,
+		JournalOptions:   journal.Options{Sync: *stateSync},
+		BufSize:          int(bufBytes),
+		SegmentSize:      segBytes,
+		TransferStreams:  *streams,
+		MaxBandwidthBps:  bwBytes,
+		RPCTimeout:       *rpcTimeout,
+		EventQueue:       *eventQueue,
+		ProgressInterval: *progressIv,
 	}
 	if *fabric != "" {
 		resolver := urd.NewStaticResolver()

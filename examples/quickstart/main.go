@@ -1,11 +1,14 @@
 // Quickstart: start a urd daemon in-process, register a dataspace and a
-// job through the nornsctl (control) API, then submit, wait on, check,
-// and cancel asynchronous I/O tasks through the norns (user) API — the
-// complete life cycle of Section IV — and finally restart the daemon to
-// show the durable task journal (urd -state-dir) replaying its state.
+// job through the nornsctl (control) API, then drive asynchronous I/O
+// tasks through the norns (user) API — batch-submitted, tracked through
+// event-resolved TaskHandles, and cancelled — and finally restart the
+// daemon to show the durable task journal (urd -state-dir) replaying
+// its state.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -14,7 +17,6 @@ import (
 
 	"github.com/ngioproject/norns-go/internal/api/norns"
 	"github.com/ngioproject/norns-go/internal/api/nornsctl"
-	"github.com/ngioproject/norns-go/internal/task"
 	"github.com/ngioproject/norns-go/internal/urd"
 )
 
@@ -89,26 +91,45 @@ func main() {
 		fmt.Printf("dataspace %s (backend %d) at %s\n", ds.ID, ds.Backend, ds.Mount)
 	}
 
+	//    The v2 surface batches the whole stage-out into ONE RPC and
+	//    tracks completion through server-pushed events: every call
+	//    takes a context, handles resolve without a single status poll,
+	//    and a full daemon rejects individual entries with ErrAgain
+	//    (retry just those) instead of failing the batch.
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelCtx()
 	payload := []byte("simulation output block, 10 MiB in a real run")
-	tk := norns.NewIOTask(norns.Copy,
-		norns.MemoryRegion(payload),
-		norns.PosixPath("nvme0://", "results/block-0001"))
-	if err := app.Submit(&tk); err != nil {
-		log.Fatal(err)
+	blocks := make([]*norns.IOTask, 0, 4)
+	for i := range cap(blocks) {
+		tk := norns.NewIOTask(norns.Copy,
+			norns.MemoryRegion(payload),
+			norns.PosixPath("nvme0://", fmt.Sprintf("results/block-%04d", i)))
+		blocks = append(blocks, &tk)
 	}
-	fmt.Printf("submitted task %d; doing other work while it runs...\n", tk.ID)
-
-	if err := app.Wait(&tk, 10*time.Second); err != nil {
-		log.Fatal(err)
-	}
-	stats, err := app.Error(&tk)
+	results, err := app.SubmitBatch(ctx, blocks) // one RPC for the whole stage-out
 	if err != nil {
 		log.Fatal(err)
 	}
-	if stats.Status != task.Finished {
-		log.Fatalf("task failed: %+v", stats)
+	handles := make([]*norns.TaskHandle, 0, len(results))
+	for i, r := range results {
+		if errors.Is(r.Err, norns.ErrAgain) {
+			log.Fatalf("daemon at capacity, resubmit entry %d later", i)
+		} else if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		handles = append(handles, r.Handle)
 	}
-	fmt.Printf("task %d finished: %d/%d bytes moved\n", tk.ID, stats.MovedBytes, stats.TotalBytes)
+	fmt.Printf("batch of %d queued in one RPC; doing other work while it runs...\n", len(handles))
+
+	// WaitAll resolves from pushed events — the daemon serves zero
+	// OpTaskStatus polls for this whole flow.
+	if err := app.WaitAll(ctx, handles...); err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range handles {
+		st := h.Stats()
+		fmt.Printf("task %d finished: %d/%d bytes moved\n", h.ID(), st.MovedBytes, st.TotalBytes)
+	}
 
 	data, err := os.ReadFile(filepath.Join(dir, "nvme0", "results", "block-0001"))
 	if err != nil {
@@ -118,26 +139,28 @@ func main() {
 
 	// 4. Cancellation (norns_cancel): abort a task the application no
 	//    longer needs. Pending tasks free their queue slot immediately;
-	//    running ones are interrupted at the next chunk boundary.
+	//    running ones are interrupted at the next chunk boundary. The
+	//    handle resolves to ErrCancelled through the same event stream.
 	doomed := norns.NewIOTask(norns.Copy,
 		norns.MemoryRegion(payload),
 		norns.PosixPath("nvme0://", "results/abandoned"))
 	doomed.Deadline = 30 * time.Second // belt-and-braces bound on execution
-	if err := app.Submit(&doomed); err != nil {
+	dh, err := app.SubmitTask(ctx, &doomed)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if _, err := app.Cancel(&doomed); err != nil {
 		fmt.Printf("cancel raced with completion: %v\n", err)
 	}
-	if err := app.Wait(&doomed, 10*time.Second); err != nil {
-		log.Fatal(err)
+	select {
+	case <-dh.Done():
+	case <-ctx.Done():
+		log.Fatal(ctx.Err())
 	}
-	stats, err = app.Error(&doomed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("task %d ended as %s after %d/%d bytes\n",
-		doomed.ID, stats.Status, stats.MovedBytes, stats.TotalBytes)
+	stats := dh.Stats()
+	fmt.Printf("task %d ended as %s after %d/%d bytes (handle err: %v)\n",
+		doomed.ID, stats.Status, stats.MovedBytes, stats.TotalBytes, dh.Err())
+	tk := *blocks[0] // the journal lookup below re-checks this task after restart
 
 	// 5. Durability: restart the daemon on the same state directory and
 	//    watch the journal replay. Dataspaces come back without

@@ -1,0 +1,92 @@
+// Package apierr defines the typed client-side errors shared by the
+// norns and nornsctl API libraries. Every failed daemon response maps
+// to an *Error carrying the protocol status code, and errors.Is
+// matches it against the exported sentinels — so callers branch on
+// errors.Is(err, apierr.ErrAgain) to retry under backpressure instead
+// of string-matching "NORNS_EAGAIN".
+package apierr
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+)
+
+// Sentinels, one per protocol status code. They carry no context of
+// their own; use them only as errors.Is targets.
+var (
+	// ErrBadRequest reports a malformed or illegal request (including
+	// illegal task state transitions, e.g. cancelling a finished task).
+	ErrBadRequest = errors.New("bad request")
+	// ErrNoSuchTask reports an unknown task, dataspace, job, or process
+	// — the NORNS_ENOTFOUND space.
+	ErrNoSuchTask = errors.New("not found")
+	// ErrExists reports a duplicate registration.
+	ErrExists = errors.New("already exists")
+	// ErrPermission reports an authorization failure.
+	ErrPermission = errors.New("permission denied")
+	// ErrTaskError reports a task that reached the Failed state.
+	ErrTaskError = errors.New("task failed")
+	// ErrTimeout reports a daemon-side wait timeout.
+	ErrTimeout = errors.New("timed out")
+	// ErrInternal reports a daemon-side internal error.
+	ErrInternal = errors.New("internal error")
+	// ErrAgain is the backpressure signal: the daemon's pipeline is at
+	// its in-flight limit or a shard queue is full. Retry after backing
+	// off; for batch submissions it applies per entry.
+	ErrAgain = errors.New("resource temporarily unavailable")
+)
+
+// Error is a failed daemon response: the protocol status code plus the
+// daemon's message, prefixed with the originating API for display.
+type Error struct {
+	// API is the client library name ("norns" or "nornsctl").
+	API string
+	// Code is the protocol status code of the response.
+	Code proto.StatusCode
+	// Msg is the daemon's error text.
+	Msg string
+}
+
+// New builds an *Error from a failed response.
+func New(api string, resp *proto.Response) *Error {
+	return &Error{API: api, Code: resp.Status, Msg: resp.Error}
+}
+
+// Error renders like the historical string form, e.g.
+// "norns: NORNS_EAGAIN: 128 tasks in flight".
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.API, e.Code, e.Msg)
+}
+
+// sentinel maps a status code to its errors.Is target.
+func sentinel(code proto.StatusCode) error {
+	switch code {
+	case proto.EBadRequest:
+		return ErrBadRequest
+	case proto.ENotFound:
+		return ErrNoSuchTask
+	case proto.EExists:
+		return ErrExists
+	case proto.EPermission:
+		return ErrPermission
+	case proto.ETaskError:
+		return ErrTaskError
+	case proto.ETimeout:
+		return ErrTimeout
+	case proto.EAgain:
+		return ErrAgain
+	case proto.EInternal:
+		return ErrInternal
+	default:
+		return nil
+	}
+}
+
+// Is matches the sentinel for the error's status code, so
+// errors.Is(err, apierr.ErrAgain) holds for any EAgain response.
+func (e *Error) Is(target error) bool {
+	s := sentinel(e.Code)
+	return s != nil && target == s
+}

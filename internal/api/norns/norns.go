@@ -3,14 +3,24 @@
 // query the dataspaces configured for them and to define, submit,
 // monitor, and wait on asynchronous I/O tasks, as in the paper's
 // Listing 2.
+//
+// The v2 surface is event-driven: SubmitBatch queues many tasks in one
+// RPC and returns *TaskHandle values that resolve from server-pushed
+// events (no polling), WaitAll/WaitAny compose handles under a
+// context, and Events streams every task transition the daemon
+// observes. The v1 calls (Submit, Wait, Error, Cancel) remain and keep
+// speaking the original single-op protocol.
 package norns
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
+	"github.com/ngioproject/norns-go/internal/api/apierr"
 	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/task"
 	"github.com/ngioproject/norns-go/internal/transport"
@@ -84,11 +94,56 @@ type DataspaceInfo struct {
 	UsedBytes int64
 }
 
+// Typed error sentinels. Every failed response satisfies errors.Is
+// against the sentinel matching its status code, so callers branch
+// programmatically — errors.Is(err, norns.ErrAgain) is the retry
+// signal under backpressure — instead of string-matching.
+var (
+	ErrAgain      = apierr.ErrAgain
+	ErrBadRequest = apierr.ErrBadRequest
+	ErrNoSuchTask = apierr.ErrNoSuchTask
+	ErrExists     = apierr.ErrExists
+	ErrPermission = apierr.ErrPermission
+	ErrTaskError  = apierr.ErrTaskError
+	ErrInternal   = apierr.ErrInternal
+)
+
+// ErrCancelled is returned by TaskHandle.Err for cancelled tasks.
+var ErrCancelled = errors.New("norns: task cancelled")
+
 // Client speaks the user protocol to a urd daemon.
 type Client struct {
 	conn *transport.Conn
 	pid  uint64
+
+	// v2 event-driven state: one dispatch goroutine drains the
+	// connection's push-event channel, resolving task handles and
+	// feeding Events subscribers.
+	dispatchOnce sync.Once
+	mu           sync.Mutex
+	handles      map[uint64]*TaskHandle // by task ID, open tasks only
+	sinks        map[uint64]*eventSink  // by subscription ID
+	// unclaimed parks events whose SubID has no sink yet: the daemon's
+	// pump can push a subscription's first events before the client has
+	// processed the OpSubscribe response carrying that SubID. Claimed
+	// (Events) or discarded (SubmitBatch, whose events route to handles
+	// by task ID) as soon as the subscribing RPC returns.
+	unclaimed    map[uint64][]TaskEvent
+	unclaimedIDs []uint64 // insertion order, for bounded eviction
+	// discarded remembers recently settled SubIDs whose later events
+	// route elsewhere (batch handles) or nowhere (ended Events
+	// streams), so they are dropped instead of endlessly re-parked.
+	discarded     map[uint64]struct{}
+	discardedRing []uint64 // bounded FIFO over discarded
+	// dispatchDead marks the dispatcher as exited (connection gone):
+	// sinks claimed afterwards are closed immediately.
+	dispatchDead bool
+	dispatchDone chan struct{}
 }
+
+// discardedCap bounds the settled-SubID memory; past it the oldest
+// entry is forgotten (its events then fall back to bounded parking).
+const discardedCap = 128
 
 // Dial connects to the daemon's user socket.
 func Dial(socket string) (*Client, error) {
@@ -111,9 +166,10 @@ func (c *Client) SetPID(pid uint64) { c.pid = pid }
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// apiError converts a failed response into an error.
+// apiError converts a failed response into a typed error: the result
+// satisfies errors.Is against the sentinel for its status code.
 func apiError(resp *proto.Response) error {
-	return fmt.Errorf("norns: %s: %s", resp.Status, resp.Error)
+	return apierr.New("norns", resp)
 }
 
 func specOf(t *IOTask) *proto.TaskSpec {
@@ -129,7 +185,7 @@ func specOf(t *IOTask) *proto.TaskSpec {
 // Submit mirrors norns_submit: the task is queued asynchronously and its
 // ID is stored in t.
 func (c *Client) Submit(t *IOTask) error {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: specOf(t)})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: specOf(t)})
 	if err != nil {
 		return err
 	}
@@ -147,7 +203,7 @@ var ErrTimeout = errors.New("norns: wait timed out")
 // reaches a terminal state. timeout <= 0 waits forever.
 func (c *Client) Wait(t *IOTask, timeout time.Duration) error {
 	req := &proto.Request{Op: proto.OpWait, PID: c.pid, TaskID: t.ID, TimeoutMS: timeout.Milliseconds()}
-	resp, err := c.conn.Call(req)
+	resp, err := c.conn.Call(context.Background(), req)
 	if err != nil {
 		return err
 	}
@@ -165,7 +221,7 @@ func (c *Client) Wait(t *IOTask, timeout time.Duration) error {
 // statistics. A Failed task yields stats with Status == task.Failed and
 // a nil error — matching the C API, where the stats carry the failure.
 func (c *Client) Error(t *IOTask) (Stats, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpTaskStatus, PID: c.pid, TaskID: t.ID})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpTaskStatus, PID: c.pid, TaskID: t.ID})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -198,7 +254,7 @@ func statsOf(st *proto.TaskStats) Stats {
 // fails with NORNS_EBADREQUEST. The returned stats are the snapshot
 // taken right after the request was applied.
 func (c *Client) Cancel(t *IOTask) (Stats, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpCancel, PID: c.pid, TaskID: t.ID})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpCancel, PID: c.pid, TaskID: t.ID})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -213,7 +269,7 @@ func (c *Client) Cancel(t *IOTask) (Stats, error) {
 
 // GetDataspaceInfo mirrors norns_get_dataspace_info.
 func (c *Client) GetDataspaceInfo() ([]DataspaceInfo, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpGetDataspaceInfo, PID: c.pid})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpGetDataspaceInfo, PID: c.pid})
 	if err != nil {
 		return nil, err
 	}
@@ -237,12 +293,12 @@ func (c *Client) GetDataspaceInfo() ([]DataspaceInfo, error) {
 // the returned function resolves it. The figure-4 throughput benchmark
 // uses this to keep multiple requests in flight per client.
 func (c *Client) SubmitAsync(t *IOTask) (func() error, error) {
-	ch, err := c.conn.Send(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: specOf(t)})
+	ch, err := c.conn.Send(context.Background(), &proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: specOf(t)})
 	if err != nil {
 		return nil, err
 	}
 	return func() error {
-		resp, err := c.conn.Receive(ch)
+		resp, err := c.conn.Receive(context.Background(), ch)
 		if err != nil {
 			return err
 		}
@@ -252,4 +308,532 @@ func (c *Client) SubmitAsync(t *IOTask) (func() error, error) {
 		t.ID = resp.TaskID
 		return nil
 	}, nil
+}
+
+// ---------------------------------------------------------------------
+// v2 event-driven API: batch submission, task handles, subscriptions.
+
+// handleProgressMS is the progress-tick rate requested for handle
+// subscriptions and Events streams; the daemon may throttle further.
+const handleProgressMS = 100
+
+// TaskHandle tracks one submitted task. It resolves from server-pushed
+// events — state transitions and throttled progress ticks arrive on
+// the client's connection — so observing a task costs zero status
+// polls.
+type TaskHandle struct {
+	id uint64
+
+	mu    sync.Mutex
+	stats Stats
+	err   error
+	done  chan struct{}
+	over  bool
+}
+
+// ID returns the daemon-assigned task ID.
+func (h *TaskHandle) ID() uint64 { return h.id }
+
+// Done returns a channel closed when the task reaches a terminal state
+// (or the connection fails, in which case Err reports it).
+func (h *TaskHandle) Done() <-chan struct{} { return h.done }
+
+// Stats returns the latest snapshot pushed by the daemon: live
+// progress while the task runs, the final report once Done is closed.
+func (h *TaskHandle) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Err reports the task's terminal outcome: nil for a finished task,
+// ErrCancelled for a cancelled one, an ErrTaskError-matching error for
+// a failure, the connection error if the daemon became unreachable —
+// and nil while the task is still in flight (check Done first).
+func (h *TaskHandle) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// statusRank orders life-cycle states for staleness detection: a
+// client can hold several subscriptions covering one task (an Events
+// stream plus a batch subscription), whose pumps are independent — so
+// an older event can arrive after a newer one.
+func statusRank(s task.Status) int {
+	switch s {
+	case task.Pending:
+		return 0
+	case task.Running:
+		return 1
+	case task.Cancelling:
+		return 2
+	default: // terminal
+		return 3
+	}
+}
+
+// apply folds one pushed event into the handle, resolving it on
+// terminal transitions. Stale events — an earlier life-cycle state, or
+// regressed progress within the same state, delivered late by another
+// subscription's pump — are ignored so Stats() stays monotonic. It
+// reports whether the handle is spent.
+func (h *TaskHandle) apply(st Stats) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.over {
+		return true
+	}
+	if nr, cr := statusRank(st.Status), statusRank(h.stats.Status); nr < cr ||
+		(nr == cr && st.MovedBytes < h.stats.MovedBytes) {
+		return false
+	}
+	h.stats = st
+	switch st.Status {
+	case task.Finished:
+		// err stays nil
+	case task.Failed:
+		h.err = &apierr.Error{API: "norns", Code: proto.ETaskError, Msg: st.Err}
+	case task.Cancelled:
+		h.err = ErrCancelled
+	default:
+		return false // still in flight
+	}
+	h.over = true
+	close(h.done)
+	return true
+}
+
+// fail resolves a handle that can no longer receive events (connection
+// loss) with the transport error.
+func (h *TaskHandle) fail(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.over {
+		return
+	}
+	h.err = err
+	h.over = true
+	close(h.done)
+}
+
+// EventKind identifies what a TaskEvent reports.
+type EventKind uint32
+
+// Event kinds surfaced by Events.
+const (
+	// EventState is a task life-cycle transition.
+	EventState = EventKind(proto.EvState)
+	// EventProgress is a rate-limited progress tick for a running task.
+	EventProgress = EventKind(proto.EvProgress)
+	// EventGap reports that events were coalesced because the consumer
+	// fell behind (daemon- or client-side); Dropped carries the count.
+	// Reconcile with Error/TaskStatus if exact history matters.
+	EventGap = EventKind(proto.EvGap)
+)
+
+// TaskEvent is one entry in an Events stream.
+type TaskEvent struct {
+	TaskID  uint64
+	Kind    EventKind
+	Stats   Stats
+	Dropped uint64
+}
+
+// eventSink fans dispatched events to one Events consumer without ever
+// blocking the dispatch loop: overflow is dropped and surfaced as a
+// client-side gap event once the consumer catches up.
+type eventSink struct {
+	ch      chan TaskEvent
+	dropped uint64
+}
+
+// unclaimed caps for events that arrive before their subscription's
+// response has been processed (the daemon's pump and the response
+// writer race on the wire): per subscription, and across
+// subscriptions, beyond which the oldest parked subscription is
+// dropped wholesale. Steady state is empty — every subscribe path
+// claims or discards its SubID as soon as its RPC returns.
+const (
+	unclaimedPerSub = 256
+	unclaimedSubs   = 8
+)
+
+// startDispatch launches the shared event dispatch goroutine (idempotent).
+func (c *Client) startDispatch() {
+	c.dispatchOnce.Do(func() {
+		c.mu.Lock()
+		c.handles = make(map[uint64]*TaskHandle)
+		c.sinks = make(map[uint64]*eventSink)
+		c.unclaimed = make(map[uint64][]TaskEvent)
+		c.discarded = make(map[uint64]struct{})
+		c.dispatchDone = make(chan struct{})
+		c.mu.Unlock()
+		events := c.conn.Events()
+		go func() {
+			defer close(c.dispatchDone)
+			for ev := range events {
+				c.dispatch(ev)
+			}
+			// Connection gone: resolve every open handle with the
+			// error and release Events consumers.
+			c.mu.Lock()
+			c.dispatchDead = true
+			handles, sinks := c.handles, c.sinks
+			c.handles, c.sinks = make(map[uint64]*TaskHandle), make(map[uint64]*eventSink)
+			c.unclaimed, c.unclaimedIDs = make(map[uint64][]TaskEvent), nil
+			c.mu.Unlock()
+			for _, h := range handles {
+				h.fail(transport.ErrConnClosed)
+			}
+			for _, s := range sinks {
+				close(s.ch)
+			}
+		}()
+	})
+}
+
+// dispatch routes one pushed event: task handles resolve by task ID,
+// Events sinks match by subscription ID. Events for a SubID with no
+// sink yet are parked (bounded) until the subscribing RPC claims or
+// discards them.
+func (c *Client) dispatch(ev proto.Event) {
+	var st Stats
+	if ev.Stats != nil {
+		st = statsOf(ev.Stats)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if proto.EventKind(ev.Kind) != proto.EvGap {
+		if h, ok := c.handles[ev.TaskID]; ok {
+			if h.apply(st) {
+				delete(c.handles, ev.TaskID)
+			}
+		}
+	}
+	te := TaskEvent{TaskID: ev.TaskID, Kind: EventKind(ev.Kind), Stats: st, Dropped: ev.Dropped}
+	sink, ok := c.sinks[ev.SubID]
+	if !ok {
+		if _, settled := c.discarded[ev.SubID]; !settled {
+			c.parkLocked(ev.SubID, te)
+		}
+		return
+	}
+	c.forwardLocked(sink, te)
+}
+
+// forwardLocked hands one event to a sink without blocking, folding
+// overflow into a client-side gap marker delivered once space frees.
+func (c *Client) forwardLocked(sink *eventSink, te TaskEvent) {
+	if sink.dropped > 0 {
+		// Deliver the gap marker first so ordering reads
+		// "…events…, gap, …events…" at the consumer.
+		select {
+		case sink.ch <- TaskEvent{Kind: EventGap, Dropped: sink.dropped}:
+			sink.dropped = 0
+		default:
+			sink.dropped++
+			return
+		}
+	}
+	select {
+	case sink.ch <- te:
+	default:
+		sink.dropped++
+	}
+}
+
+// parkLocked buffers an event for a not-yet-claimed subscription,
+// evicting the oldest parked subscription past the global bound.
+func (c *Client) parkLocked(subID uint64, te TaskEvent) {
+	evs, known := c.unclaimed[subID]
+	if !known {
+		if len(c.unclaimedIDs) >= unclaimedSubs {
+			oldest := c.unclaimedIDs[0]
+			c.unclaimedIDs = c.unclaimedIDs[1:]
+			delete(c.unclaimed, oldest)
+		}
+		c.unclaimedIDs = append(c.unclaimedIDs, subID)
+	}
+	if len(evs) < unclaimedPerSub {
+		c.unclaimed[subID] = append(evs, te)
+	}
+}
+
+// claimSink registers a sink for a subscription and replays anything
+// that arrived ahead of the subscribe response, in order. A sink
+// claimed after the dispatcher exited is closed on the spot so its
+// consumer unblocks instead of hanging on a dead connection.
+func (c *Client) claimSink(subID uint64, sink *eventSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dispatchDead {
+		close(sink.ch)
+		return
+	}
+	for _, te := range c.takeUnclaimedLocked(subID) {
+		c.forwardLocked(sink, te)
+	}
+	c.sinks[subID] = sink
+}
+
+// discardSub drops a subscription's parked events and remembers the
+// SubID so its future events are dropped too — its traffic is routed
+// another way (batch handles resolve by task ID) or nowhere (an ended
+// Events stream).
+func (c *Client) discardSub(subID uint64) {
+	c.mu.Lock()
+	c.takeUnclaimedLocked(subID)
+	if _, ok := c.discarded[subID]; !ok {
+		if len(c.discardedRing) >= discardedCap {
+			oldest := c.discardedRing[0]
+			c.discardedRing = c.discardedRing[1:]
+			delete(c.discarded, oldest)
+		}
+		c.discarded[subID] = struct{}{}
+		c.discardedRing = append(c.discardedRing, subID)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) takeUnclaimedLocked(subID uint64) []TaskEvent {
+	evs, ok := c.unclaimed[subID]
+	if !ok {
+		return nil
+	}
+	delete(c.unclaimed, subID)
+	for i, id := range c.unclaimedIDs {
+		if id == subID {
+			c.unclaimedIDs = append(c.unclaimedIDs[:i], c.unclaimedIDs[i+1:]...)
+			break
+		}
+	}
+	return evs
+}
+
+// register installs a handle for a task ID (before any event for that
+// task can be dispatched, since registration happens under the same
+// lock the dispatcher takes).
+func (c *Client) register(h *TaskHandle) {
+	c.mu.Lock()
+	c.handles[h.id] = h
+	c.mu.Unlock()
+}
+
+// BatchResult is one entry's outcome in a SubmitBatch call: a live
+// handle on acceptance, or the per-entry rejection (errors.Is matches
+// ErrAgain for backpressure — resubmit just those entries).
+type BatchResult struct {
+	Handle *TaskHandle
+	Err    error
+}
+
+// SubmitBatch queues many tasks in a single RPC. Acceptance is per
+// entry — one full shard rejects its entry with ErrAgain while the
+// rest of the batch is queued — and the returned slice aligns with
+// tasks (accepted entries also get their ID stored in the IOTask).
+// Accepted handles resolve via a server-push subscription opened by
+// the same call; no status polling is involved. An error is returned
+// only when the batch as a whole could not be submitted or subscribed.
+func (c *Client) SubmitBatch(ctx context.Context, tasks []*IOTask) ([]BatchResult, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	c.startDispatch()
+	specs := make([]proto.TaskSpec, len(tasks))
+	for i, t := range tasks {
+		specs[i] = *specOf(t)
+	}
+	resp, err := c.conn.Call(ctx, &proto.Request{Op: proto.OpSubmitBatch, PID: c.pid, Tasks: specs})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != proto.Success {
+		return nil, apiError(resp)
+	}
+	if len(resp.Results) != len(tasks) {
+		return nil, fmt.Errorf("norns: batch of %d returned %d results", len(tasks), len(resp.Results))
+	}
+	out := make([]BatchResult, len(tasks))
+	ids := make([]uint64, 0, len(tasks))
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		if proto.StatusCode(r.Status) != proto.Success {
+			out[i].Err = apiError(&proto.Response{Status: proto.StatusCode(r.Status), Error: r.Error})
+			continue
+		}
+		tasks[i].ID = r.TaskID
+		h := &TaskHandle{id: r.TaskID, done: make(chan struct{}), stats: Stats{Status: task.Pending}}
+		c.register(h)
+		out[i].Handle = h
+		ids = append(ids, r.TaskID)
+	}
+	if len(ids) == 0 {
+		return out, nil
+	}
+	// Subscribe to the accepted tasks. The daemon snapshots each task's
+	// current state into the subscription, so anything that raced to a
+	// terminal state between the two RPCs still resolves its handle.
+	sresp, err := c.conn.Call(ctx, &proto.Request{
+		Op: proto.OpSubscribe, PID: c.pid,
+		Subscribe: &proto.SubscribeSpec{TaskIDs: ids, ProgressMS: handleProgressMS},
+	})
+	if err == nil && sresp.Status != proto.Success {
+		err = apiError(sresp)
+	}
+	if err != nil {
+		// Without the subscription the handles would never resolve:
+		// unregister them — no event will ever come to evict them — and
+		// fail them so Done/Err stay truthful, surfacing the cause.
+		c.mu.Lock()
+		for _, id := range ids {
+			delete(c.handles, id)
+		}
+		c.mu.Unlock()
+		for _, r := range out {
+			if r.Handle != nil {
+				r.Handle.fail(fmt.Errorf("norns: subscribe after batch: %w", err))
+			}
+		}
+		return out, fmt.Errorf("norns: subscribe after batch: %w", err)
+	}
+	// The subscription's events route to the handles by task ID; any
+	// that raced ahead of this response were parked by SubID and are
+	// released (to nobody) here.
+	c.discardSub(sresp.SubID)
+	return out, nil
+}
+
+// SubmitTask queues one task through the v2 path and returns its
+// handle (a batch of one).
+func (c *Client) SubmitTask(ctx context.Context, t *IOTask) (*TaskHandle, error) {
+	res, err := c.SubmitBatch(ctx, []*IOTask{t})
+	if err != nil {
+		return nil, err
+	}
+	if res[0].Err != nil {
+		return nil, res[0].Err
+	}
+	return res[0].Handle, nil
+}
+
+// WaitAll blocks until every handle resolves or the context is done.
+// It returns the context's error on cancellation, otherwise the
+// handles' terminal errors joined (nil when every task finished).
+func (c *Client) WaitAll(ctx context.Context, handles ...*TaskHandle) error {
+	for _, h := range handles {
+		if h == nil {
+			continue
+		}
+		select {
+		case <-h.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	var errs []error
+	for _, h := range handles {
+		if h == nil {
+			continue
+		}
+		if err := h.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("task %d: %w", h.ID(), err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WaitAny blocks until one of the handles resolves, returning its
+// index, or until the context is done (index -1, ctx.Err()). Nil
+// handles (rejected batch entries) are skipped, as in WaitAll.
+func (c *Client) WaitAny(ctx context.Context, handles ...*TaskHandle) (int, error) {
+	live := 0
+	for i, h := range handles {
+		if h == nil {
+			continue
+		}
+		live++
+		// Fast path: something already resolved.
+		select {
+		case <-h.Done():
+			return i, nil
+		default:
+		}
+	}
+	if live == 0 {
+		return -1, errors.New("norns: WaitAny without (non-nil) handles")
+	}
+	agg := make(chan int)
+	stop := make(chan struct{})
+	defer close(stop)
+	for i, h := range handles {
+		if h == nil {
+			continue
+		}
+		go func(i int, done <-chan struct{}) {
+			select {
+			case <-done:
+				select {
+				case agg <- i:
+				case <-stop:
+				}
+			case <-stop:
+			}
+		}(i, h.Done())
+	}
+	select {
+	case i := <-agg:
+		return i, nil
+	case <-ctx.Done():
+		return -1, ctx.Err()
+	}
+}
+
+// Events subscribes to every task transition the daemon observes —
+// submissions, dispatches, terminal states, and throttled progress
+// ticks — and streams them until the context is done or the
+// connection fails (the channel is then closed). Delivery never blocks
+// the daemon or the client's other traffic: if the consumer falls
+// behind, events are coalesced into one EventGap entry carrying the
+// drop count.
+func (c *Client) Events(ctx context.Context) (<-chan TaskEvent, error) {
+	c.startDispatch()
+	resp, err := c.conn.Call(ctx, &proto.Request{
+		Op: proto.OpSubscribe, PID: c.pid,
+		Subscribe: &proto.SubscribeSpec{All: true, ProgressMS: handleProgressMS},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != proto.Success {
+		return nil, apiError(resp)
+	}
+	sink := &eventSink{ch: make(chan TaskEvent, 128)}
+	// claimSink also replays any events the daemon pushed before this
+	// response was processed, preserving order.
+	c.claimSink(resp.SubID, sink)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-c.dispatchDone:
+			return // dispatcher closed the sink already
+		}
+		c.mu.Lock()
+		_, live := c.sinks[resp.SubID]
+		delete(c.sinks, resp.SubID)
+		c.mu.Unlock()
+		if !live {
+			return
+		}
+		// Events still in flight until the unsubscribe lands must be
+		// dropped, not parked for a consumer that is gone.
+		c.discardSub(resp.SubID)
+		// Best-effort: tell the daemon to stop pushing. The connection
+		// may be long-lived, so do not leak the subscription.
+		uctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, _ = c.conn.Call(uctx, &proto.Request{Op: proto.OpUnsubscribe, PID: c.pid, SubID: resp.SubID})
+		cancel()
+		close(sink.ch)
+	}()
+	return sink.ch, nil
 }

@@ -1,9 +1,11 @@
 package norns_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -16,14 +18,20 @@ import (
 // harness starts a daemon with one memory dataspace and a registered
 // job/process for the test's PID.
 func harness(t *testing.T) (*norns.Client, *nornsctl.Client) {
+	user, ctl, _ := harnessCfg(t, urd.Config{Workers: 2})
+	return user, ctl
+}
+
+// harnessCfg starts a daemon with the given pipeline knobs (sockets and
+// node name are filled in) and returns clients plus the daemon itself,
+// so tests can assert on daemon-side gauges like StatusPolls.
+func harnessCfg(t *testing.T, cfg urd.Config) (*norns.Client, *nornsctl.Client, *urd.Daemon) {
 	t.Helper()
 	dir := t.TempDir()
-	d, err := urd.New(urd.Config{
-		NodeName:      "apitest",
-		UserSocket:    filepath.Join(dir, "u.sock"),
-		ControlSocket: filepath.Join(dir, "c.sock"),
-		Workers:       2,
-	})
+	cfg.NodeName = "apitest"
+	cfg.UserSocket = filepath.Join(dir, "u.sock")
+	cfg.ControlSocket = filepath.Join(dir, "c.sock")
+	d, err := urd.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +57,7 @@ func harness(t *testing.T) (*norns.Client, *nornsctl.Client) {
 	if err := ctl.AddProcess(1, nornsctl.ProcDef{PID: 777, UID: 1, GID: 1}); err != nil {
 		t.Fatal(err)
 	}
-	return user, ctl
+	return user, ctl, d
 }
 
 func TestListing2Flow(t *testing.T) {
@@ -176,5 +184,377 @@ func TestSubmitValidationErrorSurfaced(t *testing.T) {
 func TestDialMissingSocket(t *testing.T) {
 	if _, err := norns.Dial(filepath.Join(t.TempDir(), "nope.sock")); err == nil {
 		t.Fatal("Dial succeeded on missing socket")
+	}
+}
+
+// TestBatchSubscribeNoPolling is the v2 acceptance test: one
+// SubmitBatch RPC queues well over 100 tasks, and a subscribed client
+// observes every terminal transition — Done fires on all handles with
+// final stats — without the daemon serving a single OpTaskStatus poll.
+// (The daemon counts status ops served; the v1 flow in the other tests
+// proves the old protocol still works.)
+func TestBatchSubscribeNoPolling(t *testing.T) {
+	user, _, d := harnessCfg(t, urd.Config{Workers: 4})
+	const n = 120
+	tasks := make([]*norns.IOTask, n)
+	for i := range tasks {
+		tk := norns.NewIOTask(norns.Copy,
+			norns.MemoryRegion([]byte("batch payload")),
+			norns.PosixPath("tmp0://", fmt.Sprintf("batch/%d", i)))
+		tasks[i] = &tk
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	results, err := user.SubmitBatch(ctx, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*norns.TaskHandle, 0, n)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("entry %d rejected: %v", i, r.Err)
+		}
+		if r.Handle == nil || r.Handle.ID() == 0 || tasks[i].ID != r.Handle.ID() {
+			t.Fatalf("entry %d handle = %+v, task ID = %d", i, r.Handle, tasks[i].ID)
+		}
+		handles = append(handles, r.Handle)
+	}
+	if err := user.WaitAll(ctx, handles...); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range handles {
+		st := h.Stats()
+		if st.Status != task.Finished || st.MovedBytes != int64(len("batch payload")) {
+			t.Fatalf("task %d stats = %+v", h.ID(), st)
+		}
+		if h.Err() != nil {
+			t.Fatalf("task %d err = %v", h.ID(), h.Err())
+		}
+	}
+	if polls := d.StatusPolls(); polls != 0 {
+		t.Fatalf("daemon served %d status polls for an event-driven client", polls)
+	}
+}
+
+// TestBatchPartialAcceptance: a bounded shard rejects overflow entries
+// with ErrAgain while accepting the rest of the same batch — the
+// per-entry EAGAIN contract.
+func TestBatchPartialAcceptance(t *testing.T) {
+	user, _, _ := harnessCfg(t, urd.Config{Workers: 1, MaxShardQueue: 2})
+	const n = 50
+	tasks := make([]*norns.IOTask, n)
+	payload := make([]byte, 1<<20)
+	for i := range tasks {
+		tk := norns.NewIOTask(norns.Copy,
+			norns.MemoryRegion(payload),
+			norns.PosixPath("tmp0://", fmt.Sprintf("over/%d", i)))
+		tasks[i] = &tk
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	results, err := user.SubmitBatch(ctx, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted []*norns.TaskHandle
+	rejected := 0
+	for i, r := range results {
+		switch {
+		case r.Err == nil:
+			accepted = append(accepted, r.Handle)
+		case errors.Is(r.Err, norns.ErrAgain):
+			rejected++
+		default:
+			t.Fatalf("entry %d failed with %v, want ErrAgain", i, r.Err)
+		}
+	}
+	// One running + two queued ensures at least one acceptance; a
+	// 50-entry burst against a 2-slot queue ensures rejections.
+	if len(accepted) == 0 || rejected == 0 {
+		t.Fatalf("accepted %d rejected %d, want both non-zero", len(accepted), rejected)
+	}
+	if err := user.WaitAll(ctx, accepted...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaskHandleFailureAndCancel: handles resolve failures to
+// ErrTaskError-matching errors and cancellations to ErrCancelled.
+func TestTaskHandleFailureAndCancel(t *testing.T) {
+	user, _, _ := harnessCfg(t, urd.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Remove of a missing path fails at execution.
+	doomed := norns.NewIOTask(norns.Remove, norns.PosixPath("tmp0://", "missing"), task.Resource{})
+	h, err := user.SubmitTask(ctx, &doomed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-h.Done():
+	case <-ctx.Done():
+		t.Fatal("handle never resolved")
+	}
+	if err := h.Err(); !errors.Is(err, norns.ErrTaskError) {
+		t.Fatalf("failed task Err = %v, want ErrTaskError match", err)
+	}
+	if st := h.Stats(); st.Status != task.Failed || st.Err == "" {
+		t.Fatalf("failed task stats = %+v", st)
+	}
+
+	// A cancelled task resolves to ErrCancelled. The throttled daemon
+	// below makes the transfer slow enough that the cancel reliably
+	// lands mid-flight; the admin-side cancel also exercises the
+	// cross-client event path.
+	user2, ctl2, _ := harnessCfg(t, urd.Config{
+		Workers: 1, MaxBandwidthBps: 64 << 10, BufSize: 16 << 10,
+	})
+	victim := norns.NewIOTask(norns.Copy,
+		norns.MemoryRegion(make([]byte, 4<<20)),
+		norns.PosixPath("tmp0://", "victim"))
+	vh, err := user2.SubmitTask(ctx, &victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl2.Cancel(vh.ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-vh.Done():
+	case <-ctx.Done():
+		t.Fatal("cancelled handle never resolved")
+	}
+	if err := vh.Err(); !errors.Is(err, norns.ErrCancelled) {
+		t.Fatalf("cancelled task Err = %v, want ErrCancelled", err)
+	}
+	if st := vh.Stats(); st.Status != task.Cancelled {
+		t.Fatalf("cancelled task stats = %+v", st)
+	}
+}
+
+// TestWaitAny returns as soon as one handle resolves.
+func TestWaitAny(t *testing.T) {
+	user, _, _ := harnessCfg(t, urd.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	quick := norns.NewIOTask(norns.NoOp, task.Resource{}, task.Resource{})
+	slow := norns.NewIOTask(norns.Copy,
+		norns.MemoryRegion(make([]byte, 8<<20)),
+		norns.PosixPath("tmp0://", "slow"))
+	// Submit the slow one first so the single worker is busy with it.
+	sh, err := user.SubmitTask(ctx, &slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qh, err := user.SubmitTask(ctx, &quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, err := user.WaitAny(ctx, sh, qh); err != nil || i < 0 {
+		t.Fatalf("WaitAny = %d, %v", i, err)
+	}
+	if err := user.WaitAll(ctx, sh, qh); err != nil {
+		t.Fatal(err)
+	}
+	// WaitAny on already-resolved handles returns immediately.
+	if i, err := user.WaitAny(ctx, sh, qh); err != nil || i < 0 {
+		t.Fatalf("WaitAny(resolved) = %d, %v", i, err)
+	}
+}
+
+// TestEventsStream: an all-tasks subscription observes another
+// client's submissions through to their terminal states.
+func TestEventsStream(t *testing.T) {
+	user, ctl, _ := harnessCfg(t, urd.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	events, err := user.Events(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit through the admin API: the events still reach the user
+	// connection's subscription.
+	id, err := ctl.Submit(task.Copy, task.MemoryRegion([]byte("observed")), task.PosixPath("tmp0://", "ev"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPending, sawTerminal := false, false
+	for !sawTerminal {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("events channel closed early")
+			}
+			if ev.TaskID != id {
+				continue
+			}
+			if ev.Kind == norns.EventState && ev.Stats.Status == task.Pending {
+				sawPending = true
+			}
+			if ev.Kind == norns.EventState && ev.Stats.Status.Terminal() {
+				if ev.Stats.Status != task.Finished || ev.Stats.MovedBytes != int64(len("observed")) {
+					t.Fatalf("terminal event = %+v", ev.Stats)
+				}
+				sawTerminal = true
+			}
+		case <-ctx.Done():
+			t.Fatal("no terminal event")
+		}
+	}
+	if !sawPending {
+		t.Fatal("submission event not observed")
+	}
+	cancel()
+	// The stream closes once the context ends.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-events:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("events channel not closed after context cancellation")
+		}
+	}
+}
+
+// TestTypedErrors: failed responses satisfy errors.Is against the
+// exported sentinels instead of demanding string matching.
+func TestTypedErrors(t *testing.T) {
+	user, ctl, _ := harnessCfg(t, urd.Config{Workers: 1})
+	// Unknown task -> ErrNoSuchTask.
+	unknown := norns.IOTask{ID: 99999}
+	if err := user.Wait(&unknown, time.Second); !errors.Is(err, norns.ErrNoSuchTask) {
+		t.Fatalf("Wait(unknown) = %v, want ErrNoSuchTask", err)
+	}
+	// Cancelling a finished task -> ErrBadRequest.
+	tk := norns.NewIOTask(norns.NoOp, task.Resource{}, task.Resource{})
+	if err := user.Submit(&tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.Wait(&tk, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.Cancel(&tk); !errors.Is(err, norns.ErrBadRequest) {
+		t.Fatalf("Cancel(finished) = %v, want ErrBadRequest", err)
+	}
+	// Duplicate dataspace -> ErrExists via the admin client.
+	if err := ctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "tmp0://", Backend: nornsctl.BackendMemory}); !errors.Is(err, nornsctl.ErrExists) {
+		t.Fatalf("duplicate register = %v, want ErrExists", err)
+	}
+	// The rendered form keeps the historical shape.
+	if err := user.Wait(&unknown, time.Second); err == nil || !strings.Contains(err.Error(), "NORNS_ENOTFOUND") {
+		t.Fatalf("error text = %v", err)
+	}
+}
+
+// TestSubscriptionWatch: the admin Watch rides the push subscription —
+// zero status polls — and still reports live progress and the terminal
+// state.
+func TestSubscriptionWatch(t *testing.T) {
+	_, ctl, d := harnessCfg(t, urd.Config{Workers: 2})
+	id, err := ctl.Submit(task.Copy, task.MemoryRegion(make([]byte, 2<<20)), task.PosixPath("tmp0://", "w"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	st, err := ctl.Watch(id, 10*time.Millisecond, func(nornsctl.Stats) { snaps++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != task.Finished || st.MovedBytes != 2<<20 {
+		t.Fatalf("terminal stats = %+v", st)
+	}
+	if snaps == 0 {
+		t.Fatal("watch callback never invoked")
+	}
+	if polls := d.StatusPolls(); polls != 0 {
+		t.Fatalf("watch caused %d status polls", polls)
+	}
+}
+
+// TestConcurrentWatches: two Watch calls sharing one admin client must
+// each observe their own task's progress and terminal state — the
+// dispatcher routes by subscription, so neither can steal or drop the
+// other's events.
+func TestConcurrentWatches(t *testing.T) {
+	_, ctl, d := harnessCfg(t, urd.Config{
+		Workers: 2, MaxBandwidthBps: 4 << 20, BufSize: 64 << 10,
+	})
+	ids := make([]uint64, 2)
+	for i := range ids {
+		id, err := ctl.Submit(task.Copy, task.MemoryRegion(make([]byte, 1<<20)),
+			task.PosixPath("tmp0://", fmt.Sprintf("cw/%d", i)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	type outcome struct {
+		st  nornsctl.Stats
+		err error
+	}
+	results := make(chan outcome, len(ids))
+	for _, id := range ids {
+		go func(id uint64) {
+			st, err := ctl.Watch(id, 20*time.Millisecond, nil)
+			results <- outcome{st, err}
+		}(id)
+	}
+	for range ids {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if r.st.Status != task.Finished || r.st.MovedBytes != 1<<20 {
+				t.Fatalf("terminal stats = %+v", r.st)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("a concurrent watch never resolved")
+		}
+	}
+	if polls := d.StatusPolls(); polls != 0 {
+		t.Fatalf("concurrent watches caused %d status polls", polls)
+	}
+}
+
+// TestSubscribeToExpiredDeadlineTask: subscribing to a still-pending
+// task whose deadline already lapsed expires it and delivers the
+// failure — with another subscriber live, which once self-deadlocked
+// the hub (the expiry published from inside the subscribe path).
+func TestSubscribeToExpiredDeadlineTask(t *testing.T) {
+	user, ctl, _ := harnessCfg(t, urd.Config{
+		Workers: 1, MaxBandwidthBps: 64 << 10, BufSize: 16 << 10,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// A live all-tasks subscription keeps the hub's publish path hot.
+	if _, err := user.Events(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single worker, then queue a task on the same shard
+	// (same mem->tmp0:// route) with a deadline that lapses while it
+	// waits behind the hog.
+	hogID, err := ctl.Submit(task.Copy, task.MemoryRegion(make([]byte, 2<<20)),
+		task.PosixPath("tmp0://", "hog"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Cancel(hogID) // fast daemon drain at cleanup
+	id, err := ctl.SubmitTask(task.Copy, task.MemoryRegion([]byte("late")),
+		task.PosixPath("tmp0://", "late"), nornsctl.SubmitOptions{DeadlineMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the deadline lapse while queued
+	st, err := ctl.Watch(id, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != task.Failed || !strings.Contains(st.Err, "deadline") {
+		t.Fatalf("expired task stats = %+v", st)
 	}
 }

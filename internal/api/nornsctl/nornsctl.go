@@ -5,14 +5,29 @@
 package nornsctl
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"os"
+	"sync"
 	"time"
 
+	"github.com/ngioproject/norns-go/internal/api/apierr"
 	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/task"
 	"github.com/ngioproject/norns-go/internal/transport"
+)
+
+// Typed error sentinels shared with the norns API: every failed
+// response satisfies errors.Is against the sentinel for its status
+// code (ErrAgain is the backpressure retry signal).
+var (
+	ErrAgain      = apierr.ErrAgain
+	ErrBadRequest = apierr.ErrBadRequest
+	ErrNoSuchTask = apierr.ErrNoSuchTask
+	ErrExists     = apierr.ErrExists
+	ErrPermission = apierr.ErrPermission
+	ErrTaskError  = apierr.ErrTaskError
+	ErrInternal   = apierr.ErrInternal
 )
 
 // Backend kinds for RegisterDataspace, mirroring
@@ -92,6 +107,128 @@ func statsOf(st *proto.TaskStats) Stats {
 type Client struct {
 	conn *transport.Conn
 	pid  uint64
+
+	// Push-event demultiplexing for Watch: one dispatch goroutine
+	// drains the connection's event channel and routes by subscription
+	// ID, so concurrent Watch calls on one client cannot steal each
+	// other's events. Events arriving before their subscribe response
+	// is processed are parked until the sink claims them.
+	dispatchOnce sync.Once
+	mu           sync.Mutex
+	sinks        map[uint64]chan proto.Event
+	unclaimed    map[uint64][]proto.Event
+	unclaimedIDs []uint64
+	// dispatchDead marks the router as exited (connection gone): sinks
+	// claimed afterwards are closed immediately instead of hanging.
+	dispatchDead bool
+}
+
+// unclaimed bounds, mirroring the norns client: per parked
+// subscription, and across parked subscriptions.
+const (
+	unclaimedPerSub = 256
+	unclaimedSubs   = 8
+)
+
+// startDispatch launches the shared event router (idempotent).
+func (c *Client) startDispatch() {
+	c.dispatchOnce.Do(func() {
+		c.mu.Lock()
+		c.sinks = make(map[uint64]chan proto.Event)
+		c.unclaimed = make(map[uint64][]proto.Event)
+		c.mu.Unlock()
+		events := c.conn.Events()
+		go func() {
+			for ev := range events {
+				c.mu.Lock()
+				if sink, ok := c.sinks[ev.SubID]; ok {
+					forwardEvent(sink, ev)
+				} else {
+					c.parkLocked(ev)
+				}
+				c.mu.Unlock()
+			}
+			// Connection gone: release every waiting Watch, present
+			// and future (claimSink checks dispatchDead).
+			c.mu.Lock()
+			c.dispatchDead = true
+			for id, sink := range c.sinks {
+				close(sink)
+				delete(c.sinks, id)
+			}
+			c.unclaimed, c.unclaimedIDs = make(map[uint64][]proto.Event), nil
+			c.mu.Unlock()
+		}()
+	})
+}
+
+// forwardEvent hands one event to a sink without ever blocking the
+// router. A full sink sheds its oldest queued event (in practice a
+// progress tick) to admit a state event, so a terminal transition is
+// never lost to progress backlog; overflowing progress ticks are
+// simply dropped.
+func forwardEvent(sink chan proto.Event, ev proto.Event) {
+	select {
+	case sink <- ev:
+		return
+	default:
+	}
+	if proto.EventKind(ev.Kind) != proto.EvState {
+		return
+	}
+	select {
+	case <-sink:
+	default:
+	}
+	select {
+	case sink <- ev:
+	default:
+	}
+}
+
+func (c *Client) parkLocked(ev proto.Event) {
+	evs, known := c.unclaimed[ev.SubID]
+	if !known {
+		if len(c.unclaimedIDs) >= unclaimedSubs {
+			oldest := c.unclaimedIDs[0]
+			c.unclaimedIDs = c.unclaimedIDs[1:]
+			delete(c.unclaimed, oldest)
+		}
+		c.unclaimedIDs = append(c.unclaimedIDs, ev.SubID)
+	}
+	if len(evs) < unclaimedPerSub {
+		c.unclaimed[ev.SubID] = append(evs, ev)
+	}
+}
+
+// claimSink registers a Watch's sink and replays events that raced
+// ahead of the subscribe response. A sink claimed after the router
+// exited is closed on the spot so its Watch unblocks with the
+// connection error instead of hanging.
+func (c *Client) claimSink(subID uint64, sink chan proto.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dispatchDead {
+		close(sink)
+		return
+	}
+	for _, ev := range c.unclaimed[subID] {
+		forwardEvent(sink, ev)
+	}
+	delete(c.unclaimed, subID)
+	for i, id := range c.unclaimedIDs {
+		if id == subID {
+			c.unclaimedIDs = append(c.unclaimedIDs[:i], c.unclaimedIDs[i+1:]...)
+			break
+		}
+	}
+	c.sinks[subID] = sink
+}
+
+func (c *Client) releaseSink(subID uint64) {
+	c.mu.Lock()
+	delete(c.sinks, subID)
+	c.mu.Unlock()
 }
 
 // Dial connects to the daemon's control socket.
@@ -111,13 +248,15 @@ func DialNetwork(network, addr string) (*Client, error) {
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// apiError converts a failed response into a typed error: the result
+// satisfies errors.Is against the sentinel for its status code.
 func apiError(resp *proto.Response) error {
-	return fmt.Errorf("nornsctl: %s: %s", resp.Status, resp.Error)
+	return apierr.New("nornsctl", resp)
 }
 
 func (c *Client) simple(req *proto.Request) error {
 	req.PID = c.pid
-	resp, err := c.conn.Call(req)
+	resp, err := c.conn.Call(context.Background(), req)
 	if err != nil {
 		return err
 	}
@@ -134,7 +273,7 @@ func (c *Client) Ping() error {
 
 // Status returns the daemon's status line (nornsctl_status).
 func (c *Client) Status() (string, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpStatus, PID: c.pid})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpStatus, PID: c.pid})
 	if err != nil {
 		return "", err
 	}
@@ -170,7 +309,7 @@ type DaemonStatus struct {
 
 // StatusInfo returns the daemon's structured status report.
 func (c *Client) StatusInfo() (DaemonStatus, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpStatus, PID: c.pid})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpStatus, PID: c.pid})
 	if err != nil {
 		return DaemonStatus{}, err
 	}
@@ -214,7 +353,7 @@ type TransferMetrics struct {
 // TransferStats fetches observed transfer performance from the daemon,
 // letting the scheduler refine staging estimates over time.
 func (c *Client) TransferStats() (TransferMetrics, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpTransferStats, PID: c.pid})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpTransferStats, PID: c.pid})
 	if err != nil {
 		return TransferMetrics{}, err
 	}
@@ -257,7 +396,7 @@ func (c *Client) TrackDataspace(id string, track bool) error {
 // TrackedNonEmpty returns tracked dataspaces that still hold data — the
 // check Slurm runs before releasing a node.
 func (c *Client) TrackedNonEmpty() ([]string, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpTrackedNonEmpty, PID: c.pid})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpTrackedNonEmpty, PID: c.pid})
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +484,7 @@ func (c *Client) SubmitTask(kind task.Kind, input, output task.Resource, opts Su
 		DeadlineMS: opts.DeadlineMS,
 		MaxBps:     opts.MaxBps,
 	}
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
 	if err != nil {
 		return 0, err
 	}
@@ -355,14 +494,60 @@ func (c *Client) SubmitTask(kind task.Kind, input, output task.Resource, opts Su
 	return resp.TaskID, nil
 }
 
-// Watch polls a task's stats every interval, invoking fn with each
-// snapshot (the last call is the terminal one), until the task reaches
-// a terminal state. It returns the terminal stats — what
-// `nornsctl watch` renders as a live progress line.
+// Watch follows a task's progress, invoking fn with each snapshot (the
+// last call is the terminal one) until the task reaches a terminal
+// state, and returns the terminal stats — what `nornsctl watch`
+// renders as a live progress line.
+//
+// It subscribes to the daemon's server-push events — an initial
+// current-state snapshot, progress ticks at most every interval, and
+// the terminal transition — so a watch costs zero status polls. A
+// daemon that predates subscriptions (EBadRequest on the subscribe)
+// falls back to the v1 poll loop transparently.
 func (c *Client) Watch(taskID uint64, interval time.Duration, fn func(Stats)) (Stats, error) {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
+	c.startDispatch()
+	progressMS := interval.Milliseconds()
+	if progressMS <= 0 {
+		progressMS = 1 // sub-millisecond intervals still want ticks; the daemon floors the rate
+	}
+	resp, err := c.conn.Call(context.Background(), &proto.Request{
+		Op: proto.OpSubscribe, PID: c.pid,
+		Subscribe: &proto.SubscribeSpec{TaskIDs: []uint64{taskID}, ProgressMS: progressMS},
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Status != proto.Success {
+		if errors.Is(apiError(resp), ErrBadRequest) {
+			return c.watchPoll(taskID, interval, fn)
+		}
+		return Stats{}, apiError(resp)
+	}
+	sink := make(chan proto.Event, 256)
+	c.claimSink(resp.SubID, sink)
+	defer c.releaseSink(resp.SubID)
+	for ev := range sink {
+		if proto.EventKind(ev.Kind) == proto.EvGap || ev.Stats == nil {
+			continue
+		}
+		st := statsOf(ev.Stats)
+		if fn != nil {
+			fn(st)
+		}
+		if st.Status.Terminal() {
+			// The subscription is spent — the daemon reaps it after the
+			// terminal event — so there is nothing to unsubscribe.
+			return st, nil
+		}
+	}
+	return Stats{}, transport.ErrConnClosed
+}
+
+// watchPoll is the v1 fallback: poll TaskStatus every interval.
+func (c *Client) watchPoll(taskID uint64, interval time.Duration, fn func(Stats)) (Stats, error) {
 	for {
 		st, err := c.TaskStatus(taskID)
 		if err != nil {
@@ -385,7 +570,7 @@ var ErrTimeout = errors.New("nornsctl: wait timed out")
 // and returns its stats.
 func (c *Client) Wait(taskID uint64, timeout time.Duration) (Stats, error) {
 	req := &proto.Request{Op: proto.OpWait, PID: c.pid, TaskID: taskID, TimeoutMS: timeout.Milliseconds()}
-	resp, err := c.conn.Call(req)
+	resp, err := c.conn.Call(context.Background(), req)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -404,7 +589,7 @@ func (c *Client) Wait(taskID uint64, timeout time.Duration) (Stats, error) {
 
 // TaskStatus fetches a task's stats without blocking.
 func (c *Client) TaskStatus(taskID uint64) (Stats, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpTaskStatus, PID: c.pid, TaskID: taskID})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpTaskStatus, PID: c.pid, TaskID: taskID})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -420,7 +605,7 @@ func (c *Client) TaskStatus(taskID uint64) (Stats, error) {
 // The returned stats are the snapshot right after the request; use Wait
 // to observe the terminal state of a running task.
 func (c *Client) Cancel(taskID uint64) (Stats, error) {
-	resp, err := c.conn.Call(&proto.Request{Op: proto.OpCancel, PID: c.pid, TaskID: taskID})
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpCancel, PID: c.pid, TaskID: taskID})
 	if err != nil {
 		return Stats{}, err
 	}

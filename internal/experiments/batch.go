@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/norns"
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// BatchSizes is the sweep of the batch-submission experiment.
+var BatchSizes = []int{16, 64, 256, 1024}
+
+// BatchSubmit measures the v2 submit path against the v1 one over a
+// real AF_UNIX socket: the same number of NoOp tasks submitted as
+// per-task Submit RPCs (pipelined, as the figure-4 benchmark drives
+// them) versus as OpSubmitBatch RPCs of the given batch size. Reported
+// are both rates and the speedup — the round-trip amortization a
+// batched client keeps as batches grow.
+func BatchSubmit(socketDir string, tasksPerRun int) (*metrics.Table, error) {
+	if tasksPerRun <= 0 {
+		tasksPerRun = 4096
+	}
+	t := metrics.NewTable(
+		"Batch submission — one OpSubmitBatch vs per-task Submit RPCs (NoOp tasks)",
+		"Batch", "Single-op tasks/s", "Batched tasks/s", "Speedup")
+	for _, batch := range BatchSizes {
+		d, err := urd.New(urd.Config{
+			NodeName:      "bench",
+			UserSocket:    fmt.Sprintf("%s/batch-%d.sock", socketDir, batch),
+			ControlSocket: fmt.Sprintf("%s/batch-%d-ctl.sock", socketDir, batch),
+			Workers:       4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		singleRate, batchRate, err := batchRunRates(socketDir, batch, tasksPerRun)
+		d.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(batch, singleRate, batchRate, batchRate/singleRate)
+	}
+	return t, nil
+}
+
+func batchRunRates(socketDir string, batch, tasksPerRun int) (single, batched float64, err error) {
+	ctl, err := nornsctl.Dial(fmt.Sprintf("%s/batch-%d-ctl.sock", socketDir, batch))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ctl.Close()
+	if err := ctl.RegisterJob(nornsctl.JobDef{ID: 1, Hosts: []string{"bench"}}); err != nil {
+		return 0, 0, err
+	}
+	if err := ctl.AddProcess(1, nornsctl.ProcDef{PID: uint64(os.Getpid())}); err != nil {
+		return 0, 0, err
+	}
+	c, err := norns.Dial(fmt.Sprintf("%s/batch-%d.sock", socketDir, batch))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+
+	noop := func() *norns.IOTask {
+		tk := norns.NewIOTask(norns.NoOp, norns.MemoryRegion(nil), norns.MemoryRegion(nil))
+		return &tk
+	}
+
+	// v1 baseline: one Submit RPC per task, pipelined `batch` deep so
+	// the comparison isolates per-request overhead, not round-trip
+	// serialization.
+	start := time.Now()
+	for done := 0; done < tasksPerRun; {
+		n := min(batch, tasksPerRun-done)
+		resolvers := make([]func() error, 0, n)
+		for i := 0; i < n; i++ {
+			resolve, err := c.SubmitAsync(noop())
+			if err != nil {
+				return 0, 0, err
+			}
+			resolvers = append(resolvers, resolve)
+		}
+		for _, resolve := range resolvers {
+			if err := resolve(); err != nil {
+				return 0, 0, err
+			}
+		}
+		done += n
+	}
+	single = float64(tasksPerRun) / time.Since(start).Seconds()
+
+	// v2: the same volume in OpSubmitBatch RPCs of `batch` specs each.
+	ctx := context.Background()
+	start = time.Now()
+	for done := 0; done < tasksPerRun; {
+		n := min(batch, tasksPerRun-done)
+		tasks := make([]*norns.IOTask, n)
+		for i := range tasks {
+			tasks[i] = noop()
+		}
+		results, err := c.SubmitBatch(ctx, tasks)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				return 0, 0, fmt.Errorf("batch entry %d: %w", i, r.Err)
+			}
+		}
+		done += n
+	}
+	batched = float64(tasksPerRun) / time.Since(start).Seconds()
+	return single, batched, nil
+}

@@ -360,3 +360,29 @@ func TestAblationStagingTier(t *testing.T) {
 		t.Fatalf("tier ordering wrong: %v", totals)
 	}
 }
+
+// TestBatchSubmitSmoke runs the batch-submission comparison at small
+// scale: both rates must be positive, and the batched path must not be
+// dramatically slower than per-task submission (on a quiet machine it
+// is meaningfully faster; CI noise only permits the weaker bound).
+func TestBatchSubmitSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket benchmark")
+	}
+	tab, err := BatchSubmit(t.TempDir(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(BatchSizes) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		single, batched := cell(t, r[1]), cell(t, r[2])
+		if single <= 0 || batched <= 0 {
+			t.Errorf("non-positive rate in row %v", r)
+		}
+		if batched < single/2 {
+			t.Errorf("batched submission collapsed: %v vs %v single-op", batched, single)
+		}
+	}
+}

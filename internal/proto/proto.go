@@ -28,6 +28,16 @@ const (
 	OpTaskStatus       // norns_error: fetch task stats
 	OpGetDataspaceInfo // list dataspaces visible to the calling job
 	OpCancel           // norns_cancel: abort a pending or running task
+	// v2 event-driven API: batch submission and server-push
+	// subscriptions. A single OpSubmitBatch carries N TaskSpecs and
+	// returns per-entry results (partial acceptance: one full shard
+	// fails its entry with EAgain, not the batch). OpSubscribe
+	// registers for unsolicited Event frames — task state transitions
+	// and rate-limited progress ticks — pushed on the same connection
+	// with Seq 0, so a subscribed client never polls OpTaskStatus.
+	OpSubmitBatch
+	OpSubscribe
+	OpUnsubscribe
 )
 
 // Control API (nornsctl_*). Anchored at 64 in their own block so adding
@@ -68,6 +78,12 @@ func (o Op) String() string {
 		return "get-dataspace-info"
 	case OpCancel:
 		return "cancel"
+	case OpSubmitBatch:
+		return "submit-batch"
+	case OpSubscribe:
+		return "subscribe"
+	case OpUnsubscribe:
+		return "unsubscribe"
 	case OpPing:
 		return "ping"
 	case OpStatus:
@@ -521,6 +537,172 @@ func (st *TaskStats) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
+// SubmitResult is one entry's outcome in an OpSubmitBatch response.
+// Acceptance is per entry: a full shard or an exhausted in-flight
+// budget fails that entry with EAgain while the rest of the batch is
+// queued normally.
+type SubmitResult struct {
+	TaskID uint64
+	Status uint32 // StatusCode
+	Error  string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (sr *SubmitResult) MarshalWire(e *wire.Encoder) {
+	if sr.TaskID != 0 {
+		e.Uint64(1, sr.TaskID)
+	}
+	e.Uint32(2, sr.Status)
+	if sr.Error != "" {
+		e.String(3, sr.Error)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (sr *SubmitResult) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			sr.TaskID = d.Uint64()
+		case 2:
+			sr.Status = d.Uint32()
+		case 3:
+			sr.Error = d.String()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// SubscribeSpec describes an event subscription: either an explicit
+// task set or all tasks, with an optional per-task progress-tick rate.
+type SubscribeSpec struct {
+	// TaskIDs is the explicit task set. Subscribing to an explicit set
+	// immediately enqueues a current-state snapshot event per task, so
+	// a subscription opened after submission still observes tasks that
+	// raced to a terminal state.
+	TaskIDs []uint64
+	// All subscribes to every task the daemon tracks, present and
+	// future (TaskIDs is then ignored).
+	All bool
+	// ProgressMS, when positive, requests progress-tick events for
+	// running tasks at most every this many milliseconds per task.
+	// Zero delivers state transitions only.
+	ProgressMS int64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (ss *SubscribeSpec) MarshalWire(e *wire.Encoder) {
+	e.Uint64Slice(1, ss.TaskIDs)
+	if ss.All {
+		e.Bool(2, ss.All)
+	}
+	if ss.ProgressMS != 0 {
+		e.Int64(3, ss.ProgressMS)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (ss *SubscribeSpec) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			ss.TaskIDs = append(ss.TaskIDs, d.Uint64())
+		case 2:
+			ss.All = d.Bool()
+		case 3:
+			ss.ProgressMS = d.Int64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// EventKind identifies what a push Event reports.
+type EventKind uint32
+
+// Event kinds. The numeric values are wire-stable.
+const (
+	// EvState is a task life-cycle transition (or the current-state
+	// snapshot delivered at subscription time for explicit task sets).
+	EvState EventKind = iota + 1
+	// EvProgress is a rate-limited progress tick for a running task.
+	EvProgress
+	// EvGap reports that the subscriber's bounded queue overflowed and
+	// Dropped events were coalesced away. Terminal transitions of
+	// explicitly subscribed tasks are never dropped; an all-tasks
+	// subscriber that sees a gap should reconcile by querying status.
+	EvGap
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EvState:
+		return "state"
+	case EvProgress:
+		return "progress"
+	case EvGap:
+		return "gap"
+	default:
+		return fmt.Sprintf("event(%d)", uint32(k))
+	}
+}
+
+// Event is the server-push frame body: a task state transition, a
+// throttled progress tick, or a queue-overflow gap marker, tagged with
+// the subscription that produced it. Events travel inside a Response
+// envelope with Seq 0 — a sequence number no Call ever uses — so a v1
+// client's demultiplexer drops them cleanly instead of misdelivering.
+type Event struct {
+	SubID  uint64
+	Kind   uint32 // EventKind
+	TaskID uint64
+	// Stats is the task snapshot for state and progress events.
+	Stats *TaskStats
+	// Dropped is the number of coalesced events for gap events.
+	Dropped uint64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (ev *Event) MarshalWire(e *wire.Encoder) {
+	e.Uint64(1, ev.SubID)
+	e.Uint32(2, ev.Kind)
+	if ev.TaskID != 0 {
+		e.Uint64(3, ev.TaskID)
+	}
+	if ev.Stats != nil {
+		e.Message(4, ev.Stats)
+	}
+	if ev.Dropped != 0 {
+		e.Uint64(5, ev.Dropped)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (ev *Event) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			ev.SubID = d.Uint64()
+		case 2:
+			ev.Kind = d.Uint32()
+		case 3:
+			ev.TaskID = d.Uint64()
+		case 4:
+			ev.Stats = new(TaskStats)
+			d.Message(ev.Stats)
+		case 5:
+			ev.Dropped = d.Uint64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
 // Request is the envelope for all client->daemon messages. Seq pairs
 // pipelined requests with their responses on one connection.
 type Request struct {
@@ -539,6 +721,12 @@ type Request struct {
 	Job       *JobSpec
 	Proc      *ProcSpec
 	Track     bool
+	// Tasks carries an OpSubmitBatch payload: N specs in one RPC.
+	Tasks []TaskSpec
+	// Subscribe carries an OpSubscribe registration.
+	Subscribe *SubscribeSpec
+	// SubID names the subscription for OpUnsubscribe.
+	SubID uint64
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -568,6 +756,15 @@ func (r *Request) MarshalWire(e *wire.Encoder) {
 	}
 	if r.Track {
 		e.Bool(10, r.Track)
+	}
+	for i := range r.Tasks {
+		e.Message(11, &r.Tasks[i])
+	}
+	if r.Subscribe != nil {
+		e.Message(12, r.Subscribe)
+	}
+	if r.SubID != 0 {
+		e.Uint64(13, r.SubID)
 	}
 }
 
@@ -599,6 +796,15 @@ func (r *Request) UnmarshalWire(d *wire.Decoder) error {
 			d.Message(r.Proc)
 		case 10:
 			r.Track = d.Bool()
+		case 11:
+			var ts TaskSpec
+			d.Message(&ts)
+			r.Tasks = append(r.Tasks, ts)
+		case 12:
+			r.Subscribe = new(SubscribeSpec)
+			d.Message(r.Subscribe)
+		case 13:
+			r.SubID = d.Uint64()
 		default:
 			d.Skip()
 		}
@@ -766,6 +972,14 @@ type Response struct {
 	// StatusInfo carries the structured OpStatus report (the DaemonInfo
 	// text remains for older clients).
 	StatusInfo *DaemonStatus
+	// Results carries the per-entry outcomes of an OpSubmitBatch,
+	// aligned with the request's Tasks slice.
+	Results []SubmitResult
+	// SubID identifies the subscription created by OpSubscribe.
+	SubID uint64
+	// Event is the server-push payload. It only appears in unsolicited
+	// frames (Seq 0), never in a direct response.
+	Event *Event
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -793,6 +1007,15 @@ func (r *Response) MarshalWire(e *wire.Encoder) {
 	}
 	if r.StatusInfo != nil {
 		e.Message(10, r.StatusInfo)
+	}
+	for i := range r.Results {
+		e.Message(11, &r.Results[i])
+	}
+	if r.SubID != 0 {
+		e.Uint64(12, r.SubID)
+	}
+	if r.Event != nil {
+		e.Message(13, r.Event)
 	}
 }
 
@@ -825,6 +1048,15 @@ func (r *Response) UnmarshalWire(d *wire.Decoder) error {
 		case 10:
 			r.StatusInfo = new(DaemonStatus)
 			d.Message(r.StatusInfo)
+		case 11:
+			var sr SubmitResult
+			d.Message(&sr)
+			r.Results = append(r.Results, sr)
+		case 12:
+			r.SubID = d.Uint64()
+		case 13:
+			r.Event = new(Event)
+			d.Message(r.Event)
 		default:
 			d.Skip()
 		}

@@ -278,3 +278,176 @@ func TestDaemonStatusRoundTrip(t *testing.T) {
 		t.Fatalf("lean status info mismatch: %+v", lean.StatusInfo)
 	}
 }
+
+func TestSubmitBatchRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		Op:  OpSubmitBatch,
+		PID: 42,
+		Tasks: []TaskSpec{
+			{Kind: uint32(task.Copy),
+				Input:  ResourceSpec{Kind: uint32(task.LocalPath), Dataspace: "lustre://", Path: "in0"},
+				Output: ResourceSpec{Kind: uint32(task.LocalPath), Dataspace: "nvme0://", Path: "out0"}},
+			{Kind: uint32(task.Move), Priority: 3, JobID: 7, DeadlineMS: 1500, MaxBps: 1 << 20,
+				Input:  ResourceSpec{Kind: uint32(task.RemotePath), Node: "n2", Dataspace: "l://", Path: "in1"},
+				Output: ResourceSpec{Kind: uint32(task.LocalPath), Dataspace: "nvme0://", Path: "out1"}},
+		},
+	}
+	out := roundTripRequest(t, in)
+	if len(out.Tasks) != 2 {
+		t.Fatalf("Tasks = %d entries", len(out.Tasks))
+	}
+	if out.Tasks[0].Input.Path != "in0" || out.Tasks[1].MaxBps != 1<<20 || out.Tasks[1].Input.Node != "n2" {
+		t.Fatalf("tasks mismatch: %+v", out.Tasks)
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	in := &Response{
+		Status: Success,
+		Results: []SubmitResult{
+			{TaskID: 11, Status: uint32(Success)},
+			{Status: uint32(EAgain), Error: "shard at capacity"},
+			{TaskID: 13, Status: uint32(Success)},
+		},
+	}
+	out := roundTripResponse(t, in)
+	if len(out.Results) != 3 {
+		t.Fatalf("Results = %d entries", len(out.Results))
+	}
+	if out.Results[0].TaskID != 11 || StatusCode(out.Results[1].Status) != EAgain ||
+		out.Results[1].Error != "shard at capacity" || out.Results[2].TaskID != 13 {
+		t.Fatalf("results mismatch: %+v", out.Results)
+	}
+}
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	in := &Request{
+		Op:        OpSubscribe,
+		Subscribe: &SubscribeSpec{TaskIDs: []uint64{4, 5, 6}, ProgressMS: 250},
+	}
+	out := roundTripRequest(t, in)
+	if out.Subscribe == nil || len(out.Subscribe.TaskIDs) != 3 ||
+		out.Subscribe.TaskIDs[2] != 6 || out.Subscribe.ProgressMS != 250 || out.Subscribe.All {
+		t.Fatalf("subscribe mismatch: %+v", out.Subscribe)
+	}
+	all := roundTripRequest(t, &Request{Op: OpSubscribe, Subscribe: &SubscribeSpec{All: true}})
+	if all.Subscribe == nil || !all.Subscribe.All || len(all.Subscribe.TaskIDs) != 0 {
+		t.Fatalf("all-subscribe mismatch: %+v", all.Subscribe)
+	}
+	unsub := roundTripRequest(t, &Request{Op: OpUnsubscribe, SubID: 9})
+	if unsub.SubID != 9 {
+		t.Fatalf("SubID = %d", unsub.SubID)
+	}
+}
+
+func TestEventPushFrameRoundTrip(t *testing.T) {
+	in := &Response{
+		Status: Success,
+		Event: &Event{
+			SubID: 3, Kind: uint32(EvState), TaskID: 17,
+			Stats: &TaskStats{Status: uint32(task.Finished), TotalBytes: 4096, MovedBytes: 4096,
+				SegmentsTotal: 2, SegmentsDone: 2, BandwidthBps: 1e6},
+		},
+	}
+	out := roundTripResponse(t, in)
+	if out.Seq != 0 {
+		t.Fatalf("push frame Seq = %d, want 0", out.Seq)
+	}
+	if out.Event == nil || out.Event.SubID != 3 || out.Event.TaskID != 17 ||
+		EventKind(out.Event.Kind) != EvState || out.Event.Stats == nil ||
+		out.Event.Stats.MovedBytes != 4096 {
+		t.Fatalf("event mismatch: %+v", out.Event)
+	}
+	gap := roundTripResponse(t, &Response{Event: &Event{SubID: 3, Kind: uint32(EvGap), Dropped: 12}})
+	if gap.Event == nil || EventKind(gap.Event.Kind) != EvGap || gap.Event.Dropped != 12 {
+		t.Fatalf("gap event mismatch: %+v", gap.Event)
+	}
+}
+
+// legacyResponse decodes exactly the fields a v1 (pre-batch,
+// pre-subscription) client knew about, skipping everything else — the
+// forward-compatibility contract that lets an old client talk to a v2
+// daemon.
+type legacyResponse struct {
+	Seq    uint64
+	Status uint32
+	Error  string
+	TaskID uint64
+	Stats  *TaskStats
+}
+
+func (r *legacyResponse) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Seq = d.Uint64()
+		case 2:
+			r.Status = d.Uint32()
+		case 3:
+			r.Error = d.String()
+		case 4:
+			r.TaskID = d.Uint64()
+		case 5:
+			r.Stats = new(TaskStats)
+			d.Message(r.Stats)
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+func TestV1ClientSkipsV2Fields(t *testing.T) {
+	// A v2 daemon response carrying batch results, a subscription ID,
+	// and an event payload must decode cleanly on a v1-shaped client:
+	// the unknown tags are skipped, the known ones survive.
+	st := TaskStats{Status: uint32(task.Finished), MovedBytes: 99}
+	v2 := &Response{
+		Seq:    7,
+		Status: Success,
+		TaskID: 21,
+		Stats:  &st,
+		Results: []SubmitResult{
+			{TaskID: 22, Status: uint32(Success)},
+			{Status: uint32(EAgain), Error: "busy"},
+		},
+		SubID: 5,
+		Event: &Event{SubID: 5, Kind: uint32(EvProgress), TaskID: 22, Stats: &st},
+	}
+	var old legacyResponse
+	if err := wire.Unmarshal(wire.Marshal(v2), &old); err != nil {
+		t.Fatalf("v1 decode of v2 response: %v", err)
+	}
+	if old.Seq != 7 || StatusCode(old.Status) != Success || old.TaskID != 21 ||
+		old.Stats == nil || old.Stats.MovedBytes != 99 {
+		t.Fatalf("v1 view mismatch: %+v", old)
+	}
+	// And the reverse: a v2 daemon must skip fields a future client
+	// might send. Simulate with a request carrying an unknown tag.
+	var e wire.Encoder
+	(&Request{Op: OpSubmit, PID: 1}).MarshalWire(&e)
+	e.String(99, "from the future")
+	var req Request
+	if err := wire.Unmarshal(e.Buffer(), &req); err != nil {
+		t.Fatalf("decode with unknown field: %v", err)
+	}
+	if req.Op != OpSubmit || req.PID != 1 {
+		t.Fatalf("request mismatch: %+v", req)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{EvState: "state", EvProgress: "progress", EvGap: "gap", EventKind(9): "event(9)"} {
+		if got := k.String(); got != want {
+			t.Fatalf("EventKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	for op, want := range map[Op]string{OpSubmitBatch: "submit-batch", OpSubscribe: "subscribe", OpUnsubscribe: "unsubscribe"} {
+		if got := op.String(); got != want {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+		if op.Control() {
+			t.Fatalf("%s must be a user op", op)
+		}
+	}
+}

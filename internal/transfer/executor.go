@@ -72,6 +72,9 @@ func (e *Executor) Execute(ctx context.Context, t *task.Task) {
 		if err := t.Start(0); err != nil {
 			return
 		}
+		if e.Env.OnStart != nil {
+			e.Env.OnStart(t)
+		}
 		_ = t.Finish()
 		return
 	}
@@ -113,8 +116,18 @@ func (e *Executor) Execute(ctx context.Context, t *task.Task) {
 	if err := t.Start(total); err != nil {
 		return // cancelled before a worker picked it up
 	}
+	if e.Env.OnStart != nil {
+		e.Env.OnStart(t)
+	}
+	progress := t.Progress
+	if hook := e.Env.OnProgress; hook != nil {
+		progress = func(n int64) {
+			t.Progress(n)
+			hook(t)
+		}
+	}
 	start := time.Now()
-	moved, err := fn(ctx, e.Env, t, t.Progress)
+	moved, err := fn(ctx, e.Env, t, progress)
 	if e.ETA != nil && moved > 0 {
 		// Partial progress still carries bandwidth signal.
 		e.ETA.Record(moved, time.Since(start))

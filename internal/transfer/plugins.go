@@ -91,6 +91,14 @@ type Env struct {
 	// daemon journals the task's segment bitmap there so a restart
 	// resumes from the last checkpoint.
 	OnSegment func(t *task.Task)
+	// OnStart, when set, is invoked once a task transitions to Running —
+	// the daemon publishes the transition to event subscribers there.
+	OnStart func(t *task.Task)
+	// OnProgress, when set, is invoked after each progress delta lands
+	// on the task. It runs on the transfer hot path (per copied chunk),
+	// so implementations must be cheap and non-blocking; the daemon's
+	// event hub throttles before taking any snapshot.
+	OnProgress func(t *task.Task)
 }
 
 func (c *Env) fs(dataspaceID string) (storage.FS, error) {

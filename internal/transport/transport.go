@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,6 +25,17 @@ type PeerInfo struct {
 	Control bool
 	// Addr is the remote address (empty for unix sockets).
 	Addr string
+	// Push writes an unsolicited server-push frame to this peer,
+	// serialized with in-flight handler responses. Push frames carry
+	// Seq 0 — a sequence no Call ever uses — so the client transport
+	// demultiplexes them away from pipelined responses. Nil when the
+	// request did not arrive over a real connection (in-process
+	// dispatch); handlers that need push must reject then.
+	Push func(resp *proto.Response) error
+	// Closed is closed when the connection tears down, so push
+	// producers (event subscription pumps) can stop. Nil for
+	// in-process dispatch.
+	Closed <-chan struct{}
 }
 
 // Handler processes one decoded request and returns the response.
@@ -98,10 +110,26 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	peer := PeerInfo{Control: s.control, Addr: conn.RemoteAddr().String()}
 	fr := wire.NewFrameReader(conn)
 	fw := wire.NewFrameWriter(conn)
-	var wmu sync.Mutex // serializes concurrent handler responses
+	var wmu sync.Mutex // serializes concurrent handler responses and pushes
+	closed := make(chan struct{})
+	defer close(closed)
+	peer := PeerInfo{
+		Control: s.control,
+		Addr:    conn.RemoteAddr().String(),
+		Closed:  closed,
+		Push: func(resp *proto.Response) error {
+			resp.Seq = 0 // push frames are unsolicited by definition
+			wmu.Lock()
+			err := fw.WriteMessage(resp)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+			return err
+		},
+	}
 	var hwg sync.WaitGroup
 	defer hwg.Wait()
 	for {
@@ -149,20 +177,31 @@ func (s *Server) Close() {
 // ErrConnClosed is returned for requests on a closed client connection.
 var ErrConnClosed = errors.New("transport: connection closed")
 
+// eventBuffer is the capacity of the Events channel. The demultiplexer
+// never blocks on it — a full buffer drops the event and counts it in
+// DroppedEvents — so a consumer that drains promptly (the API clients
+// run a dedicated dispatch goroutine) sees no loss while a stalled one
+// cannot disturb in-flight Calls.
+const eventBuffer = 1024
+
 // Conn is a client connection supporting pipelined requests: many
 // goroutines may Call concurrently and responses are matched by
-// sequence number.
+// sequence number. Unsolicited server-push frames (Seq 0, carrying an
+// Event) are demultiplexed onto the Events channel without disturbing
+// pipelined responses.
 type Conn struct {
 	nc net.Conn
 	fw *wire.FrameWriter
 
 	wmu sync.Mutex // serializes frame writes
 
-	mu      sync.Mutex
-	pending map[uint64]chan *proto.Response
-	nextSeq uint64
-	err     error
-	closed  bool
+	mu        sync.Mutex
+	pending   map[uint64]chan *proto.Response
+	nextSeq   uint64
+	err       error
+	closed    bool
+	events    chan proto.Event
+	evDropped uint64
 }
 
 // Dial connects to a server ("unix" or "tcp").
@@ -191,6 +230,17 @@ func (c *Conn) readLoop() {
 			c.fail(err)
 			return
 		}
+		if resp.Seq == 0 {
+			// Unsolicited push frame: no Call ever uses Seq 0, so this
+			// can only be a server-initiated event. Deliver it out of
+			// band; frames without an event payload (an older daemon
+			// misbehaving) are dropped silently, mirroring protobuf's
+			// unknown-field tolerance.
+			if resp.Event != nil {
+				c.deliverEvent(*resp.Event)
+			}
+			continue
+		}
 		c.mu.Lock()
 		ch, ok := c.pending[resp.Seq]
 		if ok {
@@ -204,11 +254,87 @@ func (c *Conn) readLoop() {
 	}
 }
 
+// Events returns the channel unsolicited server-push events arrive on.
+// The channel is closed when the connection fails or closes. Delivery
+// is lossy by design: the demultiplexer never blocks, so if the
+// consumer falls more than eventBuffer events behind, the overflow is
+// dropped and counted (DroppedEvents) rather than stalling responses.
+func (c *Conn) Events() <-chan proto.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.events == nil {
+		c.events = make(chan proto.Event, eventBuffer)
+		// fail() is the single closer of a live connection's channel.
+		// Only when it has already run (err set) and thus could not see
+		// this channel does Events close it. A Close in flight (closed
+		// set, err not yet) is about to call fail, which will close it.
+		if c.err != nil {
+			close(c.events)
+		}
+	}
+	return c.events
+}
+
+// PendingCalls reports the number of in-flight requests awaiting a
+// response (diagnostics; abandoned calls are reaped immediately).
+func (c *Conn) PendingCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// DroppedEvents reports how many push events were discarded because the
+// Events channel was full.
+func (c *Conn) DroppedEvents() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evDropped
+}
+
+func (c *Conn) deliverEvent(ev proto.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || c.closed {
+		return // events channel is (being) closed
+	}
+	if c.events == nil {
+		// No consumer registered; dropping unobserved events keeps a
+		// v1-style client oblivious to a v2 daemon's pushes.
+		c.evDropped++
+		return
+	}
+	select {
+	case c.events <- ev:
+		return
+	default:
+	}
+	// Full buffer: progress ticks are expendable, state transitions are
+	// what handles and watchers hang on — shed the oldest queued event
+	// (in practice a progress tick) to admit a state event.
+	if proto.EventKind(ev.Kind) != proto.EvState {
+		c.evDropped++
+		return
+	}
+	select {
+	case <-c.events:
+		c.evDropped++
+	default:
+	}
+	select {
+	case c.events <- ev:
+	default:
+		c.evDropped++
+	}
+}
+
 func (c *Conn) fail(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err == nil {
 		c.err = err
+		if c.events != nil {
+			close(c.events)
+		}
 	}
 	for seq, ch := range c.pending {
 		delete(c.pending, seq)
@@ -216,18 +342,25 @@ func (c *Conn) fail(err error) {
 	}
 }
 
-// Call sends one request and blocks for its response.
-func (c *Conn) Call(req *proto.Request) (*proto.Response, error) {
-	ch, err := c.Send(req)
+// Call sends one request and blocks for its response or the context's
+// cancellation, whichever comes first. A cancelled Call abandons the
+// RPC — the connection stays usable and a late response is discarded —
+// so a stuck daemon no longer wedges the caller.
+func (c *Conn) Call(ctx context.Context, req *proto.Request) (*proto.Response, error) {
+	ch, err := c.Send(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return c.Receive(ch)
+	return c.Receive(ctx, ch)
 }
 
 // Send issues a request without waiting; the returned channel yields the
-// response. Use for pipelining multiple RPCs on one connection.
-func (c *Conn) Send(req *proto.Request) (<-chan *proto.Response, error) {
+// response. Use for pipelining multiple RPCs on one connection. An
+// already-cancelled context fails fast without touching the wire.
+func (c *Conn) Send(ctx context.Context, req *proto.Request) (<-chan *proto.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -258,19 +391,41 @@ func (c *Conn) Send(req *proto.Request) (<-chan *proto.Response, error) {
 }
 
 // Receive waits on a Send channel, translating closed channels into the
-// connection error.
-func (c *Conn) Receive(ch <-chan *proto.Response) (*proto.Response, error) {
-	resp, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrConnClosed
+// connection error. Context cancellation abandons the RPC: its pending
+// entry is reaped immediately — a daemon that never answers cannot
+// leak one map entry per abandoned call — and a response racing the
+// cancellation is discarded (the channel is buffered, so the read loop
+// never blocks on it).
+func (c *Conn) Receive(ctx context.Context, ch <-chan *proto.Response) (*proto.Response, error) {
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrConnClosed
+			}
+			return nil, err
 		}
-		return nil, err
+		return resp, nil
+	case <-ctx.Done():
+		c.abandon(ch)
+		return nil, ctx.Err()
 	}
-	return resp, nil
+}
+
+// abandon removes an in-flight request's pending entry by its response
+// channel. The O(pending) scan only runs on the cancellation path.
+func (c *Conn) abandon(ch <-chan *proto.Response) {
+	c.mu.Lock()
+	for seq, pch := range c.pending {
+		if pch == ch {
+			delete(c.pending, seq)
+			break
+		}
+	}
+	c.mu.Unlock()
 }
 
 // Close tears the connection down; in-flight requests fail.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ngioproject/norns-go/internal/dataspace"
@@ -80,6 +81,15 @@ type Config struct {
 	// none). A hung peer then fails the transfer instead of wedging a
 	// worker forever.
 	RPCTimeout time.Duration
+	// EventQueue bounds each event subscriber's pending queue (<=0:
+	// 256). A subscriber that falls further behind gets its overflow
+	// coalesced into one gap event instead of blocking workers;
+	// terminal transitions of explicitly subscribed tasks are admitted
+	// past the bound so task handles always resolve.
+	EventQueue int
+	// ProgressInterval is the hub-wide floor between progress-tick
+	// events per task (<=0: 100ms), whatever rate subscribers request.
+	ProgressInterval time.Duration
 	// StateDir, when set, enables the durable task journal: every
 	// submission and state transition is appended to a write-ahead log
 	// under this directory, and on startup the journal is replayed —
@@ -134,6 +144,12 @@ type Daemon struct {
 	// recovered is immutable after New.
 	journal   *journal.Journal
 	recovered Recovered
+
+	// hub fans task lifecycle events out to OpSubscribe subscribers.
+	hub *EventHub
+	// statusPolls counts OpTaskStatus requests served — the gauge the
+	// event-driven API exists to drive to zero (tests assert on it).
+	statusPolls atomic.Uint64
 
 	userSrv *transport.Server
 	ctlSrv  *transport.Server
@@ -225,12 +241,17 @@ func New(cfg Config) (*Daemon, error) {
 	default:
 		d.policyName = "fcfs"
 	}
+	d.hub = NewEventHub(cfg.EventQueue, cfg.ProgressInterval)
 	env := &transfer.Env{
 		Spaces:      d.Controller.Spaces,
 		BufSize:     cfg.BufSize,
 		SegmentSize: cfg.SegmentSize,
 		Streams:     cfg.TransferStreams,
 		Governor:    transfer.NewGovernor(cfg.MaxBandwidthBps),
+		// Lifecycle hooks feed the event hub; both are cheap no-ops
+		// while nobody is subscribed.
+		OnStart:    func(t *task.Task) { d.hub.PublishState(t.ID, t.Stats()) },
+		OnProgress: func(t *task.Task) { d.hub.PublishProgress(t) },
 	}
 	if cfg.Fabric != "" {
 		if cfg.Resolver == nil {
@@ -513,6 +534,7 @@ func (d *Daemon) worker(sh *shard) {
 		d.executor.Execute(d.ctx, t)
 		if st := t.Stats(); st.Status.Terminal() {
 			d.recordStats(t.ID, st)
+			d.hub.PublishState(t.ID, st)
 		}
 		d.taskDone()
 	}
@@ -559,6 +581,7 @@ func (d *Daemon) expireIfPast(t *task.Task) {
 	}
 	if err := t.Fail("deadline exceeded before start"); err == nil {
 		d.record(t.ID, task.Failed, "deadline exceeded before start")
+		d.hub.PublishState(t.ID, t.Stats())
 		d.dequeue(t)
 	}
 }
@@ -588,6 +611,11 @@ func (d *Daemon) Close() {
 		sh.q.Close()
 	}
 	d.wg.Wait()
+	// After the drain: the workers have published their final terminal
+	// events, so closing the hub now lets subscriber pumps flush them
+	// before exiting (their connections are already gone if the
+	// listeners closed above; pushes then fail harmlessly).
+	d.hub.Close()
 	d.stop()
 	if d.net != nil {
 		d.net.Close()
@@ -667,6 +695,9 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 	// WAL ordering: the submission is journaled before the task becomes
 	// runnable, so a worker's Running record can never precede it.
 	d.recordSubmit(t)
+	// All-tasks subscribers see the submission; a racing worker may
+	// already have advanced the task, which the hub's dedup absorbs.
+	d.hub.PublishState(id, task.Stats{Status: task.Pending})
 	if err := sh.q.Submit(t); err != nil {
 		d.mu.Lock()
 		delete(d.tasks, id)
@@ -675,6 +706,7 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 		// The client got an error; the journaled submission must not be
 		// resurrected on restart.
 		d.record(id, task.Failed, "never enqueued: "+err.Error())
+		d.hub.PublishState(id, task.Stats{Status: task.Failed, Err: "never enqueued: " + err.Error()})
 		if errors.Is(err, queue.ErrFull) {
 			return 0, fmt.Errorf("%w: shard %s at capacity", errBusy, sh.key)
 		}
@@ -704,7 +736,9 @@ func (d *Daemon) Cancel(id uint64) (task.Stats, error) {
 	// snapshot is recorded because a racing worker may already have
 	// finalized the task — a terminal record is sticky in the journal,
 	// so it must carry the real byte counters, not zeros.
-	d.recordStats(id, t.Stats())
+	st := t.Stats()
+	d.recordStats(id, st)
+	d.hub.PublishState(id, st)
 	// Free the queue slot if the task was still pending; a racing worker
 	// that already popped it sees Start fail and releases the slot.
 	d.dequeue(t)
@@ -802,6 +836,12 @@ func (d *Daemon) Handle(peer transport.PeerInfo, req *proto.Request) *proto.Resp
 		return d.handleStatus()
 	case proto.OpSubmit:
 		return d.handleSubmit(peer, req)
+	case proto.OpSubmitBatch:
+		return d.handleSubmitBatch(peer, req)
+	case proto.OpSubscribe:
+		return d.handleSubscribe(peer, req)
+	case proto.OpUnsubscribe:
+		return d.handleUnsubscribe(req)
 	case proto.OpWait:
 		return d.handleWait(req)
 	case proto.OpTaskStatus:
@@ -910,6 +950,73 @@ func (d *Daemon) handleSubmit(peer transport.PeerInfo, req *proto.Request) *prot
 	return &proto.Response{Status: proto.Success, TaskID: id}
 }
 
+// handleSubmitBatch queues N tasks from one RPC with per-entry
+// acceptance: a full shard or an exhausted in-flight budget rejects
+// that entry with its own status (EAgain for backpressure) while the
+// rest of the batch proceeds. The response's Results align with the
+// request's Tasks.
+func (d *Daemon) handleSubmitBatch(peer transport.PeerInfo, req *proto.Request) *proto.Response {
+	if len(req.Tasks) == 0 {
+		return &proto.Response{Status: proto.EBadRequest, Error: "submit-batch without tasks"}
+	}
+	resp := &proto.Response{Status: proto.Success, Results: make([]proto.SubmitResult, len(req.Tasks))}
+	for i := range req.Tasks {
+		id, err := d.Submit(&req.Tasks[i], req.PID, peer.Control)
+		if err != nil {
+			resp.Results[i] = proto.SubmitResult{Status: uint32(statusOf(err)), Error: err.Error()}
+			continue
+		}
+		resp.Results[i] = proto.SubmitResult{TaskID: id, Status: uint32(proto.Success)}
+	}
+	return resp
+}
+
+// handleSubscribe registers the connection for server-push task events.
+// The subscription's pump writes Event frames (Seq 0) interleaved with
+// this connection's pipelined responses until the task set terminates,
+// the client unsubscribes, or the connection drops.
+func (d *Daemon) handleSubscribe(peer transport.PeerInfo, req *proto.Request) *proto.Response {
+	if req.Subscribe == nil {
+		return &proto.Response{Status: proto.EBadRequest, Error: "subscribe without spec"}
+	}
+	if peer.Push == nil {
+		return &proto.Response{Status: proto.EBadRequest,
+			Error: "subscriptions need a push-capable connection"}
+	}
+	// Expire lapsed deadlines before the hub takes its lock: expireIfPast
+	// publishes a state event, and the snapshot callback runs under the
+	// hub lock where publishing would self-deadlock — so it must stay
+	// pure (Task lookup + Stats only).
+	for _, id := range req.Subscribe.TaskIDs {
+		if t, err := d.Task(id); err == nil {
+			d.expireIfPast(t)
+		}
+	}
+	snapshot := func(id uint64) (task.Stats, error) {
+		t, err := d.Task(id)
+		if err != nil {
+			return task.Stats{}, err
+		}
+		return t.Stats(), nil
+	}
+	subID, err := d.hub.Subscribe(req.Subscribe, snapshot, peer.Push, peer.Closed)
+	if err != nil {
+		return errResp(err)
+	}
+	return &proto.Response{Status: proto.Success, SubID: subID}
+}
+
+func (d *Daemon) handleUnsubscribe(req *proto.Request) *proto.Response {
+	if err := d.hub.Unsubscribe(req.SubID); err != nil {
+		return &proto.Response{Status: proto.ENotFound, Error: err.Error()}
+	}
+	return &proto.Response{Status: proto.Success}
+}
+
+// StatusPolls reports how many OpTaskStatus requests the daemon has
+// served — zero for a client that tracks its tasks via subscriptions.
+func (d *Daemon) StatusPolls() uint64 { return d.statusPolls.Load() }
+
 func (d *Daemon) handleWait(req *proto.Request) *proto.Response {
 	t, err := d.Task(req.TaskID)
 	if err != nil {
@@ -940,6 +1047,7 @@ func (d *Daemon) handleWait(req *proto.Request) *proto.Response {
 }
 
 func (d *Daemon) handleTaskStatus(req *proto.Request) *proto.Response {
+	d.statusPolls.Add(1)
 	t, err := d.Task(req.TaskID)
 	if err != nil {
 		return errResp(err)

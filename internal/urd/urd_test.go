@@ -14,6 +14,7 @@ import (
 	"github.com/ngioproject/norns-go/internal/api/nornsctl"
 	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
 )
 
 // testNode is one simulated compute node: a daemon with user+control
@@ -494,7 +495,4 @@ func TestStaticResolver(t *testing.T) {
 func peerCtl() (p transportPeer) { return transportPeer{Control: true} }
 
 // transportPeer aliases transport.PeerInfo for brevity in tests.
-type transportPeer = struct {
-	Control bool
-	Addr    string
-}
+type transportPeer = transport.PeerInfo

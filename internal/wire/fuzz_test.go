@@ -29,6 +29,15 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte("!\b\a\x10\x00 **\x19\b\x02\x18\x80\x80\x80@ \x80\x80\x80\x180\b8\x03A\x00\x00\x00\x00\x00\x00\xc0A"))
 	f.Add([]byte("3\b\x03\x10\x01\"-\b\x01\x12\x11\b\x02\x12\tlustre://\x1a\x02in\x1a\x11\b\x02\x12\bnvme0://\x1a\x03out8\x80\x80\x80\x01"))
 	f.Add([]byte("\x0f\b\x05\x10\tX\x80\x80``\x80\x80 j\x01\x17"))
+	// Frames of the v2 event-driven API: a server-push state event and
+	// a gap marker (Seq-0 Response frames), an OpSubmitBatch request
+	// with two specs, an OpSubscribe with an explicit task set, and a
+	// partial-acceptance batch response.
+	f.Add([]byte("'\b\x00\x10\x00j!\b\x03\x10\x01\x18\x11\"\x19\b\x03\x18\x80\x80\x80\x01 \x80\x80\x80\x010\x028\x02A\x00\x00\x00\x00\xd0\x12SA"))
+	f.Add([]byte("\f\b\x00\x10\x00j\x06\b\x03\x10\x03(\f"))
+	f.Add([]byte("<\b\x00\x10\x06\x18\tZ(\b\x01\x12\x11\b\x02\x12\tlustre://\x1a\x02in\x1a\x11\b\x02\x12\bnvme0://\x1a\x03outZ\n\b\x04\x12\x02\b\x00\x1a\x02\b\x00"))
+	f.Add([]byte("\x11\b\x00\x10\a\x18\tb\t\b\x04\b\x05\b\x06\x18\xf4\x03"))
+	f.Add([]byte("!\b\x00\x10\x00Z\x04\b\v\x10\x00Z\x15\x10\b\x1a\x11shard at capacity"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Split the input into frames; must terminate (every successful
