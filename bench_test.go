@@ -123,6 +123,24 @@ func BenchmarkTable5(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPath measures the daemon's submit→complete hot path
+// (NoOp tasks over real AF_UNIX sockets at 1/8/64 clients, journal off
+// and on) plus the wire-level Request/Response round trip — the perf
+// trajectory committed in BENCH_PR5.json. CI runs it with
+// -benchtime=1x and compares against the committed baseline.
+func BenchmarkHotPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.HotPath(b.TempDir(), 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t)
+		if _, done := printOnce.LoadOrStore(b.Name()+"/wire", true); !done {
+			b.Log("\n" + experiments.HotPathWire().String())
+		}
+	}
+}
+
 // BenchmarkAblationScheduler compares task-queue arbitration policies
 // on a real daemon.
 func BenchmarkAblationScheduler(b *testing.B) {

@@ -6,23 +6,58 @@
 //
 //	norns-bench -run all
 //	norns-bench -run fig1a,tab3 -reps 25
+//	norns-bench -run hotpath -json > BENCH.json
+//	norns-bench -run hotpath -compare BENCH_PR5.json
+//
+// -json emits the selected tables as one machine-readable JSON document
+// instead of text, seeding the repo's performance trajectory
+// (BENCH_PR5.json); -compare re-runs the selected experiments and
+// renders a benchstat-style old/new delta table against a committed
+// baseline document.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/ngioproject/norns-go/internal/experiments"
 	"github.com/ngioproject/norns-go/internal/metrics"
 )
 
+// report is the schema of the -json output: a versioned envelope of
+// rendered tables, stable enough for future PRs to diff against.
+// Committed trajectory documents (BENCH_PR5.json) wrap two of these as
+// {"baseline": {...}, "current": {...}}; -compare accepts either shape
+// and measures against "current" (the numbers the repo last committed).
+type report struct {
+	Schema   int              `json:"schema"`
+	Note     string           `json:"note,omitempty"`
+	Tables   []*metrics.Table `json:"tables,omitempty"`
+	Baseline *report          `json:"baseline,omitempty"`
+	Current  *report          `json:"current,omitempty"`
+}
+
+// refTables resolves the table set a comparison should measure
+// against.
+func (r *report) refTables() []*metrics.Table {
+	if r.Current != nil && len(r.Current.Tables) > 0 {
+		return r.Current.Tables
+	}
+	return r.Tables
+}
+
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig1a,fig1b,fig4,fig5,fig6,fig7,fig8,tab3,tab4,tab5,streams,batch,ablations")
+	run := flag.String("run", "all", "comma-separated experiments: fig1a,fig1b,fig4,fig5,fig6,fig7,fig8,tab3,tab4,tab5,streams,batch,hotpath,ablations")
 	reps := flag.Int("reps", 0, "repetitions for the variability figures (0 = experiment default)")
 	reqs := flag.Int("reqs", 0, "requests per client for the request-rate figures (0 = default; the paper used 50000)")
+	asJSON := flag.Bool("json", false, "emit results as one JSON document instead of text tables")
+	compare := flag.String("compare", "", "baseline JSON document (from -json) to render an old/new comparison against")
+	note := flag.String("note", "", "free-form annotation stored in the -json envelope")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -32,11 +67,15 @@ func main() {
 	all := want["all"]
 	selected := func(name string) bool { return all || want[name] }
 
+	rep := &report{Schema: 1, Note: *note}
 	show := func(t *metrics.Table, err error) {
 		if err != nil {
 			log.Fatalf("experiment failed: %v", err)
 		}
-		fmt.Println(t)
+		rep.Tables = append(rep.Tables, t)
+		if !*asJSON && *compare == "" {
+			fmt.Println(t)
+		}
 	}
 
 	tmp, err := os.MkdirTemp("", "norns-bench")
@@ -81,6 +120,10 @@ func main() {
 	if selected("batch") {
 		show(experiments.BatchSubmit(tmp, *reqs))
 	}
+	if selected("hotpath") {
+		show(experiments.HotPath(tmp, *reqs))
+		show(experiments.HotPathWire(), nil)
+	}
 	if selected("ablations") {
 		show(experiments.AblationScheduler(tmp, 0))
 		show(experiments.AblationWorkers(tmp, 0))
@@ -88,4 +131,106 @@ func main() {
 		show(experiments.AblationDataAware())
 		show(experiments.AblationStagingTier())
 	}
+
+	if *compare != "" {
+		baseline, err := loadReport(*compare)
+		if err != nil {
+			log.Fatalf("baseline %s: %v", *compare, err)
+		}
+		for _, t := range rep.Tables {
+			fmt.Println(compareTables(findTable(baseline, t.Title), t))
+		}
+		return
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func loadReport(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func findTable(r *report, title string) *metrics.Table {
+	for _, t := range r.refTables() {
+		if t.Title == title {
+			return t
+		}
+	}
+	return nil
+}
+
+// compareTables renders a benchstat-style old/new delta table: rows are
+// matched on their leading (non-numeric) key cells and each numeric
+// column becomes "old -> new (±delta%)". A row or table absent from the
+// baseline renders the new values alone.
+func compareTables(old, cur *metrics.Table) *metrics.Table {
+	out := metrics.NewTable(cur.Title+" — vs baseline", cur.Headers...)
+	for _, row := range cur.Rows {
+		orow := matchRow(old, cur, row)
+		cells := make([]any, len(row))
+		for i, c := range row {
+			nv, nok := parseNumeric(c)
+			if !nok || i == 0 || orow == nil || i >= len(orow) {
+				cells[i] = c
+				continue
+			}
+			ov, ook := parseNumeric(orow[i])
+			if !ook {
+				cells[i] = c
+				continue
+			}
+			delta := "~"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			cells[i] = fmt.Sprintf("%s -> %s (%s)", orow[i], c, delta)
+		}
+		out.AddRow(cells...)
+	}
+	return out
+}
+
+// matchRow finds the baseline row with the same identity cells: every
+// textual cell, plus the leading cell even when numeric (sweep keys
+// like a client count render as numbers but are identity, not
+// measurements).
+func matchRow(old, cur *metrics.Table, row []string) []string {
+	if old == nil {
+		return nil
+	}
+	for _, orow := range old.Rows {
+		if len(orow) != len(row) {
+			continue
+		}
+		match := true
+		for i := range row {
+			_, numeric := parseNumeric(row[i])
+			if (!numeric || i == 0) && orow[i] != row[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return orow
+		}
+	}
+	return nil
+}
+
+func parseNumeric(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return v, err == nil
 }

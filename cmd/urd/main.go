@@ -59,7 +59,9 @@ func main() {
 		shardQueue = flag.Int("shard-queue", 0, "max pending tasks per shard (0 = unbounded)")
 		maxTasks   = flag.Int("max-in-flight", 0, "global cap on queued+running tasks (0 = unbounded)")
 		stateDir   = flag.String("state-dir", "", "directory for the durable task journal; on restart, pending and running tasks are re-queued from it (empty = in-memory only)")
-		stateSync  = flag.Bool("state-sync", false, "fsync the journal after every record (durability over submit latency)")
+		stateSync  = flag.Bool("state-sync", false, "fsync the journal after every group-commit flush (durability over submit latency)")
+		jrFlush    = flag.Duration("journal-flush", 0, "journal group-commit window: concurrent records coalesce into one write+fsync per window, at up to this much added submit latency (0 = flush immediately, still coalescing concurrent appends)")
+		retain     = flag.Int("retain-tasks", 0, "terminal tasks kept in memory answering status queries before the oldest are retired (0 = default 16384)")
 		fabric     = flag.String("fabric", "", "mercury NA plugin for node-to-node transfers (e.g. ofi+tcp); empty disables")
 		fabricAddr = flag.String("fabric-addr", "", "fabric listen address")
 		peers      = flag.String("peers", "", "comma-separated node=addr fabric peers")
@@ -109,7 +111,8 @@ func main() {
 		MaxShardQueue:    *shardQueue,
 		MaxInFlight:      *maxTasks,
 		StateDir:         *stateDir,
-		JournalOptions:   journal.Options{Sync: *stateSync},
+		JournalOptions:   journal.Options{Sync: *stateSync, FlushInterval: *jrFlush},
+		RetainTasks:      *retain,
 		BufSize:          int(bufBytes),
 		SegmentSize:      segBytes,
 		TransferStreams:  *streams,

@@ -135,6 +135,16 @@ type Client struct {
 	// streams), so they are dropped instead of endlessly re-parked.
 	discarded     map[uint64]struct{}
 	discardedRing []uint64 // bounded FIFO over discarded
+	// expectParked / expectSubs widen the parking bounds while combined
+	// submit+subscribe batches are in flight: each such batch can have
+	// every terminal event arrive before its response is processed, and
+	// none may be dropped — nor may its whole parked subscription be
+	// evicted by sibling batches racing alongside it — or a handle would
+	// never resolve. expectParked widens the per-subscription event cap;
+	// expectSubs widens the cross-subscription eviction cap (one extra
+	// unclaimed subscription per outstanding batch).
+	expectParked int
+	expectSubs   int
 	// dispatchDead marks the dispatcher as exited (connection gone):
 	// sinks claimed afterwards are closed immediately.
 	dispatchDead bool
@@ -173,7 +183,16 @@ func apiError(resp *proto.Response) error {
 }
 
 func specOf(t *IOTask) *proto.TaskSpec {
-	return &proto.TaskSpec{
+	spec := new(proto.TaskSpec)
+	fillSpec(t, spec)
+	return spec
+}
+
+// fillSpec writes t's wire spec into dst — the batch path fills the
+// request's spec slice in place instead of allocating a TaskSpec per
+// task only to copy it.
+func fillSpec(t *IOTask, dst *proto.TaskSpec) {
+	*dst = proto.TaskSpec{
 		Kind:       uint32(t.Kind),
 		Input:      proto.FromResource(t.Input),
 		Output:     proto.FromResource(t.Output),
@@ -327,16 +346,38 @@ type TaskHandle struct {
 	mu    sync.Mutex
 	stats Stats
 	err   error
-	done  chan struct{}
-	over  bool
+	// done is materialized lazily (most handles resolve from the push
+	// stream before anyone blocks on them, and then Done hands out the
+	// shared closed channel instead of allocating one per task).
+	done chan struct{}
+	over bool
 }
+
+// closedChan is the shared pre-closed channel resolved handles return
+// from Done when no waiter ever materialized a private one.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // ID returns the daemon-assigned task ID.
 func (h *TaskHandle) ID() uint64 { return h.id }
 
 // Done returns a channel closed when the task reaches a terminal state
 // (or the connection fails, in which case Err reports it).
-func (h *TaskHandle) Done() <-chan struct{} { return h.done }
+func (h *TaskHandle) Done() <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done == nil {
+		if h.over {
+			h.done = closedChan
+		} else {
+			h.done = make(chan struct{})
+		}
+	}
+	return h.done
+}
 
 // Stats returns the latest snapshot pushed by the daemon: live
 // progress while the task runs, the final report once Done is closed.
@@ -400,7 +441,9 @@ func (h *TaskHandle) apply(st Stats) bool {
 		return false // still in flight
 	}
 	h.over = true
-	close(h.done)
+	if h.done != nil {
+		close(h.done)
+	}
 	return true
 }
 
@@ -414,7 +457,9 @@ func (h *TaskHandle) fail(err error) {
 	}
 	h.err = err
 	h.over = true
-	close(h.done)
+	if h.done != nil {
+		close(h.done)
+	}
 }
 
 // EventKind identifies what a TaskEvent reports.
@@ -499,27 +544,61 @@ func (c *Client) startDispatch() {
 // discards them.
 func (c *Client) dispatch(ev proto.Event) {
 	var st Stats
-	if ev.Stats != nil {
-		st = statsOf(ev.Stats)
+	if ev.HasStats {
+		st = statsOf(&ev.Stats)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	handled := false
 	if proto.EventKind(ev.Kind) != proto.EvGap {
-		if h, ok := c.handles[ev.TaskID]; ok {
-			if h.apply(st) {
-				delete(c.handles, ev.TaskID)
-			}
-		}
+		handled = c.applyHandleLocked(ev.TaskID, st)
 	}
-	te := TaskEvent{TaskID: ev.TaskID, Kind: EventKind(ev.Kind), Stats: st, Dropped: ev.Dropped}
 	sink, ok := c.sinks[ev.SubID]
 	if !ok {
+		// Parking exists so an Events stream's first pushes (racing its
+		// OpSubscribe response) are not lost. An event that already
+		// found its consumer — a registered task handle — has nothing
+		// left to deliver: batch subscriptions discard their SubID on
+		// return, so parking those events only to throw them away was
+		// pure allocation churn on the submit hot path.
+		if handled {
+			return
+		}
 		if _, settled := c.discarded[ev.SubID]; !settled {
-			c.parkLocked(ev.SubID, te)
+			c.parkLocked(ev.SubID, TaskEvent{TaskID: ev.TaskID, Kind: EventKind(ev.Kind), Stats: st, Dropped: ev.Dropped})
 		}
 		return
 	}
-	c.forwardLocked(sink, te)
+	c.forwardLocked(sink, TaskEvent{TaskID: ev.TaskID, Kind: EventKind(ev.Kind), Stats: st, Dropped: ev.Dropped})
+}
+
+// applyHandleLocked folds one event into the task's handle (if any),
+// reporting whether a handle consumed it. Caller holds c.mu.
+func (c *Client) applyHandleLocked(taskID uint64, st Stats) bool {
+	h, ok := c.handles[taskID]
+	if !ok {
+		return false
+	}
+	if h.apply(st) {
+		delete(c.handles, taskID)
+	}
+	return true
+}
+
+// adoptSub replays a combined-batch subscription's parked events into
+// the just-registered handles, then retires the SubID: later events
+// route by task ID through the normal dispatch path. This closes the
+// race where the daemon's pump delivers terminal events before the
+// client has processed the batch response that names the tasks.
+func (c *Client) adoptSub(subID uint64) {
+	c.mu.Lock()
+	for _, te := range c.takeUnclaimedLocked(subID) {
+		if te.Kind != EventGap {
+			c.applyHandleLocked(te.TaskID, te.Stats)
+		}
+	}
+	c.discardLocked(subID)
+	c.mu.Unlock()
 }
 
 // forwardLocked hands one event to a sink without blocking, folding
@@ -548,14 +627,23 @@ func (c *Client) forwardLocked(sink *eventSink, te TaskEvent) {
 func (c *Client) parkLocked(subID uint64, te TaskEvent) {
 	evs, known := c.unclaimed[subID]
 	if !known {
-		if len(c.unclaimedIDs) >= unclaimedSubs {
+		if len(c.unclaimedIDs) >= unclaimedSubs+c.expectSubs {
 			oldest := c.unclaimedIDs[0]
 			c.unclaimedIDs = c.unclaimedIDs[1:]
 			delete(c.unclaimed, oldest)
 		}
 		c.unclaimedIDs = append(c.unclaimedIDs, subID)
 	}
-	if len(evs) < unclaimedPerSub {
+	// State events are what handles and streams hang on — a combined
+	// batch's terminal events must never be crowded out of the park by
+	// a burst of progress ticks, or WaitAll would block forever. Ticks
+	// respect the base cap; state events are admitted up to a wider
+	// ceiling bounded by the outstanding batches' task counts.
+	limit := unclaimedPerSub + c.expectParked
+	if te.Kind == EventState {
+		limit += c.expectParked
+	}
+	if len(evs) < limit {
 		c.unclaimed[subID] = append(evs, te)
 	}
 }
@@ -584,6 +672,12 @@ func (c *Client) claimSink(subID uint64, sink *eventSink) {
 func (c *Client) discardSub(subID uint64) {
 	c.mu.Lock()
 	c.takeUnclaimedLocked(subID)
+	c.discardLocked(subID)
+	c.mu.Unlock()
+}
+
+// discardLocked marks a SubID settled. Caller holds c.mu.
+func (c *Client) discardLocked(subID uint64) {
 	if _, ok := c.discarded[subID]; !ok {
 		if len(c.discardedRing) >= discardedCap {
 			oldest := c.discardedRing[0]
@@ -593,7 +687,6 @@ func (c *Client) discardSub(subID uint64) {
 		c.discarded[subID] = struct{}{}
 		c.discardedRing = append(c.discardedRing, subID)
 	}
-	c.mu.Unlock()
 }
 
 func (c *Client) takeUnclaimedLocked(subID uint64) []TaskEvent {
@@ -642,9 +735,33 @@ func (c *Client) SubmitBatch(ctx context.Context, tasks []*IOTask) ([]BatchResul
 	c.startDispatch()
 	specs := make([]proto.TaskSpec, len(tasks))
 	for i, t := range tasks {
-		specs[i] = *specOf(t)
+		fillSpec(t, &specs[i])
 	}
-	resp, err := c.conn.Call(ctx, &proto.Request{Op: proto.OpSubmitBatch, PID: c.pid, Tasks: specs})
+	// Widen the event-parking bound for the duration of the batch: with
+	// the combined submit+subscribe below, every accepted task's
+	// terminal event may land before this function has registered the
+	// handles, and each one must survive parking.
+	c.mu.Lock()
+	c.expectParked += len(tasks)
+	c.expectSubs++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.expectParked -= len(tasks)
+		c.expectSubs--
+		c.mu.Unlock()
+	}()
+	// One RPC carries the specs AND the subscription: the daemon
+	// attaches it before any task becomes runnable, so no event can be
+	// missed and no snapshots are needed. Terminal-only: the handles
+	// resolve on outcomes (plus progress ticks); pending/running
+	// transitions would only burn push frames. A daemon that predates
+	// the combined path ignores Subscribe here and returns SubID 0; the
+	// explicit OpSubscribe fallback below then covers it.
+	resp, err := c.conn.Call(ctx, &proto.Request{
+		Op: proto.OpSubmitBatch, PID: c.pid, Tasks: specs,
+		Subscribe: &proto.SubscribeSpec{ProgressMS: handleProgressMS, TerminalOnly: true},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -663,7 +780,7 @@ func (c *Client) SubmitBatch(ctx context.Context, tasks []*IOTask) ([]BatchResul
 			continue
 		}
 		tasks[i].ID = r.TaskID
-		h := &TaskHandle{id: r.TaskID, done: make(chan struct{}), stats: Stats{Status: task.Pending}}
+		h := &TaskHandle{id: r.TaskID, stats: Stats{Status: task.Pending}}
 		c.register(h)
 		out[i].Handle = h
 		ids = append(ids, r.TaskID)
@@ -671,12 +788,20 @@ func (c *Client) SubmitBatch(ctx context.Context, tasks []*IOTask) ([]BatchResul
 	if len(ids) == 0 {
 		return out, nil
 	}
-	// Subscribe to the accepted tasks. The daemon snapshots each task's
+	if resp.SubID != 0 {
+		// Combined path: the subscription already covers the accepted
+		// tasks. Replay anything its pump pushed ahead of this response
+		// into the handles and route the rest by task ID.
+		c.adoptSub(resp.SubID)
+		return out, nil
+	}
+	// Fallback for daemons without the combined path: subscribe to the
+	// accepted tasks explicitly. The daemon snapshots each task's
 	// current state into the subscription, so anything that raced to a
 	// terminal state between the two RPCs still resolves its handle.
 	sresp, err := c.conn.Call(ctx, &proto.Request{
 		Op: proto.OpSubscribe, PID: c.pid,
-		Subscribe: &proto.SubscribeSpec{TaskIDs: ids, ProgressMS: handleProgressMS},
+		Subscribe: &proto.SubscribeSpec{TaskIDs: ids, ProgressMS: handleProgressMS, TerminalOnly: true},
 	})
 	if err == nil && sresp.Status != proto.Success {
 		err = apiError(sresp)

@@ -11,7 +11,9 @@ import (
 
 	"github.com/ngioproject/norns-go/internal/api/norns"
 	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
 	"github.com/ngioproject/norns-go/internal/urd"
 )
 
@@ -556,5 +558,120 @@ func TestSubscribeToExpiredDeadlineTask(t *testing.T) {
 	}
 	if st.Status != task.Failed || !strings.Contains(st.Err, "deadline") {
 		t.Fatalf("expired task stats = %+v", st)
+	}
+}
+
+// TestSubmitBatchFallbackToSeparateSubscribe drives SubmitBatch against
+// a daemon that predates the combined submit+subscribe path — modeled
+// by a shim that strips the Subscribe field from OpSubmitBatch requests
+// (so the response carries SubID 0) while serving OpSubscribe normally.
+// The client must fall back to the explicit subscription RPC and every
+// handle must still resolve.
+func TestSubmitBatchFallbackToSeparateSubscribe(t *testing.T) {
+	dir := t.TempDir()
+	cfg := urd.Config{
+		NodeName:      "oldd",
+		ControlSocket: filepath.Join(dir, "c.sock"),
+		Workers:       2,
+	}
+	d, err := urd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	// The "old daemon": same handler, minus the v2.1 field.
+	shim := transport.NewServer(func(peer transport.PeerInfo, req *proto.Request) *proto.Response {
+		if req.Op == proto.OpSubmitBatch {
+			req.Subscribe = nil
+		}
+		return d.Handle(peer, req)
+	}, false)
+	addr, err := shim.Listen("unix", filepath.Join(dir, "u.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shim.Close)
+	ctl, err := nornsctl.Dial(cfg.ControlSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctl.Close() })
+	if err := ctl.RegisterJob(nornsctl.JobDef{ID: 1, Hosts: []string{"oldd"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.AddProcess(1, nornsctl.ProcDef{PID: 777}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := norns.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetPID(777)
+
+	tasks := make([]*norns.IOTask, 24)
+	for i := range tasks {
+		tk := norns.NewIOTask(norns.NoOp, norns.MemoryRegion(nil), norns.MemoryRegion(nil))
+		tasks[i] = &tk
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	results, err := c.SubmitBatch(ctx, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*norns.TaskHandle, 0, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("entry %d: %v", i, r.Err)
+		}
+		handles = append(handles, r.Handle)
+	}
+	if err := c.WaitAll(ctx, handles...); err != nil {
+		t.Fatalf("WaitAll via fallback subscription: %v", err)
+	}
+}
+
+// TestManyConcurrentBatchesOneClient drives more concurrent
+// SubmitBatch calls through one client than the parking table's base
+// capacity (unclaimedSubs): each combined submit+subscribe batch can
+// have all its terminal events pushed ahead of its response, and an
+// eviction of any batch's parked events would strand its handles
+// unresolved. The widened eviction cap (expectSubs) must keep every
+// in-flight batch's parked subscription alive.
+func TestManyConcurrentBatchesOneClient(t *testing.T) {
+	c, _ := harness(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const batches = 12 // > unclaimedSubs (8)
+	errs := make(chan error, batches)
+	for b := 0; b < batches; b++ {
+		go func() {
+			tasks := make([]*norns.IOTask, 8)
+			for i := range tasks {
+				tk := norns.NewIOTask(norns.NoOp, norns.MemoryRegion(nil), norns.MemoryRegion(nil))
+				tasks[i] = &tk
+			}
+			results, err := c.SubmitBatch(ctx, tasks)
+			if err != nil {
+				errs <- err
+				return
+			}
+			handles := make([]*norns.TaskHandle, 0, len(results))
+			for i, r := range results {
+				if r.Err != nil {
+					errs <- fmt.Errorf("entry %d: %w", i, r.Err)
+					return
+				}
+				handles = append(handles, r.Handle)
+			}
+			errs <- c.WaitAll(ctx, handles...)
+		}()
+	}
+	for b := 0; b < batches; b++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
 	}
 }

@@ -530,10 +530,10 @@ func (c *Client) Watch(taskID uint64, interval time.Duration, fn func(Stats)) (S
 	c.claimSink(resp.SubID, sink)
 	defer c.releaseSink(resp.SubID)
 	for ev := range sink {
-		if proto.EventKind(ev.Kind) == proto.EvGap || ev.Stats == nil {
+		if proto.EventKind(ev.Kind) == proto.EvGap || !ev.HasStats {
 			continue
 		}
-		st := statsOf(ev.Stats)
+		st := statsOf(&ev.Stats)
 		if fn != nil {
 			fn(st)
 		}

@@ -1,0 +1,41 @@
+// Package bufpool is the shared recycling pool for transfer-sized copy
+// buffers: the segment engine's copy chunks, the sequential-fallback
+// streams, and mercury's bulk-transfer chunks all draw from it instead
+// of allocating a fresh buffer (hundreds of KiB each) per stream.
+// Buffers are pooled as *[]byte so the pool interface itself does not
+// allocate.
+//
+// A process runs with a small set of chunk sizes, so pooled capacities
+// converge; a pooled buffer too small for the requested size is
+// dropped and replaced, and buffers beyond MaxRetained never enter the
+// pool so one oversized tuning experiment cannot pin its footprint.
+package bufpool
+
+import "sync"
+
+// MaxRetained bounds the buffer capacity the pool keeps. 16 MiB covers
+// the largest bulk-chunk tuning the ablations sweep.
+const MaxRetained = 16 << 20
+
+var pool sync.Pool
+
+// Get returns a pooled buffer of exactly size bytes.
+func Get(size int) *[]byte {
+	if p, _ := pool.Get().(*[]byte); p != nil && cap(*p) >= size {
+		*p = (*p)[:size]
+		return p
+	}
+	b := make([]byte, size)
+	return &b
+}
+
+// Put returns a buffer obtained from Get to the pool. The caller must
+// not retain the slice afterwards — in particular, a buffer an
+// abandoned goroutine may still write into must be leaked to the GC
+// instead.
+func Put(p *[]byte) {
+	if cap(*p) > MaxRetained {
+		return
+	}
+	pool.Put(p)
+}

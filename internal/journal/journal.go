@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"syscall"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/task"
@@ -197,11 +199,23 @@ type Options struct {
 	// queries across a restart before being garbage-collected
 	// (<=0 selects 1024; older terminal tasks are dropped at compaction).
 	RetainTerminal int
-	// Sync fsyncs the WAL after every record. Off by default: the urd
-	// recovery model tolerates losing the last few transitions (a
-	// re-run copy is idempotent), so per-record fsync latency is not
-	// worth paying on the submit path.
+	// Sync fsyncs the WAL after each group-commit flush. Off by default:
+	// the urd recovery model tolerates losing the last few transitions
+	// (a re-run copy is idempotent), so fsync latency is not worth
+	// paying on the submit path. With group commit one fsync covers the
+	// whole coalesced batch, so turning this on costs one disk sync per
+	// flush window, not per record.
 	Sync bool
+	// FlushInterval is the group-commit window: an append signals the
+	// flusher and the flusher waits this long before writing, so
+	// concurrent appends — submissions from many clients, the progress-
+	// checkpoint firehose from transfer workers — coalesce into one
+	// buffered write (and one fsync, with Sync) instead of one syscall
+	// each. Every Record* call still blocks until its record is on disk,
+	// so acknowledged work is never lost to a crash; the window only
+	// bounds how long an append may wait for co-travellers. Zero flushes
+	// immediately (appends racing an in-progress flush still coalesce).
+	FlushInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -219,14 +233,49 @@ var ErrClosed = errors.New("journal: closed")
 
 // Journal is a durable task journal. All methods are safe for
 // concurrent use.
+//
+// Appends are group-committed: a Record* call encodes its record into
+// the shared pending buffer under mu, then blocks until the flusher
+// goroutine writes the whole buffer with one write(2) — and one fsync,
+// when Options.Sync is set — so N concurrent appenders cost one disk
+// round trip, not N. A call returns only after its record is durably
+// written (modulo the OS page cache when Sync is off), which preserves
+// the crash-recovery contract: an acknowledged submission is always
+// recoverable.
+//
+// Lock order: ioMu before mu. ioMu serializes the disk writers (flusher,
+// compaction, close); mu protects the in-memory state and the pending
+// buffer.
 type Journal struct {
-	mu   sync.Mutex
 	dir  string
 	opts Options
 
+	ioMu sync.Mutex // serializes WAL writes, compaction, close
+	mu   sync.Mutex
+
 	f    *os.File
-	w    *wire.FrameWriter
 	lock *os.File
+
+	// Group-commit state (under mu). pending accumulates encoded frames
+	// in append order; spare is the drained buffer the flusher hands
+	// back so the two swap forever instead of reallocating. Generations
+	// replace per-batch channels: an append joins generation accumGen
+	// and waits on flushed (a condvar on mu) until doneGen reaches it,
+	// reading its outcome from genErr — no allocation per batch, no
+	// channel per flush. flushC (capacity 1) wakes the flusher; quit
+	// stops it.
+	pending  []byte
+	spare    []byte
+	accumGen uint64
+	doneGen  uint64
+	// writeErr is sticky: a WAL write or sync failure poisons the
+	// journal (later appends report it immediately) rather than being
+	// attributed to exactly one batch — a journal whose disk fails is
+	// not a journal to keep trusting.
+	writeErr error
+	flushed  *sync.Cond
+	flushC   chan struct{}
+	quit     chan struct{}
 
 	tasks      map[uint64]*TaskRecord
 	dataspaces map[string]proto.DataspaceSpec
@@ -306,12 +355,18 @@ func Open(dir string, opts Options) (*Journal, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j.f = f
-	j.w = wire.NewFrameWriter(f)
 	for id := range j.tasks {
 		if id > j.nextID {
 			j.nextID = id
 		}
 	}
+	j.flushC = make(chan struct{}, 1)
+	j.quit = make(chan struct{})
+	j.flushed = sync.NewCond(&j.mu)
+	// Generation 0 is "already flushed" (doneGen's zero value), so the
+	// first real generation must be 1.
+	j.accumGen = 1
+	go j.flushLoop()
 	opened = true
 	return j, nil
 }
@@ -420,19 +475,176 @@ func (j *Journal) apply(rec *record) {
 	}
 }
 
-// append writes one record to the WAL and folds it into memory,
-// compacting when the WAL has grown past the configured bound. A frozen
-// journal drops everything silently (see Freeze).
+// enqueueLocked encodes rec into the pending group-commit buffer and
+// folds it into the in-memory state. The caller holds j.mu and has
+// checked frozen/closed.
+func (j *Journal) enqueueLocked(rec *record) error {
+	if j.pending == nil && j.spare != nil {
+		// Reuse the buffer the flusher handed back, so the two swap
+		// forever instead of growing a fresh one every generation.
+		j.pending, j.spare = j.spare[:0], nil
+	}
+	first := len(j.pending) == 0
+	buf, err := wire.AppendFrame(j.pending, rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.pending = buf
+	if first {
+		// First record of this generation: wake the flusher.
+		select {
+		case j.flushC <- struct{}{}:
+		default: // a wake-up is already queued; it will steal this too
+		}
+	}
+	j.apply(rec)
+	j.walRecords++
+	return nil
+}
+
+// waitFlushed blocks until generation gen has been committed (or
+// dropped by a freeze), returning the journal's sticky write error.
+// The caller holds j.mu; the condition variable releases it while
+// waiting. Generations replace the old per-batch channel: joining one
+// costs no allocation at all.
+func (j *Journal) waitFlushed(gen uint64) error {
+	for j.doneGen < gen {
+		j.flushed.Wait()
+	}
+	return j.writeErr
+}
+
+// append group-commits one record: encode into the shared pending
+// buffer, wait for the flusher's coalesced write, then compact if the
+// WAL has grown past the configured bound. A frozen journal drops
+// everything silently (see Freeze).
 func (j *Journal) append(rec *record) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.frozen {
+		j.mu.Unlock()
 		return nil
 	}
 	if j.closed {
+		j.mu.Unlock()
 		return ErrClosed
 	}
-	if err := j.w.WriteMessage(rec); err != nil {
+	if err := j.enqueueLocked(rec); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	gen := j.accumGen
+	compact := j.compactDueLocked()
+	err := j.waitFlushed(gen)
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if compact {
+		return j.maybeCompact()
+	}
+	return nil
+}
+
+// appendBatch group-commits several records with a single wait: all of
+// them enter the pending buffer back to back (so replay order matches
+// call order) and the caller blocks once for the one coalesced write.
+// The daemon's batch-submit path uses this so a 1000-task batch costs
+// one disk round trip.
+func (j *Journal) appendBatch(recs []*record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	j.mu.Lock()
+	if j.frozen {
+		j.mu.Unlock()
+		return nil
+	}
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	for _, rec := range recs {
+		if err := j.enqueueLocked(rec); err != nil {
+			j.mu.Unlock()
+			return err
+		}
+	}
+	gen := j.accumGen
+	compact := j.compactDueLocked()
+	err := j.waitFlushed(gen)
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if compact {
+		return j.maybeCompact()
+	}
+	return nil
+}
+
+// flushLoop is the group-commit flusher: woken by the first append of a
+// generation, it optionally lingers for the flush window so co-arriving
+// appends pile on, then writes the whole pending buffer with one
+// write(2) (+ one fsync with Sync) and releases every waiter.
+func (j *Journal) flushLoop() {
+	for {
+		select {
+		case <-j.quit:
+			return
+		case <-j.flushC:
+		}
+		if d := j.opts.FlushInterval; d > 0 {
+			// The latency knob: wait out the window (or the journal's
+			// shutdown) before committing, to coalesce more appends.
+			select {
+			case <-j.quit:
+				// Close drains the pending buffer itself; nothing to do.
+				return
+			case <-time.After(d):
+			}
+		} else {
+			// Micro-batching: one yield lets appenders that are already
+			// runnable join this generation before it is stolen, turning
+			// lockstep append-flush-append cycles into real batches at
+			// roughly no latency cost.
+			runtime.Gosched()
+		}
+		j.ioMu.Lock()
+		j.mu.Lock()
+		if len(j.pending) == 0 {
+			// An inline flush (compaction, close) beat us to it.
+			j.mu.Unlock()
+			j.ioMu.Unlock()
+			continue
+		}
+		buf, gen := j.stealLocked()
+		frozen, closed := j.frozen, j.closed
+		j.mu.Unlock()
+		var err error
+		if !frozen && !closed {
+			err = j.writeWAL(buf)
+		}
+		j.mu.Lock()
+		j.commitLocked(gen, buf, err)
+		j.mu.Unlock()
+		j.ioMu.Unlock()
+	}
+}
+
+// stealLocked takes ownership of the pending buffer and opens the next
+// generation. Caller holds j.mu.
+func (j *Journal) stealLocked() ([]byte, uint64) {
+	buf := j.pending
+	j.pending = nil
+	gen := j.accumGen
+	j.accumGen++
+	return buf, gen
+}
+
+// writeWAL performs the one coalesced write (and fsync, with Sync) of
+// a stolen buffer. Caller holds ioMu (the disk-writer lock).
+func (j *Journal) writeWAL(buf []byte) error {
+	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	if j.opts.Sync {
@@ -440,12 +652,70 @@ func (j *Journal) append(rec *record) error {
 			return fmt.Errorf("journal: %w", err)
 		}
 	}
-	j.apply(rec)
-	j.walRecords++
-	if j.walRecords >= j.opts.CompactEvery {
-		return j.compactLocked()
-	}
 	return nil
+}
+
+// commitLocked publishes a generation's outcome: doneGen advances, a
+// failure poisons writeErr, the drained buffer is kept for reuse, and
+// every waiter is woken. Caller holds j.mu.
+func (j *Journal) commitLocked(gen uint64, buf []byte, err error) {
+	j.doneGen = gen
+	if err != nil {
+		j.writeErr = err
+	}
+	if j.spare == nil && cap(buf) <= maxPendingReuse {
+		j.spare = buf[:0]
+	}
+	j.flushed.Broadcast()
+}
+
+// maxPendingReuse bounds the group-commit buffer capacity kept for
+// reuse, so one giant batch does not pin its footprint forever.
+const maxPendingReuse = 1 << 20
+
+// flushPendingLocked writes the pending buffer inline and releases its
+// waiters — the synchronous variant the compaction and close paths use.
+// The caller holds ioMu and mu.
+func (j *Journal) flushPendingLocked() error {
+	if len(j.pending) == 0 {
+		return j.writeErr
+	}
+	buf, gen := j.stealLocked()
+	var err error
+	if !j.frozen {
+		err = j.writeWAL(buf)
+	}
+	j.commitLocked(gen, buf, err)
+	return err
+}
+
+// compactDueLocked reports whether the WAL has earned a compaction:
+// past the configured bound AND at least as many records as the live
+// state a snapshot would have to write. The second condition keeps
+// compaction amortized-O(1) per record — without it, a daemon with a
+// deep backlog (thousands of live tasks) re-snapshotted its whole
+// table every CompactEvery records, turning the journal quadratic
+// exactly when the node was busiest. Caller holds j.mu.
+func (j *Journal) compactDueLocked() bool {
+	return j.walRecords >= j.opts.CompactEvery && j.walRecords >= len(j.tasks)
+}
+
+// maybeCompact runs a compaction if the WAL is still past its bound —
+// the post-flush trigger. Concurrent appenders that crossed the bound
+// together race here benignly: the first compacts, the rest re-check
+// and return.
+func (j *Journal) maybeCompact() error {
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen || j.closed || !j.compactDueLocked() {
+		return nil
+	}
+	if err := j.flushPendingLocked(); err != nil {
+		return err
+	}
+	return j.compactLocked()
 }
 
 // RecordSubmit journals a task submission. Call it before the task
@@ -459,15 +729,51 @@ func (j *Journal) RecordSubmit(id uint64, spec task.Spec) error {
 	return j.append(&record{Kind: recSubmit, TaskID: id, Spec: &spec})
 }
 
+// RecordSubmitBatch journals many task submissions as one group-commit
+// batch: the records enter the WAL back to back (replay order matches
+// slice order) and the call blocks once for the single coalesced write
+// — the journal-side amortization behind OpSubmitBatch. ids and specs
+// are parallel slices.
+func (j *Journal) RecordSubmitBatch(ids []uint64, specs []task.Spec) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	j.mu.Lock()
+	for _, id := range ids {
+		if id > j.nextID {
+			j.nextID = id
+		}
+	}
+	j.mu.Unlock()
+	recs := make([]*record, len(ids))
+	for i, id := range ids {
+		recs[i] = &record{Kind: recSubmit, TaskID: id, Spec: &specs[i]}
+	}
+	return j.appendBatch(recs)
+}
+
+// recordPool recycles the scratch record structs the per-transition
+// appends encode through — the struct escapes into the encoder, so
+// without the pool every state/progress record allocated one. apply
+// copies values out (and may retain the SegBits slice, which is the
+// caller's to give), so returning the struct is safe.
+var recordPool = sync.Pool{New: func() any { return new(record) }}
+
 // RecordState journals a task state transition.
 func (j *Journal) RecordState(id uint64, s task.Status, errMsg string) error {
-	return j.append(&record{Kind: recState, TaskID: id, Status: uint32(s), Err: errMsg})
+	rec := recordPool.Get().(*record)
+	*rec = record{Kind: recState, TaskID: id, Status: uint32(s), Err: errMsg}
+	err := j.append(rec)
+	*rec = record{}
+	recordPool.Put(rec)
+	return err
 }
 
 // RecordStats journals a state transition with its byte counters, so a
 // restart can resurrect the progress/completion report intact.
 func (j *Journal) RecordStats(id uint64, st task.Stats) error {
-	return j.append(&record{
+	rec := recordPool.Get().(*record)
+	*rec = record{
 		Kind:      recState,
 		TaskID:    id,
 		Status:    uint32(st.Status),
@@ -476,7 +782,11 @@ func (j *Journal) RecordStats(id uint64, st task.Stats) error {
 		Moved:     st.MovedBytes,
 		SegsTotal: uint32(st.SegmentsTotal),
 		SegsDone:  uint32(st.SegmentsDone),
-	})
+	}
+	err := j.append(rec)
+	*rec = record{}
+	recordPool.Put(rec)
+	return err
 }
 
 // RecordProgress checkpoints a running transfer's segment bitmap so a
@@ -487,14 +797,19 @@ func (j *Journal) RecordStats(id uint64, st task.Stats) error {
 // resumed task counts only its own newly moved bytes; resume
 // correctness comes from the bitmap and plan alone).
 func (j *Journal) RecordProgress(id uint64, segSize, planBytes int64, bits []byte, moved int64) error {
-	return j.append(&record{
+	rec := recordPool.Get().(*record)
+	*rec = record{
 		Kind:    recProgress,
 		TaskID:  id,
 		SegSize: segSize,
 		SegPlan: planBytes,
 		SegBits: bits,
 		Moved:   moved,
-	})
+	}
+	err := j.append(rec)
+	*rec = record{}
+	recordPool.Put(rec)
+	return err
 }
 
 // RecordDataspace journals a dataspace registration or update, so
@@ -553,6 +868,8 @@ func (j *Journal) WALRecords() int {
 // Compact writes the live state as a fresh snapshot and truncates the
 // WAL. Terminal tasks beyond the RetainTerminal newest are dropped.
 func (j *Journal) Compact() error {
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.frozen {
@@ -561,10 +878,16 @@ func (j *Journal) Compact() error {
 	if j.closed {
 		return ErrClosed
 	}
+	// Records still waiting on the flusher must reach the WAL (and their
+	// waiters must be released) before it is truncated.
+	if err := j.flushPendingLocked(); err != nil {
+		return err
+	}
 	return j.compactLocked()
 }
 
-// compactLocked implements Compact; the caller holds j.mu.
+// compactLocked implements Compact; the caller holds ioMu and j.mu, and
+// has flushed the pending group-commit buffer.
 func (j *Journal) compactLocked() error {
 	// Garbage-collect old terminal tasks before the state is written out.
 	var terminal []uint64
@@ -585,24 +908,28 @@ func (j *Journal) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	w := wire.NewFrameWriter(tmp)
-	werr := w.WriteMessage(&record{Kind: recHeader, NextID: j.nextID})
+	// The snapshot is assembled in memory and written with one syscall —
+	// the same frame-building path the group-commit buffer uses.
+	var buf []byte
+	var rec record
+	rec = record{Kind: recHeader, NextID: j.nextID}
+	buf, werr := wire.AppendFrame(buf, &rec)
 	for _, ds := range j.dataspaces {
 		if werr != nil {
 			break
 		}
 		spec := ds
-		werr = w.WriteMessage(&record{Kind: recDataspace, DS: &spec})
+		rec = record{Kind: recDataspace, DS: &spec}
+		buf, werr = wire.AppendFrame(buf, &rec)
 	}
 	for _, tr := range j.tasks {
 		if werr != nil {
 			break
 		}
-		spec := tr.Spec
-		werr = w.WriteMessage(&record{
+		rec = record{
 			Kind:      recSubmit,
 			TaskID:    tr.ID,
-			Spec:      &spec,
+			Spec:      &tr.Spec,
 			Status:    uint32(tr.Status),
 			Err:       tr.Err,
 			Total:     tr.TotalBytes,
@@ -612,7 +939,11 @@ func (j *Journal) compactLocked() error {
 			SegBits:   tr.SegBits,
 			SegsTotal: uint32(tr.SegsTotal),
 			SegsDone:  uint32(tr.SegsDone),
-		})
+		}
+		buf, werr = wire.AppendFrame(buf, &rec)
+	}
+	if werr == nil {
+		_, werr = tmp.Write(buf)
 	}
 	if werr == nil {
 		werr = tmp.Sync()
@@ -665,18 +996,27 @@ func (j *Journal) Freeze() {
 	j.mu.Unlock()
 }
 
-// Close compacts the journal (bounding the next open's replay) and
-// releases the WAL file. Further appends fail with ErrClosed.
+// Close flushes any pending group-commit batch, compacts the journal
+// (bounding the next open's replay), stops the flusher, and releases
+// the WAL file. Further appends fail with ErrClosed.
 func (j *Journal) Close() error {
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return nil
 	}
+	close(j.quit)
+	// Drain the pending buffer inline (releasing its waiters) before the
+	// WAL file goes away; the flusher, if mid-cycle, blocks on ioMu and
+	// then finds nothing to do.
+	err := j.flushPendingLocked()
 	j.closed = true
-	var err error
 	if !j.frozen {
-		err = j.compactLocked()
+		if cerr := j.compactLocked(); err == nil {
+			err = cerr
+		}
 	}
 	if cerr := j.f.Close(); err == nil {
 		err = cerr

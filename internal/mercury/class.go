@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ngioproject/norns-go/internal/bufpool"
 	"github.com/ngioproject/norns-go/internal/wire"
 )
 
@@ -379,6 +380,17 @@ func (c *Class) serveBulkPull(req *message, send func(*message) error) error {
 	rc := make(chan readResult, 1)
 	tick := time.NewTicker(c.keepalive)
 	defer tick.Stop()
+	// The chunk buffer is pooled — except when a read is abandoned mid-
+	// flight (keepalive send failed below): the orphaned goroutine still
+	// writes into it, so it must fall to the GC instead of being handed
+	// to the next stream.
+	abandoned := false
+	bufp := bufpool.Get(c.chunk)
+	defer func() {
+		if !abandoned {
+			bufpool.Put(bufp)
+		}
+	}()
 	readKeepalive := func(b []byte, at int64) (int, error) {
 		go func() {
 			n, err := p.ReadAt(b, at)
@@ -394,12 +406,13 @@ func (c *Class) serveBulkPull(req *message, send func(*message) error) error {
 					// buffered channel and is collected. The caller
 					// returns immediately, so the channel is never reused
 					// after an abandoned read.
+					abandoned = true
 					return 0, err
 				}
 			}
 		}
 	}
-	buf := make([]byte, c.chunk)
+	buf := *bufp
 	var sent int64
 	for sent < count {
 		n := int64(len(buf))

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ngioproject/norns-go/internal/bufpool"
 	"github.com/ngioproject/norns-go/internal/wire"
 )
 
@@ -219,6 +220,32 @@ func (ep *Endpoint) ForwardNoDeadline(name string, payload []byte) ([]byte, erro
 	return ep.forward(name, payload, 0)
 }
 
+// ForwardMarshal issues an RPC whose request payload is encoded into a
+// pooled buffer that lives exactly as long as the send — the zero-copy
+// replacement for Forward(name, wire.Marshal(m)), which allocated and
+// copied the payload on every call.
+func (ep *Endpoint) ForwardMarshal(name string, m wire.Marshaler) ([]byte, error) {
+	return ep.forwardMarshal(name, m, ep.class.rpcTimeout)
+}
+
+// ForwardMarshalNoDeadline is ForwardMarshal with the class's RPC
+// timeout suppressed (see ForwardNoDeadline).
+func (ep *Endpoint) ForwardMarshalNoDeadline(name string, m wire.Marshaler) ([]byte, error) {
+	return ep.forwardMarshal(name, m, 0)
+}
+
+func (ep *Endpoint) forwardMarshal(name string, m wire.Marshaler, timeout time.Duration) ([]byte, error) {
+	e := wire.GetEncoder()
+	m.MarshalWire(e)
+	out, err := ep.forward(name, e.Buffer(), timeout)
+	// The payload was consumed by the send (forward's WriteMessage
+	// copies it into the frame buffer before returning); the response
+	// wait does not reference it, so the encoder can go back to the pool
+	// even on the error paths.
+	wire.PutEncoder(e)
+	return out, err
+}
+
 func (ep *Endpoint) forward(name string, payload []byte, timeout time.Duration) ([]byte, error) {
 	seq, ch, err := ep.register(1)
 	if err != nil {
@@ -303,7 +330,9 @@ func (ep *Endpoint) BulkPush(h BulkHandle, src BulkProvider) (int64, error) {
 		return 0, err
 	}
 	size := src.Size()
-	buf := make([]byte, ep.class.chunk)
+	bufp := bufpool.Get(ep.class.chunk)
+	defer bufpool.Put(bufp)
+	buf := *bufp
 	for off := int64(0); off < size; {
 		n := int64(len(buf))
 		if size-off < n {

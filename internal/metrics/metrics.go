@@ -180,11 +180,13 @@ func FormatRate(bytesPerSec float64) string {
 }
 
 // Table renders aligned plain-text result tables like the ones in the
-// paper's evaluation section.
+// paper's evaluation section. The field tags define the machine-
+// readable schema norns-bench -json emits (the committed BENCH_*.json
+// perf trajectory), so they are as load-bearing as the text format.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable returns a table with the given title and column headers.

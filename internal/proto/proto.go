@@ -590,6 +590,15 @@ type SubscribeSpec struct {
 	// running tasks at most every this many milliseconds per task.
 	// Zero delivers state transitions only.
 	ProgressMS int64
+	// TerminalOnly suppresses non-terminal state events (and their
+	// subscribe-time snapshots): the subscriber receives progress ticks
+	// (if requested) and exactly one terminal event per task. This is
+	// what batch task handles ride on — under a deep backlog a task
+	// otherwise pushes pending, running, AND terminal events, tripling
+	// the push traffic for consumers that only resolve on the outcome.
+	// Daemons older than this field ignore it and send everything,
+	// which such consumers already tolerate.
+	TerminalOnly bool
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -600,6 +609,9 @@ func (ss *SubscribeSpec) MarshalWire(e *wire.Encoder) {
 	}
 	if ss.ProgressMS != 0 {
 		e.Int64(3, ss.ProgressMS)
+	}
+	if ss.TerminalOnly {
+		e.Bool(4, ss.TerminalOnly)
 	}
 }
 
@@ -613,6 +625,8 @@ func (ss *SubscribeSpec) UnmarshalWire(d *wire.Decoder) error {
 			ss.All = d.Bool()
 		case 3:
 			ss.ProgressMS = d.Int64()
+		case 4:
+			ss.TerminalOnly = d.Bool()
 		default:
 			d.Skip()
 		}
@@ -660,8 +674,13 @@ type Event struct {
 	SubID  uint64
 	Kind   uint32 // EventKind
 	TaskID uint64
-	// Stats is the task snapshot for state and progress events.
-	Stats *TaskStats
+	// Stats is the task snapshot for state and progress events, present
+	// when HasStats is set. Inline (not a pointer) deliberately: events
+	// are the highest-volume message on a busy connection, and a
+	// pointer here cost one allocation at the hub and another at every
+	// receiving client, per event. The wire encoding is unchanged.
+	Stats    TaskStats
+	HasStats bool
 	// Dropped is the number of coalesced events for gap events.
 	Dropped uint64
 }
@@ -673,8 +692,8 @@ func (ev *Event) MarshalWire(e *wire.Encoder) {
 	if ev.TaskID != 0 {
 		e.Uint64(3, ev.TaskID)
 	}
-	if ev.Stats != nil {
-		e.Message(4, ev.Stats)
+	if ev.HasStats {
+		e.Message(4, &ev.Stats)
 	}
 	if ev.Dropped != 0 {
 		e.Uint64(5, ev.Dropped)
@@ -692,8 +711,8 @@ func (ev *Event) UnmarshalWire(d *wire.Decoder) error {
 		case 3:
 			ev.TaskID = d.Uint64()
 		case 4:
-			ev.Stats = new(TaskStats)
-			d.Message(ev.Stats)
+			d.Message(&ev.Stats)
+			ev.HasStats = true
 		case 5:
 			ev.Dropped = d.Uint64()
 		default:
@@ -757,6 +776,12 @@ func (r *Request) MarshalWire(e *wire.Encoder) {
 	if r.Track {
 		e.Bool(10, r.Track)
 	}
+	if len(r.Tasks) > 0 {
+		// The count travels ahead of the specs so the decoder can size
+		// the slice once instead of growing it per entry; old decoders
+		// skip the unknown tag.
+		e.Uint64(14, uint64(len(r.Tasks)))
+	}
 	for i := range r.Tasks {
 		e.Message(11, &r.Tasks[i])
 	}
@@ -797,14 +822,25 @@ func (r *Request) UnmarshalWire(d *wire.Decoder) error {
 		case 10:
 			r.Track = d.Bool()
 		case 11:
-			var ts TaskSpec
-			d.Message(&ts)
-			r.Tasks = append(r.Tasks, ts)
+			// Decode straight into the slice slot — no per-entry escape
+			// to the heap, and the tag-14 count hint (when present) has
+			// already sized the backing array.
+			r.Tasks = append(r.Tasks, TaskSpec{})
+			d.Message(&r.Tasks[len(r.Tasks)-1])
 		case 12:
 			r.Subscribe = new(SubscribeSpec)
 			d.Message(r.Subscribe)
 		case 13:
 			r.SubID = d.Uint64()
+		case 14:
+			// Capacity hint only — the entries themselves arrive as
+			// repeated tag-11 fields. Clamped against the bytes actually
+			// remaining in the frame (an encoded TaskSpec costs at least
+			// a couple of bytes), so a tiny hostile frame cannot command
+			// a multi-megabyte pre-allocation.
+			if n := d.Uint64(); r.Tasks == nil && n > 0 && n <= uint64(d.Remaining()/2) {
+				r.Tasks = make([]TaskSpec, 0, n)
+			}
 		default:
 			d.Skip()
 		}
@@ -979,7 +1015,10 @@ type Response struct {
 	SubID uint64
 	// Event is the server-push payload. It only appears in unsolicited
 	// frames (Seq 0), never in a direct response.
-	Event *Event
+	// Event is the push payload (HasEvent set), inline for the same
+	// per-event allocation reason as Event.Stats.
+	Event    Event
+	HasEvent bool
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -1008,14 +1047,19 @@ func (r *Response) MarshalWire(e *wire.Encoder) {
 	if r.StatusInfo != nil {
 		e.Message(10, r.StatusInfo)
 	}
+	if len(r.Results) > 0 {
+		// Count hint ahead of the entries so the decoder sizes the slice
+		// once (same convention as Request tag 14); old decoders skip it.
+		e.Uint64(14, uint64(len(r.Results)))
+	}
 	for i := range r.Results {
 		e.Message(11, &r.Results[i])
 	}
 	if r.SubID != 0 {
 		e.Uint64(12, r.SubID)
 	}
-	if r.Event != nil {
-		e.Message(13, r.Event)
+	if r.HasEvent {
+		e.Message(13, &r.Event)
 	}
 }
 
@@ -1049,14 +1093,20 @@ func (r *Response) UnmarshalWire(d *wire.Decoder) error {
 			r.StatusInfo = new(DaemonStatus)
 			d.Message(r.StatusInfo)
 		case 11:
-			var sr SubmitResult
-			d.Message(&sr)
-			r.Results = append(r.Results, sr)
+			// In-place decode, presized by the tag-14 count hint.
+			r.Results = append(r.Results, SubmitResult{})
+			d.Message(&r.Results[len(r.Results)-1])
 		case 12:
 			r.SubID = d.Uint64()
 		case 13:
-			r.Event = new(Event)
-			d.Message(r.Event)
+			d.Message(&r.Event)
+			r.HasEvent = true
+		case 14:
+			// Clamped like Request's hint: no allocation beyond what the
+			// remaining frame bytes could actually encode.
+			if n := d.Uint64(); r.Results == nil && n > 0 && n <= uint64(d.Remaining()/2) {
+				r.Results = make([]SubmitResult, 0, n)
+			}
 		default:
 			d.Skip()
 		}

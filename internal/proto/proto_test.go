@@ -343,23 +343,25 @@ func TestSubscribeRoundTrip(t *testing.T) {
 func TestEventPushFrameRoundTrip(t *testing.T) {
 	in := &Response{
 		Status: Success,
-		Event: &Event{
+		Event: Event{
 			SubID: 3, Kind: uint32(EvState), TaskID: 17,
-			Stats: &TaskStats{Status: uint32(task.Finished), TotalBytes: 4096, MovedBytes: 4096,
+			Stats: TaskStats{Status: uint32(task.Finished), TotalBytes: 4096, MovedBytes: 4096,
 				SegmentsTotal: 2, SegmentsDone: 2, BandwidthBps: 1e6},
+			HasStats: true,
 		},
+		HasEvent: true,
 	}
 	out := roundTripResponse(t, in)
 	if out.Seq != 0 {
 		t.Fatalf("push frame Seq = %d, want 0", out.Seq)
 	}
-	if out.Event == nil || out.Event.SubID != 3 || out.Event.TaskID != 17 ||
-		EventKind(out.Event.Kind) != EvState || out.Event.Stats == nil ||
+	if !out.HasEvent || out.Event.SubID != 3 || out.Event.TaskID != 17 ||
+		EventKind(out.Event.Kind) != EvState || !out.Event.HasStats ||
 		out.Event.Stats.MovedBytes != 4096 {
 		t.Fatalf("event mismatch: %+v", out.Event)
 	}
-	gap := roundTripResponse(t, &Response{Event: &Event{SubID: 3, Kind: uint32(EvGap), Dropped: 12}})
-	if gap.Event == nil || EventKind(gap.Event.Kind) != EvGap || gap.Event.Dropped != 12 {
+	gap := roundTripResponse(t, &Response{Event: Event{SubID: 3, Kind: uint32(EvGap), Dropped: 12}, HasEvent: true})
+	if !gap.HasEvent || EventKind(gap.Event.Kind) != EvGap || gap.Event.Dropped != 12 {
 		t.Fatalf("gap event mismatch: %+v", gap.Event)
 	}
 }
@@ -411,8 +413,9 @@ func TestV1ClientSkipsV2Fields(t *testing.T) {
 			{TaskID: 22, Status: uint32(Success)},
 			{Status: uint32(EAgain), Error: "busy"},
 		},
-		SubID: 5,
-		Event: &Event{SubID: 5, Kind: uint32(EvProgress), TaskID: 22, Stats: &st},
+		SubID:    5,
+		Event:    Event{SubID: 5, Kind: uint32(EvProgress), TaskID: 22, Stats: st, HasStats: true},
+		HasEvent: true,
 	}
 	var old legacyResponse
 	if err := wire.Unmarshal(wire.Marshal(v2), &old); err != nil {

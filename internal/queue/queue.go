@@ -48,9 +48,15 @@ func ResourceSize(t *task.Task) int64 {
 
 // --- FCFS ---
 
-// FCFS executes tasks in arrival order (the paper's default).
+// FCFS executes tasks in arrival order (the paper's default). It is a
+// sliding window over one reusable backing array: the old
+// `items = items[1:]` pop leaked capacity with every slide, so a busy
+// queue reallocated (and re-copied) its array over and over; tracking a
+// head index instead lets a drained queue rewind to the same array
+// forever.
 type FCFS struct {
 	items []*task.Task
+	head  int
 }
 
 // NewFCFS returns a first-come-first-served policy.
@@ -64,19 +70,40 @@ func (f *FCFS) Push(t *task.Task) { f.items = append(f.items, t) }
 
 // Pop implements Policy.
 func (f *FCFS) Pop() *task.Task {
-	if len(f.items) == 0 {
+	if f.head == len(f.items) {
 		return nil
 	}
-	t := f.items[0]
-	f.items[0] = nil
-	f.items = f.items[1:]
+	t := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	f.compact()
 	return t
+}
+
+// compact rewinds an emptied window to the front of the backing array,
+// and slides a long-lived non-empty one down once the dead prefix
+// dominates, so capacity is reused instead of leaked.
+func (f *FCFS) compact() {
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+		return
+	}
+	if f.head > 1024 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		for i := n; i < len(f.items); i++ {
+			f.items[i] = nil
+		}
+		f.items = f.items[:n]
+		f.head = 0
+	}
 }
 
 // Remove implements Policy.
 func (f *FCFS) Remove(id uint64) *task.Task {
-	for i, t := range f.items {
-		if t.ID == id {
+	for i := f.head; i < len(f.items); i++ {
+		if f.items[i].ID == id {
+			t := f.items[i]
 			f.items = append(f.items[:i], f.items[i+1:]...)
 			return t
 		}
@@ -85,7 +112,7 @@ func (f *FCFS) Remove(id uint64) *task.Task {
 }
 
 // Len implements Policy.
-func (f *FCFS) Len() int { return len(f.items) }
+func (f *FCFS) Len() int { return len(f.items) - f.head }
 
 // --- ordered heap shared by SJF and Priority ---
 

@@ -233,8 +233,14 @@ type Task struct {
 	// before submitting.
 	MaxBps int64
 
-	mu     sync.Mutex
-	stats  Stats
+	mu    sync.Mutex
+	stats Stats
+	// done and cancel are created lazily: most tasks on a busy daemon
+	// are never waited on through channels (the event-driven API watches
+	// pushes), so allocating two channels per task in New was pure hot-
+	// path overhead. A nil channel here means "no waiter yet"; the
+	// accessors materialize it — as the shared closedChan when the event
+	// it signals has already happened.
 	done   chan struct{}
 	cancel chan struct{}
 
@@ -255,6 +261,15 @@ type Task struct {
 // ErrBadTransition is returned on illegal task state changes.
 var ErrBadTransition = errors.New("task: illegal state transition")
 
+// closedChan is the shared already-closed channel the lazy accessors
+// hand out when the signalled event has already happened. It is never
+// written, only received from.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // New returns a Pending task. Validate the resources before queuing it.
 func New(id uint64, kind Kind, input, output Resource) *Task {
 	return &Task{
@@ -263,8 +278,58 @@ func New(id uint64, kind Kind, input, output Resource) *Task {
 		Input:  input,
 		Output: output,
 		stats:  Stats{Status: Pending, Submitted: time.Now()},
-		done:   make(chan struct{}),
-		cancel: make(chan struct{}),
+	}
+}
+
+// doneLocked returns (materializing if needed) the completion channel.
+// Caller holds t.mu.
+func (t *Task) doneLocked() chan struct{} {
+	if t.done == nil {
+		if t.stats.Status.Terminal() {
+			t.done = closedChan
+		} else {
+			t.done = make(chan struct{})
+		}
+	}
+	return t.done
+}
+
+// closeDoneLocked marks the task complete for channel waiters. Caller
+// holds t.mu; called exactly once, on the terminal transition.
+func (t *Task) closeDoneLocked() {
+	if t.done == nil {
+		t.done = closedChan
+	} else {
+		close(t.done)
+	}
+}
+
+// cancelRequestedLocked reports whether cancellation has been asked for
+// — the condition under which the cancel channel reads as closed.
+func (t *Task) cancelRequestedLocked() bool {
+	return t.stats.Status == Cancelling || t.stats.Status == Cancelled
+}
+
+// cancelLocked returns (materializing if needed) the cancel-request
+// channel. Caller holds t.mu.
+func (t *Task) cancelLocked() chan struct{} {
+	if t.cancel == nil {
+		if t.cancelRequestedLocked() {
+			t.cancel = closedChan
+		} else {
+			t.cancel = make(chan struct{})
+		}
+	}
+	return t.cancel
+}
+
+// closeCancelLocked signals the cancel request to channel holders.
+// Caller holds t.mu and has just made cancelRequestedLocked true.
+func (t *Task) closeCancelLocked() {
+	if t.cancel == nil {
+		t.cancel = closedChan
+	} else {
+		close(t.cancel)
 	}
 }
 
@@ -471,12 +536,12 @@ func (t *Task) Cancel() error {
 	case Pending:
 		t.stats.Status = Cancelled
 		t.stats.Ended = time.Now()
-		close(t.cancel)
-		close(t.done)
+		t.closeCancelLocked()
+		t.closeDoneLocked()
 		return nil
 	case Running:
 		t.stats.Status = Cancelling
-		close(t.cancel)
+		t.closeCancelLocked()
 		return nil
 	case Cancelling:
 		return nil
@@ -495,13 +560,17 @@ func (t *Task) FinishCancel() error {
 	}
 	t.stats.Status = Cancelled
 	t.stats.Ended = time.Now()
-	close(t.done)
+	t.closeDoneLocked()
 	return nil
 }
 
 // CancelRequested returns a channel closed once cancellation has been
 // requested (in any state). Workers bridge it into their context.
-func (t *Task) CancelRequested() <-chan struct{} { return t.cancel }
+func (t *Task) CancelRequested() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cancelLocked()
+}
 
 func (t *Task) terminate(s Status, reason string) error {
 	t.mu.Lock()
@@ -516,7 +585,7 @@ func (t *Task) terminate(s Status, reason string) error {
 	t.stats.Status = s
 	t.stats.Err = reason
 	t.stats.Ended = time.Now()
-	close(t.done)
+	t.closeDoneLocked()
 	return nil
 }
 
@@ -548,24 +617,29 @@ func (t *Task) Restore(st Stats) error {
 		t.stats.Ended = time.Now()
 	}
 	if st.Status == Cancelled {
-		close(t.cancel)
+		t.closeCancelLocked()
 	}
-	close(t.done)
+	t.closeDoneLocked()
 	return nil
 }
 
 // Done returns a channel closed when the task reaches a terminal state.
-func (t *Task) Done() <-chan struct{} { return t.done }
+func (t *Task) Done() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.doneLocked()
+}
 
 // Wait blocks until the task terminates or the timeout elapses
 // (timeout <= 0 waits forever). It reports whether the task terminated.
 func (t *Task) Wait(timeout time.Duration) bool {
+	done := t.Done()
 	if timeout <= 0 {
-		<-t.done
+		<-done
 		return true
 	}
 	select {
-	case <-t.done:
+	case <-done:
 		return true
 	case <-time.After(timeout):
 		return false

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/ngioproject/norns-go/internal/bufpool"
 	"github.com/ngioproject/norns-go/internal/dataspace"
 	"github.com/ngioproject/norns-go/internal/mercury"
 	"github.com/ngioproject/norns-go/internal/storage"
@@ -225,9 +226,13 @@ func (r *Registry) Lookup(t *task.Task) (Func, error) {
 // chunkCopy streams src into dst in env-sized chunks, checking ctx and
 // the bandwidth limiter between chunks so a cancelled transfer stops
 // within one chunk of the request. It returns the bytes written. This is
-// the sequential fallback for backends without random access.
+// the sequential fallback for backends without random access; it draws
+// its chunk buffer from the same pool as the segmented engine, so
+// fallback tasks no longer allocate a fresh buffer each.
 func chunkCopy(ctx context.Context, dst io.Writer, src io.Reader, bufSize int, lim limiter, progress func(int64)) (int64, error) {
-	buf := make([]byte, bufSize)
+	bufp := bufpool.Get(bufSize)
+	defer bufpool.Put(bufp)
+	buf := *bufp
 	var total int64
 	for {
 		if err := ctx.Err(); err != nil {

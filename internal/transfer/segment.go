@@ -6,6 +6,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"github.com/ngioproject/norns-go/internal/bufpool"
 )
 
 // This file implements the segmented transfer engine: a planner that
@@ -102,9 +104,13 @@ func RunSegments(ctx context.Context, segs []Segment, streams int, fn func(ctx c
 
 // copyRange moves [off, off+length) from src to dst in bufSize chunks,
 // observing ctx and the bandwidth limiter between chunks. It returns
-// the bytes written and reports each chunk through progress.
+// the bytes written and reports each chunk through progress. The chunk
+// buffer comes from the shared pool, so concurrent streams recycle a
+// small working set instead of allocating one buffer each.
 func copyRange(ctx context.Context, dst io.WriterAt, src io.ReaderAt, off, length int64, bufSize int, lim limiter, progress func(int64)) (int64, error) {
-	buf := make([]byte, bufSize)
+	bufp := bufpool.Get(bufSize)
+	defer bufpool.Put(bufp)
+	buf := *bufp
 	var done int64
 	for done < length {
 		if err := ctx.Err(); err != nil {

@@ -32,6 +32,10 @@ type PeerInfo struct {
 	// request did not arrive over a real connection (in-process
 	// dispatch); handlers that need push must reject then.
 	Push func(resp *proto.Response) error
+	// PushBatch writes several push frames with one gathered write —
+	// one syscall for a whole burst of events instead of one each. Same
+	// serialization and Seq-0 rules as Push; nil when Push is nil.
+	PushBatch func(resps []*proto.Response) error
 	// Closed is closed when the connection tears down, so push
 	// producers (event subscription pumps) can stop. Nil for
 	// in-process dispatch.
@@ -46,6 +50,9 @@ type Handler func(peer PeerInfo, req *proto.Request) *proto.Response
 type Server struct {
 	handler Handler
 	control bool
+	// fast reports requests safe to handle inline on the connection's
+	// read loop (see SetFastPath). Immutable after Listen.
+	fast func(*proto.Request) bool
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -61,6 +68,16 @@ type Server struct {
 func NewServer(handler Handler, control bool) *Server {
 	return &Server{handler: handler, control: control, conns: make(map[net.Conn]struct{})}
 }
+
+// SetFastPath installs a predicate marking requests the server may
+// handle inline on the connection's read goroutine instead of spawning
+// a handler goroutine per request — the hot-path default for ops that
+// never block (submit, status, subscribe). Inline requests on one
+// connection serialize with each other, exactly like the pipelined
+// responses they produce; ops that can block for unbounded time
+// (OpWait) must stay off the fast path or they would stall every
+// pipelined request behind them. Call before Listen; nil disables.
+func (s *Server) SetFastPath(fn func(*proto.Request) bool) { s.fast = fn }
 
 // Listen starts accepting on the given network ("unix" or "tcp") and
 // address, returning the bound listener address.
@@ -129,28 +146,56 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return err
 		},
+		PushBatch: func(resps []*proto.Response) error {
+			wmu.Lock()
+			var err error
+			for _, resp := range resps {
+				resp.Seq = 0
+				if err = fw.AppendMessage(resp); err != nil {
+					fw.Discard()
+					break
+				}
+			}
+			if err == nil {
+				err = fw.Flush()
+			}
+			wmu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+			return err
+		},
 	}
 	var hwg sync.WaitGroup
 	defer hwg.Wait()
+	serve := func(req *proto.Request) {
+		resp := s.handler(peer, req)
+		if resp == nil {
+			resp = &proto.Response{Status: proto.EInternal, Error: "nil handler response"}
+		}
+		resp.Seq = req.Seq
+		wmu.Lock()
+		err := fw.WriteMessage(resp)
+		wmu.Unlock()
+		if err != nil {
+			conn.Close()
+		}
+	}
 	for {
 		var req proto.Request
 		if err := fr.ReadMessage(&req); err != nil {
 			return // EOF or broken frame: drop the connection
 		}
+		if s.fast != nil && s.fast(&req) {
+			// Non-blocking op: handle on the read loop — no goroutine
+			// spawn, no request copy, responses in request order.
+			serve(&req)
+			continue
+		}
 		hwg.Add(1)
 		go func(req proto.Request) {
 			defer hwg.Done()
-			resp := s.handler(peer, &req)
-			if resp == nil {
-				resp = &proto.Response{Status: proto.EInternal, Error: "nil handler response"}
-			}
-			resp.Seq = req.Seq
-			wmu.Lock()
-			err := fw.WriteMessage(resp)
-			wmu.Unlock()
-			if err != nil {
-				conn.Close()
-			}
+			serve(&req)
 		}(req)
 	}
 }
@@ -221,8 +266,14 @@ func Dial(network, addr string) (*Conn, error) {
 
 func (c *Conn) readLoop() {
 	fr := wire.NewFrameReader(c.nc)
+	// One decode scratch for the whole connection: push events are
+	// delivered by value and responses are copied out below, so nothing
+	// retains the struct itself across iterations — reusing it saves one
+	// heap allocation per received frame (events dominate under the v2
+	// push API).
+	var resp proto.Response
 	for {
-		var resp proto.Response
+		resp = proto.Response{}
 		if err := fr.ReadMessage(&resp); err != nil {
 			if err == io.EOF {
 				err = ErrConnClosed
@@ -236,8 +287,8 @@ func (c *Conn) readLoop() {
 			// band; frames without an event payload (an older daemon
 			// misbehaving) are dropped silently, mirroring protobuf's
 			// unknown-field tolerance.
-			if resp.Event != nil {
-				c.deliverEvent(*resp.Event)
+			if resp.HasEvent {
+				c.deliverEvent(resp.Event)
 			}
 			continue
 		}

@@ -285,8 +285,8 @@ func TestPushFrameDemux(t *testing.T) {
 		// Before answering, push a burst of events tagged by the
 		// request that triggered them.
 		for i := uint64(0); i < 3; i++ {
-			ev := &proto.Event{SubID: 1, Kind: uint32(proto.EvState), TaskID: req.TaskID*10 + i}
-			if err := peer.Push(&proto.Response{Status: proto.Success, Event: ev}); err != nil {
+			ev := proto.Event{SubID: 1, Kind: uint32(proto.EvState), TaskID: req.TaskID*10 + i}
+			if err := peer.Push(&proto.Response{Status: proto.Success, Event: ev, HasEvent: true}); err != nil {
 				pushMu.Lock()
 				pushErr = err
 				pushMu.Unlock()
@@ -360,8 +360,8 @@ func TestPushOverflowDropsWithoutBlockingCalls(t *testing.T) {
 	h := func(peer PeerInfo, req *proto.Request) *proto.Response {
 		if req.TaskID == 1 {
 			for i := 0; i < 5000; i++ {
-				ev := &proto.Event{SubID: 1, Kind: uint32(proto.EvProgress), TaskID: uint64(i)}
-				if err := peer.Push(&proto.Response{Event: ev}); err != nil {
+				ev := proto.Event{SubID: 1, Kind: uint32(proto.EvProgress), TaskID: uint64(i)}
+				if err := peer.Push(&proto.Response{Event: ev, HasEvent: true}); err != nil {
 					return &proto.Response{Status: proto.EInternal, Error: err.Error()}
 				}
 			}
@@ -393,8 +393,8 @@ func TestPushOverflowDropsWithoutBlockingCalls(t *testing.T) {
 // look at Events are untouched by a pushing server.
 func TestPushWithoutConsumerIsInvisible(t *testing.T) {
 	h := func(peer PeerInfo, req *proto.Request) *proto.Response {
-		ev := &proto.Event{SubID: 1, Kind: uint32(proto.EvState), TaskID: 7}
-		_ = peer.Push(&proto.Response{Event: ev})
+		ev := proto.Event{SubID: 1, Kind: uint32(proto.EvState), TaskID: 7}
+		_ = peer.Push(&proto.Response{Event: ev, HasEvent: true})
 		return &proto.Response{Status: proto.Success, TaskID: req.TaskID}
 	}
 	_, addr := startServer(t, "unix", false, h)

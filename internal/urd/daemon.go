@@ -90,6 +90,15 @@ type Config struct {
 	// ProgressInterval is the hub-wide floor between progress-tick
 	// events per task (<=0: 100ms), whatever rate subscribers request.
 	ProgressInterval time.Duration
+	// RetainTasks bounds how many terminal tasks stay in the in-memory
+	// task table answering status queries (<=0: 16384; negative values
+	// also select the default). Beyond it the oldest terminal tasks are
+	// retired — their IDs stop resolving, exactly as after a restart
+	// once the journal's own RetainTerminal GC has run. Without the
+	// bound a long-lived daemon's task table (and the GC work to scan
+	// it) grew without limit — the opposite of "as fast as the hardware
+	// allows" under millions of submissions.
+	RetainTasks int
 	// StateDir, when set, enables the durable task journal: every
 	// submission and state transition is appended to a write-ahead log
 	// under this directory, and on startup the journal is replayed —
@@ -162,12 +171,41 @@ type Daemon struct {
 	ctx  context.Context
 	stop context.CancelFunc
 
-	mu       sync.Mutex
-	shards   map[string]*shard
-	tasks    map[uint64]*task.Task
-	inFlight int // tasks queued or running, for global backpressure
-	nextID   uint64
-	closed   bool
+	// tasks is the lock-striped task table: lookups (OpTaskStatus, the
+	// event hub's subscribe snapshots, cancel authorization) take one
+	// stripe's read lock and never contend with submissions or worker
+	// completions on other stripes. The scalar state that used to share
+	// the daemon's single mutex is atomic: nextID allocates IDs with one
+	// fetch-add, inFlight is the global backpressure gauge (admission
+	// CASes it so MaxInFlight is never overshot), and closed gates
+	// submission without a lock.
+	tasks    *taskRegistry
+	nextID   atomic.Uint64
+	inFlight atomic.Int64 // tasks queued or running
+	closed   atomic.Bool
+
+	// Terminal accounting, maintained exactly once per task when its
+	// in-flight slot is released (and seeded from the journal for
+	// resurrected tasks), so OpTransferStats aggregates without walking
+	// the task table.
+	doneFinished  atomic.Uint64
+	doneFailed    atomic.Uint64
+	doneCancelled atomic.Uint64
+	doneMoved     atomic.Int64
+
+	// retired is the FIFO ring of terminal task IDs still held in the
+	// table; when it wraps, the overwritten ID is evicted from the
+	// registry and the hub — the in-memory mirror of the journal's
+	// RetainTerminal GC, keeping the live set (and GC scan work)
+	// bounded however long the daemon runs.
+	retiredMu sync.Mutex
+	retired   []uint64
+	retiredN  int
+
+	// shardMu guards only the shard map (created lazily per dataspace
+	// pair); the queues behind it have their own locks.
+	shardMu sync.Mutex
+	shards  map[routeKey]*shard
 
 	// done is closed when Close finishes, so a host process can wait
 	// for a shutdown requested over the control API (OpShutdown).
@@ -221,8 +259,8 @@ func New(cfg Config) (*Daemon, error) {
 		cfg:        cfg,
 		Controller: dataspace.NewController(),
 		newPolicy:  policyFactory(cfg),
-		shards:     make(map[string]*shard),
-		tasks:      make(map[uint64]*task.Task),
+		shards:     make(map[routeKey]*shard),
+		tasks:      newTaskRegistry(),
 		done:       make(chan struct{}),
 	}
 	d.ctx, d.stop = context.WithCancel(context.Background())
@@ -300,6 +338,7 @@ func New(cfg Config) (*Daemon, error) {
 
 	if cfg.UserSocket != "" {
 		d.userSrv = transport.NewServer(d.Handle, false)
+		d.userSrv.SetFastPath(d.fastOp)
 		if _, err := d.userSrv.Listen("unix", cfg.UserSocket); err != nil {
 			d.Close()
 			return nil, err
@@ -307,12 +346,35 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	if cfg.ControlSocket != "" {
 		d.ctlSrv = transport.NewServer(d.Handle, true)
+		d.ctlSrv.SetFastPath(d.fastOp)
 		if _, err := d.ctlSrv.Listen("unix", cfg.ControlSocket); err != nil {
 			d.Close()
 			return nil, err
 		}
 	}
 	return d, nil
+}
+
+// fastOp marks the requests the transport may handle inline on the
+// connection's read loop (no handler goroutine per request). Everything
+// the daemon serves is non-blocking except OpWait, which parks until
+// the task terminates and would stall the connection's pipeline. The
+// ops that append to the journal are inline only when an append is
+// cheap: with -journal-flush each append blocks for the window, and
+// with -state-sync it blocks for an fsync — inline handling would
+// serialize a connection's pipelined submissions at one disk wait each
+// instead of coalescing their waits into the same flush.
+func (d *Daemon) fastOp(req *proto.Request) bool {
+	switch req.Op {
+	case proto.OpWait:
+		return false
+	case proto.OpSubmit, proto.OpSubmitBatch, proto.OpCancel,
+		proto.OpRegisterDataspace, proto.OpUpdateDataspace, proto.OpUnregisterDataspace:
+		return d.journal == nil ||
+			(d.cfg.JournalOptions.FlushInterval == 0 && !d.cfg.JournalOptions.Sync)
+	default:
+		return true
+	}
 }
 
 // replayJournal rebuilds the daemon's state from the journal: restore
@@ -323,7 +385,7 @@ func New(cfg Config) (*Daemon, error) {
 // sees the re-queued tasks as plain pending work.
 func (d *Daemon) replayJournal() error {
 	j := d.journal
-	d.nextID = j.NextID()
+	d.nextID.Store(j.NextID())
 
 	for _, spec := range j.Dataspaces() {
 		b, err := backendFromSpec(&spec)
@@ -339,11 +401,6 @@ func (d *Daemon) replayJournal() error {
 
 	for _, tr := range j.Tasks() {
 		t := tr.Spec.Task(tr.ID)
-		register := func() {
-			d.mu.Lock()
-			d.tasks[tr.ID] = t
-			d.mu.Unlock()
-		}
 		switch {
 		case tr.Status.Terminal():
 			// Already complete: never re-run, but keep the ID answering
@@ -355,7 +412,9 @@ func (d *Daemon) replayJournal() error {
 				SegmentsTotal: tr.SegsTotal, SegmentsDone: tr.SegsDone,
 			}
 			if err := t.Restore(st); err == nil {
-				register()
+				d.tasks.Put(t)
+				d.accountTerminal(st)
+				d.retire(tr.ID)
 				d.recovered.Terminal++
 			}
 		case tr.Status == task.Cancelling:
@@ -367,7 +426,9 @@ func (d *Daemon) replayJournal() error {
 				SegmentsTotal: tr.SegsTotal, SegmentsDone: tr.SegsDone,
 			}
 			if err := t.Restore(st); err == nil {
-				register()
+				d.tasks.Put(t)
+				d.accountTerminal(st)
+				d.retire(tr.ID)
 				// Journal the confirmation with the preserved counters —
 				// the terminal record is sticky, so zeros here would
 				// permanently shadow the partial progress.
@@ -388,16 +449,25 @@ func (d *Daemon) replayJournal() error {
 				// newer build) must not wedge the replay.
 				msg := "unreplayable journal spec: " + err.Error()
 				if t.Restore(task.Stats{Status: task.Failed, Err: msg}) == nil {
-					register()
+					d.tasks.Put(t)
+					d.accountTerminal(t.Stats())
 					d.record(tr.ID, task.Failed, msg)
 				}
 				continue
 			}
-			d.mu.Lock()
-			sh := d.shardLocked(shardKey(t))
-			d.tasks[tr.ID] = t
-			d.inFlight++
-			d.mu.Unlock()
+			sh, err := d.shardFor(shardKey(t))
+			if err != nil {
+				// Unreachable in practice (New has not returned, so Close
+				// cannot have run), but fail the task rather than wedge.
+				if t.Fail("recovery: "+err.Error()) == nil {
+					d.tasks.Put(t)
+					d.accountTerminal(t.Stats())
+					d.record(tr.ID, task.Failed, "recovery: "+err.Error())
+				}
+				continue
+			}
+			d.tasks.Put(t)
+			d.inFlight.Add(1)
 			// Record the re-queue before the workers can race ahead of
 			// it, then enqueue. Recovery deliberately bypasses both the
 			// MaxInFlight gate and the per-shard queue bound: these are
@@ -411,13 +481,12 @@ func (d *Daemon) replayJournal() error {
 				MovedBytes: tr.MovedBytes,
 			})
 			if err := sh.q.Requeue(t); err != nil {
-				d.mu.Lock()
-				d.inFlight--
-				d.mu.Unlock()
 				msg := "recovery: " + err.Error()
 				if t.Fail(msg) == nil {
 					d.record(tr.ID, task.Failed, msg)
 				}
+				// Releases the slot and accounts the failure.
+				d.taskDone(t)
 				continue
 			}
 			if tr.Status == task.Running {
@@ -471,6 +540,23 @@ func (d *Daemon) recordSubmit(t *task.Task) {
 	}
 }
 
+// recordSubmitBatch journals a whole batch of submissions as one
+// group-commit append — one disk round trip however large the batch.
+func (d *Daemon) recordSubmitBatch(tasks []*task.Task) {
+	if d.journal == nil || len(tasks) == 0 {
+		return
+	}
+	ids := make([]uint64, len(tasks))
+	specs := make([]task.Spec, len(tasks))
+	for i, t := range tasks {
+		ids[i] = t.ID
+		specs[i] = task.SpecOf(t)
+	}
+	if err := d.journal.RecordSubmitBatch(ids, specs); err != nil {
+		log.Printf("urd: journal: submit batch of %d: %v", len(ids), err)
+	}
+}
+
 // NodeName returns the configured node name.
 func (d *Daemon) NodeName() string { return d.cfg.NodeName }
 
@@ -486,9 +572,20 @@ func (d *Daemon) FabricAddr() string {
 // E.T.A. estimates).
 func (d *Daemon) Executor() *transfer.Executor { return d.executor }
 
+// routeKey identifies a dispatcher lane by its (input, output)
+// dataspace pair. A comparable struct instead of a concatenated string:
+// the submit path computes it once per task, and two string headers
+// cost no allocation where the "in->out" concat allocated every time.
+type routeKey struct {
+	in, out string
+}
+
+// display renders the route for diagnostics ("lustre://->nvme0://").
+func (k routeKey) display() string { return k.in + "->" + k.out }
+
 // shardKey routes a task to its dispatcher lane by dataspace pair.
-func shardKey(t *task.Task) string {
-	return resourceKey(t.Input) + "->" + resourceKey(t.Output)
+func shardKey(t *task.Task) routeKey {
+	return routeKey{in: resourceKey(t.Input), out: resourceKey(t.Output)}
 }
 
 func resourceKey(r task.Resource) string {
@@ -504,19 +601,27 @@ func resourceKey(r task.Resource) string {
 	}
 }
 
-// shardLocked returns (creating if needed) the shard for key. The
-// caller holds d.mu and has verified the daemon is not closed.
-func (d *Daemon) shardLocked(key string) *shard {
+// shardFor returns (creating if needed) the shard for key. Only the
+// shard map is locked; queue operations behind it take the queue's own
+// lock. Creation re-checks the closed flag under shardMu so a shard can
+// never materialize after Close has snapshotted the map — its workers
+// would otherwise outlive the drain.
+func (d *Daemon) shardFor(key routeKey) (*shard, error) {
+	d.shardMu.Lock()
+	defer d.shardMu.Unlock()
 	if sh, ok := d.shards[key]; ok {
-		return sh
+		return sh, nil
 	}
-	sh := &shard{key: key, q: queue.NewBounded(d.newPolicy(), d.cfg.MaxShardQueue)}
+	if d.closed.Load() {
+		return nil, queue.ErrClosed
+	}
+	sh := &shard{key: key.display(), q: queue.NewBounded(d.newPolicy(), d.cfg.MaxShardQueue)}
 	d.shards[key] = sh
 	for i := 0; i < d.workers; i++ {
 		d.wg.Add(1)
 		go d.worker(sh)
 	}
-	return sh
+	return sh, nil
 }
 
 // worker drains one shard's queue, mirroring the urd worker threads.
@@ -536,23 +641,82 @@ func (d *Daemon) worker(sh *shard) {
 			d.recordStats(t.ID, st)
 			d.hub.PublishState(t.ID, st)
 		}
-		d.taskDone()
+		d.taskDone(t)
 	}
 }
 
 // taskDone releases a task's in-flight slot once it can no longer run
-// (executed to a terminal state, or removed from its queue).
-func (d *Daemon) taskDone() {
-	d.mu.Lock()
-	d.inFlight--
-	d.mu.Unlock()
+// (executed to a terminal state, or removed from its queue) and folds
+// its terminal outcome into the aggregate counters. The slot is
+// released exactly once per admitted task — by the worker that executed
+// it, or by the dequeue that removed it — so the accounting is
+// exactly-once too.
+func (d *Daemon) taskDone(t *task.Task) {
+	d.inFlight.Add(-1)
+	d.accountTerminal(t.Stats())
+	d.retire(t.ID)
+}
+
+// defaultRetainTasks is the terminal-task retention bound when
+// Config.RetainTasks is zero.
+const defaultRetainTasks = 16384
+
+// retainTasks resolves the configured in-memory terminal retention.
+func (d *Daemon) retainTasks() int {
+	if d.cfg.RetainTasks > 0 {
+		return d.cfg.RetainTasks
+	}
+	return defaultRetainTasks
+}
+
+// retire records one more terminal task and, once the retention ring
+// wraps, evicts the oldest one from the task table and the event hub's
+// dedup state. Status queries for the evicted ID answer not-found from
+// then on — the same answer a restart gives once the journal's
+// RetainTerminal GC has retired it.
+func (d *Daemon) retire(id uint64) {
+	n := d.retainTasks()
+	var evict uint64
+	have := false
+	d.retiredMu.Lock()
+	if d.retired == nil {
+		d.retired = make([]uint64, n)
+	}
+	slot := d.retiredN % n
+	if d.retiredN >= n {
+		evict, have = d.retired[slot], true
+	}
+	d.retired[slot] = id
+	d.retiredN++
+	d.retiredMu.Unlock()
+	if have {
+		d.tasks.Delete(evict)
+		d.hub.ForgetTask(evict)
+	}
+}
+
+// accountTerminal adds one terminal task's outcome to the atomic
+// aggregates OpTransferStats reports, so that op is O(1) instead of a
+// walk of the task table under a lock.
+func (d *Daemon) accountTerminal(st task.Stats) {
+	switch st.Status {
+	case task.Finished:
+		d.doneFinished.Add(1)
+	case task.Failed:
+		d.doneFailed.Add(1)
+	case task.Cancelled:
+		d.doneCancelled.Add(1)
+	default:
+		return
+	}
+	d.doneMoved.Add(st.MovedBytes)
 }
 
 // shardOf returns the shard a task routes to, or nil before any task
 // for that route has been submitted.
 func (d *Daemon) shardOf(t *task.Task) *shard {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.shardMu.Lock()
+	defer d.shardMu.Unlock()
 	return d.shards[shardKey(t)]
 }
 
@@ -563,7 +727,7 @@ func (d *Daemon) shardOf(t *task.Task) *shard {
 func (d *Daemon) dequeue(t *task.Task) {
 	if sh := d.shardOf(t); sh != nil {
 		if removed := sh.q.Remove(t.ID); removed != nil {
-			d.taskDone()
+			d.taskDone(t)
 		}
 	}
 }
@@ -590,17 +754,15 @@ func (d *Daemon) expireIfPast(t *task.Task) {
 // transfers complete (or observe their own cancellation); queued tasks
 // still execute, as before the shutdown — only new submissions fail.
 func (d *Daemon) Close() {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	if d.closed.Swap(true) {
 		return
 	}
-	d.closed = true
+	d.shardMu.Lock()
 	shards := make([]*shard, 0, len(d.shards))
 	for _, sh := range d.shards {
 		shards = append(shards, sh)
 	}
-	d.mu.Unlock()
+	d.shardMu.Unlock()
 	if d.userSrv != nil {
 		d.userSrv.Close()
 	}
@@ -635,19 +797,15 @@ func (d *Daemon) Close() {
 // instead of a signal.
 func (d *Daemon) Done() <-chan struct{} { return d.done }
 
-// Submit validates, registers, and enqueues a task, returning its ID.
-// Control callers bypass process authorization (admin == true).
-func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, error) {
+// buildTask validates and authorizes one submission, returning the
+// constructed (not yet registered) task. Control callers bypass process
+// authorization (admin == true).
+func (d *Daemon) buildTask(spec *proto.TaskSpec, pid uint64, admin bool) (*task.Task, error) {
 	in := spec.Input.ToResource()
 	out := spec.Output.ToResource()
-	kind := task.Kind(spec.Kind)
+	id := d.nextID.Add(1)
 
-	d.mu.Lock()
-	d.nextID++
-	id := d.nextID
-	d.mu.Unlock()
-
-	t := task.New(id, kind, in, out)
+	t := task.New(id, task.Kind(spec.Kind), in, out)
 	t.Priority = int(spec.Priority)
 	t.JobID = spec.JobID
 	if spec.DeadlineMS > 0 {
@@ -657,7 +815,7 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 		t.MaxBps = spec.MaxBps
 	}
 	if err := t.Validate(); err != nil {
-		return 0, fmt.Errorf("%w: %v", errBadRequest, err)
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
 	// Authorization: local dataspaces the task touches must be allowed.
 	var local []string
@@ -669,50 +827,159 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 	}
 	if admin {
 		if err := d.Controller.AuthorizeAdmin(local...); err != nil {
-			return 0, fmt.Errorf("%w: %v", errNotFound, err)
+			return nil, fmt.Errorf("%w: %v", errNotFound, err)
 		}
 	} else {
 		jid, err := d.Controller.Authorize(pid, local...)
 		if err != nil {
-			return 0, fmt.Errorf("%w: %v", errDenied, err)
+			return nil, fmt.Errorf("%w: %v", errDenied, err)
 		}
 		t.JobID = jid
 	}
+	return t, nil
+}
 
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+// admit claims one in-flight slot against the MaxInFlight gate. The
+// CAS loop admits exactly up to the cap under concurrent submitters —
+// a plain add-then-check could overshoot and shed load it already
+// accepted.
+func (d *Daemon) admit() error {
+	max := int64(d.cfg.MaxInFlight)
+	if max <= 0 {
+		d.inFlight.Add(1)
+		return nil
+	}
+	for {
+		cur := d.inFlight.Load()
+		if cur >= max {
+			return fmt.Errorf("%w: %d tasks in flight", errBusy, d.cfg.MaxInFlight)
+		}
+		if d.inFlight.CompareAndSwap(cur, cur+1) {
+			return nil
+		}
+	}
+}
+
+// enqueue makes a registered, journaled task runnable, rolling back the
+// registration if the shard queue rejects it.
+func (d *Daemon) enqueue(sh *shard, t *task.Task) error {
+	// All-tasks subscribers see the submission; a racing worker may
+	// already have advanced the task, which the hub's dedup absorbs.
+	d.hub.PublishState(t.ID, task.Stats{Status: task.Pending})
+	if err := sh.q.Submit(t); err != nil {
+		d.tasks.Delete(t.ID)
+		d.inFlight.Add(-1)
+		// The client got an error; the journaled submission must not be
+		// resurrected on restart.
+		d.record(t.ID, task.Failed, "never enqueued: "+err.Error())
+		d.hub.PublishState(t.ID, task.Stats{Status: task.Failed, Err: "never enqueued: " + err.Error()})
+		if errors.Is(err, queue.ErrFull) {
+			return fmt.Errorf("%w: shard %s at capacity", errBusy, sh.key)
+		}
+		return err
+	}
+	return nil
+}
+
+// Submit validates, registers, and enqueues a task, returning its ID.
+// Control callers bypass process authorization (admin == true).
+func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, error) {
+	t, err := d.buildTask(spec, pid, admin)
+	if err != nil {
+		return 0, err
+	}
+	if d.closed.Load() {
 		return 0, queue.ErrClosed
 	}
-	if d.cfg.MaxInFlight > 0 && d.inFlight >= d.cfg.MaxInFlight {
-		d.mu.Unlock()
-		return 0, fmt.Errorf("%w: %d tasks in flight", errBusy, d.cfg.MaxInFlight)
+	if err := d.admit(); err != nil {
+		return 0, err
 	}
-	sh := d.shardLocked(shardKey(t))
-	d.tasks[id] = t
-	d.inFlight++
-	d.mu.Unlock()
+	sh, err := d.shardFor(shardKey(t))
+	if err != nil {
+		d.inFlight.Add(-1)
+		return 0, err
+	}
+	d.tasks.Put(t)
 	// WAL ordering: the submission is journaled before the task becomes
 	// runnable, so a worker's Running record can never precede it.
 	d.recordSubmit(t)
-	// All-tasks subscribers see the submission; a racing worker may
-	// already have advanced the task, which the hub's dedup absorbs.
-	d.hub.PublishState(id, task.Stats{Status: task.Pending})
-	if err := sh.q.Submit(t); err != nil {
-		d.mu.Lock()
-		delete(d.tasks, id)
-		d.inFlight--
-		d.mu.Unlock()
-		// The client got an error; the journaled submission must not be
-		// resurrected on restart.
-		d.record(id, task.Failed, "never enqueued: "+err.Error())
-		d.hub.PublishState(id, task.Stats{Status: task.Failed, Err: "never enqueued: " + err.Error()})
-		if errors.Is(err, queue.ErrFull) {
-			return 0, fmt.Errorf("%w: shard %s at capacity", errBusy, sh.key)
-		}
+	if err := d.enqueue(sh, t); err != nil {
 		return 0, err
 	}
-	return id, nil
+	return t.ID, nil
+}
+
+// SubmitBatch queues many tasks with per-entry acceptance: a full shard
+// or an exhausted in-flight budget rejects that entry with its own
+// status while the rest proceed. The batch amortizes the per-task
+// bookkeeping the single-op path pays N times — the task registry is
+// locked once per stripe (not once per task), and the journal records
+// the whole batch as one group-commit flush. Results align with specs.
+func (d *Daemon) SubmitBatch(specs []proto.TaskSpec, pid uint64, admin bool) []proto.SubmitResult {
+	results, _ := d.submitBatch(specs, pid, admin, nil)
+	return results
+}
+
+// submitBatch implements SubmitBatch. When subscribe is non-nil it runs
+// after the accepted tasks are registered and journaled but BEFORE any
+// of them becomes runnable — the one point where a subscription can be
+// attached with zero chance of a missed event and zero need for
+// snapshots (see EventHub.SubscribeSubmitted). It returns whatever
+// subscription ID the hook yields.
+func (d *Daemon) submitBatch(specs []proto.TaskSpec, pid uint64, admin bool, subscribe func(ids []uint64) uint64) ([]proto.SubmitResult, uint64) {
+	results := make([]proto.SubmitResult, len(specs))
+	accepted := make([]*task.Task, 0, len(specs))
+	shards := make([]*shard, 0, len(specs))
+	closed := d.closed.Load()
+	for i := range specs {
+		if closed {
+			results[i] = proto.SubmitResult{Status: uint32(statusOf(queue.ErrClosed)), Error: queue.ErrClosed.Error()}
+			continue
+		}
+		t, err := d.buildTask(&specs[i], pid, admin)
+		if err != nil {
+			results[i] = proto.SubmitResult{Status: uint32(statusOf(err)), Error: err.Error()}
+			continue
+		}
+		if err := d.admit(); err != nil {
+			results[i] = proto.SubmitResult{Status: uint32(statusOf(err)), Error: err.Error()}
+			continue
+		}
+		sh, err := d.shardFor(shardKey(t))
+		if err != nil {
+			d.inFlight.Add(-1)
+			results[i] = proto.SubmitResult{Status: uint32(statusOf(err)), Error: err.Error()}
+			continue
+		}
+		results[i] = proto.SubmitResult{TaskID: t.ID, Status: uint32(proto.Success)}
+		accepted = append(accepted, t)
+		shards = append(shards, sh)
+	}
+	// Register the whole batch stripe-by-stripe, then journal it as one
+	// coalesced append before any entry becomes runnable (same WAL
+	// ordering rule as the single-op path, amortized).
+	d.tasks.PutBatch(accepted)
+	d.recordSubmitBatch(accepted)
+	var subID uint64
+	if subscribe != nil && len(accepted) > 0 {
+		ids := make([]uint64, len(accepted))
+		for i, t := range accepted {
+			ids[i] = t.ID
+		}
+		subID = subscribe(ids)
+	}
+	for i, t := range accepted {
+		if err := d.enqueue(shards[i], t); err != nil {
+			// enqueue rolled the entry back; surface its per-entry error.
+			for r := range results {
+				if results[r].TaskID == t.ID {
+					results[r] = proto.SubmitResult{Status: uint32(statusOf(err)), Error: err.Error()}
+					break
+				}
+			}
+		}
+	}
+	return results, subID
 }
 
 // Cancel aborts a task, mirroring norns_cancel: a pending task is
@@ -721,9 +988,7 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 // terminal task rejects. The returned stats are a snapshot taken right
 // after the request (a running task may still be Cancelling in it).
 func (d *Daemon) Cancel(id uint64) (task.Stats, error) {
-	d.mu.Lock()
-	t, ok := d.tasks[id]
-	d.mu.Unlock()
+	t, ok := d.tasks.Get(id)
 	if !ok {
 		return task.Stats{}, fmt.Errorf("%w: task %d", errNotFound, id)
 	}
@@ -745,11 +1010,10 @@ func (d *Daemon) Cancel(id uint64) (task.Stats, error) {
 	return t.Stats(), nil
 }
 
-// Task returns a registered task.
+// Task returns a registered task. One stripe read-lock — status polls
+// never serialize behind submissions or each other.
 func (d *Daemon) Task(id uint64) (*task.Task, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	t, ok := d.tasks[id]
+	t, ok := d.tasks.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: task %d", errNotFound, id)
 	}
@@ -758,12 +1022,12 @@ func (d *Daemon) Task(id uint64) (*task.Task, error) {
 
 // PendingTasks returns the queue depth across all shards.
 func (d *Daemon) PendingTasks() int {
-	d.mu.Lock()
+	d.shardMu.Lock()
 	shards := make([]*shard, 0, len(d.shards))
 	for _, sh := range d.shards {
 		shards = append(shards, sh)
 	}
-	d.mu.Unlock()
+	d.shardMu.Unlock()
 	n := 0
 	for _, sh := range shards {
 		n += sh.q.Len()
@@ -774,11 +1038,11 @@ func (d *Daemon) PendingTasks() int {
 // Shards returns the active dispatcher lanes and their queue depths,
 // sorted by key (diagnostics and tests).
 func (d *Daemon) Shards() map[string]int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.shardMu.Lock()
+	defer d.shardMu.Unlock()
 	out := make(map[string]int, len(d.shards))
 	for key, sh := range d.shards {
-		out[key] = sh.q.Len()
+		out[key.display()] = sh.q.Len()
 	}
 	return out
 }
@@ -879,10 +1143,10 @@ func (d *Daemon) Handle(peer transport.PeerInfo, req *proto.Request) *proto.Resp
 }
 
 func (d *Daemon) handleStatus() *proto.Response {
-	d.mu.Lock()
-	nTasks := len(d.tasks)
+	nTasks := d.tasks.Len()
+	d.shardMu.Lock()
 	nShards := len(d.shards)
-	d.mu.Unlock()
+	d.shardMu.Unlock()
 	pending := d.PendingTasks()
 	info := fmt.Sprintf("%s node=%s policy=%s shards=%d pending=%d tasks=%d",
 		Version, d.cfg.NodeName, d.policyName, nShards, pending, nTasks)
@@ -911,31 +1175,30 @@ func (d *Daemon) handleStatus() *proto.Response {
 
 // handleTransferStats reports observed transfer performance so the
 // scheduler can refine its staging estimates — the feedback loop the
-// paper's conclusions call for.
+// paper's conclusions call for. The terminal tallies come from the
+// exactly-once atomic counters taskDone maintains, so this op is O(1):
+// it no longer walks the task table under a lock (on a long-lived
+// daemon that walk grew with history, and it serialized against the
+// submit path). Counters are lifetime aggregates — compaction retiring
+// old terminal tasks from the table no longer deflates them. Running is
+// derived (admitted minus queued), so a racing dequeue can transiently
+// skew it by one; it is a scheduler hint, not an invariant.
 func (d *Daemon) handleTransferStats() *proto.Response {
+	pending := d.PendingTasks()
+	running := int(d.inFlight.Load()) - pending
+	if running < 0 {
+		running = 0
+	}
 	m := &proto.TransferMetrics{
 		BandwidthBps: d.executor.ETA.Bandwidth(),
 		Samples:      uint64(d.executor.ETA.Samples()),
-		Pending:      uint64(d.PendingTasks()),
+		Pending:      uint64(pending),
+		Running:      uint64(running),
+		Finished:     d.doneFinished.Load(),
+		Failed:       d.doneFailed.Load(),
+		Cancelled:    d.doneCancelled.Load(),
+		MovedBytes:   d.doneMoved.Load(),
 	}
-	d.mu.Lock()
-	for _, t := range d.tasks {
-		st := t.Stats()
-		switch st.Status {
-		case task.Running, task.Cancelling:
-			m.Running++
-		case task.Finished:
-			m.Finished++
-			m.MovedBytes += st.MovedBytes
-		case task.Failed:
-			m.Failed++
-			m.MovedBytes += st.MovedBytes
-		case task.Cancelled:
-			m.Cancelled++
-			m.MovedBytes += st.MovedBytes
-		}
-	}
-	d.mu.Unlock()
 	return &proto.Response{Status: proto.Success, Metrics: m}
 }
 
@@ -954,21 +1217,33 @@ func (d *Daemon) handleSubmit(peer transport.PeerInfo, req *proto.Request) *prot
 // acceptance: a full shard or an exhausted in-flight budget rejects
 // that entry with its own status (EAgain for backpressure) while the
 // rest of the batch proceeds. The response's Results align with the
-// request's Tasks.
+// request's Tasks. The batch path amortizes registry locking (once per
+// stripe) and the journal append (one group-commit flush) across the
+// whole batch.
 func (d *Daemon) handleSubmitBatch(peer transport.PeerInfo, req *proto.Request) *proto.Response {
 	if len(req.Tasks) == 0 {
 		return &proto.Response{Status: proto.EBadRequest, Error: "submit-batch without tasks"}
 	}
-	resp := &proto.Response{Status: proto.Success, Results: make([]proto.SubmitResult, len(req.Tasks))}
-	for i := range req.Tasks {
-		id, err := d.Submit(&req.Tasks[i], req.PID, peer.Control)
-		if err != nil {
-			resp.Results[i] = proto.SubmitResult{Status: uint32(statusOf(err)), Error: err.Error()}
-			continue
+	// Combined submit+subscribe: when the request carries a Subscribe
+	// spec and the connection can take pushes, the subscription is
+	// attached before the accepted tasks become runnable — one RPC
+	// replaces the old submit-then-subscribe pair, and because nothing
+	// can have transitioned yet, no per-task snapshot events are needed
+	// at all. Clients detect support by SubID != 0 and fall back to the
+	// separate OpSubscribe RPC against older daemons.
+	var subscribe func(ids []uint64) uint64
+	if req.Subscribe != nil && peer.Push != nil {
+		subscribe = func(ids []uint64) uint64 {
+			subID, err := d.hub.SubscribeSubmitted(req.Subscribe, ids,
+				Pusher{Push: peer.Push, PushBatch: peer.PushBatch}, peer.Closed)
+			if err != nil {
+				return 0 // hub closing: the client falls back to OpSubscribe
+			}
+			return subID
 		}
-		resp.Results[i] = proto.SubmitResult{TaskID: id, Status: uint32(proto.Success)}
 	}
-	return resp
+	results, subID := d.submitBatch(req.Tasks, req.PID, peer.Control, subscribe)
+	return &proto.Response{Status: proto.Success, Results: results, SubID: subID}
 }
 
 // handleSubscribe registers the connection for server-push task events.
@@ -999,7 +1274,8 @@ func (d *Daemon) handleSubscribe(peer transport.PeerInfo, req *proto.Request) *p
 		}
 		return t.Stats(), nil
 	}
-	subID, err := d.hub.Subscribe(req.Subscribe, snapshot, peer.Push, peer.Closed)
+	subID, err := d.hub.Subscribe(req.Subscribe, snapshot,
+		Pusher{Push: peer.Push, PushBatch: peer.PushBatch}, peer.Closed)
 	if err != nil {
 		return errResp(err)
 	}

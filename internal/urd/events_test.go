@@ -29,8 +29,8 @@ func (p *collectingPush) push(resp *proto.Response) error {
 	if p.failing {
 		return errors.New("peer gone")
 	}
-	if resp.Event != nil {
-		p.events = append(p.events, *resp.Event)
+	if resp.HasEvent {
+		p.events = append(p.events, resp.Event)
 	}
 	return nil
 }
@@ -64,7 +64,7 @@ func TestSlowSubscriberNeverBlocksAndGapFires(t *testing.T) {
 	h := NewEventHub(4, time.Millisecond)
 	defer h.Close()
 	p := &collectingPush{gate: make(chan struct{})}
-	subID, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, p.push, nil)
+	subID, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, Pusher{Push: p.push}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestExplicitTerminalEventsSurviveOverflow(t *testing.T) {
 	defer h.Close()
 	p := &collectingPush{gate: make(chan struct{})}
 	ids := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
-	if _, err := h.Subscribe(&proto.SubscribeSpec{TaskIDs: ids}, noSnapshot, p.push, nil); err != nil {
+	if _, err := h.Subscribe(&proto.SubscribeSpec{TaskIDs: ids}, noSnapshot, Pusher{Push: p.push}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Stalled pump, queue bound of 2, 8 terminal transitions: with the
@@ -122,7 +122,7 @@ func TestExplicitTerminalEventsSurviveOverflow(t *testing.T) {
 	waitFor(t, "all terminal events", func() bool {
 		seen := map[uint64]bool{}
 		for _, ev := range p.snapshot() {
-			if proto.EventKind(ev.Kind) == proto.EvState && ev.Stats != nil &&
+			if proto.EventKind(ev.Kind) == proto.EvState && ev.HasStats &&
 				task.Status(ev.Stats.Status) == task.Finished {
 				seen[ev.TaskID] = true
 			}
@@ -146,7 +146,7 @@ func TestSubscribeSnapshotCoversRace(t *testing.T) {
 		}
 		return task.Stats{}, fmt.Errorf("%w: task %d", errNotFound, id)
 	}
-	subID, err := h.Subscribe(&proto.SubscribeSpec{TaskIDs: []uint64{42}}, snapshot, p.push, nil)
+	subID, err := h.Subscribe(&proto.SubscribeSpec{TaskIDs: []uint64{42}}, snapshot, Pusher{Push: p.push}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +158,11 @@ func TestSubscribeSnapshotCoversRace(t *testing.T) {
 	waitFor(t, "spent subscription reaped", func() bool { return h.Subscribers() == 0 })
 
 	// Unknown tasks fail the subscribe outright.
-	if _, err := h.Subscribe(&proto.SubscribeSpec{TaskIDs: []uint64{99}}, snapshot, p.push, nil); !errors.Is(err, errNotFound) {
+	if _, err := h.Subscribe(&proto.SubscribeSpec{TaskIDs: []uint64{99}}, snapshot, Pusher{Push: p.push}, nil); !errors.Is(err, errNotFound) {
 		t.Fatalf("Subscribe(unknown) = %v, want errNotFound", err)
 	}
 	// As does an empty filter.
-	if _, err := h.Subscribe(&proto.SubscribeSpec{}, snapshot, p.push, nil); !errors.Is(err, errBadRequest) {
+	if _, err := h.Subscribe(&proto.SubscribeSpec{}, snapshot, Pusher{Push: p.push}, nil); !errors.Is(err, errBadRequest) {
 		t.Fatalf("Subscribe(empty) = %v, want errBadRequest", err)
 	}
 }
@@ -174,7 +174,7 @@ func TestDuplicateTerminalPublishSuppressed(t *testing.T) {
 	h := NewEventHub(0, 0)
 	defer h.Close()
 	p := &collectingPush{}
-	if _, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, p.push, nil); err != nil {
+	if _, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, Pusher{Push: p.push}, nil); err != nil {
 		t.Fatal(err)
 	}
 	st := task.Stats{Status: task.Cancelled}
@@ -203,7 +203,7 @@ func TestProgressThrottle(t *testing.T) {
 	h := NewEventHub(1024, 50*time.Millisecond)
 	defer h.Close()
 	p := &collectingPush{}
-	if _, err := h.Subscribe(&proto.SubscribeSpec{All: true, ProgressMS: 1}, noSnapshot, p.push, nil); err != nil {
+	if _, err := h.Subscribe(&proto.SubscribeSpec{All: true, ProgressMS: 1}, noSnapshot, Pusher{Push: p.push}, nil); err != nil {
 		t.Fatal(err)
 	}
 	tk := task.New(5, task.Copy, task.MemoryRegion([]byte("x")), task.PosixPath("m://", "f"))
@@ -233,7 +233,7 @@ func TestUnsubscribeStopsDelivery(t *testing.T) {
 	h := NewEventHub(0, 0)
 	defer h.Close()
 	p := &collectingPush{}
-	id, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, p.push, nil)
+	id, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, Pusher{Push: p.push}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestUnsubscribeStopsDelivery(t *testing.T) {
 
 	// A push error reaps the subscription too.
 	bad := &collectingPush{failing: true}
-	if _, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, bad.push, nil); err != nil {
+	if _, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, Pusher{Push: bad.push}, nil); err != nil {
 		t.Fatal(err)
 	}
 	h.PublishState(3, task.Stats{Status: task.Pending})
@@ -268,7 +268,7 @@ func TestPeerClosedReapsSubscription(t *testing.T) {
 	defer h.Close()
 	p := &collectingPush{}
 	closed := make(chan struct{})
-	if _, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, p.push, closed); err != nil {
+	if _, err := h.Subscribe(&proto.SubscribeSpec{All: true}, noSnapshot, Pusher{Push: p.push}, closed); err != nil {
 		t.Fatal(err)
 	}
 	if h.Subscribers() != 1 {

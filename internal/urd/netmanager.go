@@ -441,7 +441,7 @@ func (nm *NetManager) StatFile(node, srcDataspace, srcPath string) (int64, error
 	if err != nil {
 		return 0, err
 	}
-	out, err := ep.Forward(rpcStat, wire.Marshal(&fileRef{Dataspace: srcDataspace, Path: srcPath}))
+	out, err := ep.ForwardMarshal(rpcStat, &fileRef{Dataspace: srcDataspace, Path: srcPath})
 	if err != nil {
 		return 0, err
 	}
@@ -548,7 +548,7 @@ func (nm *NetManager) SendFile(node, dstDataspace, dstPath string, src mercury.B
 	}
 	ch := make(chan result, 1)
 	go func() {
-		out, err := ep.ForwardNoDeadline(rpcPull, wire.Marshal(&req))
+		out, err := ep.ForwardMarshalNoDeadline(rpcPull, &req)
 		ch <- result{out, err}
 	}()
 	var r result
@@ -612,7 +612,7 @@ func (f *remoteFile) PullRange(stream int, off, count int64, dst mercury.BulkPro
 
 // Close implements transfer.RemoteFile.
 func (f *remoteFile) Close() error {
-	_, err := f.ep.Forward(rpcRelease, wire.Marshal(&f.h))
+	_, err := f.ep.ForwardMarshal(rpcRelease, &f.h)
 	return err
 }
 
@@ -623,7 +623,7 @@ func (nm *NetManager) OpenFile(node, srcDataspace, srcPath string) (transfer.Rem
 	if err != nil {
 		return nil, err
 	}
-	out, err := ep.Forward(rpcExpose, wire.Marshal(&fileRef{Dataspace: srcDataspace, Path: srcPath}))
+	out, err := ep.ForwardMarshal(rpcExpose, &fileRef{Dataspace: srcDataspace, Path: srcPath})
 	if err != nil {
 		return nil, err
 	}
@@ -635,7 +635,7 @@ func (nm *NetManager) OpenFile(node, srcDataspace, srcPath string) (transfer.Rem
 		// The declared size drives destination allocation and the
 		// segment plan on our side; an absurd value is a broken or
 		// hostile peer, not a file to fetch.
-		_, _ = ep.Forward(rpcRelease, wire.Marshal(&h))
+		_, _ = ep.ForwardMarshal(rpcRelease, &h)
 		return nil, fmt.Errorf("urd: %s declares file length %d out of range", node, h.Handle.Len)
 	}
 	return &remoteFile{nm: nm, ep: ep, h: h}, nil

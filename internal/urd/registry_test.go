@@ -1,0 +1,207 @@
+package urd
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
+)
+
+// TestRegistryBasics covers the striped table's single-threaded
+// contract: Put/Get/Delete round trips, batch insertion landing every
+// task, and the atomic length.
+func TestRegistryBasics(t *testing.T) {
+	r := newTaskRegistry()
+	if _, ok := r.Get(1); ok {
+		t.Fatal("empty registry resolved a task")
+	}
+	batch := make([]*task.Task, 200)
+	for i := range batch {
+		batch[i] = task.New(uint64(i+1), task.NoOp, task.Resource{}, task.Resource{})
+	}
+	r.PutBatch(batch)
+	if got := r.Len(); got != 200 {
+		t.Fatalf("Len = %d after PutBatch(200)", got)
+	}
+	for _, want := range batch {
+		got, ok := r.Get(want.ID)
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %v, %v", want.ID, got, ok)
+		}
+	}
+	r.Delete(7)
+	if _, ok := r.Get(7); ok {
+		t.Fatal("deleted task still resolves")
+	}
+	if got := r.Len(); got != 199 {
+		t.Fatalf("Len = %d after delete", got)
+	}
+	r.Delete(7) // idempotent: the count must not double-decrement
+	if got := r.Len(); got != 199 {
+		t.Fatalf("Len = %d after double delete", got)
+	}
+	seen := 0
+	r.Range(func(*task.Task) { seen++ })
+	if seen != 199 {
+		t.Fatalf("Range visited %d tasks, want 199", seen)
+	}
+}
+
+// TestRegistryStress hammers the striped registry through the real
+// daemon surface under the race detector: concurrent batch submitters,
+// status pollers, cancellers, and aggregate-stats readers, all against
+// one in-process daemon. This is the regression net for the lock-
+// striping work — any missing synchronization between the stripes, the
+// atomic counters, and the shard map shows up here under -race.
+func TestRegistryStress(t *testing.T) {
+	d, err := New(Config{NodeName: "stress", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	peer := transport.PeerInfo{Control: true}
+
+	const (
+		submitters = 4
+		batches    = 8
+		batchSize  = 32
+	)
+	var ids [submitters][]uint64
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	// Status pollers and stats readers run for the whole test,
+	// contending every lookup against the submit/dispatch path.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := uint64(1); !stop.Load(); n++ {
+				req := &proto.Request{Op: proto.OpTaskStatus, TaskID: n%512 + 1}
+				_ = d.Handle(peer, req)
+				_ = d.Handle(peer, &proto.Request{Op: proto.OpTransferStats})
+				_ = d.Handle(peer, &proto.Request{Op: proto.OpStatus})
+			}
+		}()
+	}
+
+	var submitWG sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		submitWG.Add(1)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer submitWG.Done()
+			for b := 0; b < batches; b++ {
+				specs := make([]proto.TaskSpec, batchSize)
+				for i := range specs {
+					specs[i] = proto.TaskSpec{Kind: uint32(task.NoOp)}
+				}
+				results := d.SubmitBatch(specs, 0, true)
+				for i, r := range results {
+					if proto.StatusCode(r.Status) != proto.Success {
+						t.Errorf("submitter %d batch %d entry %d: %s", s, b, i, r.Error)
+						return
+					}
+					ids[s] = append(ids[s], r.TaskID)
+				}
+				// Cancel a few of our own recent submissions to race the
+				// dequeue/terminal accounting against the workers.
+				for i := 0; i < 4 && i < len(ids[s]); i++ {
+					_, _ = d.Cancel(ids[s][len(ids[s])-1-i])
+				}
+			}
+		}(s)
+	}
+	submitWG.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	// Every accepted ID resolves and every accepted task is accounted:
+	// submitted = distinct IDs, and once the queues drain the in-flight
+	// gauge returns to zero.
+	total := 0
+	unique := make(map[uint64]struct{})
+	for s := range ids {
+		total += len(ids[s])
+		for _, id := range ids[s] {
+			unique[id] = struct{}{}
+			if _, err := d.Task(id); err != nil {
+				t.Fatalf("accepted task %d does not resolve: %v", id, err)
+			}
+		}
+	}
+	if total != submitters*batches*batchSize || len(unique) != total {
+		t.Fatalf("accepted %d tasks, %d unique, want %d", total, len(unique), submitters*batches*batchSize)
+	}
+	for s := range ids {
+		for _, id := range ids[s] {
+			tk, err := d.Task(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tk.Wait(0) {
+				t.Fatalf("task %d never terminated", id)
+			}
+		}
+	}
+	if got := d.tasks.Len(); got != total {
+		t.Fatalf("registry holds %d tasks, want %d", got, total)
+	}
+	if fl := d.inFlight.Load(); fl != 0 {
+		t.Fatalf("inFlight = %d after drain, want 0", fl)
+	}
+	fin := d.doneFinished.Load()
+	can := d.doneCancelled.Load()
+	if fin+can+d.doneFailed.Load() != uint64(total) {
+		t.Fatalf("terminal accounting %d+%d+%d != %d",
+			fin, can, d.doneFailed.Load(), total)
+	}
+}
+
+// TestRetainTasksEviction: beyond the configured retention, the oldest
+// terminal tasks leave the in-memory table (and only the oldest — the
+// newest keep answering).
+func TestRetainTasksEviction(t *testing.T) {
+	d, err := New(Config{NodeName: "retain", Workers: 2, RetainTasks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	specs := make([]proto.TaskSpec, 48)
+	for i := range specs {
+		specs[i] = proto.TaskSpec{Kind: uint32(task.NoOp)}
+	}
+	results := d.SubmitBatch(specs, 0, true)
+	ids := make([]uint64, 0, len(results))
+	for i, r := range results {
+		if proto.StatusCode(r.Status) != proto.Success {
+			t.Fatalf("entry %d: %s", i, r.Error)
+		}
+		ids = append(ids, r.TaskID)
+	}
+	for _, id := range ids {
+		tk, err := d.Task(id)
+		if err != nil {
+			continue // already evicted mid-drain: fine
+		}
+		tk.Wait(0)
+	}
+	// All 48 terminated; retention 16 means at most 16 remain.
+	if got := d.tasks.Len(); got > 16 {
+		t.Fatalf("registry holds %d terminal tasks, retention is 16", got)
+	}
+	evicted := 0
+	for _, id := range ids {
+		if _, err := d.Task(id); err != nil {
+			evicted++
+		}
+	}
+	if evicted != len(ids)-d.tasks.Len() {
+		t.Fatalf("evicted %d of %d with %d retained", evicted, len(ids), d.tasks.Len())
+	}
+}

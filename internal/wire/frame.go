@@ -10,38 +10,129 @@ import (
 // Frames carry one encoded message each: a uvarint length prefix followed
 // by the message bytes, mirroring protobuf's delimited stream format.
 
+// framePrefixMax is the reserved space for a frame's uvarint length
+// prefix. MaxMessageSize is 64 MiB, whose uvarint needs 4 bytes; 5
+// covers every legal frame with room to spare.
+const framePrefixMax = 5
+
+// AppendFrame appends m to dst as one length-prefixed frame and returns
+// the extended slice. The message is encoded directly into dst (via a
+// pooled encoder wrapping it) with the prefix space reserved up front,
+// so framing a message costs no allocation and no intermediate copy —
+// the foundation of both the socket write path (FrameWriter) and the
+// journal's group-commit buffer.
+func AppendFrame(dst []byte, m Marshaler) ([]byte, error) {
+	e := GetEncoder()
+	own := e.buf // keep the pooled buffer to hand back
+	e.buf = dst
+	start := len(dst)
+	var prefix [framePrefixMax]byte
+	e.buf = append(e.buf, prefix[:]...)
+	m.MarshalWire(e)
+	out := e.buf
+	e.buf = own
+	PutEncoder(e)
+	n := len(out) - start - framePrefixMax
+	if n > MaxMessageSize {
+		return dst, ErrTooLarge
+	}
+	ln := binary.PutUvarint(prefix[:], uint64(n))
+	if ln < framePrefixMax {
+		// Close the gap left by the shorter-than-reserved prefix; copy is
+		// a memmove, so the overlap is safe.
+		copy(out[start+ln:], out[start+framePrefixMax:])
+		out = out[:start+ln+n]
+	}
+	copy(out[start:], prefix[:ln])
+	return out, nil
+}
+
+// maxRetainedFrame bounds the scratch capacity a FrameWriter or
+// FrameReader keeps between messages. One oversized message (a 64 MiB
+// memory-region payload) must not pin its buffer on every long-lived
+// connection afterwards.
+const maxRetainedFrame = 1 << 20
+
 // FrameWriter writes length-prefixed messages to an underlying writer.
 // It is not safe for concurrent use.
 type FrameWriter struct {
-	w       *bufio.Writer
-	scratch [binary.MaxVarintLen64]byte
+	w   io.Writer
+	buf []byte // reusable frame assembly: prefix + payload, one Write each
 }
 
 // NewFrameWriter returns a FrameWriter over w.
 func NewFrameWriter(w io.Writer) *FrameWriter {
-	return &FrameWriter{w: bufio.NewWriter(w)}
+	return &FrameWriter{w: w}
 }
 
-// WriteFrame writes one length-prefixed message and flushes it.
+// flush hands the assembled frame(s) to the underlying writer as a
+// single Write (one syscall on a socket — the "gathered write") and
+// resets the scratch, dropping oversized capacity.
+func (fw *FrameWriter) flush() error {
+	_, err := fw.w.Write(fw.buf)
+	if cap(fw.buf) > maxRetainedFrame {
+		fw.buf = nil
+	} else {
+		fw.buf = fw.buf[:0]
+	}
+	return err
+}
+
+// AppendMessage encodes m as one frame onto the writer's pending buffer
+// without writing it. Flush sends everything appended since the last
+// write in one call — the batch variant of WriteMessage the event push
+// path uses to deliver a burst of frames with one syscall.
+func (fw *FrameWriter) AppendMessage(m Marshaler) error {
+	buf, err := AppendFrame(fw.buf, m)
+	if err != nil {
+		return err
+	}
+	fw.buf = buf
+	return nil
+}
+
+// Flush writes the frames accumulated by AppendMessage (no-op when
+// nothing is pending).
+func (fw *FrameWriter) Flush() error {
+	if len(fw.buf) == 0 {
+		return nil
+	}
+	return fw.flush()
+}
+
+// Discard drops frames appended since the last write — the error path
+// of a batch assembly, so a poisoned batch cannot leak into the next
+// message.
+func (fw *FrameWriter) Discard() {
+	fw.buf = fw.buf[:0]
+}
+
+// WriteFrame writes one pre-encoded message as a length-prefixed frame.
+// Callers that hold a Marshaler should prefer WriteMessage, which
+// encodes straight into the frame buffer instead of copying msg.
 func (fw *FrameWriter) WriteFrame(msg []byte) error {
 	if len(msg) > MaxMessageSize {
 		return ErrTooLarge
 	}
-	n := binary.PutUvarint(fw.scratch[:], uint64(len(msg)))
-	if _, err := fw.w.Write(fw.scratch[:n]); err != nil {
-		return err
-	}
-	if _, err := fw.w.Write(msg); err != nil {
-		return err
-	}
-	return fw.w.Flush()
+	fw.buf = fw.buf[:0]
+	var prefix [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(prefix[:], uint64(len(msg)))
+	fw.buf = append(fw.buf, prefix[:n]...)
+	fw.buf = append(fw.buf, msg...)
+	return fw.flush()
 }
 
-// WriteMessage marshals m and writes it as a single frame.
+// WriteMessage marshals m and writes it as a single frame. The message
+// is encoded directly into the writer's reusable buffer behind a
+// reserved length prefix and written in one call — no per-message
+// allocation, no encode-then-copy.
 func (fw *FrameWriter) WriteMessage(m Marshaler) error {
-	var e Encoder
-	m.MarshalWire(&e)
-	return fw.WriteFrame(e.Buffer())
+	buf, err := AppendFrame(fw.buf[:0], m)
+	if err != nil {
+		return err
+	}
+	fw.buf = buf
+	return fw.flush()
 }
 
 // FrameReader reads length-prefixed messages from an underlying reader.
@@ -56,8 +147,11 @@ func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{r: bufio.NewReader(r)}
 }
 
-// ReadFrame reads one message. The returned slice is reused by the next
-// call; callers that retain it must copy.
+// ReadFrame reads one message into the reader's growable scratch
+// buffer, which is reused by the next call; callers that retain the
+// slice must copy it out (decoding copies exactly the payloads that
+// escape — strings, byte fields — which is the only copy a received
+// message pays).
 func (fr *FrameReader) ReadFrame() ([]byte, error) {
 	n, err := binary.ReadUvarint(fr.r)
 	if err != nil {
@@ -76,7 +170,13 @@ func (fr *FrameReader) ReadFrame() ([]byte, error) {
 		}
 		return nil, err
 	}
-	return fr.buf, nil
+	msg := fr.buf
+	if cap(fr.buf) > maxRetainedFrame {
+		// Hand the oversized buffer to the caller and start fresh, so one
+		// huge frame does not pin its footprint on the connection.
+		fr.buf = nil
+	}
+	return msg, nil
 }
 
 // ParseFrame splits one length-prefixed frame off the front of buf,

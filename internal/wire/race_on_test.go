@@ -1,0 +1,8 @@
+//go:build race
+
+package wire_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates and would fail the
+// allocation budgets below for reasons unrelated to the wire package.
+const raceEnabled = true

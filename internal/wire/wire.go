@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Wire types, matching the protobuf wire format subset we implement.
@@ -60,6 +61,36 @@ type Encoder struct {
 // NewEncoder returns an Encoder whose buffer has the given capacity hint.
 func NewEncoder(sizeHint int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// maxPooledBuf bounds the buffer capacity the pools retain. A message
+// can legally be up to MaxMessageSize (a 64 MiB memory-region payload);
+// letting one of those pin a pool slot would quietly hold tens of
+// megabytes per P, so oversized buffers are dropped and reallocated on
+// the rare paths that need them.
+const maxPooledBuf = 1 << 20
+
+// encoderPool recycles Encoder buffers across messages: the protocol
+// hot path (one encode per RPC, per push event, per journal record)
+// amortizes to zero allocations once the pool is warm.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns an empty pooled Encoder. Release it with
+// PutEncoder once the encoded bytes have been consumed (written to a
+// frame, copied out); the buffer — and anything Buffer returned — is
+// recycled at that point.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// PutEncoder returns e to the pool. The caller must not retain e or any
+// slice aliasing its buffer.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) <= maxPooledBuf {
+		encoderPool.Put(e)
+	}
 }
 
 // Buffer returns the encoded message. The slice aliases the encoder's
@@ -122,11 +153,23 @@ func (e *Encoder) String(tag int, s string) {
 	e.buf = append(e.buf, s...)
 }
 
-// Message encodes a nested message as a length-delimited field.
+// Message encodes a nested message as a length-delimited field. The
+// nested message is marshaled in place — directly onto this encoder's
+// buffer — and its uvarint length prefix is inserted afterwards by
+// shifting the nested bytes, so nesting costs a bounded memmove instead
+// of a per-message allocation and copy.
 func (e *Encoder) Message(tag int, m Marshaler) {
-	var nested Encoder
-	m.MarshalWire(&nested)
-	e.Bytes(tag, nested.buf)
+	e.key(tag, TypeBytes)
+	start := len(e.buf)
+	m.MarshalWire(e)
+	n := len(e.buf) - start
+	var tmp [binary.MaxVarintLen64]byte
+	ln := binary.PutUvarint(tmp[:], uint64(n))
+	e.buf = append(e.buf, tmp[:ln]...)
+	// Shift the nested bytes right to open a gap for the prefix; copy is
+	// a memmove, so the overlap is safe.
+	copy(e.buf[start+ln:], e.buf[start:start+n])
+	copy(e.buf[start:], tmp[:ln])
 }
 
 // StringSlice encodes each element as a repeated length-delimited field.
@@ -144,6 +187,16 @@ func (e *Encoder) Uint64Slice(tag int, vs []uint64) {
 }
 
 // Marshal serializes m into a fresh byte slice.
+//
+// Deprecated: Marshal allocates and copies the encoded message out of a
+// temporary encoder on every call. Callers that immediately frame and
+// send the message should use FrameWriter.WriteMessage or AppendFrame
+// (which encode straight into a reused frame buffer with no
+// intermediate copy), and RPC callers should hand the Marshaler to
+// mercury's Endpoint.ForwardMarshal. A copy is still the right tool
+// when the encoded bytes must outlive the encoder — a payload returned
+// from an RPC handler into the server's response path, or a fixture
+// retained by tests — which is why Marshal remains.
 func Marshal(m Marshaler) []byte {
 	var e Encoder
 	m.MarshalWire(&e)
@@ -200,6 +253,12 @@ func (d *Decoder) Next() bool {
 
 // Tag returns the tag of the current field.
 func (d *Decoder) Tag() int { return d.tag }
+
+// Remaining reports how many undecoded bytes follow the current
+// position — the honest upper bound on how much data the message can
+// still contain, which count-hint fields must be clamped against so a
+// tiny hostile frame cannot command a huge pre-allocation.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
 
 func (d *Decoder) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(d.buf[d.pos:])
@@ -290,15 +349,22 @@ func (d *Decoder) Bytes() []byte {
 // String consumes the current length-delimited field as a string.
 func (d *Decoder) String() string { return string(d.Bytes()) }
 
-// Message consumes the current length-delimited field as a nested message.
+// Message consumes the current length-delimited field as a nested
+// message. The nested message is decoded in place — the decoder is
+// re-pointed at the nested payload and restored afterwards — so nesting
+// allocates nothing. Error state is shared: a nested failure stops the
+// outer walk exactly as before.
 func (d *Decoder) Message(m Unmarshaler) {
 	b := d.Bytes()
 	if d.err != nil {
 		return
 	}
-	if err := m.UnmarshalWire(NewDecoder(b)); err != nil {
+	obuf, opos := d.buf, d.pos
+	d.buf, d.pos = b, 0
+	if err := m.UnmarshalWire(d); err != nil {
 		d.fail(err)
 	}
+	d.buf, d.pos = obuf, opos
 }
 
 // Skip consumes the current field without interpreting it, enabling
@@ -325,10 +391,19 @@ func (d *Decoder) Skip() {
 	}
 }
 
+// decoderPool recycles Decoders across Unmarshal calls — one fewer
+// allocation per received frame on the transport and journal paths.
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
 // Unmarshal deserializes buf into m.
 func Unmarshal(buf []byte, m Unmarshaler) error {
 	if len(buf) > MaxMessageSize {
 		return ErrTooLarge
 	}
-	return m.UnmarshalWire(NewDecoder(buf))
+	d := decoderPool.Get().(*Decoder)
+	*d = Decoder{buf: buf}
+	err := m.UnmarshalWire(d)
+	*d = Decoder{}
+	decoderPool.Put(d)
+	return err
 }
