@@ -52,7 +52,7 @@ func (r *report) refTables() []*metrics.Table {
 }
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig1a,fig1b,fig4,fig5,fig6,fig7,fig8,tab3,tab4,tab5,streams,batch,hotpath,ablations")
+	run := flag.String("run", "all", "comma-separated experiments: fig1a,fig1b,fig4,fig5,fig6,fig7,fig8,tab3,tab4,tab5,streams,batch,hotpath,localcopy,autotune,ablations")
 	reps := flag.Int("reps", 0, "repetitions for the variability figures (0 = experiment default)")
 	reqs := flag.Int("reqs", 0, "requests per client for the request-rate figures (0 = default; the paper used 50000)")
 	asJSON := flag.Bool("json", false, "emit results as one JSON document instead of text tables")
@@ -123,6 +123,13 @@ func main() {
 	if selected("hotpath") {
 		show(experiments.HotPath(tmp, *reqs))
 		show(experiments.HotPathWire(), nil)
+	}
+	if selected("localcopy") {
+		show(experiments.LocalCopy(tmp, 0))
+	}
+	if selected("autotune") {
+		show(experiments.AutotuneConverge(tmp, 0))
+		show(experiments.AutotuneCapCeiling(tmp))
 	}
 	if selected("ablations") {
 		show(experiments.AblationScheduler(tmp, 0))

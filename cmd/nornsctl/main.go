@@ -93,6 +93,15 @@ func main() {
 				st.RecoveredPending+st.RecoveredRunning, st.RecoveredPending, st.RecoveredRunning,
 				st.RecoveredCancelled, st.RecoveredTerminal)
 		}
+		if st.Autotune {
+			if len(st.AutotuneRoutes) == 0 {
+				fmt.Println("autotune: enabled; no routes observed yet")
+			}
+			for _, r := range st.AutotuneRoutes {
+				fmt.Printf("autotune: %s -> %s (%s): streams=%d seg=%s goodput=%.1f MiB/s samples=%d %s\n",
+					r.In, r.Out, r.Kind, r.Streams, mib(r.SegSize), r.GoodputBps/(1<<20), r.Samples, r.State)
+			}
+		}
 	case "shutdown":
 		if err := c.Shutdown(); err != nil {
 			log.Fatal(err)

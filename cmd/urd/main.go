@@ -51,27 +51,30 @@ func parseSize(s string) (int64, error) {
 
 func main() {
 	var (
-		node       = flag.String("node", hostnameOr("node001"), "cluster node name")
-		userSock   = flag.String("user", "/tmp/norns.sock", "user API socket path")
-		ctlSock    = flag.String("control", "/tmp/nornsctl.sock", "control API socket path")
-		workers    = flag.Int("workers", 4, "transfer worker threads per shard")
-		policy     = flag.String("policy", "fcfs", "task queue policy: fcfs|sjf|priority|fair-share")
-		shardQueue = flag.Int("shard-queue", 0, "max pending tasks per shard (0 = unbounded)")
-		maxTasks   = flag.Int("max-in-flight", 0, "global cap on queued+running tasks (0 = unbounded)")
-		stateDir   = flag.String("state-dir", "", "directory for the durable task journal; on restart, pending and running tasks are re-queued from it (empty = in-memory only)")
-		stateSync  = flag.Bool("state-sync", false, "fsync the journal after every group-commit flush (durability over submit latency)")
-		jrFlush    = flag.Duration("journal-flush", 0, "journal group-commit window: concurrent records coalesce into one write+fsync per window, at up to this much added submit latency (0 = flush immediately, still coalescing concurrent appends)")
-		retain     = flag.Int("retain-tasks", 0, "terminal tasks kept in memory answering status queries before the oldest are retired (0 = default 16384)")
-		fabric     = flag.String("fabric", "", "mercury NA plugin for node-to-node transfers (e.g. ofi+tcp); empty disables")
-		fabricAddr = flag.String("fabric-addr", "", "fabric listen address")
-		peers      = flag.String("peers", "", "comma-separated node=addr fabric peers")
-		streams    = flag.Int("transfer-streams", 0, "concurrent segment streams per transfer (0 = default 4)")
-		segSize    = flag.String("segment-size", "", "transfer segment size, e.g. 8M (empty = default 8M); segments parallelize and checkpoint individually")
-		maxBW      = flag.String("max-bandwidth", "", "aggregate transfer bandwidth cap in bytes/s, e.g. 500M (empty = unlimited)")
-		bufSize    = flag.String("buf-size", "", "copy/throttle chunk size, e.g. 256K (empty = default 256K); bounds cancel latency")
-		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "deadline per peer RPC / bulk-stream idle gap (0 = none)")
-		eventQueue = flag.Int("event-queue", 0, "max queued push events per subscriber before coalescing into a gap event (0 = default 256)")
-		progressIv = flag.Duration("progress-interval", 0, "floor between per-task progress-tick events pushed to subscribers (0 = default 100ms)")
+		node        = flag.String("node", hostnameOr("node001"), "cluster node name")
+		userSock    = flag.String("user", "/tmp/norns.sock", "user API socket path")
+		ctlSock     = flag.String("control", "/tmp/nornsctl.sock", "control API socket path")
+		workers     = flag.Int("workers", 4, "transfer worker threads per shard")
+		policy      = flag.String("policy", "fcfs", "task queue policy: fcfs|sjf|priority|fair-share")
+		shardQueue  = flag.Int("shard-queue", 0, "max pending tasks per shard (0 = unbounded)")
+		maxTasks    = flag.Int("max-in-flight", 0, "global cap on queued+running tasks (0 = unbounded)")
+		stateDir    = flag.String("state-dir", "", "directory for the durable task journal; on restart, pending and running tasks are re-queued from it (empty = in-memory only)")
+		stateSync   = flag.Bool("state-sync", false, "fsync the journal after every group-commit flush (durability over submit latency)")
+		jrFlush     = flag.Duration("journal-flush", 0, "journal group-commit window: concurrent records coalesce into one write+fsync per window, at up to this much added submit latency (0 = flush immediately, still coalescing concurrent appends)")
+		retain      = flag.Int("retain-tasks", 0, "terminal tasks kept in memory answering status queries before the oldest are retired (0 = default 16384)")
+		fabric      = flag.String("fabric", "", "mercury NA plugin for node-to-node transfers (e.g. ofi+tcp); empty disables")
+		fabricAddr  = flag.String("fabric-addr", "", "fabric listen address")
+		peers       = flag.String("peers", "", "comma-separated node=addr fabric peers")
+		streams     = flag.Int("transfer-streams", 0, "concurrent segment streams per transfer (0 = default 4)")
+		segSize     = flag.String("segment-size", "", "transfer segment size, e.g. 8M (empty = default 8M); segments parallelize and checkpoint individually")
+		autotune    = flag.Bool("autotune", false, "adapt streams/segment-size per route from observed goodput; -transfer-streams/-segment-size become the initial operating point")
+		autotuneMin = flag.Int("autotune-min-samples", 0, "transfers observed per operating point before the autotuner scores it (0 = default 2)")
+		noOffload   = flag.Bool("no-offload", false, "force local staging onto the portable user-space copy path even when the kernel range-copy offload is available")
+		maxBW       = flag.String("max-bandwidth", "", "aggregate transfer bandwidth cap in bytes/s, e.g. 500M (empty = unlimited)")
+		bufSize     = flag.String("buf-size", "", "copy/throttle chunk size, e.g. 256K (empty = default 256K); bounds cancel latency")
+		rpcTimeout  = flag.Duration("rpc-timeout", 30*time.Second, "deadline per peer RPC / bulk-stream idle gap (0 = none)")
+		eventQueue  = flag.Int("event-queue", 0, "max queued push events per subscriber before coalescing into a gap event (0 = default 256)")
+		progressIv  = flag.Duration("progress-interval", 0, "floor between per-task progress-tick events pushed to subscribers (0 = default 100ms)")
 	)
 	flag.Parse()
 
@@ -103,23 +106,26 @@ func main() {
 	}
 
 	cfg := urd.Config{
-		NodeName:         *node,
-		UserSocket:       *userSock,
-		ControlSocket:    *ctlSock,
-		Workers:          *workers,
-		PolicyFactory:    factory,
-		MaxShardQueue:    *shardQueue,
-		MaxInFlight:      *maxTasks,
-		StateDir:         *stateDir,
-		JournalOptions:   journal.Options{Sync: *stateSync, FlushInterval: *jrFlush},
-		RetainTasks:      *retain,
-		BufSize:          int(bufBytes),
-		SegmentSize:      segBytes,
-		TransferStreams:  *streams,
-		MaxBandwidthBps:  bwBytes,
-		RPCTimeout:       *rpcTimeout,
-		EventQueue:       *eventQueue,
-		ProgressInterval: *progressIv,
+		NodeName:           *node,
+		UserSocket:         *userSock,
+		ControlSocket:      *ctlSock,
+		Workers:            *workers,
+		PolicyFactory:      factory,
+		MaxShardQueue:      *shardQueue,
+		MaxInFlight:        *maxTasks,
+		StateDir:           *stateDir,
+		JournalOptions:     journal.Options{Sync: *stateSync, FlushInterval: *jrFlush},
+		RetainTasks:        *retain,
+		BufSize:            int(bufBytes),
+		SegmentSize:        segBytes,
+		TransferStreams:    *streams,
+		MaxBandwidthBps:    bwBytes,
+		Autotune:           *autotune,
+		AutotuneMinSamples: *autotuneMin,
+		DisableOffload:     *noOffload,
+		RPCTimeout:         *rpcTimeout,
+		EventQueue:         *eventQueue,
+		ProgressInterval:   *progressIv,
 	}
 	if *fabric != "" {
 		resolver := urd.NewStaticResolver()

@@ -305,6 +305,27 @@ type DaemonStatus struct {
 	RecoveredRunning   uint64
 	RecoveredCancelled uint64
 	RecoveredTerminal  uint64
+	// Autotune reports whether the per-route transfer tuner is enabled;
+	// AutotuneRoutes is its live table, one row per route the daemon has
+	// moved data on.
+	Autotune       bool
+	AutotuneRoutes []AutotuneRoute
+}
+
+// AutotuneRoute is one row of the daemon's transfer-tuning table.
+type AutotuneRoute struct {
+	// In/Out name the route's endpoints (dataspace IDs, node-prefixed
+	// for remote ends); Kind is the resource pair.
+	In, Out, Kind string
+	// Streams and SegSize are the route's current operating point;
+	// GoodputBps the EWMA goodput observed there.
+	Streams    uint32
+	SegSize    int64
+	GoodputBps float64
+	// Samples counts all observations on the route; State is the
+	// controller state (seeding, probing, settled, capped).
+	Samples uint64
+	State   string
 }
 
 // StatusInfo returns the daemon's structured status report.
@@ -317,7 +338,7 @@ func (c *Client) StatusInfo() (DaemonStatus, error) {
 		return DaemonStatus{}, apiError(resp)
 	}
 	s := resp.StatusInfo
-	return DaemonStatus{
+	out := DaemonStatus{
 		Info:               resp.DaemonInfo,
 		Version:            s.Version,
 		Node:               s.Node,
@@ -330,7 +351,19 @@ func (c *Client) StatusInfo() (DaemonStatus, error) {
 		RecoveredRunning:   s.RecoveredRunning,
 		RecoveredCancelled: s.RecoveredCancelled,
 		RecoveredTerminal:  s.RecoveredTerminal,
-	}, nil
+		Autotune:           s.Autotune,
+	}
+	for _, r := range s.AutotuneRoutes {
+		out.AutotuneRoutes = append(out.AutotuneRoutes, AutotuneRoute{
+			In: r.In, Out: r.Out, Kind: r.Kind,
+			Streams:    r.Streams,
+			SegSize:    r.SegSize,
+			GoodputBps: r.GoodputBps,
+			Samples:    r.Samples,
+			State:      r.State,
+		})
+	}
+	return out, nil
 }
 
 // Shutdown asks the daemon to exit.

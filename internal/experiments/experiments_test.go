@@ -409,3 +409,75 @@ func TestBatchSubmitSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestLocalCopySmoke runs the offload-vs-fallback comparison at small
+// scale: both engines must move and verify every byte and report
+// positive bandwidth. The speedup claim is the benchmark's job — on a
+// builder without reflink the offload is the generic splice path and
+// the ratio is modest, so the test asserts shape, not a margin.
+func TestLocalCopySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket benchmark")
+	}
+	tab, err := LocalCopy(t.TempDir(), 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if bw := cell(t, r[1]); bw <= 0 {
+			t.Errorf("row %v: non-positive bandwidth", r)
+		}
+	}
+	if ratio := cell(t, tab.Rows[0][2]); ratio <= 0 {
+		t.Errorf("non-positive speedup %v", ratio)
+	}
+}
+
+// TestAutotuneConvergeSmoke drives a few tasks through the autotuner on
+// a real daemon and checks the route surfaces a sane operating point:
+// bounded streams/segment size, positive goodput, and a non-seeding
+// state once samples are in.
+func TestAutotuneConvergeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket benchmark")
+	}
+	tab, err := AutotuneConverge(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if s := cell(t, last[1]); s < 1 || s > 32 {
+		t.Errorf("streams %v out of bounds", s)
+	}
+	if seg := cell(t, last[2]); seg < 0.25 || seg > 64 {
+		t.Errorf("segment size %v MiB out of bounds", seg)
+	}
+	if g := cell(t, last[3]); g <= 0 {
+		t.Errorf("non-positive goodput %v", g)
+	}
+	if last[4] == "seeding" {
+		t.Errorf("route still seeding after 3 tasks: %v", last)
+	}
+}
+
+// TestAutotuneCapCeiling runs the governed-autotune experiment, whose
+// cap assertions (per-task burst-bounded, aggregate at the cap) are
+// enforced inside the experiment itself.
+func TestAutotuneCapCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket benchmark: ~3s of capped staging")
+	}
+	tab, err := AutotuneCapCeiling(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tab.Rows); n != 4 {
+		t.Fatalf("rows = %d", n)
+	}
+}

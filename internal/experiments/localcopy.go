@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// localNode is one daemon with two directory-mounted dataspaces — the
+// local-to-local staging pair (NVM tier to parallel-FS tier) every
+// experiment in this file moves data across.
+type localNode struct {
+	daemon   *urd.Daemon
+	ctl      *nornsctl.Client
+	src, dst string // host directories backing lustre:// and nvme0://
+}
+
+func newLocalNode(socketDir, tag string, cfg urd.Config) (*localNode, error) {
+	dir, err := os.MkdirTemp(socketDir, tag)
+	if err != nil {
+		return nil, err
+	}
+	n := &localNode{src: filepath.Join(dir, "src"), dst: filepath.Join(dir, "dst")}
+	cfg.NodeName = "bench"
+	cfg.ControlSocket = filepath.Join(dir, "c.sock")
+	n.daemon, err = urd.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.ctl, err = nornsctl.Dial(cfg.ControlSocket)
+	if err != nil {
+		n.daemon.Close()
+		return nil, err
+	}
+	for _, ds := range []nornsctl.DataspaceDef{
+		{ID: "lustre://", Backend: nornsctl.BackendParallelFS, Mount: n.src},
+		{ID: "nvme0://", Backend: nornsctl.BackendNVM, Mount: n.dst},
+	} {
+		if err := n.ctl.RegisterDataspace(ds); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func (n *localNode) Close() {
+	if n.ctl != nil {
+		n.ctl.Close()
+	}
+	if n.daemon != nil {
+		n.daemon.Close()
+	}
+}
+
+// stage copies lustre://src to nvme0://dstName and returns the achieved
+// bandwidth in bytes/s, verifying the moved byte count is exact. The
+// rate is the daemon's own meter (MovedBytes over the task's running
+// window — what `nornsctl status` reports), so submit/wait RPC latency
+// and dispatch scheduling noise stay out of the engine comparison; the
+// client-side wall clock is only the fallback for sub-resolution runs.
+func (n *localNode) stage(dstName string, want int64) (float64, error) {
+	start := time.Now()
+	id, err := n.ctl.Submit(task.Copy,
+		task.PosixPath("lustre://", "src"),
+		task.PosixPath("nvme0://", dstName), 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	st, err := n.ctl.Wait(id, 5*time.Minute)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if st.Status != task.Finished {
+		return 0, fmt.Errorf("staging failed: %+v", st)
+	}
+	if st.MovedBytes != want {
+		return 0, fmt.Errorf("moved %d of %d bytes", st.MovedBytes, want)
+	}
+	if st.BandwidthBps > 0 {
+		return st.BandwidthBps, nil
+	}
+	return float64(st.MovedBytes) / elapsed.Seconds(), nil
+}
+
+// LocalCopy measures the zero-copy local staging path against its
+// portable user-space fallback: the same ≥64 MiB file staged between
+// two directory-mounted dataspaces by a real daemon, once with the
+// kernel range-copy offload (copy_file_range/sendfile) and once forced
+// onto the buffered read/write path. Staged output is verified
+// byte-for-byte against the source in both arms. On platforms without
+// the offload the first arm transparently falls back, so the speedup
+// reads ~1× rather than failing.
+func LocalCopy(socketDir string, totalBytes int64) (*metrics.Table, error) {
+	if totalBytes <= 0 {
+		totalBytes = 64 << 20
+	}
+	t := metrics.NewTable(
+		"Local staging — kernel offload vs user-space copy (64 MiB file)",
+		"Engine", "Bandwidth MiB/s", "Speedup")
+	payload := make([]byte, totalBytes)
+	for i := range payload {
+		payload[i] = byte(i*7 + i/251)
+	}
+	nodes := map[bool]*localNode{}
+	for _, disabled := range []bool{false, true} {
+		n, err := newLocalNode(socketDir, "lc", urd.Config{DisableOffload: disabled})
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		if err := os.WriteFile(filepath.Join(n.src, "src"), payload, 0o644); err != nil {
+			return nil, err
+		}
+		nodes[disabled] = n
+	}
+	// Interleave the arms rep by rep (after one unscored warm-up each),
+	// alternating which arm goes first, so both see the same page-cache,
+	// writeback, and CPU-credit state — running one arm to completion
+	// first hands the other arm a disk saturated by the first arm's
+	// dirty pages (or a hypervisor CPU-credit bucket the first arm
+	// drained), and the comparison measures the run order instead of the
+	// copy engine. Best of five scored reps: on a shared-CPU builder
+	// individual runs can lose most of their wall clock to throttling,
+	// and the engines' uncontended speeds are what is being compared.
+	bw := map[bool]float64{}
+	for rep := -1; rep < 5; rep++ {
+		order := []bool{false, true}
+		if rep%2 != 0 {
+			order = []bool{true, false}
+		}
+		for _, disabled := range order {
+			n := nodes[disabled]
+			name := fmt.Sprintf("staged-%d", rep)
+			b, err := n.stage(name, totalBytes)
+			if err != nil {
+				return nil, err
+			}
+			staged, err := os.ReadFile(filepath.Join(n.dst, name))
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(staged, payload) {
+				return nil, fmt.Errorf("disableOffload=%v rep %d: staged content differs from source", disabled, rep)
+			}
+			// Drop the verified copy before the next rep: keeping every
+			// staged replica live grows the dirty/resident page set until
+			// writeback (or, on ballooning VMs, host page refaulting)
+			// throttles both engines to the same memory-reclaim rate and
+			// the comparison measures the accumulation, not the copy.
+			if err := os.Remove(filepath.Join(n.dst, name)); err != nil {
+				return nil, err
+			}
+			if rep >= 0 && b > bw[disabled] {
+				bw[disabled] = b
+			}
+		}
+	}
+	t.AddRow("kernel offload", bw[false]/mib, bw[false]/bw[true])
+	t.AddRow("user-space copy", bw[true]/mib, 1.0)
+	return t, nil
+}
+
+// AutotuneConverge runs a cold route through the per-route autotuner on
+// a real daemon: the same file staged task after task while the
+// controller probes streams and segment size from their static
+// defaults. Each row is the daemon-reported operating point after that
+// task (what `nornsctl status` shows), ending in the route's converged
+// shape and EWMA goodput.
+func AutotuneConverge(socketDir string, tasks int) (*metrics.Table, error) {
+	if tasks <= 0 {
+		tasks = 8
+	}
+	t := metrics.NewTable(
+		"Autotune — cold local route, operating point per task",
+		"Task", "Streams", "Segment MiB", "Goodput MiB/s", "State")
+	n, err := newLocalNode(socketDir, "at", urd.Config{Autotune: true, AutotuneMinSamples: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	const totalBytes = 32 << 20
+	payload := make([]byte, totalBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := os.WriteFile(filepath.Join(n.src, "src"), payload, 0o644); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= tasks; i++ {
+		name := fmt.Sprintf("staged-%d", i)
+		if _, err := n.stage(name, totalBytes); err != nil {
+			return nil, err
+		}
+		// Drop each replica so page accumulation never skews the
+		// goodput the controller is converging on (see LocalCopy).
+		if err := os.Remove(filepath.Join(n.dst, name)); err != nil {
+			return nil, err
+		}
+		st, err := n.ctl.StatusInfo()
+		if err != nil {
+			return nil, err
+		}
+		if len(st.AutotuneRoutes) != 1 {
+			return nil, fmt.Errorf("after task %d: %d autotune routes, want 1", i, len(st.AutotuneRoutes))
+		}
+		r := st.AutotuneRoutes[0]
+		t.AddRow(i, r.Streams, float64(r.SegSize)/mib, r.GoodputBps/mib, r.State)
+	}
+	return t, nil
+}
+
+// AutotuneCapCeiling stages under a binding -max-bandwidth cap with the
+// autotuner on: the governor stays authoritative (the long-run rate
+// never exceeds the cap beyond the bucket's one-burst credit — enforced
+// here, not just reported) and the tuner parks the route as capped
+// instead of chasing governor-shaped goodput.
+func AutotuneCapCeiling(socketDir string) (*metrics.Table, error) {
+	const (
+		capBps     = int64(16 << 20)
+		totalBytes = int64(16 << 20)
+		tasks      = 3
+	)
+	t := metrics.NewTable(
+		"Autotune under -max-bandwidth (cap 16 MiB/s)",
+		"Task", "Observed MiB/s", "Cap MiB/s", "Route state")
+	n, err := newLocalNode(socketDir, "cap", urd.Config{
+		Autotune: true, AutotuneMinSamples: 1, MaxBandwidthBps: capBps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	payload := make([]byte, totalBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := os.WriteFile(filepath.Join(n.src, "src"), payload, 0o644); err != nil {
+		return nil, err
+	}
+	var moved int64
+	start := time.Now()
+	for i := 1; i <= tasks; i++ {
+		name := fmt.Sprintf("staged-%d", i)
+		bw, err := n.stage(name, totalBytes)
+		if err != nil {
+			return nil, err
+		}
+		os.Remove(filepath.Join(n.dst, name))
+		moved += totalBytes
+		// One task may ride the bucket's burst credit (rate/4 admitted
+		// ahead of the clock): over 16 MiB the first task can observe up
+		// to cap·S/(S-burst) ≈ 1.33×. Anything past that is a leak.
+		if bw > 1.4*float64(capBps) {
+			return nil, fmt.Errorf("task %d ran at %.1f MiB/s, above the %d MiB/s cap", i, bw/mib, capBps>>20)
+		}
+		state := "-"
+		if st, err := n.ctl.StatusInfo(); err == nil && len(st.AutotuneRoutes) == 1 {
+			state = st.AutotuneRoutes[0].State
+		}
+		t.AddRow(i, bw/mib, capBps>>20, state)
+	}
+	// The burst credit amortizes away across tasks: the aggregate rate
+	// must sit at the cap.
+	agg := float64(moved) / time.Since(start).Seconds()
+	if agg > 1.15*float64(capBps) {
+		return nil, fmt.Errorf("aggregate rate %.1f MiB/s exceeds the %d MiB/s cap", agg/mib, capBps>>20)
+	}
+	t.AddRow("all", agg/mib, capBps>>20, "-")
+	return t, nil
+}

@@ -909,6 +909,63 @@ func (tm *TransferMetrics) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
+// AutotuneRoute is one row of the daemon's transfer-tuning table: the
+// route, its current operating point, and how the controller got there.
+type AutotuneRoute struct {
+	// In/Out name the route's endpoints (dataspace IDs, node-prefixed
+	// for remote ends); Kind is the resource-pair, e.g.
+	// "local-path>local-path".
+	In, Out, Kind string
+	// Streams/SegSize are the route's current operating point.
+	Streams uint32
+	SegSize int64
+	// GoodputBps is the EWMA goodput observed at the operating point.
+	GoodputBps float64
+	// Samples counts all observations on the route.
+	Samples uint64
+	// State is the controller state: seeding, probing, settled, capped.
+	State string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (ar *AutotuneRoute) MarshalWire(e *wire.Encoder) {
+	e.String(1, ar.In)
+	e.String(2, ar.Out)
+	e.String(3, ar.Kind)
+	e.Uint32(4, ar.Streams)
+	e.Int64(5, ar.SegSize)
+	e.Float64(6, ar.GoodputBps)
+	e.Uint64(7, ar.Samples)
+	e.String(8, ar.State)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (ar *AutotuneRoute) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			ar.In = d.String()
+		case 2:
+			ar.Out = d.String()
+		case 3:
+			ar.Kind = d.String()
+		case 4:
+			ar.Streams = d.Uint32()
+		case 5:
+			ar.SegSize = d.Int64()
+		case 6:
+			ar.GoodputBps = d.Float64()
+		case 7:
+			ar.Samples = d.Uint64()
+		case 8:
+			ar.State = d.String()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
 // DaemonStatus is the structured OpStatus report: daemon identity, the
 // pipeline's live gauges, and — when the daemon runs with a durable
 // state directory — what the last journal replay recovered.
@@ -930,6 +987,10 @@ type DaemonStatus struct {
 	RecoveredRunning   uint64
 	RecoveredCancelled uint64
 	RecoveredTerminal  uint64
+	// Autotune reports whether the per-route transfer tuner is enabled;
+	// AutotuneRoutes is its table (routes the daemon has moved data on).
+	Autotune       bool
+	AutotuneRoutes []AutotuneRoute
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -954,6 +1015,17 @@ func (ds *DaemonStatus) MarshalWire(e *wire.Encoder) {
 	}
 	if ds.RecoveredTerminal != 0 {
 		e.Uint64(11, ds.RecoveredTerminal)
+	}
+	if ds.Autotune {
+		e.Bool(12, ds.Autotune)
+	}
+	if len(ds.AutotuneRoutes) > 0 {
+		// Count hint ahead of the rows, same contract as Request.Tasks:
+		// the decoder sizes the slice once, old decoders skip the tag.
+		e.Uint64(14, uint64(len(ds.AutotuneRoutes)))
+	}
+	for i := range ds.AutotuneRoutes {
+		e.Message(13, &ds.AutotuneRoutes[i])
 	}
 }
 
@@ -983,6 +1055,17 @@ func (ds *DaemonStatus) UnmarshalWire(d *wire.Decoder) error {
 			ds.RecoveredCancelled = d.Uint64()
 		case 11:
 			ds.RecoveredTerminal = d.Uint64()
+		case 12:
+			ds.Autotune = d.Bool()
+		case 13:
+			ds.AutotuneRoutes = append(ds.AutotuneRoutes, AutotuneRoute{})
+			d.Message(&ds.AutotuneRoutes[len(ds.AutotuneRoutes)-1])
+		case 14:
+			// Capacity hint only; clamped against the frame's remaining
+			// bytes so a hostile count cannot command the allocation.
+			if n := d.Uint64(); ds.AutotuneRoutes == nil && n > 0 && n <= uint64(d.Remaining()/2) {
+				ds.AutotuneRoutes = make([]AutotuneRoute, 0, n)
+			}
 		default:
 			d.Skip()
 		}

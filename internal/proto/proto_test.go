@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -262,13 +263,20 @@ func TestDaemonStatusRoundTrip(t *testing.T) {
 			RecoveredRunning:   1,
 			RecoveredCancelled: 4,
 			RecoveredTerminal:  9,
+			Autotune:           true,
+			AutotuneRoutes: []AutotuneRoute{
+				{In: "lustre://", Out: "nvme0://", Kind: "local-path>local-path",
+					Streams: 8, SegSize: 16 << 20, GoodputBps: 1.5e9, Samples: 12, State: "settled"},
+				{In: "node2/lustre://", Out: "nvme0://", Kind: "remote-path>local-path",
+					Streams: 4, SegSize: 8 << 20, GoodputBps: 2.5e8, Samples: 3, State: "probing"},
+			},
 		},
 	}
 	out := roundTripResponse(t, in)
 	if out.StatusInfo == nil {
 		t.Fatal("StatusInfo dropped")
 	}
-	if *out.StatusInfo != *in.StatusInfo {
+	if !reflect.DeepEqual(*out.StatusInfo, *in.StatusInfo) {
 		t.Fatalf("status info mismatch:\n got %+v\nwant %+v", *out.StatusInfo, *in.StatusInfo)
 	}
 	// Without a journal the recovery fields stay zero and the message

@@ -1,0 +1,41 @@
+//go:build !race
+
+package storage
+
+// Allocation-regression guard for CopyFile: its copy buffer comes from
+// the shared transfer pool, so repeated copies must not allocate the
+// buffer per call (the pre-PR-6 behavior was a fresh make([]byte, 1<<20)
+// each copy). The budget covers only the per-call file plumbing —
+// opening the source, creating the destination, and MemFS's content
+// slice — so a change that quietly re-introduces the per-call buffer
+// fails here instead of shipping a regression. Runs only without the
+// race detector (its instrumentation allocates).
+
+import "testing"
+
+func TestCopyFileAllocs(t *testing.T) {
+	src := NewMemFS()
+	dst := NewMemFS()
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := src.WriteFile("in", payload); err != nil {
+		t.Fatal(err)
+	}
+	copyOnce := func() {
+		if _, err := CopyFile(dst, "out", src, "in", 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		copyOnce() // warm the buffer pool
+	}
+	// Measured per-call plumbing is ~7 allocations; the pooled 1 MiB
+	// copy buffer would add one more — the budget is tight enough to
+	// catch exactly that.
+	const budget = 7.5
+	if got := testing.AllocsPerRun(100, copyOnce); got > budget {
+		t.Errorf("CopyFile: %.1f allocs/op, budget %.1f (copy buffer leaked out of the pool?)", got, budget)
+	}
+}

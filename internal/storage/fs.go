@@ -29,6 +29,14 @@ var (
 	ErrNoSpace  = errors.New("storage: no space left on device")
 )
 
+// ErrOffloadUnsupported reports that a RangeCopier cannot serve a
+// particular src/dst pair in-kernel — the handles are not real files,
+// the kernel lacks the syscall (ENOSYS), or the pair crosses file
+// systems on a kernel that refuses it (EXDEV). It is a routing signal,
+// not a failure: callers fall back to the portable user-space copy.
+// A short copy may precede it; the returned byte count is always exact.
+var ErrOffloadUnsupported = errors.New("storage: range-copy offload unsupported")
+
 // FileInfo describes a stored file or directory.
 type FileInfo struct {
 	Path    string
@@ -83,6 +91,22 @@ type WriterAtCloser interface {
 // sequential stream.
 type RandomReadFS interface {
 	OpenReaderAt(path string) (ReaderAtCloser, error)
+}
+
+// RangeCopier is the optional kernel-offload capability for local
+// staging: CopyRange moves length bytes from src at srcOff to dst at
+// dstOff without dragging them through a user-space buffer
+// (copy_file_range(2), with sendfile(2) as the in-kernel fallback).
+// The handles are the ones the transfer engine already opened via
+// RandomReadFS/RandomWriteFS; implementations probe whether they are
+// backed by real files and return ErrOffloadUnsupported otherwise, so
+// the caller's user-space path stays the universal fallback.
+//
+// CopyRange must be safe for concurrent use on disjoint ranges — the
+// segmented engine calls it from parallel streams against one handle
+// pair.
+type RangeCopier interface {
+	CopyRange(dst io.WriterAt, dstOff int64, src io.ReaderAt, srcOff, length int64) (int64, error)
 }
 
 // RandomWriteFS is the optional capability for parallel segment writes.

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"github.com/ngioproject/norns-go/internal/bufpool"
 )
 
 // OSFS is an FS rooted at a directory of the host file system. Node-local
@@ -135,6 +137,33 @@ func (o *OSFS) OpenWriterAt(p string, size int64) (WriterAtCloser, error) {
 	return f, nil
 }
 
+// CopyRange implements RangeCopier: when both handles are backed by
+// real files (the ones OpenReaderAt/OpenWriterAt return), the range is
+// copied in-kernel via copy_file_range(2)/sendfile(2); any other
+// handle pair — or a kernel refusal (EXDEV, ENOSYS) — reports
+// ErrOffloadUnsupported so the caller's user-space loop takes over.
+func (o *OSFS) CopyRange(dst io.WriterAt, dstOff int64, src io.ReaderAt, srcOff, length int64) (int64, error) {
+	df := osFileOf(dst)
+	sf := osFileOf(src)
+	if df == nil || sf == nil {
+		return 0, ErrOffloadUnsupported
+	}
+	return rangeCopy(df, sf, dstOff, srcOff, length)
+}
+
+// osFileOf unwraps the *os.File behind a transfer handle: the writer
+// OpenWriterAt returns is one directly, the reader OpenReaderAt
+// returns wraps one.
+func osFileOf(h any) *os.File {
+	switch v := h.(type) {
+	case *os.File:
+		return v
+	case *osReaderAt:
+		return v.f
+	}
+	return nil
+}
+
 // Stat implements FS.
 func (o *OSFS) Stat(p string) (FileInfo, error) {
 	full, err := o.resolve(p)
@@ -254,7 +283,9 @@ func trimOSError(err error) string {
 }
 
 // CopyFile streams src from one FS to dst on another, returning the
-// number of bytes copied. buf sizes the copy buffer (<=0 uses 1 MiB).
+// number of bytes copied. buf sizes the copy buffer (<=0 uses 1 MiB);
+// the buffer itself comes from the shared transfer pool, so repeated
+// copies recycle one working set instead of allocating per call.
 func CopyFile(dst FS, dstPath string, src FS, srcPath string, buf int) (int64, error) {
 	r, err := src.Open(srcPath)
 	if err != nil {
@@ -268,7 +299,9 @@ func CopyFile(dst FS, dstPath string, src FS, srcPath string, buf int) (int64, e
 	if buf <= 0 {
 		buf = 1 << 20
 	}
-	n, err := io.CopyBuffer(w, r, make([]byte, buf))
+	bufp := bufpool.Get(buf)
+	n, err := io.CopyBuffer(w, r, *bufp)
+	bufpool.Put(bufp)
 	if cerr := w.Close(); err == nil {
 		err = cerr
 	}

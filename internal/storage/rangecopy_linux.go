@@ -1,0 +1,140 @@
+//go:build linux && (amd64 || arm64)
+
+package storage
+
+import (
+	"io"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// This file is the kernel half of the RangeCopier capability: on Linux
+// a local→local stage moves its bytes with copy_file_range(2) —
+// page-cache to page-cache inside the kernel, or even a reflink on
+// file systems that support it — instead of a read(2)+write(2) pair
+// through a user-space buffer. When copy_file_range refuses the pair
+// (pre-5.3 kernels return EXDEV across file systems; exotic file
+// systems return EOPNOTSUPP) the copy retries once through
+// sendfile(2), which splices through one kernel buffer and still
+// skips user space. Only when both refuse does rangeCopy report
+// ErrOffloadUnsupported and the caller falls back to the portable
+// copy loop.
+
+// rangeCopy moves length bytes from src at srcOff to dst at dstOff
+// in-kernel. Offsets are explicit (pread/pwrite-style), so concurrent
+// segments can share the two handles without racing on file cursors.
+func rangeCopy(dst, src *os.File, dstOff, srcOff, length int64) (int64, error) {
+	if length <= 0 {
+		return 0, nil
+	}
+	var done int64
+	var copyErr error
+	err := withFd(dst, func(dfd uintptr) error {
+		return withFd(src, func(sfd uintptr) error {
+			done, copyErr = rangeCopyFds(dfd, sfd, dstOff, srcOff, length)
+			return nil
+		})
+	})
+	if err != nil {
+		return 0, ErrOffloadUnsupported
+	}
+	return done, copyErr
+}
+
+// withFd runs fn with f's raw descriptor without putting the file into
+// blocking mode (the os.File.Fd escape hatch would), and keeps the fd
+// alive for the duration of the syscalls.
+func withFd(f *os.File, fn func(fd uintptr) error) error {
+	sc, err := f.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var inner error
+	if cerr := sc.Control(func(fd uintptr) { inner = fn(fd) }); cerr != nil {
+		return cerr
+	}
+	return inner
+}
+
+func rangeCopyFds(dfd, sfd uintptr, dstOff, srcOff, length int64) (int64, error) {
+	var done int64
+	for done < length {
+		si, di := srcOff+done, dstOff+done
+		n, _, errno := syscall.Syscall6(sysCopyFileRange,
+			sfd, uintptr(unsafe.Pointer(&si)),
+			dfd, uintptr(unsafe.Pointer(&di)),
+			uintptr(length-done), 0)
+		if errno != 0 {
+			if !offloadErrno(errno) {
+				return done, errno
+			}
+			if done == 0 {
+				return sendfileRange(dfd, sfd, dstOff, srcOff, length)
+			}
+			// Mid-copy refusal (e.g. the file system's range limit):
+			// report the exact progress; the caller finishes the
+			// remainder in user space.
+			return done, ErrOffloadUnsupported
+		}
+		if n == 0 {
+			// EOF short of the requested range: the source shrank under
+			// the plan, same contract as the user-space copy loop.
+			return done, io.ErrUnexpectedEOF
+		}
+		done += int64(n)
+	}
+	return done, nil
+}
+
+// sendfileRange is the in-kernel fallback when copy_file_range refuses
+// the pair. sendfile writes at the destination descriptor's file-table
+// cursor, which concurrent segments share — so the copy runs against a
+// private dup of the fd, seeked to the segment's offset.
+func sendfileRange(dfd, sfd uintptr, dstOff, srcOff, length int64) (int64, error) {
+	dup, err := syscall.Dup(int(dfd))
+	if err != nil {
+		return 0, ErrOffloadUnsupported
+	}
+	defer syscall.Close(dup)
+	if _, err := syscall.Seek(dup, dstOff, io.SeekStart); err != nil {
+		return 0, ErrOffloadUnsupported
+	}
+	var done int64
+	for done < length {
+		off := srcOff + done
+		chunk := length - done
+		// sendfile caps one call at ~2 GiB; stay far below it.
+		if chunk > 1<<30 {
+			chunk = 1 << 30
+		}
+		n, serr := syscall.Sendfile(dup, int(sfd), &off, int(chunk))
+		if n > 0 {
+			done += int64(n)
+		}
+		if serr != nil {
+			if errno, ok := serr.(syscall.Errno); ok && offloadErrno(errno) {
+				return done, ErrOffloadUnsupported
+			}
+			return done, serr
+		}
+		if n == 0 {
+			return done, io.ErrUnexpectedEOF
+		}
+	}
+	return done, nil
+}
+
+// offloadErrno classifies the errnos that mean "this pair cannot be
+// served in-kernel, use the portable path" rather than "the transfer
+// failed": EXDEV (cross-file-system on kernels that refuse it), ENOSYS
+// (syscall absent), EINVAL (descriptor kind the call rejects — e.g.
+// sendfile to a non-regular file), and EOPNOTSUPP (file system opts
+// out).
+func offloadErrno(errno syscall.Errno) bool {
+	switch errno {
+	case syscall.EXDEV, syscall.ENOSYS, syscall.EINVAL, syscall.EOPNOTSUPP:
+		return true
+	}
+	return false
+}

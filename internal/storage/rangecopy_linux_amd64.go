@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package storage
+
+// copy_file_range(2) syscall number on linux/amd64; Go's frozen
+// syscall package predates the call and does not export it.
+const sysCopyFileRange = 326

@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package storage
+
+// copy_file_range(2) syscall number on linux/arm64.
+const sysCopyFileRange = 285

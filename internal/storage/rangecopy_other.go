@@ -1,0 +1,15 @@
+//go:build !linux || !(amd64 || arm64)
+
+package storage
+
+import "os"
+
+// rangeCopy on platforms without a kernel range-copy syscall always
+// reports ErrOffloadUnsupported; the transfer engine's user-space copy
+// loop is the portable path, so every platform passes the same test
+// matrix through it. (Go's frozen syscall package does not export
+// SYS_COPY_FILE_RANGE, so the number is pinned per supported arch in
+// rangecopy_linux_*.go; other arches take this portable path too.)
+func rangeCopy(dst, src *os.File, dstOff, srcOff, length int64) (int64, error) {
+	return 0, ErrOffloadUnsupported
+}

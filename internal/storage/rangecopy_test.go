@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// pattern fills n bytes with a position-dependent sequence so any
+// misplaced range shows up as a content mismatch, not just a length one.
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i/251)
+	}
+	return b
+}
+
+func newOSFS(t *testing.T) *OSFS {
+	t.Helper()
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// offloadSupported reports whether this platform's rangeCopy can serve
+// the pair at all; tests assert exact behavior only when it can, and
+// assert the ErrOffloadUnsupported contract otherwise — so the same
+// file passes on Linux and on the portable stub.
+func offloadSupported(t *testing.T, fs *OSFS) bool {
+	t.Helper()
+	writeFile(t, fs, "probe-src", "0123456789")
+	r, err := fs.OpenReaderAt("probe-src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	w, err := fs.OpenWriterAt("probe-dst", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	_, err = fs.CopyRange(w, 0, r, 0, 10)
+	if errors.Is(err, ErrOffloadUnsupported) {
+		return false
+	}
+	if err != nil {
+		t.Fatalf("probe CopyRange: %v", err)
+	}
+	return true
+}
+
+func TestOSFSCopyRange(t *testing.T) {
+	fs := newOSFS(t)
+	if !offloadSupported(t, fs) {
+		t.Skip("kernel range-copy unavailable on this platform")
+	}
+	src := pattern(1 << 20)
+	writeFile(t, fs, "src", string(src))
+	r, err := fs.OpenReaderAt("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	t.Run("whole file", func(t *testing.T) {
+		w, err := fs.OpenWriterAt("dst-whole", int64(len(src)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := fs.CopyRange(w, 0, r, 0, int64(len(src)))
+		if err != nil || n != int64(len(src)) {
+			t.Fatalf("CopyRange = (%d, %v), want (%d, nil)", n, err, len(src))
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readFile(t, fs, "dst-whole"); !bytes.Equal([]byte(got), src) {
+			t.Fatal("copied content differs from source")
+		}
+	})
+
+	t.Run("disjoint ranges on shared handles", func(t *testing.T) {
+		// Segment streams share one (src, dst) handle pair; explicit
+		// offsets must keep them from racing on file cursors.
+		w, err := fs.OpenWriterAt("dst-ranges", int64(len(src)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := int64(len(src) / 2)
+		done := make(chan error, 2)
+		for _, seg := range []struct{ off, n int64 }{{0, half}, {half, int64(len(src)) - half}} {
+			go func(off, n int64) {
+				cn, err := fs.CopyRange(w, off, r, off, n)
+				if err == nil && cn != n {
+					err = io.ErrShortWrite
+				}
+				done <- err
+			}(seg.off, seg.n)
+		}
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil {
+				t.Fatalf("segment copy: %v", err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readFile(t, fs, "dst-ranges"); !bytes.Equal([]byte(got), src) {
+			t.Fatal("reassembled content differs from source")
+		}
+	})
+
+	t.Run("source shrank under the plan", func(t *testing.T) {
+		w, err := fs.OpenWriterAt("dst-short", int64(len(src))+4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		n, err := fs.CopyRange(w, 0, r, 0, int64(len(src))+4096)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("CopyRange past EOF = (%d, %v), want ErrUnexpectedEOF", n, err)
+		}
+		if n != int64(len(src)) {
+			t.Fatalf("partial count = %d, want %d", n, len(src))
+		}
+	})
+}
+
+func TestOSFSCopyRangeForeignHandles(t *testing.T) {
+	// Handles not backed by *os.File (a MemFS pair, plain byte readers)
+	// must route to the portable path, not fail the transfer.
+	fs := newOSFS(t)
+	mem := NewMemFS()
+	writeFile(t, mem, "src", "hello")
+	r, err := mem.OpenReaderAt("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	w, err := fs.OpenWriterAt("dst", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if n, err := fs.CopyRange(w, 0, r, 0, 5); !errors.Is(err, ErrOffloadUnsupported) || n != 0 {
+		t.Fatalf("CopyRange(memfs src) = (%d, %v), want (0, ErrOffloadUnsupported)", n, err)
+	}
+}

@@ -481,6 +481,19 @@ func (t *Task) RestoreSegments(segSize, planBytes int64, bits []byte) {
 	t.mu.Unlock()
 }
 
+// RestoredSegSize reports the segment size of a waiting restored
+// checkpoint (0: none). The transfer engine pins a resumed task's plan
+// to it so an autotuner that moved the route's segment size between
+// crash and restart does not silently discard the checkpoint.
+func (t *Task) RestoredSegSize() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.restoredBits) == 0 {
+		return 0
+	}
+	return t.restoredSegSize
+}
+
 // HasRestoredSegments reports whether a journaled checkpoint is waiting
 // to be validated against the next transfer plan.
 func (t *Task) HasRestoredSegments() bool {

@@ -1,0 +1,367 @@
+package transfer
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/dataspace"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// newOSCtx builds an Env over two OSFS-backed dataspaces, the setup
+// under which local→local staging can use the kernel offload path. The
+// same tests run unchanged where the kernel path is unavailable — the
+// engine falls back segment-exactly, which is itself the contract.
+func newOSCtx(t *testing.T) *Env {
+	t.Helper()
+	local := dataspace.NewRegistry()
+	for _, id := range []string{"nvme0://", "lustre://"} {
+		fs, err := storage.NewOSFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := local.Register(id, dataspace.Backend{Kind: dataspace.NVM, FS: fs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Env{Spaces: local}
+}
+
+func writeOS(t *testing.T, env *Env, ds, path string, data []byte) {
+	t.Helper()
+	w, err := fsOf(t, env, ds).Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readOS(t *testing.T, env *Env, ds, path string) []byte {
+	t.Helper()
+	r, err := fsOf(t, env, ds).Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestOffloadLocalToLocal runs the same local→local matrix with the
+// offload path enabled and disabled: byte counts, content, and segment
+// accounting must be identical — the kernel path is an optimization,
+// never a semantic.
+func TestOffloadLocalToLocal(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"offload", false},
+		{"user-space", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := newOSCtx(t)
+			env.SegmentSize = 256 << 10
+			env.DisableOffload = tc.disable
+			payload := patterned(1<<20 + 12345) // 5 segments, last short
+			writeOS(t, env, "lustre://", "in.dat", payload)
+			tk := task.New(61, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+			st := runTask(t, env, tk)
+			if st.Status != task.Finished {
+				t.Fatalf("stats = %+v", st)
+			}
+			if st.MovedBytes != int64(len(payload)) || st.TotalBytes != int64(len(payload)) {
+				t.Fatalf("byte accounting = moved %d total %d, want %d", st.MovedBytes, st.TotalBytes, len(payload))
+			}
+			if st.SegmentsDone != 5 || st.SegmentsTotal != 5 {
+				t.Fatalf("segments = %d/%d, want 5/5", st.SegmentsDone, st.SegmentsTotal)
+			}
+			if got := readOS(t, env, "nvme0://", "out.dat"); !bytes.Equal(got, payload) {
+				t.Fatalf("content mismatch: %d bytes", len(got))
+			}
+		})
+	}
+}
+
+// TestOffloadMeteredByGovernor: offloaded bytes must still pass through
+// the bandwidth limiter (pre-admitted windows), so a capped transfer
+// takes cap-shaped time even when the kernel moves the bytes.
+func TestOffloadMeteredByGovernor(t *testing.T) {
+	env := newOSCtx(t)
+	env.BufSize = 64 << 10
+	payload := patterned(768 << 10)
+	writeOS(t, env, "lustre://", "in.dat", payload)
+	tk := task.New(62, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	tk.MaxBps = 1 << 20 // 1 MiB/s over 768 KiB: ≥0.5s after the burst
+	start := time.Now()
+	st := runTask(t, env, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("offloaded transfer ignored the cap: 768 KiB in %v at 1 MiB/s", elapsed)
+	}
+}
+
+// TestOffloadResumeFromBitmap: crash-injection on the offload path. A
+// first run is interrupted after two segments landed; the re-run
+// restores the journaled bitmap and must move only the remainder, with
+// the final file byte-exact.
+func TestOffloadResumeFromBitmap(t *testing.T) {
+	env := newOSCtx(t)
+	env.SegmentSize = 256 << 10
+	env.Streams = 1               // deterministic landing order for the crash point
+	payload := patterned(1 << 20) // 4 segments
+	writeOS(t, env, "lustre://", "in.dat", payload)
+
+	// First run: capture each checkpoint like the daemon's journal hook,
+	// and kill the transfer after the second segment lands.
+	runCtx, cancel := context.WithCancel(context.Background())
+	var segSize, planBytes int64
+	var bits []byte
+	env.OnSegment = func(tk *task.Task) {
+		segSize, planBytes, bits = tk.SegmentBitmap()
+		if tk.Stats().SegmentsDone == 2 {
+			cancel()
+		}
+	}
+	tk := task.New(63, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	NewExecutor(env).Execute(runCtx, tk)
+	if st := tk.Stats(); st.Status != task.Failed && st.Status != task.Cancelled {
+		t.Fatalf("interrupted run terminated as %v", st.Status)
+	}
+	if planBytes != 1<<20 || len(bits) == 0 {
+		t.Fatalf("checkpoint not captured: segSize=%d plan=%d bits=%v", segSize, planBytes, bits)
+	}
+
+	// Re-run (fresh task, as after a daemon restart), seeded with the
+	// journaled checkpoint.
+	env.OnSegment = nil
+	tk2 := task.New(64, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	tk2.RestoreSegments(segSize, planBytes, bits)
+	st := runTask(t, env, tk2)
+	if st.Status != task.Finished {
+		t.Fatalf("resume stats = %+v", st)
+	}
+	if st.MovedBytes != 1<<20-2*(256<<10) {
+		t.Fatalf("resume re-copied %d bytes, want %d", st.MovedBytes, 1<<20-2*(256<<10))
+	}
+	if got := readOS(t, env, "nvme0://", "out.dat"); !bytes.Equal(got, payload) {
+		t.Fatalf("resumed content mismatch: %d bytes", len(got))
+	}
+}
+
+// TestOffloadResumePinsRestoredSegSize: a route whose segment size the
+// autotuner moved between crash and restart must still resume from the
+// old checkpoint — the restored segment size pins the plan.
+func TestOffloadResumePinsRestoredSegSize(t *testing.T) {
+	env := newOSCtx(t)
+	env.SegmentSize = 512 << 10 // "retuned" static config
+	payload := patterned(1 << 20)
+	writeOS(t, env, "lustre://", "in.dat", payload)
+	partial := make([]byte, len(payload))
+	copy(partial[:512<<10], payload[:512<<10])
+	writeOS(t, env, "nvme0://", "out.dat", partial)
+	tk := task.New(65, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	tk.RestoreSegments(256<<10, 1<<20, []byte{0x03}) // segments 0-1 of the OLD 256 KiB plan
+	st := runTask(t, env, tk)
+	if st.Status != task.Finished {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MovedBytes != 512<<10 {
+		t.Fatalf("pinned resume moved %d bytes, want %d (checkpoint discarded?)", st.MovedBytes, 512<<10)
+	}
+	if got := readOS(t, env, "nvme0://", "out.dat"); !bytes.Equal(got, payload) {
+		t.Fatalf("content mismatch: %d bytes", len(got))
+	}
+}
+
+// refusingFS wraps a MemFS with a RangeCopier that moves part of the
+// first window "in-kernel" (simulated) and then refuses — the EXDEV
+// mid-transfer shape. The engine must finish user-space with exact
+// bytes.
+type refusingFS struct {
+	*storage.MemFS
+	partial int64 // bytes "offloaded" before the refusal
+	calls   int
+}
+
+func (rc *refusingFS) CopyRange(dst io.WriterAt, dstOff int64, src io.ReaderAt, srcOff, length int64) (int64, error) {
+	rc.calls++
+	n := rc.partial
+	if n > length {
+		n = length
+	}
+	if n > 0 {
+		buf := make([]byte, n)
+		if _, err := src.ReadAt(buf, srcOff); err != nil {
+			return 0, err
+		}
+		if _, err := dst.WriteAt(buf, dstOff); err != nil {
+			return 0, err
+		}
+	}
+	return n, storage.ErrOffloadUnsupported
+}
+
+func TestOffloadMidCopyRefusalFallsBack(t *testing.T) {
+	ctx, _ := newCtx(t)
+	ctx.SegmentSize = 256 << 10
+	base := fsOf(t, ctx, "nvme0://").(*storage.MemFS)
+	rc := &refusingFS{MemFS: base, partial: 10_000}
+	// Re-register the destination behind the refusing wrapper.
+	if err := ctx.Spaces.Unregister("nvme0://"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Spaces.Register("nvme0://", dataspace.Backend{Kind: dataspace.NVM, FS: rc}); err != nil {
+		t.Fatal(err)
+	}
+	payload := patterned(1 << 20)
+	if err := fsOf(t, ctx, "lustre://").(*storage.MemFS).WriteFile("in.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(66, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	st := runTask(t, ctx, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	got, err := base.ReadFile("out.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("content mismatch after mid-copy refusal (%d bytes, %v)", len(got), err)
+	}
+	if rc.calls != 1 {
+		t.Fatalf("refusal was probed %d times, want 1 (sticky per transfer)", rc.calls)
+	}
+}
+
+// TestOffloadCrossFS: an EXDEV-shaped pair — OSFS roots on (potentially)
+// different file systems still land exact bytes whichever path serves
+// them. /dev/shm vs the test tmpdir is cross-FS on typical CI hosts.
+func TestOffloadCrossFS(t *testing.T) {
+	shm, err := os.MkdirTemp("/dev/shm", "norns-xfs-")
+	if err != nil {
+		t.Skip("no /dev/shm")
+	}
+	t.Cleanup(func() { os.RemoveAll(shm) })
+	local := dataspace.NewRegistry()
+	srcFS, err := storage.NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstFS, err := storage.NewOSFS(filepath.Join(shm, "dst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Register("lustre://", dataspace.Backend{Kind: dataspace.ParallelFS, FS: srcFS}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Register("nvme0://", dataspace.Backend{Kind: dataspace.NVM, FS: dstFS}); err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{Spaces: local, SegmentSize: 256 << 10}
+	payload := patterned(1 << 20)
+	writeOS(t, env, "lustre://", "in.dat", payload)
+	tk := task.New(67, task.Copy, task.PosixPath("lustre://", "in.dat"), task.PosixPath("nvme0://", "out.dat"))
+	st := runTask(t, env, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := readOS(t, env, "nvme0://", "out.dat"); !bytes.Equal(got, payload) {
+		t.Fatalf("cross-FS content mismatch: %d bytes", len(got))
+	}
+}
+
+// --- copyRange edge paths ---
+
+// shortWriter truncates every WriteAt to half the chunk.
+type shortWriter struct{ w io.WriterAt }
+
+func (s *shortWriter) WriteAt(b []byte, off int64) (int, error) {
+	if len(b) > 1 {
+		b = b[:len(b)/2]
+	}
+	n, err := s.w.WriteAt(b, off)
+	return n, err
+}
+
+func TestCopyRangeShortWrite(t *testing.T) {
+	src := bytes.NewReader(patterned(64 << 10))
+	dst := storage.NewMemFS()
+	w, err := dst.OpenWriterAt("out", 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	n, err := copyRange(context.Background(), &shortWriter{w}, src, 0, 64<<10, 16<<10, limiter{}, nil)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("copyRange = (%d, %v), want ErrShortWrite", n, err)
+	}
+	if n != 8<<10 {
+		t.Fatalf("done = %d, want the %d bytes actually written", n, 8<<10)
+	}
+}
+
+func TestCopyRangeSourceShrank(t *testing.T) {
+	src := bytes.NewReader(patterned(40 << 10)) // plan says 64 KiB
+	dst := storage.NewMemFS()
+	w, err := dst.OpenWriterAt("out", 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	n, err := copyRange(context.Background(), w, src, 0, 64<<10, 16<<10, limiter{}, nil)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("copyRange = (%d, %v), want ErrUnexpectedEOF", n, err)
+	}
+	if n != 40<<10 {
+		t.Fatalf("done = %d, want %d", n, 40<<10)
+	}
+}
+
+func TestCopyRangeLimiterCancelMidChunk(t *testing.T) {
+	// A cap far below the chunk size parks the second wait in debt
+	// sleep; cancelling the context must interrupt it mid-transfer.
+	src := bytes.NewReader(patterned(1 << 20))
+	dst := storage.NewMemFS()
+	w, err := dst.OpenWriterAt("out", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	lim := limiter{global: NewGovernor(64 << 10)} // 64 KiB/s vs 1 MiB plan
+	start := time.Now()
+	var progressed int64
+	n, err := copyRange(cctx, w, src, 0, 1<<20, 64<<10, lim, func(d int64) { progressed += d })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("copyRange = (%d, %v), want context.Canceled", n, err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v; limiter sleep not interrupted", elapsed)
+	}
+	if n != progressed {
+		t.Fatalf("returned %d but progress reported %d", n, progressed)
+	}
+	if n >= 1<<20 {
+		t.Fatal("transfer completed despite cancel")
+	}
+}

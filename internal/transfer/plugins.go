@@ -8,6 +8,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/bufpool"
 	"github.com/ngioproject/norns-go/internal/dataspace"
@@ -88,6 +89,14 @@ type Env struct {
 	// Governor is the daemon-wide bandwidth cap shared by every transfer
 	// (nil: unlimited). Tasks with a MaxBps carry their own second cap.
 	Governor *Governor
+	// DisableOffload forces local copies through the user-space loop even
+	// when the destination FS offers the kernel RangeCopier capability.
+	// An escape hatch (and the control arm of the offload benchmark);
+	// off by default.
+	DisableOffload bool
+	// Tuner, when set, adapts streams/segment-size per route from
+	// observed goodput; nil keeps the static configuration.
+	Tuner *Tuner
 	// OnSegment, when set, is invoked after each completed segment — the
 	// daemon journals the task's segment bitmap there so a restart
 	// resumes from the last checkpoint.
@@ -145,6 +154,41 @@ func (c *Env) segmentRetries() int {
 // execution) under the daemon-wide governor.
 func (c *Env) limiterFor(t *task.Task) limiter {
 	return limiter{global: c.Governor, task: NewGovernor(t.MaxBps)}
+}
+
+// shapeFor resolves the operating point for one task: the static env
+// configuration, overridden by the route's tuned point when a tuner is
+// live — except that a task resuming from a journaled checkpoint pins
+// the checkpoint's segment size, so a tuner that moved the route
+// between crash and restart cannot invalidate the bitmap.
+func (c *Env) shapeFor(t *task.Task) Shape {
+	sh := Shape{Streams: c.streams(), SegSize: c.segmentSize()}
+	if c.Tuner != nil {
+		sh = c.Tuner.ShapeFor(routeOf(t), sh)
+	}
+	if pinned := t.RestoredSegSize(); pinned > 0 {
+		sh.SegSize = pinned
+	}
+	return sh
+}
+
+// capFor is the tightest bandwidth cap applying to one task in bytes
+// per second (0: unlimited) — what the tuner compares goodput against
+// to recognize a governor-shaped plateau.
+func (c *Env) capFor(t *task.Task) int64 {
+	cap := c.Governor.Rate()
+	if t.MaxBps > 0 && (cap == 0 || t.MaxBps < cap) {
+		cap = t.MaxBps
+	}
+	return cap
+}
+
+// observe feeds one completed transfer's goodput back to the tuner.
+func (c *Env) observe(t *task.Task, sh Shape, bytes int64, dur time.Duration) {
+	if c.Tuner == nil || bytes <= 0 || dur <= 0 {
+		return
+	}
+	c.Tuner.Observe(routeOf(t), sh, float64(bytes)/dur.Seconds(), c.capFor(t))
 }
 
 // checkpoint runs the daemon's segment-completion hook.
@@ -304,12 +348,12 @@ func (c *Env) validateResume(t *task.Task, dstFS storage.FS, dstPath string, pla
 	}
 }
 
-// planPending plans a transfer of size bytes, installs the plan on the
-// task (which validates any restored checkpoint against it), and
-// returns the segments still to move.
-func (c *Env) planPending(t *task.Task, size int64) []Segment {
-	segs := Plan(size, c.segmentSize())
-	already := t.InitSegments(c.segmentSize(), size, len(segs))
+// planPending plans a transfer of size bytes in segSize segments,
+// installs the plan on the task (which validates any restored
+// checkpoint against it), and returns the segments still to move.
+func (c *Env) planPending(t *task.Task, segSize, size int64) []Segment {
+	segs := Plan(size, segSize)
+	already := t.InitSegments(segSize, size, len(segs))
 	pending := segs[:0:0]
 	for _, sg := range segs {
 		if !already[sg.Index] {
@@ -323,12 +367,23 @@ func (c *Env) planPending(t *task.Task, size int64) []Segment {
 // size, skip the ones a restored checkpoint already landed, and move the
 // rest on parallel streams via random-access reads and writes. src must
 // serve concurrent ReadAt; w concurrent WriteAt on disjoint ranges.
-func copySegmented(ctx context.Context, env *Env, t *task.Task, src io.ReaderAt, w storage.WriterAtCloser, size int64, progress func(int64)) (int64, error) {
-	pending := env.planPending(t, size)
+// When off is live each segment first tries the in-kernel range copy,
+// dropping to the user-space loop for the whole transfer on the first
+// refusal. Completed transfers report their goodput to the tuner.
+func copySegmented(ctx context.Context, env *Env, t *task.Task, src io.ReaderAt, w storage.WriterAtCloser, size int64, off *offload, progress func(int64)) (int64, error) {
+	sh := env.shapeFor(t)
+	pending := env.planPending(t, sh.SegSize, size)
 	lim := env.limiterFor(t)
 	prog, moved := counted(progress)
-	err := RunSegments(ctx, pending, env.streams(), func(ctx context.Context, stream int, sg Segment) error {
-		if _, cerr := copyRange(ctx, w, src, sg.Off, sg.Len, env.bufSize(), lim, prog); cerr != nil {
+	start := time.Now()
+	err := RunSegments(ctx, pending, sh.Streams, func(ctx context.Context, stream int, sg Segment) error {
+		var cerr error
+		if off.active() {
+			_, cerr = copyRangeOffload(ctx, off, w, src, sg.Off, sg.Len, env.bufSize(), lim, prog)
+		} else {
+			_, cerr = copyRange(ctx, w, src, sg.Off, sg.Len, env.bufSize(), lim, prog)
+		}
+		if cerr != nil {
 			return cerr
 		}
 		t.CompleteSegment(sg.Index)
@@ -338,7 +393,11 @@ func copySegmented(ctx context.Context, env *Env, t *task.Task, src io.ReaderAt,
 	if cerr := w.Close(); err == nil {
 		err = cerr
 	}
-	return atomic.LoadInt64(moved), err
+	n := atomic.LoadInt64(moved)
+	if err == nil {
+		env.observe(t, sh, n, time.Since(start))
+	}
+	return n, err
 }
 
 // copySequential is the fallback for backends without random access:
@@ -377,7 +436,7 @@ func memToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64
 		if err != nil {
 			return 0, err
 		}
-		return copySegmented(ctx, env, t, bytes.NewReader(t.Input.Data), w, size, progress)
+		return copySegmented(ctx, env, t, bytes.NewReader(t.Input.Data), w, size, nil, progress)
 	}
 	return copySequential(ctx, env, t, bytes.NewReader(t.Input.Data), fs, t.Output.Path, progress)
 }
@@ -405,9 +464,14 @@ func memToRemote(ctx context.Context, env *Env, t *task.Task, progress func(int6
 	return n, err
 }
 
-// localToLocal is "local path => local path", the sendfile(2) row: a
-// segmented parallel copy between two dataspace FSes when both support
-// random access, a chunked stream copy otherwise.
+// localToLocal is "local path => local path", the sendfile(2) row — on
+// Linux now literally so: when the destination FS offers the kernel
+// RangeCopier capability, each segment first tries copy_file_range(2)/
+// sendfile(2) and only a refusal (cross-FS EXDEV, non-file handles,
+// old kernels) drops the transfer to the segmented user-space copy.
+// Both paths meter through the same limiter and land the same segment
+// checkpoints. Without random access on either side it is a chunked
+// stream copy.
 func localToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
 	srcFS, err := env.fs(t.Input.Dataspace)
 	if err != nil {
@@ -430,7 +494,7 @@ func localToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int
 		if err != nil {
 			return 0, err
 		}
-		return copySegmented(ctx, env, t, r, w, r.Size(), progress)
+		return copySegmented(ctx, env, t, r, w, r.Size(), newOffload(dstFS, env.DisableOffload), progress)
 	}
 	r, err := srcFS.Open(t.Input.Path)
 	if err != nil {
@@ -519,7 +583,8 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 	if err != nil {
 		return 0, err
 	}
-	pending := env.planPending(t, size)
+	sh := env.shapeFor(t)
+	pending := env.planPending(t, sh.SegSize, size)
 	lim := env.limiterFor(t)
 	prog, moved := counted(progress)
 	retries := env.segmentRetries()
@@ -527,10 +592,11 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 	// sequential adapter would thrash it (reopen-and-discard per out-of-
 	// order chunk); drop to one stream then — the plan stays segmented,
 	// so checkpoints and resume still work.
-	streams := env.streams()
+	streams := sh.Streams
 	if !rf.Concurrent() {
 		streams = 1
 	}
+	start := time.Now()
 	err = RunSegments(ctx, pending, streams, func(ctx context.Context, stream int, sg Segment) error {
 		for attempt := 0; ; attempt++ {
 			sink := &segmentSink{ctx: ctx, w: w, base: sg.Off, size: sg.Len, lim: lim, progress: prog}
@@ -559,7 +625,14 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 	if cerr := w.Close(); err == nil {
 		err = cerr
 	}
-	return atomic.LoadInt64(moved), err
+	n := atomic.LoadInt64(moved)
+	// Feed the tuner only when the transfer actually ran at the resolved
+	// shape — a peer forcing the single-stream fallback would otherwise
+	// credit goodput to a point the transfer never used.
+	if err == nil && streams == sh.Streams {
+		env.observe(t, sh, n, time.Since(start))
+	}
+	return n, err
 }
 
 // removeLocal deletes a path (file or tree) from a local dataspace.

@@ -18,8 +18,9 @@ import (
 
 // fsReadProvider adapts an FS file to mercury.BulkProvider for the
 // ascending-offset reads bulk transfers perform. Random access is
-// supported by reopening, so the adapter stays correct (just slower) if
-// a peer reads out of order.
+// supported by seeking when the FS hands out seekable files, and by
+// reopening otherwise, so the adapter stays correct (just slower) if a
+// peer reads out of order.
 type fsReadProvider struct {
 	fs   storage.FS
 	path string
@@ -28,6 +29,11 @@ type fsReadProvider struct {
 	mu  sync.Mutex
 	r   io.ReadCloser
 	off int64
+	// seekable caches whether this FS's files support io.Seeker, probed
+	// once on the first out-of-order read: 0 unknown, 1 seekable, -1
+	// not. Without the cache every repeat range read on a non-seekable
+	// FS pays an O(off) reopen-and-discard before the probe even fails.
+	seekable int8
 }
 
 // NewFSReadProvider opens path on fs for bulk reading. An FS with
@@ -84,20 +90,9 @@ func (p *fsReadProvider) ReadAt(b []byte, off int64) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.r == nil || off != p.off {
-		if p.r != nil {
-			p.r.Close()
-		}
-		r, err := p.fs.Open(p.path)
-		if err != nil {
+		if err := p.position(off); err != nil {
 			return 0, err
 		}
-		if off > 0 {
-			if _, err := io.CopyN(io.Discard, r, off); err != nil {
-				r.Close()
-				return 0, err
-			}
-		}
-		p.r, p.off = r, off
 	}
 	n, err := io.ReadFull(p.r, b)
 	p.off += int64(n)
@@ -105,6 +100,53 @@ func (p *fsReadProvider) ReadAt(b []byte, off int64) (int, error) {
 		err = io.EOF
 	}
 	return n, err
+}
+
+// probeSeek records (once) whether r supports io.Seeker.
+func (p *fsReadProvider) probeSeek(r io.ReadCloser) bool {
+	if p.seekable == 0 {
+		if _, ok := r.(io.Seeker); ok {
+			p.seekable = 1
+		} else {
+			p.seekable = -1
+		}
+	}
+	return p.seekable > 0
+}
+
+// position makes the reader current at off. Seekable files get a
+// cursor move; only non-seekable ones pay the O(off) reopen-and-
+// discard, and the capability is cached so the choice is made once per
+// provider, not per out-of-order read.
+func (p *fsReadProvider) position(off int64) error {
+	if p.r != nil {
+		if p.probeSeek(p.r) {
+			if _, err := p.r.(io.Seeker).Seek(off, io.SeekStart); err == nil {
+				p.off = off
+				return nil
+			}
+			// The handle refuses to seek (pipe-backed?): reopen below.
+		}
+		p.r.Close()
+		p.r = nil
+	}
+	r, err := p.fs.Open(p.path)
+	if err != nil {
+		return err
+	}
+	if off > 0 {
+		if p.probeSeek(r) {
+			if _, err := r.(io.Seeker).Seek(off, io.SeekStart); err != nil {
+				r.Close()
+				return err
+			}
+		} else if _, err := io.CopyN(io.Discard, r, off); err != nil {
+			r.Close()
+			return err
+		}
+	}
+	p.r, p.off = r, off
+	return nil
 }
 
 // WriteAt implements io.WriterAt (always fails: read-only provider).

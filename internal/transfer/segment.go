@@ -2,12 +2,15 @@ package transfer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ngioproject/norns-go/internal/bufpool"
+	"github.com/ngioproject/norns-go/internal/storage"
 )
 
 // This file implements the segmented transfer engine: a planner that
@@ -153,6 +156,83 @@ func copyRange(ctx context.Context, dst io.WriterAt, src io.ReaderAt, off, lengt
 	return done, nil
 }
 
+// offload carries the per-transfer kernel-offload state: the optional
+// RangeCopier capability of the destination FS, and a sticky flag that
+// records the first ErrOffloadUnsupported so later segments skip the
+// doomed probe. nil *offload (or a nil copier) means user-space only.
+type offload struct {
+	rc     storage.RangeCopier
+	broken atomic.Bool
+}
+
+// newOffload probes dstFS for the kernel range-copy capability; the
+// returned state is shared by all of one transfer's segment streams.
+func newOffload(dstFS storage.FS, disabled bool) *offload {
+	if disabled {
+		return nil
+	}
+	rc, ok := dstFS.(storage.RangeCopier)
+	if !ok {
+		return nil
+	}
+	return &offload{rc: rc}
+}
+
+// active reports whether the offload path should still be probed.
+func (o *offload) active() bool { return o != nil && !o.broken.Load() }
+
+// copyRangeOffload moves [off, off+length) from src to dst like
+// copyRange, but through the kernel (copy_file_range/sendfile) so the
+// bytes never enter user space. Throttled transfers offload in
+// bufSize-sized pre-admitted windows — the limiter admits each window
+// before the kernel moves it, so bandwidth caps meter offloaded bytes
+// exactly as copied ones; unlimited transfers offload the whole range
+// in one call. On ErrOffloadUnsupported the sticky flag trips and the
+// remainder (current window included) is finished by the user-space
+// loop, with progress and byte counts staying exact across the seam.
+func copyRangeOffload(ctx context.Context, o *offload, dst io.WriterAt, src io.ReaderAt, off, length int64, bufSize int, lim limiter, progress func(int64)) (int64, error) {
+	var done int64
+	for done < length {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		if !o.active() {
+			n, err := copyRange(ctx, dst, src, off+done, length-done, bufSize, lim, progress)
+			return done + n, err
+		}
+		window := length - done
+		if !lim.unlimited() && window > int64(bufSize) {
+			window = int64(bufSize)
+		}
+		if err := lim.wait(ctx, int(window)); err != nil {
+			return done, err
+		}
+		wn, err := o.rc.CopyRange(dst, off+done, src, off+done, window)
+		if wn > 0 {
+			done += wn
+			if progress != nil {
+				progress(wn)
+			}
+		}
+		if err != nil {
+			if errors.Is(err, storage.ErrOffloadUnsupported) {
+				// Fall back transparently: this destination (or this
+				// src/dst pair) cannot be served in-kernel. The window
+				// already admitted through the limiter is at most one
+				// bufSize over-admission, paid back by the bucket's debt
+				// model.
+				o.broken.Store(true)
+				continue
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return done, fmt.Errorf("transfer: short read at %d: %w", off+done, io.ErrUnexpectedEOF)
+			}
+			return done, err
+		}
+	}
+	return done, nil
+}
+
 // Governor is a token-bucket bandwidth limiter shared by every transfer
 // the daemon runs — the staging throttle of the paper's interference
 // experiments (urd -max-bandwidth). The bucket allows a burst of up to
@@ -184,6 +264,43 @@ func NewGovernor(bytesPerSec int64) *Governor {
 		tokens: rate / 4,
 		last:   time.Now(),
 	}
+}
+
+// Rate reports the configured cap in bytes per second (0 for a nil —
+// unlimited — governor). The autotuner reads it to tell a
+// governor-shaped plateau from a medium-shaped one.
+func (g *Governor) Rate() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return int64(g.rate)
+}
+
+// SetRate retunes the governor to bytesPerSec bytes per second without
+// dropping accumulated debt: tokens accrue at the old rate up to now,
+// then the bucket switches over — an overdraft incurred under the old
+// cap is still paid off (at the new rate) before more bytes pass, and
+// a positive balance is clamped to the new burst. bytesPerSec <= 0 is
+// ignored (a live governor cannot become unlimited, and a nil governor
+// stays nil); in-flight Waits sleeping off earlier debt finish their
+// computed sleep, so the long-run rate converges on the new cap within
+// one chunk.
+func (g *Governor) SetRate(bytesPerSec int64) {
+	if g == nil || bytesPerSec <= 0 {
+		return
+	}
+	g.mu.Lock()
+	now := time.Now()
+	g.tokens += now.Sub(g.last).Seconds() * g.rate
+	g.last = now
+	g.rate = float64(bytesPerSec)
+	g.burst = g.rate / 4
+	if g.tokens > g.burst {
+		g.tokens = g.burst
+	}
+	g.mu.Unlock()
 }
 
 // Wait blocks until n bytes may pass (or ctx is done). See Governor for
@@ -228,3 +345,6 @@ func (l limiter) wait(ctx context.Context, n int) error {
 	}
 	return l.task.Wait(ctx, n)
 }
+
+// unlimited reports whether no bandwidth cap applies on this transfer.
+func (l limiter) unlimited() bool { return l.global == nil && l.task == nil }

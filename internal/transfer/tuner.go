@@ -1,0 +1,307 @@
+package transfer
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// This file implements the per-route transfer autotuner: a small
+// feedback controller that adapts the engine's two operating knobs —
+// segment concurrency and segment size — to each route's observed
+// goodput, instead of trusting one static configuration to fit NVMe
+// staging and a congested parallel FS equally well.
+//
+// The controller is deliberately simple: greedy first-improvement hill
+// climbing around the current operating point. A route starts at the
+// daemon's static configuration (the urd -transfer-streams /
+// -segment-size flags remain the initial operating point and escape
+// hatch), seeds a baseline EWMA, then probes one neighbor at a time —
+// doubled streams, doubled segment size, halved streams, halved
+// segment size. A neighbor that beats the operating point by the
+// improvement threshold becomes the new operating point and probing
+// restarts around it; a full lap without improvement settles the
+// route. Goodput at or near an active bandwidth cap reads as a
+// ceiling, not a signal: capped samples settle the route instead of
+// steering it, and the route re-opens when the cap stops binding.
+
+// Tuner bounds and controller constants.
+const (
+	minStreams  = 1
+	maxStreams  = 32
+	minSegSize  = 256 << 10
+	maxSegSize  = 64 << 20
+	ewmaAlpha   = 0.5  // weight of the newest sample
+	improveFrac = 0.05 // neighbor must beat the operating point by 5%
+	cappedFrac  = 0.90 // goodput >= 90% of the active cap reads as capped
+	// DefaultTuneMinSamples is how many observations a point needs
+	// before the controller scores it (urd -autotune-min-samples).
+	DefaultTuneMinSamples = 2
+)
+
+// Route identifies one tuning domain: where the bytes come from, where
+// they land, and through which provider pair they move. Dataspaces on
+// other nodes are prefixed by the node, so "pull from node2's lustre"
+// and "pull from node3's lustre" tune independently.
+type Route struct {
+	In, Out string
+	Kind    string
+}
+
+// routeOf keys a task to its tuning domain.
+func routeOf(t *task.Task) Route {
+	in := t.Input.Dataspace
+	if t.Input.Node != "" {
+		in = t.Input.Node + "/" + in
+	}
+	out := t.Output.Dataspace
+	if t.Output.Node != "" {
+		out = t.Output.Node + "/" + out
+	}
+	return Route{In: in, Out: out, Kind: t.Input.Kind.String() + ">" + t.Output.Kind.String()}
+}
+
+// Shape is one operating point of the segmented engine.
+type Shape struct {
+	Streams int
+	SegSize int64
+}
+
+// clamp forces the shape into the tuner's bounds.
+func (s Shape) clamp() Shape {
+	if s.Streams < minStreams {
+		s.Streams = minStreams
+	}
+	if s.Streams > maxStreams {
+		s.Streams = maxStreams
+	}
+	if s.SegSize < minSegSize {
+		s.SegSize = minSegSize
+	}
+	if s.SegSize > maxSegSize {
+		s.SegSize = maxSegSize
+	}
+	return s
+}
+
+// neighbors are the probe moves around an operating point, in probe
+// order. Moves that leave the bounds (or change nothing) are skipped.
+func (s Shape) neighbors() []Shape {
+	cand := []Shape{
+		{Streams: s.Streams * 2, SegSize: s.SegSize},
+		{Streams: s.Streams, SegSize: s.SegSize * 2},
+		{Streams: s.Streams / 2, SegSize: s.SegSize},
+		{Streams: s.Streams, SegSize: s.SegSize / 2},
+	}
+	out := cand[:0]
+	for _, c := range cand {
+		if c.clamp() == c && c != s {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Route controller states.
+const (
+	stateSeeding = "seeding" // gathering the baseline at the static shape
+	stateProbing = "probing" // scoring one neighbor against the baseline
+	stateSettled = "settled" // a full lap found no better neighbor
+	stateCapped  = "capped"  // goodput rides the bandwidth cap; nothing to learn
+)
+
+// pointStat accumulates what the controller knows about one shape.
+type pointStat struct {
+	ewma    float64 // bytes/sec over uncapped samples
+	samples int     // uncapped samples scored into ewma
+	capped  int     // samples discarded as governor-shaped
+}
+
+func (p *pointStat) observe(goodput float64, isCapped bool) {
+	if isCapped {
+		p.capped++
+		return
+	}
+	if p.samples == 0 {
+		p.ewma = goodput
+	} else {
+		p.ewma = ewmaAlpha*goodput + (1-ewmaAlpha)*p.ewma
+	}
+	p.samples++
+}
+
+// routeState is one route's controller.
+type routeState struct {
+	state     string
+	current   Shape // operating point
+	candidate Shape // neighbor under probe (stateProbing only)
+	nextMove  int   // index into current.neighbors() after candidate
+	points    map[Shape]*pointStat
+	total     int // all observations on the route (status display)
+}
+
+func (rs *routeState) point(s Shape) *pointStat {
+	p := rs.points[s]
+	if p == nil {
+		p = &pointStat{}
+		rs.points[s] = p
+	}
+	return p
+}
+
+// advance moves probing to neighbor i of the operating point, or
+// settles the route when the lap is complete.
+func (rs *routeState) advance(i int) {
+	nb := rs.current.neighbors()
+	if i >= len(nb) {
+		rs.state = stateSettled
+		return
+	}
+	rs.state = stateProbing
+	rs.candidate = nb[i]
+	rs.nextMove = i + 1
+}
+
+// Tuner holds the per-route controllers. All methods are safe for
+// concurrent use; the table lives in daemon memory only (a restart
+// re-tunes, which is the safe default after conditions changed).
+type Tuner struct {
+	mu         sync.Mutex
+	minSamples int
+	routes     map[Route]*routeState
+}
+
+// NewTuner returns a tuner requiring minSamples observations per point
+// before scoring it (<=0: DefaultTuneMinSamples).
+func NewTuner(minSamples int) *Tuner {
+	if minSamples <= 0 {
+		minSamples = DefaultTuneMinSamples
+	}
+	return &Tuner{minSamples: minSamples, routes: make(map[Route]*routeState)}
+}
+
+// ShapeFor resolves the shape the next task on route should run at.
+// static is the daemon's configured shape — a cold route starts there.
+func (t *Tuner) ShapeFor(route Route, static Shape) Shape {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs := t.routes[route]
+	if rs == nil {
+		rs = &routeState{
+			state:   stateSeeding,
+			current: static.clamp(),
+			points:  make(map[Shape]*pointStat),
+		}
+		t.routes[route] = rs
+	}
+	if rs.state == stateProbing {
+		return rs.candidate
+	}
+	return rs.current
+}
+
+// Observe feeds one completed transfer back: the shape it ran at, its
+// goodput in bytes per second, and the tightest bandwidth cap that
+// applied (0: unlimited). Goodput riding the cap is treated as a
+// ceiling — counted, never scored.
+func (t *Tuner) Observe(route Route, sh Shape, goodput float64, capBps int64) {
+	if goodput <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs := t.routes[route]
+	if rs == nil {
+		return // never shaped: nothing to steer
+	}
+	rs.total++
+	isCapped := capBps > 0 && goodput >= cappedFrac*float64(capBps)
+	rs.point(sh).observe(goodput, isCapped)
+
+	switch rs.state {
+	case stateSeeding:
+		p := rs.point(rs.current)
+		if p.capped > 0 {
+			// The static shape already saturates the governor: a faster
+			// shape could not show it. Park until the cap stops binding.
+			rs.state = stateCapped
+			return
+		}
+		if p.samples >= t.minSamples {
+			rs.advance(0)
+		}
+	case stateProbing:
+		if sh != rs.candidate {
+			return // stale observation from an earlier shape (restored task)
+		}
+		p := rs.point(rs.candidate)
+		if p.capped > 0 {
+			rs.state = stateCapped
+			return
+		}
+		if p.samples < t.minSamples {
+			return
+		}
+		cur := rs.point(rs.current)
+		if cur.samples > 0 && p.ewma > cur.ewma*(1+improveFrac) {
+			rs.current = rs.candidate
+			rs.advance(0)
+			return
+		}
+		rs.advance(rs.nextMove)
+	case stateCapped:
+		if !isCapped {
+			// The cap no longer binds (rate raised, contention gone):
+			// resume learning from a fresh baseline at the current point.
+			rs.state = stateSeeding
+			rs.points = map[Shape]*pointStat{}
+			rs.point(sh).observe(goodput, false)
+		}
+	}
+}
+
+// RouteStatus is one route's tuning state for status display.
+type RouteStatus struct {
+	In, Out, Kind string
+	Streams       int
+	SegSize       int64
+	Goodput       float64 // EWMA bytes/sec at the operating point
+	Samples       int     // total observations on the route
+	State         string
+}
+
+// Snapshot returns the tuning table sorted by route, for nornsctl
+// status.
+func (t *Tuner) Snapshot() []RouteStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RouteStatus, 0, len(t.routes))
+	for r, rs := range t.routes {
+		st := RouteStatus{
+			In: r.In, Out: r.Out, Kind: r.Kind,
+			Streams: rs.current.Streams,
+			SegSize: rs.current.SegSize,
+			Samples: rs.total,
+			State:   rs.state,
+		}
+		if p := rs.points[rs.current]; p != nil {
+			st.Goodput = p.ewma
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.In != b.In {
+			return a.In < b.In
+		}
+		if a.Out != b.Out {
+			return a.Out < b.Out
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}

@@ -1,0 +1,204 @@
+package transfer
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// modelGoodput is a synthetic medium for convergence tests: goodput
+// rises with streams up to 8 (then over-subscription hurts), and is
+// best at 16 MiB segments, degrading gently per octave away.
+func modelGoodput(sh Shape) float64 {
+	base := 1e9
+	s := float64(sh.Streams)
+	streamFactor := s / 8
+	if s > 8 {
+		streamFactor = 8 / s
+	}
+	segPenalty := math.Abs(math.Log2(float64(sh.SegSize) / float64(16<<20)))
+	return base * streamFactor * (1 - 0.1*segPenalty)
+}
+
+// bestReachable scans the tuner's whole bounded shape space for the
+// model's optimum, so the convergence assertion is against the true
+// best static configuration, not a hand-picked one.
+func bestReachable() float64 {
+	best := 0.0
+	for s := minStreams; s <= maxStreams; s *= 2 {
+		for seg := int64(minSegSize); seg <= maxSegSize; seg *= 2 {
+			if g := modelGoodput(Shape{Streams: s, SegSize: seg}); g > best {
+				best = g
+			}
+		}
+	}
+	return best
+}
+
+// TestTunerConvergesWithinEightTasks: from a cold route at the static
+// default (4 streams, 8 MiB), the controller must be operating within
+// 10% of the best static configuration after at most 8 observed tasks.
+func TestTunerConvergesWithinEightTasks(t *testing.T) {
+	tn := NewTuner(1)
+	route := Route{In: "lustre://", Out: "nvme0://", Kind: "local-path>local-path"}
+	static := Shape{Streams: 4, SegSize: 8 << 20}
+	best := bestReachable()
+	for i := 1; i <= 8; i++ {
+		sh := tn.ShapeFor(route, static)
+		tn.Observe(route, sh, modelGoodput(sh), 0)
+	}
+	op := tn.ShapeFor(route, static)
+	// The operating point is what a settled tuner returns; a still-
+	// probing tuner returns its candidate, so read the table instead.
+	snap := tn.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d routes, want 1", len(snap))
+	}
+	cur := Shape{Streams: snap[0].Streams, SegSize: snap[0].SegSize}
+	if g := modelGoodput(cur); g < 0.9*best {
+		t.Fatalf("after 8 tasks operating at %+v (%.2e B/s), want within 10%% of best %.2e", cur, g, best)
+	}
+	if op.Streams < minStreams || op.Streams > maxStreams || op.SegSize < minSegSize || op.SegSize > maxSegSize {
+		t.Fatalf("shape out of bounds: %+v", op)
+	}
+}
+
+// TestTunerSettles: once every neighbor has been probed without
+// improvement, the route reports settled and the shape stops moving.
+func TestTunerSettles(t *testing.T) {
+	tn := NewTuner(1)
+	route := Route{In: "a", Out: "b", Kind: "local-path>local-path"}
+	static := Shape{Streams: 8, SegSize: 16 << 20} // already the optimum
+	var last Shape
+	for i := 0; i < 20; i++ {
+		sh := tn.ShapeFor(route, static)
+		tn.Observe(route, sh, modelGoodput(sh), 0)
+		last = sh
+	}
+	snap := tn.Snapshot()
+	if snap[0].State != stateSettled {
+		t.Fatalf("state = %q after exhausting neighbors, want settled", snap[0].State)
+	}
+	if last != static {
+		t.Fatalf("settled tuner shapes tasks at %+v, want the optimum %+v", last, static)
+	}
+	if snap[0].Streams != 8 || snap[0].SegSize != 16<<20 {
+		t.Fatalf("settled at %+v, want the optimum", snap[0])
+	}
+}
+
+// TestTunerCapIsCeilingNotSignal: when goodput rides the bandwidth
+// cap, the route parks as capped instead of hill-climbing on governor
+// noise — and resumes probing when the cap stops binding.
+func TestTunerCapIsCeilingNotSignal(t *testing.T) {
+	tn := NewTuner(1)
+	route := Route{In: "a", Out: "b", Kind: "local-path>local-path"}
+	static := Shape{Streams: 4, SegSize: 8 << 20}
+	cap := int64(100 << 20)
+	for i := 0; i < 6; i++ {
+		sh := tn.ShapeFor(route, static)
+		if sh != static {
+			t.Fatalf("capped route probed %+v, want parked at %+v", sh, static)
+		}
+		tn.Observe(route, sh, float64(cap), cap) // pinned at the cap
+	}
+	if st := tn.Snapshot()[0].State; st != stateCapped {
+		t.Fatalf("state = %q, want capped", st)
+	}
+	// Cap raised: observations fall below the ceiling, probing resumes.
+	for i := 0; i < 4; i++ {
+		sh := tn.ShapeFor(route, static)
+		tn.Observe(route, sh, modelGoodput(sh), 10*cap)
+	}
+	if st := tn.Snapshot()[0].State; st == stateCapped {
+		t.Fatal("route still parked after the cap stopped binding")
+	}
+}
+
+// TestTunerShapesStayInBounds: whatever the model rewards, emitted
+// shapes must stay inside [minStreams, maxStreams] × [minSegSize,
+// maxSegSize].
+func TestTunerShapesStayInBounds(t *testing.T) {
+	tn := NewTuner(1)
+	route := Route{In: "a", Out: "b", Kind: "k"}
+	static := Shape{Streams: 32, SegSize: 64 << 20} // start at the corner
+	for i := 0; i < 30; i++ {
+		sh := tn.ShapeFor(route, static)
+		if sh.Streams < minStreams || sh.Streams > maxStreams || sh.SegSize < minSegSize || sh.SegSize > maxSegSize {
+			t.Fatalf("task %d shaped out of bounds: %+v", i, sh)
+		}
+		// Monotonically reward bigger everything: the clamp is all that
+		// can stop the climb.
+		tn.Observe(route, sh, float64(sh.Streams)*float64(sh.SegSize), 0)
+	}
+}
+
+// TestGovernorSetRate: a mid-stream retune must (a) keep the long-run
+// admitted rate at the new cap — never above it beyond measurement
+// noise — and (b) preserve accumulated debt rather than resetting the
+// bucket.
+func TestGovernorSetRate(t *testing.T) {
+	ctx := context.Background()
+
+	// (a) Rate follows the retune. Drain the initial burst exactly, so
+	// post-switch admissions start from an empty bucket and the elapsed
+	// time bounds the admitted rate from above.
+	g := NewGovernor(4 << 20) // burst 1 MiB
+	if err := g.Wait(ctx, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	g.SetRate(1 << 20)
+	if got := g.Rate(); got != 1<<20 {
+		t.Fatalf("Rate() = %d after SetRate, want %d", got, 1<<20)
+	}
+	const total = 1 << 20 // 1 MiB at 1 MiB/s ≈ 1s
+	start := time.Now()
+	for done := 0; done < total; done += 64 << 10 {
+		if err := g.Wait(ctx, 64<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	rate := float64(total) / elapsed
+	if rate > 1.05*float64(1<<20) {
+		t.Fatalf("long-run rate %.0f B/s exceeds retuned cap %d by >5%%", rate, 1<<20)
+	}
+	if rate < 0.5*float64(1<<20) {
+		t.Fatalf("long-run rate %.0f B/s collapsed far below the retuned cap", rate)
+	}
+
+	// (b) Debt survives the retune: put the bucket into a known
+	// overdraft (as a Wait admitting a chunk larger than the balance
+	// does), retune faster, and the next admission must still pay the
+	// debt off first — at the new rate.
+	g2 := NewGovernor(1 << 20)
+	g2.mu.Lock()
+	g2.tokens = -(256 << 10)
+	g2.last = time.Now()
+	g2.mu.Unlock()
+	g2.SetRate(8 << 20)
+	g2.mu.Lock()
+	tok := g2.tokens
+	g2.mu.Unlock()
+	if tok > -(200 << 10) {
+		t.Fatalf("overdraft shrank from -256 KiB to %.0f across SetRate; debt must carry over", tok)
+	}
+	start = time.Now()
+	if err := g2.Wait(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 256 KiB of debt at the new 8 MiB/s ≈ 31ms; a reset bucket would
+	// admit instantly.
+	if waited := time.Since(start); waited < 10*time.Millisecond {
+		t.Fatalf("debt vanished across SetRate: next admission waited only %v", waited)
+	}
+
+	// Nil and non-positive retunes are no-ops.
+	var nilG *Governor
+	nilG.SetRate(1 << 20)
+	g2.SetRate(0)
+	if got := g2.Rate(); got != 8<<20 {
+		t.Fatalf("SetRate(0) changed the rate to %d", got)
+	}
+}

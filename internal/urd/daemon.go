@@ -77,6 +77,21 @@ type Config struct {
 	// paper's interference experiments. Inbound pulls served for peers
 	// count against the same budget.
 	MaxBandwidthBps int64
+	// Autotune enables the per-route transfer autotuner: streams and
+	// segment size adapt to each route's observed goodput, starting
+	// from the static TransferStreams/SegmentSize configuration (which
+	// remains the escape hatch when disabled).
+	Autotune bool
+	// AutotuneMinSamples is how many transfers the tuner observes at an
+	// operating point before scoring it (<=0: 2). Lower converges
+	// faster on noisy-free media; higher resists jitter.
+	AutotuneMinSamples int
+	// DisableOffload forces local staging onto the portable user-space
+	// copy path even when the kernel range-copy offload is available.
+	// It exists for benchmarking the offload against its fallback and
+	// for diagnosing suspected kernel-side copy bugs; leave it off in
+	// production.
+	DisableOffload bool
 	// RPCTimeout bounds each peer RPC and bulk-stream idle gap (<=0:
 	// none). A hung peer then fails the transfer instead of wedging a
 	// worker forever.
@@ -281,15 +296,19 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	d.hub = NewEventHub(cfg.EventQueue, cfg.ProgressInterval)
 	env := &transfer.Env{
-		Spaces:      d.Controller.Spaces,
-		BufSize:     cfg.BufSize,
-		SegmentSize: cfg.SegmentSize,
-		Streams:     cfg.TransferStreams,
-		Governor:    transfer.NewGovernor(cfg.MaxBandwidthBps),
+		Spaces:         d.Controller.Spaces,
+		BufSize:        cfg.BufSize,
+		SegmentSize:    cfg.SegmentSize,
+		Streams:        cfg.TransferStreams,
+		Governor:       transfer.NewGovernor(cfg.MaxBandwidthBps),
+		DisableOffload: cfg.DisableOffload,
 		// Lifecycle hooks feed the event hub; both are cheap no-ops
 		// while nobody is subscribed.
 		OnStart:    func(t *task.Task) { d.hub.PublishState(t.ID, t.Stats()) },
 		OnProgress: func(t *task.Task) { d.hub.PublishProgress(t) },
+	}
+	if cfg.Autotune {
+		env.Tuner = transfer.NewTuner(cfg.AutotuneMinSamples)
 	}
 	if cfg.Fabric != "" {
 		if cfg.Resolver == nil {
@@ -1154,22 +1173,37 @@ func (d *Daemon) handleStatus() *proto.Response {
 	if d.journal != nil {
 		info += fmt.Sprintf(" recovered=%d", rec.Requeued())
 	}
+	st := &proto.DaemonStatus{
+		Version:            Version,
+		Node:               d.cfg.NodeName,
+		Policy:             d.policyName,
+		Shards:             uint64(nShards),
+		Pending:            uint64(pending),
+		Tasks:              uint64(nTasks),
+		Journal:            d.journal != nil,
+		RecoveredPending:   uint64(rec.Pending),
+		RecoveredRunning:   uint64(rec.Running),
+		RecoveredCancelled: uint64(rec.Cancelled),
+		RecoveredTerminal:  uint64(rec.Terminal),
+	}
+	if tn := d.executor.Env.Tuner; tn != nil {
+		st.Autotune = true
+		for _, r := range tn.Snapshot() {
+			st.AutotuneRoutes = append(st.AutotuneRoutes, proto.AutotuneRoute{
+				In: r.In, Out: r.Out, Kind: r.Kind,
+				Streams:    uint32(r.Streams),
+				SegSize:    r.SegSize,
+				GoodputBps: r.Goodput,
+				Samples:    uint64(r.Samples),
+				State:      r.State,
+			})
+		}
+		info += " autotune=on"
+	}
 	return &proto.Response{
 		Status:     proto.Success,
 		DaemonInfo: info,
-		StatusInfo: &proto.DaemonStatus{
-			Version:            Version,
-			Node:               d.cfg.NodeName,
-			Policy:             d.policyName,
-			Shards:             uint64(nShards),
-			Pending:            uint64(pending),
-			Tasks:              uint64(nTasks),
-			Journal:            d.journal != nil,
-			RecoveredPending:   uint64(rec.Pending),
-			RecoveredRunning:   uint64(rec.Running),
-			RecoveredCancelled: uint64(rec.Cancelled),
-			RecoveredTerminal:  uint64(rec.Terminal),
-		},
+		StatusInfo: st,
 	}
 }
 
