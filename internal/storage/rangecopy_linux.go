@@ -5,6 +5,7 @@ package storage
 import (
 	"io"
 	"os"
+	"strconv"
 	"syscall"
 	"unsafe"
 )
@@ -88,16 +89,24 @@ func rangeCopyFds(dfd, sfd uintptr, dstOff, srcOff, length int64) (int64, error)
 }
 
 // sendfileRange is the in-kernel fallback when copy_file_range refuses
-// the pair. sendfile writes at the destination descriptor's file-table
-// cursor, which concurrent segments share — so the copy runs against a
-// private dup of the fd, seeked to the segment's offset.
+// the pair. sendfile writes at the destination's file cursor, and that
+// cursor lives in the open file description — which dup(2) would share
+// with the original handle and every other concurrent dup, so seeking
+// a dup races against parallel segment streams and lands bytes at the
+// wrong offsets. Instead the destination is re-opened through
+// /proc/self/fd, which yields a private file description whose cursor
+// this segment owns exclusively. Where that re-open is impossible
+// (/proc unmounted, permissions) the copy reports
+// ErrOffloadUnsupported and the offset-explicit user-space path takes
+// over.
 func sendfileRange(dfd, sfd uintptr, dstOff, srcOff, length int64) (int64, error) {
-	dup, err := syscall.Dup(int(dfd))
+	priv, err := syscall.Open("/proc/self/fd/"+strconv.Itoa(int(dfd)),
+		syscall.O_WRONLY|syscall.O_CLOEXEC, 0)
 	if err != nil {
 		return 0, ErrOffloadUnsupported
 	}
-	defer syscall.Close(dup)
-	if _, err := syscall.Seek(dup, dstOff, io.SeekStart); err != nil {
+	defer syscall.Close(priv)
+	if _, err := syscall.Seek(priv, dstOff, io.SeekStart); err != nil {
 		return 0, ErrOffloadUnsupported
 	}
 	var done int64
@@ -108,7 +117,7 @@ func sendfileRange(dfd, sfd uintptr, dstOff, srcOff, length int64) (int64, error
 		if chunk > 1<<30 {
 			chunk = 1 << 30
 		}
-		n, serr := syscall.Sendfile(dup, int(sfd), &off, int(chunk))
+		n, serr := syscall.Sendfile(priv, int(sfd), &off, int(chunk))
 		if n > 0 {
 			done += int64(n)
 		}

@@ -136,13 +136,22 @@ func (p *fsReadProvider) position(off int64) error {
 	}
 	if off > 0 {
 		if p.probeSeek(r) {
-			if _, err := r.(io.Seeker).Seek(off, io.SeekStart); err != nil {
+			if _, serr := r.(io.Seeker).Seek(off, io.SeekStart); serr != nil {
+				// Seekable in type but not in fact: demote the capability
+				// and position a clean handle the slow way, as the
+				// pre-cache code always did.
+				p.seekable = -1
+				r.Close()
+				if r, err = p.fs.Open(p.path); err != nil {
+					return err
+				}
+			}
+		}
+		if p.seekable < 0 {
+			if _, err := io.CopyN(io.Discard, r, off); err != nil {
 				r.Close()
 				return err
 			}
-		} else if _, err := io.CopyN(io.Discard, r, off); err != nil {
-			r.Close()
-			return err
 		}
 	}
 	p.r, p.off = r, off

@@ -457,6 +457,60 @@ func TestFSReadProviderSequentialAndRandom(t *testing.T) {
 	}
 }
 
+// brokenSeekFS hands out files that type-assert to io.Seeker but refuse
+// every Seek — the pathological shape the provider's seekability cache
+// must keep slow-but-correct, not turn into a hard failure.
+type brokenSeekFS struct {
+	storage.FS
+}
+
+type brokenSeeker struct {
+	io.ReadCloser
+}
+
+func (brokenSeeker) Seek(int64, int) (int64, error) {
+	return 0, errors.New("seek refused")
+}
+
+func (f brokenSeekFS) Open(p string) (io.ReadCloser, error) {
+	r, err := f.FS.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return brokenSeeker{r}, nil
+}
+
+func TestFSReadProviderSeekErrorFallsBackToDiscard(t *testing.T) {
+	mem := storage.NewMemFS()
+	data := []byte("0123456789abcdef")
+	if err := mem.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	p := &fsReadProvider{fs: brokenSeekFS{mem}, path: "f", size: int64(len(data))}
+	buf := make([]byte, 4)
+	// Fresh handle, forward positioning: the failed Seek must demote to
+	// the discard path, not surface as a read error.
+	if _, err := p.ReadAt(buf, 8); err != nil && err != io.EOF {
+		t.Fatalf("ReadAt after refused seek: %v", err)
+	}
+	if string(buf) != "89ab" {
+		t.Fatalf("read = %q, want 89ab", buf)
+	}
+	if p.seekable != -1 {
+		t.Fatalf("seekable = %d after refused seek, want -1", p.seekable)
+	}
+	// Backwards read repositions through reopen+discard from here on.
+	if _, err := p.ReadAt(buf, 2); err != nil && err != io.EOF {
+		t.Fatalf("backwards ReadAt: %v", err)
+	}
+	if string(buf) != "2345" {
+		t.Fatalf("read = %q, want 2345", buf)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFSWriteProviderOrderEnforced(t *testing.T) {
 	fs := storage.NewMemFS()
 	var progressed int64

@@ -254,9 +254,15 @@ func (t *Tuner) Observe(route Route, sh Shape, goodput float64, capBps int64) {
 		if !isCapped {
 			// The cap no longer binds (rate raised, contention gone):
 			// resume learning from a fresh baseline at the current point.
+			// A sample from some other shape (a pinned or restored task)
+			// still re-opens the route but cannot seed the baseline —
+			// seeding scores only rs.current, so a sample elsewhere would
+			// sit unscored and delay convergence.
 			rs.state = stateSeeding
 			rs.points = map[Shape]*pointStat{}
-			rs.point(sh).observe(goodput, false)
+			if sh == rs.current {
+				rs.point(sh).observe(goodput, false)
+			}
 		}
 	}
 }

@@ -116,6 +116,42 @@ func TestTunerCapIsCeilingNotSignal(t *testing.T) {
 	}
 }
 
+// TestTunerCapReleaseForeignShape: the observation that re-opens a
+// capped route can come from a task pinned at a shape other than the
+// operating point (a restored task). It must re-open the route but not
+// seed the fresh baseline at that foreign shape — seeding scores only
+// the operating point, so a foreign seed would sit unscored forever.
+func TestTunerCapReleaseForeignShape(t *testing.T) {
+	tn := NewTuner(1)
+	route := Route{In: "a", Out: "b", Kind: "k"}
+	static := Shape{Streams: 4, SegSize: 8 << 20}
+	cap := int64(100 << 20)
+	sh := tn.ShapeFor(route, static)
+	tn.Observe(route, sh, float64(cap), cap) // park the route
+	if st := tn.Snapshot()[0].State; st != stateCapped {
+		t.Fatalf("state = %q, want capped", st)
+	}
+	// Cap released, observation from a foreign (pinned/restored) shape.
+	foreign := Shape{Streams: 1, SegSize: 1 << 20}
+	tn.Observe(route, foreign, modelGoodput(foreign), 0)
+	rs := tn.routes[route]
+	if rs.state != stateSeeding {
+		t.Fatalf("state = %q after cap release, want seeding", rs.state)
+	}
+	if p := rs.points[foreign]; p != nil && p.samples > 0 {
+		t.Fatal("cap release seeded the baseline at a foreign shape")
+	}
+	// The route still shapes tasks at the operating point and one sample
+	// there (minSamples=1) completes seeding.
+	if sh := tn.ShapeFor(route, static); sh != static {
+		t.Fatalf("seeding route shaped %+v, want %+v", sh, static)
+	}
+	tn.Observe(route, static, modelGoodput(static), 0)
+	if st := tn.Snapshot()[0].State; st != stateProbing {
+		t.Fatalf("state = %q after one seed sample at the operating point, want probing", st)
+	}
+}
+
 // TestTunerShapesStayInBounds: whatever the model rewards, emitted
 // shapes must stay inside [minStreams, maxStreams] × [minSegSize,
 // maxSegSize].
