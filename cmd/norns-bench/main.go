@@ -17,11 +17,11 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -29,30 +29,16 @@ import (
 	"github.com/ngioproject/norns-go/internal/metrics"
 )
 
-// report is the schema of the -json output: a versioned envelope of
-// rendered tables, stable enough for future PRs to diff against.
-// Committed trajectory documents (BENCH_PR5.json) wrap two of these as
-// {"baseline": {...}, "current": {...}}; -compare accepts either shape
-// and measures against "current" (the numbers the repo last committed).
-type report struct {
-	Schema   int              `json:"schema"`
-	Note     string           `json:"note,omitempty"`
-	Tables   []*metrics.Table `json:"tables,omitempty"`
-	Baseline *report          `json:"baseline,omitempty"`
-	Current  *report          `json:"current,omitempty"`
-}
-
-// refTables resolves the table set a comparison should measure
-// against.
-func (r *report) refTables() []*metrics.Table {
-	if r.Current != nil && len(r.Current.Tables) > 0 {
-		return r.Current.Tables
-	}
-	return r.Tables
+// knownExperiments is the -run vocabulary. A selector outside it exits
+// non-zero with usage instead of silently running nothing.
+var knownExperiments = []string{
+	"fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"tab3", "tab4", "tab5",
+	"streams", "batch", "hotpath", "localcopy", "autotune", "ablations",
 }
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig1a,fig1b,fig4,fig5,fig6,fig7,fig8,tab3,tab4,tab5,streams,batch,hotpath,localcopy,autotune,ablations")
+	run := flag.String("run", "all", "comma-separated experiments: "+strings.Join(knownExperiments, ","))
 	reps := flag.Int("reps", 0, "repetitions for the variability figures (0 = experiment default)")
 	reqs := flag.Int("reqs", 0, "requests per client for the request-rate figures (0 = default; the paper used 50000)")
 	asJSON := flag.Bool("json", false, "emit results as one JSON document instead of text tables")
@@ -60,19 +46,39 @@ func main() {
 	note := flag.String("note", "", "free-form annotation stored in the -json envelope")
 	flag.Parse()
 
+	known := map[string]bool{"all": true}
+	for _, name := range knownExperiments {
+		known[name] = true
+	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(name)] = true
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "norns-bench: unknown experiment %q\n", name)
+			sort.Strings(knownExperiments)
+			fmt.Fprintf(os.Stderr, "known experiments: all,%s\n", strings.Join(knownExperiments, ","))
+			flag.Usage()
+			os.Exit(2)
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "norns-bench: -run selected no experiments")
+		flag.Usage()
+		os.Exit(2)
 	}
 	all := want["all"]
 	selected := func(name string) bool { return all || want[name] }
 
-	rep := &report{Schema: 1, Note: *note}
+	rep := metrics.NewReport(*note)
 	show := func(t *metrics.Table, err error) {
 		if err != nil {
 			log.Fatalf("experiment failed: %v", err)
 		}
-		rep.Tables = append(rep.Tables, t)
+		rep.Add(t)
 		if !*asJSON && *compare == "" {
 			fmt.Println(t)
 		}
@@ -140,43 +146,20 @@ func main() {
 	}
 
 	if *compare != "" {
-		baseline, err := loadReport(*compare)
+		baseline, err := metrics.LoadReport(*compare)
 		if err != nil {
 			log.Fatalf("baseline %s: %v", *compare, err)
 		}
 		for _, t := range rep.Tables {
-			fmt.Println(compareTables(findTable(baseline, t.Title), t))
+			fmt.Println(compareTables(baseline.FindTable(t.Title), t))
 		}
 		return
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := rep.Encode(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}
-}
-
-func loadReport(path string) (*report, error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var r report
-	if err := json.Unmarshal(buf, &r); err != nil {
-		return nil, err
-	}
-	return &r, nil
-}
-
-func findTable(r *report, title string) *metrics.Table {
-	for _, t := range r.refTables() {
-		if t.Title == title {
-			return t
-		}
-	}
-	return nil
 }
 
 // compareTables renders a benchstat-style old/new delta table: rows are

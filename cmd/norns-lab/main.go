@@ -1,0 +1,144 @@
+// norns-lab runs deterministic failure scenarios against the real
+// daemon: the sim/simnet discrete-event stack models the cluster shape
+// (fig-6/7-style tables) while fault-injecting shims (urd.Hooks) drive
+// crash, partition, slow-disk and clock-skew schedules through the
+// production registry, shards, journal, governor, tuner and event hub.
+//
+// Usage:
+//
+//	norns-lab -list
+//	norns-lab -run all -seed 42
+//	norns-lab -run crash-mid-transfer -seed 7
+//	norns-lab -run class:partition -seed 3 -json
+//	norns-lab -run soak -tasks 1000000 -measure
+//
+// Output for a given (-run, -seed) pair is deterministic: the
+// normalized logs and model tables of two identical invocations are
+// byte-for-byte equal. -measure adds wall-clock tables (soak
+// throughput, governor aggregate) that are explicitly outside that
+// contract. On scenario failure the process exits 1 after writing a
+// repro bundle (spec+seed, log, journal state) under -bundle-dir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/ngioproject/norns-go/internal/lab"
+	"github.com/ngioproject/norns-go/internal/metrics"
+)
+
+func usageExit(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "norns-lab: "+format+"\n", args...)
+	names := make([]string, 0)
+	classes := map[string]bool{}
+	for _, s := range lab.Scenarios() {
+		names = append(names, s.Name)
+		classes[s.Class] = true
+	}
+	cls := make([]string, 0, len(classes))
+	for c := range classes {
+		cls = append(cls, "class:"+c)
+	}
+	sort.Strings(cls)
+	fmt.Fprintf(os.Stderr, "scenarios: all, %s\n", strings.Join(names, ", "))
+	fmt.Fprintf(os.Stderr, "classes: %s\n", strings.Join(cls, ", "))
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	run := flag.String("run", "", "scenario name, comma-separated names, class:<class>, or all")
+	list := flag.Bool("list", false, "list built-in scenarios and exit")
+	seed := flag.Int64("seed", 1, "root seed; identical (run, seed) pairs produce identical output")
+	asJSON := flag.Bool("json", false, "emit results as a metrics.Report JSON document")
+	measure := flag.Bool("measure", false, "add wall-clock measured tables (outside the determinism contract)")
+	tasks := flag.Int("tasks", 0, "override the soak scenario's task count (0 = spec default)")
+	bundleDir := flag.String("bundle-dir", "lab-bundles", "directory for repro bundles of failing scenarios")
+	note := flag.String("note", "", "free-form annotation stored in the -json envelope")
+	flag.Parse()
+
+	if *list {
+		for _, s := range lab.Scenarios() {
+			fmt.Printf("%-20s %-10s %s\n", s.Name, s.Class, s.Desc)
+		}
+		return
+	}
+	if *run == "" {
+		usageExit("-run is required (or -list)")
+	}
+
+	var selected []*lab.Spec
+	for _, sel := range strings.Split(*run, ",") {
+		sel = strings.TrimSpace(sel)
+		switch {
+		case sel == "":
+		case sel == "all":
+			selected = lab.Scenarios()
+		case strings.HasPrefix(sel, "class:"):
+			specs := lab.ByClass(strings.TrimPrefix(sel, "class:"))
+			if len(specs) == 0 {
+				usageExit("unknown scenario class %q", sel)
+			}
+			selected = append(selected, specs...)
+		default:
+			s := lab.ByName(sel)
+			if s == nil {
+				usageExit("unknown scenario %q", sel)
+			}
+			selected = append(selected, s)
+		}
+	}
+	if len(selected) == 0 {
+		usageExit("-run selected no scenarios")
+	}
+
+	runner := &lab.Runner{Seed: *seed, Measure: *measure, TaskOverride: *tasks}
+	rep := metrics.NewReport(*note)
+	failed := 0
+	for _, spec := range selected {
+		res, err := runner.Run(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "norns-lab: %s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		for _, line := range res.Log {
+			if !*asJSON {
+				fmt.Println(line)
+			}
+		}
+		for _, t := range res.Tables {
+			rep.Add(t)
+			if !*asJSON {
+				fmt.Println()
+				fmt.Println(t)
+			}
+		}
+		if !*asJSON {
+			fmt.Println()
+		}
+		if !res.Passed {
+			failed++
+			dir := filepath.Join(*bundleDir, fmt.Sprintf("%s-seed%d", spec.Name, *seed))
+			if err := lab.WriteBundle(dir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "norns-lab: writing bundle: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "norns-lab: %s FAILED — repro bundle at %s\n", spec.Name, dir)
+			}
+		}
+	}
+	if *asJSON {
+		if err := rep.Encode(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "norns-lab: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "norns-lab: %d of %d scenarios failed\n", failed, len(selected))
+		os.Exit(1)
+	}
+}

@@ -8,7 +8,12 @@
 //	    'producer.sh:compute=64,write=nvme0://inter:100e9' \
 //	    'consumer.sh:compute=30,read=nvme0://inter'
 //
-// Without arguments it runs the built-in Table III demonstration.
+// Without arguments it runs the built-in workflow selected by -run
+// (default tab3, the Table III producer/consumer pair). An unknown
+// -run selector exits non-zero with usage. -json renders the job
+// accounting through the shared metrics.Report schema (the same
+// envelope norns-bench and norns-lab emit), so CI artifacts are
+// uniform across commands.
 package main
 
 import (
@@ -16,9 +21,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"github.com/ngioproject/norns-go/internal/metrics"
 	"github.com/ngioproject/norns-go/internal/sim"
 	"github.com/ngioproject/norns-go/internal/simnet"
 	"github.com/ngioproject/norns-go/internal/simstore"
@@ -26,10 +33,41 @@ import (
 	"github.com/ngioproject/norns-go/internal/workload"
 )
 
+// builtins maps -run selectors to built-in workflow submitters. "demo"
+// stays as a compatibility alias for tab3.
+var builtins = map[string]func(*slurm.Controller) ([]slurm.JobID, error){
+	"tab3":     submitTab3,
+	"demo":     submitTab3,
+	"openfoam": submitOpenFOAM,
+}
+
+func usageExit(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "slurm-sim: "+format+"\n", args...)
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "built-in workflows for -run: %s\n", strings.Join(names, ", "))
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	nodes := flag.Int("nodes", 4, "cluster size")
 	dataAware := flag.Bool("data-aware", true, "prefer nodes already holding workflow data")
+	run := flag.String("run", "tab3", "built-in workflow to run when no scripts are given: tab3 (producer/consumer), openfoam")
+	asJSON := flag.Bool("json", false, "emit the job accounting as a metrics.Report JSON document")
+	note := flag.String("note", "", "free-form annotation stored in the -json envelope")
 	flag.Parse()
+
+	builtin, ok := builtins[strings.TrimSpace(*run)]
+	if !ok {
+		usageExit("unknown -run selector %q", *run)
+	}
+	if flag.NArg() > 0 && *run != "tab3" {
+		usageExit("-run selects a built-in workflow and cannot be combined with script arguments")
+	}
 
 	eng := sim.NewEngine()
 	env := slurm.NewSimEnv(eng)
@@ -54,13 +92,16 @@ func main() {
 
 	var jobIDs []slurm.JobID
 	if flag.NArg() == 0 {
-		jobIDs = builtinDemo(ctl)
+		jobIDs, err = builtin(ctl)
+		if err != nil {
+			log.Fatal(err)
+		}
 	} else {
 		var prev slurm.JobID
 		for i, arg := range flag.Args() {
 			spec, err := parseJobArg(arg)
 			if err != nil {
-				log.Fatal(err)
+				usageExit("%v", err)
 			}
 			if i == 0 {
 				spec.WorkflowStart = true
@@ -81,28 +122,28 @@ func main() {
 
 	eng.Run()
 
+	table, err := ctl.AccountingTable(jobIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		rep := metrics.NewReport(*note)
+		rep.Add(table)
+		if err := rep.Encode(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	fmt.Println("=== scheduler event log ===")
 	for _, ev := range ctl.Events() {
 		fmt.Println(ev)
 	}
 	fmt.Println()
-	fmt.Println("=== job accounting ===")
-	for _, id := range jobIDs {
-		j, err := ctl.Job(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("job %d (%s): %s nodes=%v stage-in=%.1fs compute=%.1fs total-hold=%.1fs\n",
-			j.ID, j.Spec.Name, j.State, j.Nodes,
-			j.StartTime-j.StageInStart, j.EndTime-j.StartTime, j.ReleaseTime-j.StageInStart)
-		if j.FailReason != "" {
-			fmt.Printf("  reason: %s\n", j.FailReason)
-		}
-	}
+	fmt.Println(table)
 }
 
-// builtinDemo submits the Table III producer/consumer workflow on NVM.
-func builtinDemo(ctl *slurm.Controller) []slurm.JobID {
+// submitTab3 submits the Table III producer/consumer workflow on NVM.
+func submitTab3(ctl *slurm.Controller) ([]slurm.JobID, error) {
 	prod, err := ctl.Submit(&slurm.JobSpec{
 		Name: "producer", Nodes: 1, WorkflowStart: true,
 		Payload: workload.Seq{
@@ -112,7 +153,7 @@ func builtinDemo(ctl *slurm.Controller) []slurm.JobID {
 		Persists: []slurm.PersistDirective{{Op: slurm.PersistStore, Location: "nvme0://inter"}},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	cons, err := ctl.Submit(&slurm.JobSpec{
 		Name: "consumer", Nodes: 1, WorkflowEnd: true, Dependencies: []slurm.JobID{prod},
@@ -122,9 +163,32 @@ func builtinDemo(ctl *slurm.Controller) []slurm.JobID {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	return []slurm.JobID{prod, cons}
+	return []slurm.JobID{prod, cons}, nil
+}
+
+// submitOpenFOAM submits the Table V decompose/solve workflow: a serial
+// mesh decomposition feeding a parallel solver phase.
+func submitOpenFOAM(ctl *slurm.Controller) ([]slurm.JobID, error) {
+	dec, err := ctl.Submit(&slurm.JobSpec{
+		Name: "decompose", Nodes: 1, WorkflowStart: true,
+		Payload: workload.OpenFOAMDecompose(120, "nvme0://", 8e9),
+		Persists: []slurm.PersistDirective{
+			{Op: slurm.PersistStore, Location: "nvme0://mesh"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sol, err := ctl.Submit(&slurm.JobSpec{
+		Name: "solver", Nodes: 4, WorkflowEnd: true, Dependencies: []slurm.JobID{dec},
+		Payload: workload.OpenFOAMSolver(600, "nvme0://", 8e9, 24e9),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []slurm.JobID{dec, sol}, nil
 }
 
 // parseJobArg parses "script.sh:compute=64,write=nvme0://x:100e9,read=..."

@@ -986,6 +986,10 @@ func syncDir(dir string) error {
 	return err
 }
 
+// Dir returns the state directory the journal persists into, so crash
+// harnesses can bundle it (or reopen it) for replay.
+func (j *Journal) Dir() string { return j.dir }
+
 // Freeze silently drops every subsequent append and compaction,
 // simulating the daemon process dying at this instant: later state
 // changes never reach disk. It is the crash-injection hook the recovery

@@ -1,0 +1,91 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteBundle persists a failing scenario as a self-contained repro
+// directory: the exact spec and seed (replay is `norns-lab -run <name>
+// -seed <seed>`), the normalized log, the rendered tables, and — for
+// crash-class scenarios — the journal state directory as the daemon
+// left it. CI uploads this directory as the failure artifact.
+func WriteBundle(dir string, res *Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Replay string  `json:"replay"`
+		Result *Result `json:"result"`
+	}{
+		Replay: fmt.Sprintf("norns-lab -run %s -seed %d", res.Spec.Name, res.Seed),
+		Result: res,
+	}
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scenario.json"), append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	var log strings.Builder
+	for _, line := range res.Log {
+		log.WriteString(line)
+		log.WriteByte('\n')
+	}
+	for _, t := range res.Tables {
+		log.WriteByte('\n')
+		log.WriteString(t.String())
+		log.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "log.txt"), []byte(log.String()), 0o644); err != nil {
+		return err
+	}
+
+	if res.StateDir != "" {
+		if err := copyTree(res.StateDir, filepath.Join(dir, "state")); err != nil {
+			// The state dir may be gone if the scenario failed before
+			// creating it; record that instead of failing the bundle.
+			note := fmt.Sprintf("journal state not captured: %v\n", err)
+			_ = os.WriteFile(filepath.Join(dir, "state.missing"), []byte(note), 0o644)
+		}
+	}
+	return nil
+}
+
+// copyTree copies a directory recursively (regular files only — the
+// journal holds no symlinks or devices).
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+}

@@ -1,0 +1,91 @@
+package lab
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// eventCollector subscribes to an explicit task set through the real
+// event hub (via the daemon's in-process handler) and records each
+// task's terminal event. Explicit subscriptions matter: the hub
+// guarantees terminal events of explicitly subscribed tasks are
+// admitted past the queue bound, so "a terminal event for every task"
+// is an invariant the lab can assert, not a best-effort hope.
+type eventCollector struct {
+	peer *transport.InProcPeer
+
+	mu        sync.Mutex
+	terminals map[uint64]task.Status
+	extra     int // terminal events beyond the first per task
+	cond      *sync.Cond
+}
+
+// collectTerminals opens the subscription. Call after submission —
+// subscribe-time terminal snapshots cover tasks that already finished.
+func collectTerminals(d *urd.Daemon, ids []uint64) (*eventCollector, error) {
+	c := &eventCollector{terminals: make(map[uint64]task.Status, len(ids))}
+	c.cond = sync.NewCond(&c.mu)
+	c.peer = transport.NewInProcPeer(func(resp *proto.Response) {
+		if !resp.HasEvent || resp.Event.Kind != uint32(proto.EvState) || !resp.Event.HasStats {
+			return
+		}
+		st := task.Status(resp.Event.Stats.Status)
+		if !st.Terminal() {
+			return
+		}
+		c.mu.Lock()
+		if _, dup := c.terminals[resp.Event.TaskID]; dup {
+			c.extra++
+		} else {
+			c.terminals[resp.Event.TaskID] = st
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	resp := d.Handle(c.peer.Info(), &proto.Request{
+		Op:        proto.OpSubscribe,
+		Subscribe: &proto.SubscribeSpec{TaskIDs: ids, TerminalOnly: true},
+	})
+	if resp.Status != proto.Success {
+		c.peer.Close()
+		return nil, fmt.Errorf("lab: subscribe failed: %s", resp.Error)
+	}
+	return c, nil
+}
+
+// waitTerminals blocks until want tasks have reported terminal events
+// or the timeout lapses, returning the count observed.
+func (c *eventCollector) waitTerminals(want int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer timer.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.terminals) < want && time.Now().Before(deadline) {
+		c.cond.Wait()
+	}
+	return len(c.terminals)
+}
+
+// snapshot returns the terminal map and the duplicate count.
+func (c *eventCollector) snapshot() (map[uint64]task.Status, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint64]task.Status, len(c.terminals))
+	for id, st := range c.terminals {
+		out[id] = st
+	}
+	return out, c.extra
+}
+
+func (c *eventCollector) close() { c.peer.Close() }

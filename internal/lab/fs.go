@@ -1,0 +1,119 @@
+package lab
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/storage"
+)
+
+// faultFS wraps a dataspace backend with disk-fault injection and byte
+// accounting. It implements the random-access capabilities by
+// delegation but deliberately NOT RangeCopier: the kernel copy offload
+// would bypass the wrapper (and the delays), so all bytes flow through
+// the counted WriteAt path — which is also what makes the
+// crash-recovery "re-copies only the missing segments" assertion
+// byte-exact.
+type faultFS struct {
+	inner storage.FS
+
+	// writeDelay throttles every positional write; stallOnce hangs the
+	// first write only (the blocked-disk head-of-line scenario).
+	writeDelay time.Duration
+	stallOnce  time.Duration
+	stalled    atomic.Bool
+
+	// written counts bytes through WriteAt handles and Create streams.
+	written atomic.Int64
+}
+
+var (
+	_ storage.FS            = (*faultFS)(nil)
+	_ storage.RandomReadFS  = (*faultFS)(nil)
+	_ storage.RandomWriteFS = (*faultFS)(nil)
+)
+
+func newFaultFS(inner storage.FS, writeDelay, stallOnce time.Duration) *faultFS {
+	return &faultFS{inner: inner, writeDelay: writeDelay, stallOnce: stallOnce}
+}
+
+func (f *faultFS) delay() {
+	if f.stallOnce > 0 && f.stalled.CompareAndSwap(false, true) {
+		time.Sleep(f.stallOnce)
+	}
+	if f.writeDelay > 0 {
+		time.Sleep(f.writeDelay)
+	}
+}
+
+func (f *faultFS) Create(path string) (io.WriteCloser, error) {
+	w, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{f: f, w: w}, nil
+}
+
+func (f *faultFS) Open(path string) (io.ReadCloser, error)        { return f.inner.Open(path) }
+func (f *faultFS) Stat(path string) (storage.FileInfo, error)     { return f.inner.Stat(path) }
+func (f *faultFS) Remove(path string) error                       { return f.inner.Remove(path) }
+func (f *faultFS) RemoveAll(path string) error                    { return f.inner.RemoveAll(path) }
+func (f *faultFS) List(prefix string) ([]storage.FileInfo, error) { return f.inner.List(prefix) }
+func (f *faultFS) Usage() (int64, error)                          { return f.inner.Usage() }
+
+func (f *faultFS) OpenReaderAt(path string) (storage.ReaderAtCloser, error) {
+	rr, ok := f.inner.(storage.RandomReadFS)
+	if !ok {
+		return nil, storage.ErrNotExist
+	}
+	return rr.OpenReaderAt(path)
+}
+
+func (f *faultFS) OpenWriterAt(path string, size int64) (storage.WriterAtCloser, error) {
+	rw, ok := f.inner.(storage.RandomWriteFS)
+	if !ok {
+		return nil, storage.ErrReadOnly
+	}
+	w, err := rw.OpenWriterAt(path, size)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriterAt{f: f, w: w}, nil
+}
+
+// faultWriter throttles a sequential Create stream.
+type faultWriter struct {
+	f *faultFS
+	w io.WriteCloser
+	// mu keeps the delay and the write atomic per chunk.
+	mu sync.Mutex
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.f.delay()
+	n, err := w.w.Write(p)
+	w.f.written.Add(int64(n))
+	return n, err
+}
+
+func (w *faultWriter) Close() error { return w.w.Close() }
+
+// faultWriterAt throttles a random-access handle. WriteAt stays safe
+// for concurrent disjoint ranges — the delay needs no lock.
+type faultWriterAt struct {
+	f *faultFS
+	w storage.WriterAtCloser
+}
+
+func (w *faultWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	w.f.delay()
+	n, err := w.w.WriteAt(p, off)
+	w.f.written.Add(int64(n))
+	return n, err
+}
+
+func (w *faultWriterAt) Close() error { return w.w.Close() }

@@ -1,0 +1,157 @@
+package lab
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// runScenario executes one built-in scenario and fails the test on any
+// assertion failure, printing the normalized log for diagnosis.
+func runScenario(t *testing.T, name string, seed int64) *Result {
+	t.Helper()
+	spec := ByName(name)
+	if spec == nil {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	r := &Runner{Seed: seed, WorkDir: t.TempDir()}
+	res, err := r.Run(spec)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !res.Passed {
+		t.Fatalf("%s failed:\n%s", name, strings.Join(res.Log, "\n"))
+	}
+	return res
+}
+
+func TestCrashScenario(t *testing.T) {
+	res := runScenario(t, "crash-mid-transfer", 7)
+	// The headline acceptance property, pinned explicitly: the restart
+	// re-copied exactly the segments the frozen journal missed.
+	var sawResume bool
+	for _, line := range res.Log {
+		if strings.Contains(line, "assert resume-exact: ok") {
+			sawResume = true
+		}
+	}
+	if !sawResume {
+		t.Fatalf("resume-exact not asserted:\n%s", strings.Join(res.Log, "\n"))
+	}
+}
+
+func TestPartitionScenario(t *testing.T) { runScenario(t, "peer-partition", 7) }
+func TestSlowDiskScenario(t *testing.T)  { runScenario(t, "slow-disk", 7) }
+func TestSkewScenario(t *testing.T)      { runScenario(t, "skewed-deadlines", 7) }
+func TestGovernorScenario(t *testing.T)  { runScenario(t, "governor-cap", 7) }
+func TestAutotuneScenario(t *testing.T)  { runScenario(t, "autotune-converges", 7) }
+func TestEventsScenario(t *testing.T)    { runScenario(t, "terminal-events", 7) }
+
+func TestSoakScenarioShort(t *testing.T) {
+	spec := ByName("soak")
+	r := &Runner{Seed: 7, TaskOverride: 500, WorkDir: t.TempDir()}
+	res, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("soak failed:\n%s", strings.Join(res.Log, "\n"))
+	}
+}
+
+// TestDeterministicReplay is the replay contract: two runs from one
+// seed produce identical normalized logs and identical model tables.
+func TestDeterministicReplay(t *testing.T) {
+	for _, name := range []string{"crash-mid-transfer", "peer-partition", "skewed-deadlines"} {
+		a := runScenario(t, name, 99)
+		b := runScenario(t, name, 99)
+		if !reflect.DeepEqual(a.Log, b.Log) {
+			t.Fatalf("%s: logs diverged:\n--- run1\n%s\n--- run2\n%s",
+				name, strings.Join(a.Log, "\n"), strings.Join(b.Log, "\n"))
+		}
+		ja, _ := json.Marshal(a.Tables)
+		jb, _ := json.Marshal(b.Tables)
+		if string(ja) != string(jb) {
+			t.Fatalf("%s: tables diverged", name)
+		}
+	}
+}
+
+// TestSpecRoundTrip: a Spec is pure data and survives JSON unchanged —
+// what the repro bundle depends on.
+func TestSpecRoundTrip(t *testing.T) {
+	for _, spec := range Scenarios() {
+		buf, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*spec, back) {
+			t.Fatalf("%s: round trip changed the spec", spec.Name)
+		}
+	}
+}
+
+// TestBundleOnFailure: an undeliverable assertion fails the run and the
+// bundle carries the spec, seed, log and replay command.
+func TestBundleOnFailure(t *testing.T) {
+	spec := &Spec{
+		Name: "always-fails", Class: "events",
+		Nodes: 1, Tasks: 2, PayloadBytes: 128,
+		Assert: []string{"terminal-events", "not-a-real-assertion"},
+	}
+	r := &Runner{Seed: 3, WorkDir: t.TempDir()}
+	res, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("run with an unevaluated assertion passed")
+	}
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := WriteBundle(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Replay string `json:"replay"`
+		Result struct {
+			Seed int64 `json:"seed"`
+			Spec *Spec `json:"spec"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Replay != "norns-lab -run always-fails -seed 3" || doc.Result.Seed != 3 {
+		t.Fatalf("bundle replay = %q seed = %d", doc.Replay, doc.Result.Seed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "log.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownClassRejected(t *testing.T) {
+	r := &Runner{Seed: 1}
+	if _, err := r.Run(&Spec{Name: "x", Class: "nope"}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestByNameAndClass(t *testing.T) {
+	if ByName("no-such") != nil {
+		t.Fatal("ByName invented a scenario")
+	}
+	if got := ByClass("crash"); len(got) != 1 || got[0].Name != "crash-mid-transfer" {
+		t.Fatalf("ByClass(crash) = %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+package lab
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ngioproject/norns-go/internal/mercury"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/transfer"
+)
+
+// errPartitioned is the stable failure every remote op reports while
+// the fabric is cut; the partition scenario's log classifier matches on
+// "partition".
+var errPartitioned = errors.New("lab: partition: peer unreachable")
+
+// labRemote implements transfer.Remote over in-memory peer nodes with a
+// switchable partition — the fault-injecting transport shim. It stands
+// in for the mercury network manager via urd.Hooks.Remote, so the real
+// executor, plugins and journal run unmodified while the "network" is
+// a map of MemFSes the scenario owns.
+type labRemote struct {
+	partitioned atomic.Bool
+	sent        atomic.Int64 // bytes acknowledged to senders
+
+	mu    sync.Mutex
+	peers map[string]*storage.MemFS
+}
+
+var _ transfer.Remote = (*labRemote)(nil)
+
+func newLabRemote(peers ...string) *labRemote {
+	r := &labRemote{peers: make(map[string]*storage.MemFS)}
+	for _, p := range peers {
+		r.peers[p] = storage.NewMemFS()
+	}
+	return r
+}
+
+// cut and heal flip the partition.
+func (r *labRemote) cut()  { r.partitioned.Store(true) }
+func (r *labRemote) heal() { r.partitioned.Store(false) }
+
+func (r *labRemote) peer(node string) (*storage.MemFS, error) {
+	if r.partitioned.Load() {
+		return nil, errPartitioned
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fs, ok := r.peers[node]
+	if !ok {
+		return nil, fmt.Errorf("lab: unknown peer %q", node)
+	}
+	return fs, nil
+}
+
+func (r *labRemote) SendFile(node, dstDataspace, dstPath string, src mercury.BulkProvider) (int64, error) {
+	fs, err := r.peer(node)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, src.Size())
+	if _, err := src.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return 0, err
+	}
+	// Re-check mid-transfer: a partition that lands while bytes are in
+	// flight must fail the send, not be absorbed by buffering.
+	if r.partitioned.Load() {
+		return 0, errPartitioned
+	}
+	if err := fs.WriteFile(dstPath, buf); err != nil {
+		return 0, err
+	}
+	r.sent.Add(int64(len(buf)))
+	return int64(len(buf)), nil
+}
+
+func (r *labRemote) OpenFile(node, srcDataspace, srcPath string) (transfer.RemoteFile, error) {
+	fs, err := r.peer(node)
+	if err != nil {
+		return nil, err
+	}
+	data, err := fs.ReadFile(srcPath)
+	if err != nil {
+		return nil, err
+	}
+	return &labRemoteFile{r: r, data: data}, nil
+}
+
+func (r *labRemote) StatFile(node, srcDataspace, srcPath string) (int64, error) {
+	fs, err := r.peer(node)
+	if err != nil {
+		return 0, err
+	}
+	info, err := fs.Stat(srcPath)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size, nil
+}
+
+// labRemoteFile serves segment pulls from a snapshot of the peer file.
+type labRemoteFile struct {
+	r    *labRemote
+	data []byte
+}
+
+func (f *labRemoteFile) Size() int64      { return int64(len(f.data)) }
+func (f *labRemoteFile) Concurrent() bool { return true }
+
+func (f *labRemoteFile) PullRange(stream int, off, count int64, dst mercury.BulkProvider) (int64, error) {
+	if f.r.partitioned.Load() {
+		return 0, errPartitioned
+	}
+	if off < 0 || off > int64(len(f.data)) {
+		return 0, fmt.Errorf("lab: pull range [%d,+%d) out of bounds", off, count)
+	}
+	end := off + count
+	if end > int64(len(f.data)) {
+		end = int64(len(f.data))
+	}
+	n, err := dst.WriteAt(f.data[off:end], 0)
+	return int64(n), err
+}
+
+func (f *labRemoteFile) Close() error { return nil }

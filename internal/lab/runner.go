@@ -1,0 +1,252 @@
+package lab
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// waitBudget bounds every terminal wait. A lapse is a genuine scenario
+// failure (it produces a repro bundle), never silently absorbed.
+const waitBudget = 60 * time.Second
+
+// Result is one scenario run. Log and the model tables are the
+// deterministic surface: pure functions of (Spec, Seed). Measured
+// tables (opt-in) carry wall-clock numbers and are excluded from it.
+type Result struct {
+	Spec   *Spec `json:"spec"`
+	Seed   int64 `json:"seed"`
+	Passed bool  `json:"passed"`
+	// Log is the normalized scenario transcript: counts, classified
+	// error categories, assertion verdicts. Never timings.
+	Log      []string `json:"log"`
+	Failures []string `json:"failures,omitempty"`
+	// Tables holds the deterministic model tables plus, when
+	// Runner.Measure is set, wall-clock measured tables.
+	Tables []*metrics.Table `json:"-"`
+	// StateDir is the journal directory of crash-class scenarios,
+	// preserved for the repro bundle ("" otherwise).
+	StateDir string `json:"state_dir,omitempty"`
+
+	asserted map[string]bool
+}
+
+func (r *Result) logf(format string, args ...any) {
+	r.Log = append(r.Log, fmt.Sprintf(format, args...))
+}
+
+// okf records a passed assertion.
+func (r *Result) okf(name, format string, args ...any) {
+	r.asserted[name] = true
+	detail := fmt.Sprintf(format, args...)
+	if detail != "" {
+		detail = " (" + detail + ")"
+	}
+	r.logf("assert %s: ok%s", name, detail)
+}
+
+// failf records a failed assertion.
+func (r *Result) failf(name, format string, args ...any) {
+	r.asserted[name] = true
+	msg := fmt.Sprintf(format, args...)
+	r.Failures = append(r.Failures, name+": "+msg)
+	r.logf("assert %s: FAIL %s", name, msg)
+}
+
+// check folds a boolean into ok/fail.
+func (r *Result) check(name string, ok bool, format string, args ...any) {
+	if ok {
+		r.okf(name, format, args...)
+	} else {
+		r.failf(name, format, args...)
+	}
+}
+
+// Runner executes scenarios.
+type Runner struct {
+	// Seed drives every random choice; same seed, same Result.Log.
+	Seed int64
+	// Measure adds wall-clock measured tables (excluded from the
+	// deterministic surface).
+	Measure bool
+	// TaskOverride overrides Spec.Tasks for soak-class scenarios
+	// (<=0: use the spec), so CI can run a short soak and the nightly
+	// job a millions-of-tasks one from the same spec.
+	TaskOverride int
+	// WorkDir hosts scratch state (journal dirs); "" uses a temp dir
+	// removed on success and kept inside the repro bundle on failure.
+	WorkDir string
+}
+
+// scenarioFunc is one class implementation.
+type scenarioFunc func(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error
+
+var classFuncs = map[string]scenarioFunc{
+	"crash":     runCrash,
+	"partition": runPartition,
+	"slow-disk": runSlowDisk,
+	"skew":      runSkew,
+	"governor":  runGovernor,
+	"autotune":  runAutotune,
+	"events":    runEvents,
+	"soak":      runSoak,
+}
+
+// Run executes one scenario and returns its result. The error return
+// covers harness breakage (bad spec, temp dir failure); scenario
+// assertion failures land in Result.Failures with Passed=false.
+func (r *Runner) Run(spec *Spec) (*Result, error) {
+	fn, ok := classFuncs[spec.Class]
+	if !ok {
+		return nil, fmt.Errorf("lab: unknown scenario class %q", spec.Class)
+	}
+	res := &Result{Spec: spec, Seed: r.Seed, asserted: make(map[string]bool)}
+	res.logf("scenario %s class=%s seed=%d tasks=%d", spec.Name, spec.Class, r.Seed, r.tasks(spec))
+
+	model, err := modelTable(spec, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Tables = append(res.Tables, model, faultTimeline(spec))
+
+	rng := sim.NewRNG(r.Seed)
+	if err := fn(r, spec, rng, res); err != nil {
+		return nil, err
+	}
+
+	// Every assertion the spec declares must have been evaluated — a
+	// scenario that silently skips a check would read as green.
+	for _, name := range spec.Assert {
+		if !res.asserted[name] {
+			res.failf(name, "assertion declared by the spec but never evaluated")
+		}
+	}
+	res.Passed = len(res.Failures) == 0
+	res.logf("result: %s", map[bool]string{true: "PASS", false: "FAIL"}[res.Passed])
+	return res, nil
+}
+
+// tasks resolves the effective task count.
+func (r *Runner) tasks(spec *Spec) int {
+	if spec.Class == "soak" && r.TaskOverride > 0 {
+		return r.TaskOverride
+	}
+	if spec.Tasks > 0 {
+		return spec.Tasks
+	}
+	return 8
+}
+
+// scratchDir returns a scenario-private scratch directory.
+func (r *Runner) scratchDir(spec *Spec) (string, error) {
+	if r.WorkDir != "" {
+		dir := r.WorkDir + "/" + spec.Name
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+		return dir, nil
+	}
+	return os.MkdirTemp("", "norns-lab-"+spec.Name+"-")
+}
+
+// ---- daemon plumbing ----------------------------------------------------
+
+func peerCtl() transport.PeerInfo { return transport.PeerInfo{Control: true} }
+
+// register adds a dataspace via the daemon's real handler path (so it
+// is journaled like production registrations).
+func register(d *urd.Daemon, spec *proto.DataspaceSpec) error {
+	resp := d.Handle(peerCtl(), &proto.Request{Op: proto.OpRegisterDataspace, Dataspace: spec})
+	if resp.Status != proto.Success {
+		return fmt.Errorf("lab: register %s: %s", spec.ID, resp.Error)
+	}
+	return nil
+}
+
+// waitTask blocks until the task is terminal (driving the daemon's
+// lazy deadline enforcement, exactly like a remote client would).
+func waitTask(d *urd.Daemon, id uint64, timeout time.Duration) (proto.TaskStats, error) {
+	resp := d.Handle(peerCtl(), &proto.Request{
+		Op: proto.OpWait, TaskID: id, TimeoutMS: timeout.Milliseconds(),
+	})
+	if resp.Status != proto.Success || resp.Stats == nil {
+		return proto.TaskStats{}, fmt.Errorf("wait task %d: status=%v %s", id, resp.Status, resp.Error)
+	}
+	return *resp.Stats, nil
+}
+
+// transferStats fetches the daemon's aggregate terminal counters.
+func transferStats(d *urd.Daemon) (*proto.TransferMetrics, error) {
+	resp := d.Handle(peerCtl(), &proto.Request{Op: proto.OpTransferStats})
+	if resp.Status != proto.Success || resp.Metrics == nil {
+		return nil, fmt.Errorf("transfer stats: status=%v %s", resp.Status, resp.Error)
+	}
+	return resp.Metrics, nil
+}
+
+// payload derives deterministic task content from the scenario RNG.
+func payload(rng *sim.RNG, n int64) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(rng.Intn(256))
+	}
+	return buf
+}
+
+// classify maps a task error to a stable category for the normalized
+// log, so transient message details never break determinism.
+func classify(errMsg string) string {
+	switch {
+	case errMsg == "":
+		return ""
+	case strings.Contains(errMsg, "deadline"):
+		return "deadline"
+	case strings.Contains(errMsg, "partition"):
+		return "partition"
+	case strings.Contains(errMsg, "cancel"):
+		return "cancelled"
+	default:
+		return "other"
+	}
+}
+
+// summarize renders terminal outcomes as deterministic log lines:
+// status counts plus sorted error-category counts.
+func summarize(res *Result, label string, stats []proto.TaskStats) {
+	var fin, fail, canc int
+	cats := map[string]int{}
+	for _, st := range stats {
+		switch task.Status(st.Status) {
+		case task.Finished:
+			fin++
+		case task.Failed:
+			fail++
+			cats[classify(st.Err)]++
+		case task.Cancelled:
+			canc++
+		}
+	}
+	res.logf("%s: terminal=%d finished=%d failed=%d cancelled=%d",
+		label, len(stats), fin, fail, canc)
+	if len(cats) > 0 {
+		keys := make([]string, 0, len(cats))
+		for k := range cats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%d", k, cats[k])
+		}
+		res.logf("%s errors: %s", label, strings.Join(parts, " "))
+	}
+}

@@ -1,0 +1,734 @@
+package lab
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// Scenarios returns the built-in suite. Each entry is a declarative
+// Spec; the class selects the harness logic, everything else is data.
+func Scenarios() []*Spec {
+	return []*Spec{
+		{
+			Name: "crash-mid-transfer", Class: "crash",
+			Desc:  "freeze the journal at the Kth segment checkpoint, restart, prove the resume is byte-exact",
+			Nodes: 4, Tasks: 6,
+			PayloadBytes: 8 * 16 << 10, SegmentSize: 16 << 10,
+			Workers: 1, Streams: 1,
+			Arrival: ArrivalSpec{Pattern: "constant"},
+			Faults:  []FaultSpec{{Kind: "crash", AfterSegments: 3}},
+			Assert:  []string{"no-acked-loss", "resume-exact", "content-intact"},
+		},
+		{
+			Name: "peer-partition", Class: "partition",
+			Desc:  "cut the fabric between task waves; failures are terminal and the heal restores service",
+			Nodes: 4, Tasks: 12,
+			PayloadBytes: 32 << 10,
+			Arrival:      ArrivalSpec{Pattern: "bursty", Rate: 2, Burst: 4, Width: 0.25},
+			Faults:       []FaultSpec{{Kind: "partition", CutAfterTasks: 4, HealAfterTasks: 8}},
+			Assert:       []string{"pre-cut-clean", "cut-terminal", "post-heal-clean"},
+		},
+		{
+			Name: "slow-disk", Class: "slow-disk",
+			Desc:  "every write delayed; transfers still land every byte through the throttled path",
+			Nodes: 4, Tasks: 10,
+			PayloadBytes: 96 << 10, SegmentSize: 32 << 10,
+			Arrival: ArrivalSpec{Pattern: "poisson", Rate: 50},
+			Faults:  []FaultSpec{{Kind: "slow-disk", WriteDelayMS: 2}},
+			Assert:  []string{"all-finish", "all-bytes-land"},
+		},
+		{
+			Name: "skewed-deadlines", Class: "skew",
+			Desc:  "a stalled disk holds the lane while short-deadline tasks queue behind it and lapse",
+			Nodes: 2, Tasks: 5,
+			PayloadBytes: 32 << 10,
+			Workers:      1, Streams: 1,
+			Arrival: ArrivalSpec{Pattern: "constant"},
+			Faults: []FaultSpec{
+				{Kind: "stall", StallMS: 700},
+				{Kind: "skew", DeadlineMS: 120},
+			},
+			Assert: []string{"blocker-finishes", "victims-expire"},
+		},
+		{
+			Name: "governor-cap", Class: "governor",
+			Desc:  "the daemon-wide governor keeps aggregate goodput at or under its cap",
+			Nodes: 4, Tasks: 4,
+			PayloadBytes: 1 << 20, SegmentSize: 128 << 10,
+			CapBps:  8 << 20,
+			Arrival: ArrivalSpec{Pattern: "constant"},
+			Assert:  []string{"all-finish", "governor-cap"},
+		},
+		{
+			Name: "autotune-converges", Class: "autotune",
+			Desc:  "under a bandwidth cap the tuner parks the route as capped instead of probing forever",
+			Nodes: 2, Tasks: 24,
+			PayloadBytes: 256 << 10, SegmentSize: 64 << 10,
+			CapBps:   64 << 20,
+			Autotune: true,
+			Arrival:  ArrivalSpec{Pattern: "constant"},
+			Assert:   []string{"all-finish", "autotune-converges"},
+		},
+		{
+			Name: "terminal-events", Class: "events",
+			Desc:  "the event hub delivers a terminal event for every explicitly subscribed task",
+			Nodes: 4, Tasks: 64,
+			PayloadBytes: 4 << 10,
+			Arrival:      ArrivalSpec{Pattern: "bursty", Rate: 4, Burst: 16, Width: 0.1},
+			Assert:       []string{"terminal-events"},
+		},
+		{
+			Name: "soak", Class: "soak",
+			Desc:  "sustained batch submission through the full daemon; nothing lost, nothing leaked",
+			Nodes: 8, Tasks: 2000,
+			PayloadBytes: 256,
+			Arrival:      ArrivalSpec{Pattern: "poisson", Rate: 1000},
+			Assert:       []string{"soak-clean"},
+		},
+	}
+}
+
+// ByName returns the built-in scenario with the given name, or nil.
+func ByName(name string) *Spec {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ByClass returns the built-in scenarios of one class.
+func ByClass(class string) []*Spec {
+	var out []*Spec
+	for _, s := range Scenarios() {
+		if s.Class == class {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// copySpec builds a mem→dataspace copy task.
+func copySpec(data []byte, ds, path string) *proto.TaskSpec {
+	return &proto.TaskSpec{
+		Kind:   uint32(task.Copy),
+		Input:  proto.FromResource(task.MemoryRegion(data)),
+		Output: proto.FromResource(task.PosixPath(ds, path)),
+	}
+}
+
+// runCrash is the flagship recovery scenario. One daemon on a durable
+// journal copies a segmented payload onto a real on-disk dataspace;
+// at the Kth segment checkpoint the journal freezes — the moment the
+// process "died", every later record lost. A second daemon reopens the
+// same state dir behind a byte-counting FS wrapper and must (a) resolve
+// every previously acked submit, (b) re-copy exactly the segments the
+// frozen journal never saw — no more, no fewer — and (c) leave the
+// destination bytes identical to the payload.
+func runCrash(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	fault := spec.fault("crash")
+	if fault == nil || fault.AfterSegments <= 0 {
+		return fmt.Errorf("lab: crash scenario needs a crash fault with after_segments")
+	}
+	dir, err := r.scratchDir(spec)
+	if err != nil {
+		return err
+	}
+	stateDir := filepath.Join(dir, "state")
+	mount := filepath.Join(dir, "data")
+	if err := os.MkdirAll(mount, 0o755); err != nil {
+		return err
+	}
+	res.StateDir = stateDir
+
+	segSize := spec.segmentSize()
+	totalSegs := int(spec.PayloadBytes / segSize)
+	if int64(totalSegs)*segSize != spec.PayloadBytes {
+		return fmt.Errorf("lab: crash payload must be a whole number of segments")
+	}
+	freezeAt := fault.AfterSegments
+
+	// Workers=1 + Streams=1 makes segment completion strictly ordered,
+	// so "freeze at checkpoint K" is the same instant every run.
+	var d1 *urd.Daemon
+	cfg := urd.Config{
+		NodeName: "lab-crash", Workers: 1, TransferStreams: 1,
+		SegmentSize: segSize, StateDir: stateDir, DisableOffload: true,
+		Hooks: urd.Hooks{
+			AfterSegment: func(t *task.Task) {
+				st := t.Stats()
+				// Only the watched multi-segment transfer triggers the
+				// crash; the small acked tasks are single-segment.
+				if st.SegmentsTotal == totalSegs && st.SegmentsDone == freezeAt {
+					d1.Journal().Freeze()
+				}
+			},
+		},
+	}
+	d1, err = urd.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := register(d1, &proto.DataspaceSpec{ID: "mem://", Backend: uint32(1)}); err != nil {
+		d1.Close()
+		return err
+	}
+	if err := register(d1, &proto.DataspaceSpec{ID: "disk://", Backend: uint32(1), Mount: mount}); err != nil {
+		d1.Close()
+		return err
+	}
+
+	// Acked small submits first; their terminal records reach the WAL
+	// before the freeze.
+	var ackedIDs []uint64
+	for i := 0; i < spec.Tasks-1; i++ {
+		id, err := d1.Submit(copySpec(payload(rng, 1<<10), "mem://", fmt.Sprintf("small/%d", i)), 0, true)
+		if err != nil {
+			d1.Close()
+			return err
+		}
+		ackedIDs = append(ackedIDs, id)
+	}
+	for _, id := range ackedIDs {
+		if st, err := waitTask(d1, id, waitBudget); err != nil || task.Status(st.Status) != task.Finished {
+			d1.Close()
+			return fmt.Errorf("pre-crash task %d: %v %v", id, st.Status, err)
+		}
+	}
+
+	// The watched transfer: the journal freezes at its Kth checkpoint.
+	big := payload(rng, spec.PayloadBytes)
+	bigID, err := d1.Submit(copySpec(big, "disk://", "out.bin"), 0, true)
+	if err != nil {
+		d1.Close()
+		return err
+	}
+	ackedIDs = append(ackedIDs, bigID)
+	if st, err := waitTask(d1, bigID, waitBudget); err != nil || task.Status(st.Status) != task.Finished {
+		d1.Close()
+		return fmt.Errorf("watched task: %v %v", st.Status, err)
+	}
+	d1.Close()
+	res.logf("crash: journal frozen after %d/%d segment checkpoints", freezeAt, totalSegs)
+
+	// Restart on the same state dir, counting every byte the recovered
+	// daemon writes to the on-disk dataspace.
+	var counter *faultFS
+	d2, err := urd.New(urd.Config{
+		NodeName: "lab-crash", Workers: 1, TransferStreams: 1,
+		SegmentSize: segSize, StateDir: stateDir, DisableOffload: true,
+		Hooks: urd.Hooks{
+			WrapFS: func(id string, fs storage.FS) storage.FS {
+				if id != "disk://" {
+					return fs
+				}
+				counter = newFaultFS(fs, 0, 0)
+				return counter
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer d2.Close()
+
+	rec := d2.Recovered()
+	res.logf("recovered: pending=%d running=%d terminal=%d cancelled=%d",
+		rec.Pending, rec.Running, rec.Terminal, rec.Cancelled)
+	res.check("no-acked-loss", rec.Requeued() == 1 && rec.Terminal == len(ackedIDs)-1,
+		"requeued=%d terminal=%d of %d acked submits", rec.Requeued(), rec.Terminal, len(ackedIDs))
+
+	// Every acked submit must resolve terminal on the recovered daemon.
+	var stats []proto.TaskStats
+	lost := 0
+	for _, id := range ackedIDs {
+		st, err := waitTask(d2, id, waitBudget)
+		if err != nil {
+			lost++
+			continue
+		}
+		stats = append(stats, st)
+	}
+	summarize(res, "post-restart", stats)
+	if lost > 0 {
+		res.failf("no-acked-loss", "%d acked submits unresolvable after restart", lost)
+	}
+
+	if counter == nil {
+		res.failf("resume-exact", "recovered daemon never rebuilt the disk:// backend")
+	} else {
+		wantBytes := int64(totalSegs-freezeAt) * segSize
+		res.check("resume-exact", counter.written.Load() == wantBytes,
+			"re-copied %d bytes, want %d (%d of %d segments)",
+			counter.written.Load(), wantBytes, totalSegs-freezeAt, totalSegs)
+	}
+
+	got, err := os.ReadFile(filepath.Join(mount, "out.bin"))
+	res.check("content-intact", err == nil && bytes.Equal(got, big),
+		"destination is %d bytes, payload %d", len(got), len(big))
+	return nil
+}
+
+// runPartition drives three task waves across a fault-injecting
+// transport shim: healthy, partitioned (every transfer must fail
+// terminally, not hang), healed.
+func runPartition(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	fault := spec.fault("partition")
+	if fault == nil {
+		return fmt.Errorf("lab: partition scenario needs a partition fault")
+	}
+	remote := newLabRemote("peer-b")
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-part", Workers: spec.workers(), TransferStreams: spec.streams(),
+		SegmentSize: spec.segmentSize(),
+		Hooks:       urd.Hooks{Remote: remote},
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	wave := func(label string, n int) ([]proto.TaskStats, error) {
+		var stats []proto.TaskStats
+		for i := 0; i < n; i++ {
+			spec := &proto.TaskSpec{
+				Kind:   uint32(task.Copy),
+				Input:  proto.FromResource(task.MemoryRegion(payload(rng, spec.PayloadBytes))),
+				Output: proto.FromResource(task.RemotePosixPath("peer-b", "rmt://", fmt.Sprintf("%s/%d", label, i))),
+			}
+			id, err := d.Submit(spec, 0, true)
+			if err != nil {
+				return nil, fmt.Errorf("%s submit: %w", label, err)
+			}
+			st, err := waitTask(d, id, waitBudget)
+			if err != nil {
+				return nil, err
+			}
+			stats = append(stats, st)
+		}
+		return stats, nil
+	}
+	allStatus := func(stats []proto.TaskStats, want task.Status) bool {
+		for _, st := range stats {
+			if task.Status(st.Status) != want {
+				return false
+			}
+		}
+		return true
+	}
+
+	pre, err := wave("pre", fault.CutAfterTasks)
+	if err != nil {
+		return err
+	}
+	summarize(res, "pre-cut", pre)
+	res.check("pre-cut-clean", allStatus(pre, task.Finished), "%d tasks before the cut", len(pre))
+
+	remote.cut()
+	cut, err := wave("cut", fault.HealAfterTasks-fault.CutAfterTasks)
+	if err != nil {
+		return err
+	}
+	summarize(res, "partitioned", cut)
+	failedPartition := true
+	for _, st := range cut {
+		if task.Status(st.Status) != task.Failed || classify(st.Err) != "partition" {
+			failedPartition = false
+		}
+	}
+	res.check("cut-terminal", failedPartition,
+		"%d transfers during the partition all fail terminally with the partition error", len(cut))
+
+	remote.heal()
+	post, err := wave("post", spec.Tasks-fault.HealAfterTasks)
+	if err != nil {
+		return err
+	}
+	summarize(res, "post-heal", post)
+	res.check("post-heal-clean", allStatus(post, task.Finished), "%d tasks after the heal", len(post))
+	return nil
+}
+
+// runSlowDisk throttles every write on the destination backend and
+// proves transfers still finish with every byte accounted through the
+// wrapped (non-offload) path.
+func runSlowDisk(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	fault := spec.fault("slow-disk")
+	if fault == nil {
+		return fmt.Errorf("lab: slow-disk scenario needs a slow-disk fault")
+	}
+	var slow *faultFS
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-slow", Workers: spec.workers(), TransferStreams: spec.streams(),
+		SegmentSize: spec.segmentSize(), DisableOffload: true,
+		Hooks: urd.Hooks{
+			WrapFS: func(id string, fs storage.FS) storage.FS {
+				if id != "disk://" {
+					return fs
+				}
+				slow = newFaultFS(fs, time.Duration(fault.WriteDelayMS)*time.Millisecond, 0)
+				return slow
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := register(d, &proto.DataspaceSpec{ID: "disk://", Backend: uint32(1)}); err != nil {
+		return err
+	}
+
+	var ids []uint64
+	for i := 0; i < spec.Tasks; i++ {
+		id, err := d.Submit(copySpec(payload(rng, spec.PayloadBytes), "disk://", fmt.Sprintf("f/%d", i)), 0, true)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	var stats []proto.TaskStats
+	for _, id := range ids {
+		st, err := waitTask(d, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		stats = append(stats, st)
+	}
+	summarize(res, "slow-disk", stats)
+	allFin := true
+	for _, st := range stats {
+		if task.Status(st.Status) != task.Finished {
+			allFin = false
+		}
+	}
+	res.check("all-finish", allFin, "%d tasks through the throttled disk", len(stats))
+	want := int64(spec.Tasks) * spec.PayloadBytes
+	res.check("all-bytes-land", slow != nil && slow.written.Load() == want,
+		"counted %d bytes through the wrapper, want %d", slow.written.Load(), want)
+	return nil
+}
+
+// runSkew queues short-deadline tasks behind a stalled write; their
+// deadlines lapse while they wait and the daemon's lazy enforcement
+// must expire them, while the stalled task itself still finishes.
+func runSkew(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	stall := spec.fault("stall")
+	skew := spec.fault("skew")
+	if stall == nil || skew == nil {
+		return fmt.Errorf("lab: skew scenario needs stall and skew faults")
+	}
+	var disk *faultFS
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-skew", Workers: 1, TransferStreams: 1,
+		SegmentSize: spec.segmentSize(), DisableOffload: true,
+		Hooks: urd.Hooks{
+			WrapFS: func(id string, fs storage.FS) storage.FS {
+				disk = newFaultFS(fs, 0, time.Duration(stall.StallMS)*time.Millisecond)
+				return disk
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := register(d, &proto.DataspaceSpec{ID: "disk://", Backend: uint32(1)}); err != nil {
+		return err
+	}
+
+	// The blocker has no deadline and stalls in its first write; the
+	// victims carry deadlines shorter than the stall and queue behind
+	// it on the same single-worker shard.
+	blockerID, err := d.Submit(copySpec(payload(rng, spec.PayloadBytes), "disk://", "blocker"), 0, true)
+	if err != nil {
+		return err
+	}
+	var victims []uint64
+	for i := 0; i < spec.Tasks-1; i++ {
+		ts := copySpec(payload(rng, spec.PayloadBytes), "disk://", fmt.Sprintf("victim/%d", i))
+		ts.DeadlineMS = skew.DeadlineMS
+		id, err := d.Submit(ts, 0, true)
+		if err != nil {
+			return err
+		}
+		victims = append(victims, id)
+	}
+
+	// Waiting on the victims drives the lazy deadline check exactly the
+	// way a skew-clocked client polling its tasks would.
+	var stats []proto.TaskStats
+	expired := 0
+	for _, id := range victims {
+		st, err := waitTask(d, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		stats = append(stats, st)
+		if task.Status(st.Status) == task.Failed && classify(st.Err) == "deadline" {
+			expired++
+		}
+	}
+	summarize(res, "victims", stats)
+	res.check("victims-expire", expired == len(victims),
+		"%d of %d short-deadline tasks expired behind the stall", expired, len(victims))
+
+	st, err := waitTask(d, blockerID, waitBudget)
+	if err != nil {
+		return err
+	}
+	res.check("blocker-finishes", task.Status(st.Status) == task.Finished,
+		"stalled task status=%s", task.Status(st.Status))
+	return nil
+}
+
+// runGovernor checks the daemon-wide bandwidth governor: aggregate
+// goodput may ride the cap but never materially exceed it. Wall-clock
+// feeds the verdict only as a boolean.
+func runGovernor(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-gov", Workers: spec.workers(), TransferStreams: spec.streams(),
+		SegmentSize: spec.segmentSize(), MaxBandwidthBps: spec.CapBps, DisableOffload: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := register(d, &proto.DataspaceSpec{ID: "disk://", Backend: uint32(1)}); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var ids []uint64
+	for i := 0; i < spec.Tasks; i++ {
+		id, err := d.Submit(copySpec(payload(rng, spec.PayloadBytes), "disk://", fmt.Sprintf("g/%d", i)), 0, true)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	var stats []proto.TaskStats
+	allFin := true
+	for _, id := range ids {
+		st, err := waitTask(d, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		stats = append(stats, st)
+		if task.Status(st.Status) != task.Finished {
+			allFin = false
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	summarize(res, "governed", stats)
+	res.check("all-finish", allFin, "%d capped tasks", len(stats))
+
+	total := float64(spec.Tasks) * float64(spec.PayloadBytes)
+	// The token bucket seeds a rate/4 burst allowance, so the budget is
+	// elapsed*cap + burst; 25% slack absorbs scheduling jitter. The
+	// measured numbers never reach the deterministic log — only the
+	// boolean does.
+	budget := (elapsed*float64(spec.CapBps) + float64(spec.CapBps)/4) * 1.25
+	res.check("governor-cap", total <= budget,
+		"moved bytes within the cap's token budget: %v", total <= budget)
+	if r.Measure {
+		t := metrics.NewTable("Scenario "+spec.Name+" — measured (nondeterministic)",
+			"Metric", "Value")
+		t.AddRow("aggregate MiB/s", fmt.Sprintf("%.1f", total/elapsed/mib))
+		t.AddRow("cap MiB/s", fmt.Sprintf("%.1f", float64(spec.CapBps)/mib))
+		res.Tables = append(res.Tables, t)
+	}
+	return nil
+}
+
+// runAutotune submits a same-route stream under a bandwidth cap and
+// requires the tuner to stop probing: settled at a shape or parked as
+// capped — never still searching after the workload drains.
+func runAutotune(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-tune", Workers: 1, TransferStreams: spec.streams(),
+		SegmentSize: spec.segmentSize(), MaxBandwidthBps: spec.CapBps,
+		Autotune: true, AutotuneMinSamples: 1, DisableOffload: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := register(d, &proto.DataspaceSpec{ID: "disk://", Backend: uint32(1)}); err != nil {
+		return err
+	}
+
+	var stats []proto.TaskStats
+	allFin := true
+	for i := 0; i < spec.Tasks; i++ {
+		id, err := d.Submit(copySpec(payload(rng, spec.PayloadBytes), "disk://", fmt.Sprintf("t/%d", i)), 0, true)
+		if err != nil {
+			return err
+		}
+		st, err := waitTask(d, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		stats = append(stats, st)
+		if task.Status(st.Status) != task.Finished {
+			allFin = false
+		}
+	}
+	summarize(res, "autotuned", stats)
+	res.check("all-finish", allFin, "%d tasks on the tuned route", len(stats))
+
+	tuner := d.Executor().Env.Tuner
+	routes := tuner.Snapshot()
+	res.check("autotune-converges", len(routes) > 0 && tuner.Converged(),
+		"routes=%d converged=%v", len(routes), tuner.Converged())
+	return nil
+}
+
+// runEvents batch-submits tasks, subscribes explicitly, and demands a
+// terminal event for every single one — the hub's bound-bypass
+// guarantee for explicit subscriptions.
+func runEvents(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-events", Workers: spec.workers(), TransferStreams: spec.streams(),
+		SegmentSize: spec.segmentSize(),
+		// A tiny queue bound makes the guarantee do real work: without
+		// the terminal bypass this scenario drops events and fails.
+		EventQueue: 4,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := register(d, &proto.DataspaceSpec{ID: "mem://", Backend: uint32(1)}); err != nil {
+		return err
+	}
+
+	specs := make([]proto.TaskSpec, spec.Tasks)
+	for i := range specs {
+		specs[i] = *copySpec(payload(rng, spec.PayloadBytes), "mem://", fmt.Sprintf("e/%d", i))
+	}
+	resp := d.Handle(peerCtl(), &proto.Request{Op: proto.OpSubmitBatch, Tasks: specs})
+	if resp.Status != proto.Success {
+		return fmt.Errorf("batch submit: %s", resp.Error)
+	}
+	var ids []uint64
+	for _, sr := range resp.Results {
+		if sr.Status != uint32(proto.Success) {
+			return fmt.Errorf("batch entry rejected: %s", sr.Error)
+		}
+		ids = append(ids, sr.TaskID)
+	}
+
+	col, err := collectTerminals(d, ids)
+	if err != nil {
+		return err
+	}
+	defer col.close()
+	got := col.waitTerminals(len(ids), waitBudget)
+	terms, _ := col.snapshot()
+	missing := 0
+	for _, id := range ids {
+		if _, ok := terms[id]; !ok {
+			missing++
+		}
+	}
+	res.logf("events: subscribed=%d terminal-events=%d", len(ids), got)
+	res.check("terminal-events", missing == 0,
+		"terminal event for %d/%d tasks (queue bound %d)", len(ids)-missing, len(ids), 4)
+	return nil
+}
+
+// runSoak pushes a parameterizable task count through the full daemon
+// in batches — the nightly job runs millions, CI a short burst — and
+// requires a clean ledger: acked == finished, zero failures.
+func runSoak(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	total := r.tasks(spec)
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-soak", Workers: spec.workers(), TransferStreams: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := register(d, &proto.DataspaceSpec{ID: "mem://", Backend: uint32(1)}); err != nil {
+		return err
+	}
+
+	// One shared payload: soak stresses the control plane (submit,
+	// journalless ledger, retire ring), not the copy loop.
+	data := payload(rng, spec.PayloadBytes)
+	const batch = 512
+	start := time.Now()
+	acked := 0
+	for acked < total {
+		n := batch
+		if total-acked < n {
+			n = total - acked
+		}
+		specs := make([]proto.TaskSpec, n)
+		for i := range specs {
+			// Destinations cycle a small window so the MemFS footprint
+			// stays flat no matter how many tasks the soak runs.
+			specs[i] = *copySpec(data, "mem://", fmt.Sprintf("s/%d", i%64))
+		}
+		resp := d.Handle(peerCtl(), &proto.Request{Op: proto.OpSubmitBatch, Tasks: specs})
+		if resp.Status != proto.Success {
+			return fmt.Errorf("soak batch: %s", resp.Error)
+		}
+		for _, sr := range resp.Results {
+			if sr.Status == uint32(proto.Success) {
+				acked++
+			}
+		}
+		// Keep the backlog bounded: drain before the next burst once
+		// the pipeline holds a few batches.
+		for {
+			m, err := transferStats(d)
+			if err != nil {
+				return err
+			}
+			if int(m.Finished+m.Failed+m.Cancelled) >= acked-4*batch {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(waitBudget)
+	var m *proto.TransferMetrics
+	for {
+		m, err = transferStats(d)
+		if err != nil {
+			return err
+		}
+		if int(m.Finished+m.Failed+m.Cancelled) >= acked || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	res.logf("soak: acked=%d finished=%d failed=%d cancelled=%d",
+		acked, m.Finished, m.Failed, m.Cancelled)
+	res.check("soak-clean", acked == total && int(m.Finished) == acked && m.Failed == 0 && m.Cancelled == 0,
+		"acked=%d finished=%d failed=%d", acked, m.Finished, m.Failed)
+	if r.Measure {
+		t := metrics.NewTable("Scenario soak — measured (nondeterministic)",
+			"Metric", "Value")
+		t.AddRow("tasks", acked)
+		t.AddRow("tasks/s", fmt.Sprintf("%.0f", float64(acked)/elapsed))
+		t.AddRow("moved MiB", fmt.Sprintf("%.1f", float64(m.MovedBytes)/mib))
+		res.Tables = append(res.Tables, t)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package lab is the deterministic scenario harness: it composes the
+// discrete-event kernel (internal/sim) and the capped-resource network
+// model (internal/simnet) with the *real* modern daemon (internal/urd —
+// registry, shards, journal, governor, tuner, event hub) running on
+// in-memory or throwaway on-disk storage behind fault-injecting shims
+// (urd.Hooks). A scenario is a declarative Spec — node count, arrival
+// pattern, fault schedule, named assertions — and every random choice
+// flows from one seeded RNG, so a failing run replays byte-for-byte
+// from its seed.
+//
+// Determinism contract: Result.Log and the model-derived tables are
+// pure functions of (Spec, seed). Wall-clock time feeds assertions
+// only as booleans ("aggregate under the cap: yes/no"), never as
+// rendered numbers; measured tables exist but are opt-in (Measure)
+// and excluded from the deterministic surface.
+package lab
+
+import (
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/workload"
+)
+
+// ArrivalSpec declares a submit-time pattern in JSON-able form; Build
+// resolves it to the workload generator.
+type ArrivalSpec struct {
+	// Pattern is "constant", "poisson" or "bursty".
+	Pattern string `json:"pattern"`
+	// Interval is the constant gap in seconds (constant).
+	Interval float64 `json:"interval,omitempty"`
+	// Rate is tasks/sec (poisson) or bursts/sec (bursty).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is tasks per burst, Width the burst smear in seconds.
+	Burst int     `json:"burst,omitempty"`
+	Width float64 `json:"width,omitempty"`
+}
+
+// Build resolves the declaration. An empty pattern means back-to-back
+// submission (constant with zero interval).
+func (a ArrivalSpec) Build() (workload.Arrival, error) {
+	switch a.Pattern {
+	case "", "constant":
+		return workload.ConstantArrival{Interval: a.Interval}, nil
+	case "poisson":
+		if a.Rate <= 0 {
+			return nil, fmt.Errorf("lab: poisson arrival needs rate > 0")
+		}
+		return workload.PoissonArrival{Rate: a.Rate}, nil
+	case "bursty":
+		if a.Rate <= 0 || a.Burst <= 0 {
+			return nil, fmt.Errorf("lab: bursty arrival needs rate and burst > 0")
+		}
+		return workload.BurstyArrival{BurstRate: a.Rate, Size: a.Burst, Width: a.Width}, nil
+	default:
+		return nil, fmt.Errorf("lab: unknown arrival pattern %q", a.Pattern)
+	}
+}
+
+// FaultSpec is one entry of a scenario's fault schedule. Kind selects
+// the injection point; the other fields parameterize it and are zero
+// when irrelevant.
+type FaultSpec struct {
+	// Kind: "crash" (freeze the journal mid-transfer, as if the process
+	// died), "partition" (peer unreachable between two task waves),
+	// "slow-disk" (every write delayed), "stall" (the first write hangs
+	// once), "skew" (queued tasks carry deadlines that lapse behind the
+	// stall — a clock-skewed client's view).
+	Kind string `json:"kind"`
+	// AfterSegments: crash after this many journaled segment
+	// checkpoints of the watched transfer.
+	AfterSegments int `json:"after_segments,omitempty"`
+	// CutAfterTasks / HealAfterTasks bound the partition window in
+	// completed-task counts.
+	CutAfterTasks  int `json:"cut_after_tasks,omitempty"`
+	HealAfterTasks int `json:"heal_after_tasks,omitempty"`
+	// WriteDelayMS delays every WriteAt on the wrapped backend.
+	WriteDelayMS int64 `json:"write_delay_ms,omitempty"`
+	// StallMS hangs the first write once.
+	StallMS int64 `json:"stall_ms,omitempty"`
+	// DeadlineMS is the victims' task deadline for skew scenarios.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Spec declares one scenario. All fields are data — a Spec round-trips
+// through JSON unchanged, which is what the repro bundle relies on.
+type Spec struct {
+	Name  string `json:"name"`
+	Class string `json:"class"` // crash | partition | slow-disk | skew | governor | autotune | events | soak
+	Desc  string `json:"desc,omitempty"`
+
+	// Nodes is the modeled client-node count for the fig-6/7-shaped
+	// tables (the simnet half of the scenario).
+	Nodes int `json:"nodes"`
+	// Tasks is how many tasks the real daemon receives.
+	Tasks int `json:"tasks"`
+	// PayloadBytes sizes each task's payload; SegmentSize sets the
+	// transfer planner's unit so segment counts are spec-determined.
+	PayloadBytes int64 `json:"payload_bytes"`
+	SegmentSize  int64 `json:"segment_size,omitempty"`
+	// Workers/Streams pin the daemon's concurrency; crash scenarios use
+	// 1/1 so segment completion order is deterministic.
+	Workers int `json:"workers,omitempty"`
+	Streams int `json:"streams,omitempty"`
+	// CapBps enables the daemon-wide governor.
+	CapBps int64 `json:"cap_bps,omitempty"`
+	// Autotune enables the per-route tuner.
+	Autotune bool `json:"autotune,omitempty"`
+
+	Arrival ArrivalSpec `json:"arrival"`
+	Faults  []FaultSpec `json:"faults,omitempty"`
+
+	// Assert names the invariants this scenario must uphold; see
+	// runner.go for the vocabulary.
+	Assert []string `json:"assert"`
+}
+
+// fault returns the first fault of the given kind, or nil.
+func (s *Spec) fault(kind string) *FaultSpec {
+	for i := range s.Faults {
+		if s.Faults[i].Kind == kind {
+			return &s.Faults[i]
+		}
+	}
+	return nil
+}
+
+// workers/streams with class-appropriate defaults.
+func (s *Spec) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return 2
+}
+
+func (s *Spec) streams() int {
+	if s.Streams > 0 {
+		return s.Streams
+	}
+	return 2
+}
+
+func (s *Spec) segmentSize() int64 {
+	if s.SegmentSize > 0 {
+		return s.SegmentSize
+	}
+	return 64 << 10
+}

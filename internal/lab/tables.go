@@ -1,0 +1,129 @@
+package lab
+
+import (
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/simnet"
+	"github.com/ngioproject/norns-go/internal/workload"
+)
+
+const (
+	mib = float64(1 << 20)
+	gib = float64(1 << 30)
+)
+
+// modelRPCCounts mirrors the paper's figure 6/7 sweep of RPCs kept in
+// flight per client.
+var modelRPCCounts = []int{1, 2, 4, 8, 16}
+
+// modelTable runs the scenario's transfer shape through the
+// discrete-event fabric — virtual clock, capped-resource water-filling
+// — and renders the fig-6/7-shaped aggregate-goodput sweep. It is a
+// pure function of (spec, seed): no wall-clock anywhere, so two runs
+// from one seed emit byte-identical tables.
+func modelTable(spec *Spec, seed int64) (*metrics.Table, error) {
+	arrival, err := spec.Arrival.Build()
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Scenario %s — modeled aggregate goodput (link %.0f GiB/s, per-client cap %.1f GiB/s)",
+			spec.Name, modelLinkBW/gib, modelClientCap/gib),
+		"Clients", "RPCs", "Aggregate MiB/s")
+	for clients := 1; clients <= spec.Nodes; clients *= 2 {
+		for _, rpcs := range modelRPCCounts {
+			agg := modelRun(spec, arrival, seed, clients, rpcs)
+			t.AddRow(clients, rpcs, fmt.Sprintf("%.1f", agg/mib))
+		}
+	}
+	return t, nil
+}
+
+const (
+	// modelLinkBW / modelClientCap shape the fabric like the paper's
+	// testbed: a fat target link shared by capped clients, so aggregate
+	// goodput climbs linearly with clients until the link saturates.
+	modelLinkBW    = 16 * gib
+	modelClientCap = 1.7 * gib
+	modelLatency   = 0.0009 // seconds per RPC round trip
+)
+
+// modelRun simulates clients nodes pushing the scenario's task
+// payloads into one target: each client is a sequential chain of
+// transfers (one flow at a time, per-flow capped, rpcs RPCs in flight
+// amortizing latency), clients run concurrently from arrival-staggered
+// start offsets, and all flows share the target's water-filled link.
+// Returns aggregate goodput in bytes/sec. Pure virtual time; the
+// seeded RNG reproduces the same schedule every run.
+func modelRun(spec *Spec, arrival workload.Arrival, seed int64, clients, rpcs int) float64 {
+	eng := sim.NewEngine()
+	fab := simnet.NewFabric(eng, modelLinkBW, modelClientCap, modelLatency)
+	rng := sim.NewRNG(seed)
+
+	tasks := spec.Tasks
+	if tasks < clients {
+		tasks = clients
+	}
+	perClient := (tasks + clients - 1) / clients
+	bytes := float64(spec.PayloadBytes)
+	if bytes <= 0 {
+		bytes = 64 * mib
+	}
+	starts := arrival.Times(rng, clients)
+
+	var last float64
+	var moved float64
+	for c := 0; c < clients; c++ {
+		var step func(i int)
+		step = func(i int) {
+			if i >= perClient {
+				return
+			}
+			fab.Transfer("target", bytes, rpcs, func(elapsed float64) {
+				moved += bytes
+				if end := eng.Now(); end > last {
+					last = end
+				}
+				step(i + 1)
+			})
+		}
+		eng.At(starts[c], func() { step(0) })
+	}
+	eng.Run()
+	if last <= 0 {
+		return 0
+	}
+	return moved / last
+}
+
+// faultTimeline renders the scenario's declared fault schedule as a
+// deterministic table, so the bundle's artifacts state what was
+// injected without parsing the spec.
+func faultTimeline(spec *Spec) *metrics.Table {
+	t := metrics.NewTable("Scenario "+spec.Name+" — fault schedule",
+		"Fault", "Parameters")
+	for _, f := range spec.Faults {
+		var p string
+		switch f.Kind {
+		case "crash":
+			p = fmt.Sprintf("freeze journal after %d segment checkpoints", f.AfterSegments)
+		case "partition":
+			p = fmt.Sprintf("cut after %d tasks, heal after %d", f.CutAfterTasks, f.HealAfterTasks)
+		case "slow-disk":
+			p = fmt.Sprintf("delay every write %d ms", f.WriteDelayMS)
+		case "stall":
+			p = fmt.Sprintf("first write hangs %d ms", f.StallMS)
+		case "skew":
+			p = fmt.Sprintf("victim deadline %d ms", f.DeadlineMS)
+		default:
+			p = "?"
+		}
+		t.AddRow(f.Kind, p)
+	}
+	if len(spec.Faults) == 0 {
+		t.AddRow("none", "fault-free baseline")
+	}
+	return t
+}

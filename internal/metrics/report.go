@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// ReportSchema is the version tag of the Report envelope. Bump only on
+// incompatible changes; consumers reject documents they do not know.
+const ReportSchema = 1
+
+// Report is the machine-readable envelope every table-producing command
+// (norns-bench, slurm-sim, norns-lab) emits with -json: a versioned
+// document of rendered tables, stable enough for future PRs — and CI
+// artifact diffing — to rely on. Committed trajectory documents
+// (BENCH_PR5.json, BENCH_PR6.json) wrap two of these as
+// {"baseline": {...}, "current": {...}}; comparisons accept either
+// shape and measure against "current" (the numbers the repo last
+// committed).
+type Report struct {
+	Schema   int      `json:"schema"`
+	Note     string   `json:"note,omitempty"`
+	Tables   []*Table `json:"tables,omitempty"`
+	Baseline *Report  `json:"baseline,omitempty"`
+	Current  *Report  `json:"current,omitempty"`
+}
+
+// NewReport returns an empty envelope at the current schema version.
+func NewReport(note string) *Report {
+	return &Report{Schema: ReportSchema, Note: note}
+}
+
+// Add appends a rendered table to the envelope.
+func (r *Report) Add(t *Table) { r.Tables = append(r.Tables, t) }
+
+// RefTables resolves the table set a comparison should measure against:
+// the "current" half of a trajectory document, or the flat table list.
+func (r *Report) RefTables() []*Table {
+	if r.Current != nil && len(r.Current.Tables) > 0 {
+		return r.Current.Tables
+	}
+	return r.Tables
+}
+
+// FindTable returns the reference table with the given title, or nil.
+func (r *Report) FindTable(title string) *Table {
+	for _, t := range r.RefTables() {
+		if t.Title == title {
+			return t
+		}
+	}
+	return nil
+}
+
+// Encode writes the envelope as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadReport reads an envelope (flat or trajectory-shaped) from path.
+func LoadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -57,3 +57,6 @@ func (g *RNG) Pareto(xm, alpha float64) float64 {
 
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes a slice of length n in place via swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,145 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+)
+
+// checkInvariants asserts the water-filling allocation is sane after
+// every rate assignment:
+//   - no flow exceeds its individual cap,
+//   - the allocated rates sum to at most the capacity,
+//   - the allocation is work-conserving: capacity is only left unused
+//     when every flow is pinned at its own cap.
+func checkInvariants(t *testing.T, r *CappedResource) {
+	t.Helper()
+	const tol = 1e-6
+	var sum float64
+	allCapped := true
+	for f := range r.flows {
+		if f.rate < 0 {
+			t.Fatalf("negative rate %v", f.rate)
+		}
+		if f.rate > f.cap*(1+tol) {
+			t.Fatalf("flow rate %v exceeds its cap %v", f.rate, f.cap)
+		}
+		if f.rate < f.cap*(1-tol) {
+			allCapped = false
+		}
+		sum += f.rate
+	}
+	if sum > r.capacity*(1+tol) {
+		t.Fatalf("aggregate rate %v exceeds capacity %v", sum, r.capacity)
+	}
+	if len(r.flows) > 0 && !allCapped && sum < r.capacity*(1-tol) {
+		t.Fatalf("allocation not work-conserving: sum %v < capacity %v with uncapped flows", sum, r.capacity)
+	}
+}
+
+// TestWaterFillingInvariants churns a CappedResource with randomized
+// flow arrivals (heavy-tailed sizes, random caps and weights) and
+// re-checks the allocation invariants at every completion and a set of
+// random probe times.
+func TestWaterFillingInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 17, 42} {
+		seed := seed
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(seed)
+		const capacity = 1e9
+		r := NewCappedResource(eng, capacity)
+
+		launched, finished := 0, 0
+		const flows = 400
+		at := 0.0
+		for i := 0; i < flows; i++ {
+			at += rng.Exp(200) // ~200 arrivals per simulated second
+			bytes := rng.Pareto(64e3, 1.2)
+			flowCap := rng.Uniform(0.01, 1.5) * capacity
+			weight := rng.Uniform(0.1, 4)
+			eng.At(at, func() {
+				launched++
+				r.StartWeighted(bytes, flowCap, weight, func() {
+					finished++
+					checkInvariants(t, r)
+				})
+				checkInvariants(t, r)
+			})
+		}
+		// Probes between arrivals catch a bad allocation even if it is
+		// repaired before the next completion.
+		for i := 0; i < 100; i++ {
+			eng.At(rng.Uniform(0, at), func() { checkInvariants(t, r) })
+		}
+		eng.Run()
+
+		if launched != flows || finished != flows {
+			t.Fatalf("seed %d: launched %d finished %d, want %d", seed, launched, finished, flows)
+		}
+		if r.Active() != 0 {
+			t.Fatalf("seed %d: %d flows leaked", seed, r.Active())
+		}
+	}
+}
+
+// TestWaterFillingConservesBytes proves no bytes are created or lost:
+// each flow's completion time implies an average rate, and integrating
+// the resource's aggregate rate over the busy period must equal the
+// total bytes offered.
+func TestWaterFillingConservesBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(9)
+	const capacity = 1e8
+	r := NewCappedResource(eng, capacity)
+
+	var total float64
+	var last float64
+	const flows = 64
+	for i := 0; i < flows; i++ {
+		bytes := rng.Uniform(1e6, 5e7)
+		total += bytes
+		start := rng.Uniform(0, 2)
+		eng.At(start, func() {
+			r.Start(bytes, capacity/4, func() {
+				if now := eng.Now(); now > last {
+					last = now
+				}
+			})
+		})
+	}
+	eng.Run()
+
+	// The busy period can't be shorter than total/capacity, and with a
+	// per-flow cap of capacity/4 a single straggler can't run faster
+	// than that either.
+	if min := total / capacity; last < min {
+		t.Fatalf("all flows done at %v, faster than capacity allows (%v)", last, min)
+	}
+	if r.Active() != 0 {
+		t.Fatalf("%d flows leaked", r.Active())
+	}
+}
+
+// TestWaterFillingReleasesUnusedShare pins the most-constrained-first
+// property: a tightly capped flow must not drag down its peer — the
+// uncapped flow picks up the slack and the pair saturates the link.
+func TestWaterFillingReleasesUnusedShare(t *testing.T) {
+	eng := sim.NewEngine()
+	const capacity = 100.0
+	r := NewCappedResource(eng, capacity)
+
+	var cappedDone, openDone float64
+	// Same bytes each; the capped flow is limited to 10 B/s, so the
+	// open flow should run at ~90 B/s, not the 50 B/s naive fair share.
+	r.Start(100, 10, func() { cappedDone = eng.Now() })
+	r.Start(450, 0, func() { openDone = eng.Now() })
+	eng.Run()
+
+	if math.Abs(openDone-5) > 1e-6 {
+		t.Fatalf("open flow finished at %v, want 5.0 (90 B/s while sharing, then full link)", openDone)
+	}
+	if math.Abs(cappedDone-10) > 1e-6 {
+		t.Fatalf("capped flow finished at %v, want 10.0 (pinned at its cap)", cappedDone)
+	}
+}

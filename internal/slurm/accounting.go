@@ -1,0 +1,33 @@
+package slurm
+
+import (
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/metrics"
+)
+
+// AccountingTable renders per-job accounting for the given jobs in the
+// shared metrics.Table shape, so slurm-sim artifacts carry the same
+// machine-readable schema as norns-bench and norns-lab output. Times
+// are virtual seconds from the discrete-event engine, so the table is
+// deterministic for a given workload and seed.
+func (c *Controller) AccountingTable(ids []JobID) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		"Job accounting — workflow-aware scheduler",
+		"Job", "Name", "State", "Nodes", "Stage-in s", "Compute s", "Hold s", "Reason")
+	for _, id := range ids {
+		j, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprint(j.ID), j.Spec.Name, j.State.String(),
+			fmt.Sprint(len(j.Nodes)),
+			j.StartTime-j.StageInStart,
+			j.EndTime-j.StartTime,
+			j.ReleaseTime-j.StageInStart,
+			j.FailReason,
+		)
+	}
+	return t, nil
+}

@@ -277,6 +277,25 @@ type RouteStatus struct {
 	State         string
 }
 
+// Converged reports whether every observed route has finished learning:
+// each is either settled at a shape or parked as capped. False while
+// any route is still seeding or probing — and vacuously true with no
+// routes yet, so callers asserting convergence should also check that
+// traffic actually flowed.
+func (t *Tuner) Converged() bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rs := range t.routes {
+		if rs.state != stateSettled && rs.state != stateCapped {
+			return false
+		}
+	}
+	return true
+}
+
 // Snapshot returns the tuning table sorted by route, for nornsctl
 // status.
 func (t *Tuner) Snapshot() []RouteStatus {

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"sync"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+)
+
+// InProcPeer is a push-capable PeerInfo for in-process dispatch: test
+// harnesses and the scenario lab call a daemon's Handle directly yet
+// still need subscriptions, which require a Push sink and a Closed
+// signal. Events delivered to the peer are handed to the callback one
+// at a time, under a lock, in delivery order.
+type InProcPeer struct {
+	info    PeerInfo
+	mu      sync.Mutex
+	closed  chan struct{}
+	receive func(*proto.Response)
+}
+
+// NewInProcPeer returns a peer whose pushes invoke receive. Control is
+// set on the PeerInfo so the peer can drive the nornsctl surface.
+func NewInProcPeer(receive func(*proto.Response)) *InProcPeer {
+	p := &InProcPeer{closed: make(chan struct{}), receive: receive}
+	p.info = PeerInfo{
+		Control: true,
+		Addr:    "inproc",
+		Push:    p.push,
+		PushBatch: func(resps []*proto.Response) error {
+			for _, r := range resps {
+				if err := p.push(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Closed: p.closed,
+	}
+	return p
+}
+
+// Info returns the PeerInfo to pass to a transport handler.
+func (p *InProcPeer) Info() PeerInfo { return p.info }
+
+// Close tears the peer down; subscription pumps observe Closed and
+// stop. Safe to call more than once.
+func (p *InProcPeer) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+}
+
+func (p *InProcPeer) push(resp *proto.Response) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.closed:
+		return ErrConnClosed
+	default:
+	}
+	if p.receive != nil {
+		p.receive(resp)
+	}
+	return nil
+}

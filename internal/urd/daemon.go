@@ -126,6 +126,9 @@ type Config struct {
 	// retention, per-record fsync). The zero value selects the journal
 	// package defaults. Ignored without StateDir.
 	JournalOptions journal.Options
+	// Hooks are optional fault-injection points for the scenario lab
+	// and tests. The zero value installs nothing; see Hooks.
+	Hooks Hooks
 }
 
 // shard is one lane of the dispatcher: all tasks moving data between
@@ -349,6 +352,14 @@ func New(cfg Config) (*Daemon, error) {
 				log.Printf("urd: journal: progress %d: %v", t.ID, err)
 			}
 		}
+	}
+	// Fault hooks layer over the production wiring (journal checkpoint
+	// included), never under it; no-ops when Config.Hooks is zero. They
+	// must be in place before the replay below: re-queued tasks start
+	// executing as soon as their shard exists, and a worker reading env
+	// while hooks were still being installed would race.
+	d.installHooks(env)
+	if d.journal != nil {
 		if err := d.replayJournal(); err != nil {
 			d.Close()
 			return nil, err
@@ -407,7 +418,7 @@ func (d *Daemon) replayJournal() error {
 	d.nextID.Store(j.NextID())
 
 	for _, spec := range j.Dataspaces() {
-		b, err := backendFromSpec(&spec)
+		b, err := d.backendFromSpec(&spec)
 		if err != nil {
 			return fmt.Errorf("urd: recovering dataspace %s: %w", spec.ID, err)
 		}
@@ -1418,8 +1429,10 @@ func (d *Daemon) handleDataspaceInfo() *proto.Response {
 
 // backendFromSpec builds a dataspace backend: a Mount selects a rooted
 // OSFS (the real mount point of the tier); no Mount selects an
-// in-memory FS (used by tests and the memory tier).
-func backendFromSpec(spec *proto.DataspaceSpec) (dataspace.Backend, error) {
+// in-memory FS (used by tests and the memory tier). The WrapFS fault
+// hook (if any) wraps the result, so injected disk faults apply both to
+// freshly registered dataspaces and to ones rebuilt at journal replay.
+func (d *Daemon) backendFromSpec(spec *proto.DataspaceSpec) (dataspace.Backend, error) {
 	b := dataspace.Backend{
 		Kind:     dataspace.BackendKind(spec.Backend),
 		Mount:    spec.Mount,
@@ -1436,6 +1449,7 @@ func backendFromSpec(spec *proto.DataspaceSpec) (dataspace.Backend, error) {
 	} else {
 		b.FS = storage.NewMemFS()
 	}
+	b.FS = d.wrapFS(spec.ID, b.FS)
 	return b, nil
 }
 
@@ -1443,7 +1457,7 @@ func (d *Daemon) handleRegisterDataspace(req *proto.Request) *proto.Response {
 	if req.Dataspace == nil {
 		return &proto.Response{Status: proto.EBadRequest, Error: "register without dataspace"}
 	}
-	b, err := backendFromSpec(req.Dataspace)
+	b, err := d.backendFromSpec(req.Dataspace)
 	if err != nil {
 		return errResp(err)
 	}
@@ -1471,7 +1485,7 @@ func (d *Daemon) handleUpdateDataspace(req *proto.Request) *proto.Response {
 	if req.Dataspace == nil {
 		return &proto.Response{Status: proto.EBadRequest, Error: "update without dataspace"}
 	}
-	b, err := backendFromSpec(req.Dataspace)
+	b, err := d.backendFromSpec(req.Dataspace)
 	if err != nil {
 		return errResp(err)
 	}

@@ -1,0 +1,65 @@
+package urd
+
+import (
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transfer"
+)
+
+// Hooks are the daemon's fault-injection points, used by the scenario
+// lab (internal/lab) and by tests to place faults at exact moments of
+// the transfer pipeline without patching the pipeline itself. The zero
+// value installs nothing: every hook site first checks for nil, so an
+// unset Hooks struct leaves the daemon byte-for-byte on its production
+// paths (hooks_test.go pins that down).
+//
+// Hooks are wired once in New and never mutated afterwards, so
+// implementations may be stateful but must be safe for concurrent
+// calls — transfer workers invoke them in parallel.
+type Hooks struct {
+	// Remote, when non-nil, replaces the executor's network manager:
+	// remote-path plugins route SendFile/OpenFile/StatFile through it
+	// instead of a live fabric. The lab installs a capped-resource
+	// shim here to simulate peers and partitions without sockets. It
+	// takes precedence over a configured Fabric.
+	Remote transfer.Remote
+	// AfterSegment, when non-nil, runs after each completed segment —
+	// after the journal has recorded the segment's checkpoint, so a
+	// hook that freezes the journal at the Kth call produces a WAL
+	// holding exactly K segment bits (with TransferStreams=1). This is
+	// the "daemon killed mid-transfer" fault point.
+	AfterSegment func(t *task.Task)
+	// WrapFS, when non-nil, wraps every dataspace backend the daemon
+	// builds from a spec — at registration and again at journal
+	// replay — so slow/stalling-disk faults and byte-level write
+	// accounting survive a crash/restart cycle. id is the dataspace ID;
+	// the returned FS must not be nil.
+	WrapFS func(id string, fs storage.FS) storage.FS
+}
+
+// wrapFS applies the WrapFS hook to a freshly built backend.
+func (d *Daemon) wrapFS(id string, fs storage.FS) storage.FS {
+	if d.cfg.Hooks.WrapFS == nil {
+		return fs
+	}
+	return d.cfg.Hooks.WrapFS(id, fs)
+}
+
+// installHooks wires the configured hooks into the transfer env. Called
+// once from New, after the journal's own OnSegment checkpoint hook is
+// in place, so AfterSegment observes a WAL that already holds the
+// segment it is told about.
+func (d *Daemon) installHooks(env *transfer.Env) {
+	if r := d.cfg.Hooks.Remote; r != nil {
+		env.Net = r
+	}
+	if h := d.cfg.Hooks.AfterSegment; h != nil {
+		base := env.OnSegment
+		env.OnSegment = func(t *task.Task) {
+			if base != nil {
+				base(t)
+			}
+			h(t)
+		}
+	}
+}

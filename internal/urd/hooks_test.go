@@ -1,0 +1,228 @@
+package urd
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/mercury"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transfer"
+)
+
+// TestHooksZeroValueIsNoop pins the contract the scenario lab depends
+// on: a zero Hooks struct changes nothing. wrapFS must return the very
+// backend it was handed and a daemon built without hooks must behave
+// exactly like one from before the hooks existed.
+func TestHooksZeroValueIsNoop(t *testing.T) {
+	n := startNode(t, "node1", nil)
+	mem := storage.NewMemFS()
+	if got := n.d.wrapFS("x://", mem); got != mem {
+		t.Fatalf("zero-value wrapFS replaced the backend: %T", got)
+	}
+	if err := n.ctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "tmp0://", Backend: nornsctl.BackendMemory}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := n.ctl.Submit(task.Copy, task.MemoryRegion([]byte("plain")), task.PosixPath("tmp0://", "f"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := n.ctl.Wait(id, 5*time.Second); err != nil || st.Status != task.Finished {
+		t.Fatalf("status=%v err=%v", st.Status, err)
+	}
+}
+
+// TestAfterSegmentHook proves the hook fires once per completed segment
+// and only after the daemon's own checkpoint ran: by the time the hook
+// observes the task, the completed-segment counter already includes the
+// segment that triggered it.
+func TestAfterSegmentHook(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	var monotone atomic.Bool
+	monotone.Store(true)
+	cfg := Config{
+		NodeName:      "node1",
+		UserSocket:    filepath.Join(dir, "user.sock"),
+		ControlSocket: filepath.Join(dir, "ctl.sock"),
+		Workers:       1,
+		SegmentSize:   1 << 10,
+		Hooks: Hooks{
+			AfterSegment: func(tk *task.Task) {
+				done := int64(tk.Stats().SegmentsDone)
+				if done < calls.Add(1) {
+					monotone.Store(false)
+				}
+			},
+		},
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctl, err := nornsctl.Dial(cfg.ControlSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if err := ctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "tmp0://", Backend: nornsctl.BackendMemory}); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("s"), 4<<10+100) // 5 segments at 1 KiB
+	id, err := ctl.Submit(task.Copy, task.MemoryRegion(payload), task.PosixPath("tmp0://", "f"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := ctl.Wait(id, 5*time.Second); err != nil || st.Status != task.Finished {
+		t.Fatalf("status=%v err=%v", st.Status, err)
+	}
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("AfterSegment calls = %d, want 5", got)
+	}
+	if !monotone.Load() {
+		t.Fatal("hook observed a task whose segment counter lagged the call count: hook ran before the checkpoint")
+	}
+}
+
+// countingFS wraps an FS and counts files created through it, proving
+// the daemon routed a registered backend through Hooks.WrapFS.
+type countingFS struct {
+	storage.FS
+	creates atomic.Int64
+}
+
+func (c *countingFS) Create(name string) (io.WriteCloser, error) {
+	c.creates.Add(1)
+	return c.FS.Create(name)
+}
+
+// TestWrapFSHook proves every backend built from a dataspace spec is
+// passed through the hook, and that the daemon then uses the wrapper.
+func TestWrapFSHook(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	wrapped := map[string]*countingFS{}
+	cfg := Config{
+		NodeName:      "node1",
+		UserSocket:    filepath.Join(dir, "user.sock"),
+		ControlSocket: filepath.Join(dir, "ctl.sock"),
+		Workers:       1,
+		Hooks: Hooks{
+			WrapFS: func(id string, fs storage.FS) storage.FS {
+				c := &countingFS{FS: fs}
+				mu.Lock()
+				wrapped[id] = c
+				mu.Unlock()
+				return c
+			},
+		},
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctl, err := nornsctl.Dial(cfg.ControlSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if err := ctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "tmp0://", Backend: nornsctl.BackendMemory}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := ctl.Submit(task.Copy, task.MemoryRegion([]byte("through the wrapper")), task.PosixPath("tmp0://", "f"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := ctl.Wait(id, 5*time.Second); err != nil || st.Status != task.Finished {
+		t.Fatalf("status=%v err=%v", st.Status, err)
+	}
+	mu.Lock()
+	c := wrapped["tmp0://"]
+	mu.Unlock()
+	if c == nil {
+		t.Fatal("WrapFS never saw the registered dataspace")
+	}
+	if c.creates.Load() == 0 {
+		t.Fatal("daemon wrote around the WrapFS wrapper")
+	}
+}
+
+// hookRemote is a transfer.Remote that records sends in memory.
+type hookRemote struct {
+	mu    sync.Mutex
+	sends []string
+}
+
+func (r *hookRemote) SendFile(node, ds, path string, src mercury.BulkProvider) (int64, error) {
+	buf := make([]byte, src.Size())
+	if _, err := src.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.sends = append(r.sends, fmt.Sprintf("%s %s%s %d", node, ds, path, len(buf)))
+	r.mu.Unlock()
+	return int64(len(buf)), nil
+}
+
+func (r *hookRemote) OpenFile(node, ds, path string) (transfer.RemoteFile, error) {
+	return nil, fmt.Errorf("hookRemote: no files")
+}
+
+func (r *hookRemote) StatFile(node, ds, path string) (int64, error) {
+	return 0, fmt.Errorf("hookRemote: no files")
+}
+
+// TestRemoteHookOverride proves Hooks.Remote substitutes for the fabric
+// network manager: a daemon with no fabric configured still executes a
+// remote copy, through the injected Remote.
+func TestRemoteHookOverride(t *testing.T) {
+	dir := t.TempDir()
+	fake := &hookRemote{}
+	cfg := Config{
+		NodeName:      "node1",
+		UserSocket:    filepath.Join(dir, "user.sock"),
+		ControlSocket: filepath.Join(dir, "ctl.sock"),
+		Workers:       1,
+		Hooks:         Hooks{Remote: fake},
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctl, err := nornsctl.Dial(cfg.ControlSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if err := ctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "tmp0://", Backend: nornsctl.BackendMemory}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := ctl.Submit(task.Copy,
+		task.MemoryRegion([]byte("over the shim")),
+		task.RemotePosixPath("node2", "tmp0://", "dst"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ctl.Wait(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != task.Finished {
+		t.Fatalf("status = %v (%s)", st.Status, st.Err)
+	}
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	if len(fake.sends) != 1 || fake.sends[0] != "node2 tmp0://dst 13" {
+		t.Fatalf("sends = %q", fake.sends)
+	}
+}

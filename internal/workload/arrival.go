@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+)
+
+// Arrival generates submit times for n tasks from a seeded RNG. The
+// returned slice is sorted ascending and starts at or after 0; every
+// pattern is a pure function of (rng state, n), so two runs from the
+// same seed produce byte-identical schedules — the property the
+// scenario lab's replay contract depends on.
+type Arrival interface {
+	// Times returns n non-decreasing arrival offsets in seconds.
+	Times(rng *sim.RNG, n int) []float64
+	// String names the pattern for scenario specs and repro bundles.
+	String() string
+}
+
+// ConstantArrival spaces tasks evenly at the given interval — the
+// closed-loop "as fast as the previous one finished" shape of the
+// paper's throughput figures.
+type ConstantArrival struct {
+	Interval float64
+}
+
+func (a ConstantArrival) Times(_ *sim.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) * a.Interval
+	}
+	return out
+}
+
+func (a ConstantArrival) String() string {
+	return fmt.Sprintf("constant(%g)", a.Interval)
+}
+
+// PoissonArrival draws exponential inter-arrival gaps at the given
+// rate (tasks per second) — the memoryless open-loop client mix.
+type PoissonArrival struct {
+	Rate float64
+}
+
+func (a PoissonArrival) Times(rng *sim.RNG, n int) []float64 {
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += rng.Exp(a.Rate)
+		out[i] = t
+	}
+	return out
+}
+
+func (a PoissonArrival) String() string {
+	return fmt.Sprintf("poisson(%g)", a.Rate)
+}
+
+// BurstyArrival clusters tasks into bursts: burst starts are Poisson at
+// BurstRate, each burst holds Size tasks spread uniformly over Width
+// seconds. This is the stage-in shape of workflow schedulers — a job
+// dispatch fans out many near-simultaneous transfers.
+type BurstyArrival struct {
+	BurstRate float64 // bursts per second
+	Size      int     // tasks per burst
+	Width     float64 // seconds a burst is smeared over
+}
+
+func (a BurstyArrival) Times(rng *sim.RNG, n int) []float64 {
+	out := make([]float64, 0, n)
+	start := 0.0
+	for len(out) < n {
+		start += rng.Exp(a.BurstRate)
+		for i := 0; i < a.Size && len(out) < n; i++ {
+			out = append(out, start+rng.Uniform(0, a.Width))
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func (a BurstyArrival) String() string {
+	return fmt.Sprintf("bursty(%g,%d,%g)", a.BurstRate, a.Size, a.Width)
+}

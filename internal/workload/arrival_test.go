@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/sim"
+)
+
+func patterns() []Arrival {
+	return []Arrival{
+		ConstantArrival{Interval: 0.25},
+		PoissonArrival{Rate: 40},
+		BurstyArrival{BurstRate: 2, Size: 16, Width: 0.5},
+	}
+}
+
+// Same seed, same schedule — the lab's replay contract.
+func TestArrivalDeterministic(t *testing.T) {
+	for _, p := range patterns() {
+		a := p.Times(sim.NewRNG(7), 500)
+		b := p.Times(sim.NewRNG(7), 500)
+		if len(a) != 500 || len(b) != 500 {
+			t.Fatalf("%s: lengths %d/%d", p, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: diverged at %d: %v vs %v", p, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestArrivalSortedNonNegative(t *testing.T) {
+	for _, p := range patterns() {
+		times := p.Times(sim.NewRNG(3), 1000)
+		prev := 0.0
+		for i, v := range times {
+			if v < prev || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: times[%d]=%v after %v", p, i, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// Poisson at rate λ should average ~1/λ between arrivals; a loose 3σ
+// band keeps the test meaningful without seed-tuning.
+func TestPoissonMeanGap(t *testing.T) {
+	const n, rate = 20000, 25.0
+	times := PoissonArrival{Rate: rate}.Times(sim.NewRNG(11), n)
+	mean := times[n-1] / float64(n)
+	want := 1 / rate
+	if math.Abs(mean-want) > 3*want/math.Sqrt(n) {
+		t.Fatalf("mean gap %v, want ~%v", mean, want)
+	}
+}
+
+// Bursty schedules must actually cluster: the fraction of gaps smaller
+// than the burst width has to dwarf what a uniform spread would give.
+func TestBurstyClusters(t *testing.T) {
+	a := BurstyArrival{BurstRate: 0.5, Size: 32, Width: 0.2}
+	times := a.Times(sim.NewRNG(5), 1024)
+	small := 0
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] < a.Width {
+			small++
+		}
+	}
+	if frac := float64(small) / float64(len(times)-1); frac < 0.8 {
+		t.Fatalf("only %.0f%% of gaps inside a burst width; schedule is not bursty", frac*100)
+	}
+}
