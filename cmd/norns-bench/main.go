@@ -34,7 +34,7 @@ import (
 var knownExperiments = []string{
 	"fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"tab3", "tab4", "tab5",
-	"streams", "batch", "hotpath", "localcopy", "autotune", "ablations",
+	"streams", "batch", "hotpath", "localcopy", "autotune", "ablations", "cache",
 }
 
 func main() {
@@ -136,6 +136,9 @@ func main() {
 	if selected("autotune") {
 		show(experiments.AutotuneConverge(tmp, 0))
 		show(experiments.AutotuneCapCeiling(tmp))
+	}
+	if selected("cache") {
+		show(experiments.RepeatStageIn(tmp))
 	}
 	if selected("ablations") {
 		show(experiments.AblationScheduler(tmp, 0))

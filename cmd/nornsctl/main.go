@@ -102,6 +102,10 @@ func main() {
 					r.In, r.Out, r.Kind, r.Streams, mib(r.SegSize), r.GoodputBps/(1<<20), r.Samples, r.State)
 			}
 		}
+		if st.CacheEnabled {
+			fmt.Printf("cache: %s/%s hits=%d misses=%d evictions=%d\n",
+				mib(st.CacheBytes), mib(st.CacheCapBytes), st.CacheHits, st.CacheMisses, st.CacheEvictions)
+		}
 	case "shutdown":
 		if err := c.Shutdown(); err != nil {
 			log.Fatal(err)
@@ -197,6 +201,9 @@ func main() {
 		fmt.Printf("task %d: %s (%d/%d bytes)", id, st.Status, st.MovedBytes, st.TotalBytes)
 		if st.SegmentsTotal > 0 {
 			fmt.Printf(" segments %d/%d", st.SegmentsDone, st.SegmentsTotal)
+		}
+		if st.CacheBytes > 0 || st.DeltaBytes > 0 {
+			fmt.Printf(" cached=%d delta-skipped=%d", st.CacheBytes, st.DeltaBytes)
 		}
 		if st.Err != "" {
 			fmt.Printf(" err=%q", st.Err)

@@ -72,6 +72,8 @@ func main() {
 		noOffload   = flag.Bool("no-offload", false, "force local staging onto the portable user-space copy path even when the kernel range-copy offload is available")
 		maxBW       = flag.String("max-bandwidth", "", "aggregate transfer bandwidth cap in bytes/s, e.g. 500M (empty = unlimited)")
 		bufSize     = flag.String("buf-size", "", "copy/throttle chunk size, e.g. 256K (empty = default 256K); bounds cancel latency")
+		cacheDir    = flag.String("cache-dir", "", "directory for the content-addressed staging cache; repeated stage-ins of unchanged segments are served from local disk and delta transfers skip matching segments (empty disables)")
+		cacheSize   = flag.String("cache-size", "", "staging-cache size bound, e.g. 4G (empty = default 1G); least-recently-used entries are evicted past it")
 		rpcTimeout  = flag.Duration("rpc-timeout", 30*time.Second, "deadline per peer RPC / bulk-stream idle gap (0 = none)")
 		eventQueue  = flag.Int("event-queue", 0, "max queued push events per subscriber before coalescing into a gap event (0 = default 256)")
 		progressIv  = flag.Duration("progress-interval", 0, "floor between per-task progress-tick events pushed to subscribers (0 = default 100ms)")
@@ -89,6 +91,10 @@ func main() {
 	bufBytes, err := parseSize(*bufSize)
 	if err != nil {
 		log.Fatalf("bad -buf-size %q: %v", *bufSize, err)
+	}
+	cacheBytes, err := parseSize(*cacheSize)
+	if err != nil {
+		log.Fatalf("bad -cache-size %q: %v", *cacheSize, err)
 	}
 
 	var factory func() queue.Policy
@@ -123,6 +129,8 @@ func main() {
 		Autotune:           *autotune,
 		AutotuneMinSamples: *autotuneMin,
 		DisableOffload:     *noOffload,
+		CacheDir:           *cacheDir,
+		CacheSize:          cacheBytes,
 		RPCTimeout:         *rpcTimeout,
 		EventQueue:         *eventQueue,
 		ProgressInterval:   *progressIv,

@@ -88,6 +88,11 @@ type Stats struct {
 	SegmentsDone  uint64
 	// BandwidthBps is the task's observed transfer rate at poll time.
 	BandwidthBps float64
+	// CacheBytes is the subset of MovedBytes served from the daemon's
+	// staging cache instead of the fabric; DeltaBytes counts bytes never
+	// moved because the destination already matched the source digests.
+	CacheBytes int64
+	DeltaBytes int64
 }
 
 func statsOf(st *proto.TaskStats) Stats {
@@ -100,6 +105,8 @@ func statsOf(st *proto.TaskStats) Stats {
 		SegmentsTotal: st.SegmentsTotal,
 		SegmentsDone:  st.SegmentsDone,
 		BandwidthBps:  st.BandwidthBps,
+		CacheBytes:    st.CacheBytes,
+		DeltaBytes:    st.DeltaBytes,
 	}
 }
 
@@ -310,6 +317,15 @@ type DaemonStatus struct {
 	// moved data on.
 	Autotune       bool
 	AutotuneRoutes []AutotuneRoute
+	// CacheEnabled reports whether the content-addressed staging cache
+	// is configured; the gauges below are its lifetime counters and
+	// current footprint versus the configured bound.
+	CacheEnabled   bool
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheBytes     int64
+	CacheCapBytes  int64
 }
 
 // AutotuneRoute is one row of the daemon's transfer-tuning table.
@@ -352,6 +368,12 @@ func (c *Client) StatusInfo() (DaemonStatus, error) {
 		RecoveredCancelled: s.RecoveredCancelled,
 		RecoveredTerminal:  s.RecoveredTerminal,
 		Autotune:           s.Autotune,
+		CacheEnabled:       s.CacheEnabled,
+		CacheHits:          s.CacheHits,
+		CacheMisses:        s.CacheMisses,
+		CacheEvictions:     s.CacheEvictions,
+		CacheBytes:         s.CacheBytes,
+		CacheCapBytes:      s.CacheCapBytes,
 	}
 	for _, r := range s.AutotuneRoutes {
 		out.AutotuneRoutes = append(out.AutotuneRoutes, AutotuneRoute{

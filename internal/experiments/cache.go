@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// RepeatStageIn measures the content-addressed staging cache on the
+// two-daemon loopback fabric: the same payload is staged in cold (first
+// contact, everything crosses the fabric and fills the cache), warm
+// (repeat stage-ins served from the cache), and delta (the source
+// changes one segment; only that segment crosses the fabric, the rest
+// are digest-matched against the destination and skipped).
+//
+// The phases are also acceptance checks: warm must cut fabric bytes by
+// at least 90% versus cold, and delta must move exactly the changed
+// segment — a regression returns an error rather than a quietly worse
+// table.
+func RepeatStageIn(socketDir string) (*metrics.Table, error) {
+	dir, err := os.MkdirTemp(socketDir, "cache")
+	if err != nil {
+		return nil, err
+	}
+
+	const (
+		segSize   = 1 << 20
+		segments  = 16
+		totalSize = int64(segments * segSize)
+		warmReps  = 4
+	)
+	// Mix the segment index into the pattern: a plain periodic fill
+	// would make every segment content-identical, and the cold phase
+	// would already dedupe against the cache instead of establishing an
+	// all-fabric baseline.
+	payload := make([]byte, totalSize)
+	for i := range payload {
+		payload[i] = byte(i*31 + i/segSize)
+	}
+
+	resolver := urd.NewStaticResolver()
+	target, err := urd.New(urd.Config{
+		NodeName:      "target",
+		ControlSocket: dir + "/t.sock",
+		Fabric:        "ofi+tcp",
+		Resolver:      resolver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer target.Close()
+	init, err := urd.New(urd.Config{
+		NodeName:      "init",
+		ControlSocket: dir + "/i.sock",
+		Fabric:        "ofi+tcp",
+		Resolver:      resolver,
+		SegmentSize:   segSize,
+		CacheDir:      dir + "/cas",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer init.Close()
+	resolver.Set("target", target.FabricAddr())
+	resolver.Set("init", init.FabricAddr())
+
+	tctl, err := nornsctl.Dial(dir + "/t.sock")
+	if err != nil {
+		return nil, err
+	}
+	defer tctl.Close()
+	if err := tctl.RegisterDataspace(nornsctl.DataspaceDef{ID: "mem0://", Backend: nornsctl.BackendMemory}); err != nil {
+		return nil, err
+	}
+	ictl, err := nornsctl.Dial(dir + "/i.sock")
+	if err != nil {
+		return nil, err
+	}
+	defer ictl.Close()
+	if err := ictl.RegisterDataspace(nornsctl.DataspaceDef{ID: "mem0://", Backend: nornsctl.BackendMemory}); err != nil {
+		return nil, err
+	}
+	seed := func(data []byte) error {
+		ds, err := target.Controller.Spaces.Get("mem0://")
+		if err != nil {
+			return err
+		}
+		w, err := ds.Backend.FS.Create("src")
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	}
+	if err := seed(payload); err != nil {
+		return nil, err
+	}
+
+	// stage runs one stage-in of src to dst and returns its final stats.
+	stage := func(dst string) (nornsctl.Stats, error) {
+		id, err := ictl.Submit(task.Copy,
+			task.RemotePosixPath("target", "mem0://", "src"),
+			task.PosixPath("mem0://", dst), 0, 0)
+		if err != nil {
+			return nornsctl.Stats{}, err
+		}
+		st, err := ictl.Wait(id, 5*time.Minute)
+		if err != nil {
+			return nornsctl.Stats{}, err
+		}
+		if st.Status != task.Finished {
+			return nornsctl.Stats{}, fmt.Errorf("stage-in to %s failed: %+v", dst, st)
+		}
+		return st, nil
+	}
+
+	t := metrics.NewTable(
+		"Repeat stage-in — content-addressed staging cache (ofi+tcp loopback)",
+		"Phase", "Tasks", "Fabric MiB", "Cache MiB", "Delta MiB", "Tasks/s")
+
+	// Cold: first contact with the content; everything crosses the
+	// fabric and tees into the cache.
+	start := time.Now()
+	st, err := stage("staged")
+	if err != nil {
+		return nil, err
+	}
+	coldElapsed := time.Since(start)
+	coldFabric := st.MovedBytes - st.CacheBytes
+	t.AddRow("cold", 1, float64(coldFabric)/mib, float64(st.CacheBytes)/mib, float64(st.DeltaBytes)/mib, 1/coldElapsed.Seconds())
+
+	// Warm: repeat stage-ins of the unchanged payload to fresh
+	// destinations; segments are served from the cache.
+	var warmFabric, warmCache, warmDelta int64
+	start = time.Now()
+	for rep := 0; rep < warmReps; rep++ {
+		st, err := stage(fmt.Sprintf("warm-%d", rep))
+		if err != nil {
+			return nil, err
+		}
+		warmFabric += st.MovedBytes - st.CacheBytes
+		warmCache += st.CacheBytes
+		warmDelta += st.DeltaBytes
+	}
+	warmElapsed := time.Since(start)
+	t.AddRow("warm", warmReps, float64(warmFabric)/mib, float64(warmCache)/mib, float64(warmDelta)/mib, warmReps/warmElapsed.Seconds())
+	if warmFabric*10 > coldFabric*warmReps {
+		return nil, fmt.Errorf("warm stage-ins moved %d fabric bytes over %d tasks against %d cold: less than the required 90%% reduction",
+			warmFabric, warmReps, coldFabric)
+	}
+
+	// Delta: one segment of the source changes; re-staging onto the
+	// existing destination digest-matches the other segments in place
+	// and pulls only the changed one.
+	changed := append([]byte(nil), payload...)
+	for i := 5 * segSize; i < 6*segSize; i++ {
+		changed[i] = ^changed[i]
+	}
+	if err := seed(changed); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	st, err = stage("staged")
+	if err != nil {
+		return nil, err
+	}
+	deltaElapsed := time.Since(start)
+	deltaFabric := st.MovedBytes - st.CacheBytes
+	t.AddRow("delta", 1, float64(deltaFabric)/mib, float64(st.CacheBytes)/mib, float64(st.DeltaBytes)/mib, 1/deltaElapsed.Seconds())
+	if deltaFabric != segSize {
+		return nil, fmt.Errorf("delta stage-in moved %d fabric bytes, want exactly the %d-byte changed segment", deltaFabric, int64(segSize))
+	}
+	if st.DeltaBytes != totalSize-segSize {
+		return nil, fmt.Errorf("delta stage-in skipped %d bytes, want %d", st.DeltaBytes, totalSize-segSize)
+	}
+	return t, nil
+}

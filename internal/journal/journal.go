@@ -67,6 +67,11 @@ type record struct {
 	// record, so a resurrected task keeps reporting its segment plan.
 	SegsTotal uint32
 	SegsDone  uint32
+	// Cache/Delta are the staging-cache byte counters of a state record
+	// (bytes served from the local content-addressed cache and bytes
+	// skipped by delta matching), so resurrection keeps them honest.
+	Cache int64
+	Delta int64
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -117,6 +122,12 @@ func (r *record) MarshalWire(e *wire.Encoder) {
 	if r.SegsDone != 0 {
 		e.Uint32(16, r.SegsDone)
 	}
+	if r.Cache != 0 {
+		e.Int64(17, r.Cache)
+	}
+	if r.Delta != 0 {
+		e.Int64(18, r.Delta)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -157,6 +168,10 @@ func (r *record) UnmarshalWire(d *wire.Decoder) error {
 			r.SegsTotal = d.Uint32()
 		case 16:
 			r.SegsDone = d.Uint32()
+		case 17:
+			r.Cache = d.Int64()
+		case 18:
+			r.Delta = d.Int64()
 		default:
 			d.Skip()
 		}
@@ -187,6 +202,12 @@ type TaskRecord struct {
 	// task (resurrection fidelity; zero while running).
 	SegsTotal int
 	SegsDone  int
+	// CacheBytes/DeltaBytes are the staging-cache counters of the last
+	// recorded transition: bytes served locally from the content-
+	// addressed cache and bytes skipped because the destination already
+	// matched the remote digests.
+	CacheBytes int64
+	DeltaBytes int64
 }
 
 // Options tunes a journal. The zero value selects the defaults.
@@ -422,6 +443,8 @@ func (j *Journal) apply(rec *record) {
 			tr.MovedBytes = rec.Moved
 			tr.SegsTotal = int(rec.SegsTotal)
 			tr.SegsDone = int(rec.SegsDone)
+			tr.CacheBytes = rec.Cache
+			tr.DeltaBytes = rec.Delta
 		}
 		if rec.SegSize != 0 {
 			tr.SegSize = rec.SegSize
@@ -443,6 +466,8 @@ func (j *Journal) apply(rec *record) {
 		tr.Err = rec.Err
 		tr.TotalBytes = rec.Total
 		tr.MovedBytes = rec.Moved
+		tr.CacheBytes = rec.Cache
+		tr.DeltaBytes = rec.Delta
 		if tr.Status.Terminal() {
 			// A terminal task never resumes; keeping its checkpoint would
 			// only bloat every later snapshot. The scalar segment counters
@@ -782,6 +807,8 @@ func (j *Journal) RecordStats(id uint64, st task.Stats) error {
 		Moved:     st.MovedBytes,
 		SegsTotal: uint32(st.SegmentsTotal),
 		SegsDone:  uint32(st.SegmentsDone),
+		Cache:     st.CacheBytes,
+		Delta:     st.DeltaBytes,
 	}
 	err := j.append(rec)
 	*rec = record{}
@@ -939,6 +966,8 @@ func (j *Journal) compactLocked() error {
 			SegBits:   tr.SegBits,
 			SegsTotal: uint32(tr.SegsTotal),
 			SegsDone:  uint32(tr.SegsDone),
+			Cache:     tr.CacheBytes,
+			Delta:     tr.DeltaBytes,
 		}
 		buf, werr = wire.AppendFrame(buf, &rec)
 	}

@@ -1,12 +1,14 @@
 package lab
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
 
+	"github.com/ngioproject/norns-go/internal/cascache"
 	"github.com/ngioproject/norns-go/internal/mercury"
 	"github.com/ngioproject/norns-go/internal/storage"
 	"github.com/ngioproject/norns-go/internal/transfer"
@@ -25,12 +27,16 @@ var errPartitioned = errors.New("lab: partition: peer unreachable")
 type labRemote struct {
 	partitioned atomic.Bool
 	sent        atomic.Int64 // bytes acknowledged to senders
+	pulled      atomic.Int64 // bytes served to pullers over the "fabric"
 
 	mu    sync.Mutex
 	peers map[string]*storage.MemFS
 }
 
-var _ transfer.Remote = (*labRemote)(nil)
+var (
+	_ transfer.Remote       = (*labRemote)(nil)
+	_ transfer.DigestRemote = (*labRemote)(nil)
+)
 
 func newLabRemote(peers ...string) *labRemote {
 	r := &labRemote{peers: make(map[string]*storage.MemFS)}
@@ -90,6 +96,22 @@ func (r *labRemote) OpenFile(node, srcDataspace, srcPath string) (transfer.Remot
 	return &labRemoteFile{r: r, data: data}, nil
 }
 
+// OpenFileDigested implements transfer.DigestRemote: the same snapshot
+// open as OpenFile, plus per-segment SHA-256 digests — what the warm-
+// cache scenario's staging cache keys on.
+func (r *labRemote) OpenFileDigested(node, srcDataspace, srcPath string, segSize int64) (transfer.RemoteFile, [][]byte, error) {
+	rf, err := r.OpenFile(node, srcDataspace, srcPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := rf.(*labRemoteFile)
+	digests, err := cascache.HashSegments(bytes.NewReader(f.data), int64(len(f.data)), segSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rf, digests, nil
+}
+
 func (r *labRemote) StatFile(node, srcDataspace, srcPath string) (int64, error) {
 	fs, err := r.peer(node)
 	if err != nil {
@@ -123,6 +145,7 @@ func (f *labRemoteFile) PullRange(stream int, off, count int64, dst mercury.Bulk
 		end = int64(len(f.data))
 	}
 	n, err := dst.WriteAt(f.data[off:end], 0)
+	f.r.pulled.Add(int64(n))
 	return int64(n), err
 }
 

@@ -91,14 +91,15 @@ type Runner struct {
 type scenarioFunc func(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error
 
 var classFuncs = map[string]scenarioFunc{
-	"crash":     runCrash,
-	"partition": runPartition,
-	"slow-disk": runSlowDisk,
-	"skew":      runSkew,
-	"governor":  runGovernor,
-	"autotune":  runAutotune,
-	"events":    runEvents,
-	"soak":      runSoak,
+	"crash":      runCrash,
+	"partition":  runPartition,
+	"slow-disk":  runSlowDisk,
+	"skew":       runSkew,
+	"governor":   runGovernor,
+	"autotune":   runAutotune,
+	"events":     runEvents,
+	"soak":       runSoak,
+	"warm-cache": runWarmCache,
 }
 
 // Run executes one scenario and returns its result. The error return

@@ -80,6 +80,15 @@ func Scenarios() []*Spec {
 			Assert:   []string{"all-finish", "autotune-converges"},
 		},
 		{
+			Name: "warm-cache", Class: "warm-cache",
+			Desc:  "repeat stage-ins of one payload; after the first task the staging cache serves ≥90% of the bytes and the hit/miss ledger is exact",
+			Nodes: 2, Tasks: 6,
+			PayloadBytes: 8 * 32 << 10, SegmentSize: 32 << 10,
+			Workers: 1, Streams: 1,
+			Arrival: ArrivalSpec{Pattern: "constant"},
+			Assert:  []string{"all-finish", "warm-cache-hits", "cold-only-fabric", "hit-miss-deterministic"},
+		},
+		{
 			Name: "terminal-events", Class: "events",
 			Desc:  "the event hub delivers a terminal event for every explicitly subscribed task",
 			Nodes: 4, Tasks: 64,
@@ -592,6 +601,107 @@ func runAutotune(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
 	routes := tuner.Snapshot()
 	res.check("autotune-converges", len(routes) > 0 && tuner.Converged(),
 		"routes=%d converged=%v", len(routes), tuner.Converged())
+	return nil
+}
+
+// runWarmCache stages the same remote payload N times through a daemon
+// with the content-addressed staging cache enabled. The first task is
+// the only one allowed to touch the fabric; every later task must serve
+// at least 90% of its bytes from the cache, and — with one worker and
+// one stream — the per-task hit/miss ledger is an exact function of the
+// segment count: all misses on task 0, all hits after.
+func runWarmCache(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	dir, err := r.scratchDir(spec)
+	if err != nil {
+		return err
+	}
+	mount := filepath.Join(dir, "data")
+	if err := os.MkdirAll(mount, 0o755); err != nil {
+		return err
+	}
+	segSize := spec.segmentSize()
+	segments := int(spec.PayloadBytes / segSize)
+	if int64(segments)*segSize != spec.PayloadBytes {
+		return fmt.Errorf("lab: warm-cache payload must be a whole number of segments")
+	}
+
+	remote := newLabRemote("peer-b")
+	data := payload(rng, spec.PayloadBytes)
+	if err := remote.peers["peer-b"].WriteFile("src", data); err != nil {
+		return err
+	}
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-cache", Workers: spec.workers(), TransferStreams: spec.streams(),
+		SegmentSize: segSize, CacheDir: filepath.Join(dir, "cas"),
+		Hooks: urd.Hooks{Remote: remote},
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := register(d, &proto.DataspaceSpec{ID: "disk://", Backend: uint32(1), Mount: mount}); err != nil {
+		return err
+	}
+
+	cacheGauges := func() (hits, misses uint64, err error) {
+		resp := d.Handle(peerCtl(), &proto.Request{Op: proto.OpStatus})
+		if resp.Status != proto.Success || resp.StatusInfo == nil {
+			return 0, 0, fmt.Errorf("lab: status: %s", resp.Error)
+		}
+		return resp.StatusInfo.CacheHits, resp.StatusInfo.CacheMisses, nil
+	}
+
+	var stats []proto.TaskStats
+	var prevHits, prevMisses uint64
+	allFin, ledgerExact := true, true
+	var warmMoved, warmCached int64
+	for i := 0; i < spec.Tasks; i++ {
+		ts := &proto.TaskSpec{
+			Kind:   uint32(task.Copy),
+			Input:  proto.FromResource(task.RemotePosixPath("peer-b", "rmt://", "src")),
+			Output: proto.FromResource(task.PosixPath("disk://", fmt.Sprintf("w/%d", i))),
+		}
+		id, err := d.Submit(ts, 0, true)
+		if err != nil {
+			return err
+		}
+		st, err := waitTask(d, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		stats = append(stats, st)
+		if task.Status(st.Status) != task.Finished {
+			allFin = false
+		}
+		hits, misses, err := cacheGauges()
+		if err != nil {
+			return err
+		}
+		dh, dm := hits-prevHits, misses-prevMisses
+		prevHits, prevMisses = hits, misses
+		// This line is the determinism contract: with one worker and one
+		// stream the ledger depends only on the spec, never on timing.
+		res.logf("cache: task %d hits=%d misses=%d cached=%d moved=%d", i, dh, dm, st.CacheBytes, st.MovedBytes)
+		wantHits, wantMisses := uint64(segments), uint64(0)
+		if i == 0 {
+			wantHits, wantMisses = 0, uint64(segments)
+		}
+		if dh != wantHits || dm != wantMisses {
+			ledgerExact = false
+		}
+		if i > 0 {
+			warmMoved += st.MovedBytes
+			warmCached += st.CacheBytes
+		}
+	}
+	summarize(res, "warm-cache", stats)
+	res.check("all-finish", allFin, "%d repeat stage-ins", len(stats))
+	res.check("warm-cache-hits", warmMoved > 0 && warmCached*10 >= warmMoved*9,
+		"tasks after the first served %d of %d bytes from the cache", warmCached, warmMoved)
+	res.check("cold-only-fabric", remote.pulled.Load() == spec.PayloadBytes,
+		"fabric moved %d bytes, want exactly one cold payload of %d", remote.pulled.Load(), spec.PayloadBytes)
+	res.check("hit-miss-deterministic", ledgerExact,
+		"per-task hit/miss ledger matches the %d-segment plan on every task", segments)
 	return nil
 }
 

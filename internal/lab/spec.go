@@ -85,7 +85,7 @@ type FaultSpec struct {
 // through JSON unchanged, which is what the repro bundle relies on.
 type Spec struct {
 	Name  string `json:"name"`
-	Class string `json:"class"` // crash | partition | slow-disk | skew | governor | autotune | events | soak
+	Class string `json:"class"` // crash | partition | slow-disk | skew | governor | autotune | events | soak | warm-cache
 	Desc  string `json:"desc,omitempty"`
 
 	// Nodes is the modeled client-node count for the fig-6/7-shaped

@@ -468,6 +468,12 @@ type TaskStats struct {
 	SegmentsDone  uint64
 	// BandwidthBps is the task's observed transfer rate at poll time.
 	BandwidthBps float64
+	// CacheBytes is the subset of MovedBytes served from the local
+	// content-addressed staging cache; DeltaBytes counts bytes skipped
+	// entirely because the destination already matched the remote's
+	// per-segment digests.
+	CacheBytes int64
+	DeltaBytes int64
 }
 
 // FromStats converts task.Stats.
@@ -481,6 +487,8 @@ func FromStats(s task.Stats) TaskStats {
 		SegmentsTotal: uint64(s.SegmentsTotal),
 		SegmentsDone:  uint64(s.SegmentsDone),
 		BandwidthBps:  s.BandwidthBps,
+		CacheBytes:    s.CacheBytes,
+		DeltaBytes:    s.DeltaBytes,
 	}
 }
 
@@ -508,6 +516,12 @@ func (st *TaskStats) MarshalWire(e *wire.Encoder) {
 	if st.BandwidthBps != 0 {
 		e.Float64(8, st.BandwidthBps)
 	}
+	if st.CacheBytes != 0 {
+		e.Int64(9, st.CacheBytes)
+	}
+	if st.DeltaBytes != 0 {
+		e.Int64(10, st.DeltaBytes)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -530,6 +544,10 @@ func (st *TaskStats) UnmarshalWire(d *wire.Decoder) error {
 			st.SegmentsDone = d.Uint64()
 		case 8:
 			st.BandwidthBps = d.Float64()
+		case 9:
+			st.CacheBytes = d.Int64()
+		case 10:
+			st.DeltaBytes = d.Int64()
 		default:
 			d.Skip()
 		}
@@ -991,6 +1009,16 @@ type DaemonStatus struct {
 	// AutotuneRoutes is its table (routes the daemon has moved data on).
 	Autotune       bool
 	AutotuneRoutes []AutotuneRoute
+	// CacheEnabled reports whether the content-addressed staging cache
+	// is configured; the gauges below are its lifetime counters.
+	CacheEnabled   bool
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	// CacheBytes/CacheCapBytes are the cache's current footprint and its
+	// configured size bound.
+	CacheBytes    int64
+	CacheCapBytes int64
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -1026,6 +1054,24 @@ func (ds *DaemonStatus) MarshalWire(e *wire.Encoder) {
 	}
 	for i := range ds.AutotuneRoutes {
 		e.Message(13, &ds.AutotuneRoutes[i])
+	}
+	if ds.CacheEnabled {
+		e.Bool(15, ds.CacheEnabled)
+	}
+	if ds.CacheHits != 0 {
+		e.Uint64(16, ds.CacheHits)
+	}
+	if ds.CacheMisses != 0 {
+		e.Uint64(17, ds.CacheMisses)
+	}
+	if ds.CacheEvictions != 0 {
+		e.Uint64(18, ds.CacheEvictions)
+	}
+	if ds.CacheBytes != 0 {
+		e.Int64(19, ds.CacheBytes)
+	}
+	if ds.CacheCapBytes != 0 {
+		e.Int64(20, ds.CacheCapBytes)
 	}
 }
 
@@ -1066,6 +1112,18 @@ func (ds *DaemonStatus) UnmarshalWire(d *wire.Decoder) error {
 			if n := d.Uint64(); ds.AutotuneRoutes == nil && n > 0 && n <= uint64(d.Remaining()/2) {
 				ds.AutotuneRoutes = make([]AutotuneRoute, 0, n)
 			}
+		case 15:
+			ds.CacheEnabled = d.Bool()
+		case 16:
+			ds.CacheHits = d.Uint64()
+		case 17:
+			ds.CacheMisses = d.Uint64()
+		case 18:
+			ds.CacheEvictions = d.Uint64()
+		case 19:
+			ds.CacheBytes = d.Int64()
+		case 20:
+			ds.CacheCapBytes = d.Int64()
 		default:
 			d.Skip()
 		}

@@ -211,6 +211,13 @@ type Stats struct {
 	// BandwidthBps is the task's observed transfer rate, computed at
 	// snapshot time from MovedBytes over the elapsed running time.
 	BandwidthBps float64
+	// CacheBytes is the subset of MovedBytes served from the local
+	// content-addressed staging cache instead of the fabric; DeltaBytes
+	// counts bytes never copied at all because the destination already
+	// matched the remote's per-segment digests. Fabric traffic for a
+	// task is MovedBytes - CacheBytes.
+	CacheBytes int64
+	DeltaBytes int64
 }
 
 // Task is one asynchronous I/O request tracked by a urd daemon.
@@ -403,6 +410,30 @@ func (t *Task) Progress(moved int64) {
 	t.mu.Lock()
 	if t.stats.Status == Running || t.stats.Status == Cancelling {
 		t.stats.MovedBytes += moved
+	}
+	t.mu.Unlock()
+}
+
+// ProgressCache adds cache-served bytes while Running or Cancelling.
+// The bytes are already counted in MovedBytes via Progress; this tracks
+// the locally-served subset so fabric traffic stays distinguishable. A
+// negative delta retracts a cache serve that failed digest verification
+// before the segment is re-pulled over the fabric.
+func (t *Task) ProgressCache(moved int64) {
+	t.mu.Lock()
+	if t.stats.Status == Running || t.stats.Status == Cancelling {
+		t.stats.CacheBytes += moved
+	}
+	t.mu.Unlock()
+}
+
+// ProgressDelta adds delta-skipped bytes while Running or Cancelling:
+// segments never copied because the destination content already matched
+// the remote digests. Not part of MovedBytes.
+func (t *Task) ProgressDelta(skipped int64) {
+	t.mu.Lock()
+	if t.stats.Status == Running || t.stats.Status == Cancelling {
+		t.stats.DeltaBytes += skipped
 	}
 	t.mu.Unlock()
 }
@@ -625,6 +656,8 @@ func (t *Task) Restore(st Stats) error {
 	t.stats.SizeErr = st.SizeErr
 	t.stats.SegmentsTotal = st.SegmentsTotal
 	t.stats.SegmentsDone = st.SegmentsDone
+	t.stats.CacheBytes = st.CacheBytes
+	t.stats.DeltaBytes = st.DeltaBytes
 	t.stats.Ended = st.Ended
 	if t.stats.Ended.IsZero() {
 		t.stats.Ended = time.Now()

@@ -1,0 +1,209 @@
+package transfer
+
+import (
+	"bytes"
+	"context"
+	"io"
+
+	"github.com/ngioproject/norns-go/internal/cascache"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// This file wires the content-addressed staging cache into the remote
+// pull path: delta skipping (the destination already holds a segment's
+// content), warm serves (the cache holds it), and tee-fills (a fabric
+// pull populates the cache for the next task).
+//
+// Metering contract: cache-served bytes are local disk traffic. They
+// count into MovedBytes (the destination did receive them) and into
+// CacheBytes (so fabric volume stays derivable as Moved - Cache), but
+// they are never charged to the fabric bandwidth governor — and a serve
+// retracted after a digest mismatch retracts both counters before the
+// fabric re-pull, so a retried segment can neither double-count bytes
+// nor double-charge governor debt.
+
+// validDigests sanity-checks a digest set against the transfer plan:
+// one well-formed digest per planned segment, or nothing.
+func validDigests(digests [][]byte, size, segSize int64) [][]byte {
+	if len(digests) == 0 || size <= 0 || segSize <= 0 {
+		return nil
+	}
+	if int64(len(digests)) != (size+segSize-1)/segSize {
+		return nil
+	}
+	for _, d := range digests {
+		if len(d) != cascache.DigestLen {
+			return nil
+		}
+	}
+	return digests
+}
+
+// deltaSkip hashes the destination's existing content against the
+// peer's digests and completes — checkpoint included, so a crashed
+// delta resumes exactly like a cold transfer — every pending segment
+// the destination already holds. It returns the segments still to
+// move. Runs before OpenWriterAt resizes the destination.
+func (c *Env) deltaSkip(t *task.Task, dstFS storage.FS, pending []Segment, digests [][]byte) []Segment {
+	if len(digests) == 0 || len(pending) == 0 {
+		return pending
+	}
+	rfs, ok := dstFS.(storage.RandomReadFS)
+	if !ok {
+		return pending
+	}
+	r, err := rfs.OpenReaderAt(t.Output.Path)
+	if err != nil {
+		return pending // no destination yet: nothing to delta against
+	}
+	defer r.Close()
+	oldSize := r.Size()
+	kept := pending[:0:0]
+	for _, sg := range pending {
+		if sg.Len > 0 && sg.Off+sg.Len <= oldSize {
+			if sum, err := cascache.HashSegment(r, sg.Off, sg.Len); err == nil && bytes.Equal(sum, digests[sg.Index]) {
+				t.CompleteSegment(sg.Index)
+				c.checkpoint(t)
+				t.ProgressDelta(sg.Len)
+				continue
+			}
+		}
+		kept = append(kept, sg)
+	}
+	return kept
+}
+
+// offsetReaderAt shifts an io.ReaderAt by delta, so a 0-based cache
+// entry reads as if located at the segment's offset in the file —
+// what copyRange's coupled src/dst offsets expect.
+type offsetReaderAt struct {
+	r     io.ReaderAt
+	delta int64
+}
+
+func (o offsetReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	return o.r.ReadAt(p, off-o.delta)
+}
+
+// serveFromCache tries to serve segment sg from the staging cache into
+// w. It reports (true, nil) when the destination now holds the
+// segment; (false, nil) when the caller should pull from the fabric (a
+// miss, a refused offload, or a corrupt entry — quarantined, with any
+// partial progress retracted). The only error returns are ctx ones.
+//
+// Verified entries go through the kernel RangeCopier offload when the
+// destination offers it; unverified entries (adopted from disk by a
+// restarted daemon) are hash-checked first and promoted, honoring the
+// cache's hash-before-trust contract.
+func (c *Env) serveFromCache(ctx context.Context, t *task.Task, w io.WriterAt, dstFS storage.FS, sg Segment, digest []byte, prog func(int64)) (bool, error) {
+	e, ok := c.Cache.Get(t.Input.Dataspace, digest, sg.Len)
+	if !ok {
+		return false, nil
+	}
+	defer e.Close()
+
+	// Local serve: the fabric governor (and the task's cap, which exists
+	// to shape fabric interference) does not meter local disk traffic.
+	nolim := limiter{}
+
+	if !e.Verified() {
+		// Hash before trust: verify the adopted entry's bytes, then
+		// either promote it or quarantine it and fall back to the fabric.
+		sum, err := cascache.HashSegment(e, 0, sg.Len)
+		if err != nil || !bytes.Equal(sum, digest) {
+			c.Cache.Quarantine(t.Input.Dataspace, digest)
+			return false, nil
+		}
+		c.Cache.MarkVerified(t.Input.Dataspace, digest)
+	}
+
+	var done int64
+	if rc, ok := dstFS.(storage.RangeCopier); ok && !c.DisableOffload {
+		// The PR 6 offload path: cache entries are plain files, so
+		// copy_file_range/sendfile moves them without entering user space.
+		var oerr error
+		for done < sg.Len {
+			if err := ctx.Err(); err != nil {
+				retract(t, prog, done)
+				return false, err
+			}
+			n, err := rc.CopyRange(w, sg.Off+done, e.File(), done, sg.Len-done)
+			if n > 0 {
+				done += n
+				prog(n)
+				t.ProgressCache(n)
+			}
+			if err != nil {
+				oerr = err
+				break
+			}
+			if n == 0 {
+				oerr = io.ErrUnexpectedEOF
+				break
+			}
+		}
+		if oerr == nil {
+			return true, nil
+		}
+		// Offload refused or failed mid-entry: retract and retry the
+		// whole segment through the user-space loop below.
+		retract(t, prog, done)
+		done = 0
+	}
+
+	n, err := copyRange(ctx, w, offsetReaderAt{r: e, delta: sg.Off}, sg.Off, sg.Len, c.bufSize(), nolim, prog)
+	if n > 0 {
+		t.ProgressCache(n)
+	}
+	if err != nil {
+		retract(t, prog, n)
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		// The entry verified but cannot be read through: treat as a
+		// miss; the fabric pull overwrites whatever partially landed.
+		return false, nil
+	}
+	return true, nil
+}
+
+// retract undoes a partial cache serve's accounting — MovedBytes and
+// CacheBytes both — before the segment is re-attempted, so the retry
+// path never double-counts (the satellite-1 contract).
+func retract(t *task.Task, prog func(int64), n int64) {
+	if n > 0 {
+		prog(-n)
+		t.ProgressCache(-n)
+	}
+}
+
+// teeFillSink duplicates an inbound segment pull into a cache fill:
+// every chunk lands in the destination sink first (the transfer's
+// correctness path), then in the fill's temp file. A fill write error
+// is swallowed — caching is best effort — by aborting the fill; the
+// commit-time digest verification catches anything short or torn.
+type teeFillSink struct {
+	sink *segmentSink
+	fill *cascache.Fill
+	dead bool
+}
+
+// Size implements mercury.BulkProvider.
+func (s *teeFillSink) Size() int64 { return s.sink.Size() }
+
+// ReadAt implements io.ReaderAt (always fails: write-only sink).
+func (s *teeFillSink) ReadAt(b []byte, off int64) (int, error) { return s.sink.ReadAt(b, off) }
+
+// WriteAt implements io.WriterAt. off is relative to the segment start.
+func (s *teeFillSink) WriteAt(b []byte, off int64) (int, error) {
+	n, err := s.sink.WriteAt(b, off)
+	if n > 0 && !s.dead {
+		if _, ferr := s.fill.WriteAt(b[:n], off); ferr != nil {
+			// Stop teeing; Commit will reject the short fill. The pull
+			// itself is unaffected.
+			s.dead = true
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,244 @@
+package transfer
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/cascache"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// digestFakeRemote upgrades fakeRemote with the DigestRemote
+// capability, hashing the exposed file the way a digest-capable peer
+// daemon would.
+type digestFakeRemote struct {
+	*fakeRemote
+}
+
+func (d *digestFakeRemote) OpenFileDigested(node, ds, path string, segSize int64) (RemoteFile, [][]byte, error) {
+	rf, err := d.OpenFile(node, ds, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	data := rf.(*fakeRemoteFile).data
+	digests, err := cascache.HashSegments(bytes.NewReader(data), int64(len(data)), segSize)
+	if err != nil {
+		rf.Close()
+		return nil, nil, err
+	}
+	return rf, digests, nil
+}
+
+// newCacheCtx is newCtx plus a digest-capable remote and a staging
+// cache rooted in a temp dir.
+func newCacheCtx(t *testing.T) (*Env, *fakeRemote, string) {
+	t.Helper()
+	env, rem := newCtx(t)
+	env.Net = &digestFakeRemote{rem}
+	dir := t.TempDir()
+	c, err := cascache.Open(dir, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Cache = c
+	return env, rem, dir
+}
+
+func remoteWrite(t *testing.T, rem *fakeRemote, path string, data []byte) {
+	t.Helper()
+	fs, err := rem.space("node2", "nvme0://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.(*storage.MemFS).WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pullCalls(rem *fakeRemote) int {
+	rem.mu.Lock()
+	defer rem.mu.Unlock()
+	return rem.pullCalls
+}
+
+// TestWarmStageInServesFromCache: the first stage-in pulls over the
+// fabric and fills the cache; a second stage-in of the same content is
+// served entirely from local disk — no fabric pulls, and no fabric
+// governor charge (the tiny cap would otherwise stall it for minutes).
+func TestWarmStageInServesFromCache(t *testing.T) {
+	env, rem, _ := newCacheCtx(t)
+	env.SegmentSize = 16 << 10
+	payload := bytes.Repeat([]byte("warm"), 16<<10) // 64 KiB, 4 segments
+	remoteWrite(t, rem, "input/data", payload)
+
+	tk := task.New(1, task.Copy, task.RemotePosixPath("node2", "nvme0://", "input/data"), task.PosixPath("nvme0://", "cold"))
+	st := runTask(t, env, tk)
+	if st.Status != task.Finished || st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	if st.CacheBytes != 0 {
+		t.Fatalf("cold run claimed %d cache bytes", st.CacheBytes)
+	}
+	coldPulls := pullCalls(rem)
+	if coldPulls == 0 {
+		t.Fatal("cold run pulled nothing over the fabric")
+	}
+
+	// 1 KiB/s: a 64 KiB transfer charged to this governor would take
+	// ~a minute. A warm serve is local and must ignore it.
+	env.Governor = NewGovernor(1 << 10)
+	start := time.Now()
+	tk2 := task.New(2, task.Copy, task.RemotePosixPath("node2", "nvme0://", "input/data"), task.PosixPath("nvme0://", "warm"))
+	st2 := runTask(t, env, tk2)
+	if st2.Status != task.Finished {
+		t.Fatalf("warm stats = %+v", st2)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("warm serve took %v: cache bytes were charged to the fabric governor", elapsed)
+	}
+	if st2.MovedBytes != int64(len(payload)) || st2.CacheBytes != int64(len(payload)) {
+		t.Fatalf("warm accounting: moved=%d cache=%d want both %d", st2.MovedBytes, st2.CacheBytes, len(payload))
+	}
+	if got := pullCalls(rem); got != coldPulls {
+		t.Fatalf("warm run pulled %d more times over the fabric", got-coldPulls)
+	}
+	got, err := fsOf(t, env, "nvme0://").(*storage.MemFS).ReadFile("warm")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("warm destination content wrong: %d bytes, %v", len(got), err)
+	}
+	cs := env.Cache.Stats()
+	if cs.Hits != 4 || cs.Misses != 4 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 4/4", cs.Hits, cs.Misses)
+	}
+}
+
+// corruptCacheObjects flips a byte in every committed cache object.
+func corruptCacheObjects(t *testing.T, dir string) int {
+	t.Helper()
+	var n int
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		raw[len(raw)/2] ^= 0xff
+		n++
+		return os.WriteFile(path, raw, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCorruptCacheEntryFallsBackAndQuarantines: entries corrupted on
+// disk (and adopted unverified by a cache reopen, as after a daemon
+// restart) fail their serve-time hash check, are quarantined, and the
+// segments fall back to the fabric — with byte accounting staying
+// exact, the satellite-1 contract.
+func TestCorruptCacheEntryFallsBackAndQuarantines(t *testing.T) {
+	env, rem, dir := newCacheCtx(t)
+	env.SegmentSize = 16 << 10
+	// 48 KiB, 3 segments with distinct content — identical segments
+	// would dedupe to a single cache object.
+	payload := append(append(bytes.Repeat([]byte("one1"), 4<<10), bytes.Repeat([]byte("two2"), 4<<10)...), bytes.Repeat([]byte("tri3"), 4<<10)...)
+	remoteWrite(t, rem, "input/data", payload)
+
+	tk := task.New(1, task.Copy, task.RemotePosixPath("node2", "nvme0://", "input/data"), task.PosixPath("nvme0://", "cold"))
+	if st := runTask(t, env, tk); st.Status != task.Finished {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	if n := corruptCacheObjects(t, dir); n != 3 {
+		t.Fatalf("corrupted %d objects, want 3", n)
+	}
+	// Reopen: a restarted daemon adopts on-disk entries as unverified.
+	reopened, err := cascache.Open(dir, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Cache = reopened
+	coldPulls := pullCalls(rem)
+
+	tk2 := task.New(2, task.Copy, task.RemotePosixPath("node2", "nvme0://", "input/data"), task.PosixPath("nvme0://", "retry"))
+	st := runTask(t, env, tk2)
+	if st.Status != task.Finished {
+		t.Fatalf("fallback stats = %+v", st)
+	}
+	if st.MovedBytes != int64(len(payload)) {
+		t.Fatalf("MovedBytes = %d, want exactly %d (no double count on the retry path)", st.MovedBytes, len(payload))
+	}
+	if st.CacheBytes != 0 {
+		t.Fatalf("CacheBytes = %d for corrupt entries, want 0", st.CacheBytes)
+	}
+	if got := pullCalls(rem); got-coldPulls != 3 {
+		t.Fatalf("fabric pulls after corruption = %d, want 3", got-coldPulls)
+	}
+	got, err := fsOf(t, env, "nvme0://").(*storage.MemFS).ReadFile("retry")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("fallback destination content wrong: %d bytes, %v", len(got), err)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 3 {
+		t.Fatalf("quarantined = %d err=%v, want 3", len(q), err)
+	}
+	// The corrupt content was re-pulled clean, so the tee re-filled the
+	// cache: a third run serves warm again.
+	tk3 := task.New(3, task.Copy, task.RemotePosixPath("node2", "nvme0://", "input/data"), task.PosixPath("nvme0://", "warm"))
+	if st := runTask(t, env, tk3); st.CacheBytes != int64(len(payload)) {
+		t.Fatalf("re-filled warm run: cache=%d want %d", st.CacheBytes, len(payload))
+	}
+}
+
+// TestDeltaTransferPullsOnlyChangedSegments: after the destination
+// holds v1 and the source changes one segment, a re-stage hashes the
+// destination against the peer's digests and moves only the changed
+// segment; the rest complete as delta skips.
+func TestDeltaTransferPullsOnlyChangedSegments(t *testing.T) {
+	env, rem, _ := newCacheCtx(t)
+	env.SegmentSize = 16 << 10
+	const segs = 4
+	v1 := bytes.Repeat([]byte("v1v1"), segs*(16<<10)/4) // 64 KiB
+	remoteWrite(t, rem, "input/data", v1)
+
+	tk := task.New(1, task.Copy, task.RemotePosixPath("node2", "nvme0://", "input/data"), task.PosixPath("nvme0://", "dst"))
+	if st := runTask(t, env, tk); st.Status != task.Finished {
+		t.Fatalf("cold stats = %+v", st)
+	}
+
+	// Change exactly segment 2 at the source, same size.
+	v2 := append([]byte(nil), v1...)
+	copy(v2[2*(16<<10):3*(16<<10)], bytes.Repeat([]byte("NEW!"), (16<<10)/4))
+	remoteWrite(t, rem, "input/data", v2)
+	coldPulls := pullCalls(rem)
+
+	tk2 := task.New(2, task.Copy, task.RemotePosixPath("node2", "nvme0://", "input/data"), task.PosixPath("nvme0://", "dst"))
+	st := runTask(t, env, tk2)
+	if st.Status != task.Finished {
+		t.Fatalf("delta stats = %+v", st)
+	}
+	segLen := int64(16 << 10)
+	if st.DeltaBytes != 3*segLen {
+		t.Fatalf("DeltaBytes = %d, want %d (3 unchanged segments)", st.DeltaBytes, 3*segLen)
+	}
+	if st.MovedBytes != segLen {
+		t.Fatalf("MovedBytes = %d, want %d (only the changed segment)", st.MovedBytes, segLen)
+	}
+	if st.SegmentsDone != segs {
+		t.Fatalf("SegmentsDone = %d, want %d", st.SegmentsDone, segs)
+	}
+	if got := pullCalls(rem); got-coldPulls != 1 {
+		t.Fatalf("delta pulled %d segments over the fabric, want 1", got-coldPulls)
+	}
+	got, err := fsOf(t, env, "nvme0://").(*storage.MemFS).ReadFile("dst")
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("delta destination content wrong (len=%d err=%v)", len(got), err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/ngioproject/norns-go/internal/bufpool"
+	"github.com/ngioproject/norns-go/internal/cascache"
 	"github.com/ngioproject/norns-go/internal/dataspace"
 	"github.com/ngioproject/norns-go/internal/mercury"
 	"github.com/ngioproject/norns-go/internal/storage"
@@ -65,6 +66,20 @@ type Remote interface {
 	StatFile(node, srcDataspace, srcPath string) (int64, error)
 }
 
+// DigestRemote is the optional capability a Remote gains when its
+// expose RPC can also return per-segment content digests — the delta-
+// transfer extension, riding the same expose round trip so digest
+// exchange costs no extra RPC. Probe with a type assertion, like the
+// storage capability interfaces.
+type DigestRemote interface {
+	// OpenFileDigested is OpenFile plus a digest request: the peer
+	// hashes the file in segSize segments and returns the SHA-256
+	// digests in order (digests[i] covers [i*segSize, min(size,
+	// (i+1)*segSize))). A peer that declines to hash returns nil
+	// digests and no error; the transfer proceeds without delta/cache.
+	OpenFileDigested(node, srcDataspace, srcPath string, segSize int64) (RemoteFile, [][]byte, error)
+}
+
 // Env carries the node-local state plugins operate on.
 type Env struct {
 	// Spaces resolves dataspace IDs to their backing FS.
@@ -94,6 +109,12 @@ type Env struct {
 	// An escape hatch (and the control arm of the offload benchmark);
 	// off by default.
 	DisableOffload bool
+	// Cache, when set, is the node's content-addressed staging cache:
+	// remote pulls consult it before the fabric (warm stage-in), tee
+	// pulled segments into it, and use the peer's per-segment digests
+	// to skip segments the destination already holds (delta transfer).
+	// Requires a Net implementing DigestRemote to have any effect.
+	Cache *cascache.Cache
 	// Tuner, when set, adapts streams/segment-size per route from
 	// observed goodput; nil keeps the static configuration.
 	Tuner *Tuner
@@ -539,6 +560,13 @@ func localToRemote(ctx context.Context, env *Env, t *task.Task, progress func(in
 // within the env's budget — its partial bytes are retracted from the
 // task's progress first, so MovedBytes never double-counts — before the
 // task fails with its partial progress preserved.
+//
+// With a staging cache configured and a digest-capable peer, the expose
+// round trip also carries per-segment digests, and each pending segment
+// takes the cheapest source available: skipped entirely when the
+// destination already holds its content (delta), served from the local
+// cache when present (warm stage-in), pulled over the fabric — teed
+// into the cache — otherwise.
 func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(int64)) (int64, error) {
 	if env.Net == nil {
 		return 0, errors.New("transfer: no network manager configured")
@@ -547,7 +575,16 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 	if err != nil {
 		return 0, err
 	}
-	rf, err := env.Net.OpenFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
+	// The digest request needs a segment size up front; re-resolved
+	// below in case validateResume discards a pinned checkpoint.
+	reqSegSize := env.shapeFor(t).SegSize
+	var rf RemoteFile
+	var digests [][]byte
+	if dr, ok := env.Net.(DigestRemote); ok && env.Cache != nil {
+		rf, digests, err = dr.OpenFileDigested(t.Input.Node, t.Input.Dataspace, t.Input.Path, reqSegSize)
+	} else {
+		rf, err = env.Net.OpenFile(t.Input.Node, t.Input.Dataspace, t.Input.Path)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -579,12 +616,23 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 	}
 
 	env.validateResume(t, dstFS, t.Output.Path, size)
+	sh := env.shapeFor(t)
+	if sh.SegSize != reqSegSize {
+		// The checkpoint discarded by validateResume had pinned a
+		// different segment size for the digest request: the returned
+		// digests no longer align with the plan.
+		digests = nil
+	}
+	pending := env.planPending(t, sh.SegSize, size)
+	digests = validDigests(digests, size, sh.SegSize)
+	// Delta pass: segments whose content the destination already holds
+	// (hashed against the peer's digests) complete without any copy.
+	// Must run before OpenWriterAt resizes the file.
+	pending = env.deltaSkip(t, dstFS, pending, digests)
 	w, err := wfs.OpenWriterAt(t.Output.Path, size)
 	if err != nil {
 		return 0, err
 	}
-	sh := env.shapeFor(t)
-	pending := env.planPending(t, sh.SegSize, size)
 	lim := env.limiterFor(t)
 	prog, moved := counted(progress)
 	retries := env.segmentRetries()
@@ -597,17 +645,53 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 		streams = 1
 	}
 	start := time.Now()
+	var fabric atomic.Int64 // bytes actually pulled over the fabric
 	err = RunSegments(ctx, pending, streams, func(ctx context.Context, stream int, sg Segment) error {
+		var digest []byte
+		if digests != nil {
+			digest = digests[sg.Index]
+		}
+		// Warm stage-in: a cached segment is served from local disk,
+		// outside the fabric governor's jurisdiction.
+		if env.Cache != nil && digest != nil && sg.Len > 0 {
+			served, serr := env.serveFromCache(ctx, t, w, dstFS, sg, digest, prog)
+			if serr != nil {
+				return serr
+			}
+			if served {
+				t.CompleteSegment(sg.Index)
+				env.checkpoint(t)
+				return nil
+			}
+		}
 		for attempt := 0; ; attempt++ {
 			sink := &segmentSink{ctx: ctx, w: w, base: sg.Off, size: sg.Len, lim: lim, progress: prog}
-			n, perr := rf.PullRange(stream, sg.Off, sg.Len, sink)
+			var fill *cascache.Fill
+			dst := mercury.BulkProvider(sink)
+			if env.Cache != nil && digest != nil && sg.Len > 0 {
+				fill, _ = env.Cache.BeginFill(t.Input.Dataspace, digest, sg.Len)
+				if fill != nil {
+					dst = &teeFillSink{sink: sink, fill: fill}
+				}
+			}
+			n, perr := rf.PullRange(stream, sg.Off, sg.Len, dst)
 			if perr == nil && n != sg.Len {
 				perr = fmt.Errorf("transfer: segment %d short pull: %d of %d bytes", sg.Index, n, sg.Len)
 			}
 			if perr == nil {
+				if fill != nil {
+					// Cache population is best-effort: a failed commit
+					// (digest mismatch on a racing source change, disk
+					// error) never fails the transfer that fed it.
+					_ = fill.Commit()
+				}
+				fabric.Add(sg.Len)
 				t.CompleteSegment(sg.Index)
 				env.checkpoint(t)
 				return nil
+			}
+			if fill != nil {
+				fill.Abort()
 			}
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -628,9 +712,11 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 	n := atomic.LoadInt64(moved)
 	// Feed the tuner only when the transfer actually ran at the resolved
 	// shape — a peer forcing the single-stream fallback would otherwise
-	// credit goodput to a point the transfer never used.
+	// credit goodput to a point the transfer never used — and only with
+	// the bytes that crossed the fabric: cache-served segments would
+	// otherwise teach the tuner a goodput the route cannot deliver.
 	if err == nil && streams == sh.Streams {
-		env.observe(t, sh, n, time.Since(start))
+		env.observe(t, sh, fabric.Load(), time.Since(start))
 	}
 	return n, err
 }

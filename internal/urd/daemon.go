@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ngioproject/norns-go/internal/cascache"
 	"github.com/ngioproject/norns-go/internal/dataspace"
 	"github.com/ngioproject/norns-go/internal/journal"
 	"github.com/ngioproject/norns-go/internal/proto"
@@ -126,6 +127,13 @@ type Config struct {
 	// retention, per-record fsync). The zero value selects the journal
 	// package defaults. Ignored without StateDir.
 	JournalOptions journal.Options
+	// CacheDir, when non-empty, enables the content-addressed staging
+	// cache rooted at that directory: repeated stage-ins of unchanged
+	// segments are served from local disk instead of the fabric, and
+	// transfers delta-skip segments the destination already holds.
+	// CacheSize bounds the cache footprint in bytes (<=0 selects 1 GiB).
+	CacheDir  string
+	CacheSize int64
 	// Hooks are optional fault-injection points for the scenario lab
 	// and tests. The zero value installs nothing; see Hooks.
 	Hooks Hooks
@@ -171,6 +179,10 @@ type Daemon struct {
 	// recovered is immutable after New.
 	journal   *journal.Journal
 	recovered Recovered
+
+	// cache is the content-addressed staging cache (nil without
+	// Config.CacheDir); its hit/miss/evict gauges surface in OpStatus.
+	cache *cascache.Cache
 
 	// hub fans task lifecycle events out to OpSubscribe subscribers.
 	hub *EventHub
@@ -313,6 +325,19 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Autotune {
 		env.Tuner = transfer.NewTuner(cfg.AutotuneMinSamples)
 	}
+	if cfg.CacheDir != "" {
+		size := cfg.CacheSize
+		if size <= 0 {
+			size = 1 << 30
+		}
+		c, err := cascache.Open(cfg.CacheDir, size)
+		if err != nil {
+			d.stop()
+			return nil, fmt.Errorf("urd: staging cache: %w", err)
+		}
+		d.cache = c
+		env.Cache = c
+	}
 	if cfg.Fabric != "" {
 		if cfg.Resolver == nil {
 			d.stop()
@@ -439,6 +464,7 @@ func (d *Daemon) replayJournal() error {
 			st := task.Stats{
 				Status: tr.Status, Err: tr.Err,
 				TotalBytes: tr.TotalBytes, MovedBytes: tr.MovedBytes,
+				CacheBytes: tr.CacheBytes, DeltaBytes: tr.DeltaBytes,
 				SegmentsTotal: tr.SegsTotal, SegmentsDone: tr.SegsDone,
 			}
 			if err := t.Restore(st); err == nil {
@@ -453,6 +479,7 @@ func (d *Daemon) replayJournal() error {
 			st := task.Stats{
 				Status:     task.Cancelled,
 				TotalBytes: tr.TotalBytes, MovedBytes: tr.MovedBytes,
+				CacheBytes: tr.CacheBytes, DeltaBytes: tr.DeltaBytes,
 				SegmentsTotal: tr.SegsTotal, SegmentsDone: tr.SegsDone,
 			}
 			if err := t.Restore(st); err == nil {
@@ -1210,6 +1237,17 @@ func (d *Daemon) handleStatus() *proto.Response {
 			})
 		}
 		info += " autotune=on"
+	}
+	if d.cache != nil {
+		cs := d.cache.Stats()
+		st.CacheEnabled = true
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheEvictions = cs.Evictions
+		st.CacheBytes = cs.Bytes
+		st.CacheCapBytes = cs.CapBytes
+		info += fmt.Sprintf(" cache=%d/%dMiB hits=%d misses=%d evicts=%d",
+			cs.Bytes>>20, cs.CapBytes>>20, cs.Hits, cs.Misses, cs.Evictions)
 	}
 	return &proto.Response{
 		Status:     proto.Success,

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ngioproject/norns-go/internal/cascache"
 	"github.com/ngioproject/norns-go/internal/dataspace"
 	"github.com/ngioproject/norns-go/internal/mercury"
 	"github.com/ngioproject/norns-go/internal/storage"
@@ -42,15 +43,23 @@ const (
 	maxPullBytes = 1 << 44
 )
 
-// fileRef names a file inside a dataspace on the wire.
+// fileRef names a file inside a dataspace on the wire. DigestSegSize,
+// when positive, asks the exposing side to also return per-segment
+// SHA-256 digests at that segment size, riding the expose round trip —
+// the staging cache and delta transfers consume them. Old peers skip
+// the unknown tag and simply omit digests.
 type fileRef struct {
-	Dataspace string
-	Path      string
+	Dataspace     string
+	Path          string
+	DigestSegSize int64
 }
 
 func (f *fileRef) MarshalWire(e *wire.Encoder) {
 	e.String(1, f.Dataspace)
 	e.String(2, f.Path)
+	if f.DigestSegSize != 0 {
+		e.Int64(3, f.DigestSegSize)
+	}
 }
 
 func (f *fileRef) UnmarshalWire(d *wire.Decoder) error {
@@ -60,6 +69,8 @@ func (f *fileRef) UnmarshalWire(d *wire.Decoder) error {
 			f.Dataspace = d.String()
 		case 2:
 			f.Path = d.String()
+		case 3:
+			f.DigestSegSize = d.Int64()
 		default:
 			d.Skip()
 		}
@@ -89,12 +100,23 @@ type handleResp struct {
 	// random reads; pullers drop to one stream when it is false so a
 	// sequential adapter is not thrashed by interleaved offsets.
 	Concurrent bool
+	// Digests is the concatenated 32-byte per-segment SHA-256 digests of
+	// the exposed file at DigestSegSize-byte segments, present only when
+	// the request asked for them (fileRef.DigestSegSize) and the exposing
+	// side honored that exact size. A requester validates the echoed size
+	// and the digest count before trusting the blob.
+	Digests       []byte
+	DigestSegSize int64
 }
 
 func (h *handleResp) MarshalWire(e *wire.Encoder) {
 	e.Message(1, &h.Handle)
 	if h.Concurrent {
 		e.Bool(2, h.Concurrent)
+	}
+	if len(h.Digests) > 0 {
+		e.Bytes(3, h.Digests)
+		e.Int64(4, h.DigestSegSize)
 	}
 }
 
@@ -105,6 +127,10 @@ func (h *handleResp) UnmarshalWire(d *wire.Decoder) error {
 			d.Message(&h.Handle)
 		case 2:
 			h.Concurrent = d.Bool()
+		case 3:
+			h.Digests = d.Bytes()
+		case 4:
+			h.DigestSegSize = d.Int64()
 		default:
 			d.Skip()
 		}
@@ -312,6 +338,21 @@ func (nm *NetManager) handleExpose(payload []byte) ([]byte, error) {
 	resp := handleResp{Handle: h}
 	if c, ok := prov.(mercury.ConcurrentReaderAt); ok {
 		resp.Concurrent = c.ConcurrentReadAt()
+	}
+	// Digest request riding the expose: hash the file at the requested
+	// segment size so the peer can serve warm segments from its staging
+	// cache and delta-skip unchanged ones. Best effort — an unreasonable
+	// request (or a read error) just omits the digests, never fails the
+	// expose itself.
+	if ss := ref.DigestSegSize; ss > 0 && h.Len > 0 && h.Len/ss < maxPullSegments {
+		if digests, err := cascache.HashSegments(prov, h.Len, ss); err == nil {
+			blob := make([]byte, 0, len(digests)*cascache.DigestLen)
+			for _, sum := range digests {
+				blob = append(blob, sum...)
+			}
+			resp.Digests = blob
+			resp.DigestSegSize = ss
+		}
 	}
 	return wire.Marshal(&resp), nil
 }
@@ -641,4 +682,42 @@ func (nm *NetManager) OpenFile(node, srcDataspace, srcPath string) (transfer.Rem
 	return &remoteFile{nm: nm, ep: ep, h: h}, nil
 }
 
-var _ transfer.Remote = (*NetManager)(nil)
+// OpenFileDigested implements transfer.DigestRemote: the same expose
+// round trip as OpenFile, but asking the peer for per-segment SHA-256
+// digests at segSize. Digests are strictly optional — a peer predating
+// them (or declining the request) yields a usable handle with a nil
+// digest set, and a malformed blob is discarded rather than trusted.
+func (nm *NetManager) OpenFileDigested(node, srcDataspace, srcPath string, segSize int64) (transfer.RemoteFile, [][]byte, error) {
+	ep, err := nm.endpoint(node)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := ep.ForwardMarshal(rpcExpose, &fileRef{Dataspace: srcDataspace, Path: srcPath, DigestSegSize: segSize})
+	if err != nil {
+		return nil, nil, err
+	}
+	var h handleResp
+	if err := wire.Unmarshal(out, &h); err != nil {
+		return nil, nil, err
+	}
+	if h.Handle.Len < 0 || h.Handle.Len > maxPullBytes {
+		_, _ = ep.ForwardMarshal(rpcRelease, &h)
+		return nil, nil, fmt.Errorf("urd: %s declares file length %d out of range", node, h.Handle.Len)
+	}
+	var digests [][]byte
+	if segSize > 0 && h.DigestSegSize == segSize && len(h.Digests) > 0 && len(h.Digests)%cascache.DigestLen == 0 {
+		want := (h.Handle.Len + segSize - 1) / segSize
+		if int64(len(h.Digests)/cascache.DigestLen) == want {
+			digests = make([][]byte, 0, want)
+			for off := 0; off < len(h.Digests); off += cascache.DigestLen {
+				digests = append(digests, h.Digests[off:off+cascache.DigestLen])
+			}
+		}
+	}
+	return &remoteFile{nm: nm, ep: ep, h: h}, digests, nil
+}
+
+var (
+	_ transfer.Remote       = (*NetManager)(nil)
+	_ transfer.DigestRemote = (*NetManager)(nil)
+)

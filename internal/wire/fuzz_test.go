@@ -38,6 +38,12 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte("<\b\x00\x10\x06\x18\tZ(\b\x01\x12\x11\b\x02\x12\tlustre://\x1a\x02in\x1a\x11\b\x02\x12\bnvme0://\x1a\x03outZ\n\b\x04\x12\x02\b\x00\x1a\x02\b\x00"))
 	f.Add([]byte("\x11\b\x00\x10\a\x18\tb\t\b\x04\b\x05\b\x06\x18\xf4\x03"))
 	f.Add([]byte("!\b\x00\x10\x00Z\x04\b\v\x10\x00Z\x15\x10\b\x1a\x11shard at capacity"))
+	// Frames of the digest-exchange expose round trip: a fileRef asking
+	// for per-segment digests at 64 KiB, and a handleResp carrying the
+	// bulk handle plus a two-segment concatenated SHA-256 blob with the
+	// echoed segment size.
+	f.Add([]byte("\x12\n\bnvme0://\x12\x02in\x18\x80\x80\b"))
+	f.Add([]byte("j\n \n\x18ofi+tcp://127.0.0.1:4710\x10\a\x18\x80\x80\x10\x10\x01\x1a@\x00\a\x0e\x15\x1c#*18?FMT[bipw~\x85\x8c\x93\x9a\xa1\xa8\xaf\xb6\xbd\xc4\xcb\xd2\xd9\xe0\xe7\xee\xf5\xfc\x03\n\x11\x18\x1f&-4;BIPW^elsz\x81\x88\x8f\x96\x9d\xa4\xab\xb2\xb9 \x80\x80\b"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Split the input into frames; must terminate (every successful
