@@ -35,6 +35,7 @@ var knownExperiments = []string{
 	"fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"tab3", "tab4", "tab5",
 	"streams", "batch", "hotpath", "localcopy", "autotune", "ablations", "cache",
+	"gateway",
 }
 
 func main() {
@@ -125,6 +126,9 @@ func main() {
 	}
 	if selected("batch") {
 		show(experiments.BatchSubmit(tmp, *reqs))
+	}
+	if selected("gateway") {
+		show(experiments.GatewaySubmit(tmp, *reqs))
 	}
 	if selected("hotpath") {
 		show(experiments.HotPath(tmp, *reqs))

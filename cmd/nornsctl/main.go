@@ -2,10 +2,10 @@
 // what the Slurm extensions call programmatically, exposed for
 // operators.
 //
-// Usage:
+// Socket commands (control API over AF_UNIX):
 //
 //	nornsctl -socket /tmp/nornsctl.sock ping
-//	nornsctl status
+//	nornsctl status [-json]
 //	nornsctl register-dataspace nvme0:// nvm /mnt/pmem0
 //	nornsctl unregister-dataspace nvme0://
 //	nornsctl register-job 42 node001,node002 nvme0://,lustre://
@@ -13,20 +13,36 @@
 //	nornsctl track nvme0:// on|off
 //	nornsctl tracked-non-empty
 //	nornsctl cancel 17
-//	nornsctl task-status 17
+//	nornsctl task-status 17 [-json]
 //	nornsctl watch 17
 //	nornsctl shutdown
+//
+// HTTP gateway commands (require -http and a bearer token):
+//
+//	nornsctl -http http://HOST:PORT -token-file F export [-state pending] [-o FILE]
+//	nornsctl -http http://HOST:PORT -token-file F import [-dry-run] [-atomic] [-dedupe MODE] [FILE]
+//	nornsctl -http http://HOST:PORT -token-file F drain -to http://HOST2:PORT2 [-to-token-file F2]
+//	nornsctl -http http://HOST:PORT -token-file F events [-ids 1,2,3] [-progress-ms N]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/gateway"
+	"github.com/ngioproject/norns-go/internal/gateway/auth"
+	"github.com/ngioproject/norns-go/internal/metrics"
 	"github.com/ngioproject/norns-go/internal/task"
 )
 
@@ -53,22 +69,97 @@ func progressLine(id uint64, st nornsctl.Stats) string {
 	return line
 }
 
+// statusReport wraps the structured daemon status in the repo's
+// machine-readable table envelope (the same shape norns-bench -json
+// emits), so `nornsctl status -json` diffs and scripts like any other
+// report artifact.
+func statusReport(st nornsctl.DaemonStatus) *metrics.Report {
+	rep := metrics.NewReport("nornsctl status")
+	d := metrics.NewTable("daemon", "field", "value")
+	d.AddRow("version", st.Version)
+	d.AddRow("node", st.Node)
+	d.AddRow("policy", st.Policy)
+	d.AddRow("shards", st.Shards)
+	d.AddRow("pending", st.Pending)
+	d.AddRow("tasks", st.Tasks)
+	d.AddRow("journal", st.Journal)
+	if st.Journal {
+		d.AddRow("recovered_pending", st.RecoveredPending)
+		d.AddRow("recovered_running", st.RecoveredRunning)
+		d.AddRow("recovered_cancelled", st.RecoveredCancelled)
+		d.AddRow("recovered_terminal", st.RecoveredTerminal)
+	}
+	d.AddRow("autotune", st.Autotune)
+	d.AddRow("cache_enabled", st.CacheEnabled)
+	rep.Add(d)
+	if st.Autotune && len(st.AutotuneRoutes) > 0 {
+		t := metrics.NewTable("autotune-routes",
+			"in", "out", "kind", "streams", "seg_size", "goodput_bps", "samples", "state")
+		for _, r := range st.AutotuneRoutes {
+			t.AddRow(r.In, r.Out, r.Kind, r.Streams, r.SegSize, r.GoodputBps, r.Samples, r.State)
+		}
+		rep.Add(t)
+	}
+	if st.CacheEnabled {
+		t := metrics.NewTable("cache", "field", "value")
+		t.AddRow("bytes", st.CacheBytes)
+		t.AddRow("cap_bytes", st.CacheCapBytes)
+		t.AddRow("hits", st.CacheHits)
+		t.AddRow("misses", st.CacheMisses)
+		t.AddRow("evictions", st.CacheEvictions)
+		rep.Add(t)
+	}
+	return rep
+}
+
+// taskReport is the task-status counterpart of statusReport.
+func taskReport(id uint64, st nornsctl.Stats) *metrics.Report {
+	rep := metrics.NewReport("nornsctl task-status")
+	t := metrics.NewTable("task", "field", "value")
+	t.AddRow("task_id", id)
+	t.AddRow("status", st.Status.String())
+	if st.Err != "" {
+		t.AddRow("error", st.Err)
+	}
+	t.AddRow("total_bytes", st.TotalBytes)
+	t.AddRow("moved_bytes", st.MovedBytes)
+	t.AddRow("segments_total", st.SegmentsTotal)
+	t.AddRow("segments_done", st.SegmentsDone)
+	t.AddRow("bandwidth_bps", st.BandwidthBps)
+	t.AddRow("cache_bytes", st.CacheBytes)
+	t.AddRow("delta_bytes", st.DeltaBytes)
+	rep.Add(t)
+	return rep
+}
+
 func main() {
 	socket := flag.String("socket", "/tmp/nornsctl.sock", "control socket path")
 	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval for the watch command")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (status, task-status, and the HTTP commands)")
+	httpBase := flag.String("http", "", "gateway base URL, e.g. http://127.0.0.1:9300 (required for export/import/drain/events)")
+	token := flag.String("token", "", "gateway bearer token (prefer -token-file: flags leak into ps output)")
+	tokenFile := flag.String("token-file", "", "file holding the gateway bearer token")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: nornsctl [-socket PATH] COMMAND [ARGS]")
+		log.Fatal("usage: nornsctl [-socket PATH | -http URL -token-file F] COMMAND [ARGS]")
 	}
 
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "export", "import", "drain", "events":
+		runHTTP(cmd, rest, *httpBase, resolveToken(*token, *tokenFile), *jsonOut)
+		return
+	}
+
+	// Socket commands dial lazily so the HTTP commands above never need
+	// a control socket.
 	c, err := nornsctl.Dial(*socket)
 	if err != nil {
 		log.Fatalf("connecting to %s: %v", *socket, err)
 	}
 	defer c.Close()
 
-	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "ping":
 		if err := c.Ping(); err != nil {
@@ -80,11 +171,20 @@ func main() {
 		// report; older daemons without the latter fall back to Status.
 		st, err := c.StatusInfo()
 		if err != nil {
+			if *jsonOut {
+				log.Fatal(err)
+			}
 			s, ferr := c.Status()
 			if ferr != nil {
 				log.Fatal(ferr)
 			}
 			fmt.Println(s)
+			break
+		}
+		if *jsonOut {
+			if err := statusReport(st).Encode(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
 			break
 		}
 		fmt.Println(st.Info)
@@ -198,6 +298,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *jsonOut {
+			if err := taskReport(id, st).Encode(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			break
+		}
 		fmt.Printf("task %d: %s (%d/%d bytes)", id, st.Status, st.MovedBytes, st.TotalBytes)
 		if st.SegmentsTotal > 0 {
 			fmt.Printf(" segments %d/%d", st.SegmentsDone, st.SegmentsTotal)
@@ -232,5 +338,179 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+// resolveToken loads the bearer secret from -token or -token-file.
+// Empty when neither is set; the HTTP commands fail fast on that.
+func resolveToken(token, tokenFile string) string {
+	if token != "" {
+		return token
+	}
+	if tokenFile == "" {
+		return ""
+	}
+	t, err := auth.LoadFile(tokenFile)
+	if err != nil {
+		log.Fatalf("nornsctl: %v", err)
+	}
+	return t.Secret()
+}
+
+// runHTTP dispatches the gateway commands. They never touch the control
+// socket.
+func runHTTP(cmd string, rest []string, base, token string, jsonOut bool) {
+	if base == "" {
+		log.Fatalf("%s requires -http URL", cmd)
+	}
+	if token == "" {
+		log.Fatalf("%s requires a bearer token (-token-file or -token)", cmd)
+	}
+	client := &gateway.Client{Base: base, Token: token}
+	// SIGINT cancels in-flight streams cleanly (SSE watches especially).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	switch cmd {
+	case "export":
+		fs := flag.NewFlagSet("export", flag.ExitOnError)
+		state := fs.String("state", "", "status filter: pending|running|terminal|... (empty = all)")
+		out := fs.String("o", "", "output file (empty = stdout)")
+		fs.Parse(rest)
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		n, err := client.Export(ctx, w, *state)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "exported %d tasks\n", n)
+	case "import":
+		fs := flag.NewFlagSet("import", flag.ExitOnError)
+		dryRun := fs.Bool("dry-run", false, "validate every record, submit nothing")
+		atomic := fs.Bool("atomic", false, "all-or-nothing: any bad record aborts the whole batch")
+		dedupe := fs.String("dedupe", "", "duplicate-ID handling: skip|overwrite|error (empty = server default skip)")
+		ids := fs.Bool("ids", false, "echo assigned task IDs")
+		fs.Parse(rest)
+		r := io.Reader(os.Stdin)
+		if fs.NArg() > 0 {
+			f, err := os.Open(fs.Arg(0))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		res, err := client.Import(ctx, r, gateway.ImportOptions{
+			DryRun: *dryRun, Atomic: *atomic, Dedupe: *dedupe, IncludeIDs: *ids,
+		})
+		if err != nil {
+			if res != nil {
+				printImportResult(res, jsonOut)
+			}
+			log.Fatal(err)
+		}
+		printImportResult(res, jsonOut)
+		if res.Failed > 0 {
+			os.Exit(1)
+		}
+	case "drain":
+		fs := flag.NewFlagSet("drain", flag.ExitOnError)
+		to := fs.String("to", "", "destination gateway base URL (required)")
+		toToken := fs.String("to-token", "", "destination bearer token (empty = same as source)")
+		toTokenFile := fs.String("to-token-file", "", "file holding the destination bearer token")
+		fs.Parse(rest)
+		if *to == "" {
+			log.Fatal("usage: drain -to http://HOST:PORT [-to-token-file F]")
+		}
+		dstToken := resolveToken(*toToken, *toTokenFile)
+		if dstToken == "" {
+			dstToken = token
+		}
+		dst := &gateway.Client{Base: *to, Token: dstToken}
+		res, err := client.Drain(ctx, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(res)
+			return
+		}
+		fmt.Printf("drained %d tasks (%s) -> %s: imported=%d cancelled-at-source=%d\n",
+			res.Tasks, mib(res.Bytes), *to, res.Imported, res.Cancelled)
+	case "events":
+		fs := flag.NewFlagSet("events", flag.ExitOnError)
+		idsCSV := fs.String("ids", "", "comma-separated task IDs; the stream ends once all are terminal (empty = all tasks, stream until interrupted)")
+		progressMS := fs.Int64("progress-ms", 0, "request throttled progress ticks at this interval")
+		fs.Parse(rest)
+		var ids []uint64
+		if *idsCSV != "" {
+			for _, f := range strings.Split(*idsCSV, ",") {
+				id, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+				if err != nil {
+					log.Fatalf("bad task ID %q", f)
+				}
+				ids = append(ids, id)
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		err := client.Events(ctx, ids, *progressMS, func(ev gateway.SSEEvent) bool {
+			switch {
+			case ev.Gap:
+				fmt.Fprintf(os.Stderr, "gap: %d events dropped\n", ev.Dropped)
+			case ev.Kind == "end":
+				if !jsonOut {
+					fmt.Println("all tasks terminal")
+				}
+			case jsonOut:
+				enc.Encode(struct {
+					Kind   string            `json:"kind"`
+					TaskID uint64            `json:"task_id"`
+					Stats  *gateway.TaskJSON `json:"stats,omitempty"`
+				}{ev.Kind, ev.TaskID, ev.Stats})
+			default:
+				line := fmt.Sprintf("%s task %d", ev.Kind, ev.TaskID)
+				if ev.Stats != nil {
+					line += ": " + ev.Stats.Status
+					if ev.Stats.TotalBytes > 0 {
+						line += fmt.Sprintf(" %s/%s", mib(ev.Stats.MovedBytes), mib(ev.Stats.TotalBytes))
+					}
+					if ev.Stats.Error != "" {
+						line += " err=" + strconv.Quote(ev.Stats.Error)
+					}
+				}
+				fmt.Println(line)
+			}
+			return true
+		})
+		if err != nil && ctx.Err() == nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func printImportResult(res *gateway.ImportResult, jsonOut bool) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+		return
+	}
+	mode := "imported"
+	if res.DryRun {
+		mode = "validated (dry run)"
+	}
+	fmt.Printf("%s %d/%d records: submitted=%d skipped=%d overwritten=%d failed=%d\n",
+		mode, res.Submitted, res.Lines, res.Submitted, res.Skipped, res.Overwritten, res.Failed)
+	for _, e := range res.Errors {
+		fmt.Fprintf(os.Stderr, "  line %d: %s: %s\n", e.Line, e.Code, e.Message)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ngioproject/norns-go/internal/gateway/auth"
 	"github.com/ngioproject/norns-go/internal/journal"
 	"github.com/ngioproject/norns-go/internal/queue"
 	"github.com/ngioproject/norns-go/internal/urd"
@@ -77,6 +78,9 @@ func main() {
 		rpcTimeout  = flag.Duration("rpc-timeout", 30*time.Second, "deadline per peer RPC / bulk-stream idle gap (0 = none)")
 		eventQueue  = flag.Int("event-queue", 0, "max queued push events per subscriber before coalescing into a gap event (0 = default 256)")
 		progressIv  = flag.Duration("progress-interval", 0, "floor between per-task progress-tick events pushed to subscribers (0 = default 100ms)")
+		httpAddr    = flag.String("http-addr", "", "TCP address for the HTTP/JSON gateway, e.g. 127.0.0.1:9300 (empty disables; requires -http-token-file)")
+		httpToken   = flag.String("http-token-file", "", "file holding the gateway bearer token (mandatory with -http-addr; the gateway refuses to serve unauthenticated)")
+		httpMaxBody = flag.String("http-max-body", "", "gateway JSON request body clamp, e.g. 8M (empty = default 8M)")
 	)
 	flag.Parse()
 
@@ -95,6 +99,10 @@ func main() {
 	cacheBytes, err := parseSize(*cacheSize)
 	if err != nil {
 		log.Fatalf("bad -cache-size %q: %v", *cacheSize, err)
+	}
+	httpBodyBytes, err := parseSize(*httpMaxBody)
+	if err != nil {
+		log.Fatalf("bad -http-max-body %q: %v", *httpMaxBody, err)
 	}
 
 	var factory func() queue.Policy
@@ -135,6 +143,21 @@ func main() {
 		EventQueue:         *eventQueue,
 		ProgressInterval:   *progressIv,
 	}
+	if *httpAddr != "" {
+		// Fail fast: gateway.New would reject an empty token anyway, but
+		// a clear message beats a wrapped one. The token travels via file
+		// so it never appears in `ps` output or shell history.
+		if *httpToken == "" {
+			log.Fatalf("-http-addr requires -http-token-file (the gateway refuses to serve unauthenticated)")
+		}
+		tok, err := auth.LoadFile(*httpToken)
+		if err != nil {
+			log.Fatalf("urd: %v", err)
+		}
+		cfg.HTTPAddr = *httpAddr
+		cfg.HTTPToken = tok.Secret()
+		cfg.HTTPMaxBody = httpBodyBytes
+	}
 	if *fabric != "" {
 		resolver := urd.NewStaticResolver()
 		for _, pair := range strings.Split(*peers, ",") {
@@ -163,6 +186,10 @@ func main() {
 	fmt.Printf("%s on %s: user=%s control=%s", urd.Version, *node, *userSock, *ctlSock)
 	if addr := d.FabricAddr(); addr != "" {
 		fmt.Printf(" fabric=%s", addr)
+	}
+	// The startup line names the bound address, never the token.
+	if addr := d.HTTPAddr(); addr != "" {
+		fmt.Printf(" http=%s", addr)
 	}
 	if *stateDir != "" {
 		rec := d.Recovered()

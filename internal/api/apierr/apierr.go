@@ -90,3 +90,68 @@ func (e *Error) Is(target error) bool {
 	s := sentinel(e.Code)
 	return s != nil && target == s
 }
+
+// HTTPStatus is the documented protocol-to-HTTP status table served by
+// the gateway's JSON error envelope (see DESIGN.md). Every typed error
+// class has exactly one HTTP status:
+//
+//	Success      -> 200 OK
+//	EBadRequest  -> 400 Bad Request
+//	ENotFound    -> 404 Not Found
+//	EExists      -> 409 Conflict
+//	EPermission  -> 403 Forbidden
+//	ETaskError   -> 422 Unprocessable Entity (the task ran and failed)
+//	ETimeout     -> 504 Gateway Timeout (the daemon-side wait expired)
+//	EAgain       -> 429 Too Many Requests (backpressure; retry later)
+//	EInternal    -> 500 Internal Server Error
+//
+// Unknown codes map to 500: an unmapped failure must read as a server
+// bug, never as client success.
+func HTTPStatus(code proto.StatusCode) int {
+	switch code {
+	case proto.Success:
+		return 200
+	case proto.EBadRequest:
+		return 400
+	case proto.ENotFound:
+		return 404
+	case proto.EExists:
+		return 409
+	case proto.EPermission:
+		return 403
+	case proto.ETaskError:
+		return 422
+	case proto.ETimeout:
+		return 504
+	case proto.EAgain:
+		return 429
+	default:
+		return 500
+	}
+}
+
+// FromHTTPStatus inverts HTTPStatus for the gateway's HTTP clients, so
+// a decoded error envelope still satisfies errors.Is against the
+// sentinels even when the body carried no protocol code.
+func FromHTTPStatus(status int) proto.StatusCode {
+	switch status {
+	case 200:
+		return proto.Success
+	case 400:
+		return proto.EBadRequest
+	case 404:
+		return proto.ENotFound
+	case 409:
+		return proto.EExists
+	case 401, 403:
+		return proto.EPermission
+	case 422:
+		return proto.ETaskError
+	case 504:
+		return proto.ETimeout
+	case 429:
+		return proto.EAgain
+	default:
+		return proto.EInternal
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/api/norns"
+	"github.com/ngioproject/norns-go/internal/api/nornsctl"
+	"github.com/ngioproject/norns-go/internal/gateway"
+	"github.com/ngioproject/norns-go/internal/metrics"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// GatewaySubmit measures the HTTP gateway's batch-submit path against
+// the wire protocol's: the same volume of NoOp tasks pushed as
+// POST /v2/tasks batches over TCP versus OpSubmitBatch RPCs over the
+// AF_UNIX socket, at each batch size of the standard sweep. The gap is
+// the cost of HTTP framing + JSON encoding relative to the binary
+// protocol — the price a non-wire client (dashboard, workflow engine,
+// curl) pays for not linking the client library.
+func GatewaySubmit(socketDir string, tasksPerRun int) (*metrics.Table, error) {
+	if tasksPerRun <= 0 {
+		tasksPerRun = 4096
+	}
+	t := metrics.NewTable(
+		"Gateway submission — HTTP POST /v2/tasks batches vs wire OpSubmitBatch (NoOp tasks)",
+		"Batch", "Wire tasks/s", "HTTP tasks/s", "HTTP/wire")
+	for _, batch := range BatchSizes {
+		d, err := urd.New(urd.Config{
+			NodeName:      "bench",
+			UserSocket:    fmt.Sprintf("%s/gw-%d.sock", socketDir, batch),
+			ControlSocket: fmt.Sprintf("%s/gw-%d-ctl.sock", socketDir, batch),
+			Workers:       4,
+			HTTPAddr:      "127.0.0.1:0",
+			HTTPToken:     "bench-token",
+		})
+		if err != nil {
+			return nil, err
+		}
+		wireRate, httpRate, err := gatewayRunRates(socketDir, d.HTTPAddr(), batch, tasksPerRun)
+		d.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(batch, wireRate, httpRate, httpRate/wireRate)
+	}
+	return t, nil
+}
+
+func gatewayRunRates(socketDir, httpAddr string, batch, tasksPerRun int) (wire, http float64, err error) {
+	ctx := context.Background()
+
+	// The user API authorizes by registered process; the gateway
+	// dispatches as control and needs none.
+	ctl, err := nornsctl.Dial(fmt.Sprintf("%s/gw-%d-ctl.sock", socketDir, batch))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ctl.Close()
+	if err := ctl.RegisterJob(nornsctl.JobDef{ID: 1, Hosts: []string{"bench"}}); err != nil {
+		return 0, 0, err
+	}
+	if err := ctl.AddProcess(1, nornsctl.ProcDef{PID: uint64(os.Getpid())}); err != nil {
+		return 0, 0, err
+	}
+	gw := &gateway.Client{Base: "http://" + httpAddr, Token: "bench-token"}
+	c, err := norns.Dial(fmt.Sprintf("%s/gw-%d.sock", socketDir, batch))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+
+	noop := func() *norns.IOTask {
+		tk := norns.NewIOTask(norns.NoOp, norns.MemoryRegion(nil), norns.MemoryRegion(nil))
+		return &tk
+	}
+	start := time.Now()
+	for done := 0; done < tasksPerRun; {
+		n := min(batch, tasksPerRun-done)
+		tasks := make([]*norns.IOTask, n)
+		for i := range tasks {
+			tasks[i] = noop()
+		}
+		results, err := c.SubmitBatch(ctx, tasks)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				return 0, 0, fmt.Errorf("wire batch entry %d: %w", i, r.Err)
+			}
+		}
+		done += n
+	}
+	wire = float64(tasksPerRun) / time.Since(start).Seconds()
+
+	// HTTP: the same volume as POST /v2/tasks batches of `batch` records.
+	noopRec := gateway.Record{
+		Kind:   "noop",
+		Input:  gateway.Resource{Kind: "memory"},
+		Output: gateway.Resource{Kind: "memory"},
+	}
+	start = time.Now()
+	for done := 0; done < tasksPerRun; {
+		n := min(batch, tasksPerRun-done)
+		recs := make([]gateway.Record, n)
+		for i := range recs {
+			recs[i] = noopRec
+		}
+		results, err := gw.SubmitBatch(ctx, recs)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, r := range results {
+			if r.Error != "" {
+				return 0, 0, fmt.Errorf("http batch entry %d: %s", i, r.Error)
+			}
+		}
+		done += n
+	}
+	http = float64(tasksPerRun) / time.Since(start).Seconds()
+	return wire, http, nil
+}

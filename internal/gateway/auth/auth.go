@@ -1,0 +1,102 @@
+// Package auth implements the gateway's bearer-token authentication:
+// one static shared secret loaded from a file, compared in constant
+// time, and never echoed back into logs, errors, or repro bundles.
+package auth
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Redacted replaces secret material wherever request metadata is
+// rendered (logs, error strings, repro bundles).
+const Redacted = "[REDACTED]"
+
+// Token is the gateway's shared bearer secret. The zero value (empty
+// token) authorizes nothing — an unconfigured gateway must reject, not
+// wave through.
+type Token struct {
+	secret []byte
+}
+
+// NewToken wraps a raw secret. Whitespace is trimmed so a token file
+// with a trailing newline (the way every shell heredoc writes one)
+// round-trips.
+func NewToken(secret string) Token {
+	return Token{secret: []byte(strings.TrimSpace(secret))}
+}
+
+// LoadFile reads the shared secret from path. An empty (or
+// whitespace-only) file is an error: it would otherwise configure a
+// gateway that accepts "Bearer " from anyone.
+func LoadFile(path string) (Token, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Token{}, err
+	}
+	t := NewToken(string(raw))
+	if t.Empty() {
+		return Token{}, fmt.Errorf("auth: token file %s is empty", path)
+	}
+	return t, nil
+}
+
+// Empty reports whether no secret is configured.
+func (t Token) Empty() bool { return len(t.secret) == 0 }
+
+// Secret returns the raw secret — only for shuttling a loaded token
+// into configuration (urd.Config.HTTPToken). Never format it into
+// anything user-visible; that is what Redact exists for.
+func (t Token) Secret() string { return string(t.secret) }
+
+// Authorize checks an Authorization header value ("Bearer <secret>").
+// The comparison is constant-time in the secret so the check leaks no
+// prefix-length timing signal; scheme parsing is case-insensitive per
+// RFC 7235. An empty configured token authorizes nothing.
+func (t Token) Authorize(header string) bool {
+	if t.Empty() {
+		return false
+	}
+	const scheme = "Bearer "
+	if len(header) < len(scheme) || !strings.EqualFold(header[:len(scheme)], scheme) {
+		return false
+	}
+	presented := strings.TrimSpace(header[len(scheme):])
+	return subtle.ConstantTimeCompare([]byte(presented), t.secret) == 1
+}
+
+// SanitizeHeaders returns a copy of h safe to render: every credential-
+// bearing header is replaced with Redacted. Log and error paths must
+// format request headers only through this.
+func SanitizeHeaders(h http.Header) http.Header {
+	out := make(http.Header, len(h))
+	for k, vs := range h {
+		if isSensitiveHeader(k) {
+			out[k] = []string{Redacted}
+			continue
+		}
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// Redact strips the credential out of one rendered string (an error
+// message, a request line captured into a repro bundle): any occurrence
+// of the secret is replaced with Redacted. A no-op for the empty token.
+func (t Token) Redact(s string) string {
+	if t.Empty() {
+		return s
+	}
+	return strings.ReplaceAll(s, string(t.secret), Redacted)
+}
+
+func isSensitiveHeader(name string) bool {
+	switch http.CanonicalHeaderKey(name) {
+	case "Authorization", "Proxy-Authorization", "Cookie", "Set-Cookie":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package auth
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAuthorize(t *testing.T) {
+	tok := NewToken("s3cret")
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"Bearer s3cret", true},
+		{"bearer s3cret", true}, // scheme is case-insensitive (RFC 7235)
+		{"BEARER s3cret", true},
+		{"Bearer  s3cret ", true}, // surrounding whitespace tolerated
+		{"Bearer s3cre", false},
+		{"Bearer s3cretX", false},
+		{"Bearer ", false},
+		{"Bearer", false},
+		{"s3cret", false}, // no scheme
+		{"Basic s3cret", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := tok.Authorize(c.header); got != c.want {
+			t.Errorf("Authorize(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+func TestEmptyTokenAuthorizesNothing(t *testing.T) {
+	var zero Token
+	for _, h := range []string{"", "Bearer ", "Bearer x", "Bearer  "} {
+		if zero.Authorize(h) {
+			t.Errorf("empty token authorized %q", h)
+		}
+	}
+	if NewToken("  \n ").Authorize("Bearer ") {
+		t.Error("whitespace-only token authorized an empty credential")
+	}
+}
+
+func TestNewTokenTrims(t *testing.T) {
+	if !NewToken("abc\n").Authorize("Bearer abc") {
+		t.Error("trailing newline in the configured secret broke authorization")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "token")
+	if err := os.WriteFile(path, []byte("hunter2\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tok.Authorize("Bearer hunter2") {
+		t.Error("loaded token rejected its own secret")
+	}
+	if tok.Secret() != "hunter2" {
+		t.Errorf("Secret() = %q, want %q", tok.Secret(), "hunter2")
+	}
+}
+
+func TestLoadFileRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "token")
+	if err := os.WriteFile(path, []byte(" \n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("empty token file accepted; the gateway would wave through \"Bearer \"")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing token file accepted")
+	}
+}
+
+func TestSanitizeHeaders(t *testing.T) {
+	h := http.Header{}
+	h.Set("Authorization", "Bearer s3cret")
+	h.Set("Proxy-Authorization", "Basic abc")
+	h.Set("Cookie", "session=xyz")
+	h.Set("Content-Type", "application/json")
+	out := SanitizeHeaders(h)
+	for _, k := range []string{"Authorization", "Proxy-Authorization", "Cookie"} {
+		if got := out.Get(k); got != Redacted {
+			t.Errorf("%s = %q, want %q", k, got, Redacted)
+		}
+	}
+	if got := out.Get("Content-Type"); got != "application/json" {
+		t.Errorf("Content-Type = %q, clobbered", got)
+	}
+	// The copy must not alias the original's slices.
+	out.Set("Content-Type", "mutated")
+	if h.Get("Content-Type") != "application/json" {
+		t.Error("SanitizeHeaders aliased the input header map")
+	}
+}
+
+func TestRedact(t *testing.T) {
+	tok := NewToken("s3cret")
+	in := `request failed: Authorization: Bearer s3cret (retrying)`
+	out := tok.Redact(in)
+	if strings.Contains(out, "s3cret") {
+		t.Fatalf("secret survived redaction: %q", out)
+	}
+	if !strings.Contains(out, Redacted) {
+		t.Fatalf("redaction marker missing: %q", out)
+	}
+	var zero Token
+	if zero.Redact(in) != in {
+		t.Error("empty token mutated the input")
+	}
+}

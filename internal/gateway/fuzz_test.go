@@ -1,0 +1,69 @@
+package gateway_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/gateway"
+)
+
+// FuzzNDJSONRecord drives arbitrary bytes through the NDJSON record
+// decoder — the parser every import line crosses before touching the
+// daemon. Accepted records must survive an encode/decode round trip
+// unchanged and convert to a task spec without panicking; everything
+// else must be rejected with an error, never a crash. The committed
+// seed corpus (testdata/fuzz/FuzzNDJSONRecord) covers the interesting
+// shapes: a valid record, a truncated line, an oversize payload, a
+// duplicate-ID record, and a wrong-project line with unknown fields.
+func FuzzNDJSONRecord(f *testing.F) {
+	f.Add([]byte(`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}`))
+	f.Add([]byte(`{"id":17,"kind":"copy","input":{"kind":"memory","data":"cGF5bG9hZA==","size":7},"output":{"kind":"local-path","dataspace":"nvme0://","path":"x"},"priority":3,"job_id":42,"deadline_ms":5000,"max_bps":1048576}`))
+	f.Add([]byte(`{"kind":"noop","input":{"kind":"memory"},"output":`))                                                                                                                // truncated
+	f.Add([]byte(`{"kind":"move","input":{"kind":"remote-path","node":"n2","dataspace":"d://","path":"` + string(bytes.Repeat([]byte("a"), 4096)) + `"},"output":{"kind":"memory"}}`)) // oversize-ish
+	f.Add([]byte(`{"id":1,"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}`))                                                                                       // duplicate-ID shape
+	f.Add([]byte(`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"},"replica_set":"rs0"}`))                                                                          // wrong project
+	f.Add([]byte(`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}{"kind":"noop"}`))                                                                               // glued records
+	f.Add([]byte(`{"kind":"noop","input":{"kind":"memory","size":-1},"output":{"kind":"memory"}}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := gateway.DecodeRecord(line)
+		if err != nil {
+			if rec != nil {
+				t.Fatalf("rejected line returned a record: %+v", rec)
+			}
+			return
+		}
+		// Accepted: the spec conversion must be total and faithful on the
+		// scalar fields.
+		spec := rec.TaskSpec()
+		if spec.Priority != int64(rec.Priority) || spec.JobID != rec.JobID ||
+			spec.DeadlineMS != rec.DeadlineMS || spec.MaxBps != rec.MaxBps {
+			t.Fatalf("spec scalars diverge from record: %+v vs %+v", spec, rec)
+		}
+		// Round trip: encode and decode back to an identical record.
+		enc, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+		rec2, err := gateway.DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("re-encoded record rejected: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(mustJSON(t, rec), mustJSON(t, rec2)) {
+			t.Fatalf("round trip diverged:\n%+v\n%+v", rec, rec2)
+		}
+	})
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

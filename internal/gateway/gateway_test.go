@@ -1,0 +1,397 @@
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/gateway"
+	"github.com/ngioproject/norns-go/internal/gateway/auth"
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+const testToken = "gw-test-secret"
+
+// newDaemon boots a urd daemon with the HTTP gateway on an ephemeral
+// port. No sockets: every interaction rides HTTP.
+func newDaemon(t *testing.T, mutate func(*urd.Config)) *urd.Daemon {
+	t.Helper()
+	cfg := urd.Config{
+		NodeName:  "gwtest",
+		Workers:   2,
+		HTTPAddr:  "127.0.0.1:0",
+		HTTPToken: testToken,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := urd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func testClient(d *urd.Daemon) *gateway.Client {
+	return &gateway.Client{Base: "http://" + d.HTTPAddr(), Token: testToken}
+}
+
+// doRaw issues one request with explicit header control.
+func doRaw(t *testing.T, method, url, authz string, body io.Reader) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if authz != "" {
+		req.Header.Set("Authorization", authz)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func noopRecord() gateway.Record {
+	return gateway.Record{
+		Kind:   "noop",
+		Input:  gateway.Resource{Kind: "memory"},
+		Output: gateway.Resource{Kind: "memory"},
+	}
+}
+
+func TestUnauthorizedRequests(t *testing.T) {
+	d := newDaemon(t, nil)
+	base := "http://" + d.HTTPAddr()
+	for _, authz := range []string{"", "Bearer wrong", "Basic " + testToken, "Bearer " + testToken + "x"} {
+		resp := doRaw(t, http.MethodGet, base+"/v2/status", authz, nil)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("authz %q: status %d, want 401", authz, resp.StatusCode)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Errorf("authz %q: missing WWW-Authenticate challenge", authz)
+		}
+		// The rejection must never echo any credential material.
+		if strings.Contains(string(body), testToken) || strings.Contains(string(body), "wrong") {
+			t.Errorf("authz %q: credential echoed in 401 body: %s", authz, body)
+		}
+		var env struct {
+			Error struct{ Code, Message string }
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != proto.EPermission.String() {
+			t.Errorf("authz %q: body %s, want %s envelope", authz, body, proto.EPermission)
+		}
+	}
+	// The happy path still works.
+	resp := doRaw(t, http.MethodGet, base+"/v2/status", "Bearer "+testToken, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized status request: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestTokenNotLoggedOnReject(t *testing.T) {
+	var logged bytes.Buffer
+	gw, err := gateway.New(gateway.Config{
+		Addr:   "127.0.0.1:0",
+		Daemon: &stubDaemon{},
+		Token:  auth.NewToken(testToken),
+		Logf:   func(format string, args ...any) { fmt.Fprintf(&logged, format+"\n", args...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	resp := doRaw(t, http.MethodGet, "http://"+gw.Addr()+"/v2/status", "Bearer leak-me-"+testToken, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status %d, want 401", resp.StatusCode)
+	}
+	if s := logged.String(); strings.Contains(s, testToken) || strings.Contains(s, "leak-me") {
+		t.Fatalf("presented credential reached the log: %q", s)
+	}
+	if logged.Len() == 0 {
+		t.Fatal("rejected request was not logged at all")
+	}
+}
+
+func TestGatewayRefusesEmptyToken(t *testing.T) {
+	_, err := gateway.New(gateway.Config{Addr: "127.0.0.1:0", Daemon: &stubDaemon{}})
+	if err == nil {
+		t.Fatal("gateway started without a bearer token")
+	}
+}
+
+// stubDaemon answers every Handle with a canned status so the full
+// error table can be exercised through a real listener.
+type stubDaemon struct {
+	status proto.StatusCode
+	errMsg string
+}
+
+func (s *stubDaemon) Handle(peer transport.PeerInfo, req *proto.Request) *proto.Response {
+	if s.status == proto.Success {
+		return &proto.Response{Status: proto.Success, TaskID: req.TaskID, Stats: &proto.TaskStats{}}
+	}
+	return &proto.Response{Status: s.status, Error: s.errMsg}
+}
+func (s *stubDaemon) RangeTasks(fn func(*task.Task)) {}
+func (s *stubDaemon) SubmitBatchAtomic(specs []proto.TaskSpec, pid uint64, admin bool) ([]uint64, error) {
+	return nil, nil
+}
+func (s *stubDaemon) ValidateSpec(spec *proto.TaskSpec, pid uint64, admin bool) error { return nil }
+func (s *stubDaemon) HasTask(id uint64) bool                                          { return false }
+func (s *stubDaemon) NodeName() string                                                { return "stub" }
+
+// TestErrorStatusTable round-trips every protocol status code through a
+// real listener and asserts the documented HTTP mapping.
+func TestErrorStatusTable(t *testing.T) {
+	stub := &stubDaemon{}
+	gw, err := gateway.New(gateway.Config{
+		Addr:   "127.0.0.1:0",
+		Daemon: stub,
+		Token:  auth.NewToken(testToken),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	table := []struct {
+		code proto.StatusCode
+		want int
+	}{
+		{proto.Success, 200},
+		{proto.EBadRequest, 400},
+		{proto.ENotFound, 404},
+		{proto.EExists, 409},
+		{proto.EPermission, 403},
+		{proto.ETaskError, 422},
+		{proto.ETimeout, 504},
+		{proto.EAgain, 429},
+		{proto.EInternal, 500},
+	}
+	for _, c := range table {
+		stub.status = c.code
+		stub.errMsg = "stubbed " + c.code.String()
+		resp := doRaw(t, http.MethodDelete, "http://"+gw.Addr()+"/v2/tasks/7", "Bearer "+testToken, nil)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: HTTP %d, want %d", c.code, resp.StatusCode, c.want)
+		}
+		if c.code == proto.Success {
+			continue
+		}
+		var env struct {
+			Error struct{ Code, Message string }
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: malformed envelope %s", c.code, body)
+			continue
+		}
+		if env.Error.Code != c.code.String() {
+			t.Errorf("%s: envelope code %q", c.code, env.Error.Code)
+		}
+	}
+}
+
+func TestSubmitLifecycle(t *testing.T) {
+	d := newDaemon(t, nil)
+	c := testClient(d)
+	ctx := context.Background()
+
+	rec := noopRecord()
+	res, err := c.Submit(ctx, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskID == 0 {
+		t.Fatal("submit assigned no task ID")
+	}
+
+	// NoOp tasks finish promptly; poll the status endpoint to terminal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := c.TaskStatus(ctx, res.TaskID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == task.Finished.String() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task %d stuck in %s", res.TaskID, st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Unknown task IDs are 404s mapped to ENotFound.
+	if _, err := c.TaskStatus(ctx, 99999); err == nil {
+		t.Fatal("status of unknown task succeeded")
+	} else if !strings.Contains(err.Error(), proto.ENotFound.String()) {
+		t.Fatalf("unknown task error = %v, want %s", err, proto.ENotFound)
+	}
+	if _, err := c.Cancel(ctx, 99999); err == nil {
+		t.Fatal("cancel of unknown task succeeded")
+	}
+}
+
+func TestSubmitBatchPerEntry(t *testing.T) {
+	d := newDaemon(t, nil)
+	c := testClient(d)
+
+	recs := make([]gateway.Record, 8)
+	for i := range recs {
+		recs[i] = noopRecord()
+	}
+	results, err := c.SubmitBatch(context.Background(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(recs) {
+		t.Fatalf("%d results for %d records", len(results), len(recs))
+	}
+	seen := map[uint64]bool{}
+	for i, r := range results {
+		if r.Status != proto.Success.String() {
+			t.Errorf("entry %d: %s %s", i, r.Status, r.Error)
+		}
+		if seen[r.TaskID] {
+			t.Errorf("entry %d: duplicate task ID %d", i, r.TaskID)
+		}
+		seen[r.TaskID] = true
+	}
+}
+
+func TestSubmitMalformed(t *testing.T) {
+	d := newDaemon(t, nil)
+	base := "http://" + d.HTTPAddr()
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad JSON", `{"kind":`, 400},
+		{"unknown kind", `{"kind":"teleport","input":{"kind":"memory"},"output":{"kind":"memory"}}`, 400},
+		{"unknown field", `{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"},"frobnicate":1}`, 400},
+		{"empty batch", `{"tasks":[]}`, 400},
+		{"bad batch entry", `{"tasks":[{"kind":"noop","input":{"kind":"lustre"},"output":{"kind":"memory"}}]}`, 400},
+	}
+	for _, c := range cases {
+		resp := doRaw(t, http.MethodPost, base+"/v2/tasks", "Bearer "+testToken, strings.NewReader(c.body))
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: HTTP %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestOversizeBodyRejected(t *testing.T) {
+	d := newDaemon(t, func(cfg *urd.Config) { cfg.HTTPMaxBody = 1024 })
+	base := "http://" + d.HTTPAddr()
+	big := `{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"},"node":"` +
+		strings.Repeat("x", 4096) + `"}`
+	resp := doRaw(t, http.MethodPost, base+"/v2/tasks", "Bearer "+testToken, strings.NewReader(big))
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("HTTP %d (%s), want 413", resp.StatusCode, body)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	d := newDaemon(t, nil)
+	st, err := testClient(d).Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "gwtest" {
+		t.Errorf("node %q, want gwtest", st.Node)
+	}
+	if st.Version == "" || st.Policy == "" {
+		t.Errorf("incomplete status: %+v", st)
+	}
+}
+
+// TestSSEDrivesBatchToTerminal submits a 100-task batch and watches it
+// to terminal purely over the SSE stream: every task's terminal event
+// arrives, the stream ends with the completion frame, and the daemon
+// served zero status polls — the acceptance gauge of the event-driven
+// API.
+func TestSSEDrivesBatchToTerminal(t *testing.T) {
+	d := newDaemon(t, nil)
+	c := testClient(d)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	recs := make([]gateway.Record, 100)
+	for i := range recs {
+		recs[i] = noopRecord()
+	}
+	results, err := c.SubmitBatch(ctx, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 0, len(results))
+	for _, r := range results {
+		if r.Status != proto.Success.String() {
+			t.Fatalf("batch entry rejected: %s %s", r.Status, r.Error)
+		}
+		ids = append(ids, r.TaskID)
+	}
+
+	terminal := map[uint64]bool{}
+	sawEnd := false
+	err = c.Events(ctx, ids, 0, func(ev gateway.SSEEvent) bool {
+		if ev.Gap {
+			t.Errorf("explicit subscription dropped %d events", ev.Dropped)
+			return true
+		}
+		if ev.Kind == "end" {
+			sawEnd = true
+			return false
+		}
+		if ev.Stats != nil {
+			switch ev.Stats.Status {
+			case task.Finished.String(), task.Failed.String(), task.Cancelled.String():
+				terminal[ev.TaskID] = true
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawEnd {
+		t.Fatal("stream ended without the completion frame")
+	}
+	if len(terminal) != len(ids) {
+		t.Fatalf("saw %d terminal tasks, want %d", len(terminal), len(ids))
+	}
+	if polls := d.StatusPolls(); polls != 0 {
+		t.Fatalf("daemon served %d status polls; the SSE path must drive the batch with zero", polls)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	d := newDaemon(t, nil)
+	resp := doRaw(t, http.MethodPut, "http://"+d.HTTPAddr()+"/v2/tasks", "Bearer "+testToken, strings.NewReader("{}"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /v2/tasks: HTTP %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,274 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// This file is the NDJSON bulk format: one task per line, the wire-
+// stable JSON twin of task.Spec (see SNIPPETS.md Snippet 1 for the
+// exemplar semantics). Export writes Records; import decodes them back
+// into submissions. Runtime fields (status, byte counters) are
+// export-only annotations — import ignores them, so an exported file
+// replays into any daemon.
+
+// Resource is the JSON form of one task endpoint.
+type Resource struct {
+	// Kind is "memory", "local-path", or "remote-path".
+	Kind      string `json:"kind"`
+	Dataspace string `json:"dataspace,omitempty"`
+	Path      string `json:"path,omitempty"`
+	Node      string `json:"node,omitempty"`
+	Size      int64  `json:"size,omitempty"`
+	// Data is the inline payload of a memory resource (base64 in JSON).
+	Data []byte `json:"data,omitempty"`
+}
+
+// Record is one NDJSON line: the durable form of a task plus, on
+// export, its runtime state.
+type Record struct {
+	// ID is the task's ID on the exporting daemon. Import does not
+	// preserve it (the destination assigns its own); it keys the dedupe
+	// modes, so re-importing a file into the daemon that produced it
+	// skips (or rejects, or overwrites) instead of doubling the queue.
+	ID uint64 `json:"id,omitempty"`
+	// Kind is "copy", "move", "remove", or "noop".
+	Kind       string   `json:"kind"`
+	Input      Resource `json:"input"`
+	Output     Resource `json:"output"`
+	Priority   int      `json:"priority,omitempty"`
+	JobID      uint64   `json:"job_id,omitempty"`
+	DeadlineMS int64    `json:"deadline_ms,omitempty"`
+	MaxBps     int64    `json:"max_bps,omitempty"`
+	// Node names the exporting daemon (export-only annotation).
+	Node string `json:"node,omitempty"`
+
+	// Export-only runtime state; ignored on import.
+	Status     string `json:"status,omitempty"`
+	Error      string `json:"error,omitempty"`
+	TotalBytes int64  `json:"total_bytes,omitempty"`
+	MovedBytes int64  `json:"moved_bytes,omitempty"`
+	CacheBytes int64  `json:"cache_bytes,omitempty"`
+	DeltaBytes int64  `json:"delta_bytes,omitempty"`
+}
+
+func parseTaskKind(s string) (task.Kind, bool) {
+	switch s {
+	case "copy":
+		return task.Copy, true
+	case "move":
+		return task.Move, true
+	case "remove":
+		return task.Remove, true
+	case "noop":
+		return task.NoOp, true
+	}
+	return 0, false
+}
+
+func parseResourceKind(s string) (task.ResourceKind, bool) {
+	switch s {
+	case "memory":
+		return task.Memory, true
+	case "local-path":
+		return task.LocalPath, true
+	case "remote-path":
+		return task.RemotePath, true
+	}
+	return 0, false
+}
+
+// DecodeRecord parses and validates one NDJSON line. Unknown fields are
+// rejected — a line from some other tool's export (the "wrong project"
+// case) fails here instead of half-importing. The returned error is
+// safe to echo to clients; it never includes the raw line.
+func DecodeRecord(line []byte) (*Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var rec Record
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("malformed record: %v", err)
+	}
+	// One JSON value per line: trailing data is a framing bug (two
+	// records glued together), not a second record.
+	if dec.More() {
+		return nil, fmt.Errorf("malformed record: trailing data after JSON value")
+	}
+	if _, ok := parseTaskKind(rec.Kind); !ok {
+		return nil, fmt.Errorf("unknown task kind %q", rec.Kind)
+	}
+	for _, r := range []struct {
+		name string
+		res  Resource
+	}{{"input", rec.Input}, {"output", rec.Output}} {
+		if _, ok := parseResourceKind(r.res.Kind); !ok {
+			return nil, fmt.Errorf("%s: unknown resource kind %q", r.name, r.res.Kind)
+		}
+		if r.res.Size < 0 {
+			return nil, fmt.Errorf("%s: negative size", r.name)
+		}
+		if len(r.res.Data) > 0 && r.res.Size > 0 && r.res.Size != int64(len(r.res.Data)) {
+			return nil, fmt.Errorf("%s: size %d disagrees with %d bytes of inline data", r.name, r.res.Size, len(r.res.Data))
+		}
+	}
+	// An inline payload implies its own size; normalizing here keeps
+	// byte accounting (drain summaries, progress totals) honest for
+	// records that omit the redundant field.
+	for _, res := range []*Resource{&rec.Input, &rec.Output} {
+		if len(res.Data) > 0 && res.Size == 0 {
+			res.Size = int64(len(res.Data))
+		}
+	}
+	if rec.DeadlineMS < 0 {
+		return nil, fmt.Errorf("negative deadline_ms")
+	}
+	if rec.MaxBps < 0 {
+		return nil, fmt.Errorf("negative max_bps")
+	}
+	return &rec, nil
+}
+
+// toResource converts the JSON form to the task resource.
+func (r Resource) toResource() task.Resource {
+	kind, _ := parseResourceKind(r.Kind)
+	return task.Resource{
+		Kind:      kind,
+		Dataspace: r.Dataspace,
+		Path:      r.Path,
+		Node:      r.Node,
+		Size:      r.Size,
+		Data:      r.Data,
+	}
+}
+
+func resourceJSON(r task.Resource) Resource {
+	return Resource{
+		Kind:      r.Kind.String(),
+		Dataspace: r.Dataspace,
+		Path:      r.Path,
+		Node:      r.Node,
+		Size:      r.Size,
+		Data:      r.Data,
+	}
+}
+
+// TaskSpec converts a decoded record into the protocol submission form.
+func (rec *Record) TaskSpec() proto.TaskSpec {
+	kind, _ := parseTaskKind(rec.Kind)
+	return proto.TaskSpec{
+		Kind:       uint32(kind),
+		Input:      proto.FromResource(rec.Input.toResource()),
+		Output:     proto.FromResource(rec.Output.toResource()),
+		Priority:   int64(rec.Priority),
+		JobID:      rec.JobID,
+		DeadlineMS: rec.DeadlineMS,
+		MaxBps:     rec.MaxBps,
+	}
+}
+
+// recordOf renders one task as an export line. A live deadline exports
+// as its remaining milliseconds (floored at 1ms — "already due", not
+// "none") so a replayed task keeps an equivalent execution bound.
+func recordOf(t *task.Task, node string) Record {
+	st := t.Stats()
+	rec := Record{
+		ID:         t.ID,
+		Kind:       t.Kind.String(),
+		Input:      resourceJSON(t.Input),
+		Output:     resourceJSON(t.Output),
+		Priority:   t.Priority,
+		JobID:      t.JobID,
+		MaxBps:     t.MaxBps,
+		Node:       node,
+		Status:     st.Status.String(),
+		Error:      st.Err,
+		TotalBytes: st.TotalBytes,
+		MovedBytes: st.MovedBytes,
+		CacheBytes: st.CacheBytes,
+		DeltaBytes: st.DeltaBytes,
+	}
+	if !t.Deadline.IsZero() {
+		rec.DeadlineMS = int64(time.Until(t.Deadline) / time.Millisecond)
+		if rec.DeadlineMS < 1 {
+			rec.DeadlineMS = 1
+		}
+	}
+	return rec
+}
+
+// errLineTooLong reports an NDJSON line past the configured clamp.
+var errLineTooLong = fmt.Errorf("line exceeds the configured length clamp")
+
+// lineReader yields NDJSON lines under a length clamp. An oversize line
+// is consumed to its newline and reported as errLineTooLong, so the
+// caller decides whether that fails one record or the whole import —
+// the reader itself never buffers more than max bytes of it.
+type lineReader struct {
+	r   *bufio.Reader
+	max int
+	buf []byte
+}
+
+func newLineReader(r io.Reader, max int) *lineReader {
+	if max <= 0 {
+		max = defaultMaxLine
+	}
+	bufSize := 64 << 10
+	if max < bufSize {
+		bufSize = max
+	}
+	return &lineReader{r: bufio.NewReaderSize(r, bufSize), max: max}
+}
+
+// next returns the next non-empty line without its newline. io.EOF
+// signals a clean end of stream; errLineTooLong an oversize line (the
+// stream stays consumable).
+func (lr *lineReader) next() ([]byte, error) {
+	for {
+		lr.buf = lr.buf[:0]
+		tooLong := false
+		for {
+			chunk, err := lr.r.ReadSlice('\n')
+			if !tooLong {
+				if len(lr.buf)+len(chunk) > lr.max {
+					tooLong = true
+					lr.buf = lr.buf[:0]
+				} else {
+					lr.buf = append(lr.buf, chunk...)
+				}
+			}
+			if err == nil {
+				break // chunk ended at the newline
+			}
+			if err == bufio.ErrBufferFull {
+				continue // long line: keep draining it
+			}
+			if err == io.EOF {
+				if tooLong {
+					return nil, errLineTooLong
+				}
+				line := bytes.TrimSpace(lr.buf)
+				if len(line) == 0 {
+					return nil, io.EOF
+				}
+				return line, nil
+			}
+			return nil, err
+		}
+		if tooLong {
+			return nil, errLineTooLong
+		}
+		line := bytes.TrimSpace(lr.buf)
+		if len(line) == 0 {
+			continue // blank separator lines are tolerated
+		}
+		return line, nil
+	}
+}

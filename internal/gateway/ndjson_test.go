@@ -1,0 +1,513 @@
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/gateway"
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/transport"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// waitAllTerminal watches the given tasks to terminal over SSE.
+func waitAllTerminal(t *testing.T, c *gateway.Client, ids []uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := c.Events(ctx, ids, 0, func(ev gateway.SSEEvent) bool { return ev.Kind != "end" })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// specKey reduces a record to its submission-relevant identity — the
+// fields import actually replays. Runtime annotations (status, byte
+// counters, the exporter's ID and node) are excluded by design.
+func specKey(rec *gateway.Record) string {
+	res := func(r gateway.Resource) string {
+		return fmt.Sprintf("%s|%s|%s|%s|%d|%x", r.Kind, r.Dataspace, r.Path, r.Node, r.Size, r.Data)
+	}
+	return fmt.Sprintf("%s/%s/%s/p%d/j%d/b%d", rec.Kind, res(rec.Input), res(rec.Output),
+		rec.Priority, rec.JobID, rec.MaxBps)
+}
+
+// exportKeys exports from c and returns the multiset of spec keys.
+func exportKeys(t *testing.T, c *gateway.Client, state string) map[string]int {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := c.Export(context.Background(), &buf, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]int{}
+	lines := 0
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, err := gateway.DecodeRecord(line)
+		if err != nil {
+			t.Fatalf("export produced an undecodable line: %v\n%s", err, line)
+		}
+		keys[specKey(rec)]++
+		lines++
+	}
+	if lines != n {
+		t.Fatalf("X-Norns-Tasks says %d, body has %d lines", n, lines)
+	}
+	return keys
+}
+
+// TestExportImportRoundTrip is the lossless round-trip acceptance: a
+// varied task set exported from daemon A and imported into a fresh
+// daemon B exports from B with an identical spec multiset.
+func TestExportImportRoundTrip(t *testing.T) {
+	a := newDaemon(t, nil)
+	ca := testClient(a)
+	ctx := context.Background()
+
+	recs := []gateway.Record{
+		{Kind: "noop", Input: gateway.Resource{Kind: "memory"}, Output: gateway.Resource{Kind: "memory"}},
+		{Kind: "noop", Input: gateway.Resource{Kind: "memory", Data: []byte("payload-a")}, Output: gateway.Resource{Kind: "memory"}, Priority: 7},
+		{Kind: "noop", Input: gateway.Resource{Kind: "memory", Size: 4096}, Output: gateway.Resource{Kind: "memory"}, JobID: 42},
+		{Kind: "noop", Input: gateway.Resource{Kind: "memory"}, Output: gateway.Resource{Kind: "memory"}, MaxBps: 1 << 20},
+	}
+	var ndjson bytes.Buffer
+	enc := json.NewEncoder(&ndjson)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ca.Import(ctx, bytes.NewReader(ndjson.Bytes()), gateway.ImportOptions{IncludeIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != len(recs) || res.Failed != 0 {
+		t.Fatalf("import: %+v", res)
+	}
+	waitAllTerminal(t, ca, res.TaskIDs)
+
+	wantKeys := exportKeys(t, ca, "")
+	var exported bytes.Buffer
+	if _, err := ca.Export(ctx, &exported, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newDaemon(t, nil)
+	cb := testClient(b)
+	resB, err := cb.Import(ctx, bytes.NewReader(exported.Bytes()), gateway.ImportOptions{Atomic: true, IncludeIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Submitted != len(recs) {
+		t.Fatalf("B accepted %d of %d", resB.Submitted, len(recs))
+	}
+	waitAllTerminal(t, cb, resB.TaskIDs)
+
+	gotKeys := exportKeys(t, cb, "")
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("key sets differ: %d vs %d distinct specs", len(gotKeys), len(wantKeys))
+	}
+	for k, n := range wantKeys {
+		if gotKeys[k] != n {
+			t.Errorf("spec %q: %d on A, %d on B", k, n, gotKeys[k])
+		}
+	}
+}
+
+// TestDryRunMutatesNothing proves ?dry_run=1 validates without side
+// effects: no tasks registered, no journal entries, and — via the next
+// real submission's assigned ID — no task IDs consumed.
+func TestDryRunMutatesNothing(t *testing.T) {
+	state := t.TempDir()
+	d := newDaemon(t, func(cfg *urd.Config) { cfg.StateDir = state })
+	c := testClient(d)
+	ctx := context.Background()
+
+	ndjson := strings.Join([]string{
+		`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}`,
+		`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"},"priority":3}`,
+		`{"kind":"warp","input":{"kind":"memory"},"output":{"kind":"memory"}}`, // invalid
+	}, "\n")
+	res, err := c.Import(ctx, strings.NewReader(ndjson), gateway.ImportOptions{DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DryRun || res.Submitted != 2 || res.Failed != 1 {
+		t.Fatalf("dry run summary: %+v", res)
+	}
+
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 0 || st.Pending != 0 {
+		t.Fatalf("dry run registered tasks: %+v", st)
+	}
+	// The ID counter must be untouched: the first real submission gets 1.
+	rec := noopRecord()
+	sub, err := c.Submit(ctx, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.TaskID != 1 {
+		t.Fatalf("first real task got ID %d; the dry run consumed IDs", sub.TaskID)
+	}
+	waitAllTerminal(t, c, []uint64{sub.TaskID})
+
+	// Restart from the journal: only the one real task may surface.
+	d.Close()
+	d2, err := urd.New(urd.Config{NodeName: "gwtest", Workers: 2, StateDir: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec2 := d2.Recovered()
+	if rec2.Pending != 0 || rec2.Running != 0 || rec2.Terminal != 1 {
+		t.Fatalf("journal after dry run replayed %+v, want exactly the one real task", rec2)
+	}
+}
+
+// TestAtomicImportMidStreamFailure injects a malformed record mid-
+// stream and asserts the all-or-nothing contract: nothing lands in the
+// registry or the journal, restart included.
+func TestAtomicImportMidStreamFailure(t *testing.T) {
+	state := t.TempDir()
+	d := newDaemon(t, func(cfg *urd.Config) { cfg.StateDir = state })
+	c := testClient(d)
+	ctx := context.Background()
+
+	var ndjson strings.Builder
+	for i := 0; i < 5; i++ {
+		ndjson.WriteString(`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}` + "\n")
+	}
+	ndjson.WriteString(`{"kind":"noop","input":{"kind":"memory"},"output":` + "\n") // truncated
+	for i := 0; i < 5; i++ {
+		ndjson.WriteString(`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}` + "\n")
+	}
+	_, err := c.Import(ctx, strings.NewReader(ndjson.String()), gateway.ImportOptions{Atomic: true})
+	if err == nil {
+		t.Fatal("atomic import with a malformed line succeeded")
+	}
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 0 || st.Pending != 0 {
+		t.Fatalf("partial batch visible after failed atomic import: %+v", st)
+	}
+
+	d.Close()
+	d2, err := urd.New(urd.Config{NodeName: "gwtest", Workers: 2, StateDir: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rec := d2.Recovered(); rec.Requeued() != 0 || rec.Terminal != 0 || rec.Cancelled != 0 {
+		t.Fatalf("failed atomic import left journal entries: %+v", rec)
+	}
+}
+
+// TestAtomicImportBackpressure: a batch that does not fit MaxInFlight
+// is refused whole with the backpressure status, zero entries admitted.
+func TestAtomicImportBackpressure(t *testing.T) {
+	d := newDaemon(t, func(cfg *urd.Config) { cfg.MaxInFlight = 4 })
+	c := testClient(d)
+
+	var ndjson strings.Builder
+	for i := 0; i < 8; i++ {
+		ndjson.WriteString(`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}` + "\n")
+	}
+	_, err := c.Import(context.Background(), strings.NewReader(ndjson.String()), gateway.ImportOptions{Atomic: true})
+	if err == nil {
+		t.Fatal("oversized atomic batch succeeded")
+	}
+	if !strings.Contains(err.Error(), proto.EAgain.String()) {
+		t.Fatalf("error %v, want %s", err, proto.EAgain)
+	}
+	st, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 0 {
+		t.Fatalf("refused batch left %d tasks", st.Tasks)
+	}
+}
+
+// TestAtomicImportSuccess: the happy path lands every entry.
+func TestAtomicImportSuccess(t *testing.T) {
+	d := newDaemon(t, nil)
+	c := testClient(d)
+	var ndjson strings.Builder
+	for i := 0; i < 10; i++ {
+		ndjson.WriteString(fmt.Sprintf(`{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"},"priority":%d}`+"\n", i))
+	}
+	res, err := c.Import(context.Background(), strings.NewReader(ndjson.String()), gateway.ImportOptions{Atomic: true, IncludeIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 10 || len(res.TaskIDs) != 10 {
+		t.Fatalf("atomic import: %+v", res)
+	}
+	waitAllTerminal(t, c, res.TaskIDs)
+}
+
+func seedTasks(t *testing.T, c *gateway.Client, n int) []uint64 {
+	t.Helper()
+	recs := make([]gateway.Record, n)
+	for i := range recs {
+		recs[i] = noopRecord()
+	}
+	results, err := c.SubmitBatch(context.Background(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, len(results))
+	for i, r := range results {
+		ids[i] = r.TaskID
+	}
+	waitAllTerminal(t, c, ids)
+	return ids
+}
+
+func TestImportDedupeModes(t *testing.T) {
+	ctx := context.Background()
+	line := func(id uint64) string {
+		return fmt.Sprintf(`{"id":%d,"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}`, id)
+	}
+
+	t.Run("skip", func(t *testing.T) {
+		d := newDaemon(t, nil)
+		c := testClient(d)
+		ids := seedTasks(t, c, 2)
+		body := line(ids[0]) + "\n" + line(9999) + "\n"
+		res, err := c.Import(ctx, strings.NewReader(body), gateway.ImportOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Skipped != 1 || res.Submitted != 1 || res.Failed != 0 {
+			t.Fatalf("skip mode: %+v", res)
+		}
+	})
+
+	t.Run("error", func(t *testing.T) {
+		d := newDaemon(t, nil)
+		c := testClient(d)
+		ids := seedTasks(t, c, 1)
+		res, err := c.Import(ctx, strings.NewReader(line(ids[0])+"\n"), gateway.ImportOptions{Dedupe: "error"})
+		if err == nil {
+			t.Fatalf("duplicate accepted in error mode: %+v", res)
+		}
+		if !strings.Contains(err.Error(), proto.EExists.String()) {
+			t.Fatalf("error %v, want %s", err, proto.EExists)
+		}
+	})
+
+	t.Run("overwrite", func(t *testing.T) {
+		d := newDaemon(t, nil)
+		c := testClient(d)
+		ids := seedTasks(t, c, 1)
+		res, err := c.Import(ctx, strings.NewReader(line(ids[0])+"\n"), gateway.ImportOptions{Dedupe: "overwrite", IncludeIDs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Overwritten != 1 || res.Submitted != 1 {
+			t.Fatalf("overwrite mode: %+v", res)
+		}
+		waitAllTerminal(t, c, res.TaskIDs)
+	})
+
+	t.Run("in-stream duplicate", func(t *testing.T) {
+		d := newDaemon(t, nil)
+		c := testClient(d)
+		body := line(7) + "\n" + line(7) + "\n"
+		res, err := c.Import(ctx, strings.NewReader(body), gateway.ImportOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Skipped != 1 || res.Submitted != 1 {
+			t.Fatalf("in-stream dup: %+v", res)
+		}
+	})
+
+	t.Run("bad mode", func(t *testing.T) {
+		d := newDaemon(t, nil)
+		c := testClient(d)
+		_, err := c.Import(ctx, strings.NewReader(""), gateway.ImportOptions{Dedupe: "merge"})
+		if err == nil {
+			t.Fatal("unknown dedupe mode accepted")
+		}
+	})
+}
+
+func TestImportOversizeLine(t *testing.T) {
+	ctx := context.Background()
+	long := `{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"},"node":"` +
+		strings.Repeat("x", 2048) + `"}`
+	ok := `{"kind":"noop","input":{"kind":"memory"},"output":{"kind":"memory"}}`
+
+	t.Run("streaming fails the one record", func(t *testing.T) {
+		d := newDaemon(t, func(cfg *urd.Config) { cfg.HTTPMaxLine = 512 })
+		c := testClient(d)
+		res, err := c.Import(ctx, strings.NewReader(ok+"\n"+long+"\n"+ok+"\n"), gateway.ImportOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Submitted != 2 || res.Failed != 1 {
+			t.Fatalf("streaming oversize: %+v", res)
+		}
+	})
+
+	t.Run("atomic aborts with 413", func(t *testing.T) {
+		d := newDaemon(t, func(cfg *urd.Config) { cfg.HTTPMaxLine = 512 })
+		c := testClient(d)
+		_, err := c.Import(ctx, strings.NewReader(ok+"\n"+long+"\n"), gateway.ImportOptions{Atomic: true})
+		if err == nil {
+			t.Fatal("atomic import with oversize line succeeded")
+		}
+		st, serr := c.Status(ctx)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if st.Tasks != 0 {
+			t.Fatalf("aborted atomic import left %d tasks", st.Tasks)
+		}
+	})
+}
+
+func TestExportStateFilter(t *testing.T) {
+	d := newDaemon(t, nil)
+	c := testClient(d)
+	seedTasks(t, c, 3)
+
+	var buf bytes.Buffer
+	n, err := c.Export(context.Background(), &buf, "terminal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("terminal export: %d tasks, want 3", n)
+	}
+	if n, err = c.Export(context.Background(), &buf, "pending"); err != nil || n != 0 {
+		t.Fatalf("pending export: n=%d err=%v, want 0 tasks", n, err)
+	}
+	if _, err := c.Export(context.Background(), &buf, "bogus"); err == nil {
+		t.Fatal("unknown state filter accepted")
+	}
+}
+
+// registerMemDS registers an in-memory dataspace directly through the
+// daemon's dispatch (the same OpRegisterDataspace the control socket
+// carries).
+func registerMemDS(t *testing.T, d *urd.Daemon, id string) {
+	t.Helper()
+	resp := d.Handle(transport.PeerInfo{Control: true, Addr: "test"}, &proto.Request{
+		Op:        proto.OpRegisterDataspace,
+		Dataspace: &proto.DataspaceSpec{ID: id, Backend: 5 /* memory */},
+	})
+	if resp.Status != proto.Success {
+		t.Fatalf("register dataspace %s: %s %s", id, resp.Status, resp.Error)
+	}
+}
+
+// TestDrain moves a populated pending queue between two daemons and
+// checks the task and byte counters line up.
+func TestDrain(t *testing.T) {
+	// One worker on the route, and a blocker task throttled to a crawl
+	// by its per-task bandwidth cap: everything submitted behind it on
+	// the same route stays pending — the queue the drain moves. The
+	// small BufSize keeps chunks short so the blocker's cancellation
+	// (and the daemon's graceful drain) stays prompt.
+	src := newDaemon(t, func(cfg *urd.Config) {
+		cfg.Workers = 1
+		cfg.BufSize = 4 << 10
+	})
+	cs := testClient(src)
+	registerMemDS(t, src, "mem0://")
+	ctx := context.Background()
+
+	blocker := gateway.Record{
+		Kind:   "copy",
+		Input:  gateway.Resource{Kind: "memory", Data: bytes.Repeat([]byte("b"), 64<<10), Size: 64 << 10},
+		Output: gateway.Resource{Kind: "local-path", Dataspace: "mem0://", Path: "blocker"},
+		MaxBps: 2048, // ~32s at 64KiB: the queue behind it cannot move
+	}
+	blockRes, err := cs.Submit(ctx, &blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without this, the daemon's graceful Close would wait the throttled
+	// transfer out.
+	defer cs.Cancel(ctx, blockRes.TaskID)
+	const pending, payload = 5, 1 << 10
+	for i := 0; i < pending; i++ {
+		rec := gateway.Record{
+			Kind:   "copy",
+			Input:  gateway.Resource{Kind: "memory", Data: bytes.Repeat([]byte{byte('a' + i)}, payload), Size: payload},
+			Output: gateway.Resource{Kind: "local-path", Dataspace: "mem0://", Path: fmt.Sprintf("f%d", i)},
+		}
+		if _, err := cs.Submit(ctx, &rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dst := newDaemon(t, nil)
+	registerMemDS(t, dst, "mem0://")
+	cd := testClient(dst)
+
+	res, err := cs.Drain(ctx, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != pending || res.Imported != pending {
+		t.Fatalf("drain moved %d/%d tasks, want %d", res.Tasks, res.Imported, pending)
+	}
+	if res.Bytes != pending*payload {
+		t.Fatalf("drain counted %d bytes, want %d", res.Bytes, pending*payload)
+	}
+	if res.Cancelled != pending {
+		t.Fatalf("drain cancelled %d at source, want %d", res.Cancelled, pending)
+	}
+
+	// The moved tasks run to completion on the destination.
+	stD, err := cd.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stD.Tasks != pending {
+		t.Fatalf("destination holds %d tasks, want %d", stD.Tasks, pending)
+	}
+	var ids []uint64
+	dst.RangeTasks(func(tk *task.Task) { ids = append(ids, tk.ID) })
+	waitAllTerminal(t, cd, ids)
+	for _, id := range ids {
+		st, err := cd.TaskStatus(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status != task.Finished.String() {
+			t.Errorf("moved task %d: %s %s", id, st.Status, st.Error)
+		}
+		if st.MovedBytes != payload {
+			t.Errorf("moved task %d transferred %d bytes, want %d", id, st.MovedBytes, payload)
+		}
+	}
+
+	// At the source, the drained tasks are cancelled and the pending
+	// queue is empty (only the blocker remains active).
+	stS, err := cs.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stS.Pending != 0 {
+		t.Fatalf("source still has %d pending tasks after drain", stS.Pending)
+	}
+}

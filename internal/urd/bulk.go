@@ -1,0 +1,138 @@
+package urd
+
+import (
+	"fmt"
+
+	"github.com/ngioproject/norns-go/internal/api/apierr"
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/queue"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// This file is the daemon surface behind the HTTP gateway's bulk
+// endpoints: spec validation without side effects (dry-run import),
+// task-table iteration (NDJSON export), and the staged all-or-nothing
+// batch (atomic import). Errors cross the package boundary as
+// *apierr.Error so the gateway maps them to HTTP statuses without
+// importing urd's private sentinels.
+
+// typedErr wraps a daemon error with its protocol status code.
+func typedErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &apierr.Error{API: "urd", Code: statusOf(err), Msg: err.Error()}
+}
+
+// ValidateSpec runs one submission through the full validation and
+// authorization pipeline without submitting it — no ID is allocated, no
+// task registered, nothing journaled. It backs the import endpoint's
+// dry_run mode, which must provably mutate nothing.
+func (d *Daemon) ValidateSpec(spec *proto.TaskSpec, pid uint64, admin bool) error {
+	_, err := d.buildTaskID(spec, pid, admin, 0)
+	return typedErr(err)
+}
+
+// HasTask reports whether id resolves in the task table (one stripe
+// read-lock). The import endpoint's dedupe modes key on it.
+func (d *Daemon) HasTask(id uint64) bool {
+	_, ok := d.tasks.Get(id)
+	return ok
+}
+
+// RangeTasks calls fn for every registered task, one registry stripe at
+// a time — the export endpoint streams the table without ever holding
+// more than one stripe's tasks under a lock. fn must not call back into
+// the daemon's task paths. Iteration is not a consistent snapshot;
+// tasks submitted or retired mid-walk may or may not appear.
+func (d *Daemon) RangeTasks(fn func(t *task.Task)) {
+	d.tasks.Range(fn)
+}
+
+// admitN claims n in-flight slots against the MaxInFlight gate, all or
+// none — the admission step of an atomic batch. Same CAS discipline as
+// admit: concurrent submitters can never overshoot the cap.
+func (d *Daemon) admitN(n int64) error {
+	max := int64(d.cfg.MaxInFlight)
+	if max <= 0 {
+		d.inFlight.Add(n)
+		return nil
+	}
+	for {
+		cur := d.inFlight.Load()
+		if cur+n > max {
+			return fmt.Errorf("%w: batch of %d exceeds %d tasks in flight", errBusy, n, d.cfg.MaxInFlight)
+		}
+		if d.inFlight.CompareAndSwap(cur, cur+n) {
+			return nil
+		}
+	}
+}
+
+// SubmitBatchAtomic queues a batch all-or-nothing: every spec is
+// validated and authorized, the whole batch is admitted against
+// MaxInFlight in one step, and only then is anything registered — the
+// staged batch lands in the registry and the journal as one group-
+// commit append, so a failure at any earlier stage leaves no partial
+// batch visible in either, even across a restart. Accepted tasks are
+// enqueued past the shard bound (like journal recovery: the batch was
+// already admitted once, entries must not be shed piecemeal).
+//
+// The returned error is an *apierr.Error carrying the protocol status
+// of the first failure (EBadRequest for a bad spec, EAgain when the
+// batch does not fit the in-flight budget, ...).
+func (d *Daemon) SubmitBatchAtomic(specs []proto.TaskSpec, pid uint64, admin bool) ([]uint64, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if d.closed.Load() {
+		return nil, typedErr(queue.ErrClosed)
+	}
+	// Stage 1: build every task. Nothing is held yet, so the first bad
+	// spec aborts with zero rollback. IDs allocated for a batch that
+	// later fails admission are gaps, exactly like a rejected single
+	// submit.
+	tasks := make([]*task.Task, len(specs))
+	for i := range specs {
+		t, err := d.buildTask(&specs[i], pid, admin)
+		if err != nil {
+			return nil, typedErr(fmt.Errorf("entry %d: %w", i, err))
+		}
+		tasks[i] = t
+	}
+	// Stage 2: admit the whole batch or none of it.
+	if err := d.admitN(int64(len(tasks))); err != nil {
+		return nil, typedErr(err)
+	}
+	// Stage 3: resolve shards (creating lanes as needed) before anything
+	// becomes visible, so a shard failure can still unwind cleanly.
+	shards := make([]*shard, len(tasks))
+	for i, t := range tasks {
+		sh, err := d.shardFor(shardKey(t))
+		if err != nil {
+			d.inFlight.Add(-int64(len(tasks)))
+			return nil, typedErr(err)
+		}
+		shards[i] = sh
+	}
+	// Stage 4: the batch becomes visible as one unit — registry stripes
+	// locked once each, one journal append (WAL ordering: journaled
+	// before any entry is runnable).
+	d.tasks.PutBatch(tasks)
+	d.recordSubmitBatch(tasks)
+	ids := make([]uint64, len(tasks))
+	for i, t := range tasks {
+		ids[i] = t.ID
+		d.hub.PublishState(t.ID, task.Stats{Status: task.Pending})
+		if err := shards[i].q.Requeue(t); err != nil {
+			// Only a closing daemon rejects Requeue. The batch is already
+			// durable; mark the stragglers failed the way enqueue does so
+			// no journaled submission resurrects as runnable on restart.
+			d.tasks.Delete(t.ID)
+			d.inFlight.Add(-1)
+			d.record(t.ID, task.Failed, "never enqueued: "+err.Error())
+			d.hub.PublishState(t.ID, task.Stats{Status: task.Failed, Err: "never enqueued: " + err.Error()})
+		}
+	}
+	return ids, nil
+}

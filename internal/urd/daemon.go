@@ -11,6 +11,8 @@ import (
 
 	"github.com/ngioproject/norns-go/internal/cascache"
 	"github.com/ngioproject/norns-go/internal/dataspace"
+	"github.com/ngioproject/norns-go/internal/gateway"
+	"github.com/ngioproject/norns-go/internal/gateway/auth"
 	"github.com/ngioproject/norns-go/internal/journal"
 	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/queue"
@@ -137,6 +139,17 @@ type Config struct {
 	// Hooks are optional fault-injection points for the scenario lab
 	// and tests. The zero value installs nothing; see Hooks.
 	Hooks Hooks
+	// HTTPAddr, when non-empty, starts the HTTP/JSON gateway on this
+	// TCP address (host:port; port 0 picks one — see Daemon.HTTPAddr).
+	// The gateway serves the v2 API over JSON, SSE event streaming, and
+	// the NDJSON bulk import/export endpoints. HTTPToken is the bearer
+	// secret and is mandatory with HTTPAddr: the gateway refuses to
+	// serve unauthenticated. HTTPMaxBody clamps JSON request bodies
+	// (<=0: 8 MiB); HTTPMaxLine clamps one NDJSON line (<=0: 1 MiB).
+	HTTPAddr    string
+	HTTPToken   string
+	HTTPMaxBody int64
+	HTTPMaxLine int
 }
 
 // shard is one lane of the dispatcher: all tasks moving data between
@@ -192,6 +205,8 @@ type Daemon struct {
 
 	userSrv *transport.Server
 	ctlSrv  *transport.Server
+	// gw is the HTTP/JSON gateway (nil without Config.HTTPAddr).
+	gw *gateway.Server
 
 	// ctx is the root context every worker executes under. Close drains
 	// gracefully — in-flight and queued tasks run to completion — and
@@ -407,7 +422,31 @@ func New(cfg Config) (*Daemon, error) {
 			return nil, err
 		}
 	}
+	if cfg.HTTPAddr != "" {
+		gw, err := gateway.New(gateway.Config{
+			Addr:    cfg.HTTPAddr,
+			Daemon:  d,
+			Token:   auth.NewToken(cfg.HTTPToken),
+			MaxBody: cfg.HTTPMaxBody,
+			MaxLine: cfg.HTTPMaxLine,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("urd: %w", err)
+		}
+		d.gw = gw
+	}
 	return d, nil
+}
+
+// HTTPAddr is the gateway's bound listen address (resolving port 0), or
+// "" when no gateway is configured.
+func (d *Daemon) HTTPAddr() string {
+	if d.gw == nil {
+		return ""
+	}
+	return d.gw.Addr()
 }
 
 // fastOp marks the requests the transport may handle inline on the
@@ -820,6 +859,13 @@ func (d *Daemon) Close() {
 		shards = append(shards, sh)
 	}
 	d.shardMu.Unlock()
+	// The gateway goes first: HTTP requests dispatch into Handle, so no
+	// new work (or SSE subscription) can arrive once it is down. Open
+	// SSE streams are dropped — their hub subscriptions unwind via the
+	// handlers' deferred unsubscribes.
+	if d.gw != nil {
+		d.gw.Close()
+	}
 	if d.userSrv != nil {
 		d.userSrv.Close()
 	}
@@ -858,9 +904,16 @@ func (d *Daemon) Done() <-chan struct{} { return d.done }
 // constructed (not yet registered) task. Control callers bypass process
 // authorization (admin == true).
 func (d *Daemon) buildTask(spec *proto.TaskSpec, pid uint64, admin bool) (*task.Task, error) {
+	return d.buildTaskID(spec, pid, admin, d.nextID.Add(1))
+}
+
+// buildTaskID is buildTask with the ID supplied by the caller, so a
+// validate-only probe (ValidateSpec, the gateway's dry-run import) can
+// run the full validation+authorization pipeline without consuming an
+// ID — dry runs must mutate nothing, the ID counter included.
+func (d *Daemon) buildTaskID(spec *proto.TaskSpec, pid uint64, admin bool, id uint64) (*task.Task, error) {
 	in := spec.Input.ToResource()
 	out := spec.Output.ToResource()
-	id := d.nextID.Add(1)
 
 	t := task.New(id, task.Kind(spec.Kind), in, out)
 	t.Priority = int(spec.Priority)

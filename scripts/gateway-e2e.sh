@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Gateway end-to-end smoke: exercises the HTTP/JSON gateway the way an
+# operator would, through the shipped binaries only — no Go test
+# harness. Run from the repository root (CI runs it in the gateway-e2e
+# job):
+#
+#   ./scripts/gateway-e2e.sh
+#
+# Covered, in order:
+#   1. bulk import of 1000 NDJSON tasks with per-entry acceptance
+#   2. SSE watch (nornsctl events) driving the batch to terminal
+#   3. export + lossless round trip through a fresh daemon
+#   4. nornsctl drain moving a populated queue between daemons with
+#      task and byte counters preserved, payloads verified on arrival
+#   5. documented 401/413 rejection paths
+set -euo pipefail
+
+T=$(mktemp -d)
+URD=${URD:-$T/urd}
+CTL=${CTL:-$T/nornsctl}
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$T"' EXIT
+
+[ -x "$URD" ] || go build -o "$URD" ./cmd/urd
+[ -x "$CTL" ] || go build -o "$CTL" ./cmd/nornsctl
+
+echo "gateway-e2e-token-$RANDOM" > "$T/token"
+mkdir -p "$T/a-data" "$T/b-data"
+
+A=http://127.0.0.1:9411
+B=http://127.0.0.1:9412
+C=http://127.0.0.1:9413
+
+# Daemon A is deliberately slow (one worker, small copy chunks) so a
+# throttled blocker keeps its queue populated for the drain step.
+"$URD" -node a -user "$T/a-user.sock" -control "$T/a-ctl.sock" \
+  -workers 1 -buf-size 4K \
+  -http-addr 127.0.0.1:9411 -http-token-file "$T/token" &
+"$URD" -node b -user "$T/b-user.sock" -control "$T/b-ctl.sock" \
+  -http-addr 127.0.0.1:9412 -http-token-file "$T/token" &
+
+for s in a b; do
+  for i in $(seq 1 50); do
+    "$CTL" -socket "$T/$s-ctl.sock" ping 2>/dev/null && break
+    sleep 0.2
+  done
+done
+"$CTL" -socket "$T/a-ctl.sock" register-dataspace disk0:// posix-dir "$T/a-data"
+"$CTL" -socket "$T/b-ctl.sock" register-dataspace disk0:// posix-dir "$T/b-data"
+
+### 1. bulk import: 1000 noop tasks into B, per-entry acceptance
+python3 - "$T/bulk.ndjson" <<'EOF'
+import json, sys
+with open(sys.argv[1], "w") as f:
+    for i in range(1000):
+        f.write(json.dumps({
+            "kind": "noop", "priority": i % 5,
+            "input": {"kind": "memory"}, "output": {"kind": "memory"},
+        }) + "\n")
+EOF
+"$CTL" -http "$B" -token-file "$T/token" -json import -ids "$T/bulk.ndjson" > "$T/import.json"
+python3 - "$T/import.json" <<'EOF'
+import json, sys
+res = json.load(open(sys.argv[1]))
+assert res["lines"] == 1000 and res["submitted"] == 1000 and res["failed"] == 0, res
+assert len(res["task_ids"]) == 1000, res
+print(f'imported {res["submitted"]} tasks')
+EOF
+CSV=$(python3 -c 'import json,sys; print(",".join(map(str, json.load(open(sys.argv[1]))["task_ids"])))' "$T/import.json")
+
+### 2. SSE-watch the batch to terminal (the stream ends itself)
+timeout 60 "$CTL" -http "$B" -token-file "$T/token" events -ids "$CSV" | tail -n 1 | grep -qx "all tasks terminal"
+echo "SSE watch drove 1000 tasks to terminal"
+
+### 3. export and verify a lossless round trip through a fresh daemon
+"$CTL" -http "$B" -token-file "$T/token" export -state all -o "$T/export.ndjson"
+[ "$(wc -l < "$T/export.ndjson")" -eq 1000 ] || { echo "export lost lines"; exit 1; }
+
+"$URD" -node c -user "$T/c-user.sock" -control "$T/c-ctl.sock" \
+  -http-addr 127.0.0.1:9413 -http-token-file "$T/token" &
+for i in $(seq 1 50); do
+  "$CTL" -socket "$T/c-ctl.sock" ping 2>/dev/null && break
+  sleep 0.2
+done
+"$CTL" -http "$C" -token-file "$T/token" -json import -atomic "$T/export.ndjson" > "$T/import2.json"
+python3 -c 'import json,sys; r=json.load(open(sys.argv[1])); assert r["submitted"]==1000 and r["atomic"], r' "$T/import2.json"
+"$CTL" -http "$C" -token-file "$T/token" export -state all -o "$T/export2.ndjson"
+# Lossless on every submission-relevant field; IDs and runtime state
+# are daemon-local and excluded.
+python3 - "$T/export.ndjson" "$T/export2.ndjson" <<'EOF'
+import json, sys
+def keys(path):
+    out = []
+    for line in open(path):
+        rec = json.loads(line)
+        for k in ("id", "state", "error", "moved_bytes", "total_bytes", "node"):
+            rec.pop(k, None)
+        out.append(json.dumps(rec, sort_keys=True))
+    return sorted(out)
+a, b = keys(sys.argv[1]), keys(sys.argv[2])
+assert a == b, "round trip diverged"
+print(f"round trip lossless: {len(a)} records")
+EOF
+
+### 4. drain: move a populated queue from slow daemon A to B
+# One 64 KiB copy throttled to 2 KiB/s occupies A's single worker; the
+# five 1 KiB copies behind it stay pending.
+python3 - "$T/drain.ndjson" <<'EOF'
+import base64, json, sys
+with open(sys.argv[1], "w") as f:
+    blocker = {
+        "kind": "copy", "max_bps": 2048,
+        "input": {"kind": "memory", "data": base64.b64encode(b"x" * 65536).decode()},
+        "output": {"kind": "local-path", "dataspace": "disk0://", "path": "blocker"},
+    }
+    f.write(json.dumps(blocker) + "\n")
+    for i in range(5):
+        rec = {
+            "kind": "copy",
+            "input": {"kind": "memory", "data": base64.b64encode(bytes([i]) * 1024).decode()},
+            "output": {"kind": "local-path", "dataspace": "disk0://", "path": f"t{i}"},
+        }
+        f.write(json.dumps(rec) + "\n")
+EOF
+"$CTL" -http "$A" -token-file "$T/token" -json import -ids "$T/drain.ndjson" > "$T/drain-import.json"
+BLOCKER=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["task_ids"][0])' "$T/drain-import.json")
+
+"$CTL" -http "$A" -token-file "$T/token" -json drain -to "$B" > "$T/drain.json"
+python3 - "$T/drain.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["tasks"] == 5 and r["imported"] == 5 and r["cancelled"] == 5, r
+assert r["bytes"] == 5 * 1024, r
+print(f'drained {r["tasks"]} tasks / {r["bytes"]} bytes, counters preserved')
+EOF
+
+# The drained copies run to completion on B with their payloads intact.
+for i in $(seq 1 100); do
+  [ "$(ls "$T/b-data" 2>/dev/null | wc -l)" -eq 5 ] && break
+  sleep 0.2
+done
+[ "$(ls "$T/b-data" | wc -l)" -eq 5 ] || { echo "drained tasks did not land on B"; exit 1; }
+for i in 0 1 2 3 4; do
+  [ "$(stat -c %s "$T/b-data/t$i")" -eq 1024 ] || { echo "payload t$i corrupted"; exit 1; }
+done
+echo "drained payloads verified on destination"
+
+### 5. documented rejection paths
+curl -s -o /dev/null -w '%{http_code}\n' "$B/v2/status" | grep -qx 401
+head -c 9000000 /dev/zero | curl -s -o /dev/null -w '%{http_code}\n' \
+  -H "Authorization: Bearer $(cat "$T/token")" \
+  -X POST --data-binary @- "$B/v2/tasks" | grep -qx 413
+echo "401/413 rejection paths verified"
+
+# Cancel the throttled blocker so daemon A shuts down promptly.
+"$CTL" -socket "$T/a-ctl.sock" cancel "$BLOCKER" >/dev/null 2>&1 || true
+echo "gateway e2e OK"
