@@ -15,6 +15,9 @@
 //	nornsctl cancel 17
 //	nornsctl task-status 17 [-json]
 //	nornsctl watch 17
+//	nornsctl health
+//	nornsctl deadletter list
+//	nornsctl deadletter requeue [TASK-ID]
 //	nornsctl shutdown
 //
 // HTTP gateway commands (require -http and a bearer token):
@@ -91,7 +94,23 @@ func statusReport(st nornsctl.DaemonStatus) *metrics.Report {
 	}
 	d.AddRow("autotune", st.Autotune)
 	d.AddRow("cache_enabled", st.CacheEnabled)
+	d.AddRow("degraded", st.Degraded)
+	d.AddRow("dead_letter_tasks", st.DeadLetterTasks)
+	if st.RetryMax > 0 {
+		d.AddRow("retry_max", st.RetryMax)
+		d.AddRow("retry_backoff_ms", st.RetryBackoffMS)
+	}
+	if st.Journal {
+		d.AddRow("recovered_clean", st.RecoveredClean)
+	}
 	rep.Add(d)
+	if len(st.Breakers) > 0 {
+		t := metrics.NewTable("breakers", "addr", "state", "fails", "trips")
+		for _, b := range st.Breakers {
+			t.AddRow(b.Addr, b.State, b.Fails, b.Trips)
+		}
+		rep.Add(t)
+	}
 	if st.Autotune && len(st.AutotuneRoutes) > 0 {
 		t := metrics.NewTable("autotune-routes",
 			"in", "out", "kind", "streams", "seg_size", "goodput_bps", "samples", "state")
@@ -128,6 +147,9 @@ func taskReport(id uint64, st nornsctl.Stats) *metrics.Report {
 	t.AddRow("bandwidth_bps", st.BandwidthBps)
 	t.AddRow("cache_bytes", st.CacheBytes)
 	t.AddRow("delta_bytes", st.DeltaBytes)
+	if st.Attempts > 0 {
+		t.AddRow("attempts", st.Attempts)
+	}
 	rep.Add(t)
 	return rep
 }
@@ -205,6 +227,75 @@ func main() {
 		if st.CacheEnabled {
 			fmt.Printf("cache: %s/%s hits=%d misses=%d evictions=%d\n",
 				mib(st.CacheBytes), mib(st.CacheCapBytes), st.CacheHits, st.CacheMisses, st.CacheEvictions)
+		}
+		if st.Degraded {
+			fmt.Println("journal: DEGRADED (read-only; new submissions shed until the WAL is writable)")
+		}
+		if st.DeadLetterTasks > 0 {
+			fmt.Printf("dead-letter: %d quarantined tasks (nornsctl deadletter list)\n", st.DeadLetterTasks)
+		}
+		if st.RetryMax > 0 {
+			fmt.Printf("retry: max=%d backoff=%dms\n", st.RetryMax, st.RetryBackoffMS)
+		}
+		for _, b := range st.Breakers {
+			fmt.Printf("breaker: %s %s fails=%d trips=%d\n", b.Addr, b.State, b.Fails, b.Trips)
+		}
+	case "health":
+		if err := c.Health(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("ready")
+	case "deadletter":
+		if len(rest) < 1 {
+			log.Fatal("usage: deadletter list | deadletter requeue [TASK-ID]")
+		}
+		switch rest[0] {
+		case "list":
+			entries, err := c.DeadLetterList()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *jsonOut {
+				rep := metrics.NewReport("nornsctl deadletter list")
+				t := metrics.NewTable("deadletter", "task_id", "attempts", "error")
+				for _, e := range entries {
+					t.AddRow(e.TaskID, e.Attempts, e.Err)
+				}
+				rep.Add(t)
+				if err := rep.Encode(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+				break
+			}
+			if len(entries) == 0 {
+				fmt.Println("dead-letter set is empty")
+				break
+			}
+			for _, e := range entries {
+				fmt.Printf("task %d: attempts=%d err=%q\n", e.TaskID, e.Attempts, e.Err)
+			}
+		case "requeue":
+			var id uint64
+			if len(rest) >= 2 {
+				var err error
+				id, err = strconv.ParseUint(rest[1], 10, 64)
+				if err != nil {
+					log.Fatalf("task ID %q: %v", rest[1], err)
+				}
+			}
+			ids, err := c.DeadLetterRequeue(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(ids) == 0 {
+				fmt.Println("nothing to requeue")
+				break
+			}
+			for _, nid := range ids {
+				fmt.Printf("requeued as task %d\n", nid)
+			}
+		default:
+			log.Fatalf("unknown deadletter subcommand %q (want list|requeue)", rest[0])
 		}
 	case "shutdown":
 		if err := c.Shutdown(); err != nil {

@@ -81,6 +81,9 @@ func main() {
 		httpAddr    = flag.String("http-addr", "", "TCP address for the HTTP/JSON gateway, e.g. 127.0.0.1:9300 (empty disables; requires -http-token-file)")
 		httpToken   = flag.String("http-token-file", "", "file holding the gateway bearer token (mandatory with -http-addr; the gateway refuses to serve unauthenticated)")
 		httpMaxBody = flag.String("http-max-body", "", "gateway JSON request body clamp, e.g. 8M (empty = default 8M)")
+		retryMax    = flag.Int("retry-max", 0, "default per-task retry budget for transient transfer faults before dead-letter quarantine (0 disables automatic retries)")
+		retryBO     = flag.Duration("retry-backoff", 0, "base of the exponential retry backoff, doubled per attempt with +/-25% jitter (0 = default 250ms)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain bound: running transfers get this long to finish before being checkpointed and handed to the next daemon (0 = wait indefinitely)")
 	)
 	flag.Parse()
 
@@ -142,6 +145,8 @@ func main() {
 		RPCTimeout:         *rpcTimeout,
 		EventQueue:         *eventQueue,
 		ProgressInterval:   *progressIv,
+		RetryMax:           *retryMax,
+		RetryBackoff:       *retryBO,
 	}
 	if *httpAddr != "" {
 		// Fail fast: gateway.New would reject an empty token anyway, but
@@ -200,9 +205,18 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
-	case <-sig:
-		fmt.Println("shutting down")
-		d.Close()
+	case s := <-sig:
+		if s == syscall.SIGTERM {
+			// Graceful drain: stop admission, leave queued tasks journaled
+			// Pending, give running transfers -drain-timeout to finish,
+			// and seal the journal with the clean-shutdown marker so the
+			// next daemon replays fast and re-copies nothing.
+			fmt.Println("draining")
+			d.Shutdown(*drainWait)
+		} else {
+			fmt.Println("shutting down")
+			d.Close()
+		}
 	case <-d.Done():
 		// `nornsctl shutdown` closed the daemon over the control API;
 		// without this arm the process would linger on the signal wait.

@@ -36,6 +36,11 @@ var (
 	// its in-flight limit or a shard queue is full. Retry after backing
 	// off; for batch submissions it applies per entry.
 	ErrAgain = errors.New("resource temporarily unavailable")
+	// ErrUnavailable reports a daemon that is temporarily refusing work
+	// daemon-wide: degraded mode after a journal write failure, or
+	// draining for shutdown. Retry after backing off, ideally against
+	// another daemon.
+	ErrUnavailable = errors.New("service unavailable")
 )
 
 // Error is a failed daemon response: the protocol status code plus the
@@ -77,11 +82,38 @@ func sentinel(code proto.StatusCode) error {
 		return ErrTimeout
 	case proto.EAgain:
 		return ErrAgain
+	case proto.EUnavailable:
+		return ErrUnavailable
 	case proto.EInternal:
 		return ErrInternal
 	default:
 		return nil
 	}
+}
+
+// Retryable reports whether a status code names a transient condition
+// that a client (or the daemon's own task-retry machinery) should retry
+// after backing off: backpressure (EAgain), daemon-side wait timeouts
+// (ETimeout), and daemon-wide unavailability (EUnavailable). Permanent
+// failures — bad requests, missing tasks, task errors — are not.
+func Retryable(code proto.StatusCode) bool {
+	switch code {
+	case proto.EAgain, proto.ETimeout, proto.EUnavailable:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsRetryable reports whether err is (or wraps) a retryable daemon
+// response: an *Error whose code Retryable accepts, or one of the
+// retryable sentinels themselves.
+func IsRetryable(err error) bool {
+	var e *Error
+	if errors.As(err, &e) {
+		return Retryable(e.Code)
+	}
+	return errors.Is(err, ErrAgain) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrUnavailable)
 }
 
 // Is matches the sentinel for the error's status code, so
@@ -103,6 +135,7 @@ func (e *Error) Is(target error) bool {
 //	ETaskError   -> 422 Unprocessable Entity (the task ran and failed)
 //	ETimeout     -> 504 Gateway Timeout (the daemon-side wait expired)
 //	EAgain       -> 429 Too Many Requests (backpressure; retry later)
+//	EUnavailable -> 503 Service Unavailable (degraded or draining)
 //	EInternal    -> 500 Internal Server Error
 //
 // Unknown codes map to 500: an unmapped failure must read as a server
@@ -125,6 +158,8 @@ func HTTPStatus(code proto.StatusCode) int {
 		return 504
 	case proto.EAgain:
 		return 429
+	case proto.EUnavailable:
+		return 503
 	default:
 		return 500
 	}
@@ -151,6 +186,8 @@ func FromHTTPStatus(status int) proto.StatusCode {
 		return proto.ETimeout
 	case 429:
 		return proto.EAgain
+	case 503:
+		return proto.EUnavailable
 	default:
 		return proto.EInternal
 	}

@@ -21,13 +21,14 @@ import (
 // response satisfies errors.Is against the sentinel for its status
 // code (ErrAgain is the backpressure retry signal).
 var (
-	ErrAgain      = apierr.ErrAgain
-	ErrBadRequest = apierr.ErrBadRequest
-	ErrNoSuchTask = apierr.ErrNoSuchTask
-	ErrExists     = apierr.ErrExists
-	ErrPermission = apierr.ErrPermission
-	ErrTaskError  = apierr.ErrTaskError
-	ErrInternal   = apierr.ErrInternal
+	ErrAgain       = apierr.ErrAgain
+	ErrBadRequest  = apierr.ErrBadRequest
+	ErrNoSuchTask  = apierr.ErrNoSuchTask
+	ErrExists      = apierr.ErrExists
+	ErrPermission  = apierr.ErrPermission
+	ErrTaskError   = apierr.ErrTaskError
+	ErrInternal    = apierr.ErrInternal
+	ErrUnavailable = apierr.ErrUnavailable
 )
 
 // Backend kinds for RegisterDataspace, mirroring
@@ -93,6 +94,10 @@ type Stats struct {
 	// moved because the destination already matched the source digests.
 	CacheBytes int64
 	DeltaBytes int64
+	// Attempts counts completed execution attempts that failed
+	// transiently and were retried (0 = first attempt succeeded or is
+	// still running).
+	Attempts uint64
 }
 
 func statsOf(st *proto.TaskStats) Stats {
@@ -107,6 +112,7 @@ func statsOf(st *proto.TaskStats) Stats {
 		BandwidthBps:  st.BandwidthBps,
 		CacheBytes:    st.CacheBytes,
 		DeltaBytes:    st.DeltaBytes,
+		Attempts:      st.Attempts,
 	}
 }
 
@@ -326,6 +332,31 @@ type DaemonStatus struct {
 	CacheEvictions uint64
 	CacheBytes     int64
 	CacheCapBytes  int64
+	// Degraded reports journal degrade mode: the WAL hit a write error
+	// and new submissions are being shed with EUnavailable.
+	Degraded bool
+	// DeadLetterTasks counts tasks quarantined after exhausting their
+	// retry budget (inspect with DeadLetterList).
+	DeadLetterTasks uint64
+	// RetryMax/RetryBackoffMS are the daemon's default retry policy
+	// (0 retries = automatic retry disabled).
+	RetryMax       uint64
+	RetryBackoffMS int64
+	// Breakers is the fabric circuit-breaker table, one row per remote
+	// endpoint the daemon has dialed.
+	Breakers []BreakerState
+	// RecoveredClean reports that the last journal replay found the
+	// clean-shutdown marker (the previous daemon drained gracefully).
+	RecoveredClean bool
+}
+
+// BreakerState is one fabric circuit-breaker row: the health of one
+// remote endpoint as the daemon's transport layer sees it.
+type BreakerState struct {
+	Addr  string
+	State string // closed | open | half-open
+	Fails uint64 // current consecutive-failure count
+	Trips uint64 // lifetime open transitions
 }
 
 // AutotuneRoute is one row of the daemon's transfer-tuning table.
@@ -374,6 +405,16 @@ func (c *Client) StatusInfo() (DaemonStatus, error) {
 		CacheEvictions:     s.CacheEvictions,
 		CacheBytes:         s.CacheBytes,
 		CacheCapBytes:      s.CacheCapBytes,
+		Degraded:           s.Degraded,
+		DeadLetterTasks:    s.DeadLetterTasks,
+		RetryMax:           s.RetryMax,
+		RetryBackoffMS:     s.RetryBackoffMS,
+		RecoveredClean:     s.RecoveredClean,
+	}
+	for _, b := range s.Breakers {
+		out.Breakers = append(out.Breakers, BreakerState{
+			Addr: b.Addr, State: b.State, Fails: b.Fails, Trips: b.Trips,
+		})
 	}
 	for _, r := range s.AutotuneRoutes {
 		out.AutotuneRoutes = append(out.AutotuneRoutes, AutotuneRoute{
@@ -391,6 +432,55 @@ func (c *Client) StatusInfo() (DaemonStatus, error) {
 // Shutdown asks the daemon to exit.
 func (c *Client) Shutdown() error {
 	return c.simple(&proto.Request{Op: proto.OpShutdown})
+}
+
+// Health is the readiness probe: nil when the daemon accepts new work,
+// an ErrUnavailable-matching error while it is draining or its journal
+// is degraded (read-only).
+func (c *Client) Health() error {
+	return c.simple(&proto.Request{Op: proto.OpHealth})
+}
+
+// DeadLetterEntry is one quarantined task: it exhausted its retry
+// budget and sits parked until an operator requeues or retires it.
+type DeadLetterEntry struct {
+	TaskID uint64
+	// Attempts is how many execution attempts were consumed; Err is the
+	// last failure message.
+	Attempts uint64
+	Err      string
+}
+
+// DeadLetterList reports the tasks currently quarantined in the
+// dead-letter set, ordered by task ID.
+func (c *Client) DeadLetterList() ([]DeadLetterEntry, error) {
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpDeadletterList, PID: c.pid})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != proto.Success {
+		return nil, apiError(resp)
+	}
+	out := make([]DeadLetterEntry, 0, len(resp.DeadLetters))
+	for _, dl := range resp.DeadLetters {
+		out = append(out, DeadLetterEntry{TaskID: dl.TaskID, Attempts: dl.Attempts, Err: dl.Err})
+	}
+	return out, nil
+}
+
+// DeadLetterRequeue resubmits quarantined tasks as fresh submissions
+// with reset retry budgets, returning the new task IDs. taskID 0
+// sweeps the whole dead-letter set; a specific ID requeues that task
+// alone (ErrNoSuchTask if it is not quarantined).
+func (c *Client) DeadLetterRequeue(taskID uint64) ([]uint64, error) {
+	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpDeadletterRequeue, PID: c.pid, TaskID: taskID})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != proto.Success {
+		return nil, apiError(resp)
+	}
+	return resp.TaskIDs, nil
 }
 
 // TransferMetrics is the daemon's observed-performance report.
@@ -521,6 +611,11 @@ type SubmitOptions struct {
 	// MaxBps caps the task's transfer bandwidth in bytes per second
 	// (0 = none), layered under the daemon-wide governor.
 	MaxBps int64
+	// RetryMax overrides the daemon's default retry budget for this task
+	// (0 = daemon default): transient transfer faults re-queue the task
+	// with exponential backoff until the budget is spent, then it is
+	// quarantined to the dead-letter set.
+	RetryMax uint32
 }
 
 // Submit queues an administrative I/O task (staging), returning its ID.
@@ -538,6 +633,7 @@ func (c *Client) SubmitTask(kind task.Kind, input, output task.Resource, opts Su
 		JobID:      opts.JobID,
 		DeadlineMS: opts.DeadlineMS,
 		MaxBps:     opts.MaxBps,
+		RetryMax:   opts.RetryMax,
 	}
 	resp, err := c.conn.Call(context.Background(), &proto.Request{Op: proto.OpSubmit, PID: c.pid, Task: spec})
 	if err != nil {

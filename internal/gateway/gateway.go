@@ -22,6 +22,12 @@
 //	POST   /v2/import       NDJSON bulk submit (?dry_run=1, ?atomic=1,
 //	                        ?dedupe=skip|overwrite|error, ?ids=1)
 //
+// Two probe endpoints are deliberately unauthenticated (they carry no
+// task data, and orchestrators probe without credentials):
+//
+//	GET /v2/healthz         liveness — 200 while the process serves
+//	GET /v2/readyz          readiness — 503 while draining or degraded
+//
 // Errors are a JSON envelope {"error":{"code","message"}} whose HTTP
 // status follows apierr.HTTPStatus — EAgain surfaces as 429 so HTTP
 // clients see backpressure as the standard retry signal.
@@ -38,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/ngioproject/norns-go/internal/api/apierr"
 	"github.com/ngioproject/norns-go/internal/gateway/auth"
@@ -54,6 +61,8 @@ const (
 	// travels inline, so the clamp bounds per-record memory, not file
 	// size.
 	defaultMaxLine = 1 << 20
+	// defaultSSEKeepalive is the idle heartbeat period on event streams.
+	defaultSSEKeepalive = 15 * time.Second
 )
 
 // Daemon is the surface the gateway drives. *urd.Daemon implements it;
@@ -92,6 +101,11 @@ type Config struct {
 	// Logf, when set, receives one line per rejected request. Secrets
 	// are redacted before formatting; nil disables logging.
 	Logf func(format string, args ...any)
+	// SSEKeepalive is the idle heartbeat interval on /v2/events: a
+	// ": keepalive" comment is written whenever no event has flowed for
+	// this long, so proxies and LB idle timeouts don't sever quiet
+	// streams (<=0: 15s).
+	SSEKeepalive time.Duration
 }
 
 // Server is a running gateway.
@@ -116,6 +130,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxLine <= 0 {
 		cfg.MaxLine = defaultMaxLine
 	}
+	if cfg.SSEKeepalive <= 0 {
+		cfg.SSEKeepalive = defaultSSEKeepalive
+	}
 	s := &Server{cfg: cfg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v2/tasks", s.handleSubmit)
@@ -125,12 +142,20 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v2/events", s.handleEvents)
 	mux.HandleFunc("GET /v2/export", s.handleExport)
 	mux.HandleFunc("POST /v2/import", s.handleImport)
+	// Probe endpoints sit OUTSIDE the bearer wall: orchestrators and load
+	// balancers probe without credentials, and neither endpoint exposes
+	// task data — healthz answers "is the process serving" and readyz
+	// answers "is the daemon admitting work".
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /v2/healthz", s.handleHealthz)
+	outer.HandleFunc("GET /v2/readyz", s.handleReadyz)
+	outer.Handle("/", s.authenticate(mux))
 	lis, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: %w", err)
 	}
 	s.lis = lis
-	s.srv = &http.Server{Handler: s.authenticate(mux)}
+	s.srv = &http.Server{Handler: outer}
 	go func() {
 		// Close tears the listener down; ErrServerClosed is the clean
 		// shutdown signal, anything else is lost with the goroutine, so
@@ -278,6 +303,20 @@ type StatusJSON struct {
 	CacheEvictions     uint64              `json:"cache_evictions,omitempty"`
 	CacheBytes         int64               `json:"cache_bytes,omitempty"`
 	CacheCapBytes      int64               `json:"cache_cap_bytes,omitempty"`
+	Degraded           bool                `json:"degraded,omitempty"`
+	DeadLetterTasks    uint64              `json:"dead_letter_tasks,omitempty"`
+	RetryMax           uint64              `json:"retry_max,omitempty"`
+	RetryBackoffMS     int64               `json:"retry_backoff_ms,omitempty"`
+	Breakers           []BreakerJSON       `json:"breakers,omitempty"`
+	RecoveredClean     bool                `json:"recovered_clean,omitempty"`
+}
+
+// BreakerJSON is one fabric circuit-breaker row.
+type BreakerJSON struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	Fails uint64 `json:"fails,omitempty"`
+	Trips uint64 `json:"trips,omitempty"`
 }
 
 // AutotuneRouteJSON is one autotuner route row.
@@ -314,6 +353,16 @@ func StatusFromProto(st *proto.DaemonStatus) StatusJSON {
 		CacheEvictions:     st.CacheEvictions,
 		CacheBytes:         st.CacheBytes,
 		CacheCapBytes:      st.CacheCapBytes,
+		Degraded:           st.Degraded,
+		DeadLetterTasks:    st.DeadLetterTasks,
+		RetryMax:           st.RetryMax,
+		RetryBackoffMS:     st.RetryBackoffMS,
+		RecoveredClean:     st.RecoveredClean,
+	}
+	for _, b := range st.Breakers {
+		out.Breakers = append(out.Breakers, BreakerJSON{
+			Addr: b.Addr, State: b.State, Fails: b.Fails, Trips: b.Trips,
+		})
 	}
 	for _, r := range st.AutotuneRoutes {
 		out.AutotuneRoutes = append(out.AutotuneRoutes, AutotuneRouteJSON{
@@ -332,6 +381,30 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StatusFromProto(resp.StatusInfo))
+}
+
+// handleHealthz is liveness: 200 whenever the gateway process is
+// serving at all. It never consults the daemon — a degraded daemon is
+// alive, just not ready.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleReadyz is readiness: it drives OpHealth through the daemon, so
+// a draining or journal-degraded daemon answers 503 (EUnavailable) and
+// load balancers rotate new submissions away while in-flight work
+// finishes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := s.cfg.Daemon.Handle(httpPeer, &proto.Request{Op: proto.OpHealth})
+	if resp.Status != proto.Success {
+		writeRespError(w, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ready"})
 }
 
 // handleSubmit serves POST /v2/tasks: a single task record, or
@@ -607,10 +680,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	seq := 0
 	explicit := len(remaining) > 0
+	// The keepalive ticker guarantees the stream is never silent longer
+	// than one interval: idle periods emit an SSE comment, which clients
+	// ignore but intermediaries count as traffic. Event writes don't
+	// reset the ticker — a spurious keepalive between events is harmless.
+	keepalive := time.NewTicker(s.cfg.SSEKeepalive)
+	defer keepalive.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+			continue
 		case <-sink.notify:
 		}
 		evs := sink.drain()

@@ -1,0 +1,201 @@
+package journal
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/task"
+)
+
+// errDisk is the injected fault standing in for ENOSPC.
+var errDisk = errors.New("no space left on device")
+
+// TestWriteFailurePoisonsEveryOp proves the sticky-writeErr contract:
+// after one WAL write fails, every append-path operation returns a
+// typed error satisfying errors.Is(err, ErrDegraded) — not just the
+// Sync paths — and WriteErr reports the same.
+func TestWriteFailurePoisonsEveryOp(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	defer j.Close()
+
+	if err := j.RecordSubmit(1, specFor("abc", "a")); err != nil {
+		t.Fatal(err)
+	}
+	j.SetFailWrites(errDisk)
+	if err := j.RecordSubmit(2, specFor("def", "b")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("RecordSubmit after fault = %v, want ErrDegraded", err)
+	}
+
+	ops := []struct {
+		name string
+		do   func() error
+	}{
+		{"RecordState", func() error { return j.RecordState(1, task.Running, "") }},
+		{"RecordStats", func() error { return j.RecordStats(1, task.Stats{Status: task.Running}) }},
+		{"RecordProgress", func() error { return j.RecordProgress(1, 4, 16, []byte{0xff}, 4) }},
+		{"RecordRetry", func() error { return j.RecordRetry(1, 1, "boom") }},
+		{"RecordDataspace", func() error { return j.RecordDataspace(proto.DataspaceSpec{ID: "nvme0://"}) }},
+		{"RecordDataspaceRemoved", func() error { return j.RecordDataspaceRemoved("nvme0://") }},
+		{"RecordSubmitBatch", func() error {
+			return j.RecordSubmitBatch([]uint64{3}, []task.Spec{specFor("ghi", "c")})
+		}},
+		{"Compact", j.Compact},
+		{"MarkClean", j.MarkClean},
+	}
+	for _, op := range ops {
+		if err := op.do(); !errors.Is(err, ErrDegraded) {
+			t.Errorf("%s after write failure = %v, want ErrDegraded", op.name, err)
+		}
+	}
+	if err := j.WriteErr(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("WriteErr = %v, want ErrDegraded", err)
+	}
+}
+
+// TestAckedSubmitsSurviveWriteFailure proves durability across the
+// fault: a submission acknowledged before the disk broke is still
+// replayed after the daemon closes (with the fault live) and reopens,
+// while the rejected post-fault submission never reappears as acked
+// state the caller could rely on.
+func TestAckedSubmitsSurviveWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.RecordSubmit(1, specFor("abc", "a")); err != nil {
+		t.Fatal(err)
+	}
+	j.SetFailWrites(errDisk)
+	if err := j.RecordSubmit(2, specFor("def", "b")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("RecordSubmit after fault = %v, want ErrDegraded", err)
+	}
+	// Close fails (it cannot compact onto the broken disk) but must still
+	// release the state dir.
+	if err := j.Close(); err == nil {
+		t.Fatal("Close on a degraded journal with a live fault = nil, want error")
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if tr := taskByID(t, j2, 1); tr.Status != task.Pending {
+		t.Fatalf("acked task 1 replayed as %v, want pending", tr.Status)
+	}
+}
+
+// TestProbeRecoversDegradedJournal exercises the recovery path: once
+// the disk heals, Probe rebuilds the snapshot from memory, clears the
+// sticky error, and appends work again — with every acked record (from
+// before and after the outage) surviving a reopen.
+func TestProbeRecoversDegradedJournal(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.RecordSubmit(1, specFor("abc", "a")); err != nil {
+		t.Fatal(err)
+	}
+	j.SetFailWrites(errDisk)
+	if err := j.RecordSubmit(2, specFor("def", "b")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("RecordSubmit after fault = %v, want ErrDegraded", err)
+	}
+	// While the fault is live, Probe must keep reporting failure.
+	if err := j.Probe(); err == nil {
+		t.Fatal("Probe with the fault still live = nil, want error")
+	}
+	if err := j.WriteErr(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("WriteErr after failed probe = %v, want still degraded", err)
+	}
+
+	j.SetFailWrites(nil)
+	if err := j.Probe(); err != nil {
+		t.Fatalf("Probe after heal = %v, want nil", err)
+	}
+	if err := j.WriteErr(); err != nil {
+		t.Fatalf("WriteErr after recovery = %v, want nil", err)
+	}
+	if err := j.RecordSubmit(3, specFor("ghi", "c")); err != nil {
+		t.Fatalf("RecordSubmit after recovery = %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	taskByID(t, j2, 1)
+	taskByID(t, j2, 3)
+}
+
+// TestCleanShutdownMarker checks the fast-replay marker life cycle:
+// MarkClean seals the journal so the next open reports Clean, and any
+// record appended after that replay clears the flag again.
+func TestCleanShutdownMarker(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.RecordSubmit(1, specFor("abc", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordStats(1, task.Stats{Status: task.Finished, TotalBytes: 3, MovedBytes: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Clean() {
+		t.Fatal("Clean before MarkClean = true")
+	}
+	if err := j.MarkClean(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	if !j2.Clean() {
+		t.Fatal("Clean after sealed reopen = false, want true")
+	}
+	if tr := taskByID(t, j2, 1); tr.Status != task.Finished {
+		t.Fatalf("task 1 replayed as %v, want finished", tr.Status)
+	}
+	// New work dirties the journal: the marker is only meaningful as the
+	// final record.
+	if err := j2.RecordSubmit(2, specFor("def", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Clean() {
+		t.Fatal("Clean after post-marker append = true, want false")
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j3 := mustOpen(t, dir, Options{})
+	defer j3.Close()
+	if j3.Clean() {
+		t.Fatal("Clean after unsealed close = true, want false")
+	}
+}
+
+// TestRetryAttemptsPersist checks that RecordRetry makes the attempt
+// counter durable: a reopened journal reports the task Pending with the
+// journaled attempt count, so the daemon resumes the backoff schedule
+// instead of resetting the budget.
+func TestRetryAttemptsPersist(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{})
+	if err := j.RecordSubmit(1, specFor("abc", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordState(1, task.Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordRetry(1, 2, "endpoint unreachable"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	tr := taskByID(t, j2, 1)
+	if tr.Status != task.Pending || tr.Attempts != 2 || tr.Err != "endpoint unreachable" {
+		t.Fatalf("retried task = status %v attempts %d err %q, want pending/2/endpoint unreachable", tr.Status, tr.Attempts, tr.Err)
+	}
+}

@@ -44,6 +44,7 @@ const (
 	recDataspace = 3 // a dataspace registration, update, or removal
 	recHeader    = 4 // snapshot header (ID high-water mark)
 	recProgress  = 5 // a segment-bitmap checkpoint of a running transfer
+	recShutdown  = 6 // clean-shutdown marker; meaningful only as the final record
 )
 
 // record is the single on-disk message. One struct with optional fields
@@ -72,6 +73,10 @@ type record struct {
 	// skipped by delta matching), so resurrection keeps them honest.
 	Cache int64
 	Delta int64
+	// Attempts is the task's retry attempt counter, journaled on every
+	// retry re-queue so a restart resumes the backoff budget instead of
+	// granting a crashed task a fresh one.
+	Attempts uint64
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -128,6 +133,9 @@ func (r *record) MarshalWire(e *wire.Encoder) {
 	if r.Delta != 0 {
 		e.Int64(18, r.Delta)
 	}
+	if r.Attempts != 0 {
+		e.Uint64(19, r.Attempts)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -172,6 +180,8 @@ func (r *record) UnmarshalWire(d *wire.Decoder) error {
 			r.Cache = d.Int64()
 		case 18:
 			r.Delta = d.Int64()
+		case 19:
+			r.Attempts = d.Uint64()
 		default:
 			d.Skip()
 		}
@@ -208,6 +218,10 @@ type TaskRecord struct {
 	// matched the remote digests.
 	CacheBytes int64
 	DeltaBytes int64
+	// Attempts is the task's retry attempt counter at the last journaled
+	// transition, so a restarted daemon resumes the retry budget rather
+	// than resetting it.
+	Attempts uint64
 }
 
 // Options tunes a journal. The zero value selects the defaults.
@@ -251,6 +265,12 @@ func (o Options) withDefaults() Options {
 
 // ErrClosed is returned by appends after Close.
 var ErrClosed = errors.New("journal: closed")
+
+// ErrDegraded wraps the journal's sticky write error: once a WAL write
+// or sync fails, every subsequent append returns an error satisfying
+// errors.Is(err, ErrDegraded) until Probe successfully recovers. The
+// daemon keys its degraded read-only mode off this.
+var ErrDegraded = errors.New("journal: degraded after write failure")
 
 // Journal is a durable task journal. All methods are safe for
 // concurrent use.
@@ -304,6 +324,21 @@ type Journal struct {
 	walRecords int
 	frozen     bool
 	closed     bool
+	// clean tracks whether the most recently applied record was the
+	// clean-shutdown marker: true only when replay ended exactly on it,
+	// false again the moment any later record lands.
+	clean bool
+	// sealed is set by MarkClean after the marker is on disk; Close then
+	// skips its final compaction so the marker stays the WAL's last
+	// record for the next replay.
+	sealed bool
+
+	// failMu guards failWrites, the injected disk fault the degrade-mode
+	// tests and lab scenarios use to simulate ENOSPC without an actual
+	// full filesystem. Separate from mu because writeWAL runs with only
+	// ioMu held.
+	failMu     sync.Mutex
+	failWrites error
 }
 
 // walPath and snapPath locate the journal's two files.
@@ -426,6 +461,10 @@ func (j *Journal) applyAll(buf []byte, tolerateTail bool) (int, error) {
 // are sticky: a stale non-terminal record can never resurrect a task
 // that already completed.
 func (j *Journal) apply(rec *record) {
+	// The clean-shutdown marker only counts if it is the final record:
+	// any record applied after it (during replay or live operation)
+	// means the journal has moved on since that shutdown.
+	j.clean = rec.Kind == recShutdown
 	switch rec.Kind {
 	case recSubmit:
 		tr, ok := j.tasks[rec.TaskID]
@@ -451,6 +490,9 @@ func (j *Journal) apply(rec *record) {
 			tr.SegPlan = rec.SegPlan
 			tr.SegBits = rec.SegBits
 		}
+		if rec.Attempts != 0 {
+			tr.Attempts = rec.Attempts
+		}
 	case recState:
 		tr, ok := j.tasks[rec.TaskID]
 		if !ok {
@@ -464,6 +506,9 @@ func (j *Journal) apply(rec *record) {
 		}
 		tr.Status = task.Status(rec.Status)
 		tr.Err = rec.Err
+		if rec.Attempts != 0 {
+			tr.Attempts = rec.Attempts
+		}
 		tr.TotalBytes = rec.Total
 		tr.MovedBytes = rec.Moved
 		tr.CacheBytes = rec.Cache
@@ -666,9 +711,31 @@ func (j *Journal) stealLocked() ([]byte, uint64) {
 	return buf, gen
 }
 
+// injectedFault returns the disk fault installed by SetFailWrites, if
+// any. Checked by every disk-writing path so an injected ENOSPC behaves
+// exactly like a real one.
+func (j *Journal) injectedFault() error {
+	j.failMu.Lock()
+	defer j.failMu.Unlock()
+	return j.failWrites
+}
+
+// SetFailWrites installs (or, with nil, clears) an injected disk fault:
+// while set, every WAL write and snapshot attempt fails with err. The
+// degrade-mode tests and the journal-disk-full lab scenario use this to
+// simulate a full or failing disk deterministically.
+func (j *Journal) SetFailWrites(err error) {
+	j.failMu.Lock()
+	j.failWrites = err
+	j.failMu.Unlock()
+}
+
 // writeWAL performs the one coalesced write (and fsync, with Sync) of
 // a stolen buffer. Caller holds ioMu (the disk-writer lock).
 func (j *Journal) writeWAL(buf []byte) error {
+	if err := j.injectedFault(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -685,8 +752,10 @@ func (j *Journal) writeWAL(buf []byte) error {
 // every waiter is woken. Caller holds j.mu.
 func (j *Journal) commitLocked(gen uint64, buf []byte, err error) {
 	j.doneGen = gen
-	if err != nil {
-		j.writeErr = err
+	if err != nil && j.writeErr == nil {
+		// First failure wins and is wrapped so callers can classify it:
+		// errors.Is(writeErr, ErrDegraded) holds for every poisoned op.
+		j.writeErr = fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
 	if j.spare == nil && cap(buf) <= maxPendingReuse {
 		j.spare = buf[:0]
@@ -809,6 +878,26 @@ func (j *Journal) RecordStats(id uint64, st task.Stats) error {
 		SegsDone:  uint32(st.SegmentsDone),
 		Cache:     st.CacheBytes,
 		Delta:     st.DeltaBytes,
+		Attempts:  st.Attempts,
+	}
+	err := j.append(rec)
+	*rec = record{}
+	recordPool.Put(rec)
+	return err
+}
+
+// RecordRetry journals a retry re-queue: the task transitioned back to
+// Pending with its attempt counter bumped. Journaling the counter is
+// what makes the retry budget durable — a daemon restart resumes the
+// schedule at attempt N instead of granting a fresh budget.
+func (j *Journal) RecordRetry(id uint64, attempts uint64, errMsg string) error {
+	rec := recordPool.Get().(*record)
+	*rec = record{
+		Kind:     recState,
+		TaskID:   id,
+		Status:   uint32(task.Pending),
+		Err:      errMsg,
+		Attempts: attempts,
 	}
 	err := j.append(rec)
 	*rec = record{}
@@ -916,6 +1005,9 @@ func (j *Journal) Compact() error {
 // compactLocked implements Compact; the caller holds ioMu and j.mu, and
 // has flushed the pending group-commit buffer.
 func (j *Journal) compactLocked() error {
+	if err := j.injectedFault(); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
 	// Garbage-collect old terminal tasks before the state is written out.
 	var terminal []uint64
 	for id, tr := range j.tasks {
@@ -968,6 +1060,7 @@ func (j *Journal) compactLocked() error {
 			SegsDone:  uint32(tr.SegsDone),
 			Cache:     tr.CacheBytes,
 			Delta:     tr.DeltaBytes,
+			Attempts:  tr.Attempts,
 		}
 		buf, werr = wire.AppendFrame(buf, &rec)
 	}
@@ -1019,6 +1112,100 @@ func syncDir(dir string) error {
 // harnesses can bundle it (or reopen it) for replay.
 func (j *Journal) Dir() string { return j.dir }
 
+// WriteErr returns the journal's sticky write error, nil while healthy.
+// Non-nil means every append is failing and the daemon should shed new
+// durable work; the error satisfies errors.Is(err, ErrDegraded).
+func (j *Journal) WriteErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErr
+}
+
+// Probe attempts to recover a degraded journal. The in-memory state is
+// always a superset of what reached disk (appends fold into memory
+// before the failed write), so recovery is a compaction: write a fresh
+// snapshot from memory, truncate the possibly-torn WAL, and — only if
+// all of that succeeds — clear the sticky write error. Returns nil when
+// the journal is healthy again (or was never degraded), else the error
+// that keeps it degraded. The daemon polls this from its degrade-mode
+// probe loop.
+func (j *Journal) Probe() error {
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.frozen || j.writeErr == nil {
+		return nil
+	}
+	// Records stuck in the pending buffer were already folded into the
+	// in-memory state; the snapshot below is their durability. Commit
+	// them without touching the broken WAL so their waiters are released
+	// (they read writeErr, which stays poisoned until recovery succeeds).
+	if len(j.pending) > 0 {
+		buf, gen := j.stealLocked()
+		j.commitLocked(gen, buf, nil)
+	}
+	if err := j.compactLocked(); err != nil {
+		return err
+	}
+	j.writeErr = nil
+	return nil
+}
+
+// MarkClean seals the journal for a graceful shutdown: flush, compact,
+// then write the clean-shutdown marker as the WAL's only record. The
+// next Open replays the snapshot plus the lone marker and reports
+// Clean() == true — the fast-replay signal that no task state was in
+// flight. After MarkClean, Close skips its usual compaction so the
+// marker stays last; the caller must not append afterwards.
+func (j *Journal) MarkClean() error {
+	j.ioMu.Lock()
+	defer j.ioMu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen {
+		return nil
+	}
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.flushPendingLocked(); err != nil {
+		return err
+	}
+	if j.writeErr != nil {
+		// A degraded journal cannot promise a clean state; leave the
+		// marker out and let the next open replay defensively.
+		return j.writeErr
+	}
+	if err := j.compactLocked(); err != nil {
+		return err
+	}
+	rec := record{Kind: recShutdown}
+	buf, err := wire.AppendFrame(nil, &rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.writeWAL(buf); err != nil {
+		return err
+	}
+	j.walRecords++
+	j.clean = true
+	j.sealed = true
+	return nil
+}
+
+// Clean reports whether the journal currently ends on the clean-shutdown
+// marker. Read it right after Open: true means the previous daemon
+// drained and sealed before exiting, so replay found no in-flight work.
+func (j *Journal) Clean() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.clean
+}
+
 // Freeze silently drops every subsequent append and compaction,
 // simulating the daemon process dying at this instant: later state
 // changes never reach disk. It is the crash-injection hook the recovery
@@ -1046,7 +1233,7 @@ func (j *Journal) Close() error {
 	// then finds nothing to do.
 	err := j.flushPendingLocked()
 	j.closed = true
-	if !j.frozen {
+	if !j.frozen && !j.sealed {
 		if cerr := j.compactLocked(); err == nil {
 			err = cerr
 		}

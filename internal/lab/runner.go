@@ -91,15 +91,18 @@ type Runner struct {
 type scenarioFunc func(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error
 
 var classFuncs = map[string]scenarioFunc{
-	"crash":      runCrash,
-	"partition":  runPartition,
-	"slow-disk":  runSlowDisk,
-	"skew":       runSkew,
-	"governor":   runGovernor,
-	"autotune":   runAutotune,
-	"events":     runEvents,
-	"soak":       runSoak,
-	"warm-cache": runWarmCache,
+	"crash":             runCrash,
+	"partition":         runPartition,
+	"slow-disk":         runSlowDisk,
+	"skew":              runSkew,
+	"governor":          runGovernor,
+	"autotune":          runAutotune,
+	"events":            runEvents,
+	"soak":              runSoak,
+	"warm-cache":        runWarmCache,
+	"flaky-endpoint":    runFlakyEndpoint,
+	"journal-disk-full": runJournalDiskFull,
+	"sigterm-drain":     runSigtermDrain,
 }
 
 // Run executes one scenario and returns its result. The error return

@@ -89,6 +89,36 @@ func Scenarios() []*Spec {
 			Assert:  []string{"all-finish", "warm-cache-hits", "cold-only-fabric", "hit-miss-deterministic"},
 		},
 		{
+			Name: "flaky-endpoint", Class: "flaky-endpoint",
+			Desc:  "an endpoint fails its first K fabric calls; retry/backoff lands every task while the breaker trips and re-closes",
+			Nodes: 2, Tasks: 4,
+			PayloadBytes: 32 << 10, SegmentSize: 32 << 10,
+			Workers: 1, Streams: 1,
+			Arrival: ArrivalSpec{Pattern: "constant"},
+			Faults:  []FaultSpec{{Kind: "flaky", FailCalls: 4}},
+			Assert:  []string{"retry-completes", "retry-attempted", "breaker-trips", "breaker-recloses"},
+		},
+		{
+			Name: "journal-disk-full", Class: "journal-disk-full",
+			Desc:  "the WAL disk fills mid-flight; acked tasks still finish, new submits shed EUnavailable, and the daemon recovers when the disk heals",
+			Nodes: 2, Tasks: 6,
+			PayloadBytes: 64 << 10, SegmentSize: 16 << 10,
+			Workers: 1, Streams: 1,
+			Arrival: ArrivalSpec{Pattern: "constant"},
+			Faults:  []FaultSpec{{Kind: "disk-full", WriteDelayMS: 2}},
+			Assert:  []string{"pre-fault-terminal", "sheds-unavailable", "degraded-health", "recovers"},
+		},
+		{
+			Name: "sigterm-drain", Class: "sigterm-drain",
+			Desc:  "graceful drain: the running transfer finishes, queued tasks stay journaled Pending, and the clean-shutdown marker makes the restart re-copy zero finished bytes",
+			Nodes: 2, Tasks: 5,
+			PayloadBytes: 64 << 10, SegmentSize: 16 << 10,
+			Workers: 1, Streams: 1,
+			Arrival: ArrivalSpec{Pattern: "constant"},
+			Faults:  []FaultSpec{{Kind: "stall", StallMS: 300}},
+			Assert:  []string{"drain-finishes-inflight", "clean-marker", "pending-preserved", "zero-recopy"},
+		},
+		{
 			Name: "terminal-events", Class: "events",
 			Desc:  "the event hub delivers a terminal event for every explicitly subscribed task",
 			Nodes: 4, Tasks: 64,

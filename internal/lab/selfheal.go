@@ -1,0 +1,413 @@
+package lab
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/ngioproject/norns-go/internal/proto"
+	"github.com/ngioproject/norns-go/internal/sim"
+	"github.com/ngioproject/norns-go/internal/storage"
+	"github.com/ngioproject/norns-go/internal/task"
+	"github.com/ngioproject/norns-go/internal/urd"
+)
+
+// This file holds the self-healing scenario classes: flaky-endpoint
+// (task retry + fabric circuit breakers), journal-disk-full (degrade
+// mode sheds submissions, heals on probe), and sigterm-drain (graceful
+// drain seals a clean-shutdown marker the restart replays from).
+//
+// Determinism note: retry timing, breaker failure counters and attempt
+// totals are wall-clock dependent, so — like the governor's measured
+// numbers — they feed the log only as booleans ("a retry happened:
+// yes/no"), never as rendered counts.
+
+// statusInfo fetches the daemon's OpStatus block.
+func statusInfo(d *urd.Daemon) (*proto.DaemonStatus, error) {
+	resp := d.Handle(peerCtl(), &proto.Request{Op: proto.OpStatus})
+	if resp.Status != proto.Success || resp.StatusInfo == nil {
+		return nil, fmt.Errorf("lab: status: %s", resp.Error)
+	}
+	return resp.StatusInfo, nil
+}
+
+// runFlakyEndpoint stands up two daemons on a real loopback fabric and
+// makes the submitter's first K outbound fabric calls fail with a
+// transient transport error. The retry machinery must land every task
+// anyway, and the endpoint's circuit breaker must be observed tripping
+// while the endpoint is sick and re-closing once it heals.
+func runFlakyEndpoint(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	fault := spec.fault("flaky")
+	if fault == nil || fault.FailCalls <= 0 {
+		return fmt.Errorf("lab: flaky-endpoint scenario needs a flaky fault with fail_calls")
+	}
+
+	resolver := urd.NewStaticResolver()
+	peer, err := urd.New(urd.Config{
+		NodeName: "peer-b", Workers: 1, TransferStreams: 1,
+		SegmentSize: spec.segmentSize(),
+		Fabric:      "ofi+tcp", Resolver: resolver,
+	})
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	resolver.Set("peer-b", peer.FabricAddr())
+	if err := register(peer, &proto.DataspaceSpec{ID: "rmt://", Backend: uint32(1)}); err != nil {
+		return err
+	}
+
+	// The fault hook fires on every outbound call the submitter makes
+	// (after the breaker gate, so open-breaker fast-fails never consume
+	// a count): the first FailCalls calls die with a transient error,
+	// then the endpoint is healthy forever.
+	var calls atomic.Int64
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-flaky", Workers: 1, TransferStreams: 1,
+		SegmentSize: spec.segmentSize(),
+		Fabric:      "ofi+tcp", Resolver: resolver,
+		// A generous per-task budget with a short base backoff: the
+		// schedule must outlast the breaker's open windows.
+		RetryMax: 12, RetryBackoff: 5 * time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 20 * time.Millisecond,
+		Hooks: urd.Hooks{
+			FabricFault: func(addr, name string) error {
+				if calls.Add(1) <= int64(fault.FailCalls) {
+					return fmt.Errorf("lab: flaky endpoint: %w", syscall.ECONNRESET)
+				}
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	var stats []proto.TaskStats
+	var retries uint64
+	allFin := true
+	for i := 0; i < spec.Tasks; i++ {
+		ts := &proto.TaskSpec{
+			Kind:   uint32(task.Copy),
+			Input:  proto.FromResource(task.MemoryRegion(payload(rng, spec.PayloadBytes))),
+			Output: proto.FromResource(task.RemotePosixPath("peer-b", "rmt://", fmt.Sprintf("f/%d", i))),
+		}
+		id, err := d.Submit(ts, 0, true)
+		if err != nil {
+			return err
+		}
+		st, err := waitTask(d, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		stats = append(stats, st)
+		if task.Status(st.Status) != task.Finished {
+			allFin = false
+		}
+		retries += st.Attempts
+	}
+	summarize(res, "flaky", stats)
+	res.check("retry-completes", allFin,
+		"all %d tasks finished despite %d injected call failures", len(stats), fault.FailCalls)
+	res.check("retry-attempted", retries > 0,
+		"at least one retry attempt was consumed: %v", retries > 0)
+
+	st, err := statusInfo(d)
+	if err != nil {
+		return err
+	}
+	var trips uint64
+	reclosed := len(st.Breakers) > 0
+	for _, b := range st.Breakers {
+		trips += b.Trips
+		if b.State != "closed" {
+			reclosed = false
+		}
+	}
+	res.logf("breakers: endpoints=%d tripped=%v all-closed=%v",
+		len(st.Breakers), trips > 0, reclosed)
+	res.check("breaker-trips", trips > 0,
+		"the endpoint's breaker opened while it was sick: %v", trips > 0)
+	res.check("breaker-recloses", reclosed,
+		"every breaker closed again after the heal: %v", reclosed)
+	return nil
+}
+
+// runJournalDiskFull fills the journal's WAL disk mid-flight: already
+// admitted tasks must still reach terminal states, new submissions must
+// shed with the retryable EUnavailable, the health probe must report
+// not-ready, and clearing the fault must bring the daemon back through
+// its journal probe loop.
+func runJournalDiskFull(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	fault := spec.fault("disk-full")
+	if fault == nil {
+		return fmt.Errorf("lab: journal-disk-full scenario needs a disk-full fault")
+	}
+	dir, err := r.scratchDir(spec)
+	if err != nil {
+		return err
+	}
+	stateDir := filepath.Join(dir, "state")
+	res.StateDir = stateDir
+
+	// The destination writes are throttled so the admitted tasks are
+	// still in flight when the WAL fault lands.
+	d, err := urd.New(urd.Config{
+		NodeName: "lab-full", Workers: 1, TransferStreams: 1,
+		SegmentSize: spec.segmentSize(), StateDir: stateDir, DisableOffload: true,
+		JournalProbeInterval: 10 * time.Millisecond,
+		Hooks: urd.Hooks{
+			WrapFS: func(id string, fs storage.FS) storage.FS {
+				if id != "disk://" {
+					return fs
+				}
+				return newFaultFS(fs, time.Duration(fault.WriteDelayMS)*time.Millisecond, 0)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := register(d, &proto.DataspaceSpec{ID: "disk://", Backend: uint32(1)}); err != nil {
+		return err
+	}
+
+	var ids []uint64
+	for i := 0; i < spec.Tasks; i++ {
+		id, err := d.Submit(copySpec(payload(rng, spec.PayloadBytes), "disk://", fmt.Sprintf("p/%d", i)), 0, true)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+
+	// The disk "fills": every WAL write now fails sticky.
+	d.Journal().SetFailWrites(errors.New("lab: disk full"))
+
+	// New submissions must shed immediately with the retryable status —
+	// the very first one rides the failed journal append, later ones the
+	// sticky degraded flag.
+	shed := 0
+	for i := 0; i < 2; i++ {
+		resp := d.Handle(peerCtl(), &proto.Request{
+			Op: proto.OpSubmit, Task: copySpec(payload(rng, 1<<10), "disk://", fmt.Sprintf("shed/%d", i)),
+		})
+		if resp.Status == proto.EUnavailable {
+			shed++
+		}
+	}
+	res.check("sheds-unavailable", shed == 2,
+		"%d of 2 submissions during the fault shed with EUnavailable", shed)
+
+	// Everything admitted before the fault still runs to terminal: the
+	// degrade mode is read-only, not dead.
+	var stats []proto.TaskStats
+	allFin := true
+	for _, id := range ids {
+		st, err := waitTask(d, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		stats = append(stats, st)
+		if task.Status(st.Status) != task.Finished {
+			allFin = false
+		}
+	}
+	summarize(res, "pre-fault", stats)
+	res.check("pre-fault-terminal", allFin,
+		"all %d pre-fault tasks reached terminal states during degrade mode", len(stats))
+
+	health := d.Handle(peerCtl(), &proto.Request{Op: proto.OpHealth})
+	res.check("degraded-health", health.Status == proto.EUnavailable,
+		"OpHealth reports not-ready while degraded: %v", health.Status == proto.EUnavailable)
+
+	// The disk heals; the probe loop must lift degrade mode and the
+	// daemon must accept (and finish) new work again.
+	d.Journal().SetFailWrites(nil)
+	recovered := false
+	deadline := time.Now().Add(waitBudget)
+	for time.Now().Before(deadline) {
+		if d.Handle(peerCtl(), &proto.Request{Op: proto.OpHealth}).Status == proto.Success {
+			recovered = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	postOK := false
+	if recovered {
+		id, err := d.Submit(copySpec(payload(rng, spec.PayloadBytes), "disk://", "post-heal"), 0, true)
+		if err != nil {
+			return err
+		}
+		st, err := waitTask(d, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		postOK = task.Status(st.Status) == task.Finished
+	}
+	res.check("recovers", recovered && postOK,
+		"probe lifted degrade mode (%v) and a post-heal task finished (%v)", recovered, postOK)
+	return nil
+}
+
+// runSigtermDrain exercises the graceful-drain path the SIGTERM handler
+// drives: the running transfer finishes inside the drain window, queued
+// tasks stay journaled Pending, and the clean-shutdown marker lets the
+// restarted daemon trust terminal records — re-copying zero bytes of
+// the finished transfer.
+func runSigtermDrain(r *Runner, spec *Spec, rng *sim.RNG, res *Result) error {
+	fault := spec.fault("stall")
+	if fault == nil || fault.StallMS <= 0 {
+		return fmt.Errorf("lab: sigterm-drain scenario needs a stall fault")
+	}
+	dir, err := r.scratchDir(spec)
+	if err != nil {
+		return err
+	}
+	stateDir := filepath.Join(dir, "state")
+	mount := filepath.Join(dir, "data")
+	if err := os.MkdirAll(mount, 0o755); err != nil {
+		return err
+	}
+	res.StateDir = stateDir
+
+	// The runner's first write stalls, holding the single worker long
+	// enough for the queued tasks to pile up behind it and for the
+	// drain to start while it is demonstrably Running.
+	d1, err := urd.New(urd.Config{
+		NodeName: "lab-drain", Workers: 1, TransferStreams: 1,
+		SegmentSize: spec.segmentSize(), StateDir: stateDir, DisableOffload: true,
+		Hooks: urd.Hooks{
+			WrapFS: func(id string, fs storage.FS) storage.FS {
+				if id != "disk://" {
+					return fs
+				}
+				return newFaultFS(fs, 0, time.Duration(fault.StallMS)*time.Millisecond)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := register(d1, &proto.DataspaceSpec{ID: "disk://", Backend: uint32(1), Mount: mount}); err != nil {
+		d1.Close()
+		return err
+	}
+
+	runnerData := payload(rng, spec.PayloadBytes)
+	runnerID, err := d1.Submit(copySpec(runnerData, "disk://", "runner.bin"), 0, true)
+	if err != nil {
+		d1.Close()
+		return err
+	}
+	// The drain must catch the runner mid-transfer, not still queued:
+	// wait for the worker to pick it up before pulling the plug.
+	deadline := time.Now().Add(waitBudget)
+	for {
+		resp := d1.Handle(peerCtl(), &proto.Request{Op: proto.OpTaskStatus, TaskID: runnerID})
+		if resp.Status == proto.Success && resp.Stats != nil &&
+			task.Status(resp.Stats.Status) != task.Pending {
+			break
+		}
+		if time.Now().After(deadline) {
+			d1.Close()
+			return fmt.Errorf("lab: runner task never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var queued []uint64
+	for i := 0; i < spec.Tasks-1; i++ {
+		id, err := d1.Submit(copySpec(payload(rng, spec.PayloadBytes), "disk://", fmt.Sprintf("q/%d", i)), 0, true)
+		if err != nil {
+			d1.Close()
+			return err
+		}
+		queued = append(queued, id)
+	}
+
+	// SIGTERM: bounded drain. The stalled runner must finish inside the
+	// window; the queued tasks must not start.
+	d1.Shutdown(waitBudget)
+	res.logf("drain: shutdown returned with %d tasks queued behind the runner", len(queued))
+
+	// Restart on the same state dir, counting every byte written to the
+	// dataspace: the finished runner must cost zero of them.
+	var counter *faultFS
+	d2, err := urd.New(urd.Config{
+		NodeName: "lab-drain", Workers: 1, TransferStreams: 1,
+		SegmentSize: spec.segmentSize(), StateDir: stateDir, DisableOffload: true,
+		Hooks: urd.Hooks{
+			WrapFS: func(id string, fs storage.FS) storage.FS {
+				if id != "disk://" {
+					return fs
+				}
+				counter = newFaultFS(fs, 0, 0)
+				return counter
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer d2.Close()
+
+	rec := d2.Recovered()
+	res.logf("recovered: pending=%d running=%d terminal=%d cancelled=%d",
+		rec.Pending, rec.Running, rec.Terminal, rec.Cancelled)
+	st, err := statusInfo(d2)
+	if err != nil {
+		return err
+	}
+	res.check("clean-marker", st.RecoveredClean && rec.Terminal == 1,
+		"replay found the clean-shutdown marker (%v) with the drained transfer terminal", st.RecoveredClean)
+
+	// The drained transfer finished before the old daemon exited and its
+	// bytes are on disk, byte-exact.
+	rst, err := waitTask(d2, runnerID, waitBudget)
+	if err != nil {
+		return err
+	}
+	got, rerr := os.ReadFile(filepath.Join(mount, "runner.bin"))
+	res.check("drain-finishes-inflight",
+		task.Status(rst.Status) == task.Finished && rerr == nil && bytes.Equal(got, runnerData),
+		"runner status=%s, destination holds %d of %d payload bytes",
+		task.Status(rst.Status), len(got), len(runnerData))
+
+	// Every queued task survived as journaled Pending and completes on
+	// the restarted daemon.
+	preserved := rec.Requeued() == len(queued)
+	var qstats []proto.TaskStats
+	for _, id := range queued {
+		qst, err := waitTask(d2, id, waitBudget)
+		if err != nil {
+			return err
+		}
+		qstats = append(qstats, qst)
+		if task.Status(qst.Status) != task.Finished {
+			preserved = false
+		}
+	}
+	summarize(res, "requeued", qstats)
+	res.check("pending-preserved", preserved,
+		"%d queued tasks replayed Pending and finished after the restart", len(queued))
+
+	// The restart re-copies exactly the queued payloads: zero bytes of
+	// the drained transfer move again.
+	if counter == nil {
+		res.failf("zero-recopy", "restarted daemon never rebuilt the disk:// backend")
+	} else {
+		want := int64(len(queued)) * spec.PayloadBytes
+		res.check("zero-recopy", counter.written.Load() == want,
+			"restart wrote %d bytes, want exactly the %d queued-task bytes",
+			counter.written.Load(), want)
+	}
+	return nil
+}

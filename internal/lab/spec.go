@@ -64,7 +64,9 @@ type FaultSpec struct {
 	// died), "partition" (peer unreachable between two task waves),
 	// "slow-disk" (every write delayed), "stall" (the first write hangs
 	// once), "skew" (queued tasks carry deadlines that lapse behind the
-	// stall — a clock-skewed client's view).
+	// stall — a clock-skewed client's view), "flaky" (the fabric
+	// endpoint fails its first N calls then heals), "disk-full" (the
+	// journal's WAL disk rejects every write until healed).
 	Kind string `json:"kind"`
 	// AfterSegments: crash after this many journaled segment
 	// checkpoints of the watched transfer.
@@ -79,13 +81,16 @@ type FaultSpec struct {
 	StallMS int64 `json:"stall_ms,omitempty"`
 	// DeadlineMS is the victims' task deadline for skew scenarios.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// FailCalls: a flaky endpoint fails its first N outbound fabric
+	// calls (RPCs and bulk pulls) before healing permanently.
+	FailCalls int `json:"fail_calls,omitempty"`
 }
 
 // Spec declares one scenario. All fields are data — a Spec round-trips
 // through JSON unchanged, which is what the repro bundle relies on.
 type Spec struct {
 	Name  string `json:"name"`
-	Class string `json:"class"` // crash | partition | slow-disk | skew | governor | autotune | events | soak | warm-cache
+	Class string `json:"class"` // crash | partition | slow-disk | skew | governor | autotune | events | soak | warm-cache | flaky-endpoint | journal-disk-full | sigterm-drain
 	Desc  string `json:"desc,omitempty"`
 
 	// Nodes is the modeled client-node count for the fig-6/7-shaped

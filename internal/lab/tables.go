@@ -117,6 +117,10 @@ func faultTimeline(spec *Spec) *metrics.Table {
 			p = fmt.Sprintf("first write hangs %d ms", f.StallMS)
 		case "skew":
 			p = fmt.Sprintf("victim deadline %d ms", f.DeadlineMS)
+		case "flaky":
+			p = fmt.Sprintf("endpoint fails its first %d fabric calls", f.FailCalls)
+		case "disk-full":
+			p = "journal WAL rejects every write until healed"
 		default:
 			p = "?"
 		}

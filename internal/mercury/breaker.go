@@ -1,0 +1,235 @@
+package mercury
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrBreakerOpen reports a fast-failed call: the target address has
+// accumulated enough consecutive transport failures to trip its circuit
+// breaker, and the cooldown has not yet elapsed (or another caller owns
+// the half-open probe). The error is transient — IsTransient returns
+// true — so retry machinery backs off instead of giving up, and the
+// call never touched the wire, so one dead peer stops burning RPC
+// timeouts fleet-wide.
+var ErrBreakerOpen = errors.New("mercury: circuit breaker open")
+
+// Default breaker tuning used by the urd network manager: five
+// consecutive transport failures trip the breaker, and an open breaker
+// re-probes after one second.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = time.Second
+)
+
+// Breaker state names, as exported in BreakerInfo and DaemonStatus.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerInfo is an observable snapshot of one address's breaker, for
+// DaemonStatus export and nornsctl rendering.
+type BreakerInfo struct {
+	Addr  string
+	State string
+	// Fails is the current consecutive transport-failure count (resets
+	// to zero on any success).
+	Fails uint64
+	// Trips counts how many times the breaker has opened over its
+	// lifetime, including half-open probes that failed back to open.
+	Trips uint64
+}
+
+// breaker is the per-address health tracker, shared by every connection
+// slot to that address: a peer that is down is down for all streams.
+//
+// State machine: closed --(threshold consecutive failures)--> open
+// --(cooldown elapses; one probe call allowed)--> half-open --(probe
+// succeeds)--> closed, or --(probe fails)--> open again with a fresh
+// cooldown. Successes in any state reset the failure count.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     string
+	fails     uint64
+	trips     uint64
+	openedAt  time.Time
+	// probing marks the single in-flight half-open probe; concurrent
+	// callers fast-fail until it reports.
+	probing bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, state: BreakerClosed}
+}
+
+// allow gates one call. It returns ErrBreakerOpen while the breaker is
+// open (or a half-open probe is already out); when the cooldown has
+// elapsed it transitions to half-open and admits the caller as the
+// probe.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// fastFail reports whether a lookup should be rejected without even
+// dialing: the breaker is open and still cooling down. Unlike allow it
+// never consumes the half-open probe, so lookups cannot starve the RPC
+// that would actually test the peer.
+func (b *breaker) fastFail() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerOpen && time.Since(b.openedAt) < b.cooldown
+}
+
+// success records a completed exchange: the peer is alive, so the
+// breaker closes and the consecutive-failure count resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a transport-level failure, tripping the breaker at
+// the threshold (or re-opening it when a half-open probe fails).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+		b.trips++
+	case BreakerClosed:
+		if int(b.fails) >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			b.trips++
+		}
+	}
+}
+
+func (b *breaker) info(addr string) BreakerInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerInfo{Addr: addr, State: b.state, Fails: b.fails, Trips: b.trips}
+}
+
+// SetBreaker configures circuit breaking for this class's outbound
+// endpoints: threshold consecutive transport failures to an address
+// trip its breaker, and an open breaker admits a half-open probe after
+// cooldown. threshold <= 0 disables breaking (the default — the urd
+// network manager enables it with the Default* constants). Set before
+// issuing RPCs.
+func (c *Class) SetBreaker(threshold int, cooldown time.Duration) {
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	c.brkThreshold = threshold
+	if cooldown > 0 {
+		c.brkCooldown = cooldown
+	} else {
+		c.brkCooldown = DefaultBreakerCooldown
+	}
+}
+
+// SetFaultHook installs a deterministic fault injector consulted before
+// every outbound RPC and bulk pull: a non-nil return fails the call as
+// a transport error (counted by the breaker) without touching the wire.
+// The scenario lab uses this to script "endpoint X fails its next K
+// calls" without real network faults. Set before issuing RPCs; nil
+// clears it.
+func (c *Class) SetFaultHook(h func(addr, name string) error) {
+	c.brkMu.Lock()
+	c.fault = h
+	c.brkMu.Unlock()
+}
+
+// faultHook returns the installed fault injector, if any.
+func (c *Class) faultHook() func(addr, name string) error {
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	return c.fault
+}
+
+// breakerFor returns the (lazily created) breaker for addr, nil when
+// breaking is disabled.
+func (c *Class) breakerFor(addr string) *breaker {
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	if c.brkThreshold <= 0 {
+		return nil
+	}
+	b, ok := c.breakers[addr]
+	if !ok {
+		b = newBreaker(c.brkThreshold, c.brkCooldown)
+		if c.breakers == nil {
+			c.breakers = make(map[string]*breaker)
+		}
+		c.breakers[addr] = b
+	}
+	return b
+}
+
+// Breakers returns a snapshot of every tracked address's breaker,
+// sorted by address — the DaemonStatus export.
+func (c *Class) Breakers() []BreakerInfo {
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	out := make([]BreakerInfo, 0, len(c.breakers))
+	for addr, b := range c.breakers {
+		out = append(out, b.info(addr))
+	}
+	sort.Slice(out, func(a, z int) bool { return out[a].Addr < out[z].Addr })
+	return out
+}
+
+// IsTransient classifies an error as a transport-level transient
+// failure — the peer or the path, not the request, is at fault — so the
+// task-retry machinery knows a later attempt may succeed. App-level RPC
+// errors (a handler returning an error string) are NOT transient: the
+// peer was alive and rejected the request.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrRPCTimeout) || errors.Is(err, ErrBreakerOpen) || errors.Is(err, errEndpointClosed) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
+}

@@ -1,0 +1,77 @@
+package mercury
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the closed → open → half-open → open →
+// half-open → closed cycle directly, without a network.
+func TestBreakerStateMachine(t *testing.T) {
+	const cooldown = 25 * time.Millisecond
+	b := newBreaker(3, cooldown)
+
+	for i := 0; i < 2; i++ {
+		b.failure()
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("allow below threshold = %v, want nil", err)
+	}
+	b.failure() // third consecutive: trips
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("allow while open = %v, want ErrBreakerOpen", err)
+	}
+	if !b.fastFail() {
+		t.Fatal("fastFail while open and cooling = false")
+	}
+	if got := b.info("x"); got.State != BreakerOpen || got.Trips != 1 || got.Fails != 3 {
+		t.Fatalf("info after trip = %+v", got)
+	}
+
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if b.fastFail() {
+		t.Fatal("fastFail after cooldown = true")
+	}
+	// First caller wins the half-open probe; a concurrent one fast-fails.
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe allow = %v, want nil", err)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second caller during probe = %v, want ErrBreakerOpen", err)
+	}
+	// Probe fails: straight back to open with a fresh cooldown.
+	b.failure()
+	if got := b.info("x"); got.State != BreakerOpen || got.Trips != 2 {
+		t.Fatalf("info after failed probe = %+v", got)
+	}
+
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe allow = %v, want nil", err)
+	}
+	b.success()
+	if got := b.info("x"); got.State != BreakerClosed || got.Fails != 0 {
+		t.Fatalf("info after recovery = %+v", got)
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("allow after recovery = %v, want nil", err)
+	}
+}
+
+// TestIsTransient spot-checks the retryability classifier: transport
+// faults are transient, app-level RPC errors are not.
+func TestIsTransient(t *testing.T) {
+	transient := []error{ErrRPCTimeout, ErrBreakerOpen, errEndpointClosed}
+	for _, err := range transient {
+		if !IsTransient(err) {
+			t.Errorf("IsTransient(%v) = false, want true", err)
+		}
+	}
+	if IsTransient(errors.New("mercury: rpc \"norns.stat\": no such file")) {
+		t.Error("IsTransient(app error) = true, want false")
+	}
+	if IsTransient(nil) {
+		t.Error("IsTransient(nil) = true, want false")
+	}
+}

@@ -142,6 +142,15 @@ type Class struct {
 	connMu sync.Mutex
 	conns  map[string]*Endpoint
 
+	// Circuit-breaker state: per-address health trackers shared by all
+	// connection slots to that address, plus the lab's deterministic
+	// fault injector. See breaker.go.
+	brkMu        sync.Mutex
+	breakers     map[string]*breaker
+	brkThreshold int
+	brkCooldown  time.Duration
+	fault        func(addr, name string) error
+
 	inMu    sync.Mutex
 	inbound map[net.Conn]struct{}
 
@@ -448,6 +457,14 @@ func (c *Class) Lookup(addr string) (*Endpoint, error) {
 // staging model of the paper's bandwidth experiments. Slot 0 is the
 // default connection Lookup uses.
 func (c *Class) LookupSlot(addr string, slot int) (*Endpoint, error) {
+	// An open breaker that has not cooled down fast-fails the lookup
+	// before any dial: a known-dead peer should cost nothing. The check
+	// never consumes the half-open probe — that belongs to the RPC that
+	// will actually test the peer.
+	brk := c.breakerFor(addr)
+	if brk != nil && brk.fastFail() {
+		return nil, ErrBreakerOpen
+	}
 	key := addr
 	if slot != 0 {
 		key = fmt.Sprintf("%s#%d", addr, slot)
@@ -459,6 +476,9 @@ func (c *Class) LookupSlot(addr string, slot int) (*Endpoint, error) {
 	}
 	conn, err := c.plugin.Dial(addr)
 	if err != nil {
+		if brk != nil {
+			brk.failure()
+		}
 		return nil, err
 	}
 	ep := newEndpoint(c, conn, addr)

@@ -25,6 +25,9 @@ type Endpoint struct {
 	class *Class
 	conn  net.Conn
 	addr  string
+	// brk is the per-address circuit breaker shared by every slot to
+	// this address; nil when breaking is disabled on the class.
+	brk *breaker
 
 	wmu sync.Mutex
 	fw  *wire.FrameWriter
@@ -47,6 +50,7 @@ func newEndpoint(c *Class, conn net.Conn, addr string) *Endpoint {
 		class:   c,
 		conn:    conn,
 		addr:    addr,
+		brk:     c.breakerFor(addr),
 		fw:      wire.NewFrameWriter(conn),
 		pending: make(map[uint64]chan *message),
 		failed:  make(chan struct{}),
@@ -246,14 +250,49 @@ func (ep *Endpoint) forwardMarshal(name string, m wire.Marshaler, timeout time.D
 	return out, err
 }
 
+// breakerAllow gates one exchange through the endpoint's breaker;
+// breakerSuccess / breakerFailure report its outcome. All are no-ops
+// when breaking is disabled. Only transport-level outcomes feed the
+// breaker — an app-level error string means the peer answered, which is
+// health, not failure.
+func (ep *Endpoint) breakerAllow() error {
+	if ep.brk == nil {
+		return nil
+	}
+	return ep.brk.allow()
+}
+
+func (ep *Endpoint) breakerSuccess() {
+	if ep.brk != nil {
+		ep.brk.success()
+	}
+}
+
+func (ep *Endpoint) breakerFailure() {
+	if ep.brk != nil {
+		ep.brk.failure()
+	}
+}
+
 func (ep *Endpoint) forward(name string, payload []byte, timeout time.Duration) ([]byte, error) {
+	if err := ep.breakerAllow(); err != nil {
+		return nil, fmt.Errorf("mercury: rpc %q: %w", name, err)
+	}
+	if h := ep.class.faultHook(); h != nil {
+		if err := h(ep.addr, name); err != nil {
+			ep.breakerFailure()
+			return nil, fmt.Errorf("mercury: rpc %q: %w", name, err)
+		}
+	}
 	seq, ch, err := ep.register(1)
 	if err != nil {
+		ep.breakerFailure()
 		return nil, err
 	}
 	defer ep.unregister(seq)
 	if err := ep.send(&message{Seq: seq, Kind: kindRPCRequest, Name: name, Payload: payload}); err != nil {
 		ep.fail(err)
+		ep.breakerFailure()
 		return nil, err
 	}
 	var timer *rpcTimer
@@ -263,8 +302,10 @@ func (ep *Endpoint) forward(name string, payload []byte, timeout time.Duration) 
 	defer timer.stop()
 	m, err := ep.recv(ch, timer)
 	if err != nil {
+		ep.breakerFailure()
 		return nil, fmt.Errorf("mercury: rpc %q: %w", name, err)
 	}
+	ep.breakerSuccess()
 	if m.Err != "" {
 		return nil, fmt.Errorf("mercury: rpc %q: %s", name, m.Err)
 	}
@@ -276,13 +317,24 @@ func (ep *Endpoint) forward(name string, payload []byte, timeout time.Duration) 
 // offsets minus offset). count <= 0 pulls to the end of the handle.
 // It returns the number of bytes pulled.
 func (ep *Endpoint) BulkPull(h BulkHandle, offset, count int64, dst BulkProvider) (int64, error) {
+	if err := ep.breakerAllow(); err != nil {
+		return 0, fmt.Errorf("mercury: bulk pull: %w", err)
+	}
+	if hook := ep.class.faultHook(); hook != nil {
+		if err := hook(ep.addr, "bulk.pull"); err != nil {
+			ep.breakerFailure()
+			return 0, fmt.Errorf("mercury: bulk pull: %w", err)
+		}
+	}
 	seq, ch, err := ep.register(64)
 	if err != nil {
+		ep.breakerFailure()
 		return 0, err
 	}
 	defer ep.unregister(seq)
 	if err := ep.send(&message{Seq: seq, Kind: kindBulkPull, Handle: h.ID, Offset: offset, Count: count}); err != nil {
 		ep.fail(err)
+		ep.breakerFailure()
 		return 0, err
 	}
 	timer := ep.newTimer()
@@ -291,6 +343,7 @@ func (ep *Endpoint) BulkPull(h BulkHandle, offset, count int64, dst BulkProvider
 	for {
 		m, rerr := ep.recv(ch, timer)
 		if rerr != nil {
+			ep.breakerFailure()
 			return got, fmt.Errorf("mercury: bulk pull: %w", rerr)
 		}
 		switch m.Kind {
@@ -309,6 +362,7 @@ func (ep *Endpoint) BulkPull(h BulkHandle, offset, count int64, dst BulkProvider
 				timer.reset()
 			}
 		case kindBulkAck:
+			ep.breakerSuccess()
 			if m.Err != "" {
 				return got, fmt.Errorf("mercury: bulk pull: %s", m.Err)
 			}
@@ -320,8 +374,12 @@ func (ep *Endpoint) BulkPull(h BulkHandle, offset, count int64, dst BulkProvider
 // BulkPush streams src into the remote handle starting at remote offset
 // 0. It returns the number of bytes the remote acknowledged writing.
 func (ep *Endpoint) BulkPush(h BulkHandle, src BulkProvider) (int64, error) {
+	if err := ep.breakerAllow(); err != nil {
+		return 0, fmt.Errorf("mercury: bulk push: %w", err)
+	}
 	seq, ch, err := ep.register(1)
 	if err != nil {
+		ep.breakerFailure()
 		return 0, err
 	}
 	defer ep.unregister(seq)
@@ -342,6 +400,7 @@ func (ep *Endpoint) BulkPush(h BulkHandle, src BulkProvider) (int64, error) {
 		if read > 0 {
 			if err := ep.send(&message{Seq: seq, Kind: kindBulkData, Offset: off, Payload: buf[:read]}); err != nil {
 				ep.fail(err)
+				ep.breakerFailure()
 				return 0, err
 			}
 			off += int64(read)
@@ -352,14 +411,17 @@ func (ep *Endpoint) BulkPush(h BulkHandle, src BulkProvider) (int64, error) {
 	}
 	if err := ep.send(&message{Seq: seq, Kind: kindBulkAck}); err != nil {
 		ep.fail(err)
+		ep.breakerFailure()
 		return 0, err
 	}
 	timer := ep.newTimer()
 	defer timer.stop()
 	m, err := ep.recv(ch, timer)
 	if err != nil {
+		ep.breakerFailure()
 		return 0, fmt.Errorf("mercury: bulk push: %w", err)
 	}
+	ep.breakerSuccess()
 	if m.Err != "" {
 		return m.Count, fmt.Errorf("mercury: bulk push: %s", m.Err)
 	}

@@ -38,6 +38,10 @@ const (
 	OpSubmitBatch
 	OpSubscribe
 	OpUnsubscribe
+	// OpHealth is the readiness probe: Success when the daemon accepts
+	// new work, EUnavailable while it is degraded (journal write failure)
+	// or draining for shutdown. Liveness is the connection itself.
+	OpHealth
 )
 
 // Control API (nornsctl_*). Anchored at 64 in their own block so adding
@@ -60,6 +64,11 @@ const (
 	// (the paper's future-work item: feeding I/O observations back to
 	// the scheduler for better-informed decisions).
 	OpTransferStats
+	// OpDeadletterList reports quarantined tasks (retry budget exhausted);
+	// OpDeadletterRequeue resubmits one (Request.TaskID) or all
+	// (Request.TaskID == 0) of them as fresh tasks.
+	OpDeadletterList
+	OpDeadletterRequeue
 )
 
 // Control reports whether the op requires the control socket.
@@ -84,6 +93,8 @@ func (o Op) String() string {
 		return "subscribe"
 	case OpUnsubscribe:
 		return "unsubscribe"
+	case OpHealth:
+		return "health"
 	case OpPing:
 		return "ping"
 	case OpStatus:
@@ -112,6 +123,10 @@ func (o Op) String() string {
 		return "shutdown"
 	case OpTransferStats:
 		return "transfer-stats"
+	case OpDeadletterList:
+		return "deadletter-list"
+	case OpDeadletterRequeue:
+		return "deadletter-requeue"
 	default:
 		return fmt.Sprintf("op(%d)", uint32(o))
 	}
@@ -134,6 +149,11 @@ const (
 	// its global in-flight limit (or a shard queue is full) and the client
 	// should retry after backing off.
 	EAgain
+	// EUnavailable reports a daemon that is temporarily unable to accept
+	// the request — degraded mode after a journal write failure, or
+	// draining for shutdown. Like EAgain it is retryable, but signals a
+	// daemon-wide condition rather than per-pipeline backpressure.
+	EUnavailable
 )
 
 // String returns the code name.
@@ -157,6 +177,8 @@ func (s StatusCode) String() string {
 		return "NORNS_EINTERNAL"
 	case EAgain:
 		return "NORNS_EAGAIN"
+	case EUnavailable:
+		return "NORNS_EUNAVAILABLE"
 	default:
 		return fmt.Sprintf("NORNS_E(%d)", uint32(s))
 	}
@@ -256,6 +278,11 @@ type TaskSpec struct {
 	// bytes per second, layered under the daemon-wide governor — the
 	// per-task throttle of the paper's interference experiments.
 	MaxBps int64
+	// RetryMax, when positive, overrides the daemon's default retry
+	// budget for this task: how many times a transient failure is retried
+	// (with exponential backoff) before the task is quarantined in the
+	// dead-letter state. Zero inherits the daemon default.
+	RetryMax uint32
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -274,6 +301,9 @@ func (ts *TaskSpec) MarshalWire(e *wire.Encoder) {
 	}
 	if ts.MaxBps != 0 {
 		e.Int64(7, ts.MaxBps)
+	}
+	if ts.RetryMax != 0 {
+		e.Uint32(8, ts.RetryMax)
 	}
 }
 
@@ -295,6 +325,8 @@ func (ts *TaskSpec) UnmarshalWire(d *wire.Decoder) error {
 			ts.DeadlineMS = d.Int64()
 		case 7:
 			ts.MaxBps = d.Int64()
+		case 8:
+			ts.RetryMax = d.Uint32()
 		default:
 			d.Skip()
 		}
@@ -474,6 +506,10 @@ type TaskStats struct {
 	// per-segment digests.
 	CacheBytes int64
 	DeltaBytes int64
+	// Attempts counts completed execution attempts that failed
+	// transiently and were retried; 0 means the task ran (or will run)
+	// on its first attempt.
+	Attempts uint64
 }
 
 // FromStats converts task.Stats.
@@ -489,6 +525,7 @@ func FromStats(s task.Stats) TaskStats {
 		BandwidthBps:  s.BandwidthBps,
 		CacheBytes:    s.CacheBytes,
 		DeltaBytes:    s.DeltaBytes,
+		Attempts:      s.Attempts,
 	}
 }
 
@@ -522,6 +559,9 @@ func (st *TaskStats) MarshalWire(e *wire.Encoder) {
 	if st.DeltaBytes != 0 {
 		e.Int64(10, st.DeltaBytes)
 	}
+	if st.Attempts != 0 {
+		e.Uint64(11, st.Attempts)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -548,6 +588,8 @@ func (st *TaskStats) UnmarshalWire(d *wire.Decoder) error {
 			st.CacheBytes = d.Int64()
 		case 10:
 			st.DeltaBytes = d.Int64()
+		case 11:
+			st.Attempts = d.Uint64()
 		default:
 			d.Skip()
 		}
@@ -984,6 +1026,89 @@ func (ar *AutotuneRoute) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
+// BreakerState is one row of the fabric circuit-breaker table: the
+// health of one remote endpoint address as the mercury layer sees it.
+type BreakerState struct {
+	// Addr is the remote endpoint address the breaker guards.
+	Addr string
+	// State is the breaker state: closed (healthy), open (tripped,
+	// fast-failing), or half-open (cooldown elapsed, probing).
+	State string
+	// Fails is the current consecutive-failure count; Trips counts how
+	// many times the breaker has opened over its lifetime.
+	Fails uint64
+	Trips uint64
+}
+
+// MarshalWire implements wire.Marshaler.
+func (bs *BreakerState) MarshalWire(e *wire.Encoder) {
+	e.String(1, bs.Addr)
+	e.String(2, bs.State)
+	if bs.Fails != 0 {
+		e.Uint64(3, bs.Fails)
+	}
+	if bs.Trips != 0 {
+		e.Uint64(4, bs.Trips)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (bs *BreakerState) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			bs.Addr = d.String()
+		case 2:
+			bs.State = d.String()
+		case 3:
+			bs.Fails = d.Uint64()
+		case 4:
+			bs.Trips = d.Uint64()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
+// DeadLetterEntry is one quarantined task in an OpDeadletterList
+// response: enough to decide whether to requeue it.
+type DeadLetterEntry struct {
+	TaskID uint64
+	// Attempts is how many execution attempts were consumed before
+	// quarantine; Err is the last failure.
+	Attempts uint64
+	Err      string
+}
+
+// MarshalWire implements wire.Marshaler.
+func (dl *DeadLetterEntry) MarshalWire(e *wire.Encoder) {
+	e.Uint64(1, dl.TaskID)
+	if dl.Attempts != 0 {
+		e.Uint64(2, dl.Attempts)
+	}
+	if dl.Err != "" {
+		e.String(3, dl.Err)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (dl *DeadLetterEntry) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			dl.TaskID = d.Uint64()
+		case 2:
+			dl.Attempts = d.Uint64()
+		case 3:
+			dl.Err = d.String()
+		default:
+			d.Skip()
+		}
+	}
+	return d.Err()
+}
+
 // DaemonStatus is the structured OpStatus report: daemon identity, the
 // pipeline's live gauges, and — when the daemon runs with a durable
 // state directory — what the last journal replay recovered.
@@ -1019,6 +1144,24 @@ type DaemonStatus struct {
 	// configured size bound.
 	CacheBytes    int64
 	CacheCapBytes int64
+	// Degraded reports journal degrade mode: the WAL hit a write error
+	// and the daemon is shedding new submissions with EUnavailable until
+	// the journal becomes writable again.
+	Degraded bool
+	// DeadLetterTasks counts tasks currently quarantined after
+	// exhausting their retry budget.
+	DeadLetterTasks uint64
+	// RetryMax/RetryBackoffMS are the daemon's default retry policy
+	// (0 retries = disabled).
+	RetryMax       uint64
+	RetryBackoffMS int64
+	// Breakers is the fabric circuit-breaker table, one row per remote
+	// endpoint address the daemon has dialed.
+	Breakers []BreakerState
+	// RecoveredClean reports that the last journal replay found the
+	// clean-shutdown marker: the previous daemon drained and flushed
+	// everything, so replay re-copied nothing.
+	RecoveredClean bool
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -1073,6 +1216,29 @@ func (ds *DaemonStatus) MarshalWire(e *wire.Encoder) {
 	if ds.CacheCapBytes != 0 {
 		e.Int64(20, ds.CacheCapBytes)
 	}
+	if ds.Degraded {
+		e.Bool(21, ds.Degraded)
+	}
+	if ds.DeadLetterTasks != 0 {
+		e.Uint64(22, ds.DeadLetterTasks)
+	}
+	if ds.RetryMax != 0 {
+		e.Uint64(23, ds.RetryMax)
+	}
+	if ds.RetryBackoffMS != 0 {
+		e.Int64(24, ds.RetryBackoffMS)
+	}
+	if len(ds.Breakers) > 0 {
+		// Count hint ahead of the rows, same contract as the autotune
+		// table above.
+		e.Uint64(26, uint64(len(ds.Breakers)))
+	}
+	for i := range ds.Breakers {
+		e.Message(25, &ds.Breakers[i])
+	}
+	if ds.RecoveredClean {
+		e.Bool(27, ds.RecoveredClean)
+	}
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -1124,6 +1290,24 @@ func (ds *DaemonStatus) UnmarshalWire(d *wire.Decoder) error {
 			ds.CacheBytes = d.Int64()
 		case 20:
 			ds.CacheCapBytes = d.Int64()
+		case 21:
+			ds.Degraded = d.Bool()
+		case 22:
+			ds.DeadLetterTasks = d.Uint64()
+		case 23:
+			ds.RetryMax = d.Uint64()
+		case 24:
+			ds.RetryBackoffMS = d.Int64()
+		case 25:
+			ds.Breakers = append(ds.Breakers, BreakerState{})
+			d.Message(&ds.Breakers[len(ds.Breakers)-1])
+		case 26:
+			// Capacity hint only, clamped like the autotune one.
+			if n := d.Uint64(); ds.Breakers == nil && n > 0 && n <= uint64(d.Remaining()/2) {
+				ds.Breakers = make([]BreakerState, 0, n)
+			}
+		case 27:
+			ds.RecoveredClean = d.Bool()
 		default:
 			d.Skip()
 		}
@@ -1160,6 +1344,10 @@ type Response struct {
 	// per-event allocation reason as Event.Stats.
 	Event    Event
 	HasEvent bool
+	// DeadLetters carries the OpDeadletterList report; for
+	// OpDeadletterRequeue, TaskIDs lists the fresh task IDs created.
+	DeadLetters []DeadLetterEntry
+	TaskIDs     []uint64
 }
 
 // MarshalWire implements wire.Marshaler.
@@ -1202,6 +1390,14 @@ func (r *Response) MarshalWire(e *wire.Encoder) {
 	if r.HasEvent {
 		e.Message(13, &r.Event)
 	}
+	if len(r.DeadLetters) > 0 {
+		// Count hint ahead of the rows (same convention as tag 14).
+		e.Uint64(16, uint64(len(r.DeadLetters)))
+	}
+	for i := range r.DeadLetters {
+		e.Message(15, &r.DeadLetters[i])
+	}
+	e.Uint64Slice(17, r.TaskIDs)
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -1248,6 +1444,15 @@ func (r *Response) UnmarshalWire(d *wire.Decoder) error {
 			if n := d.Uint64(); r.Results == nil && n > 0 && n <= uint64(d.Remaining()/2) {
 				r.Results = make([]SubmitResult, 0, n)
 			}
+		case 15:
+			r.DeadLetters = append(r.DeadLetters, DeadLetterEntry{})
+			d.Message(&r.DeadLetters[len(r.DeadLetters)-1])
+		case 16:
+			if n := d.Uint64(); r.DeadLetters == nil && n > 0 && n <= uint64(d.Remaining()/2) {
+				r.DeadLetters = make([]DeadLetterEntry, 0, n)
+			}
+		case 17:
+			r.TaskIDs = append(r.TaskIDs, d.Uint64())
 		default:
 			d.Skip()
 		}

@@ -28,6 +28,9 @@ type Spec struct {
 	// MaxBps is the task's bandwidth cap in bytes per second (0 = none),
 	// preserved so a recovered task resumes under the same throttle.
 	MaxBps int64
+	// RetryMax is the task's own retry budget (0 = daemon default),
+	// preserved so a recovered task keeps its policy.
+	RetryMax uint32
 }
 
 // SpecOf captures a task's durable form. The JobID is the effective
@@ -41,6 +44,7 @@ func SpecOf(t *Task) Spec {
 		JobID:    t.JobID,
 		Deadline: t.Deadline,
 		MaxBps:   t.MaxBps,
+		RetryMax: t.RetryMax,
 	}
 }
 
@@ -51,6 +55,7 @@ func (s Spec) Task(id uint64) *Task {
 	t.JobID = s.JobID
 	t.Deadline = s.Deadline
 	t.MaxBps = s.MaxBps
+	t.RetryMax = s.RetryMax
 	return t
 }
 
@@ -70,6 +75,9 @@ func (s *Spec) MarshalWire(e *wire.Encoder) {
 	}
 	if s.MaxBps != 0 {
 		e.Int64(7, s.MaxBps)
+	}
+	if s.RetryMax != 0 {
+		e.Uint32(8, s.RetryMax)
 	}
 }
 
@@ -91,6 +99,8 @@ func (s *Spec) UnmarshalWire(d *wire.Decoder) error {
 			s.Deadline = time.Unix(0, d.Int64())
 		case 7:
 			s.MaxBps = d.Int64()
+		case 8:
+			s.RetryMax = d.Uint32()
 		default:
 			d.Skip()
 		}

@@ -142,13 +142,19 @@ type Status uint8
 
 // Task states. The legal transitions are
 //
-//	Pending -> Running -> (Finished | Failed)
+//	Pending -> Running -> (Finished | Failed | DeadLetter)
 //	Pending -> (Cancelled | Failed)
 //	Running -> Cancelling -> (Cancelled | Finished | Failed)
+//	Running -> Pending (Retry: transient failure with budget left)
 //
 // Cancelling is the cooperative-interrupt window: the transfer worker
 // observes the cancellation at its next chunk boundary and confirms it,
 // or — if the transfer happened to complete first — finishes normally.
+//
+// DeadLetter is the quarantine state: the task failed transiently, its
+// retry budget is exhausted, and it waits for an operator to inspect
+// and requeue it (as a fresh task) instead of burning more attempts.
+// It is terminal for waiters and journaling purposes.
 //
 // The numeric values are wire- and journal-stable (see Spec): they are
 // persisted in the urd write-ahead log and must never be renumbered.
@@ -159,6 +165,7 @@ const (
 	Failed
 	Cancelled
 	Cancelling
+	DeadLetter
 )
 
 // String returns the lowercase name of the status.
@@ -176,14 +183,18 @@ func (s Status) String() string {
 		return "cancelled"
 	case Cancelling:
 		return "cancelling"
+	case DeadLetter:
+		return "dead-letter"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
 }
 
 // Terminal reports whether no further transitions are possible.
+// DeadLetter counts: the quarantined task itself never runs again —
+// requeueing resubmits its spec as a fresh task.
 func (s Status) Terminal() bool {
-	return s == Finished || s == Failed || s == Cancelled
+	return s == Finished || s == Failed || s == Cancelled || s == DeadLetter
 }
 
 // Stats is the completion report exposed through norns_error(), plus the
@@ -218,6 +229,10 @@ type Stats struct {
 	// task is MovedBytes - CacheBytes.
 	CacheBytes int64
 	DeltaBytes int64
+	// Attempts counts completed execution attempts that failed
+	// transiently and were retried. It is journaled so a restarted
+	// daemon resumes the retry schedule instead of resetting the budget.
+	Attempts uint64
 }
 
 // Task is one asynchronous I/O request tracked by a urd daemon.
@@ -239,6 +254,10 @@ type Task struct {
 	// second, layered under the daemon-wide bandwidth governor. Set it
 	// before submitting.
 	MaxBps int64
+	// RetryMax, when positive, overrides the daemon's default retry
+	// budget for this task (how many transient failures are retried
+	// before dead-letter quarantine). Set it before submitting.
+	RetryMax uint32
 
 	mu    sync.Mutex
 	stats Stats
@@ -564,6 +583,66 @@ func (t *Task) Fail(reason string) error {
 	return t.terminate(Failed, reason)
 }
 
+// Quarantine transitions a non-terminal task to DeadLetter: the task
+// failed transiently, its retry budget is exhausted, and it waits for
+// operator inspection. Terminal for waiters, like Fail.
+func (t *Task) Quarantine(reason string) error {
+	return t.terminate(DeadLetter, reason)
+}
+
+// Retry transitions Running -> Pending after a transient failure,
+// consuming one attempt. The completed-segment set is carried across as
+// a restored checkpoint (exactly like a journal recovery), so the next
+// attempt re-copies only the segments that never landed. Byte counters
+// reset — the next attempt re-accounts what it actually moves — while
+// reason is preserved in Err so a status poll during the backoff window
+// explains why the task went back to pending.
+func (t *Task) Retry(reason string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats.Status != Running {
+		return fmt.Errorf("%w: %s -> pending (retry)", ErrBadTransition, t.stats.Status)
+	}
+	if len(t.segDone) > 0 && t.segPlan > 0 {
+		bits := make([]byte, (len(t.segDone)+7)/8)
+		for i, done := range t.segDone {
+			if done {
+				bits[i/8] |= 1 << (i % 8)
+			}
+		}
+		t.restoredSegSize, t.restoredPlan, t.restoredBits = t.segSize, t.segPlan, bits
+	}
+	t.segSize, t.segPlan, t.segDone = 0, 0, nil
+	t.stats.Status = Pending
+	t.stats.Err = reason
+	t.stats.Attempts++
+	t.stats.MovedBytes = 0
+	t.stats.CacheBytes = 0
+	t.stats.DeltaBytes = 0
+	t.stats.SegmentsTotal = 0
+	t.stats.SegmentsDone = 0
+	t.stats.Started = time.Time{}
+	return nil
+}
+
+// Attempts returns the consumed retry-attempt count.
+func (t *Task) Attempts() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats.Attempts
+}
+
+// RestoreAttempts seeds a recovered (still Pending) task with its
+// journaled attempt counter, so a restart resumes the retry schedule
+// where the dead daemon left it.
+func (t *Task) RestoreAttempts(n uint64) {
+	t.mu.Lock()
+	if t.stats.Status == Pending {
+		t.stats.Attempts = n
+	}
+	t.mu.Unlock()
+}
+
 // Cancel requests the task's abortion, mirroring norns_cancel:
 //
 //   - Pending tasks transition directly to Cancelled (the caller is
@@ -658,6 +737,7 @@ func (t *Task) Restore(st Stats) error {
 	t.stats.SegmentsDone = st.SegmentsDone
 	t.stats.CacheBytes = st.CacheBytes
 	t.stats.DeltaBytes = st.DeltaBytes
+	t.stats.Attempts = st.Attempts
 	t.stats.Ended = st.Ended
 	if t.stats.Ended.IsZero() {
 		t.stats.Ended = time.Now()

@@ -8,6 +8,22 @@ import (
 	"github.com/ngioproject/norns-go/internal/task"
 )
 
+// RetryDecision is the executor's verdict on a failed task, produced by
+// the Decide hook: fail it permanently, send it back to Pending for
+// another attempt, or quarantine it in the dead-letter state.
+type RetryDecision int
+
+const (
+	// DecideFail terminates the task as Failed (the default).
+	DecideFail RetryDecision = iota
+	// DecideRetry transitions the task back to Pending — attempt counter
+	// bumped, completed segments checkpointed — for re-execution.
+	DecideRetry
+	// DecideDeadLetter quarantines the task: its retry budget is spent,
+	// so it parks in the DeadLetter state awaiting operator inspection.
+	DecideDeadLetter
+)
+
 // Executor runs tasks through the plugin registry and records observed
 // bandwidth in the E.T.A. estimators (the monitoring the urd worker
 // threads perform so slurmctld can plan around transfers).
@@ -16,6 +32,11 @@ type Executor struct {
 	Env      *Env
 	// ETA estimates transfer times from observed bandwidth; may be nil.
 	ETA *task.ETAEstimator
+	// Decide, when set, classifies a failed (non-cancelled, non-
+	// deadline) task: the daemon's retry policy lives here, so the
+	// executor stays ignorant of budgets and backoff. Nil preserves the
+	// historical behavior of failing on first error.
+	Decide func(t *task.Task, err error) RetryDecision
 }
 
 // NewExecutor returns an executor over the built-in plugins.
@@ -139,9 +160,13 @@ func (e *Executor) Execute(ctx context.Context, t *task.Task) {
 	_ = t.Finish()
 }
 
-// terminate maps a plugin error to the task's terminal state: a
-// cooperative interrupt confirms the cancellation, a deadline expiry or
-// plugin failure fails the task.
+// terminate maps a plugin error to the task's next state: a cooperative
+// interrupt confirms the cancellation, a deadline expiry fails the task
+// outright (the deadline bounds all attempts, not one), and any other
+// failure is classified by the Decide hook — fail, retry, or
+// dead-letter. A task sent back to Pending by DecideRetry is NOT
+// terminal when Execute returns; the daemon's worker loop detects that
+// and schedules the re-queue.
 func (e *Executor) terminate(ctx context.Context, t *task.Task, err error) {
 	if t.Status() == task.Cancelling {
 		_ = t.FinishCancel()
@@ -151,7 +176,20 @@ func (e *Executor) terminate(ctx context.Context, t *task.Task, err error) {
 		_ = t.Fail(fmt.Sprintf("%s: deadline exceeded", t.Kind))
 		return
 	}
-	_ = t.Fail(fmt.Sprintf("%s: %v", t.Kind, err))
+	msg := fmt.Sprintf("%s: %v", t.Kind, err)
+	if e.Decide != nil {
+		switch e.Decide(t, err) {
+		case DecideRetry:
+			if t.Retry(msg) == nil {
+				return
+			}
+		case DecideDeadLetter:
+			if t.Quarantine(msg) == nil {
+				return
+			}
+		}
+	}
+	_ = t.Fail(msg)
 }
 
 // Estimate predicts how long a transfer of the given size will take

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -664,6 +665,12 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 				return nil
 			}
 		}
+		// slot starts at the stream's own connection and jumps by the
+		// stream count on every retry, so a re-pulled segment rides a
+		// fresh fabric connection (a redial, possibly past a broken or
+		// congested endpoint) instead of the one that just failed it —
+		// and never collides with a sibling stream's slot.
+		slot := stream
 		for attempt := 0; ; attempt++ {
 			sink := &segmentSink{ctx: ctx, w: w, base: sg.Off, size: sg.Len, lim: lim, progress: prog}
 			var fill *cascache.Fill
@@ -674,7 +681,7 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 					dst = &teeFillSink{sink: sink, fill: fill}
 				}
 			}
-			n, perr := rf.PullRange(stream, sg.Off, sg.Len, dst)
+			n, perr := rf.PullRange(slot, sg.Off, sg.Len, dst)
 			if perr == nil && n != sg.Len {
 				perr = fmt.Errorf("transfer: segment %d short pull: %d of %d bytes", sg.Index, n, sg.Len)
 			}
@@ -703,6 +710,16 @@ func remoteToLocal(ctx context.Context, env *Env, t *task.Task, progress func(in
 			// the segment from its start.
 			if sink.written > 0 {
 				prog(-sink.written)
+			}
+			// Re-route and back off: the next attempt uses a different
+			// connection slot, after a small jittered delay so a blip on
+			// the peer is not hammered by every stream at once.
+			slot += streams
+			jitter := time.Duration(1+rand.Intn(4)) * time.Millisecond
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(jitter):
 			}
 		}
 	})

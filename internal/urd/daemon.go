@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"github.com/ngioproject/norns-go/internal/gateway"
 	"github.com/ngioproject/norns-go/internal/gateway/auth"
 	"github.com/ngioproject/norns-go/internal/journal"
+	"github.com/ngioproject/norns-go/internal/mercury"
 	"github.com/ngioproject/norns-go/internal/proto"
 	"github.com/ngioproject/norns-go/internal/queue"
 	"github.com/ngioproject/norns-go/internal/storage"
@@ -129,6 +132,27 @@ type Config struct {
 	// retention, per-record fsync). The zero value selects the journal
 	// package defaults. Ignored without StateDir.
 	JournalOptions journal.Options
+	// RetryMax is the daemon's default retry budget: a task that fails
+	// with a transient transport fault is sent back to Pending and
+	// re-executed up to this many times (exponential backoff) before it
+	// is quarantined in the dead-letter state. 0 disables automatic
+	// retries — the historical fail-on-first-error behavior. A task's
+	// own Spec.RetryMax overrides the default.
+	RetryMax int
+	// RetryBackoff is the base of the exponential retry schedule:
+	// attempt N re-queues after roughly RetryBackoff·2^(N-1), jittered
+	// ±25% and capped at 30s. <=0 selects 250ms.
+	RetryBackoff time.Duration
+	// JournalProbeInterval is how often a degraded daemon re-probes its
+	// journal for recovery (<=0: 1s). Ignored without StateDir.
+	JournalProbeInterval time.Duration
+	// BreakerThreshold and BreakerCooldown tune the fabric circuit
+	// breakers: BreakerThreshold consecutive transport failures to one
+	// endpoint trip its breaker, which re-probes after BreakerCooldown.
+	// Zero values select the mercury defaults (5 failures, 1s); a
+	// negative threshold disables breaking. Ignored without Fabric.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// CacheDir, when non-empty, enables the content-addressed staging
 	// cache rooted at that directory: repeated stage-ins of unchanged
 	// segments are served from local disk instead of the fabric, and
@@ -228,6 +252,33 @@ type Daemon struct {
 	nextID   atomic.Uint64
 	inFlight atomic.Int64 // tasks queued or running
 	closed   atomic.Bool
+
+	// degraded marks journal degrade mode: the WAL hit a write error,
+	// so new submissions are shed with NORNS_EUNAVAILABLE (retryable)
+	// while already-admitted tasks run to their terminal states. The
+	// probe loop re-tests the journal and lifts the flag if it heals.
+	degraded atomic.Bool
+	// draining marks a graceful Shutdown: workers stop picking up
+	// queued tasks (they stay journaled Pending for the next daemon)
+	// while running transfers finish. drainAbandon is set when the
+	// drain deadline expires — in-flight transfers are then aborted and
+	// handed back to Pending with their segment checkpoints instead of
+	// being failed.
+	draining     atomic.Bool
+	drainAbandon atomic.Bool
+	// recoveredClean reports that the replayed journal ended with a
+	// clean-shutdown marker (immutable after New).
+	recoveredClean bool
+
+	// retryMu guards the backoff timers of tasks awaiting re-queue
+	// after a transient failure.
+	retryMu     sync.Mutex
+	retryTimers map[uint64]*time.Timer
+
+	// dlMu guards the dead-letter set: quarantined task IDs an operator
+	// has not yet requeued.
+	dlMu sync.Mutex
+	dl   map[uint64]struct{}
 
 	// Terminal accounting, maintained exactly once per task when its
 	// in-flight slot is released (and seeded from the journal for
@@ -365,10 +416,23 @@ func New(cfg Config) (*Daemon, error) {
 		}
 		nm.SetRPCTimeout(cfg.RPCTimeout)
 		nm.SetTransfer(cfg.TransferStreams, cfg.SegmentSize, env.Governor)
+		// Circuit breakers are on by default: one dead peer should cost
+		// dial attempts during its cooldown windows, not an RPC timeout
+		// per call fleet-wide.
+		if thr := cfg.BreakerThreshold; thr >= 0 {
+			if thr == 0 {
+				thr = mercury.DefaultBreakerThreshold
+			}
+			nm.SetBreaker(thr, cfg.BreakerCooldown)
+		}
+		if cfg.Hooks.FabricFault != nil {
+			nm.SetFaultHook(cfg.Hooks.FabricFault)
+		}
 		d.net = nm
 		env.Net = nm
 	}
 	d.executor = transfer.NewExecutor(env)
+	d.executor.Decide = d.decideRetry
 
 	// Replay the durable journal before the sockets open: dataspaces are
 	// restored first so re-queued tasks find their tiers, and clients
@@ -404,6 +468,9 @@ func New(cfg Config) (*Daemon, error) {
 			d.Close()
 			return nil, err
 		}
+		// The probe loop is the degrade mode's way back: it re-tests a
+		// failed journal until the disk heals, then lifts the shed.
+		go d.journalProbeLoop()
 	}
 
 	if cfg.UserSocket != "" {
@@ -480,6 +547,11 @@ func (d *Daemon) fastOp(req *proto.Request) bool {
 func (d *Daemon) replayJournal() error {
 	j := d.journal
 	d.nextID.Store(j.NextID())
+	// Snapshot the clean-shutdown marker before this replay appends its
+	// own records (any append clears it): a true value attests the
+	// previous daemon drained in an orderly fashion, so nothing below
+	// needs re-running from scratch.
+	d.recoveredClean = j.Clean()
 
 	for _, spec := range j.Dataspaces() {
 		b, err := d.backendFromSpec(&spec)
@@ -501,7 +573,7 @@ func (d *Daemon) replayJournal() error {
 			// status queries — final byte counters included — until
 			// compaction retires it.
 			st := task.Stats{
-				Status: tr.Status, Err: tr.Err,
+				Status: tr.Status, Err: tr.Err, Attempts: tr.Attempts,
 				TotalBytes: tr.TotalBytes, MovedBytes: tr.MovedBytes,
 				CacheBytes: tr.CacheBytes, DeltaBytes: tr.DeltaBytes,
 				SegmentsTotal: tr.SegsTotal, SegmentsDone: tr.SegsDone,
@@ -510,6 +582,11 @@ func (d *Daemon) replayJournal() error {
 				d.tasks.Put(t)
 				d.accountTerminal(st)
 				d.retire(tr.ID)
+				if tr.Status == task.DeadLetter {
+					// Quarantined tasks stay inspectable and requeueable
+					// across restarts.
+					d.dlAdd(tr.ID)
+				}
 				d.recovered.Terminal++
 			}
 		case tr.Status == task.Cancelling:
@@ -532,6 +609,11 @@ func (d *Daemon) replayJournal() error {
 				d.recovered.Cancelled++
 			}
 		default: // Pending or Running: re-queue, resuming from checkpoints.
+			if tr.Attempts > 0 {
+				// Resume the retry schedule where the dead daemon left it
+				// rather than granting a fresh budget.
+				t.RestoreAttempts(tr.Attempts)
+			}
 			if tr.SegSize > 0 && tr.SegPlan > 0 && len(tr.SegBits) > 0 {
 				// The transfer checkpointed segments before the crash; the
 				// re-run re-copies only the ones missing from the bitmap
@@ -575,6 +657,7 @@ func (d *Daemon) replayJournal() error {
 				Status:     task.Pending,
 				TotalBytes: tr.TotalBytes,
 				MovedBytes: tr.MovedBytes,
+				Attempts:   tr.Attempts,
 			})
 			if err := sh.q.Requeue(t); err != nil {
 				msg := "recovery: " + err.Error()
@@ -603,6 +686,19 @@ func (d *Daemon) Recovered() Recovered { return d.recovered }
 // Config.StateDir) for diagnostics and crash-injection tests.
 func (d *Daemon) Journal() *journal.Journal { return d.journal }
 
+// noteJournalError flips the daemon into degrade mode when the journal
+// reports a sticky write failure: in-flight work keeps running (their
+// transitions are best-effort records), but new submissions are shed
+// with NORNS_EUNAVAILABLE until the probe loop sees the journal heal.
+func (d *Daemon) noteJournalError() {
+	if d.journal == nil || d.journal.WriteErr() == nil {
+		return
+	}
+	if !d.degraded.Swap(true) {
+		log.Printf("urd: journal degraded, shedding new submissions: %v", d.journal.WriteErr())
+	}
+}
+
 // record journals a task state transition. Journaling is best-effort at
 // this layer: an append failure costs restart fidelity, not correctness
 // of the in-memory pipeline, so it is logged rather than propagated.
@@ -612,6 +708,7 @@ func (d *Daemon) record(id uint64, s task.Status, errMsg string) {
 	}
 	if err := d.journal.RecordState(id, s, errMsg); err != nil {
 		log.Printf("urd: journal: task %d -> %s: %v", id, s, err)
+		d.noteJournalError()
 	}
 }
 
@@ -622,25 +719,33 @@ func (d *Daemon) recordStats(id uint64, st task.Stats) {
 	}
 	if err := d.journal.RecordStats(id, st); err != nil {
 		log.Printf("urd: journal: task %d -> %s: %v", id, st.Status, err)
+		d.noteJournalError()
 	}
 }
 
 // recordSubmit journals a task submission (spec included, so the task
-// can be rebuilt and re-run from the journal alone).
-func (d *Daemon) recordSubmit(t *task.Task) {
+// can be rebuilt and re-run from the journal alone). Unlike the other
+// record helpers the failure propagates: an acked submission that never
+// reached the WAL would be silently lost by the next restart, so the
+// submit path must roll back and shed instead of acking.
+func (d *Daemon) recordSubmit(t *task.Task) error {
 	if d.journal == nil {
-		return
+		return nil
 	}
 	if err := d.journal.RecordSubmit(t.ID, task.SpecOf(t)); err != nil {
-		log.Printf("urd: journal: submit %d: %v", t.ID, err)
+		d.noteJournalError()
+		return fmt.Errorf("%w: journal: %v", errUnavailable, err)
 	}
+	return nil
 }
 
 // recordSubmitBatch journals a whole batch of submissions as one
 // group-commit append — one disk round trip however large the batch.
-func (d *Daemon) recordSubmitBatch(tasks []*task.Task) {
+// Like recordSubmit, a failure propagates so the batch is shed rather
+// than acked-and-lost.
+func (d *Daemon) recordSubmitBatch(tasks []*task.Task) error {
 	if d.journal == nil || len(tasks) == 0 {
-		return
+		return nil
 	}
 	ids := make([]uint64, len(tasks))
 	specs := make([]task.Spec, len(tasks))
@@ -649,8 +754,10 @@ func (d *Daemon) recordSubmitBatch(tasks []*task.Task) {
 		specs[i] = task.SpecOf(t)
 	}
 	if err := d.journal.RecordSubmitBatch(ids, specs); err != nil {
-		log.Printf("urd: journal: submit batch of %d: %v", len(ids), err)
+		d.noteJournalError()
+		return fmt.Errorf("%w: journal: %v", errUnavailable, err)
 	}
+	return nil
 }
 
 // NodeName returns the configured node name.
@@ -731,13 +838,235 @@ func (d *Daemon) worker(sh *shard) {
 		if t == nil {
 			return
 		}
+		if d.draining.Load() && t.Status() == task.Pending {
+			// Graceful drain: queued tasks are not started — they stay
+			// journaled Pending and the next daemon's replay re-queues
+			// them. The exiting daemon keeps their in-flight slots.
+			continue
+		}
 		d.record(t.ID, task.Running, "")
 		d.executor.Execute(d.ctx, t)
-		if st := t.Stats(); st.Status.Terminal() {
+		st := t.Stats()
+		if st.Status == task.Pending {
+			// The Decide hook handed the task back for another attempt.
+			// Its in-flight slot stays held across the backoff window so
+			// admission still counts the retrying task.
+			d.scheduleRetry(t, st)
+			continue
+		}
+		if st.Status.Terminal() {
 			d.recordStats(t.ID, st)
 			d.hub.PublishState(t.ID, st)
+			if st.Status == task.DeadLetter {
+				d.dlAdd(t.ID)
+			}
 		}
 		d.taskDone(t)
+	}
+}
+
+// decideRetry is the executor's Decide hook — the daemon's retry
+// policy. Only transient transport faults are retried: an app-level
+// failure (bad path, permission, quota) fails identically on every
+// attempt. The budget is the task's own RetryMax when set, the daemon
+// default otherwise; once spent, the task is quarantined in the
+// dead-letter state instead of failed, so an operator can inspect it
+// and requeue via OpDeadletterRequeue.
+func (d *Daemon) decideRetry(t *task.Task, err error) transfer.RetryDecision {
+	if d.drainAbandon.Load() {
+		// Drain deadline: the abort is ours, not the fabric's. Hand the
+		// task back to Pending with its segment checkpoint so the next
+		// daemon resumes it (scheduleRetry refunds the attempt).
+		return transfer.DecideRetry
+	}
+	if d.closed.Load() || d.ctx.Err() != nil {
+		return transfer.DecideFail
+	}
+	budget := uint64(t.RetryMax)
+	if budget == 0 {
+		if d.cfg.RetryMax <= 0 {
+			return transfer.DecideFail
+		}
+		budget = uint64(d.cfg.RetryMax)
+	}
+	if !mercury.IsTransient(err) {
+		return transfer.DecideFail
+	}
+	if t.Attempts() >= budget {
+		return transfer.DecideDeadLetter
+	}
+	return transfer.DecideRetry
+}
+
+// Retry backoff defaults: 250ms base doubling per attempt, capped at
+// 30s, jittered ±25% so a burst of same-fault retries spreads out.
+const (
+	defaultRetryBackoff = 250 * time.Millisecond
+	maxRetryBackoff     = 30 * time.Second
+)
+
+func (d *Daemon) retryBackoffBase() time.Duration {
+	if d.cfg.RetryBackoff > 0 {
+		return d.cfg.RetryBackoff
+	}
+	return defaultRetryBackoff
+}
+
+// retryDelay computes the jittered exponential backoff after the
+// attempts-th consecutive failure (attempts >= 1 when called).
+func (d *Daemon) retryDelay(attempts uint64) time.Duration {
+	base := d.retryBackoffBase()
+	shift := attempts - 1
+	if shift > 20 {
+		shift = 20
+	}
+	delay := base << shift
+	if delay <= 0 || delay > maxRetryBackoff {
+		delay = maxRetryBackoff
+	}
+	if quarter := int64(delay / 4); quarter > 0 {
+		delay += time.Duration(rand.Int63n(2*quarter+1) - quarter)
+	}
+	return delay
+}
+
+// scheduleRetry journals a retrying task's hand-back to Pending —
+// attempt counter included, so a restart resumes the schedule even
+// mid-backoff — and arms the timer that re-queues it. During shutdown
+// no timer is armed: the journaled Pending record is the handoff to
+// the next daemon.
+func (d *Daemon) scheduleRetry(t *task.Task, st task.Stats) {
+	attempts := st.Attempts
+	if d.drainAbandon.Load() && attempts > 0 {
+		// A drain abort is not a failed attempt: refund it.
+		attempts--
+		t.RestoreAttempts(attempts)
+	}
+	if d.journal != nil {
+		if err := d.journal.RecordRetry(t.ID, attempts, st.Err); err != nil {
+			log.Printf("urd: journal: retry %d: %v", t.ID, err)
+			d.noteJournalError()
+		}
+	}
+	d.hub.PublishState(t.ID, t.Stats())
+	if d.closed.Load() {
+		return
+	}
+	delay := d.retryDelay(st.Attempts)
+	id := t.ID
+	d.retryMu.Lock()
+	if d.retryTimers == nil {
+		d.retryTimers = make(map[uint64]*time.Timer)
+	}
+	d.retryTimers[id] = time.AfterFunc(delay, func() {
+		d.retryMu.Lock()
+		delete(d.retryTimers, id)
+		d.retryMu.Unlock()
+		d.requeueRetry(t)
+	})
+	d.retryMu.Unlock()
+}
+
+// requeueRetry puts a backed-off task back on its shard queue. A task
+// cancelled during the backoff window releases its in-flight slot
+// here — it sits in no queue, so nobody else will.
+func (d *Daemon) requeueRetry(t *task.Task) {
+	if d.closed.Load() {
+		return // journaled Pending; the next daemon resumes it
+	}
+	if t.Status() != task.Pending {
+		d.taskDone(t)
+		return
+	}
+	sh, err := d.shardFor(shardKey(t))
+	if err == nil {
+		err = sh.q.Requeue(t)
+	}
+	if err != nil {
+		if errors.Is(err, queue.ErrClosed) {
+			return // raced a shutdown: same handoff as above
+		}
+		msg := "retry requeue: " + err.Error()
+		if t.Fail(msg) == nil {
+			d.recordStats(t.ID, t.Stats())
+			d.hub.PublishState(t.ID, t.Stats())
+		}
+		d.taskDone(t)
+	}
+}
+
+// stopRetryTimers halts pending backoff timers at shutdown. Their
+// tasks are already journaled Pending (scheduleRetry records before
+// arming), so the next daemon resumes the schedule.
+func (d *Daemon) stopRetryTimers() {
+	d.retryMu.Lock()
+	for id, tm := range d.retryTimers {
+		tm.Stop()
+		delete(d.retryTimers, id)
+	}
+	d.retryMu.Unlock()
+}
+
+// dlAdd quarantines a task ID in the dead-letter set.
+func (d *Daemon) dlAdd(id uint64) {
+	d.dlMu.Lock()
+	if d.dl == nil {
+		d.dl = make(map[uint64]struct{})
+	}
+	d.dl[id] = struct{}{}
+	d.dlMu.Unlock()
+}
+
+// dlForget drops a task from the dead-letter set (requeued, or retired
+// from the task table).
+func (d *Daemon) dlForget(id uint64) {
+	d.dlMu.Lock()
+	delete(d.dl, id)
+	d.dlMu.Unlock()
+}
+
+// dlIDs snapshots the quarantined task IDs, sorted for stable output.
+func (d *Daemon) dlIDs() []uint64 {
+	d.dlMu.Lock()
+	ids := make([]uint64, 0, len(d.dl))
+	for id := range d.dl {
+		ids = append(ids, id)
+	}
+	d.dlMu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (d *Daemon) dlCount() int {
+	d.dlMu.Lock()
+	defer d.dlMu.Unlock()
+	return len(d.dl)
+}
+
+// journalProbeLoop periodically re-tests a degraded journal: when a
+// probe flush-and-compact cycle succeeds (the disk healed), degrade
+// mode lifts and submissions are accepted again.
+func (d *Daemon) journalProbeLoop() {
+	iv := d.cfg.JournalProbeInterval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	tick := time.NewTicker(iv)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-tick.C:
+			if !d.degraded.Load() || d.closed.Load() {
+				continue
+			}
+			if err := d.journal.Probe(); err != nil {
+				continue
+			}
+			d.degraded.Store(false)
+			log.Printf("urd: journal recovered, accepting submissions again")
+		}
 	}
 }
 
@@ -788,6 +1117,7 @@ func (d *Daemon) retire(id uint64) {
 	if have {
 		d.tasks.Delete(evict)
 		d.hub.ForgetTask(evict)
+		d.dlForget(evict)
 	}
 }
 
@@ -849,10 +1179,29 @@ func (d *Daemon) expireIfPast(t *task.Task) {
 // Close drains listeners, shards, workers and the fabric. In-flight
 // transfers complete (or observe their own cancellation); queued tasks
 // still execute, as before the shutdown — only new submissions fail.
-func (d *Daemon) Close() {
+func (d *Daemon) Close() { d.shutdown(0, false) }
+
+// Shutdown is the graceful SIGTERM drain: admission stops, queued
+// tasks are left journaled Pending for the next daemon (their segment
+// checkpoints are already in the WAL), running transfers get up to
+// timeout to finish — past it they are aborted and handed back to
+// Pending with their checkpoints — and the journal is sealed with a
+// clean-shutdown marker so the next replay starts fast and re-copies
+// nothing that already landed. timeout <= 0 waits indefinitely for the
+// running transfers.
+func (d *Daemon) Shutdown(timeout time.Duration) { d.shutdown(timeout, true) }
+
+func (d *Daemon) shutdown(timeout time.Duration, drain bool) {
 	if d.closed.Swap(true) {
+		<-d.done
 		return
 	}
+	if drain {
+		d.draining.Store(true)
+	}
+	// Backoff timers die first: their tasks are journaled Pending, and
+	// a timer firing into closing queues would be pure noise.
+	d.stopRetryTimers()
 	d.shardMu.Lock()
 	shards := make([]*shard, 0, len(d.shards))
 	for _, sh := range d.shards {
@@ -875,7 +1224,28 @@ func (d *Daemon) Close() {
 	for _, sh := range shards {
 		sh.q.Close()
 	}
-	d.wg.Wait()
+	if drain && timeout > 0 {
+		// Bounded drain: wait for the running transfers up to the
+		// deadline, then abort them. drainAbandon flips the Decide hook
+		// so the aborts hand tasks back to Pending (checkpoint kept)
+		// instead of failing them; the workers then journal the
+		// hand-back and exit.
+		drained := make(chan struct{})
+		go func() {
+			d.wg.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(timeout):
+			log.Printf("urd: drain deadline (%s) expired, checkpointing in-flight tasks", timeout)
+			d.drainAbandon.Store(true)
+			d.stop()
+			<-drained
+		}
+	} else {
+		d.wg.Wait()
+	}
 	// After the drain: the workers have published their final terminal
 	// events, so closing the hub now lets subscriber pumps flush them
 	// before exiting (their connections are already gone if the
@@ -886,8 +1256,16 @@ func (d *Daemon) Close() {
 		d.net.Close()
 	}
 	// Last, after the drained workers have journaled their terminal
-	// transitions: compact and release the journal.
+	// transitions: compact and release the journal. A graceful drain
+	// additionally seals it with the clean-shutdown marker — MarkClean
+	// refuses if the journal is degraded, in which case the restart
+	// replays the WAL the hard way, exactly as it should.
 	if d.journal != nil {
+		if drain {
+			if err := d.journal.MarkClean(); err != nil {
+				log.Printf("urd: journal: clean-shutdown marker: %v", err)
+			}
+		}
 		if err := d.journal.Close(); err != nil {
 			log.Printf("urd: journal: close: %v", err)
 		}
@@ -923,6 +1301,9 @@ func (d *Daemon) buildTaskID(spec *proto.TaskSpec, pid uint64, admin bool, id ui
 	}
 	if spec.MaxBps > 0 {
 		t.MaxBps = spec.MaxBps
+	}
+	if spec.RetryMax > 0 {
+		t.RetryMax = spec.RetryMax
 	}
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
@@ -1001,6 +1382,9 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 	if d.closed.Load() {
 		return 0, queue.ErrClosed
 	}
+	if d.degraded.Load() {
+		return 0, fmt.Errorf("%w: journal degraded (read-only)", errUnavailable)
+	}
 	if err := d.admit(); err != nil {
 		return 0, err
 	}
@@ -1011,8 +1395,14 @@ func (d *Daemon) Submit(spec *proto.TaskSpec, pid uint64, admin bool) (uint64, e
 	}
 	d.tasks.Put(t)
 	// WAL ordering: the submission is journaled before the task becomes
-	// runnable, so a worker's Running record can never precede it.
-	d.recordSubmit(t)
+	// runnable, so a worker's Running record can never precede it. A
+	// journal that cannot take the append sheds the submission instead
+	// of acking work the next restart would forget.
+	if err := d.recordSubmit(t); err != nil {
+		d.tasks.Delete(t.ID)
+		d.inFlight.Add(-1)
+		return 0, err
+	}
 	if err := d.enqueue(sh, t); err != nil {
 		return 0, err
 	}
@@ -1041,9 +1431,17 @@ func (d *Daemon) submitBatch(specs []proto.TaskSpec, pid uint64, admin bool, sub
 	accepted := make([]*task.Task, 0, len(specs))
 	shards := make([]*shard, 0, len(specs))
 	closed := d.closed.Load()
+	var degradedErr error
+	if d.degraded.Load() {
+		degradedErr = fmt.Errorf("%w: journal degraded (read-only)", errUnavailable)
+	}
 	for i := range specs {
 		if closed {
 			results[i] = proto.SubmitResult{Status: uint32(statusOf(queue.ErrClosed)), Error: queue.ErrClosed.Error()}
+			continue
+		}
+		if degradedErr != nil {
+			results[i] = proto.SubmitResult{Status: uint32(statusOf(degradedErr)), Error: degradedErr.Error()}
 			continue
 		}
 		t, err := d.buildTask(&specs[i], pid, admin)
@@ -1069,7 +1467,21 @@ func (d *Daemon) submitBatch(specs []proto.TaskSpec, pid uint64, admin bool, sub
 	// coalesced append before any entry becomes runnable (same WAL
 	// ordering rule as the single-op path, amortized).
 	d.tasks.PutBatch(accepted)
-	d.recordSubmitBatch(accepted)
+	if err := d.recordSubmitBatch(accepted); err != nil {
+		// Nothing in the batch became runnable yet: unwind every
+		// acceptance and shed the whole batch — an acked-but-unjournaled
+		// task would be lost by the next restart.
+		for _, t := range accepted {
+			d.tasks.Delete(t.ID)
+			d.inFlight.Add(-1)
+		}
+		for r := range results {
+			if results[r].Status == uint32(proto.Success) {
+				results[r] = proto.SubmitResult{Status: uint32(statusOf(err)), Error: err.Error()}
+			}
+		}
+		return results, 0
+	}
 	var subID uint64
 	if subscribe != nil && len(accepted) > 0 {
 		ids := make([]uint64, len(accepted))
@@ -1164,6 +1576,10 @@ var (
 	errExists     = errors.New("already exists")
 	errDenied     = errors.New("permission denied")
 	errBusy       = errors.New("resource busy")
+	// errUnavailable is the retryable shed: the daemon is degraded
+	// (journal write failure) or shutting down, and the client should
+	// try again later — possibly against a restarted daemon.
+	errUnavailable = errors.New("temporarily unavailable")
 )
 
 func statusOf(err error) proto.StatusCode {
@@ -1182,6 +1598,9 @@ func statusOf(err error) proto.StatusCode {
 		return proto.EPermission
 	case errors.Is(err, errBusy), errors.Is(err, queue.ErrFull):
 		return proto.EAgain
+	case errors.Is(err, errUnavailable), errors.Is(err, queue.ErrClosed),
+		errors.Is(err, journal.ErrDegraded):
+		return proto.EUnavailable
 	case errors.Is(err, dataspace.ErrBadID), errors.Is(err, dataspace.ErrNilFS):
 		return proto.EBadRequest
 	default:
@@ -1208,6 +1627,12 @@ func (d *Daemon) Handle(peer transport.PeerInfo, req *proto.Request) *proto.Resp
 		return &proto.Response{Status: proto.Success}
 	case proto.OpStatus:
 		return d.handleStatus()
+	case proto.OpHealth:
+		return d.handleHealth()
+	case proto.OpDeadletterList:
+		return d.handleDeadletterList()
+	case proto.OpDeadletterRequeue:
+		return d.handleDeadletterRequeue(req)
 	case proto.OpSubmit:
 		return d.handleSubmit(peer, req)
 	case proto.OpSubmitBatch:
@@ -1252,6 +1677,105 @@ func (d *Daemon) Handle(peer transport.PeerInfo, req *proto.Request) *proto.Resp
 	}
 }
 
+// handleHealth is the readiness probe: Success while the daemon
+// accepts new work, EUnavailable (retryable) while it sheds — degraded
+// journal, draining, or closed. Liveness is implicit: a dead daemon
+// answers nothing.
+func (d *Daemon) handleHealth() *proto.Response {
+	switch {
+	case d.closed.Load():
+		return &proto.Response{Status: proto.EUnavailable, Error: "daemon shutting down"}
+	case d.degraded.Load():
+		return &proto.Response{Status: proto.EUnavailable, Error: "journal degraded (read-only)"}
+	default:
+		return &proto.Response{Status: proto.Success}
+	}
+}
+
+// handleDeadletterList reports the quarantined tasks: budget-exhausted
+// transfers parked for operator inspection.
+func (d *Daemon) handleDeadletterList() *proto.Response {
+	resp := &proto.Response{Status: proto.Success}
+	for _, id := range d.dlIDs() {
+		t, ok := d.tasks.Get(id)
+		if !ok {
+			continue
+		}
+		st := t.Stats()
+		if st.Status != task.DeadLetter {
+			continue
+		}
+		resp.DeadLetters = append(resp.DeadLetters, proto.DeadLetterEntry{
+			TaskID: id, Attempts: st.Attempts, Err: st.Err,
+		})
+	}
+	return resp
+}
+
+// handleDeadletterRequeue resubmits one quarantined task (Request.
+// TaskID) or all of them (TaskID == 0) as fresh tasks with fresh retry
+// budgets. The quarantined originals stay in the table as an audit
+// trail; they only leave the dead-letter listing.
+func (d *Daemon) handleDeadletterRequeue(req *proto.Request) *proto.Response {
+	ids := d.dlIDs()
+	if req.TaskID != 0 {
+		ids = []uint64{req.TaskID}
+	}
+	resp := &proto.Response{Status: proto.Success}
+	for _, id := range ids {
+		nid, err := d.requeueDeadLetter(id)
+		if err != nil {
+			// A targeted requeue reports its failure; the sweep skips
+			// entries a concurrent operator already handled.
+			if req.TaskID != 0 {
+				return errResp(err)
+			}
+			continue
+		}
+		resp.TaskIDs = append(resp.TaskIDs, nid)
+	}
+	return resp
+}
+
+// requeueDeadLetter clones a quarantined task's spec into a fresh
+// submission (new ID, zeroed attempt counter) and enqueues it through
+// the normal admission path. Returns the fresh task's ID.
+func (d *Daemon) requeueDeadLetter(id uint64) (uint64, error) {
+	t, ok := d.tasks.Get(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: task %d", errNotFound, id)
+	}
+	if t.Status() != task.DeadLetter {
+		return 0, fmt.Errorf("%w: task %d is not dead-lettered", errBadRequest, id)
+	}
+	if d.closed.Load() {
+		return 0, queue.ErrClosed
+	}
+	if d.degraded.Load() {
+		return 0, fmt.Errorf("%w: journal degraded (read-only)", errUnavailable)
+	}
+	nt := task.SpecOf(t).Task(d.nextID.Add(1))
+	if err := d.admit(); err != nil {
+		return 0, err
+	}
+	sh, err := d.shardFor(shardKey(nt))
+	if err != nil {
+		d.inFlight.Add(-1)
+		return 0, err
+	}
+	d.tasks.Put(nt)
+	if err := d.recordSubmit(nt); err != nil {
+		d.tasks.Delete(nt.ID)
+		d.inFlight.Add(-1)
+		return 0, err
+	}
+	if err := d.enqueue(sh, nt); err != nil {
+		return 0, err
+	}
+	d.dlForget(id)
+	return nt.ID, nil
+}
+
 func (d *Daemon) handleStatus() *proto.Response {
 	nTasks := d.tasks.Len()
 	d.shardMu.Lock()
@@ -1263,6 +1787,12 @@ func (d *Daemon) handleStatus() *proto.Response {
 	rec := d.recovered
 	if d.journal != nil {
 		info += fmt.Sprintf(" recovered=%d", rec.Requeued())
+		if d.recoveredClean {
+			info += " clean"
+		}
+	}
+	if d.degraded.Load() {
+		info += " DEGRADED"
 	}
 	st := &proto.DaemonStatus{
 		Version:            Version,
@@ -1276,6 +1806,20 @@ func (d *Daemon) handleStatus() *proto.Response {
 		RecoveredRunning:   uint64(rec.Running),
 		RecoveredCancelled: uint64(rec.Cancelled),
 		RecoveredTerminal:  uint64(rec.Terminal),
+		RecoveredClean:     d.recoveredClean,
+		Degraded:           d.degraded.Load(),
+		DeadLetterTasks:    uint64(d.dlCount()),
+		RetryBackoffMS:     d.retryBackoffBase().Milliseconds(),
+	}
+	if d.cfg.RetryMax > 0 {
+		st.RetryMax = uint64(d.cfg.RetryMax)
+	}
+	if d.net != nil {
+		for _, b := range d.net.Breakers() {
+			st.Breakers = append(st.Breakers, proto.BreakerState{
+				Addr: b.Addr, State: b.State, Fails: b.Fails, Trips: b.Trips,
+			})
+		}
 	}
 	if tn := d.executor.Env.Tuner; tn != nil {
 		st.Autotune = true

@@ -35,6 +35,14 @@ type Hooks struct {
 	// accounting survive a crash/restart cycle. id is the dataspace ID;
 	// the returned FS must not be nil.
 	WrapFS func(id string, fs storage.FS) storage.FS
+	// FabricFault, when non-nil, is consulted before every outbound
+	// fabric RPC and bulk pull (mercury's fault hook): a non-nil return
+	// fails that call as a transport error without touching the wire,
+	// which the endpoint's circuit breaker counts like a real fault. The
+	// lab scripts "endpoint X fails its next K calls" with it. Requires
+	// a configured Fabric; ignored when Hooks.Remote replaces the
+	// network manager.
+	FabricFault func(addr, name string) error
 }
 
 // wrapFS applies the WrapFS hook to a freshly built backend.

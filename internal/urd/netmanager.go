@@ -256,6 +256,24 @@ func (nm *NetManager) Addr() string { return nm.class.Addr() }
 // SetBulkChunk adjusts the bulk chunk size (ablation benchmarks).
 func (nm *NetManager) SetBulkChunk(n int) { nm.class.SetBulkChunk(n) }
 
+// SetBreaker configures the per-endpoint circuit breakers: threshold
+// consecutive transport failures to one address trip its breaker, and
+// an open breaker admits a single half-open probe after cooldown.
+// threshold <= 0 disables breaking. Set before serving traffic.
+func (nm *NetManager) SetBreaker(threshold int, cooldown time.Duration) {
+	nm.class.SetBreaker(threshold, cooldown)
+}
+
+// SetFaultHook installs a deterministic outbound-call fault injector
+// (scenario lab); nil clears it.
+func (nm *NetManager) SetFaultHook(h func(addr, name string) error) {
+	nm.class.SetFaultHook(h)
+}
+
+// Breakers snapshots every tracked endpoint's circuit-breaker state,
+// sorted by address — the DaemonStatus export.
+func (nm *NetManager) Breakers() []mercury.BreakerInfo { return nm.class.Breakers() }
+
 // SetRPCTimeout bounds every peer RPC and bulk-stream idle gap so a
 // hung peer surfaces as a transfer error instead of a stuck worker.
 func (nm *NetManager) SetRPCTimeout(d time.Duration) {

@@ -13,12 +13,15 @@
 #   4. nornsctl drain moving a populated queue between daemons with
 #      task and byte counters preserved, payloads verified on arrival
 #   5. documented 401/413 rejection paths
+#   6. SIGTERM graceful drain: the running transfer finishes, queued
+#      tasks stay journaled, the restart replays from the clean marker
+#      and no acked task is lost
 set -euo pipefail
 
 T=$(mktemp -d)
 URD=${URD:-$T/urd}
 CTL=${CTL:-$T/nornsctl}
-trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$T"' EXIT
+trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$T"' EXIT
 
 [ -x "$URD" ] || go build -o "$URD" ./cmd/urd
 [ -x "$CTL" ] || go build -o "$CTL" ./cmd/nornsctl
@@ -153,4 +156,81 @@ echo "401/413 rejection paths verified"
 
 # Cancel the throttled blocker so daemon A shuts down promptly.
 "$CTL" -socket "$T/a-ctl.sock" cancel "$BLOCKER" >/dev/null 2>&1 || true
+
+### 6. SIGTERM drain: clean-shutdown marker, fast replay, nothing lost
+mkdir -p "$T/d-data"
+D=http://127.0.0.1:9414
+"$URD" -node d -user "$T/d-user.sock" -control "$T/d-ctl.sock" \
+  -workers 1 -state-dir "$T/d-state" -drain-timeout 30s \
+  -http-addr 127.0.0.1:9414 -http-token-file "$T/token" &
+D_PID=$!
+for i in $(seq 1 50); do
+  "$CTL" -socket "$T/d-ctl.sock" ping 2>/dev/null && break
+  sleep 0.2
+done
+"$CTL" -socket "$T/d-ctl.sock" register-dataspace disk0:// posix-dir "$T/d-data"
+
+# The probe endpoints answer ahead of bearer auth.
+curl -s -o /dev/null -w '%{http_code}\n' "$D/v2/healthz" | grep -qx 200
+curl -s -o /dev/null -w '%{http_code}\n' "$D/v2/readyz" | grep -qx 200
+
+# A throttled blocker (16 KiB at 16 KiB/s, ~1 s) occupies the single
+# worker; the five quick copies behind it stay queued.
+python3 - "$T/term.ndjson" <<'EOF'
+import base64, json, sys
+with open(sys.argv[1], "w") as f:
+    blocker = {
+        "kind": "copy", "max_bps": 16384,
+        "input": {"kind": "memory", "data": base64.b64encode(b"y" * 16384).decode()},
+        "output": {"kind": "local-path", "dataspace": "disk0://", "path": "blocker"},
+    }
+    f.write(json.dumps(blocker) + "\n")
+    for i in range(5):
+        rec = {
+            "kind": "copy",
+            "input": {"kind": "memory", "data": base64.b64encode(bytes([i]) * 1024).decode()},
+            "output": {"kind": "local-path", "dataspace": "disk0://", "path": f"d{i}"},
+        }
+        f.write(json.dumps(rec) + "\n")
+EOF
+"$CTL" -http "$D" -token-file "$T/token" -json import -ids "$T/term.ndjson" > "$T/term-import.json"
+TERM_IDS=$(python3 -c 'import json,sys; r=json.load(open(sys.argv[1])); assert r["submitted"]==6, r; print(" ".join(map(str, r["task_ids"])))' "$T/term-import.json")
+
+# SIGTERM mid-transfer: the drain lets the blocker finish, leaves the
+# queued copies journaled Pending, and seals the clean-shutdown marker.
+kill -TERM "$D_PID"
+wait "$D_PID" 2>/dev/null || true
+[ -s "$T/d-data/blocker" ] && [ "$(stat -c %s "$T/d-data/blocker")" -eq 16384 ] \
+  || { echo "drain did not finish the running transfer"; exit 1; }
+[ "$(ls "$T/d-data" | wc -l)" -eq 1 ] || { echo "drain started queued tasks"; exit 1; }
+
+# Restart on the same state dir: the replay sees the clean marker, the
+# finished blocker stays terminal, and the queued five re-run.
+"$URD" -node d -user "$T/d-user.sock" -control "$T/d-ctl.sock" \
+  -workers 1 -state-dir "$T/d-state" \
+  -http-addr 127.0.0.1:9414 -http-token-file "$T/token" &
+for i in $(seq 1 50); do
+  "$CTL" -socket "$T/d-ctl.sock" ping 2>/dev/null && break
+  sleep 0.2
+done
+"$CTL" -socket "$T/d-ctl.sock" status > "$T/term-status.txt"
+grep -q ' clean' "$T/term-status.txt" \
+  || { echo "restart missed the clean-shutdown marker"; cat "$T/term-status.txt"; exit 1; }
+grep -q 'requeued=5 (pending=5 running=0) cancelled=0 terminal=1' "$T/term-status.txt" \
+  || { echo "unexpected replay ledger"; cat "$T/term-status.txt"; exit 1; }
+
+# Zero lost acked tasks: every imported ID resolves finished.
+for id in $TERM_IDS; do
+  for i in $(seq 1 100); do
+    "$CTL" -socket "$T/d-ctl.sock" task-status "$id" | grep -q finished && break
+    sleep 0.2
+  done
+  "$CTL" -socket "$T/d-ctl.sock" task-status "$id" | grep -q finished \
+    || { echo "acked task $id lost across the drain"; exit 1; }
+done
+for i in 0 1 2 3 4; do
+  [ "$(stat -c %s "$T/d-data/d$i")" -eq 1024 ] || { echo "payload d$i corrupted"; exit 1; }
+done
+curl -s -o /dev/null -w '%{http_code}\n' "$D/v2/readyz" | grep -qx 200
+echo "SIGTERM drain verified: clean marker replayed, zero acked tasks lost"
 echo "gateway e2e OK"
